@@ -1,0 +1,109 @@
+/// \file
+/// Figure 10: ICI vs BPE tokenization. The paper trains for 2M steps in
+/// 43h with ICI vs 68h with BPE — the gap is tokenizer throughput (ICI is
+/// one linear scan; BPE applies merge rules per word at every encode).
+/// This bench measures (a) raw tokenizer throughput and (b) PPO training
+/// wall time at a fixed step budget under each tokenizer.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common.h"
+#include "support/csv.h"
+#include "tokenizer/bpe.h"
+
+namespace {
+
+chehab::benchcommon::Harness&
+harness()
+{
+    static chehab::benchcommon::Harness instance;
+    return instance;
+}
+
+chehab::tokenizer::BpeTokenizer
+trainedBpe(chehab::benchcommon::Harness& h)
+{
+    // BPE vocabulary learned from a random IR corpus (App. H.2).
+    std::vector<std::string> corpus;
+    for (const auto& program : h.randomDataset(512)) {
+        corpus.push_back(program->toString());
+    }
+    chehab::tokenizer::BpeTokenizer bpe;
+    bpe.train(corpus, 200);
+    return bpe;
+}
+
+void
+BM_IciEncode(benchmark::State& state)
+{
+    const chehab::tokenizer::IciVocab vocab;
+    const auto program = chehab::benchsuite::l2Distance(16).program;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vocab.encode(program, 96));
+    }
+}
+BENCHMARK(BM_IciEncode);
+
+void
+BM_BpeEncode(benchmark::State& state)
+{
+    static chehab::tokenizer::BpeTokenizer bpe = trainedBpe(harness());
+    const auto program = chehab::benchsuite::l2Distance(16).program;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bpe.encode(program, 96));
+    }
+}
+BENCHMARK(BM_BpeEncode);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    auto& h = harness();
+    const int steps = std::max(512, h.budget().train_steps / 2);
+    const std::vector<chehab::ir::ExprPtr> corpus = h.motifDataset(256);
+
+    // ICI-tokenized agent.
+    chehab::rl::AgentConfig config = h.agentConfig();
+    config.ppo.total_timesteps = steps;
+    chehab::rl::RlAgent ici_agent(h.ruleset(), config);
+    std::fprintf(stderr, "[bench] training with ICI tokenizer...\n");
+    const chehab::rl::TrainStats ici = ici_agent.train(corpus);
+
+    // BPE-tokenized agent (same architecture, BPE vocabulary).
+    chehab::rl::RlAgent bpe_agent(
+        h.ruleset(), config,
+        std::make_unique<chehab::rl::BpeTokenEncoder>(trainedBpe(h)));
+    std::fprintf(stderr, "[bench] training with BPE tokenizer...\n");
+    const chehab::rl::TrainStats bpe = bpe_agent.train(corpus);
+
+    std::printf("\n=== Fig. 10 — tokenizer training throughput ===\n");
+    std::printf("%-6s %10s %14s %14s\n", "tok", "steps", "wall (s)",
+                "steps/sec");
+    std::printf("%-6s %10d %14.2f %14.1f\n", "ICI", ici.total_steps,
+                ici.wall_seconds, ici.total_steps / ici.wall_seconds);
+    std::printf("%-6s %10d %14.2f %14.1f\n", "BPE", bpe.total_steps,
+                bpe.wall_seconds, bpe.total_steps / bpe.wall_seconds);
+    std::printf("BPE/ICI wall-time ratio: %.2fx (paper: 68h/43h = 1.58x)\n",
+                bpe.wall_seconds / ici.wall_seconds);
+
+    std::filesystem::create_directories("results");
+    chehab::CsvWriter csv("results/fig10_tokenizer.csv",
+                          {"tokenizer", "steps", "wall_seconds",
+                           "mean_return_final"});
+    csv.writeRow("ICI", ici.total_steps, ici.wall_seconds,
+                 ici.mean_return_curve.empty()
+                     ? 0.0
+                     : ici.mean_return_curve.back());
+    csv.writeRow("BPE", bpe.total_steps, bpe.wall_seconds,
+                 bpe.mean_return_curve.empty()
+                     ? 0.0
+                     : bpe.mean_return_curve.back());
+    std::printf("[bench] wrote results/fig10_tokenizer.csv\n");
+    return 0;
+}

@@ -1,0 +1,221 @@
+/// \file
+/// Figure 11 / Table 7: GRU vs Transformer program autoencoders. Both
+/// encoders compress an ICI token sequence into one fixed-length
+/// embedding; an identical position-conditioned MLP decoder reconstructs
+/// the tokens. The paper's Transformer reaches 100% exact-match
+/// reconstruction while the GRU plateaus at 98.9% with ordering errors —
+/// the evidence for choosing the Transformer state encoder (App. I.1).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common.h"
+#include "support/csv.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "tokenizer/ici.h"
+
+namespace {
+
+using chehab::nn::Tensor;
+
+constexpr int kMaxLen = 24;
+
+struct Autoencoder
+{
+    chehab::nn::EncoderConfig config;
+    chehab::nn::TransformerEncoder transformer;
+    chehab::nn::GruEncoder gru;
+    bool use_gru = false;
+    Tensor decoder_pos; ///< Learned per-position embedding.
+    chehab::nn::Mlp decoder;
+
+    Autoencoder(bool gru_encoder, int vocab, chehab::Rng& rng)
+    {
+        config.vocab_size = vocab;
+        config.d_model = 32;
+        config.n_layers = 2;
+        config.n_heads = 4;
+        config.d_ff = 64;
+        config.max_len = kMaxLen;
+        use_gru = gru_encoder;
+        if (use_gru) {
+            gru = chehab::nn::GruEncoder(config, rng);
+        } else {
+            transformer = chehab::nn::TransformerEncoder(config, rng);
+        }
+        decoder_pos = Tensor::randn(kMaxLen, 16, rng, 0.3f, true);
+        decoder = chehab::nn::Mlp({config.d_model + 16, 64, vocab}, rng);
+    }
+
+    Tensor encode(const std::vector<int>& ids) const
+    {
+        return use_gru ? gru.encode(ids) : transformer.encode(ids);
+    }
+
+    /// Per-position token log-probs given the sequence embedding.
+    Tensor logits(const Tensor& embedding, int position) const
+    {
+        const Tensor pos = chehab::nn::sliceRow(decoder_pos, position);
+        return decoder.forward(chehab::nn::concatCols(embedding, pos));
+    }
+
+    std::vector<Tensor> params() const
+    {
+        std::vector<Tensor> params;
+        if (use_gru) {
+            gru.collectParams(params);
+        } else {
+            transformer.collectParams(params);
+        }
+        params.push_back(decoder_pos);
+        decoder.collectParams(params);
+        return params;
+    }
+};
+
+struct EvalResult
+{
+    double exact = 0.0;
+    double token = 0.0;
+};
+
+EvalResult
+evaluate(const Autoencoder& model,
+         const std::vector<std::vector<int>>& sequences)
+{
+    long long exact = 0;
+    long long token_hits = 0;
+    long long token_total = 0;
+    for (const auto& ids : sequences) {
+        const Tensor embedding = model.encode(ids);
+        bool all_match = true;
+        for (int pos = 0; pos < kMaxLen; ++pos) {
+            if (ids[static_cast<std::size_t>(pos)] == 0) break; // PAD.
+            const Tensor logit = model.logits(embedding, pos);
+            int best = 0;
+            for (int v = 1; v < logit.cols(); ++v) {
+                if (logit.at(0, v) > logit.at(0, best)) best = v;
+            }
+            ++token_total;
+            if (best == ids[static_cast<std::size_t>(pos)]) {
+                ++token_hits;
+            } else {
+                all_match = false;
+            }
+        }
+        exact += all_match;
+    }
+    return {100.0 * exact / sequences.size(),
+            100.0 * token_hits / std::max<long long>(1, token_total)};
+}
+
+void
+BM_TransformerEncode(benchmark::State& state)
+{
+    chehab::Rng rng(1);
+    const chehab::tokenizer::IciVocab vocab;
+    const Autoencoder model(false, vocab.size(), rng);
+    const std::vector<int> ids =
+        vocab.encode(chehab::benchsuite::dotProduct(4).program, kMaxLen);
+    for (auto _ : state) benchmark::DoNotOptimize(model.encode(ids));
+}
+BENCHMARK(BM_TransformerEncode);
+
+void
+BM_GruEncode(benchmark::State& state)
+{
+    chehab::Rng rng(1);
+    const chehab::tokenizer::IciVocab vocab;
+    const Autoencoder model(true, vocab.size(), rng);
+    const std::vector<int> ids =
+        vocab.encode(chehab::benchsuite::dotProduct(4).program, kMaxLen);
+    for (auto _ : state) benchmark::DoNotOptimize(model.encode(ids));
+}
+BENCHMARK(BM_GruEncode);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    chehab::benchcommon::Harness h;
+    const chehab::tokenizer::IciVocab vocab;
+
+    // Short random IR expressions (the corpus regime of App. I.1).
+    chehab::dataset::RandomGenConfig gen_config;
+    gen_config.max_depth = 3;
+    gen_config.max_width = 2;
+    chehab::dataset::RandomProgramGenerator gen(31, gen_config);
+    std::vector<std::vector<int>> train_seqs;
+    std::vector<std::vector<int>> test_seqs;
+    for (int i = 0; i < 48; ++i) {
+        train_seqs.push_back(vocab.encode(gen.generate(), kMaxLen));
+    }
+    for (int i = 0; i < 24; ++i) {
+        test_seqs.push_back(vocab.encode(gen.generate(), kMaxLen));
+    }
+
+    const int epochs = h.budget().fast ? 20 : 40;
+    auto train = [&](bool use_gru, const char* label) {
+        chehab::Rng rng(77);
+        Autoencoder model(use_gru, vocab.size(), rng);
+        chehab::nn::AdamConfig adam_config;
+        adam_config.learning_rate = 3e-3f;
+        chehab::nn::Adam adam(model.params(), adam_config);
+        std::fprintf(stderr, "[bench] training %s autoencoder...\n", label);
+        for (int epoch = 0; epoch < epochs; ++epoch) {
+            for (const auto& ids : train_seqs) {
+                const Tensor embedding = model.encode(ids);
+                Tensor loss;
+                for (int pos = 0; pos < kMaxLen; ++pos) {
+                    const int target = ids[static_cast<std::size_t>(pos)];
+                    if (target == 0) break;
+                    const Tensor nll = chehab::nn::scale(
+                        chehab::nn::pick(
+                            chehab::nn::logSoftmaxRows(
+                                model.logits(embedding, pos)),
+                            0, target),
+                        -1.0f);
+                    loss = loss.defined() ? chehab::nn::add(loss, nll)
+                                          : nll;
+                }
+                loss.backward();
+                adam.step();
+            }
+        }
+        return model;
+    };
+
+    const Autoencoder transformer = train(false, "Transformer");
+    const Autoencoder gru = train(true, "GRU");
+
+    const EvalResult t_train = evaluate(transformer, train_seqs);
+    const EvalResult t_test = evaluate(transformer, test_seqs);
+    const EvalResult g_train = evaluate(gru, train_seqs);
+    const EvalResult g_test = evaluate(gru, test_seqs);
+
+    std::printf("\n=== Table 7 — autoencoder reconstruction accuracy ===\n");
+    std::printf("%-14s %10s %10s %10s %10s\n", "model", "tr-exact",
+                "tr-token", "te-exact", "te-token");
+    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", "Transformer",
+                t_train.exact, t_train.token, t_test.exact, t_test.token);
+    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", "GRU",
+                g_train.exact, g_train.token, g_test.exact, g_test.token);
+    std::printf("(paper: Transformer 100%% exact vs GRU 98.9%% with "
+                "ordering errors)\n");
+
+    std::filesystem::create_directories("results");
+    chehab::CsvWriter csv("results/fig11_autoencoder.csv",
+                          {"model", "train_exact", "train_token",
+                           "test_exact", "test_token"});
+    csv.writeRow("Transformer", t_train.exact, t_train.token, t_test.exact,
+                 t_test.token);
+    csv.writeRow("GRU", g_train.exact, g_train.token, g_test.exact,
+                 g_test.token);
+    std::printf("[bench] wrote results/fig11_autoencoder.csv\n");
+    return 0;
+}

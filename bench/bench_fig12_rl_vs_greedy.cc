@@ -1,0 +1,61 @@
+/// \file
+/// Figure 12: CHEHAB RL vs the original CHEHAB (greedy best-improvement
+/// TRS). The paper finds RL faster on most kernels, with occasional
+/// greedy wins (e.g. Gx 3x3) where the learned policy pays for a rotation
+/// that does not amortize.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+chehab::benchcommon::Harness&
+harness()
+{
+    static chehab::benchcommon::Harness instance;
+    return instance;
+}
+
+void
+BM_GreedyCompile(benchmark::State& state)
+{
+    auto& h = harness();
+    const chehab::benchsuite::Kernel kernel =
+        chehab::benchsuite::dotProduct(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.compileGreedy(kernel));
+    }
+}
+BENCHMARK(BM_GreedyCompile)->Arg(8)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using chehab::benchcommon::Harness;
+    using chehab::benchcommon::Row;
+    auto& h = harness();
+
+    const std::vector<Row> rl = h.suiteRows("CHEHAB RL");
+    const std::vector<Row> greedy = h.suiteRows("CHEHAB");
+    Harness::printComparison("Fig. 12 — CHEHAB (greedy) vs CHEHAB RL", rl,
+                             greedy);
+    std::vector<Row> all = rl;
+    all.insert(all.end(), greedy.begin(), greedy.end());
+    Harness::writeCsv("fig12_rl_vs_greedy.csv", all);
+
+    const double ratio = Harness::geomeanRatio(greedy, rl, &Row::exec_s);
+    std::printf("\nCHEHAB RL vs greedy CHEHAB execution-time geomean: "
+                "%.2fx\n", ratio);
+    int greedy_wins = 0;
+    for (std::size_t i = 0; i < rl.size(); ++i) {
+        if (greedy[i].exec_s < rl[i].exec_s) ++greedy_wins;
+    }
+    std::printf("greedy wins on %d/%zu kernels (paper: occasional, e.g. "
+                "Gx 3x3)\n", greedy_wins, rl.size());
+    return 0;
+}

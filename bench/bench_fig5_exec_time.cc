@@ -1,0 +1,62 @@
+/// \file
+/// Figure 5: execution time of the generated circuits, CHEHAB RL vs
+/// Coyote across the full benchmark suite. The paper reports a 5.3x
+/// geometric-mean speedup for CHEHAB RL; this harness regenerates the
+/// per-kernel series and the geomean on the SealLite backend.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "ir/parser.h"
+
+namespace {
+
+chehab::benchcommon::Harness&
+harness()
+{
+    static chehab::benchcommon::Harness instance;
+    return instance;
+}
+
+/// Micro-benchmark: executing one RL-compiled dot product circuit.
+void
+BM_ExecRlDotProduct(benchmark::State& state)
+{
+    auto& h = harness();
+    const chehab::benchsuite::Kernel kernel =
+        chehab::benchsuite::dotProduct(static_cast<int>(state.range(0)));
+    const chehab::compiler::Compiled compiled = h.compileRL(kernel);
+    chehab::compiler::FheRuntime runtime;
+    const chehab::ir::Env env =
+        chehab::benchcommon::randomEnv(kernel.program, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runtime.run(compiled.program, env));
+    }
+}
+BENCHMARK(BM_ExecRlDotProduct)->Arg(4)->Arg(8)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using chehab::benchcommon::Harness;
+    using chehab::benchcommon::Row;
+    auto& h = harness();
+
+    const std::vector<Row> rl = h.suiteRows("CHEHAB RL");
+    const std::vector<Row> coyote = h.suiteRows("Coyote");
+    Harness::printComparison("Fig. 5 — execution time (s)", rl, coyote);
+
+    std::vector<Row> all = rl;
+    all.insert(all.end(), coyote.begin(), coyote.end());
+    Harness::writeCsv("fig5_exec_time.csv", all);
+
+    // geomean over kernels of (Coyote time / CHEHAB RL time).
+    const double speedup = Harness::geomeanRatio(coyote, rl, &Row::exec_s);
+    std::printf("\nCHEHAB RL vs Coyote execution-time geomean speedup: "
+                "%.2fx (paper: 5.3x)\n", speedup);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/// \file
+/// Figure 7: consumed noise budget, CHEHAB RL vs Coyote, measured with
+/// SealLite's invariant-noise-budget accounting (App. H.1). The paper
+/// reports 2.54x less noise consumed by CHEHAB RL, with Coyote exhausting
+/// the whole budget on Sort 4 and two polynomial trees.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+chehab::benchcommon::Harness&
+harness()
+{
+    static chehab::benchcommon::Harness instance;
+    return instance;
+}
+
+void
+BM_NoiseMeasurement(benchmark::State& state)
+{
+    // Cost of one invariant-noise-budget measurement.
+    chehab::compiler::FheRuntime runtime;
+    auto& scheme = runtime.scheme();
+    const auto ct = scheme.encrypt(scheme.encode({1, 2, 3}));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheme.noiseBudgetBits(ct));
+    }
+}
+BENCHMARK(BM_NoiseMeasurement)->Iterations(3);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using chehab::benchcommon::Harness;
+    using chehab::benchcommon::Row;
+    auto& h = harness();
+
+    const std::vector<Row> rl = h.suiteRows("CHEHAB RL");
+    const std::vector<Row> coyote = h.suiteRows("Coyote");
+    Harness::printComparison("Fig. 7 — consumed noise budget (bits)", rl,
+                             coyote);
+
+    std::vector<Row> all = rl;
+    all.insert(all.end(), coyote.begin(), coyote.end());
+    Harness::writeCsv("fig7_noise.csv", all);
+
+    auto noise = [](const std::vector<Row>& rows) {
+        std::vector<Row> measured;
+        for (const Row& row : rows) {
+            if (!row.exec_estimated && row.consumed_noise > 0) {
+                measured.push_back(row);
+            }
+        }
+        return measured;
+    };
+    const std::vector<Row> rl_measured = noise(rl);
+    const std::vector<Row> coyote_measured = noise(coyote);
+
+    double log_sum = 0.0;
+    int count = 0;
+    for (const Row& c : coyote_measured) {
+        for (const Row& r : rl_measured) {
+            if (r.kernel == c.kernel) {
+                log_sum += std::log(static_cast<double>(c.consumed_noise) /
+                                    r.consumed_noise);
+                ++count;
+            }
+        }
+    }
+    const double ratio = count ? std::exp(log_sum / count) : 0.0;
+    std::printf("\nCHEHAB RL consumes %.2fx less noise budget than Coyote "
+                "(geomean; paper: 2.54x)\n", ratio);
+
+    int exhausted_coyote = 0;
+    int exhausted_rl = 0;
+    for (const Row& row : coyote) exhausted_coyote += row.budget_exhausted;
+    for (const Row& row : rl) exhausted_rl += row.budget_exhausted;
+    std::printf("kernels exhausting the budget: Coyote %d, CHEHAB RL %d\n",
+                exhausted_coyote, exhausted_rl);
+    return 0;
+}

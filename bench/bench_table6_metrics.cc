@@ -1,0 +1,83 @@
+/// \file
+/// Table 6: per-kernel circuit statistics — circuit depth (∪),
+/// multiplicative depth (∪⊗), ct-ct multiplications (⊗), rotations (⟳),
+/// ct-pt multiplications (⊙), ciphertext additions (⊕), compile time (CT)
+/// and consumed noise (CN) — for the Initial (naive) implementation,
+/// CHEHAB RL, and Coyote.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+chehab::benchcommon::Harness&
+harness()
+{
+    static chehab::benchcommon::Harness instance;
+    return instance;
+}
+
+void
+BM_ScheduleKernel(benchmark::State& state)
+{
+    // Cost of scheduling (CSE + lowering) the largest matmul kernel.
+    const chehab::benchsuite::Kernel kernel = chehab::benchsuite::matMul(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            chehab::compiler::schedule(kernel.program));
+    }
+}
+BENCHMARK(BM_ScheduleKernel)->Iterations(3);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using chehab::benchcommon::Harness;
+    using chehab::benchcommon::Row;
+    auto& h = harness();
+
+    const std::vector<Row> initial = h.suiteRows("Initial");
+    const std::vector<Row> rl = h.suiteRows("CHEHAB RL");
+    const std::vector<Row> coyote = h.suiteRows("Coyote");
+
+    std::printf("\n=== Table 6 — circuit statistics ===\n");
+    std::printf("%-20s | %-8s | %3s %3s %5s %5s %5s %5s %9s %6s\n",
+                "kernel", "compiler", "D", "Dx", "ctct", "rot", "ctpt",
+                "add", "CT(s)", "CN");
+    auto print_row = [](const Row& row) {
+        std::printf("%-20s | %-8s | %3d %3d %5d %5d %5d %5d %9.4f %6d%s\n",
+                    row.kernel.c_str(), row.compiler.c_str(), row.depth,
+                    row.mult_depth, row.ct_ct_mul, row.rotations,
+                    row.ct_pt_mul, row.ct_add, row.compile_s,
+                    row.consumed_noise,
+                    row.budget_exhausted ? " (EXHAUSTED)" : "");
+    };
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+        print_row(initial[i]);
+        print_row(rl[i]);
+        print_row(coyote[i]);
+    }
+
+    std::vector<Row> all = initial;
+    all.insert(all.end(), rl.begin(), rl.end());
+    all.insert(all.end(), coyote.begin(), coyote.end());
+    Harness::writeCsv("table6_metrics.csv", all);
+
+    // Shape assertions from the paper, reported (not enforced):
+    // CHEHAB RL should lower multiplicative depth and rotations relative
+    // to Coyote on most kernels.
+    int rl_fewer_rot = 0;
+    int comparable = 0;
+    for (std::size_t i = 0; i < rl.size(); ++i) {
+        ++comparable;
+        if (rl[i].rotations <= coyote[i].rotations) ++rl_fewer_rot;
+    }
+    std::printf("\nCHEHAB RL uses <= rotations than Coyote on %d/%d "
+                "kernels\n", rl_fewer_rot, comparable);
+    return 0;
+}

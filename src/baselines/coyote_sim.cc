@@ -1,0 +1,403 @@
+#include "baselines/coyote_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "compiler/passes.h"
+#include "ir/analysis.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace chehab::baselines {
+
+using ir::ExprPtr;
+using ir::Op;
+
+namespace {
+
+/// One scalar compute node extracted from the DAG.
+struct DagNode
+{
+    ExprPtr expr;
+    Op op = Op::Add;
+    int level = 0;
+    /// Operand references: either another compute node (id >= 0) or a
+    /// leaf/plain expression (id < 0, expr in `leaf`).
+    struct Operand
+    {
+        int node_id = -1;
+        ExprPtr leaf;
+    };
+    std::vector<Operand> operands;
+    int pack = -1;
+    int lane = -1;
+};
+
+/// Collects unique non-plain compute nodes bottom-up.
+class DagBuilder
+{
+  public:
+    /// Returns the node id for expr, or -1 if it is a leaf/plain value.
+    int
+    visit(const ExprPtr& e)
+    {
+        if (e->isPlain() || e->op() == Op::Var) return -1;
+        auto& bucket = memo_[e->hash()];
+        for (const auto& [expr, id] : bucket) {
+            if (ir::equal(expr, e)) return id;
+        }
+        CHEHAB_ASSERT(ir::isScalarOp(e->op()),
+                      "CoyoteSim expects scalar input circuits");
+        DagNode node;
+        node.expr = e;
+        node.op = e->op();
+        int level = 0;
+        for (const auto& child : e->children()) {
+            DagNode::Operand operand;
+            operand.node_id = visit(child);
+            if (operand.node_id < 0) {
+                operand.leaf = child;
+            } else {
+                level = std::max(level,
+                                 nodes[static_cast<std::size_t>(
+                                           operand.node_id)].level + 1);
+            }
+            node.operands.push_back(std::move(operand));
+        }
+        node.level = level;
+        const int id = static_cast<int>(nodes.size());
+        nodes.push_back(std::move(node));
+        bucket.emplace_back(e, id);
+        return id;
+    }
+
+    std::vector<DagNode> nodes;
+
+  private:
+    std::unordered_map<std::size_t, std::vector<std::pair<ExprPtr, int>>>
+        memo_;
+};
+
+/// Build a width-w 0/1 mask vector with ones at the given lanes.
+ExprPtr
+makeMask(const std::vector<int>& lanes, int width)
+{
+    std::vector<ExprPtr> slots(static_cast<std::size_t>(width),
+                               ir::constant(0));
+    for (int lane : lanes) {
+        slots[static_cast<std::size_t>(lane)] = ir::constant(1);
+    }
+    return ir::vec(std::move(slots));
+}
+
+Op
+vectorOpFor(Op scalar)
+{
+    switch (scalar) {
+      case Op::Add: return Op::VecAdd;
+      case Op::Sub: return Op::VecSub;
+      case Op::Mul: return Op::VecMul;
+      default: return Op::VecNeg;
+    }
+}
+
+} // namespace
+
+CoyoteResult
+coyoteCompile(const ExprPtr& source, const CoyoteConfig& config)
+{
+    Stopwatch watch;
+    CoyoteResult result;
+
+    const ExprPtr canonical = compiler::canonicalize(source);
+
+    // Root slots: the scalar outputs of the program.
+    std::vector<ExprPtr> outputs;
+    if (canonical->op() == Op::Vec) {
+        outputs = canonical->children();
+    } else {
+        outputs.push_back(canonical);
+    }
+
+    DagBuilder dag;
+    std::vector<int> output_ids;
+    for (const auto& out : outputs) output_ids.push_back(dag.visit(out));
+
+    // Degenerate case: no ciphertext compute at all.
+    if (dag.nodes.empty()) {
+        result.program = canonical;
+        result.compile_seconds = watch.elapsedSeconds();
+        return result;
+    }
+
+    // ------------------------------------------------------------------
+    // Packing: group nodes by (level, op), chunked at max_pack_width.
+    // ------------------------------------------------------------------
+    std::map<std::pair<int, int>, std::vector<int>> groups;
+    for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+        groups[{dag.nodes[i].level, static_cast<int>(dag.nodes[i].op)}]
+            .push_back(static_cast<int>(i));
+    }
+    std::vector<std::vector<int>> packs;
+    for (auto& [key, members] : groups) {
+        (void)key;
+        for (std::size_t begin = 0; begin < members.size();
+             begin += static_cast<std::size_t>(config.max_pack_width)) {
+            const std::size_t end =
+                std::min(begin + static_cast<std::size_t>(
+                                     config.max_pack_width),
+                         members.size());
+            packs.emplace_back(members.begin() +
+                                   static_cast<std::ptrdiff_t>(begin),
+                               members.begin() +
+                                   static_cast<std::ptrdiff_t>(end));
+        }
+    }
+    result.num_packs = static_cast<int>(packs.size());
+
+    // Common vector width: the next power of two covering the widest
+    // pack and the output row.
+    int width = 1;
+    for (const auto& pack : packs) {
+        while (width < static_cast<int>(pack.size())) width <<= 1;
+    }
+    while (width < static_cast<int>(outputs.size())) width <<= 1;
+
+    // ------------------------------------------------------------------
+    // Lane assignment "ILP": per pack, search lane permutations that
+    // minimize the number of distinct (source pack, shift) alignment
+    // classes. The candidate budget is spent across packs; this is the
+    // combinatorial phase whose cost grows with circuit size (Fig. 6).
+    // ------------------------------------------------------------------
+    Rng rng(config.seed);
+    auto assign = [&](const std::vector<int>& pack,
+                      const std::vector<int>& order) {
+        for (std::size_t lane = 0; lane < order.size(); ++lane) {
+            dag.nodes[static_cast<std::size_t>(pack[static_cast<std::size_t>(
+                          order[lane])])].lane = static_cast<int>(lane);
+        }
+    };
+    auto alignment_cost = [&](const std::vector<int>& pack) {
+        // Distinct (source pack, shift) classes over all operand slots.
+        std::map<std::pair<int, int>, int> classes;
+        for (int node_id : pack) {
+            const DagNode& node =
+                dag.nodes[static_cast<std::size_t>(node_id)];
+            for (const auto& operand : node.operands) {
+                if (operand.node_id < 0) continue;
+                const DagNode& src =
+                    dag.nodes[static_cast<std::size_t>(operand.node_id)];
+                if (src.lane < 0) continue; // Not yet assigned.
+                ++classes[{src.pack, src.lane - node.lane}];
+            }
+        }
+        int cost = 0;
+        for (const auto& [key, count] : classes) {
+            (void)count;
+            cost += key.second == 0 ? 1 : 3; // Shifts need rot + mask.
+        }
+        return cost;
+    };
+
+    long long budget = config.search_budget;
+    for (std::size_t p = 0; p < packs.size(); ++p) {
+        auto& pack = packs[p];
+        for (int node_id : pack) {
+            dag.nodes[static_cast<std::size_t>(node_id)].pack =
+                static_cast<int>(p);
+        }
+        const int lanes = static_cast<int>(pack.size());
+        std::vector<int> order(static_cast<std::size_t>(lanes));
+        std::iota(order.begin(), order.end(), 0);
+        std::vector<int> best_order = order;
+        assign(pack, order);
+        int best_cost = alignment_cost(pack);
+        // Exhaustive permutation search for small packs, randomized
+        // search otherwise — both metered against the global budget.
+        if (lanes <= 6) {
+            std::vector<int> perm = order;
+            while (std::next_permutation(perm.begin(), perm.end()) &&
+                   budget > 0) {
+                --budget;
+                ++result.candidates_explored;
+                assign(pack, perm);
+                const int cost = alignment_cost(pack);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_order = perm;
+                }
+            }
+        } else {
+            const long long tries =
+                std::min<long long>(budget, 64LL * lanes);
+            std::vector<int> perm = order;
+            for (long long trial = 0; trial < tries; ++trial) {
+                --budget;
+                ++result.candidates_explored;
+                for (std::size_t i = perm.size(); i > 1; --i) {
+                    std::swap(perm[i - 1], perm[rng.pickIndex(i)]);
+                }
+                assign(pack, perm);
+                const int cost = alignment_cost(pack);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_order = perm;
+                }
+            }
+        }
+        assign(pack, best_order);
+    }
+
+    // ------------------------------------------------------------------
+    // Joint refinement ("ILP"): re-search pack lane orders against the
+    // *global* alignment cost until the candidate budget is exhausted.
+    // The budget grows quadratically with circuit size (branch-and-bound
+    // behaviour), which is what makes Coyote compile times climb steeply
+    // on larger kernels (Fig. 6) while staying fast on tiny ones.
+    // ------------------------------------------------------------------
+    auto global_cost = [&]() {
+        int cost = 0;
+        for (const auto& pack : packs) cost += alignment_cost(pack);
+        return cost;
+    };
+    const long long refinement_budget = std::min<long long>(
+        config.search_budget,
+        static_cast<long long>(config.refinement_factor) *
+            static_cast<long long>(dag.nodes.size()));
+    long long refined = 0;
+    int best_global = global_cost();
+    while (refined < refinement_budget) {
+        const std::size_t p = rng.pickIndex(packs.size());
+        auto& pack = packs[p];
+        if (pack.size() < 2) {
+            ++refined;
+            continue;
+        }
+        // Save current lanes, try a random transposition, keep if the
+        // global cost does not regress.
+        const std::size_t i = rng.pickIndex(pack.size());
+        const std::size_t j = rng.pickIndex(pack.size());
+        DagNode& a = dag.nodes[static_cast<std::size_t>(pack[i])];
+        DagNode& b = dag.nodes[static_cast<std::size_t>(pack[j])];
+        std::swap(a.lane, b.lane);
+        const int cost = global_cost();
+        ++result.candidates_explored;
+        ++refined;
+        if (cost <= best_global) {
+            best_global = cost;
+        } else {
+            std::swap(a.lane, b.lane); // Revert.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emission: one vector op per pack; operand vectors are assembled
+    // from leaf packs plus rotate+mask contributions from earlier packs.
+    // ------------------------------------------------------------------
+    std::vector<ExprPtr> pack_exprs(packs.size());
+    auto operand_vector = [&](const std::vector<int>& pack,
+                              std::size_t operand_index) {
+        // Leaf slots (identity padding elsewhere so Mul packs stay sane).
+        std::vector<ExprPtr> leaf_slots(static_cast<std::size_t>(width),
+                                        ir::constant(0));
+        bool has_leaves = false;
+        std::map<std::pair<int, int>, std::vector<int>> contributions;
+        for (int node_id : pack) {
+            const DagNode& node =
+                dag.nodes[static_cast<std::size_t>(node_id)];
+            if (operand_index >= node.operands.size()) continue;
+            const auto& operand = node.operands[operand_index];
+            if (operand.node_id < 0) {
+                leaf_slots[static_cast<std::size_t>(node.lane)] =
+                    operand.leaf;
+                has_leaves = true;
+            } else {
+                const DagNode& src =
+                    dag.nodes[static_cast<std::size_t>(operand.node_id)];
+                contributions[{src.pack, src.lane - node.lane}].push_back(
+                    node.lane);
+            }
+        }
+
+        ExprPtr acc;
+        if (has_leaves) acc = ir::vec(leaf_slots);
+        for (const auto& [key, lanes] : contributions) {
+            const auto& [src_pack, shift] = key;
+            ExprPtr value = pack_exprs[static_cast<std::size_t>(src_pack)];
+            if (shift != 0) {
+                value = ir::rotate(std::move(value), shift);
+            }
+            // Mask unless this contribution is the sole source of every
+            // lane (the perfectly aligned case).
+            const bool sole =
+                !has_leaves && contributions.size() == 1 &&
+                static_cast<int>(lanes.size()) ==
+                    static_cast<int>(pack.size());
+            if (!sole) {
+                value = ir::vecMul(std::move(value),
+                                   makeMask(lanes, width));
+            }
+            acc = acc ? ir::vecAdd(std::move(acc), std::move(value))
+                      : std::move(value);
+        }
+        CHEHAB_ASSERT(acc != nullptr, "empty operand vector");
+        return acc;
+    };
+
+    for (std::size_t p = 0; p < packs.size(); ++p) {
+        const DagNode& first =
+            dag.nodes[static_cast<std::size_t>(packs[p][0])];
+        if (first.op == Op::Neg) {
+            pack_exprs[p] = ir::vecNeg(operand_vector(packs[p], 0));
+        } else {
+            pack_exprs[p] = ir::makeNode(vectorOpFor(first.op),
+                                         {operand_vector(packs[p], 0),
+                                          operand_vector(packs[p], 1)},
+                                         {}, 0, 0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Output assembly: move each output's (pack, lane) value to its slot.
+    // ------------------------------------------------------------------
+    std::vector<ExprPtr> out_leaf_slots(static_cast<std::size_t>(width),
+                                        ir::constant(0));
+    bool out_has_leaves = false;
+    std::map<std::pair<int, int>, std::vector<int>> out_contribs;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const int id = output_ids[i];
+        if (id < 0) {
+            out_leaf_slots[i] = outputs[i];
+            out_has_leaves = true;
+        } else {
+            const DagNode& node = dag.nodes[static_cast<std::size_t>(id)];
+            out_contribs[{node.pack, node.lane - static_cast<int>(i)}]
+                .push_back(static_cast<int>(i));
+        }
+    }
+    ExprPtr final_expr;
+    if (out_has_leaves) final_expr = ir::vec(out_leaf_slots);
+    for (const auto& [key, lanes] : out_contribs) {
+        const auto& [src_pack, shift] = key;
+        ExprPtr value = pack_exprs[static_cast<std::size_t>(src_pack)];
+        if (shift != 0) value = ir::rotate(std::move(value), shift);
+        const bool sole = !out_has_leaves && out_contribs.size() == 1;
+        if (!sole) {
+            value = ir::vecMul(std::move(value), makeMask(lanes, width));
+        }
+        final_expr = final_expr
+                         ? ir::vecAdd(std::move(final_expr),
+                                      std::move(value))
+                         : std::move(value);
+    }
+    CHEHAB_ASSERT(final_expr != nullptr, "no output produced");
+
+    result.program = std::move(final_expr);
+    result.compile_seconds = watch.elapsedSeconds();
+    return result;
+}
+
+} // namespace chehab::baselines

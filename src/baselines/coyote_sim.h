@@ -1,0 +1,55 @@
+/// \file
+/// CoyoteSim: a reimplementation of the Coyote vectorizing compiler
+/// (Malik et al., ASPLOS 2023) on the CHEHAB IR, used as the comparison
+/// baseline throughout the evaluation (Figs. 5-7, Table 6).
+///
+/// Coyote frames vectorization as combinatorial search: it levelizes the
+/// scalar circuit, packs isomorphic operations at each level into wide
+/// lanes, and solves a lane-assignment problem (ILP in the original) to
+/// minimize the rotations and masks needed to align operands. CoyoteSim
+/// reproduces that architecture: per-pack lane-permutation search under a
+/// global candidate budget (the "ILP"), then rotation + 0/1-mask
+/// materialization for every (source pack, lane shift) class. Its output
+/// is ordinary CHEHAB IR, so it flows through the same scheduler,
+/// runtime, and metrics as CHEHAB RL — and exhibits Coyote's signature
+/// behaviours: correct circuits with many rotations and ct-pt (mask)
+/// multiplications, and compile times that grow steeply with circuit
+/// size.
+#pragma once
+
+#include "ir/cost_model.h"
+#include "ir/expr.h"
+
+namespace chehab::baselines {
+
+/// Search configuration.
+struct CoyoteConfig
+{
+    /// Hard cap on lane-assignment candidates the "ILP" may evaluate.
+    long long search_budget = 5000000;
+    /// The solver evaluates refinement_factor * nodes joint candidates,
+    /// each scored with a global O(nodes) alignment cost — so total
+    /// search work grows quadratically with circuit size, the
+    /// branch-and-bound behaviour Fig. 6 measures. Capped by
+    /// search_budget.
+    int refinement_factor = 1000;
+    /// Maximum lanes per pack (wider groups are chunked).
+    int max_pack_width = 32;
+    std::uint64_t seed = 20230213;
+};
+
+/// Compilation outcome.
+struct CoyoteResult
+{
+    ir::ExprPtr program;      ///< Vectorized IR.
+    double compile_seconds = 0.0;
+    long long candidates_explored = 0;
+    int num_packs = 0;
+};
+
+/// Vectorize \p source (a scalar program, optionally a Vec of scalar
+/// outputs) Coyote-style.
+CoyoteResult coyoteCompile(const ir::ExprPtr& source,
+                           const CoyoteConfig& config = {});
+
+} // namespace chehab::baselines

@@ -1,0 +1,381 @@
+#include "benchsuite/kernels.h"
+
+#include "compiler/dsl.h"
+#include "support/rng.h"
+
+namespace chehab::benchsuite {
+
+using compiler::Ciphertext;
+using compiler::DslProgram;
+using compiler::Plaintext;
+using ir::ExprPtr;
+
+namespace {
+
+std::string
+sized(const char* base, int n)
+{
+    return std::string(base) + " " + std::to_string(n);
+}
+
+/// XOR over bit inputs: a + b - 2ab.
+Ciphertext
+xorBit(const Ciphertext& a, const Ciphertext& b)
+{
+    return a + b - Plaintext(2) * (a * b);
+}
+
+/// OR over bit inputs: a + b - ab (doubles as max for bits).
+Ciphertext
+orBit(const Ciphertext& a, const Ciphertext& b)
+{
+    return a + b - a * b;
+}
+
+/// AND over bit inputs (doubles as min for bits).
+Ciphertext
+andBit(const Ciphertext& a, const Ciphertext& b)
+{
+    return a * b;
+}
+
+} // namespace
+
+Kernel
+dotProduct(int n)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", n);
+    const Ciphertext b = Ciphertext::inputVector("b", n);
+    reduce_add(a * b).set_output();
+    return {sized("Dot Product", n), program.build()};
+}
+
+Kernel
+hammingDistance(int n)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", n);
+    const Ciphertext b = Ciphertext::inputVector("b", n);
+    std::vector<Ciphertext> bits;
+    bits.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) bits.push_back(xorBit(a[i], b[i]));
+    add_many(bits).set_output();
+    return {sized("Hamm. Dist.", n), program.build()};
+}
+
+Kernel
+l2Distance(int n)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", n);
+    const Ciphertext b = Ciphertext::inputVector("b", n);
+    reduce_add(square(a - b)).set_output();
+    return {sized("L2 Distance", n), program.build()};
+}
+
+Kernel
+linearReg(int n)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::inputVector("x", n);
+    const Ciphertext a = Ciphertext::input("a");
+    const Ciphertext b = Ciphertext::input("b");
+    (a * x + b).set_output();
+    return {sized("Linear Reg.", n), program.build()};
+}
+
+Kernel
+polyReg(int n)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::inputVector("x", n);
+    const Ciphertext w = Ciphertext::input("w");
+    const Ciphertext v = Ciphertext::input("v");
+    const Ciphertext u = Ciphertext::input("u");
+    ((w * x + v) * x + u).set_output();
+    return {sized("Poly. Reg.", n), program.build()};
+}
+
+Kernel
+boxBlur(int image)
+{
+    // `image`x`image` input, 3x3 window, valid region output.
+    DslProgram program;
+    std::vector<std::vector<Ciphertext>> pixels(
+        static_cast<std::size_t>(image));
+    for (int i = 0; i < image; ++i) {
+        for (int j = 0; j < image; ++j) {
+            pixels[static_cast<std::size_t>(i)].push_back(
+                Ciphertext::input("p_" + std::to_string(i) + "_" +
+                                  std::to_string(j)));
+        }
+    }
+    const int out = image - 2 > 0 ? image - 2 : 1;
+    for (int i = 0; i < out; ++i) {
+        for (int j = 0; j < out; ++j) {
+            std::vector<Ciphertext> window;
+            for (int di = 0; di < 3; ++di) {
+                for (int dj = 0; dj < 3; ++dj) {
+                    const int r = (i + di) % image;
+                    const int c = (j + dj) % image;
+                    window.push_back(
+                        pixels[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(c)]);
+                }
+            }
+            add_many(window).set_output();
+        }
+    }
+    return {"Box Blur " + std::to_string(image) + "x" +
+                std::to_string(image),
+            program.build()};
+}
+
+namespace {
+
+Kernel
+sobel(const char* name, int w, const int taps[3][3])
+{
+    DslProgram program;
+    const int image = w + 2;
+    std::vector<std::vector<Ciphertext>> pixels(
+        static_cast<std::size_t>(image));
+    for (int i = 0; i < image; ++i) {
+        for (int j = 0; j < image; ++j) {
+            pixels[static_cast<std::size_t>(i)].push_back(
+                Ciphertext::input("p_" + std::to_string(i) + "_" +
+                                  std::to_string(j)));
+        }
+    }
+    for (int i = 0; i < w; ++i) {
+        for (int j = 0; j < w; ++j) {
+            std::vector<Ciphertext> terms;
+            for (int di = 0; di < 3; ++di) {
+                for (int dj = 0; dj < 3; ++dj) {
+                    const int tap = taps[di][dj];
+                    if (tap == 0) continue;
+                    const Ciphertext& p =
+                        pixels[static_cast<std::size_t>(i + di)]
+                              [static_cast<std::size_t>(j + dj)];
+                    terms.push_back(tap == 1 ? p : Plaintext(tap) * p);
+                }
+            }
+            add_many(terms).set_output();
+        }
+    }
+    return {std::string(name) + " " + std::to_string(w) + "x" +
+                std::to_string(w),
+            program.build()};
+}
+
+} // namespace
+
+Kernel
+gradientX(int w)
+{
+    static const int taps[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+    return sobel("Gx", w, taps);
+}
+
+Kernel
+gradientY(int w)
+{
+    static const int taps[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+    return sobel("Gy", w, taps);
+}
+
+Kernel
+robertsCross(int w)
+{
+    DslProgram program;
+    const int image = w + 1;
+    std::vector<std::vector<Ciphertext>> pixels(
+        static_cast<std::size_t>(image));
+    for (int i = 0; i < image; ++i) {
+        for (int j = 0; j < image; ++j) {
+            pixels[static_cast<std::size_t>(i)].push_back(
+                Ciphertext::input("p_" + std::to_string(i) + "_" +
+                                  std::to_string(j)));
+        }
+    }
+    for (int i = 0; i < w; ++i) {
+        for (int j = 0; j < w; ++j) {
+            const Ciphertext d1 =
+                pixels[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] -
+                pixels[static_cast<std::size_t>(i + 1)]
+                      [static_cast<std::size_t>(j + 1)];
+            const Ciphertext d2 =
+                pixels[static_cast<std::size_t>(i + 1)]
+                      [static_cast<std::size_t>(j)] -
+                pixels[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(j + 1)];
+            (square(d1) + square(d2)).set_output();
+        }
+    }
+    return {"Rob. Cross " + std::to_string(w) + "x" + std::to_string(w),
+            program.build()};
+}
+
+Kernel
+matMul(int k)
+{
+    DslProgram program;
+    auto name = [](const char* m, int i, int j) {
+        return std::string(m) + "_" + std::to_string(i) + "_" +
+               std::to_string(j);
+    };
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+            std::vector<Ciphertext> terms;
+            for (int x = 0; x < k; ++x) {
+                terms.push_back(Ciphertext::input(name("a", i, x)) *
+                                Ciphertext::input(name("b", x, j)));
+            }
+            add_many(terms).set_output();
+        }
+    }
+    return {"Mat. Mul. " + std::to_string(k) + "x" + std::to_string(k),
+            program.build()};
+}
+
+Kernel
+maxKernel(int k)
+{
+    // Balanced OR tree over bit inputs (exact max for bits).
+    DslProgram program;
+    std::vector<Ciphertext> values;
+    for (int i = 0; i < k; ++i) {
+        values.push_back(Ciphertext::input("a_" + std::to_string(i)));
+    }
+    while (values.size() > 1) {
+        std::vector<Ciphertext> next;
+        for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+            next.push_back(orBit(values[i], values[i + 1]));
+        }
+        if (values.size() % 2) next.push_back(values.back());
+        values = std::move(next);
+    }
+    values[0].set_output();
+    return {sized("Max", k), program.build()};
+}
+
+Kernel
+sortKernel(int k)
+{
+    // Bubble sorting network over bit inputs; comparator =
+    // (min, max) = (AND, OR), exact for bits (§7.2: tree-structured
+    // unstructured code).
+    DslProgram program;
+    std::vector<Ciphertext> values;
+    for (int i = 0; i < k; ++i) {
+        values.push_back(Ciphertext::input("a_" + std::to_string(i)));
+    }
+    for (int pass = 0; pass < k - 1; ++pass) {
+        for (int i = 0; i + 1 < k - pass; ++i) {
+            const Ciphertext lo = andBit(values[static_cast<std::size_t>(i)],
+                                         values[static_cast<std::size_t>(i + 1)]);
+            const Ciphertext hi = orBit(values[static_cast<std::size_t>(i)],
+                                        values[static_cast<std::size_t>(i + 1)]);
+            values[static_cast<std::size_t>(i)] = lo;
+            values[static_cast<std::size_t>(i + 1)] = hi;
+        }
+    }
+    for (auto& v : values) v.set_output();
+    return {sized("Sort", k), program.build()};
+}
+
+namespace {
+
+ExprPtr
+randomTree(int density, int homogeneity, int depth, Rng& rng, int& leaf_id)
+{
+    if (depth == 0) {
+        return ir::var("t" + std::to_string(leaf_id++));
+    }
+    // Density: chance that a child is a full subtree rather than a leaf.
+    auto child = [&](bool force_full) -> ExprPtr {
+        if (force_full || rng.chance(density / 100.0)) {
+            return randomTree(density, homogeneity, depth - 1, rng, leaf_id);
+        }
+        return ir::var("t" + std::to_string(leaf_id++));
+    };
+    // Homogeneity: chance the op is a multiply (100 = all-mul trees).
+    const ExprPtr lhs = child(/*force_full=*/true);
+    const ExprPtr rhs = child(/*force_full=*/false);
+    if (rng.chance(homogeneity / 100.0)) return ir::mul(lhs, rhs);
+    return ir::add(lhs, rhs);
+}
+
+} // namespace
+
+Kernel
+polynomialTree(int density, int homogeneity, int depth, std::uint64_t seed)
+{
+    Rng rng(seed + static_cast<std::uint64_t>(density * 1000 +
+                                              homogeneity * 10 + depth));
+    int leaf_id = 0;
+    ExprPtr tree = randomTree(density, homogeneity, depth, rng, leaf_id);
+    return {"Tree " + std::to_string(density) + "-" +
+                std::to_string(homogeneity) + "-" + std::to_string(depth),
+            std::move(tree)};
+}
+
+std::vector<Kernel>
+porcupineSuite(int max_n)
+{
+    std::vector<Kernel> kernels;
+    for (int n = 4; n <= max_n; n *= 2) {
+        kernels.push_back(dotProduct(n));
+        kernels.push_back(hammingDistance(n));
+        kernels.push_back(l2Distance(n));
+        kernels.push_back(linearReg(n));
+        kernels.push_back(polyReg(n));
+    }
+    kernels.push_back(boxBlur(3));
+    kernels.push_back(boxBlur(4));
+    kernels.push_back(boxBlur(5));
+    for (int w = 3; w <= 5; ++w) {
+        kernels.push_back(gradientX(w));
+        kernels.push_back(gradientY(w));
+        kernels.push_back(robertsCross(w));
+    }
+    return kernels;
+}
+
+std::vector<Kernel>
+coyoteSuite()
+{
+    std::vector<Kernel> kernels;
+    for (int k = 3; k <= 5; ++k) kernels.push_back(matMul(k));
+    for (int k = 3; k <= 5; ++k) kernels.push_back(maxKernel(k));
+    kernels.push_back(sortKernel(3));
+    kernels.push_back(sortKernel(4));
+    return kernels;
+}
+
+std::vector<Kernel>
+treeSuite(int max_depth)
+{
+    std::vector<Kernel> kernels;
+    const int depths[2] = {5, max_depth};
+    for (int depth : depths) {
+        kernels.push_back(polynomialTree(50, 50, depth));
+        kernels.push_back(polynomialTree(100, 50, depth));
+        kernels.push_back(polynomialTree(100, 100, depth));
+    }
+    return kernels;
+}
+
+std::vector<Kernel>
+fullSuite(int max_n, int max_tree_depth)
+{
+    std::vector<Kernel> kernels = porcupineSuite(max_n);
+    for (Kernel& kernel : coyoteSuite()) kernels.push_back(std::move(kernel));
+    for (Kernel& kernel : treeSuite(max_tree_depth)) {
+        kernels.push_back(std::move(kernel));
+    }
+    return kernels;
+}
+
+} // namespace chehab::benchsuite

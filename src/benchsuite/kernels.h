@@ -1,0 +1,53 @@
+/// \file
+/// The evaluation benchmark suites (§7.2): the Porcupine kernels (image
+/// filters and ML building blocks), the Coyote kernels (matrix multiply,
+/// tree-structured max and sort over bit inputs), and the randomly
+/// generated irregular polynomial trees (App. H.3). Each kernel is a
+/// fully unrolled scalar IR program, exactly what the compilers under
+/// comparison consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::benchsuite {
+
+/// One benchmark instance.
+struct Kernel
+{
+    std::string name;
+    ir::ExprPtr program;
+};
+
+/// \name Individual kernel builders
+/// @{
+Kernel dotProduct(int n);       ///< Σ aᵢ·bᵢ.
+Kernel hammingDistance(int n);  ///< Σ XOR(aᵢ,bᵢ) over bit inputs.
+Kernel l2Distance(int n);       ///< Σ (aᵢ-bᵢ)².
+Kernel linearReg(int n);        ///< Vec of a·xᵢ + b (encrypted a, b).
+Kernel polyReg(int n);          ///< Vec of (w·xᵢ + v)·xᵢ + u (Horner).
+Kernel boxBlur(int image);      ///< 3x3 box filter, valid region.
+Kernel gradientX(int w);        ///< Sobel Gx over a (w+2)² image.
+Kernel gradientY(int w);        ///< Sobel Gy over a (w+2)² image.
+Kernel robertsCross(int w);     ///< Roberts cross edge filter.
+Kernel matMul(int k);           ///< k×k · k×k matrix product.
+Kernel maxKernel(int k);        ///< Tree max over k bit inputs (OR tree).
+Kernel sortKernel(int k);       ///< Sorting network over k bit inputs.
+/// Random polynomial tree: density/homogeneity regimes of App. H.3
+/// (tree-100-100 = full+homogeneous, tree-100-50 = full+mixed ops,
+/// tree-50-50 = sparse+mixed), at the given depth.
+Kernel polynomialTree(int density, int homogeneity, int depth,
+                      std::uint64_t seed = 7);
+/// @}
+
+/// \name Suites
+/// @{
+std::vector<Kernel> porcupineSuite(int max_n = 16);
+std::vector<Kernel> coyoteSuite();
+std::vector<Kernel> treeSuite(int max_depth = 8);
+std::vector<Kernel> fullSuite(int max_n = 16, int max_tree_depth = 8);
+/// @}
+
+} // namespace chehab::benchsuite

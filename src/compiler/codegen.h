@@ -1,0 +1,20 @@
+/// \file
+/// C++ code generation (§4.4): renders a scheduled FheProgram as a
+/// self-contained C++ translation unit targeting the Microsoft SEAL BFV
+/// API (Evaluator::add / multiply / rotate_rows / ...), mirroring what the
+/// CHEHAB artifact emits. The string is a deliverable, not something this
+/// repo compiles (SEAL is the substituted dependency).
+#pragma once
+
+#include <string>
+
+#include "compiler/schedule.h"
+
+namespace chehab::compiler {
+
+/// Generate SEAL-style C++ for \p program; \p kernel_name becomes the
+/// emitted function name.
+std::string generateSealCpp(const FheProgram& program,
+                            const std::string& kernel_name);
+
+} // namespace chehab::compiler

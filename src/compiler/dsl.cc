@@ -1,0 +1,318 @@
+#include "compiler/dsl.h"
+
+#include "support/error.h"
+
+namespace chehab::compiler {
+
+using ir::ExprPtr;
+
+namespace {
+
+DslProgram* g_current_program = nullptr;
+
+/// Elementwise zip of two staged values of matching shapes; scalars
+/// broadcast over vectors.
+std::vector<ExprPtr>
+zip(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b,
+    ExprPtr (*combine)(ExprPtr, ExprPtr))
+{
+    if (a.size() == b.size()) {
+        std::vector<ExprPtr> out;
+        out.reserve(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            out.push_back(combine(a[i], b[i]));
+        }
+        return out;
+    }
+    if (a.size() == 1) {
+        std::vector<ExprPtr> out;
+        out.reserve(b.size());
+        for (const auto& e : b) out.push_back(combine(a[0], e));
+        return out;
+    }
+    if (b.size() == 1) {
+        std::vector<ExprPtr> out;
+        out.reserve(a.size());
+        for (const auto& e : a) out.push_back(combine(e, b[0]));
+        return out;
+    }
+    throw CompileError("DSL shape mismatch in elementwise operation");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Ciphertext.
+// ---------------------------------------------------------------------
+
+Ciphertext
+Ciphertext::input(const std::string& name)
+{
+    Ciphertext ct;
+    ct.elements_.push_back(ir::var(name));
+    return ct;
+}
+
+Ciphertext
+Ciphertext::inputVector(const std::string& name, int size)
+{
+    CHEHAB_ASSERT(size >= 1, "vector input needs size >= 1");
+    Ciphertext ct;
+    ct.elements_.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+        ct.elements_.push_back(ir::var(name + "_" + std::to_string(i)));
+    }
+    return ct;
+}
+
+Ciphertext
+Ciphertext::fromExpr(ir::ExprPtr expr)
+{
+    Ciphertext ct;
+    if (expr) ct.elements_.push_back(std::move(expr));
+    return ct;
+}
+
+Ciphertext
+Ciphertext::operator[](int i) const
+{
+    CHEHAB_ASSERT(i >= 0 && i < size(), "DSL element index range");
+    return fromExpr(elements_[static_cast<std::size_t>(i)]);
+}
+
+void
+Ciphertext::set_output(const std::string& name) const
+{
+    (void)name; // Output naming is cosmetic; slot order is the contract.
+    DslProgram* program = DslProgram::current();
+    CHEHAB_ASSERT(program != nullptr,
+                  "set_output() outside a DslProgram scope");
+    for (const auto& element : elements_) program->addOutput(element);
+}
+
+Ciphertext
+operator+(const Ciphertext& a, const Ciphertext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements_, b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::add(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator-(const Ciphertext& a, const Ciphertext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements_, b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::sub(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator*(const Ciphertext& a, const Ciphertext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements_, b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::mul(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator-(const Ciphertext& a)
+{
+    Ciphertext out;
+    out.elements_.reserve(a.elements_.size());
+    for (const auto& e : a.elements_) out.elements_.push_back(ir::neg(e));
+    return out;
+}
+
+Ciphertext
+operator<<(const Ciphertext& a, int step)
+{
+    // Compile-time re-indexing of the unrolled slots (§7.3: layout is
+    // transformed before encryption).
+    const int n = a.size();
+    const int s = ((step % n) + n) % n;
+    Ciphertext out;
+    out.elements_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        out.elements_.push_back(a.elements_[static_cast<std::size_t>((i + s) % n)]);
+    }
+    return out;
+}
+
+Ciphertext
+operator>>(const Ciphertext& a, int step)
+{
+    return a << -step;
+}
+
+// ---------------------------------------------------------------------
+// Plaintext.
+// ---------------------------------------------------------------------
+
+Plaintext
+Plaintext::input(const std::string& name)
+{
+    Plaintext pt;
+    pt.elements_.push_back(ir::plainVar(name));
+    return pt;
+}
+
+Plaintext
+Plaintext::inputVector(const std::string& name, int size)
+{
+    Plaintext pt;
+    pt.elements_.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+        pt.elements_.push_back(ir::plainVar(name + "_" + std::to_string(i)));
+    }
+    return pt;
+}
+
+Plaintext::Plaintext(std::int64_t value)
+{
+    elements_.push_back(ir::constant(value));
+}
+
+Ciphertext
+operator+(const Ciphertext& a, const Plaintext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements(), b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::add(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator+(const Plaintext& a, const Ciphertext& b)
+{
+    return b + a;
+}
+
+Ciphertext
+operator-(const Ciphertext& a, const Plaintext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements(), b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::sub(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator*(const Ciphertext& a, const Plaintext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements(), b.elements_,
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::mul(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+Ciphertext
+operator*(const Plaintext& a, const Ciphertext& b)
+{
+    Ciphertext out;
+    out.elements_ = zip(a.elements_, b.elements(),
+                        +[](ExprPtr x, ExprPtr y) {
+                            return ir::mul(std::move(x), std::move(y));
+                        });
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------
+
+Ciphertext
+square(const Ciphertext& a)
+{
+    return a * a;
+}
+
+Ciphertext
+reduce_add(const Ciphertext& a)
+{
+    ExprPtr acc = a.elements_[0];
+    for (std::size_t i = 1; i < a.elements_.size(); ++i) {
+        acc = ir::add(acc, a.elements_[i]);
+    }
+    return Ciphertext::fromExpr(std::move(acc));
+}
+
+Ciphertext
+reduce_mul(const Ciphertext& a)
+{
+    ExprPtr acc = a.elements_[0];
+    for (std::size_t i = 1; i < a.elements_.size(); ++i) {
+        acc = ir::mul(acc, a.elements_[i]);
+    }
+    return Ciphertext::fromExpr(std::move(acc));
+}
+
+Ciphertext
+add_many(const std::vector<Ciphertext>& values)
+{
+    CHEHAB_ASSERT(!values.empty(), "add_many needs operands");
+    Ciphertext acc = values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) acc = acc + values[i];
+    return acc;
+}
+
+Ciphertext
+mul_many(const std::vector<Ciphertext>& values)
+{
+    CHEHAB_ASSERT(!values.empty(), "mul_many needs operands");
+    Ciphertext acc = values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) acc = acc * values[i];
+    return acc;
+}
+
+// ---------------------------------------------------------------------
+// DslProgram.
+// ---------------------------------------------------------------------
+
+DslProgram::DslProgram()
+{
+    CHEHAB_ASSERT(g_current_program == nullptr,
+                  "nested DslProgram scopes are not supported");
+    g_current_program = this;
+}
+
+DslProgram::~DslProgram()
+{
+    g_current_program = nullptr;
+}
+
+DslProgram*
+DslProgram::current()
+{
+    return g_current_program;
+}
+
+void
+DslProgram::addOutput(const ir::ExprPtr& expr)
+{
+    outputs_.push_back(expr);
+}
+
+ir::ExprPtr
+DslProgram::build() const
+{
+    if (outputs_.empty()) throw CompileError("program declared no outputs");
+    if (outputs_.size() == 1) return outputs_[0];
+    return ir::vec(outputs_);
+}
+
+} // namespace chehab::compiler

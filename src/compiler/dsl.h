@@ -1,0 +1,140 @@
+/// \file
+/// The CHEHAB embedded DSL (§4.1, Appendix C): Ciphertext / Plaintext
+/// value types with overloaded C++ operators that stage an IR expression
+/// graph, plus the helper functions of Table 3 (square, reduce_add,
+/// add_many, ...). A DslProgram collects declared outputs; build()
+/// lowers everything to the compiler IR (fully unrolled, as FHE has no
+/// loops or branches).
+///
+/// Vector-typed inputs are unrolled into per-slot scalar variables at
+/// staging time; DSL-level rotations on them are therefore compile-time
+/// re-indexings, and runtime rotations are introduced only by the
+/// optimizer/scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::compiler {
+
+class DslProgram;
+class Plaintext;
+
+/// Staged ciphertext value: either one scalar expression or an unrolled
+/// vector of scalar expressions.
+class Ciphertext
+{
+  public:
+    Ciphertext() = default;
+
+    /// Declare a scalar ciphertext input named \p name.
+    static Ciphertext input(const std::string& name);
+    /// Declare a vector ciphertext input of \p size slots
+    /// (unrolled into name_0 ... name_{size-1}).
+    static Ciphertext inputVector(const std::string& name, int size);
+    /// Wrap an existing IR expression (scalar).
+    static Ciphertext fromExpr(ir::ExprPtr expr);
+
+    bool isVector() const { return elements_.size() != 1; }
+    int size() const { return static_cast<int>(elements_.size()); }
+    const std::vector<ir::ExprPtr>& elements() const { return elements_; }
+
+    /// Scalar element accessor.
+    Ciphertext operator[](int i) const;
+
+    /// Mark this value as a program output (registers with the current
+    /// DslProgram).
+    void set_output(const std::string& name = "out") const;
+
+  private:
+    friend class Plaintext;
+    friend Ciphertext operator+(const Ciphertext&, const Ciphertext&);
+    friend Ciphertext operator-(const Ciphertext&, const Ciphertext&);
+    friend Ciphertext operator*(const Ciphertext&, const Ciphertext&);
+    friend Ciphertext operator-(const Ciphertext&);
+    friend Ciphertext operator<<(const Ciphertext&, int);
+    friend Ciphertext operator>>(const Ciphertext&, int);
+    friend Ciphertext square(const Ciphertext&);
+    friend Ciphertext reduce_add(const Ciphertext&);
+    friend Ciphertext reduce_mul(const Ciphertext&);
+    friend Ciphertext operator+(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator-(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator*(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator*(const Plaintext&, const Ciphertext&);
+
+    std::vector<ir::ExprPtr> elements_;
+};
+
+/// Staged plaintext value (scalar or unrolled vector), mirroring
+/// Ciphertext.
+class Plaintext
+{
+  public:
+    Plaintext() = default;
+    /// Scalar plaintext input.
+    static Plaintext input(const std::string& name);
+    /// Vector plaintext input.
+    static Plaintext inputVector(const std::string& name, int size);
+    /// Literal constant.
+    Plaintext(std::int64_t value); // NOLINT: implicit by design (Table 3).
+
+    int size() const { return static_cast<int>(elements_.size()); }
+    const std::vector<ir::ExprPtr>& elements() const { return elements_; }
+
+  private:
+    friend Ciphertext operator+(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator+(const Plaintext&, const Ciphertext&);
+    friend Ciphertext operator-(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator*(const Ciphertext&, const Plaintext&);
+    friend Ciphertext operator*(const Plaintext&, const Ciphertext&);
+
+    std::vector<ir::ExprPtr> elements_;
+};
+
+/// \name Overloaded operators (Table 3)
+/// @{
+Ciphertext operator+(const Ciphertext& a, const Ciphertext& b);
+Ciphertext operator-(const Ciphertext& a, const Ciphertext& b);
+Ciphertext operator*(const Ciphertext& a, const Ciphertext& b);
+Ciphertext operator-(const Ciphertext& a);
+Ciphertext operator<<(const Ciphertext& a, int step); ///< Compile-time.
+Ciphertext operator>>(const Ciphertext& a, int step);
+Ciphertext operator+(const Ciphertext& a, const Plaintext& b);
+Ciphertext operator+(const Plaintext& a, const Ciphertext& b);
+Ciphertext operator-(const Ciphertext& a, const Plaintext& b);
+Ciphertext operator*(const Ciphertext& a, const Plaintext& b);
+Ciphertext operator*(const Plaintext& a, const Ciphertext& b);
+/// @}
+
+/// \name Helper functions (Appendix C)
+/// @{
+Ciphertext square(const Ciphertext& a);
+Ciphertext reduce_add(const Ciphertext& a); ///< Scalar sum of all slots.
+Ciphertext reduce_mul(const Ciphertext& a);
+Ciphertext add_many(const std::vector<Ciphertext>& values);
+Ciphertext mul_many(const std::vector<Ciphertext>& values);
+/// @}
+
+/// Collects outputs during staging; exactly one may be live at a time.
+class DslProgram
+{
+  public:
+    DslProgram();
+    ~DslProgram();
+    DslProgram(const DslProgram&) = delete;
+    DslProgram& operator=(const DslProgram&) = delete;
+
+    /// The staged IR: a single scalar root, or a Vec of all output slots.
+    ir::ExprPtr build() const;
+
+    void addOutput(const ir::ExprPtr& expr);
+    static DslProgram* current();
+
+  private:
+    std::vector<ir::ExprPtr> outputs_;
+};
+
+} // namespace chehab::compiler

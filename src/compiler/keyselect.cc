@@ -1,0 +1,92 @@
+#include "compiler/keyselect.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace chehab::compiler {
+
+std::vector<int>
+nafDigits(int value)
+{
+    std::vector<int> digits;
+    const bool negative = value < 0;
+    long long v = negative ? -static_cast<long long>(value) : value;
+    long long power = 1;
+    while (v != 0) {
+        if (v & 1) {
+            // NAF digit: choose ±1 so the remainder stays even.
+            const long long digit = 2 - (v & 3); // v mod 4 == 1 -> +1, == 3 -> -1.
+            digits.push_back(static_cast<int>(digit * power));
+            v -= digit;
+        }
+        v >>= 1;
+        power <<= 1;
+    }
+    if (negative) {
+        for (int& d : digits) d = -d;
+    }
+    return digits;
+}
+
+RotationKeyPlan
+selectRotationKeys(const std::vector<int>& steps, int beta)
+{
+    CHEHAB_ASSERT(beta >= 1, "key budget must be positive");
+    // Working state: which steps are decomposed. std::set for
+    // deterministic iteration order.
+    std::set<int> kept(steps.begin(), steps.end());
+    kept.erase(0);
+    std::set<int> decomposed;
+
+    auto key_set = [&]() {
+        std::set<int> keys(kept.begin(), kept.end());
+        for (int step : decomposed) {
+            for (int digit : nafDigits(step)) keys.insert(digit);
+        }
+        return keys;
+    };
+
+    while (static_cast<int>(key_set().size()) > beta && !kept.empty()) {
+        // Pick the kept step whose decomposition yields the smallest key
+        // count (ties: largest step, which has the widest NAF reuse).
+        // Individual moves may not improve immediately — NAF components
+        // pay off once several steps share them — so the greedy always
+        // takes the best available move and stops only when every step
+        // is decomposed or the budget is met.
+        int best_step = 0;
+        int best_count = 1 << 30;
+        const std::vector<int> snapshot(kept.begin(), kept.end());
+        for (int candidate : snapshot) {
+            decomposed.insert(candidate);
+            kept.erase(candidate);
+            const int count = static_cast<int>(key_set().size());
+            kept.insert(candidate);
+            decomposed.erase(candidate);
+            if (count < best_count ||
+                (count == best_count && candidate > best_step)) {
+                best_count = count;
+                best_step = candidate;
+            }
+        }
+        kept.erase(best_step);
+        decomposed.insert(best_step);
+    }
+
+    RotationKeyPlan plan;
+    const std::set<int> keys = key_set();
+    plan.keys.assign(keys.begin(), keys.end());
+    for (int step : steps) {
+        if (step == 0) {
+            plan.decomposition[step] = {};
+        } else if (decomposed.count(step)) {
+            plan.decomposition[step] = nafDigits(step);
+        } else {
+            plan.decomposition[step] = {step};
+        }
+    }
+    return plan;
+}
+
+} // namespace chehab::compiler

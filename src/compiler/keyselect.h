@@ -1,0 +1,36 @@
+/// \file
+/// Rotation (Galois) key selection via non-adjacent-form decomposition
+/// (Appendix B). Given the set χ of rotation steps a program uses and a
+/// key budget β (default 2·log2 n), selects which steps keep dedicated
+/// keys and which are decomposed into NAF components, so that at most β
+/// keys are generated while decomposed rotations execute as short
+/// sequences of component rotations.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+namespace chehab::compiler {
+
+/// Signed power-of-two digits of the non-adjacent form of \p value,
+/// e.g. 3 -> {-1, 4}; 5 -> {1, 4}; 12 -> {-4, 16}.
+std::vector<int> nafDigits(int value);
+
+/// Result of the key-selection pass.
+struct RotationKeyPlan
+{
+    /// Steps to generate keys for (χ_f ∪ Γ_tot of App. B).
+    std::vector<int> keys;
+    /// Per original step, the key-step sequence that realizes it (one
+    /// entry, itself, when not decomposed).
+    std::unordered_map<int, std::vector<int>> decomposition;
+
+    int numKeys() const { return static_cast<int>(keys.size()); }
+};
+
+/// Select rotation keys for \p steps with budget \p beta. Greedy: while
+/// over budget, decompose the step whose NAF components give the largest
+/// net reduction in the key count.
+RotationKeyPlan selectRotationKeys(const std::vector<int>& steps, int beta);
+
+} // namespace chehab::compiler

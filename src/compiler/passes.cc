@@ -1,0 +1,94 @@
+#include "compiler/passes.h"
+
+namespace chehab::compiler {
+
+using ir::ExprPtr;
+using ir::Op;
+
+namespace {
+
+ExprPtr
+rebuild(const ExprPtr& e, ExprPtr (*transform)(const ExprPtr&))
+{
+    if (e->arity() == 0) return e;
+    std::vector<ExprPtr> kids;
+    kids.reserve(e->arity());
+    bool changed = false;
+    for (const auto& child : e->children()) {
+        ExprPtr mapped = transform(child);
+        changed = changed || mapped.get() != child.get();
+        kids.push_back(std::move(mapped));
+    }
+    if (!changed) return e;
+    return ir::makeNode(e->op(), std::move(kids), e->name(), e->value(),
+                        e->step());
+}
+
+bool
+isConst(const ExprPtr& e, std::int64_t value)
+{
+    return e->op() == Op::Const && e->value() == value;
+}
+
+} // namespace
+
+ExprPtr
+constantFold(const ExprPtr& e)
+{
+    const ExprPtr folded = rebuild(e, &constantFold);
+    if (!ir::isScalarOp(folded->op())) return folded;
+    for (const auto& child : folded->children()) {
+        if (child->op() != Op::Const) return folded;
+    }
+    switch (folded->op()) {
+      case Op::Add:
+        return ir::constant(folded->child(0)->value() +
+                            folded->child(1)->value());
+      case Op::Sub:
+        return ir::constant(folded->child(0)->value() -
+                            folded->child(1)->value());
+      case Op::Mul:
+        return ir::constant(folded->child(0)->value() *
+                            folded->child(1)->value());
+      case Op::Neg:
+        return ir::constant(-folded->child(0)->value());
+      default:
+        return folded;
+    }
+}
+
+ExprPtr
+simplifyIdentities(const ExprPtr& e)
+{
+    const ExprPtr s = rebuild(e, &simplifyIdentities);
+    switch (s->op()) {
+      case Op::Add:
+        if (isConst(s->child(1), 0)) return s->child(0);
+        if (isConst(s->child(0), 0)) return s->child(1);
+        break;
+      case Op::Sub:
+        if (isConst(s->child(1), 0)) return s->child(0);
+        break;
+      case Op::Mul:
+        if (isConst(s->child(1), 1)) return s->child(0);
+        if (isConst(s->child(0), 1)) return s->child(1);
+        if (isConst(s->child(0), 0) || isConst(s->child(1), 0)) {
+            return ir::constant(0);
+        }
+        break;
+      case Op::Neg:
+        if (s->child(0)->op() == Op::Neg) return s->child(0)->child(0);
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+ExprPtr
+canonicalize(const ExprPtr& e)
+{
+    return simplifyIdentities(constantFold(e));
+}
+
+} // namespace chehab::compiler

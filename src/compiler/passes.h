@@ -1,0 +1,24 @@
+/// \file
+/// Classic compiler passes (§4.3): constant folding and identity
+/// simplification applied before/after the TRS optimizer. Common
+/// subexpression elimination is performed structurally by the scheduler
+/// (structurally identical subtrees share one virtual register), and dead
+/// code cannot exist in a pure expression tree by construction.
+#pragma once
+
+#include "ir/expr.h"
+
+namespace chehab::compiler {
+
+/// Bottom-up constant folding: any all-constant scalar arithmetic
+/// subtree collapses to its literal value.
+ir::ExprPtr constantFold(const ir::ExprPtr& e);
+
+/// Cheap identity cleanup: x+0, x*1, x*0, x-0, double negation — applied
+/// bottom-up to a fixpoint per node.
+ir::ExprPtr simplifyIdentities(const ir::ExprPtr& e);
+
+/// The standard pre-optimization pipeline: fold then simplify.
+ir::ExprPtr canonicalize(const ir::ExprPtr& e);
+
+} // namespace chehab::compiler

@@ -1,0 +1,50 @@
+/// \file
+/// End-to-end compile pipelines (Fig. 3): canonicalize -> optimize
+/// (RL TRS, greedy TRS, or none) -> schedule. Produces the optimized IR,
+/// the instruction stream, and compile-time statistics for Fig. 6 /
+/// Table 6.
+#pragma once
+
+#include <string>
+
+#include "compiler/schedule.h"
+#include "ir/cost_model.h"
+#include "rl/agent.h"
+#include "trs/rewriter.h"
+
+namespace chehab::compiler {
+
+/// Compile-time statistics for one kernel.
+struct CompileStats
+{
+    double compile_seconds = 0.0;
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+    int circuit_depth = 0;
+    int mult_depth = 0;
+    ir::OpCounts ir_counts;   ///< Over the optimized IR (DAG-unique).
+    int rewrite_steps = 0;
+};
+
+/// Result of a full compilation.
+struct Compiled
+{
+    ir::ExprPtr optimized;
+    FheProgram program;
+    CompileStats stats;
+};
+
+/// Compile without TRS optimization (the "Initial" column of Table 6).
+Compiled compileNoOpt(const ir::ExprPtr& source);
+
+/// Compile with the greedy best-improvement TRS (original CHEHAB).
+Compiled compileGreedy(const trs::Ruleset& ruleset,
+                       const ir::ExprPtr& source,
+                       const ir::CostWeights& weights = {},
+                       int max_steps = 75);
+
+/// Compile with the RL-guided TRS (CHEHAB RL).
+Compiled compileWithAgent(const rl::RlAgent& agent,
+                          const ir::ExprPtr& source);
+
+} // namespace chehab::compiler

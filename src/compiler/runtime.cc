@@ -1,0 +1,203 @@
+#include "compiler/runtime.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace chehab::compiler {
+
+FheRuntime::FheRuntime(fhe::SealLiteParams params)
+    : scheme_(params),
+      plain_eval_(static_cast<std::int64_t>(params.plain_modulus))
+{}
+
+std::vector<std::int64_t>
+FheRuntime::packValues(const FheInstr& instr, const ir::Env& env) const
+{
+    const int width = static_cast<int>(instr.slots.size());
+    if (width > scheme_.slots()) {
+        throw CompileError(
+            "pack wider than the batching row (" + std::to_string(width) +
+            " > " + std::to_string(scheme_.slots()) +
+            "); raise the polynomial modulus degree");
+    }
+    std::vector<std::int64_t> base(static_cast<std::size_t>(width), 0);
+    for (int i = 0; i < width; ++i) {
+        const PackSlot& slot = instr.slots[static_cast<std::size_t>(i)];
+        switch (slot.kind) {
+          case PackSlot::Kind::CtVar:
+          case PackSlot::Kind::PtVar: {
+            auto it = env.find(slot.name);
+            if (it == env.end()) {
+                throw CompileError("unbound input '" + slot.name + "'");
+            }
+            base[static_cast<std::size_t>(i)] = it->second;
+            break;
+          }
+          case PackSlot::Kind::Const:
+            base[static_cast<std::size_t>(i)] = slot.value;
+            break;
+          case PackSlot::Kind::PlainExpr: {
+            const ir::Value v = plain_eval_.evaluate(slot.expr, env);
+            base[static_cast<std::size_t>(i)] = v.scalar();
+            break;
+          }
+        }
+    }
+    if (!instr.replicate) return base;
+    // Replicate period-w across the whole row so a single ciphertext
+    // rotation realizes the width-w cyclic rotation.
+    std::vector<std::int64_t> replicated(
+        static_cast<std::size_t>(scheme_.slots()));
+    for (int i = 0; i < scheme_.slots(); ++i) {
+        replicated[static_cast<std::size_t>(i)] =
+            base[static_cast<std::size_t>(i % width)];
+    }
+    return replicated;
+}
+
+RunResult
+FheRuntime::run(const FheProgram& program, const ir::Env& env,
+                int key_budget)
+{
+    RunResult result;
+    result.counts = program.counts();
+    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+
+    // Rotation-key selection (App. B): under a budget, rotations execute
+    // as NAF-component sequences.
+    const std::vector<int> steps = program.rotationSteps();
+    RotationKeyPlan plan;
+    if (key_budget > 0) {
+        plan = selectRotationKeys(steps, key_budget);
+    } else {
+        plan.keys = steps;
+        for (int s : steps) plan.decomposition[s] = {s};
+    }
+    scheme_.makeGaloisKeys(plan.keys);
+    result.rotation_keys = static_cast<int>(plan.keys.size());
+
+    // Client-side phase: pack, encode, encrypt.
+    std::unordered_map<int, fhe::Ciphertext> cts;
+    std::unordered_map<int, fhe::Plaintext> plains;
+    for (const FheInstr& instr : program.instrs) {
+        if (instr.op == FheOpcode::PackCipher) {
+            cts.emplace(instr.dst,
+                        scheme_.encrypt(scheme_.encode(
+                            packValues(instr, env))));
+        } else if (instr.op == FheOpcode::PackPlain) {
+            plains.emplace(instr.dst,
+                           scheme_.encode(packValues(instr, env)));
+        }
+    }
+
+    // Server-side phase (timed).
+    Stopwatch watch;
+    for (const FheInstr& instr : program.instrs) {
+        switch (instr.op) {
+          case FheOpcode::PackCipher:
+          case FheOpcode::PackPlain:
+            break;
+          case FheOpcode::Add:
+            cts.emplace(instr.dst,
+                        scheme_.add(cts.at(instr.a), cts.at(instr.b)));
+            break;
+          case FheOpcode::Sub:
+            cts.emplace(instr.dst,
+                        scheme_.sub(cts.at(instr.a), cts.at(instr.b)));
+            break;
+          case FheOpcode::Mul:
+            cts.emplace(instr.dst,
+                        scheme_.multiply(cts.at(instr.a), cts.at(instr.b)));
+            break;
+          case FheOpcode::AddPlain:
+            cts.emplace(instr.dst, scheme_.addPlain(cts.at(instr.a),
+                                                    plains.at(instr.b)));
+            break;
+          case FheOpcode::MulPlain:
+            cts.emplace(instr.dst, scheme_.mulPlain(cts.at(instr.a),
+                                                    plains.at(instr.b)));
+            break;
+          case FheOpcode::Negate:
+            cts.emplace(instr.dst, scheme_.negate(cts.at(instr.a)));
+            break;
+          case FheOpcode::Rotate: {
+            fhe::Ciphertext value = cts.at(instr.a);
+            for (int component : plan.decomposition.at(instr.step)) {
+                value = scheme_.rotate(value, component);
+            }
+            cts.emplace(instr.dst, std::move(value));
+            break;
+          }
+        }
+    }
+    result.exec_seconds = watch.elapsedSeconds();
+
+    // Degenerate all-plaintext programs produce a plaintext output
+    // register: nothing homomorphic ever ran.
+    if (!cts.count(program.output_reg)) {
+        const std::vector<std::int64_t> values =
+            scheme_.decode(plains.at(program.output_reg));
+        result.final_noise_budget = result.fresh_noise_budget;
+        result.output.assign(
+            values.begin(),
+            values.begin() + std::min<std::size_t>(
+                                 values.size(),
+                                 static_cast<std::size_t>(
+                                     program.output_width)));
+        return result;
+    }
+
+    const fhe::Ciphertext& out = cts.at(program.output_reg);
+    result.final_noise_budget = scheme_.noiseBudgetBits(out);
+    result.consumed_noise =
+        result.fresh_noise_budget - result.final_noise_budget;
+
+    const std::vector<std::int64_t> decrypted = scheme_.decrypt(out);
+    result.output.assign(
+        decrypted.begin(),
+        decrypted.begin() + std::min<std::size_t>(
+                                decrypted.size(),
+                                static_cast<std::size_t>(
+                                    program.output_width)));
+    return result;
+}
+
+OpLatencies
+FheRuntime::calibrate(int reps)
+{
+    OpLatencies lat;
+    scheme_.makeGaloisKeys({1});
+    const fhe::Plaintext plain = scheme_.encode({1, 2, 3, 4});
+    const fhe::Ciphertext ct = scheme_.encrypt(plain);
+
+    auto median_time = [&](auto&& fn) {
+        std::vector<double> times;
+        for (int i = 0; i < reps; ++i) {
+            Stopwatch watch;
+            fn();
+            times.push_back(watch.elapsedSeconds());
+        }
+        std::sort(times.begin(), times.end());
+        return times[times.size() / 2];
+    };
+
+    lat.ct_add = median_time([&] { (void)scheme_.add(ct, ct); });
+    lat.ct_ct_mul = median_time([&] { (void)scheme_.multiply(ct, ct); });
+    lat.ct_pt_mul = median_time([&] { (void)scheme_.mulPlain(ct, plain); });
+    lat.rotation = median_time([&] { (void)scheme_.rotate(ct, 1); });
+    return lat;
+}
+
+double
+FheRuntime::estimate(const FheProgram& program,
+                     const OpLatencies& lat) const
+{
+    const FheProgram::Counts counts = program.counts();
+    return counts.ct_add * lat.ct_add + counts.ct_ct_mul * lat.ct_ct_mul +
+           counts.ct_pt_mul * lat.ct_pt_mul +
+           counts.rotations * lat.rotation;
+}
+
+} // namespace chehab::compiler

@@ -1,0 +1,69 @@
+/// \file
+/// Execution of scheduled FHE programs on the SealLite backend, plus the
+/// calibrated latency estimator used when a circuit is too large to run
+/// end-to-end on a toy machine.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/keyselect.h"
+#include "compiler/schedule.h"
+#include "fhe/sealite.h"
+#include "ir/evaluator.h"
+
+namespace chehab::compiler {
+
+/// Outcome of executing one program.
+struct RunResult
+{
+    std::vector<std::int64_t> output; ///< First output_width slots.
+    double exec_seconds = 0.0;        ///< Server-side evaluation only.
+    int fresh_noise_budget = 0;
+    int final_noise_budget = 0;       ///< <= 0 means budget exhausted.
+    int consumed_noise = 0;           ///< CN of Table 6.
+    FheProgram::Counts counts;
+    int rotation_keys = 0;            ///< Keys generated (after App. B).
+};
+
+/// Per-operation latencies measured on the backend (seconds).
+struct OpLatencies
+{
+    double ct_add = 0.0;
+    double ct_ct_mul = 0.0;
+    double ct_pt_mul = 0.0;
+    double rotation = 0.0;
+};
+
+/// Runs FheProgram instruction streams against one SealLite instance.
+class FheRuntime
+{
+  public:
+    explicit FheRuntime(fhe::SealLiteParams params = {});
+
+    /// Execute \p program with inputs from \p env. When
+    /// \p key_budget > 0, rotation keys are selected with the App. B NAF
+    /// pass under that budget and decomposed rotations run as sequences;
+    /// otherwise one key per distinct step is generated.
+    RunResult run(const FheProgram& program, const ir::Env& env,
+                  int key_budget = 0);
+
+    /// Microbenchmark the four op classes (median of \p reps).
+    OpLatencies calibrate(int reps = 3);
+
+    /// Estimated runtime of \p program from calibrated op latencies
+    /// (for circuits too big to execute end-to-end).
+    double estimate(const FheProgram& program, const OpLatencies& lat) const;
+
+    fhe::SealLite& scheme() { return scheme_; }
+    int slots() const { return scheme_.slots(); }
+
+  private:
+    std::vector<std::int64_t> packValues(const FheInstr& instr,
+                                         const ir::Env& env) const;
+
+    fhe::SealLite scheme_;
+    ir::Evaluator plain_eval_;
+};
+
+} // namespace chehab::compiler

@@ -1,0 +1,429 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/analysis.h"
+#include "support/error.h"
+
+namespace chehab::compiler {
+
+using ir::ExprPtr;
+using ir::Op;
+
+std::vector<int>
+FheProgram::rotationSteps() const
+{
+    std::vector<int> steps;
+    std::unordered_set<int> seen;
+    for (const FheInstr& instr : instrs) {
+        if (instr.op == FheOpcode::Rotate && seen.insert(instr.step).second) {
+            steps.push_back(instr.step);
+        }
+    }
+    std::sort(steps.begin(), steps.end());
+    return steps;
+}
+
+FheProgram::Counts
+FheProgram::counts() const
+{
+    Counts counts;
+    for (const FheInstr& instr : instrs) {
+        switch (instr.op) {
+          case FheOpcode::PackCipher: ++counts.pack_cipher; break;
+          case FheOpcode::PackPlain: ++counts.pack_plain; break;
+          case FheOpcode::Add:
+          case FheOpcode::Sub:
+          case FheOpcode::Negate:
+          case FheOpcode::AddPlain:
+            ++counts.ct_add;
+            break;
+          case FheOpcode::Mul: ++counts.ct_ct_mul; break;
+          case FheOpcode::MulPlain: ++counts.ct_pt_mul; break;
+          case FheOpcode::Rotate: ++counts.rotations; break;
+        }
+    }
+    return counts;
+}
+
+namespace {
+
+bool
+isPow2(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// Lowering context: CSE memo over structural equality plus register
+/// allocation.
+class Scheduler
+{
+  public:
+    FheProgram
+    run(const ExprPtr& root)
+    {
+        ir::typeOf(root); // Throws CompileError on ill-typed input.
+        const Reg out = lower(root);
+        program_.output_reg = out.reg;
+        program_.output_width = out.width;
+        program_.num_regs = next_reg_;
+        return std::move(program_);
+    }
+
+  private:
+    struct Reg
+    {
+        int reg = -1;
+        int width = 1;
+        bool replicated = false;
+        bool plain = false;
+    };
+
+    int
+    emit(FheInstr instr)
+    {
+        instr.dst = next_reg_++;
+        program_.instrs.push_back(std::move(instr));
+        return next_reg_ - 1;
+    }
+
+    Reg
+    packPlainExpr(const ExprPtr& e)
+    {
+        const ir::TypeInfo type = ir::typeOf(e);
+        FheInstr instr;
+        instr.op = FheOpcode::PackPlain;
+        if (e->op() == Op::Vec) {
+            for (const auto& child : e->children()) {
+                PackSlot slot;
+                slot.kind = PackSlot::Kind::PlainExpr;
+                slot.expr = child;
+                instr.slots.push_back(std::move(slot));
+            }
+        } else {
+            PackSlot slot;
+            slot.kind = PackSlot::Kind::PlainExpr;
+            slot.expr = e;
+            instr.slots.push_back(std::move(slot));
+        }
+        const int width = type.is_vector ? type.width : 1;
+        instr.replicate = isPow2(width);
+        const int reg = emit(std::move(instr));
+        return {reg, width, isPow2(width), true};
+    }
+
+    /// One-hot-style plaintext mask covering slots [begin, end) of a
+    /// width-w vector (never replicated: it must zero the rest of row).
+    Reg
+    packMask(int begin, int end, int width)
+    {
+        FheInstr instr;
+        instr.op = FheOpcode::PackPlain;
+        instr.replicate = false;
+        for (int i = 0; i < width; ++i) {
+            PackSlot slot;
+            slot.kind = PackSlot::Kind::Const;
+            slot.value = (i >= begin && i < end) ? 1 : 0;
+            instr.slots.push_back(std::move(slot));
+        }
+        const int reg = emit(std::move(instr));
+        return {reg, width, false, true};
+    }
+
+    Reg
+    lowerLeafPack(const ExprPtr& vec_node)
+    {
+        FheInstr instr;
+        instr.op = FheOpcode::PackCipher;
+        for (const auto& child : vec_node->children()) {
+            PackSlot slot;
+            switch (child->op()) {
+              case Op::Var:
+                slot.kind = PackSlot::Kind::CtVar;
+                slot.name = child->name();
+                break;
+              case Op::PlainVar:
+                slot.kind = PackSlot::Kind::PtVar;
+                slot.name = child->name();
+                break;
+              case Op::Const:
+                slot.kind = PackSlot::Kind::Const;
+                slot.value = child->value();
+                break;
+              default:
+                slot.kind = PackSlot::Kind::PlainExpr;
+                slot.expr = child;
+                break;
+            }
+            instr.slots.push_back(std::move(slot));
+        }
+        const int width = static_cast<int>(vec_node->arity());
+        instr.replicate = isPow2(width);
+        const int reg = emit(std::move(instr));
+        return {reg, width, isPow2(width), false};
+    }
+
+    /// Pack a Vec with computed ciphertext children: load the static
+    /// slots, then mask/rotate/add each computed scalar into place.
+    Reg
+    lowerComputedPack(const ExprPtr& vec_node)
+    {
+        const int width = static_cast<int>(vec_node->arity());
+        // Base pack: static slots, zeros where computation lands.
+        FheInstr base;
+        base.op = FheOpcode::PackCipher;
+        base.replicate = false;
+        std::vector<int> computed_positions;
+        for (int i = 0; i < width; ++i) {
+            const ExprPtr& child = vec_node->child(static_cast<std::size_t>(i));
+            PackSlot slot;
+            if (child->op() == Op::Var) {
+                slot.kind = PackSlot::Kind::CtVar;
+                slot.name = child->name();
+            } else if (child->op() == Op::PlainVar) {
+                slot.kind = PackSlot::Kind::PtVar;
+                slot.name = child->name();
+            } else if (child->isPlain()) {
+                slot.kind = PackSlot::Kind::PlainExpr;
+                slot.expr = child;
+            } else {
+                slot.kind = PackSlot::Kind::Const;
+                slot.value = 0;
+                computed_positions.push_back(i);
+            }
+            base.slots.push_back(std::move(slot));
+        }
+        Reg acc{emit(std::move(base)), width, false, false};
+
+        const Reg slot0_mask = packMask(0, 1, width);
+        for (int position : computed_positions) {
+            const Reg value = lower(
+                vec_node->child(static_cast<std::size_t>(position)));
+            // Isolate slot 0 of the computed scalar, move it into place,
+            // and accumulate.
+            FheInstr mask;
+            mask.op = FheOpcode::MulPlain;
+            mask.a = value.reg;
+            mask.b = slot0_mask.reg;
+            int masked = emit(std::move(mask));
+            if (position != 0) {
+                FheInstr rot;
+                rot.op = FheOpcode::Rotate;
+                rot.a = masked;
+                rot.step = -position; // Right rotation: slot0 -> slot pos.
+                masked = emit(std::move(rot));
+            }
+            FheInstr sum;
+            sum.op = FheOpcode::Add;
+            sum.a = acc.reg;
+            sum.b = masked;
+            acc.reg = emit(std::move(sum));
+        }
+        return acc;
+    }
+
+    Reg
+    lowerRotate(const ExprPtr& e)
+    {
+        const Reg src = lower(e->child(0));
+        const int w = src.width;
+        const int s = ((e->step() % w) + w) % w;
+        if (s == 0) return src;
+        if (src.replicated) {
+            FheInstr rot;
+            rot.op = FheOpcode::Rotate;
+            rot.a = src.reg;
+            rot.step = s;
+            const int reg = emit(std::move(rot));
+            return {reg, w, true, src.plain};
+        }
+        // Two-rotation wraparound emulation for non-replicable widths.
+        FheInstr lo_rot;
+        lo_rot.op = FheOpcode::Rotate;
+        lo_rot.a = src.reg;
+        lo_rot.step = s;
+        const int lo = emit(std::move(lo_rot));
+        const Reg lo_mask = packMask(0, w - s, w);
+        FheInstr lo_masked;
+        lo_masked.op = FheOpcode::MulPlain;
+        lo_masked.a = lo;
+        lo_masked.b = lo_mask.reg;
+        const int lo_done = emit(std::move(lo_masked));
+
+        FheInstr hi_rot;
+        hi_rot.op = FheOpcode::Rotate;
+        hi_rot.a = src.reg;
+        hi_rot.step = s - w;
+        const int hi = emit(std::move(hi_rot));
+        const Reg hi_mask = packMask(w - s, w, w);
+        FheInstr hi_masked;
+        hi_masked.op = FheOpcode::MulPlain;
+        hi_masked.a = hi;
+        hi_masked.b = hi_mask.reg;
+        const int hi_done = emit(std::move(hi_masked));
+
+        FheInstr sum;
+        sum.op = FheOpcode::Add;
+        sum.a = lo_done;
+        sum.b = hi_done;
+        const int reg = emit(std::move(sum));
+        return {reg, w, false, false};
+    }
+
+    Reg
+    lowerBinary(const ExprPtr& e, FheOpcode ct_op, FheOpcode plain_op,
+                bool commutative, bool negate_plain)
+    {
+        const ExprPtr& lhs = e->child(0);
+        const ExprPtr& rhs = e->child(1);
+        const bool lhs_plain = lhs->isPlain();
+        const bool rhs_plain = rhs->isPlain();
+
+        // Prefer the ct (op) plain form when one side is plaintext.
+        if (rhs_plain && !lhs_plain) {
+            const Reg a = lower(lhs);
+            const Reg b = negate_plain
+                              ? packPlainExpr(negatedPlain(rhs))
+                              : packPlainExpr(rhs);
+            FheInstr instr;
+            instr.op = plain_op;
+            instr.a = a.reg;
+            instr.b = b.reg;
+            const int reg = emit(std::move(instr));
+            return {reg, a.width, a.replicated && b.replicated, false};
+        }
+        if (lhs_plain && !rhs_plain && commutative) {
+            const Reg a = lower(rhs);
+            const Reg b = packPlainExpr(lhs);
+            FheInstr instr;
+            instr.op = plain_op;
+            instr.a = a.reg;
+            instr.b = b.reg;
+            const int reg = emit(std::move(instr));
+            return {reg, a.width, a.replicated && b.replicated, false};
+        }
+        if (lhs_plain && !rhs_plain && !commutative) {
+            // plain - ct  =>  -(ct) + plain.
+            const Reg a = lower(rhs);
+            FheInstr neg;
+            neg.op = FheOpcode::Negate;
+            neg.a = a.reg;
+            const int negated = emit(std::move(neg));
+            const Reg b = packPlainExpr(lhs);
+            FheInstr instr;
+            instr.op = FheOpcode::AddPlain;
+            instr.a = negated;
+            instr.b = b.reg;
+            const int reg = emit(std::move(instr));
+            return {reg, a.width, a.replicated && b.replicated, false};
+        }
+
+        const Reg a = lower(lhs);
+        const Reg b = lower(rhs);
+        FheInstr instr;
+        instr.op = ct_op;
+        instr.a = a.reg;
+        instr.b = b.reg;
+        const int reg = emit(std::move(instr));
+        return {reg, std::max(a.width, b.width),
+                a.replicated && b.replicated, false};
+    }
+
+    /// Elementwise negation of a plain operand (for ct - plain lowered
+    /// to AddPlain).
+    static ExprPtr
+    negatedPlain(const ExprPtr& e)
+    {
+        if (e->op() == Op::Vec) {
+            std::vector<ExprPtr> kids;
+            kids.reserve(e->arity());
+            for (const auto& child : e->children()) {
+                kids.push_back(ir::neg(child));
+            }
+            return ir::vec(std::move(kids));
+        }
+        return ir::neg(e);
+    }
+
+    Reg
+    lowerImpl(const ExprPtr& e)
+    {
+        if (e->isPlain()) return packPlainExpr(e);
+        switch (e->op()) {
+          case Op::Var: {
+            FheInstr instr;
+            instr.op = FheOpcode::PackCipher;
+            PackSlot slot;
+            slot.kind = PackSlot::Kind::CtVar;
+            slot.name = e->name();
+            instr.slots.push_back(std::move(slot));
+            instr.replicate = true;
+            const int reg = emit(std::move(instr));
+            return {reg, 1, true, false};
+          }
+          case Op::Vec: {
+            const bool computed = std::any_of(
+                e->children().begin(), e->children().end(),
+                [](const ExprPtr& c) {
+                    return !c->isPlain() && c->op() != Op::Var;
+                });
+            return computed ? lowerComputedPack(e) : lowerLeafPack(e);
+          }
+          case Op::Add:
+          case Op::VecAdd:
+            return lowerBinary(e, FheOpcode::Add, FheOpcode::AddPlain,
+                               /*commutative=*/true, /*negate_plain=*/false);
+          case Op::Sub:
+          case Op::VecSub:
+            return lowerBinary(e, FheOpcode::Sub, FheOpcode::AddPlain,
+                               /*commutative=*/false, /*negate_plain=*/true);
+          case Op::Mul:
+          case Op::VecMul:
+            return lowerBinary(e, FheOpcode::Mul, FheOpcode::MulPlain,
+                               /*commutative=*/true, /*negate_plain=*/false);
+          case Op::Neg:
+          case Op::VecNeg: {
+            const Reg a = lower(e->child(0));
+            FheInstr instr;
+            instr.op = FheOpcode::Negate;
+            instr.a = a.reg;
+            const int reg = emit(std::move(instr));
+            return {reg, a.width, a.replicated, false};
+          }
+          case Op::Rotate:
+            return lowerRotate(e);
+          default:
+            CHEHAB_ASSERT(false, "unhandled op in scheduler");
+            return {};
+        }
+    }
+
+    Reg
+    lower(const ExprPtr& e)
+    {
+        auto& bucket = memo_[e->hash()];
+        for (const auto& [expr, reg] : bucket) {
+            if (ir::equal(expr, e)) return reg;
+        }
+        const Reg reg = lowerImpl(e);
+        bucket.emplace_back(e, reg);
+        return reg;
+    }
+
+    FheProgram program_;
+    int next_reg_ = 0;
+    std::unordered_map<std::size_t, std::vector<std::pair<ExprPtr, Reg>>>
+        memo_;
+};
+
+} // namespace
+
+FheProgram
+schedule(const ExprPtr& optimized)
+{
+    return Scheduler().run(optimized);
+}
+
+} // namespace chehab::compiler

@@ -1,0 +1,62 @@
+#include "dataset/dataset.h"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "ir/analysis.h"
+#include "ir/parser.h"
+#include "tokenizer/ici.h"
+
+namespace chehab::dataset {
+
+std::vector<ir::ExprPtr>
+buildDataset(const Generator& generate, int target_size,
+             const std::vector<ir::ExprPtr>& excluded_benchmarks,
+             int max_attempts)
+{
+    std::unordered_set<std::string> excluded;
+    for (const auto& benchmark : excluded_benchmarks) {
+        excluded.insert(tokenizer::canonicalForm(benchmark));
+    }
+
+    std::vector<ir::ExprPtr> dataset;
+    std::unordered_set<std::string> seen;
+    for (int attempt = 0;
+         attempt < max_attempts &&
+         static_cast<int>(dataset.size()) < target_size;
+         ++attempt) {
+        ir::ExprPtr candidate = generate();
+        if (!candidate || !ir::wellTyped(candidate)) continue;
+        std::string canonical = tokenizer::canonicalForm(candidate);
+        if (excluded.count(canonical)) continue;
+        if (!seen.insert(std::move(canonical)).second) continue;
+        dataset.push_back(std::move(candidate));
+    }
+    return dataset;
+}
+
+void
+saveDataset(const std::vector<ir::ExprPtr>& programs,
+            const std::string& path)
+{
+    std::ofstream out(path);
+    for (const auto& program : programs) {
+        out << program->toString() << '\n';
+    }
+}
+
+std::vector<ir::ExprPtr>
+loadDataset(const std::string& path)
+{
+    std::vector<ir::ExprPtr> programs;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (!ir::isValid(line)) continue;
+        programs.push_back(ir::parse(line));
+    }
+    return programs;
+}
+
+} // namespace chehab::dataset

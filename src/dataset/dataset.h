@@ -1,0 +1,35 @@
+/// \file
+/// Dataset post-processing pipeline (§6): parse/validate, ICI-canonical
+/// dedup, benchmark exclusion, plus text-file persistence matching the
+/// artifact's one-expression-per-line dataset format.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::dataset {
+
+/// Generator callback: produce one candidate program.
+using Generator = std::function<ir::ExprPtr()>;
+
+/// Build a dataset of \p target_size unique programs from \p generate,
+/// dropping ICI-canonical duplicates and any program whose canonical form
+/// matches one of \p excluded_benchmarks. Gives up after
+/// \p max_attempts candidates (returns what it has).
+std::vector<ir::ExprPtr> buildDataset(
+    const Generator& generate, int target_size,
+    const std::vector<ir::ExprPtr>& excluded_benchmarks = {},
+    int max_attempts = 1 << 20);
+
+/// Write one expression per line.
+void saveDataset(const std::vector<ir::ExprPtr>& programs,
+                 const std::string& path);
+
+/// Read a one-expression-per-line file; silently skips unparsable lines
+/// (the paper's validation filter).
+std::vector<ir::ExprPtr> loadDataset(const std::string& path);
+
+} // namespace chehab::dataset

@@ -1,0 +1,238 @@
+#include "dataset/motif_gen.h"
+
+#include <string>
+#include <vector>
+
+namespace chehab::dataset {
+
+using ir::ExprPtr;
+
+namespace {
+
+/// Left-leaning sum of the given terms (the TRS balancing/reduction rules
+/// get to reshape it).
+ExprPtr
+sumOf(const std::vector<ExprPtr>& terms)
+{
+    ExprPtr acc = terms[0];
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+        acc = ir::add(acc, terms[i]);
+    }
+    return acc;
+}
+
+} // namespace
+
+ExprPtr
+MotifSynthesizer::freshVar(const char* base, int index)
+{
+    return ir::var(std::string(base) + std::to_string(var_salt_) + "_" +
+                   std::to_string(index));
+}
+
+ExprPtr
+MotifSynthesizer::dotProduct()
+{
+    const int n = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_terms - 1)));
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+        terms.push_back(ir::mul(freshVar("a", i), freshVar("b", i)));
+    }
+    return sumOf(terms);
+}
+
+ExprPtr
+MotifSynthesizer::squaredDifference()
+{
+    const int w = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_width - 1)));
+    std::vector<ExprPtr> slots;
+    for (int i = 0; i < w; ++i) {
+        const ExprPtr diff = ir::sub(freshVar("a", i), freshVar("b", i));
+        slots.push_back(ir::mul(diff, diff));
+    }
+    return ir::vec(std::move(slots));
+}
+
+ExprPtr
+MotifSynthesizer::l2Distance()
+{
+    const int n = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_terms - 1)));
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+        const ExprPtr diff = ir::sub(freshVar("a", i), freshVar("b", i));
+        terms.push_back(ir::mul(diff, diff));
+    }
+    return sumOf(terms);
+}
+
+ExprPtr
+MotifSynthesizer::elementwiseKernel()
+{
+    const int w = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_width - 1)));
+    const int shape = static_cast<int>(rng_.uniformInt(4));
+    std::vector<ExprPtr> slots;
+    for (int i = 0; i < w; ++i) {
+        const ExprPtr a = freshVar("a", i);
+        const ExprPtr b = freshVar("b", i);
+        switch (shape) {
+          case 0: slots.push_back(ir::add(a, b)); break;
+          case 1: slots.push_back(ir::mul(a, b)); break;
+          case 2:
+            slots.push_back(ir::add(ir::mul(a, b), freshVar("c", i)));
+            break;
+          default:
+            slots.push_back(ir::mul(ir::add(a, b), ir::sub(a, b)));
+            break;
+        }
+    }
+    return ir::vec(std::move(slots));
+}
+
+ExprPtr
+MotifSynthesizer::stencilWindow()
+{
+    // 1-D window sums over a line of pixels: output i = Σ_k p[i+k]·w_k,
+    // the Box Blur / Gx / Gy shape with plaintext taps.
+    const int w = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_width - 1)));
+    const int taps = 2 + static_cast<int>(rng_.uniformInt(2));
+    const bool weighted = rng_.chance(0.5);
+    std::vector<ExprPtr> pixels;
+    for (int i = 0; i < w + taps; ++i) pixels.push_back(freshVar("p", i));
+    std::vector<ExprPtr> slots;
+    for (int i = 0; i < w; ++i) {
+        std::vector<ExprPtr> terms;
+        for (int k = 0; k < taps; ++k) {
+            ExprPtr term = pixels[static_cast<std::size_t>(i + k)];
+            if (weighted) {
+                const std::int64_t tap =
+                    static_cast<std::int64_t>(rng_.uniformRange(-2, 3));
+                if (tap != 1) term = ir::mul(ir::constant(tap == 0 ? 2 : tap),
+                                             term);
+            }
+            terms.push_back(std::move(term));
+        }
+        slots.push_back(sumOf(terms));
+    }
+    return ir::vec(std::move(slots));
+}
+
+ExprPtr
+MotifSynthesizer::booleanReduction()
+{
+    // Union cardinality / Hamming distance shape over bit inputs:
+    // Σ gadget(aᵢ, bᵢ) with XOR = a+b-2ab or OR = a+b-ab.
+    const int n = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_terms - 1)));
+    const bool use_xor = rng_.chance(0.5);
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+        const ExprPtr a = freshVar("a", i);
+        const ExprPtr b = freshVar("b", i);
+        const ExprPtr ab = ir::mul(a, b);
+        terms.push_back(
+            use_xor
+                ? ir::sub(ir::add(a, b), ir::mul(ir::constant(2), ab))
+                : ir::sub(ir::add(a, b), ab));
+    }
+    return sumOf(terms);
+}
+
+ExprPtr
+MotifSynthesizer::factorizableSum()
+{
+    // a·b + a·c (+ a·d ...): the comm-factor fodder the prompt's rewrite
+    // rule examples bias toward.
+    const int n = 2 + static_cast<int>(rng_.uniformInt(3));
+    const ExprPtr shared = rng_.chance(0.3)
+                               ? ir::mul(freshVar("s", 0), freshVar("s", 1))
+                               : freshVar("s", 0);
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+        terms.push_back(rng_.chance(0.5)
+                            ? ir::mul(shared, freshVar("t", i))
+                            : ir::mul(freshVar("t", i), shared));
+    }
+    return sumOf(terms);
+}
+
+ExprPtr
+MotifSynthesizer::hornerPolynomial()
+{
+    const int degree = 2 + static_cast<int>(rng_.uniformInt(3));
+    const ExprPtr x = freshVar("x", 0);
+    ExprPtr acc = freshVar("c", degree);
+    for (int i = degree - 1; i >= 0; --i) {
+        acc = ir::add(freshVar("c", i), ir::mul(x, acc));
+    }
+    return acc;
+}
+
+ExprPtr
+MotifSynthesizer::sharedSubexpression()
+{
+    const ExprPtr shared =
+        ir::mul(ir::add(freshVar("u", 0), freshVar("u", 1)), freshVar("u", 2));
+    const ExprPtr left = ir::mul(shared, freshVar("v", 0));
+    const ExprPtr right = ir::mul(shared, freshVar("v", 1));
+    return rng_.chance(0.5) ? ir::add(left, right) : ir::sub(left, right);
+}
+
+ExprPtr
+MotifSynthesizer::linearCombination()
+{
+    const int n = 2 + static_cast<int>(rng_.uniformInt(
+                          static_cast<std::uint64_t>(config_.max_terms - 1)));
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+        terms.push_back(ir::mul(
+            ir::plainVar("w" + std::to_string(var_salt_) + "_" +
+                         std::to_string(i)),
+            freshVar("x", i)));
+    }
+    return sumOf(terms);
+}
+
+ExprPtr
+MotifSynthesizer::mutate(ExprPtr program)
+{
+    // Structural noise: wrap a random output slot (or the root) in a small
+    // extra computation so the corpus is not purely canonical motifs.
+    if (!rng_.chance(config_.mutation_rate)) return program;
+    const ExprPtr extra = freshVar("m", 0);
+    if (program->op() == ir::Op::Vec) {
+        std::vector<ExprPtr> slots = program->children();
+        const std::size_t i = rng_.pickIndex(slots.size());
+        slots[i] = rng_.chance(0.5) ? ir::add(slots[i], extra)
+                                    : ir::mul(slots[i], extra);
+        return ir::vec(std::move(slots));
+    }
+    return rng_.chance(0.5) ? ir::add(program, extra)
+                            : ir::mul(program, extra);
+}
+
+ExprPtr
+MotifSynthesizer::generate()
+{
+    ++var_salt_;
+    ExprPtr program;
+    switch (rng_.uniformInt(10)) {
+      case 0: program = dotProduct(); break;
+      case 1: program = squaredDifference(); break;
+      case 2: program = l2Distance(); break;
+      case 3: program = elementwiseKernel(); break;
+      case 4: program = stencilWindow(); break;
+      case 5: program = booleanReduction(); break;
+      case 6: program = factorizableSum(); break;
+      case 7: program = hornerPolynomial(); break;
+      case 8: program = sharedSubexpression(); break;
+      default: program = linearCombination(); break;
+    }
+    return mutate(std::move(program));
+}
+
+} // namespace chehab::dataset

@@ -1,0 +1,63 @@
+/// \file
+/// Motif-based program synthesizer — the stand-in for the paper's
+/// LLM-guided dataset generation (§6, Appendix F).
+///
+/// The paper prompts Gemini 2.5 Flash with the IR grammar, the rewrite
+/// rules and worked real-world kernels, and asks for structurally diverse,
+/// *optimizable* expressions. We cannot ship an LLM, so this generator
+/// reproduces the distribution the prompt enforces: programs are drawn
+/// from a weighted mixture of real-computation motifs — dot products,
+/// squared differences, stencil windows, boolean-gadget reductions,
+/// factorizable sums, Horner polynomial evaluation, shared
+/// subexpressions — with randomized shapes, variable pools and noise
+/// edits, subject to the prompt's constraints (depth 4-20, no literal 0,
+/// structural uniqueness after ICI canonicalization).
+#pragma once
+
+#include "ir/expr.h"
+#include "support/rng.h"
+
+namespace chehab::dataset {
+
+/// Knobs controlling the motif mixture.
+struct MotifGenConfig
+{
+    int max_width = 8;      ///< Vec width of multi-output motifs.
+    int max_terms = 8;      ///< Reduction length (dot products etc.).
+    double mutation_rate = 0.25; ///< Chance of a structural noise edit.
+};
+
+/// Generates one program per call from the motif mixture.
+class MotifSynthesizer
+{
+  public:
+    explicit MotifSynthesizer(std::uint64_t seed, MotifGenConfig config = {})
+        : rng_(seed), config_(config)
+    {}
+
+    ir::ExprPtr generate();
+
+  private:
+    /// \name Motifs (all return well-typed programs)
+    /// @{
+    ir::ExprPtr dotProduct();          ///< Σ aᵢ·bᵢ.
+    ir::ExprPtr squaredDifference();   ///< Vec of (aᵢ-bᵢ)².
+    ir::ExprPtr l2Distance();          ///< Σ (aᵢ-bᵢ)².
+    ir::ExprPtr elementwiseKernel();   ///< Vec of isomorphic slot exprs.
+    ir::ExprPtr stencilWindow();       ///< Vec of sliding-window sums.
+    ir::ExprPtr booleanReduction();    ///< Σ XOR/OR gadgets over bits.
+    ir::ExprPtr factorizableSum();     ///< a·b + a·c (+ ...) shapes.
+    ir::ExprPtr hornerPolynomial();    ///< c₀ + x(c₁ + x(c₂ + ...)).
+    ir::ExprPtr sharedSubexpression(); ///< Same subcircuit used twice.
+    ir::ExprPtr linearCombination();   ///< Σ wᵢ·xᵢ with plaintext wᵢ.
+    /// @}
+
+    ir::ExprPtr freshVar(const char* base, int index);
+    ir::ExprPtr mutate(ir::ExprPtr program);
+
+    Rng rng_;
+    MotifGenConfig config_;
+    int var_salt_ = 0;
+};
+
+} // namespace chehab::dataset

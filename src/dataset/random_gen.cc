@@ -1,0 +1,56 @@
+#include "dataset/random_gen.h"
+
+namespace chehab::dataset {
+
+using ir::ExprPtr;
+
+ExprPtr
+RandomProgramGenerator::leaf()
+{
+    if (rng_.chance(config_.const_probability)) {
+        static const std::int64_t pool[] = {0, 1, 2, 3, 5, 7};
+        return ir::constant(pool[rng_.uniformInt(6)]);
+    }
+    if (rng_.chance(config_.plain_probability)) {
+        return ir::plainVar(
+            "w" + std::to_string(rng_.uniformInt(
+                      static_cast<std::uint64_t>(config_.num_variables))));
+    }
+    return ir::var(
+        "x" + std::to_string(rng_.uniformInt(
+                  static_cast<std::uint64_t>(config_.num_variables))));
+}
+
+ExprPtr
+RandomProgramGenerator::scalar(int depth)
+{
+    if (depth <= 0 || rng_.chance(config_.leaf_probability)) return leaf();
+    switch (rng_.uniformInt(4)) {
+      case 0: return ir::add(scalar(depth - 1), scalar(depth - 1));
+      case 1: return ir::sub(scalar(depth - 1), scalar(depth - 1));
+      case 2: return ir::mul(scalar(depth - 1), scalar(depth - 1));
+      default: return ir::neg(scalar(depth - 1));
+    }
+}
+
+ExprPtr
+RandomProgramGenerator::generateAt(int depth, int width)
+{
+    if (width <= 1) return scalar(depth);
+    std::vector<ExprPtr> slots;
+    slots.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) slots.push_back(scalar(depth));
+    return ir::vec(std::move(slots));
+}
+
+ExprPtr
+RandomProgramGenerator::generate()
+{
+    const int depth = static_cast<int>(
+        rng_.uniformRange(config_.min_depth, config_.max_depth));
+    const int width = static_cast<int>(
+        rng_.uniformRange(config_.min_width, config_.max_width));
+    return generateAt(depth, width);
+}
+
+} // namespace chehab::dataset

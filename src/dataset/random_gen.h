@@ -1,0 +1,49 @@
+/// \file
+/// Uniform random IR generator (Appendix H.2) — the baseline corpus for
+/// the LLM-vs-random training-data ablation (Fig. 8) and the BPE training
+/// corpus (Fig. 10). Samples expression trees with a uniform mixture of
+/// operators, balanced across (depth, vector size) combinations.
+#pragma once
+
+#include "ir/expr.h"
+#include "support/rng.h"
+
+namespace chehab::dataset {
+
+/// Configuration of the random generator.
+struct RandomGenConfig
+{
+    int min_depth = 1;
+    int max_depth = 8;      ///< Paper sweeps 1-15.
+    int min_width = 1;
+    int max_width = 8;      ///< Paper sweeps 1-32.
+    int num_variables = 8;  ///< Distinct input variables to draw from.
+    double leaf_probability = 0.3;
+    double const_probability = 0.15;
+    double plain_probability = 0.1;
+};
+
+/// Recursive uniform sampler over scalar expressions packed into a Vec.
+class RandomProgramGenerator
+{
+  public:
+    explicit RandomProgramGenerator(std::uint64_t seed,
+                                    RandomGenConfig config = {})
+        : rng_(seed), config_(config)
+    {}
+
+    /// One random well-typed program.
+    ir::ExprPtr generate();
+
+    /// A program at a specific (depth, width) cell of the sweep.
+    ir::ExprPtr generateAt(int depth, int width);
+
+  private:
+    ir::ExprPtr scalar(int depth);
+    ir::ExprPtr leaf();
+
+    Rng rng_;
+    RandomGenConfig config_;
+};
+
+} // namespace chehab::dataset

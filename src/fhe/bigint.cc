@@ -1,0 +1,181 @@
+#include "fhe/bigint.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace chehab::fhe {
+
+BigInt::BigInt(std::uint64_t value)
+{
+    if (value != 0) limbs_.push_back(value);
+}
+
+void
+BigInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+bool
+BigInt::isZero() const
+{
+    return limbs_.empty();
+}
+
+int
+BigInt::bitLength() const
+{
+    if (limbs_.empty()) return 0;
+    const std::uint64_t top = limbs_.back();
+    const int top_bits = 64 - __builtin_clzll(top);
+    return static_cast<int>(limbs_.size() - 1) * 64 + top_bits;
+}
+
+int
+BigInt::compare(const BigInt& other) const
+{
+    if (limbs_.size() != other.limbs_.size()) {
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    }
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i]) {
+            return limbs_[i] < other.limbs_[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+BigInt
+BigInt::add(const BigInt& other) const
+{
+    BigInt result;
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    result.limbs_.resize(n, 0);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned __int128 sum = carry;
+        if (i < limbs_.size()) sum += limbs_[i];
+        if (i < other.limbs_.size()) sum += other.limbs_[i];
+        result.limbs_[i] = static_cast<std::uint64_t>(sum);
+        carry = sum >> 64;
+    }
+    if (carry) result.limbs_.push_back(static_cast<std::uint64_t>(carry));
+    return result;
+}
+
+BigInt
+BigInt::subtract(const BigInt& other) const
+{
+    CHEHAB_ASSERT(compare(other) >= 0, "BigInt subtract underflow");
+    BigInt result;
+    result.limbs_.resize(limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t rhs =
+            i < other.limbs_.size() ? other.limbs_[i] : 0;
+        unsigned __int128 lhs = limbs_[i];
+        unsigned __int128 sub =
+            static_cast<unsigned __int128>(rhs) +
+            static_cast<unsigned __int128>(borrow);
+        if (lhs >= sub) {
+            result.limbs_[i] = static_cast<std::uint64_t>(lhs - sub);
+            borrow = 0;
+        } else {
+            result.limbs_[i] = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(1) << 64) + lhs - sub);
+            borrow = 1;
+        }
+    }
+    result.trim();
+    return result;
+}
+
+BigInt
+BigInt::multiplySmall(std::uint64_t factor) const
+{
+    if (factor == 0 || isZero()) return BigInt();
+    BigInt result;
+    result.limbs_.resize(limbs_.size(), 0);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const unsigned __int128 product =
+            static_cast<unsigned __int128>(limbs_[i]) * factor + carry;
+        result.limbs_[i] = static_cast<std::uint64_t>(product);
+        carry = product >> 64;
+    }
+    if (carry) result.limbs_.push_back(static_cast<std::uint64_t>(carry));
+    return result;
+}
+
+BigInt
+BigInt::multiply(const BigInt& other) const
+{
+    if (isZero() || other.isZero()) return BigInt();
+    BigInt result;
+    result.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        unsigned __int128 carry = 0;
+        for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+            const unsigned __int128 cur =
+                static_cast<unsigned __int128>(limbs_[i]) *
+                    other.limbs_[j] +
+                result.limbs_[i + j] + carry;
+            result.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+            carry = cur >> 64;
+        }
+        std::size_t k = i + other.limbs_.size();
+        while (carry) {
+            const unsigned __int128 cur = result.limbs_[k] + carry;
+            result.limbs_[k] = static_cast<std::uint64_t>(cur);
+            carry = cur >> 64;
+            ++k;
+        }
+    }
+    result.trim();
+    return result;
+}
+
+BigInt
+BigInt::divmodSmall(std::uint64_t divisor, std::uint64_t& remainder) const
+{
+    CHEHAB_ASSERT(divisor != 0, "division by zero");
+    BigInt quotient;
+    quotient.limbs_.resize(limbs_.size(), 0);
+    unsigned __int128 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        const unsigned __int128 cur = (rem << 64) | limbs_[i];
+        quotient.limbs_[i] = static_cast<std::uint64_t>(cur / divisor);
+        rem = cur % divisor;
+    }
+    quotient.trim();
+    remainder = static_cast<std::uint64_t>(rem);
+    return quotient;
+}
+
+BigInt
+BigInt::reduceBySubtraction(const BigInt& modulus) const
+{
+    BigInt value = *this;
+    while (value.compare(modulus) >= 0) {
+        value = value.subtract(modulus);
+    }
+    return value;
+}
+
+std::string
+BigInt::toString() const
+{
+    if (isZero()) return "0";
+    BigInt value = *this;
+    std::string digits;
+    while (!value.isZero()) {
+        std::uint64_t rem = 0;
+        value = value.divmodSmall(10, rem);
+        digits.push_back(static_cast<char>('0' + rem));
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+} // namespace chehab::fhe

@@ -1,0 +1,89 @@
+#include "fhe/modarith.h"
+
+#include "support/error.h"
+
+namespace chehab::fhe {
+
+std::uint64_t
+powMod(std::uint64_t a, std::uint64_t e, std::uint64_t m)
+{
+    std::uint64_t result = 1 % m;
+    a %= m;
+    while (e > 0) {
+        if (e & 1) result = mulMod(result, a, m);
+        a = mulMod(a, a, m);
+        e >>= 1;
+    }
+    return result;
+}
+
+std::uint64_t
+invMod(std::uint64_t a, std::uint64_t m)
+{
+    return powMod(a, m - 2, m);
+}
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2) return false;
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                            19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0) return n == p;
+    }
+    std::uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic witness set for 64-bit integers.
+    for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                            19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (a % n == 0) continue;
+        std::uint64_t x = powMod(a, d, n);
+        if (x == 1 || x == n - 1) continue;
+        bool composite = true;
+        for (int i = 1; i < r; ++i) {
+            x = mulMod(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+std::vector<std::uint64_t>
+findNttPrimes(int bits, int count, std::uint64_t modulus_step)
+{
+    std::vector<std::uint64_t> primes;
+    // Walk downward from 2^bits in steps that preserve ≡ 1 (mod step).
+    std::uint64_t candidate =
+        ((1ULL << bits) / modulus_step) * modulus_step + 1;
+    while (static_cast<int>(primes.size()) < count && candidate > modulus_step) {
+        if (isPrime(candidate)) primes.push_back(candidate);
+        candidate -= modulus_step;
+    }
+    CHEHAB_ASSERT(static_cast<int>(primes.size()) == count,
+                  "not enough NTT primes at this bit width");
+    return primes;
+}
+
+std::uint64_t
+findPrimitiveRoot(std::uint64_t two_n, std::uint64_t p)
+{
+    CHEHAB_ASSERT((p - 1) % two_n == 0, "2n must divide p-1");
+    const std::uint64_t cofactor = (p - 1) / two_n;
+    for (std::uint64_t g = 2; g < p; ++g) {
+        const std::uint64_t candidate = powMod(g, cofactor, p);
+        // Primitive iff candidate^(2n/2) = -1.
+        if (powMod(candidate, two_n / 2, p) == p - 1) return candidate;
+    }
+    CHEHAB_ASSERT(false, "no primitive root found");
+    return 0;
+}
+
+} // namespace chehab::fhe

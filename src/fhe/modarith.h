@@ -1,0 +1,53 @@
+/// \file
+/// 64-bit modular arithmetic primitives for the SealLite RLWE backend:
+/// mulmod via 128-bit intermediates, exponentiation, inverses, NTT-friendly
+/// prime generation and primitive-root search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chehab::fhe {
+
+/// (a * b) mod m with a,b < m < 2^63.
+inline std::uint64_t
+mulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<__uint128_t>(a) * b % m);
+}
+
+/// (a + b) mod m with a,b < m.
+inline std::uint64_t
+addMod(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    const std::uint64_t s = a + b;
+    return s >= m ? s - m : s;
+}
+
+/// (a - b) mod m with a,b < m.
+inline std::uint64_t
+subMod(std::uint64_t a, std::uint64_t b, std::uint64_t m)
+{
+    return a >= b ? a - b : a + m - b;
+}
+
+/// a^e mod m.
+std::uint64_t powMod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+/// Multiplicative inverse mod prime m (Fermat).
+std::uint64_t invMod(std::uint64_t a, std::uint64_t m);
+
+/// Miller-Rabin primality (deterministic bases for 64-bit).
+bool isPrime(std::uint64_t n);
+
+/// Find \p count distinct primes of roughly \p bits bits with
+/// p ≡ 1 (mod modulus_step); used for NTT-friendly coefficient-modulus
+/// chains (step = 2n).
+std::vector<std::uint64_t> findNttPrimes(int bits, int count,
+                                         std::uint64_t modulus_step);
+
+/// A primitive 2n-th root of unity mod prime p (requires 2n | p-1).
+std::uint64_t findPrimitiveRoot(std::uint64_t two_n, std::uint64_t p);
+
+} // namespace chehab::fhe

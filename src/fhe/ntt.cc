@@ -1,0 +1,101 @@
+#include "fhe/ntt.h"
+
+#include "fhe/modarith.h"
+#include "support/error.h"
+
+namespace chehab::fhe {
+
+namespace {
+
+/// Reverse the low \p bits bits of \p value.
+std::uint32_t
+reverseBits(std::uint32_t value, int bits)
+{
+    std::uint32_t result = 0;
+    for (int i = 0; i < bits; ++i) {
+        result = (result << 1) | ((value >> i) & 1);
+    }
+    return result;
+}
+
+} // namespace
+
+NttTables::NttTables(int n, std::uint64_t p) : n_(n), p_(p)
+{
+    CHEHAB_ASSERT((n & (n - 1)) == 0, "n must be a power of two");
+    CHEHAB_ASSERT((p - 1) % (2 * static_cast<std::uint64_t>(n)) == 0,
+                  "p must be NTT-friendly");
+    int log_n = 0;
+    while ((1 << log_n) < n) ++log_n;
+
+    const std::uint64_t psi =
+        findPrimitiveRoot(2 * static_cast<std::uint64_t>(n), p);
+    const std::uint64_t psi_inv = invMod(psi, p);
+
+    root_powers_.resize(static_cast<std::size_t>(n));
+    inv_root_powers_.resize(static_cast<std::size_t>(n));
+    std::uint64_t power = 1;
+    std::uint64_t inv_power = 1;
+    std::vector<std::uint64_t> natural(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> inv_natural(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        natural[static_cast<std::size_t>(i)] = power;
+        inv_natural[static_cast<std::size_t>(i)] = inv_power;
+        power = mulMod(power, psi, p);
+        inv_power = mulMod(inv_power, psi_inv, p);
+    }
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t rev =
+            reverseBits(static_cast<std::uint32_t>(i), log_n);
+        root_powers_[static_cast<std::size_t>(i)] = natural[rev];
+        inv_root_powers_[static_cast<std::size_t>(i)] = inv_natural[rev];
+    }
+    inv_n_ = invMod(static_cast<std::uint64_t>(n), p);
+}
+
+void
+NttTables::forward(std::uint64_t* values) const
+{
+    // Cooley-Tukey, Harvey-style loop structure (SEAL's layout).
+    std::size_t t = static_cast<std::size_t>(n_) >> 1;
+    for (std::size_t m = 1; m < static_cast<std::size_t>(n_); m <<= 1) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const std::size_t j2 = j1 + t;
+            const std::uint64_t w = root_powers_[m + i];
+            for (std::size_t j = j1; j < j2; ++j) {
+                const std::uint64_t u = values[j];
+                const std::uint64_t v = mulMod(values[j + t], w, p_);
+                values[j] = addMod(u, v, p_);
+                values[j + t] = subMod(u, v, p_);
+            }
+        }
+        t >>= 1;
+    }
+}
+
+void
+NttTables::inverse(std::uint64_t* values) const
+{
+    // Gentleman-Sande.
+    std::size_t t = 1;
+    for (std::size_t m = static_cast<std::size_t>(n_) >> 1; m >= 1; m >>= 1) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const std::size_t j2 = j1 + t;
+            const std::uint64_t w = inv_root_powers_[m + i];
+            for (std::size_t j = j1; j < j2; ++j) {
+                const std::uint64_t u = values[j];
+                const std::uint64_t v = values[j + t];
+                values[j] = addMod(u, v, p_);
+                values[j + t] = mulMod(subMod(u, v, p_), w, p_);
+            }
+        }
+        t <<= 1;
+    }
+    for (int i = 0; i < n_; ++i) {
+        values[i] = mulMod(values[i], inv_n_, p_);
+    }
+}
+
+} // namespace chehab::fhe

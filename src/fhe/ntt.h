@@ -1,0 +1,39 @@
+/// \file
+/// Negacyclic Number-Theoretic Transform over a 64-bit NTT-friendly prime
+/// (p ≡ 1 mod 2n). Used for fast polynomial multiplication in
+/// Z_p[x]/(x^n + 1). The forward transform leaves values in scrambled
+/// (bit-reversed) order; the inverse consumes that order, so the pair is
+/// only used around pointwise products, as in SEAL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chehab::fhe {
+
+/// Precomputed tables for one (n, p) pair.
+class NttTables
+{
+  public:
+    NttTables() = default;
+    /// \p n must be a power of two with 2n | p-1.
+    NttTables(int n, std::uint64_t p);
+
+    int n() const { return n_; }
+    std::uint64_t modulus() const { return p_; }
+
+    /// In-place forward negacyclic NTT (natural -> scrambled order).
+    void forward(std::uint64_t* values) const;
+
+    /// In-place inverse negacyclic NTT (scrambled -> natural order).
+    void inverse(std::uint64_t* values) const;
+
+  private:
+    int n_ = 0;
+    std::uint64_t p_ = 0;
+    std::vector<std::uint64_t> root_powers_;     ///< psi powers, bit-rev.
+    std::vector<std::uint64_t> inv_root_powers_; ///< psi^-1 powers, bit-rev.
+    std::uint64_t inv_n_ = 0;
+};
+
+} // namespace chehab::fhe

@@ -1,0 +1,583 @@
+#include "fhe/sealite.h"
+
+#include <cmath>
+
+#include "fhe/modarith.h"
+#include "support/error.h"
+
+namespace chehab::fhe {
+
+SealLite::SealLite(SealLiteParams params)
+    : params_(params), rng_(params.seed)
+{
+    const auto n = static_cast<std::uint64_t>(params_.n);
+    CHEHAB_ASSERT((params_.n & (params_.n - 1)) == 0,
+                  "n must be a power of two");
+    CHEHAB_ASSERT((params_.plain_modulus - 1) % (2 * n) == 0,
+                  "t must be ≡ 1 (mod 2n) for batching");
+
+    primes_ = findNttPrimes(params_.prime_bits, params_.prime_count, 2 * n);
+    ntt_.reserve(primes_.size());
+    for (std::uint64_t p : primes_) {
+        ntt_.emplace_back(params_.n, p);
+    }
+
+    // q and the CRT recomposition constants.
+    q_ = BigInt(1);
+    for (std::uint64_t p : primes_) q_ = q_.multiplySmall(p);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        BigInt q_hat(1);
+        for (std::size_t j = 0; j < primes_.size(); ++j) {
+            if (j != i) q_hat = q_hat.multiplySmall(primes_[j]);
+        }
+        // (q/q_i) mod q_i via divmod on the bignum.
+        std::uint64_t q_hat_mod_qi = 0;
+        q_hat.divmodSmall(primes_[i], q_hat_mod_qi);
+        q_hat_inv_.push_back(invMod(q_hat_mod_qi, primes_[i]));
+        q_hat_.push_back(std::move(q_hat));
+    }
+
+    // Batching tables mod t: zeta is a primitive 2n-th root; slot j of
+    // row 0 is the evaluation at zeta^(3^j mod 2n).
+    const std::uint64_t t = params_.plain_modulus;
+    const std::uint64_t zeta = findPrimitiveRoot(2 * n, t);
+    zeta_powers_.resize(2 * n);
+    std::uint64_t power = 1;
+    for (std::uint64_t i = 0; i < 2 * n; ++i) {
+        zeta_powers_[i] = power;
+        power = mulMod(power, zeta, t);
+    }
+    slot_exponents_.resize(static_cast<std::size_t>(params_.n) / 2);
+    std::uint64_t e = 1;
+    for (auto& exponent : slot_exponents_) {
+        exponent = static_cast<int>(e);
+        e = (e * 3) % (2 * n);
+    }
+    inv_n_mod_t_ = invMod(n % t, t);
+
+    // Key material.
+    secret_ = sampleTernary();
+    secret_rns_ = liftSmall(secret_);
+    relin_key_ = makeKeySwitchKey(mulPoly(secret_rns_, secret_rns_));
+}
+
+// ---------------------------------------------------------------------
+// Sampling and RNS helpers.
+// ---------------------------------------------------------------------
+
+RnsPoly
+SealLite::zeroPoly() const
+{
+    RnsPoly poly;
+    poly.k = static_cast<int>(primes_.size());
+    poly.n = params_.n;
+    poly.data.assign(static_cast<std::size_t>(poly.k) * poly.n, 0);
+    return poly;
+}
+
+RnsPoly
+SealLite::uniformPoly()
+{
+    RnsPoly poly = zeroPoly();
+    for (int i = 0; i < poly.k; ++i) {
+        std::uint64_t* c = poly.component(i);
+        for (int j = 0; j < poly.n; ++j) c[j] = rng_.uniformInt(primes_[static_cast<std::size_t>(i)]);
+    }
+    return poly;
+}
+
+RnsPoly
+SealLite::liftSmall(const std::vector<int>& coeffs) const
+{
+    RnsPoly poly = zeroPoly();
+    for (int i = 0; i < poly.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* c = poly.component(i);
+        for (int j = 0; j < poly.n; ++j) {
+            const int v = coeffs[static_cast<std::size_t>(j)];
+            c[j] = v >= 0 ? static_cast<std::uint64_t>(v)
+                          : p - static_cast<std::uint64_t>(-v);
+        }
+    }
+    return poly;
+}
+
+std::vector<int>
+SealLite::sampleTernary()
+{
+    std::vector<int> coeffs(static_cast<std::size_t>(params_.n));
+    for (auto& c : coeffs) {
+        c = static_cast<int>(rng_.uniformInt(3)) - 1;
+    }
+    return coeffs;
+}
+
+std::vector<int>
+SealLite::sampleError()
+{
+    // Rounded gaussian with sigma = error_stddev_x10/10, clipped at 6σ.
+    const double sigma = params_.error_stddev_x10 / 10.0;
+    std::vector<int> coeffs(static_cast<std::size_t>(params_.n));
+    for (auto& c : coeffs) {
+        double draw = rng_.normal() * sigma;
+        const double bound = 6.0 * sigma;
+        if (draw > bound) draw = bound;
+        if (draw < -bound) draw = -bound;
+        c = static_cast<int>(std::lround(draw));
+    }
+    return coeffs;
+}
+
+void
+SealLite::addInPlace(RnsPoly& a, const RnsPoly& b) const
+{
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* x = a.component(i);
+        const std::uint64_t* y = b.component(i);
+        for (int j = 0; j < a.n; ++j) x[j] = addMod(x[j], y[j], p);
+    }
+}
+
+void
+SealLite::subInPlace(RnsPoly& a, const RnsPoly& b) const
+{
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* x = a.component(i);
+        const std::uint64_t* y = b.component(i);
+        for (int j = 0; j < a.n; ++j) x[j] = subMod(x[j], y[j], p);
+    }
+}
+
+void
+SealLite::negateInPlace(RnsPoly& a) const
+{
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* x = a.component(i);
+        for (int j = 0; j < a.n; ++j) x[j] = x[j] == 0 ? 0 : p - x[j];
+    }
+}
+
+RnsPoly
+SealLite::mulPoly(const RnsPoly& a, const RnsPoly& b) const
+{
+    RnsPoly result = zeroPoly();
+    std::vector<std::uint64_t> fa(static_cast<std::size_t>(params_.n));
+    std::vector<std::uint64_t> fb(static_cast<std::size_t>(params_.n));
+    for (int i = 0; i < result.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        const std::uint64_t* x = a.component(i);
+        const std::uint64_t* y = b.component(i);
+        std::copy(x, x + params_.n, fa.begin());
+        std::copy(y, y + params_.n, fb.begin());
+        ntt_[static_cast<std::size_t>(i)].forward(fa.data());
+        ntt_[static_cast<std::size_t>(i)].forward(fb.data());
+        for (int j = 0; j < params_.n; ++j) {
+            fa[static_cast<std::size_t>(j)] =
+                mulMod(fa[static_cast<std::size_t>(j)],
+                       fb[static_cast<std::size_t>(j)], p);
+        }
+        ntt_[static_cast<std::size_t>(i)].inverse(fa.data());
+        std::copy(fa.begin(), fa.end(), result.component(i));
+    }
+    return result;
+}
+
+RnsPoly
+SealLite::applyAutomorphism(const RnsPoly& a,
+                            std::uint64_t galois_element) const
+{
+    RnsPoly result = zeroPoly();
+    const auto two_n = static_cast<std::uint64_t>(2 * params_.n);
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        const std::uint64_t* x = a.component(i);
+        std::uint64_t* y = result.component(i);
+        for (int j = 0; j < params_.n; ++j) {
+            const std::uint64_t raw =
+                (static_cast<std::uint64_t>(j) * galois_element) % two_n;
+            if (raw < static_cast<std::uint64_t>(params_.n)) {
+                y[raw] = x[j];
+            } else {
+                const std::uint64_t idx = raw - params_.n;
+                y[idx] = x[j] == 0 ? 0 : p - x[j];
+            }
+        }
+    }
+    return result;
+}
+
+RnsPoly
+SealLite::liftPlain(const Plaintext& plain) const
+{
+    RnsPoly poly = zeroPoly();
+    for (int i = 0; i < poly.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* c = poly.component(i);
+        for (int j = 0; j < poly.n; ++j) {
+            c[j] = plain.coeffs[static_cast<std::size_t>(j)] % p;
+        }
+    }
+    return poly;
+}
+
+// ---------------------------------------------------------------------
+// Batching.
+// ---------------------------------------------------------------------
+
+Plaintext
+SealLite::encode(const std::vector<std::int64_t>& values) const
+{
+    CHEHAB_ASSERT(static_cast<int>(values.size()) <= slots(),
+                  "too many values for the batching row");
+    const std::uint64_t t = params_.plain_modulus;
+    const auto two_n = static_cast<std::uint64_t>(2 * params_.n);
+
+    // Slot values (row 0 = requested vector, row 1 = zeros).
+    std::vector<std::uint64_t> slot_values(slot_exponents_.size(), 0);
+    for (std::size_t j = 0; j < values.size(); ++j) {
+        const std::int64_t v = values[j] % static_cast<std::int64_t>(t);
+        slot_values[j] =
+            v >= 0 ? static_cast<std::uint64_t>(v)
+                   : t - static_cast<std::uint64_t>(-v);
+    }
+
+    // c_k = n^{-1} * sum_j v_j * zeta^{-e_j * k}   (exact inverse CRT,
+    // see DESIGN.md; O(n^2) on purpose — simple and obviously correct).
+    Plaintext plain;
+    plain.coeffs.assign(static_cast<std::size_t>(params_.n), 0);
+    for (int k = 0; k < params_.n; ++k) {
+        std::uint64_t acc = 0;
+        for (std::size_t j = 0; j < slot_exponents_.size(); ++j) {
+            if (slot_values[j] == 0) continue;
+            const std::uint64_t exponent =
+                (two_n -
+                 (static_cast<std::uint64_t>(slot_exponents_[j]) * k) %
+                     two_n) %
+                two_n;
+            acc = addMod(acc,
+                         mulMod(slot_values[j], zeta_powers_[exponent], t),
+                         t);
+        }
+        plain.coeffs[static_cast<std::size_t>(k)] =
+            mulMod(acc, inv_n_mod_t_, t);
+    }
+    return plain;
+}
+
+std::vector<std::int64_t>
+SealLite::decode(const Plaintext& plain) const
+{
+    const std::uint64_t t = params_.plain_modulus;
+    const auto two_n = static_cast<std::uint64_t>(2 * params_.n);
+    std::vector<std::int64_t> values(slot_exponents_.size(), 0);
+    for (std::size_t j = 0; j < slot_exponents_.size(); ++j) {
+        std::uint64_t acc = 0;
+        for (int k = 0; k < params_.n; ++k) {
+            const std::uint64_t coeff =
+                plain.coeffs[static_cast<std::size_t>(k)];
+            if (coeff == 0) continue;
+            const std::uint64_t exponent =
+                (static_cast<std::uint64_t>(slot_exponents_[j]) * k) % two_n;
+            acc = addMod(acc, mulMod(coeff, zeta_powers_[exponent], t), t);
+        }
+        values[j] = static_cast<std::int64_t>(acc);
+    }
+    return values;
+}
+
+// ---------------------------------------------------------------------
+// Encryption / decryption.
+// ---------------------------------------------------------------------
+
+Ciphertext
+SealLite::encrypt(const Plaintext& plain)
+{
+    Ciphertext ct;
+    ct.c1 = uniformPoly();
+    // c0 = -(a*s) + t*e + m.
+    ct.c0 = mulPoly(ct.c1, secret_rns_);
+    negateInPlace(ct.c0);
+    std::vector<int> error = sampleError();
+    const auto t = static_cast<int>(params_.plain_modulus);
+    for (auto& e : error) e *= t;
+    addInPlace(ct.c0, liftSmall(error));
+    addInPlace(ct.c0, liftPlain(plain));
+    return ct;
+}
+
+BigInt
+SealLite::recomposeCoeff(const RnsPoly& poly, int index) const
+{
+    BigInt value;
+    for (int i = 0; i < poly.k; ++i) {
+        const std::uint64_t scaled =
+            mulMod(poly.component(i)[index],
+                   q_hat_inv_[static_cast<std::size_t>(i)],
+                   primes_[static_cast<std::size_t>(i)]);
+        value = value.add(
+            q_hat_[static_cast<std::size_t>(i)].multiplySmall(scaled));
+    }
+    return value.reduceBySubtraction(q_);
+}
+
+Plaintext
+SealLite::decryptPlain(const Ciphertext& ct) const
+{
+    // v = c0 + c1*s mod q; m = (centered v) mod t.
+    RnsPoly v = mulPoly(ct.c1, secret_rns_);
+    addInPlace(v, ct.c0);
+
+    const std::uint64_t t = params_.plain_modulus;
+    std::uint64_t q_mod_t = 0;
+    q_.divmodSmall(t, q_mod_t);
+
+    BigInt half_q = q_;
+    {
+        std::uint64_t rem = 0;
+        half_q = half_q.divmodSmall(2, rem);
+    }
+
+    Plaintext plain;
+    plain.coeffs.assign(static_cast<std::size_t>(params_.n), 0);
+    for (int j = 0; j < params_.n; ++j) {
+        const BigInt value = recomposeCoeff(v, j);
+        std::uint64_t value_mod_t = 0;
+        value.divmodSmall(t, value_mod_t);
+        if (value.compare(half_q) > 0) {
+            // True integer is value - q (negative lift).
+            value_mod_t = subMod(value_mod_t, q_mod_t, t);
+        }
+        plain.coeffs[static_cast<std::size_t>(j)] = value_mod_t;
+    }
+    return plain;
+}
+
+std::vector<std::int64_t>
+SealLite::decrypt(const Ciphertext& ct) const
+{
+    return decode(decryptPlain(ct));
+}
+
+// ---------------------------------------------------------------------
+// Evaluator.
+// ---------------------------------------------------------------------
+
+Ciphertext
+SealLite::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext out = a;
+    addInPlace(out.c0, b.c0);
+    addInPlace(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+SealLite::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext out = a;
+    subInPlace(out.c0, b.c0);
+    subInPlace(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+SealLite::negate(const Ciphertext& a) const
+{
+    Ciphertext out = a;
+    negateInPlace(out.c0);
+    negateInPlace(out.c1);
+    return out;
+}
+
+Ciphertext
+SealLite::addPlain(const Ciphertext& a, const Plaintext& plain) const
+{
+    Ciphertext out = a;
+    addInPlace(out.c0, liftPlain(plain));
+    return out;
+}
+
+Ciphertext
+SealLite::mulPlain(const Ciphertext& a, const Plaintext& plain) const
+{
+    const RnsPoly lifted = liftPlain(plain);
+    Ciphertext out;
+    out.c0 = mulPoly(a.c0, lifted);
+    out.c1 = mulPoly(a.c1, lifted);
+    return out;
+}
+
+int
+SealLite::digitsPerPrime() const
+{
+    return (params_.prime_bits + params_.decomp_bits - 1) /
+           params_.decomp_bits;
+}
+
+SealLite::KeySwitchKey
+SealLite::makeKeySwitchKey(const RnsPoly& target)
+{
+    KeySwitchKey key;
+    const int k = static_cast<int>(primes_.size());
+    const int digits = digitsPerPrime();
+    const auto t = static_cast<int>(params_.plain_modulus);
+    for (int i = 0; i < k; ++i) {
+        const std::uint64_t p_i = primes_[static_cast<std::size_t>(i)];
+        for (int d = 0; d < digits; ++d) {
+            RnsPoly a_id = uniformPoly();
+            RnsPoly b_id = mulPoly(a_id, secret_rns_);
+            negateInPlace(b_id);
+            std::vector<int> error = sampleError();
+            for (auto& e : error) e *= t;
+            addInPlace(b_id, liftSmall(error));
+            // + T_i * B^d * target: the CRT basis vector T_i is 1 mod q_i
+            // and 0 mod q_j, so in RNS this touches component i alone.
+            const std::uint64_t base_power = powMod(
+                1ULL << params_.decomp_bits,
+                static_cast<std::uint64_t>(d), p_i);
+            std::uint64_t* dst = b_id.component(i);
+            const std::uint64_t* src = target.component(i);
+            for (int j = 0; j < params_.n; ++j) {
+                dst[j] = addMod(dst[j], mulMod(src[j], base_power, p_i),
+                                p_i);
+            }
+            key.a.push_back(std::move(a_id));
+            key.b.push_back(std::move(b_id));
+        }
+    }
+    return key;
+}
+
+void
+SealLite::keySwitch(const RnsPoly& poly, const KeySwitchKey& key,
+                    RnsPoly& delta_c0, RnsPoly& delta_c1) const
+{
+    const int k = static_cast<int>(primes_.size());
+    const int digits = digitsPerPrime();
+    const std::uint64_t mask = (1ULL << params_.decomp_bits) - 1;
+    for (int i = 0; i < k; ++i) {
+        const std::uint64_t* residues = poly.component(i);
+        for (int d = 0; d < digits; ++d) {
+            // Base-2^w digit of the i-th residue polynomial; digit values
+            // are < 2^w < every prime, so the RNS lift is a plain copy.
+            RnsPoly digit = zeroPoly();
+            bool nonzero = false;
+            for (int x = 0; x < params_.n; ++x) {
+                const std::uint64_t v =
+                    (residues[x] >> (d * params_.decomp_bits)) & mask;
+                if (v != 0) nonzero = true;
+                for (int j = 0; j < k; ++j) digit.component(j)[x] = v;
+            }
+            if (!nonzero) continue;
+            const std::size_t idx =
+                static_cast<std::size_t>(i) * digits + d;
+            addInPlace(delta_c0, mulPoly(key.b[idx], digit));
+            addInPlace(delta_c1, mulPoly(key.a[idx], digit));
+        }
+    }
+}
+
+Ciphertext
+SealLite::multiply(const Ciphertext& a, const Ciphertext& b) const
+{
+    // Tensor product (degree 2), then relinearize with the RNS key.
+    RnsPoly e0 = mulPoly(a.c0, b.c0);
+    RnsPoly e1 = mulPoly(a.c0, b.c1);
+    addInPlace(e1, mulPoly(a.c1, b.c0));
+    const RnsPoly e2 = mulPoly(a.c1, b.c1);
+
+    Ciphertext out;
+    out.c0 = std::move(e0);
+    out.c1 = std::move(e1);
+    keySwitch(e2, relin_key_, out.c0, out.c1);
+    return out;
+}
+
+std::uint64_t
+SealLite::galoisElement(int step) const
+{
+    const int half = params_.n / 2;
+    const int normalized = ((step % half) + half) % half;
+    return powMod(3, static_cast<std::uint64_t>(normalized),
+                  static_cast<std::uint64_t>(2 * params_.n));
+}
+
+void
+SealLite::makeGaloisKeys(const std::vector<int>& steps)
+{
+    for (int step : steps) {
+        const int half = params_.n / 2;
+        const int normalized = ((step % half) + half) % half;
+        if (normalized == 0 || galois_keys_.count(normalized)) continue;
+        const std::uint64_t g = galoisElement(normalized);
+        galois_elements_[normalized] = g;
+        galois_keys_.emplace(normalized,
+                             makeKeySwitchKey(applyAutomorphism(
+                                 secret_rns_, g)));
+    }
+}
+
+bool
+SealLite::hasGaloisKey(int step) const
+{
+    const int half = params_.n / 2;
+    const int normalized = ((step % half) + half) % half;
+    return normalized == 0 || galois_keys_.count(normalized) > 0;
+}
+
+Ciphertext
+SealLite::rotate(const Ciphertext& a, int step) const
+{
+    const int half = params_.n / 2;
+    const int normalized = ((step % half) + half) % half;
+    if (normalized == 0) return a;
+    auto key_it = galois_keys_.find(normalized);
+    CHEHAB_ASSERT(key_it != galois_keys_.end(),
+                  "missing Galois key for rotation step");
+    const std::uint64_t g = galois_elements_.at(normalized);
+
+    Ciphertext out;
+    out.c0 = applyAutomorphism(a.c0, g);
+    out.c1 = zeroPoly();
+    const RnsPoly rotated_c1 = applyAutomorphism(a.c1, g);
+    keySwitch(rotated_c1, key_it->second, out.c0, out.c1);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Noise measurement.
+// ---------------------------------------------------------------------
+
+int
+SealLite::noiseBudgetBits(const Ciphertext& ct) const
+{
+    RnsPoly v = mulPoly(ct.c1, secret_rns_);
+    addInPlace(v, ct.c0);
+
+    BigInt max_magnitude;
+    for (int j = 0; j < params_.n; ++j) {
+        const BigInt value = recomposeCoeff(v, j);
+        const BigInt complement = q_.subtract(value);
+        const BigInt magnitude =
+            value.compare(complement) <= 0 ? value : complement;
+        if (magnitude.compare(max_magnitude) > 0) max_magnitude = magnitude;
+    }
+    const int budget = (q_.bitLength() - 1) - max_magnitude.bitLength();
+    return budget;
+}
+
+int
+SealLite::freshNoiseBudget()
+{
+    if (fresh_budget_ < 0) {
+        Plaintext zero;
+        zero.coeffs.assign(static_cast<std::size_t>(params_.n), 0);
+        fresh_budget_ = noiseBudgetBits(encrypt(zero));
+    }
+    return fresh_budget_;
+}
+
+} // namespace chehab::fhe

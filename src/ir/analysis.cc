@@ -1,0 +1,303 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.h"
+
+namespace chehab::ir {
+
+namespace {
+
+TypeInfo
+typeOfImpl(const ExprPtr& e)
+{
+    switch (e->op()) {
+      case Op::Var:
+        return {false, 1, false};
+      case Op::PlainVar:
+      case Op::Const:
+        return {false, 1, true};
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul: {
+        const TypeInfo a = typeOfImpl(e->child(0));
+        const TypeInfo b = typeOfImpl(e->child(1));
+        if (a.is_vector || b.is_vector) {
+            throw CompileError("scalar operator applied to vector operand in " +
+                               e->toString());
+        }
+        return {false, 1, a.is_plain && b.is_plain};
+      }
+      case Op::Neg: {
+        const TypeInfo a = typeOfImpl(e->child(0));
+        if (a.is_vector) {
+            throw CompileError("scalar negation of vector operand");
+        }
+        return {false, 1, a.is_plain};
+      }
+      case Op::Rotate: {
+        const TypeInfo a = typeOfImpl(e->child(0));
+        if (!a.is_vector) {
+            throw CompileError("rotation of a scalar operand");
+        }
+        return {true, a.width, a.is_plain};
+      }
+      case Op::Vec: {
+        bool plain = true;
+        for (const auto& child : e->children()) {
+            const TypeInfo t = typeOfImpl(child);
+            if (t.is_vector) {
+                throw CompileError("nested vector inside Vec constructor");
+            }
+            plain = plain && t.is_plain;
+        }
+        return {true, static_cast<int>(e->arity()), plain};
+      }
+      case Op::VecAdd:
+      case Op::VecSub:
+      case Op::VecMul: {
+        const TypeInfo a = typeOfImpl(e->child(0));
+        const TypeInfo b = typeOfImpl(e->child(1));
+        if (!a.is_vector || !b.is_vector) {
+            throw CompileError("vector operator applied to scalar operand");
+        }
+        if (a.width != b.width) {
+            throw CompileError("vector width mismatch: " +
+                               std::to_string(a.width) + " vs " +
+                               std::to_string(b.width));
+        }
+        return {true, a.width, a.is_plain && b.is_plain};
+      }
+      case Op::VecNeg: {
+        const TypeInfo a = typeOfImpl(e->child(0));
+        if (!a.is_vector) {
+            throw CompileError("vector negation of scalar operand");
+        }
+        return {true, a.width, a.is_plain};
+      }
+    }
+    CHEHAB_ASSERT(false, "unhandled op in typeOf");
+    return {};
+}
+
+} // namespace
+
+TypeInfo
+typeOf(const ExprPtr& e)
+{
+    return typeOfImpl(e);
+}
+
+bool
+wellTyped(const ExprPtr& e)
+{
+    try {
+        typeOf(e);
+        return true;
+    } catch (const CompileError&) {
+        return false;
+    }
+}
+
+namespace {
+
+/// Classify a single node into the OpCounts buckets.
+void
+classifyNode(const ExprPtr& e, OpCounts& counts)
+{
+    const bool vector_form = isVectorOp(e->op()) || e->op() == Op::Rotate;
+    switch (e->op()) {
+      case Op::Var:
+      case Op::PlainVar:
+      case Op::Const:
+      case Op::Vec:
+        return;
+      case Op::Rotate:
+        if (e->isPlain()) {
+            ++counts.plain_ops;
+        } else {
+            ++counts.rotation;
+            ++counts.vector_ops;
+        }
+        return;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Neg:
+      case Op::VecAdd:
+      case Op::VecSub:
+      case Op::VecNeg:
+        if (e->isPlain()) {
+            ++counts.plain_ops;
+        } else {
+            ++counts.ct_add;
+            vector_form ? ++counts.vector_ops : ++counts.scalar_ops;
+        }
+        return;
+      case Op::Mul:
+      case Op::VecMul: {
+        if (e->isPlain()) {
+            ++counts.plain_ops;
+            return;
+        }
+        const bool a_plain = e->child(0)->isPlain();
+        const bool b_plain = e->child(1)->isPlain();
+        if (a_plain || b_plain) {
+            ++counts.ct_pt_mul;
+        } else if (equal(e->child(0), e->child(1))) {
+            ++counts.square;
+        } else {
+            ++counts.ct_ct_mul;
+        }
+        vector_form ? ++counts.vector_ops : ++counts.scalar_ops;
+        return;
+      }
+    }
+}
+
+/// Collect each distinct subtree once, resolving hash collisions with deep
+/// equality.
+class UniqueNodeSet
+{
+  public:
+    /// Returns true if \p e was not seen before.
+    bool
+    insert(const ExprPtr& e)
+    {
+        auto& bucket = buckets_[e->hash()];
+        for (const auto& existing : bucket) {
+            if (equal(existing, e)) return false;
+        }
+        bucket.push_back(e);
+        return true;
+    }
+
+  private:
+    std::unordered_map<std::size_t, std::vector<ExprPtr>> buckets_;
+};
+
+void
+countOpsUnique(const ExprPtr& e, UniqueNodeSet& seen, OpCounts& counts)
+{
+    if (!seen.insert(e)) return;
+    classifyNode(e, counts);
+    for (const auto& child : e->children()) {
+        countOpsUnique(child, seen, counts);
+    }
+}
+
+} // namespace
+
+OpCounts
+countOps(const ExprPtr& root, bool dag_unique)
+{
+    OpCounts counts;
+    if (dag_unique) {
+        UniqueNodeSet seen;
+        countOpsUnique(root, seen, counts);
+    } else {
+        forEachNode(root, [&](const ExprPtr& e, int) {
+            classifyNode(e, counts);
+        });
+    }
+    return counts;
+}
+
+namespace {
+
+int
+depthImpl(const ExprPtr& e, bool mult_only,
+          std::unordered_map<const Expr*, int>& memo)
+{
+    auto it = memo.find(e.get());
+    if (it != memo.end()) return it->second;
+
+    int child_max = 0;
+    for (const auto& child : e->children()) {
+        child_max = std::max(child_max, depthImpl(child, mult_only, memo));
+    }
+
+    int self = 0;
+    if (mult_only) {
+        const bool is_mul = e->op() == Op::Mul || e->op() == Op::VecMul;
+        if (is_mul && !e->isPlain() && !e->child(0)->isPlain() &&
+            !e->child(1)->isPlain()) {
+            self = 1;
+        }
+    } else if (isComputeOp(e->op()) && !e->isPlain()) {
+        self = 1;
+    }
+
+    const int depth = child_max + self;
+    memo.emplace(e.get(), depth);
+    return depth;
+}
+
+} // namespace
+
+int
+circuitDepth(const ExprPtr& root)
+{
+    std::unordered_map<const Expr*, int> memo;
+    return depthImpl(root, /*mult_only=*/false, memo);
+}
+
+int
+multiplicativeDepth(const ExprPtr& root)
+{
+    std::unordered_map<const Expr*, int> memo;
+    return depthImpl(root, /*mult_only=*/true, memo);
+}
+
+namespace {
+
+std::vector<std::string>
+collectVars(const ExprPtr& root, Op which)
+{
+    std::vector<std::string> names;
+    std::unordered_set<std::string> seen;
+    forEachNode(root, [&](const ExprPtr& e, int) {
+        if (e->op() == which && seen.insert(e->name()).second) {
+            names.push_back(e->name());
+        }
+    });
+    return names;
+}
+
+} // namespace
+
+std::vector<std::string>
+ciphertextVars(const ExprPtr& root)
+{
+    return collectVars(root, Op::Var);
+}
+
+std::vector<std::string>
+plaintextVars(const ExprPtr& root)
+{
+    return collectVars(root, Op::PlainVar);
+}
+
+std::vector<int>
+rotationSteps(const ExprPtr& root)
+{
+    std::vector<int> steps;
+    std::unordered_set<int> seen;
+    forEachNode(root, [&](const ExprPtr& e, int) {
+        if (e->op() == Op::Rotate && seen.insert(e->step()).second) {
+            steps.push_back(e->step());
+        }
+    });
+    std::sort(steps.begin(), steps.end());
+    return steps;
+}
+
+int
+outputWidth(const ExprPtr& root)
+{
+    const TypeInfo t = typeOf(root);
+    return t.is_vector ? t.width : 1;
+}
+
+} // namespace chehab::ir

@@ -1,0 +1,79 @@
+/// \file
+/// Static analyses over the CHEHAB IR: typing, circuit depth,
+/// multiplicative depth, and operation counting (the ∪ / ∪⊗ / ⊗ / ⟳ / ⊙ /
+/// ⊕ / ⊠ metrics of Table 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::ir {
+
+/// Result of type checking a subtree.
+struct TypeInfo
+{
+    bool is_vector = false; ///< Vector-typed (Vec / vector ops / Rotate).
+    int width = 1;          ///< Slot count for vectors, 1 for scalars.
+    bool is_plain = false;  ///< No ciphertext variable in the subtree.
+};
+
+/// Type check \p e. Throws CompileError on arity/shape violations
+/// (e.g. VecAdd of scalars, Vec containing a nested vector, width
+/// mismatches between vector operands).
+TypeInfo typeOf(const ExprPtr& e);
+
+/// True if \p e type checks.
+bool wellTyped(const ExprPtr& e);
+
+/// Operation counts over the *unique* subtrees of the expression, i.e.
+/// after implicit common-subexpression elimination, which is how the paper
+/// reports circuit sizes. A Mul/VecMul is classified by the plain-ness of
+/// its operands; squares (both operands structurally identical ciphertexts)
+/// are reported separately like SEAL's square().
+struct OpCounts
+{
+    int ct_add = 0;     ///< ⊕: ciphertext additions/subtractions/negations.
+    int ct_ct_mul = 0;  ///< ⊗: ciphertext×ciphertext multiplications.
+    int ct_pt_mul = 0;  ///< ⊙: ciphertext×plaintext multiplications.
+    int square = 0;     ///< ⊠: ciphertext squarings.
+    int rotation = 0;   ///< ⟳: slot rotations.
+    int plain_ops = 0;  ///< Plaintext-only arithmetic (free at runtime).
+    int scalar_ops = 0; ///< Ciphertext ops still in scalar (unvectorized) form.
+    int vector_ops = 0; ///< Ciphertext ops in vector form.
+
+    /// All runtime homomorphic operations.
+    int total() const
+    {
+        return ct_add + ct_ct_mul + ct_pt_mul + square + rotation;
+    }
+};
+
+/// Count operations; see OpCounts. When \p dag_unique is true (default),
+/// structurally identical subtrees are counted once.
+OpCounts countOps(const ExprPtr& root, bool dag_unique = true);
+
+/// Circuit depth ∪: the maximum number of compute operations (arithmetic
+/// or rotation) on any root-to-leaf path. Vec constructors and leaves do
+/// not contribute.
+int circuitDepth(const ExprPtr& root);
+
+/// Multiplicative depth ∪⊗: maximum number of ciphertext×ciphertext
+/// multiplications (incl. squares) on any root-to-leaf path.
+int multiplicativeDepth(const ExprPtr& root);
+
+/// Names of all ciphertext variables, in first-occurrence order.
+std::vector<std::string> ciphertextVars(const ExprPtr& root);
+
+/// Names of all plaintext variables, in first-occurrence order.
+std::vector<std::string> plaintextVars(const ExprPtr& root);
+
+/// All distinct rotation steps used in the program (the set χ fed to the
+/// rotation-key selection pass, App. B).
+std::vector<int> rotationSteps(const ExprPtr& root);
+
+/// Output width: the slot count of the root if vector-typed, else 1.
+int outputWidth(const ExprPtr& root);
+
+} // namespace chehab::ir

@@ -1,0 +1,50 @@
+/// \file
+/// The FHE-aware analytical cost function of §5.3.1:
+///
+///     Cost(e) = w_ops · C_ops(e) + w_depth · D_circuit(e) + w_mult · D_mult(e)
+///
+/// C_ops sums per-operation relative latencies calibrated to the BFV
+/// scheme: vector additions/subtractions 1, rotations 50, vector
+/// multiplications 100, and a deliberately punitive 250 for any scalar
+/// ciphertext operation so the policy is incentivized to vectorize.
+/// Running real FHE during training would be prohibitively slow; this
+/// function is the fast, FHE-aware reward surrogate.
+#pragma once
+
+#include "ir/analysis.h"
+#include "ir/expr.h"
+
+namespace chehab::ir {
+
+/// Relative latency of each operation class (paper defaults).
+struct OpCosts
+{
+    double vec_add = 1.0;    ///< VecAdd / VecSub / VecNeg.
+    double vec_mul = 100.0;  ///< VecMul (ct-ct or ct-pt).
+    double rotation = 50.0;  ///< Slot rotation.
+    double scalar_op = 250.0;///< Any unvectorized ciphertext op.
+    double plain_op = 0.0;   ///< Plaintext-only arithmetic (precomputable).
+    /// Charge per *computed* ciphertext slot of a Vec constructor: leaf
+    /// packs are free client-side packing (§7.3), but packing a computed
+    /// scalar costs a mask + rotation + add at codegen (the "rotations
+    /// and maskings we omit showing" of §2).
+    double pack_computed = 60.0;
+};
+
+/// Weights of the three cost terms. The paper's default — and the
+/// configuration Table 1 shows to give the fastest code — is (1, 1, 1).
+struct CostWeights
+{
+    double w_ops = 1.0;
+    double w_depth = 1.0;
+    double w_mult = 1.0;
+};
+
+/// Sum of per-operation costs over the unique subtrees (C_ops).
+double operationCost(const ExprPtr& root, const OpCosts& costs = {});
+
+/// Full weighted cost of §5.3.1.
+double cost(const ExprPtr& root, const CostWeights& weights = {},
+            const OpCosts& costs = {});
+
+} // namespace chehab::ir

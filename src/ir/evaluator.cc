@@ -1,0 +1,158 @@
+#include "ir/evaluator.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace chehab::ir {
+
+Value
+Evaluator::evaluate(const ExprPtr& e, const Env& env) const
+{
+    switch (e->op()) {
+      case Op::Var:
+      case Op::PlainVar: {
+        auto it = env.find(e->name());
+        if (it == env.end()) {
+            throw CompileError("unbound variable '" + e->name() + "'");
+        }
+        return {false, {reduce(it->second)}};
+      }
+      case Op::Const:
+        return {false, {reduce(e->value())}};
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul: {
+        const Value a = evaluate(e->child(0), env);
+        const Value b = evaluate(e->child(1), env);
+        if (a.is_vector || b.is_vector) {
+            throw CompileError("scalar op on vector value");
+        }
+        std::int64_t r = 0;
+        switch (e->op()) {
+          case Op::Add: r = a.scalar() + b.scalar(); break;
+          case Op::Sub: r = a.scalar() - b.scalar(); break;
+          default: r = reduce(a.scalar()) * reduce(b.scalar()); break;
+        }
+        return {false, {reduce(r)}};
+      }
+      case Op::Neg: {
+        const Value a = evaluate(e->child(0), env);
+        if (a.is_vector) throw CompileError("scalar negation of vector");
+        return {false, {reduce(-a.scalar())}};
+      }
+      case Op::Rotate: {
+        const Value a = evaluate(e->child(0), env);
+        if (!a.is_vector) throw CompileError("rotation of scalar value");
+        const int n = a.width();
+        const int step = ((e->step() % n) + n) % n;
+        Value out{true, std::vector<std::int64_t>(n)};
+        for (int i = 0; i < n; ++i) {
+            out.slots[i] = a.slots[(i + step) % n];
+        }
+        return out;
+      }
+      case Op::Vec: {
+        Value out{true, {}};
+        out.slots.reserve(e->arity());
+        for (const auto& child : e->children()) {
+            const Value v = evaluate(child, env);
+            if (v.is_vector) throw CompileError("nested vector in Vec");
+            out.slots.push_back(v.scalar());
+        }
+        return out;
+      }
+      case Op::VecAdd:
+      case Op::VecSub:
+      case Op::VecMul: {
+        const Value a = evaluate(e->child(0), env);
+        const Value b = evaluate(e->child(1), env);
+        if (!a.is_vector || !b.is_vector || a.width() != b.width()) {
+            throw CompileError("vector op shape mismatch");
+        }
+        Value out{true, std::vector<std::int64_t>(a.width())};
+        for (int i = 0; i < a.width(); ++i) {
+            std::int64_t r = 0;
+            switch (e->op()) {
+              case Op::VecAdd: r = a.slots[i] + b.slots[i]; break;
+              case Op::VecSub: r = a.slots[i] - b.slots[i]; break;
+              default: r = reduce(a.slots[i]) * reduce(b.slots[i]); break;
+            }
+            out.slots[i] = reduce(r);
+        }
+        return out;
+      }
+      case Op::VecNeg: {
+        const Value a = evaluate(e->child(0), env);
+        if (!a.is_vector) throw CompileError("vector negation of scalar");
+        Value out{true, std::vector<std::int64_t>(a.width())};
+        for (int i = 0; i < a.width(); ++i) out.slots[i] = reduce(-a.slots[i]);
+        return out;
+      }
+    }
+    CHEHAB_ASSERT(false, "unhandled op in evaluate");
+    return {};
+}
+
+bool
+equivalentOn(const ExprPtr& reference, const ExprPtr& candidate, int trials,
+             std::uint64_t seed, std::int64_t plain_modulus)
+{
+    Evaluator eval(plain_modulus);
+    Rng rng(seed);
+
+    std::vector<std::string> vars = ciphertextVars(reference);
+    for (const auto& name : plaintextVars(reference)) vars.push_back(name);
+    // The candidate may reference a subset of the inputs (simplification
+    // can drop dead variables) but never new ones; bind the union anyway.
+    for (const auto& name : ciphertextVars(candidate)) {
+        if (std::find(vars.begin(), vars.end(), name) == vars.end()) {
+            vars.push_back(name);
+        }
+    }
+    for (const auto& name : plaintextVars(candidate)) {
+        if (std::find(vars.begin(), vars.end(), name) == vars.end()) {
+            vars.push_back(name);
+        }
+    }
+
+    int ref_width = 0;
+    try {
+        ref_width = outputWidth(reference);
+    } catch (const CompileError&) {
+        return false;
+    }
+
+    for (int t = 0; t < trials; ++t) {
+        Env env;
+        for (const auto& name : vars) {
+            env[name] = static_cast<std::int64_t>(
+                rng.uniformInt(static_cast<std::uint64_t>(plain_modulus)));
+        }
+        try {
+            const Value a = eval.evaluate(reference, env);
+            const Value b = eval.evaluate(candidate, env);
+            if (a.is_vector != b.is_vector && !(a.is_vector || ref_width == 1)) {
+                return false;
+            }
+            if (!a.is_vector && !b.is_vector) {
+                if (a.scalar() != b.scalar()) return false;
+                continue;
+            }
+            // Prefix equivalence on the reference's output width.
+            if (b.width() < ref_width) return false;
+            for (int i = 0; i < ref_width; ++i) {
+                const std::int64_t lhs =
+                    a.is_vector ? a.slots[i] : a.scalar();
+                if (lhs != b.slots[i]) return false;
+            }
+        } catch (const CompileError&) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace chehab::ir

@@ -1,0 +1,69 @@
+/// \file
+/// Reference slot-semantics evaluator.
+///
+/// Evaluates an IR expression over Z_t (the BFV plaintext space) given a
+/// binding of input variables to integers. Vectors evaluate to slot
+/// vectors; rotations cycle slots left. This is the soundness oracle used
+/// by the TRS property tests: every rewrite rule must preserve the value of
+/// the first `outputWidth(original)` slots for all inputs. Rewrites may
+/// legally *widen* a vector (padding/rotation tricks leave junk in the
+/// extra slots), so equivalence is prefix equivalence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::ir {
+
+/// Runtime value: one or more plaintext slots.
+struct Value
+{
+    bool is_vector = false;
+    std::vector<std::int64_t> slots; ///< Size 1 for scalars.
+
+    std::int64_t scalar() const { return slots[0]; }
+    int width() const { return static_cast<int>(slots.size()); }
+};
+
+/// Variable environment: maps both ciphertext and plaintext input names to
+/// scalar values.
+using Env = std::unordered_map<std::string, std::int64_t>;
+
+/// Evaluator over Z_t. The default modulus 65537 is a prime with
+/// t ≡ 1 (mod 2n) for every power-of-two n up to 32768, matching a
+/// batching-compatible BFV plaintext modulus.
+class Evaluator
+{
+  public:
+    explicit Evaluator(std::int64_t plain_modulus = 65537)
+        : modulus_(plain_modulus)
+    {}
+
+    /// Evaluate \p e under \p env. Throws CompileError for unbound
+    /// variables or shape errors.
+    Value evaluate(const ExprPtr& e, const Env& env) const;
+
+    std::int64_t modulus() const { return modulus_; }
+
+  private:
+    std::int64_t reduce(std::int64_t x) const
+    {
+        std::int64_t r = x % modulus_;
+        return r < 0 ? r + modulus_ : r;
+    }
+
+    std::int64_t modulus_;
+};
+
+/// Randomized prefix-equivalence check: draws \p trials random
+/// environments and verifies that \p candidate computes the same first
+/// `outputWidth(reference)` slots as \p reference. Returns false on any
+/// mismatch or evaluation error.
+bool equivalentOn(const ExprPtr& reference, const ExprPtr& candidate,
+                  int trials, std::uint64_t seed = 42,
+                  std::int64_t plain_modulus = 65537);
+
+} // namespace chehab::ir

@@ -1,0 +1,227 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace chehab::ir {
+
+namespace {
+
+/// Hand-rolled recursive-descent reader over the raw character buffer.
+/// The IR vocabulary is tiny, so this is faster and simpler than a
+/// generic tokenizer.
+class Reader
+{
+  public:
+    explicit Reader(const std::string& text) : text_(text) {}
+
+    ExprPtr
+    parseAll()
+    {
+        ExprPtr e = parseExpr();
+        skipSpace();
+        if (pos_ != text_.size()) {
+            throw CompileError("trailing characters after expression at " +
+                               std::to_string(pos_));
+        }
+        return e;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) throw CompileError("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    std::string
+    readToken()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+                c == ')') {
+                break;
+            }
+            ++pos_;
+        }
+        if (pos_ == start) throw CompileError("expected token");
+        return text_.substr(start, pos_ - start);
+    }
+
+    static bool
+    isInteger(const std::string& tok)
+    {
+        std::size_t i = (tok[0] == '-' && tok.size() > 1) ? 1 : 0;
+        if (i == tok.size()) return false;
+        for (; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i]))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::int64_t
+    parseIntToken()
+    {
+        const std::string tok = readToken();
+        if (!isInteger(tok)) {
+            throw CompileError("expected integer, got '" + tok + "'");
+        }
+        return std::strtoll(tok.c_str(), nullptr, 10);
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        const char c = peek();
+        if (c == '(') return parseList();
+        if (c == ')') throw CompileError("unexpected ')'");
+        const std::string tok = readToken();
+        if (isInteger(tok)) return constant(std::strtoll(tok.c_str(), nullptr, 10));
+        return var(tok);
+    }
+
+    std::vector<ExprPtr>
+    parseOperands()
+    {
+        std::vector<ExprPtr> operands;
+        while (peek() != ')') operands.push_back(parseExpr());
+        return operands;
+    }
+
+    void
+    expectClose()
+    {
+        if (peek() != ')') throw CompileError("expected ')'");
+        ++pos_;
+    }
+
+    ExprPtr
+    parseList()
+    {
+        ++pos_; // consume '('
+        const std::string head = readToken();
+
+        if (head == "pt") {
+            const std::string name = readToken();
+            expectClose();
+            return plainVar(name);
+        }
+        if (head == "<<" || head == ">>") {
+            ExprPtr operand = parseExpr();
+            const std::int64_t step = parseIntToken();
+            expectClose();
+            const int signed_step =
+                head == "<<" ? static_cast<int>(step) : -static_cast<int>(step);
+            return rotate(std::move(operand), signed_step);
+        }
+
+        std::vector<ExprPtr> operands = parseOperands();
+        expectClose();
+
+        auto require_arity = [&](std::size_t n) {
+            if (operands.size() != n) {
+                throw CompileError("operator '" + head + "' expects " +
+                                   std::to_string(n) + " operands, got " +
+                                   std::to_string(operands.size()));
+            }
+        };
+
+        if (head == "+") {
+            return foldLeft(Op::Add, std::move(operands), 2);
+        }
+        if (head == "*") {
+            return foldLeft(Op::Mul, std::move(operands), 2);
+        }
+        if (head == "-") {
+            if (operands.size() == 1) return neg(std::move(operands[0]));
+            require_arity(2);
+            return sub(std::move(operands[0]), std::move(operands[1]));
+        }
+        if (head == "Vec") {
+            if (operands.empty()) throw CompileError("empty (Vec)");
+            return vec(std::move(operands));
+        }
+        if (head == "VecAdd") {
+            require_arity(2);
+            return vecAdd(std::move(operands[0]), std::move(operands[1]));
+        }
+        if (head == "VecSub") {
+            require_arity(2);
+            return vecSub(std::move(operands[0]), std::move(operands[1]));
+        }
+        if (head == "VecMul") {
+            require_arity(2);
+            return vecMul(std::move(operands[0]), std::move(operands[1]));
+        }
+        if (head == "VecNeg") {
+            require_arity(1);
+            return vecNeg(std::move(operands[0]));
+        }
+        throw CompileError("unknown operator '" + head + "'");
+    }
+
+    /// n-ary + / * in the input text folds into left-leaning binary nodes
+    /// (the TRS balancing rules may later reshape them).
+    ExprPtr
+    foldLeft(Op op, std::vector<ExprPtr> operands, std::size_t min_arity)
+    {
+        if (operands.size() < min_arity) {
+            throw CompileError("operator needs at least " +
+                               std::to_string(min_arity) + " operands");
+        }
+        ExprPtr acc = operands[0];
+        for (std::size_t i = 1; i < operands.size(); ++i) {
+            acc = makeNode(op, {acc, operands[i]}, {}, 0, 0);
+        }
+        return acc;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ExprPtr
+parse(const std::string& text)
+{
+    return Reader(text).parseAll();
+}
+
+bool
+isValid(const std::string& text)
+{
+    try {
+        parse(text);
+        return true;
+    } catch (const CompileError&) {
+        return false;
+    }
+}
+
+} // namespace chehab::ir

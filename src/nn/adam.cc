@@ -1,0 +1,63 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace chehab::nn {
+
+Adam::Adam(std::vector<Tensor> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Tensor& p : params_) {
+        m_.emplace_back(static_cast<std::size_t>(p.size()), 0.0f);
+        v_.emplace_back(static_cast<std::size_t>(p.size()), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+
+    // Global-norm clipping (matches Stable-Baselines3 PPO behaviour).
+    double norm_sq = 0.0;
+    for (const Tensor& p : params_) {
+        for (float g : p.grad()) norm_sq += static_cast<double>(g) * g;
+    }
+    last_grad_norm_ = static_cast<float>(std::sqrt(norm_sq));
+    float clip_scale = 1.0f;
+    if (config_.max_grad_norm > 0.0f &&
+        last_grad_norm_ > config_.max_grad_norm) {
+        clip_scale = config_.max_grad_norm / (last_grad_norm_ + 1e-12f);
+    }
+
+    const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& p = params_[i];
+        auto& value = p.mutableData();
+        const auto& grad = p.grad();
+        auto& m = m_[i];
+        auto& v = v_[i];
+        for (std::size_t j = 0; j < value.size(); ++j) {
+            const float g = grad[j] * clip_scale;
+            m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+            v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+            const float m_hat = m[j] / bc1;
+            const float v_hat = v[j] / bc2;
+            value[j] -= config_.learning_rate * m_hat /
+                        (std::sqrt(v_hat) + config_.epsilon);
+        }
+    }
+    zeroGrad();
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Tensor& p : params_) p.zeroGrad();
+}
+
+} // namespace chehab::nn

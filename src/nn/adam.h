@@ -1,0 +1,50 @@
+/// \file
+/// Adam optimizer with global-norm gradient clipping — the update rule
+/// used by the PPO trainer (Table 4: learning rate 1e-4).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace chehab::nn {
+
+/// Adam hyperparameters.
+struct AdamConfig
+{
+    float learning_rate = 1e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float max_grad_norm = 0.5f; ///< Global clip; <= 0 disables.
+};
+
+/// Standard Adam with bias correction over a fixed parameter list.
+class Adam
+{
+  public:
+    Adam(std::vector<Tensor> params, const AdamConfig& config = {});
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    void step();
+
+    /// Zero all parameter gradients without updating.
+    void zeroGrad();
+
+    /// Global gradient L2 norm before clipping (diagnostics).
+    float lastGradNorm() const { return last_grad_norm_; }
+
+    int numSteps() const { return t_; }
+    const AdamConfig& config() const { return config_; }
+    void setLearningRate(float lr) { config_.learning_rate = lr; }
+
+  private:
+    std::vector<Tensor> params_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    AdamConfig config_;
+    int t_ = 0;
+    float last_grad_norm_ = 0.0f;
+};
+
+} // namespace chehab::nn

@@ -1,0 +1,100 @@
+#include "rl/agent.h"
+
+namespace chehab::rl {
+
+RlAgent::RlAgent(const trs::Ruleset& ruleset, AgentConfig config,
+                 std::unique_ptr<TokenEncoder> encoder)
+    : ruleset_(&ruleset), config_(std::move(config))
+{
+    encoder_ = encoder ? std::move(encoder)
+                       : std::make_unique<IciTokenEncoder>();
+    config_.policy.num_rules = static_cast<int>(ruleset.size());
+    config_.policy.max_locations = config_.env.max_locations;
+    config_.policy.encoder.vocab_size = encoder_->vocabSize();
+    config_.policy.encoder.pad_id = encoder_->padId();
+    Rng rng(config_.seed);
+    policy_ = std::make_unique<Policy>(config_.policy, rng);
+}
+
+TrainStats
+RlAgent::train(const std::vector<ir::ExprPtr>& dataset,
+               const PpoTrainer::UpdateCallback& callback)
+{
+    RewriteEnv env(*ruleset_, config_.env);
+    PpoTrainer trainer(*policy_, env, *encoder_, config_.ppo);
+    return trainer.train(dataset, callback);
+}
+
+AgentResult
+RlAgent::rollout(const ir::ExprPtr& program, bool greedy, Rng& rng) const
+{
+    RewriteEnv env(*ruleset_, config_.env);
+    env.reset(program);
+    AgentResult result;
+    result.initial_cost = env.initialCost();
+
+    // Keep the best state seen along the trajectory: the policy may walk
+    // through (and past) a good circuit before choosing END, and the
+    // compiler should ship the best circuit it visited.
+    ir::ExprPtr best_program = env.program();
+    double best_cost = env.currentCost();
+    int best_steps = 0;
+
+    while (!env.done()) {
+        const std::vector<int> ids =
+            encoder_->encode(env.program(), config_.ppo.max_token_len);
+        const ActionSample action =
+            policy_->sample(ids, env.matchCounts(), rng, greedy);
+        if (action.rule < env.numRules()) {
+            result.trace.push_back(
+                (*ruleset_)[static_cast<std::size_t>(action.rule)].name());
+        }
+        env.step(action.rule, action.location);
+        if (env.currentCost() < best_cost) {
+            best_cost = env.currentCost();
+            best_program = env.program();
+            best_steps = static_cast<int>(result.trace.size());
+        }
+    }
+    result.program = std::move(best_program);
+    result.final_cost = best_cost;
+    result.trace.resize(static_cast<std::size_t>(best_steps));
+    result.steps = best_steps;
+    return result;
+}
+
+AgentResult
+RlAgent::optimize(const ir::ExprPtr& program) const
+{
+    Rng rng(config_.seed * 31 + 17);
+    AgentResult best = rollout(program, /*greedy=*/true, rng);
+    for (int i = 0; i < config_.compile_rollouts; ++i) {
+        AgentResult candidate = rollout(program, /*greedy=*/false, rng);
+        if (candidate.final_cost < best.final_cost) {
+            best = std::move(candidate);
+        }
+    }
+    if (config_.use_greedy_seed) {
+        trs::OptimizeResult seeded = trs::greedyOptimize(
+            *ruleset_, program, config_.env.weights, config_.env.costs,
+            config_.env.max_steps, config_.env.max_locations);
+        if (seeded.final_cost < best.final_cost) {
+            best.program = std::move(seeded.program);
+            best.final_cost = seeded.final_cost;
+            best.initial_cost = seeded.initial_cost;
+            best.steps = seeded.steps;
+            best.trace = std::move(seeded.trace);
+        }
+    }
+    // The compiler must never regress: fall back to the input program if
+    // no rollout improved it.
+    if (best.final_cost > best.initial_cost) {
+        best.program = program;
+        best.final_cost = best.initial_cost;
+        best.steps = 0;
+        best.trace.clear();
+    }
+    return best;
+}
+
+} // namespace chehab::rl

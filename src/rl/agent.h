@@ -1,0 +1,78 @@
+/// \file
+/// CHEHAB RL agent: bundles tokenizer, policy, environment and trainer
+/// into the object the compiler embeds. At compile time the agent runs a
+/// greedy decode of its learned policy plus a configurable number of
+/// stochastic rollouts and keeps the cheapest resulting circuit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+#include "rl/token_encoder.h"
+#include "trs/ruleset.h"
+
+namespace chehab::rl {
+
+/// Agent construction knobs.
+struct AgentConfig
+{
+    EnvConfig env;
+    PolicyConfig policy;      ///< encoder.vocab_size/pad_id filled in.
+    PpoConfig ppo;
+    int compile_rollouts = 4; ///< Stochastic rollouts at compile time
+                              ///  (greedy decode always runs too).
+    /// Also include one cost-guided (best-immediate-improvement) rollout
+    /// in the compile-time candidate set. The paper's agent is trained
+    /// for 2M steps (43 h); at the small training budgets this repo's
+    /// benches use, the seed keeps compile output competitive while the
+    /// policy rollouts take over as training grows.
+    bool use_greedy_seed = true;
+    std::uint64_t seed = 7;
+};
+
+/// Result of optimizing one program with the learned policy.
+struct AgentResult
+{
+    ir::ExprPtr program;
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+    int steps = 0;               ///< Rewrites in the winning rollout.
+    std::vector<std::string> trace;
+};
+
+/// The RL-guided term rewriting system.
+class RlAgent
+{
+  public:
+    /// \p encoder defaults to ICI when null.
+    RlAgent(const trs::Ruleset& ruleset, AgentConfig config,
+            std::unique_ptr<TokenEncoder> encoder = nullptr);
+
+    /// PPO-train the policy on \p dataset.
+    TrainStats train(const std::vector<ir::ExprPtr>& dataset,
+                     const PpoTrainer::UpdateCallback& callback = nullptr);
+
+    /// Optimize one program with the current policy.
+    AgentResult optimize(const ir::ExprPtr& program) const;
+
+    const Policy& policy() const { return *policy_; }
+    Policy& policy() { return *policy_; }
+    const AgentConfig& config() const { return config_; }
+    const trs::Ruleset& ruleset() const { return *ruleset_; }
+    const TokenEncoder& encoder() const { return *encoder_; }
+
+  private:
+    AgentResult rollout(const ir::ExprPtr& program, bool greedy,
+                        Rng& rng) const;
+
+    const trs::Ruleset* ruleset_;
+    AgentConfig config_;
+    std::unique_ptr<TokenEncoder> encoder_;
+    std::unique_ptr<Policy> policy_;
+};
+
+} // namespace chehab::rl

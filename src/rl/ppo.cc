@@ -1,0 +1,214 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace chehab::rl {
+
+using nn::Tensor;
+
+PpoTrainer::PpoTrainer(Policy& policy, RewriteEnv& env,
+                       const TokenEncoder& encoder, PpoConfig config)
+    : policy_(&policy),
+      env_(&env),
+      encoder_(&encoder),
+      config_(config),
+      rng_(config.seed),
+      optimizer_(policy.params(), [&config] {
+          nn::AdamConfig adam;
+          adam.learning_rate = config.learning_rate;
+          adam.max_grad_norm = 0.5f;
+          return adam;
+      }())
+{}
+
+void
+PpoTrainer::collectRollout(const std::vector<ir::ExprPtr>& dataset,
+                           std::vector<Transition>& buffer,
+                           TrainStats& stats)
+{
+    CHEHAB_ASSERT(!dataset.empty(), "PPO needs a training dataset");
+    buffer.clear();
+    buffer.reserve(static_cast<std::size_t>(config_.steps_per_update));
+
+    while (static_cast<int>(buffer.size()) < config_.steps_per_update) {
+        if (env_->done()) {
+            env_->reset(dataset[rng_.pickIndex(dataset.size())]);
+            current_episode_return_ = 0.0;
+        }
+        Transition t;
+        t.ids = encoder_->encode(env_->program(), config_.max_token_len);
+        t.match_counts = env_->matchCounts();
+        const ActionSample action =
+            policy_->sample(t.ids, t.match_counts, rng_);
+        t.rule = action.rule;
+        t.location = action.location;
+        t.log_prob = action.log_prob;
+        t.value = action.value;
+        const StepResult step = env_->step(action.rule, action.location);
+        t.reward = static_cast<float>(step.reward);
+        t.done = step.done;
+        current_episode_return_ += step.reward;
+        if (step.done) {
+            stats.episode_returns.push_back(current_episode_return_);
+        }
+        buffer.push_back(std::move(t));
+    }
+}
+
+void
+PpoTrainer::computeAdvantages(const std::vector<Transition>& buffer,
+                              std::vector<float>& advantages,
+                              std::vector<float>& returns) const
+{
+    const std::size_t n = buffer.size();
+    advantages.assign(n, 0.0f);
+    returns.assign(n, 0.0f);
+
+    // Bootstrap value for a truncated final episode.
+    float next_value = 0.0f;
+    if (!buffer.empty() && !buffer.back().done && !env_->done()) {
+        next_value = policy_->valueOf(
+            encoder_->encode(env_->program(), config_.max_token_len));
+    }
+
+    float gae = 0.0f;
+    for (std::size_t i = n; i-- > 0;) {
+        const Transition& t = buffer[i];
+        const float mask = t.done ? 0.0f : 1.0f;
+        const float delta =
+            t.reward +
+            static_cast<float>(config_.gamma) * next_value * mask - t.value;
+        gae = delta + static_cast<float>(config_.gamma * config_.gae_lambda) *
+                          mask * gae;
+        advantages[i] = gae;
+        returns[i] = gae + t.value;
+        next_value = t.value;
+    }
+
+    // Advantage normalization (SB3 default) keeps the x100 terminal reward
+    // from blowing up the surrogate objective.
+    double mean = 0.0;
+    for (float a : advantages) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (float a : advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(n);
+    const float std_dev = static_cast<float>(std::sqrt(var) + 1e-8);
+    for (float& a : advantages) {
+        a = static_cast<float>((a - mean) / std_dev);
+    }
+}
+
+void
+PpoTrainer::update(const std::vector<Transition>& buffer,
+                   const std::vector<float>& advantages,
+                   const std::vector<float>& returns)
+{
+    std::vector<std::size_t> order(buffer.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+        // Fisher-Yates shuffle with our deterministic RNG.
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[rng_.pickIndex(i)]);
+        }
+        for (std::size_t begin = 0; begin < order.size();
+             begin += static_cast<std::size_t>(config_.minibatch_size)) {
+            const std::size_t end =
+                std::min(begin + static_cast<std::size_t>(
+                                     config_.minibatch_size),
+                         order.size());
+            Tensor loss;
+            for (std::size_t k = begin; k < end; ++k) {
+                const Transition& t = buffer[order[k]];
+                const PolicyEval eval = policy_->evaluate(
+                    t.ids, t.match_counts, t.rule, t.location);
+
+                // Clipped surrogate: since clip() is not differentiable in
+                // our op set, use the standard equivalent min formulation
+                // computed with a stop-gradient style constant branch.
+                const float adv = advantages[order[k]];
+                const Tensor ratio_log =
+                    nn::add(eval.log_prob,
+                            Tensor::fromData(1, 1, {-t.log_prob}));
+                const float ratio_value =
+                    std::exp(ratio_log.item());
+                const float clipped = std::clamp(
+                    ratio_value, 1.0f - static_cast<float>(config_.clip_range),
+                    1.0f + static_cast<float>(config_.clip_range));
+                // d/dθ of the PPO objective is ratio * adv gradient only
+                // when the unclipped branch is active.
+                const bool unclipped_active =
+                    ratio_value * adv <= clipped * adv + 1e-12f;
+                Tensor policy_term;
+                if (unclipped_active) {
+                    // surrogate = ratio * adv; d surrogate = adv * ratio
+                    // * dlogp; express as adv*exp(ratio_log).
+                    policy_term = nn::scale(ratio_log, ratio_value * adv);
+                    // Linearization: grad(adv * e^x) = adv * e^x * grad x.
+                } else {
+                    policy_term = nn::scale(ratio_log, 0.0f);
+                }
+
+                const Tensor value_err = nn::sub(
+                    eval.value, Tensor::fromData(1, 1, {returns[order[k]]}));
+                const Tensor value_loss =
+                    nn::mulElem(value_err, value_err);
+
+                Tensor sample_loss = nn::scale(policy_term, -1.0f);
+                sample_loss = nn::add(
+                    sample_loss, nn::scale(value_loss, config_.value_coef));
+                sample_loss = nn::add(
+                    sample_loss,
+                    nn::scale(eval.entropy, -config_.entropy_coef));
+                loss = loss.defined() ? nn::add(loss, sample_loss)
+                                      : sample_loss;
+            }
+            loss = nn::scale(loss, 1.0f / static_cast<float>(end - begin));
+            loss.backward();
+            optimizer_.step();
+        }
+    }
+}
+
+TrainStats
+PpoTrainer::train(const std::vector<ir::ExprPtr>& dataset,
+                  const UpdateCallback& callback)
+{
+    TrainStats stats;
+    Stopwatch watch;
+    std::vector<Transition> buffer;
+    std::vector<float> advantages;
+    std::vector<float> returns;
+
+    int update_index = 0;
+    while (stats.total_steps < config_.total_timesteps) {
+        collectRollout(dataset, buffer, stats);
+        stats.total_steps += static_cast<int>(buffer.size());
+        computeAdvantages(buffer, advantages, returns);
+        update(buffer, advantages, returns);
+
+        // Running mean of recent episode returns.
+        const std::size_t window = std::min<std::size_t>(
+            stats.episode_returns.size(), 16);
+        double mean = 0.0;
+        for (std::size_t i = stats.episode_returns.size() - window;
+             i < stats.episode_returns.size(); ++i) {
+            mean += stats.episode_returns[i];
+        }
+        stats.mean_return_curve.push_back(
+            window ? mean / static_cast<double>(window) : 0.0);
+        stats.timestep_curve.push_back(stats.total_steps);
+        if (callback) callback(update_index, stats);
+        ++update_index;
+    }
+    stats.wall_seconds = watch.elapsedSeconds();
+    return stats;
+}
+
+} // namespace chehab::rl

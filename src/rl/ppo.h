@@ -1,0 +1,95 @@
+/// \file
+/// Proximal Policy Optimization trainer (§7.1, Table 4): clipped
+/// surrogate objective, GAE(λ) advantages, entropy bonus, Adam updates
+/// over minibatches. Hyperparameter defaults follow Table 4 with smaller
+/// rollout/epoch counts appropriate for single-core runs; the paper's
+/// exact values are a constructor parameter away.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "rl/token_encoder.h"
+#include "support/rng.h"
+
+namespace chehab::rl {
+
+/// PPO hyperparameters.
+struct PpoConfig
+{
+    double gamma = 0.99;       ///< Discount factor.
+    double gae_lambda = 0.95;  ///< GAE lambda.
+    double clip_range = 0.2;   ///< PPO clip epsilon.
+    int update_epochs = 4;     ///< Paper: 20.
+    int steps_per_update = 256;///< Paper: 2048.
+    int minibatch_size = 64;   ///< Paper: 256.
+    float learning_rate = 1e-4f;
+    float value_coef = 0.5f;
+    float entropy_coef = 0.01f;
+    int total_timesteps = 8192;
+    int max_token_len = 96;    ///< Truncation length for the encoder.
+    std::uint64_t seed = 1;
+};
+
+/// One stored environment interaction.
+struct Transition
+{
+    std::vector<int> ids;
+    std::vector<int> match_counts;
+    int rule = 0;
+    int location = 0;
+    float log_prob = 0.0f;
+    float value = 0.0f;
+    float reward = 0.0f;
+    bool done = false;
+};
+
+/// Training diagnostics (the learning curves of Figs. 10 and 13).
+struct TrainStats
+{
+    std::vector<double> episode_returns;    ///< Per finished episode.
+    std::vector<double> mean_return_curve;  ///< Running mean per update.
+    std::vector<int> timestep_curve;        ///< Env steps at each update.
+    int total_steps = 0;
+    double wall_seconds = 0.0;
+};
+
+/// PPO over the rewrite environment. The trainer owns nothing: policy,
+/// environment and dataset are borrowed, mirroring SB3's structure.
+class PpoTrainer
+{
+  public:
+    using UpdateCallback =
+        std::function<void(int update_index, const TrainStats&)>;
+
+    PpoTrainer(Policy& policy, RewriteEnv& env, const TokenEncoder& encoder,
+               PpoConfig config);
+
+    /// Train on episodes drawn uniformly from \p dataset. Returns learning
+    /// diagnostics.
+    TrainStats train(const std::vector<ir::ExprPtr>& dataset,
+                     const UpdateCallback& callback = nullptr);
+
+  private:
+    void collectRollout(const std::vector<ir::ExprPtr>& dataset,
+                        std::vector<Transition>& buffer,
+                        TrainStats& stats);
+    void computeAdvantages(const std::vector<Transition>& buffer,
+                           std::vector<float>& advantages,
+                           std::vector<float>& returns) const;
+    void update(const std::vector<Transition>& buffer,
+                const std::vector<float>& advantages,
+                const std::vector<float>& returns);
+
+    Policy* policy_;
+    RewriteEnv* env_;
+    const TokenEncoder* encoder_;
+    PpoConfig config_;
+    Rng rng_;
+    nn::Adam optimizer_;
+    double current_episode_return_ = 0.0;
+};
+
+} // namespace chehab::rl

@@ -1,0 +1,64 @@
+/// \file
+/// Pluggable program -> token-id encoding used by the policy. The default
+/// is ICI tokenization (§5.1); the BPE variant exists for the Fig. 10
+/// ablation, which measures the training-throughput cost of a learned
+/// subword tokenizer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+#include "tokenizer/bpe.h"
+#include "tokenizer/ici.h"
+
+namespace chehab::rl {
+
+/// Interface: encode a program into a fixed-length id sequence.
+class TokenEncoder
+{
+  public:
+    virtual ~TokenEncoder() = default;
+    virtual std::vector<int> encode(const ir::ExprPtr& program,
+                                    int max_len) const = 0;
+    virtual int vocabSize() const = 0;
+    virtual int padId() const = 0;
+};
+
+/// ICI-based encoder (single linear pass, fixed vocabulary).
+class IciTokenEncoder : public TokenEncoder
+{
+  public:
+    std::vector<int>
+    encode(const ir::ExprPtr& program, int max_len) const override
+    {
+        return vocab_.encode(program, max_len);
+    }
+    int vocabSize() const override { return vocab_.size(); }
+    int padId() const override { return vocab_.padId(); }
+
+  private:
+    tokenizer::IciVocab vocab_;
+};
+
+/// BPE-based encoder; requires a trained tokenizer.
+class BpeTokenEncoder : public TokenEncoder
+{
+  public:
+    explicit BpeTokenEncoder(tokenizer::BpeTokenizer bpe)
+        : bpe_(std::move(bpe))
+    {}
+
+    std::vector<int>
+    encode(const ir::ExprPtr& program, int max_len) const override
+    {
+        return bpe_.encode(program, max_len);
+    }
+    int vocabSize() const override { return bpe_.size(); }
+    int padId() const override { return bpe_.padId(); }
+
+  private:
+    tokenizer::BpeTokenizer bpe_;
+};
+
+} // namespace chehab::rl

@@ -1,0 +1,60 @@
+/// \file
+/// Minimal CSV writer used by the benchmark harnesses to mirror the paper
+/// artifact's results/*.csv outputs.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace chehab {
+
+/// Streams rows of heterogeneous cells into a CSV file.
+class CsvWriter
+{
+  public:
+    /// Opens \p path for writing and emits the \p header row.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header)
+        : out_(path)
+    {
+        writeRowImpl(header);
+    }
+
+    /// True if the output file opened successfully.
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /// Write one row; cells are converted with operator<<.
+    template <typename... Cells>
+    void
+    writeRow(const Cells&... cells)
+    {
+        std::vector<std::string> row;
+        (row.push_back(toCell(cells)), ...);
+        writeRowImpl(row);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T& value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        return oss.str();
+    }
+
+    void
+    writeRowImpl(const std::vector<std::string>& row)
+    {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) out_ << ',';
+            out_ << row[i];
+        }
+        out_ << '\n';
+    }
+
+    std::ofstream out_;
+};
+
+} // namespace chehab

@@ -1,0 +1,37 @@
+/// \file
+/// Error-reporting helpers shared across the compiler.
+///
+/// Following the gem5 fatal()/panic() split: CompileError is a user-facing
+/// condition (bad DSL program, unparsable IR); internal invariant violations
+/// use CHEHAB_ASSERT which aborts with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace chehab {
+
+/// Thrown for conditions that are the *user's* fault: malformed IR text,
+/// invalid DSL programs, out-of-range parameters.
+class CompileError : public std::runtime_error
+{
+  public:
+    explicit CompileError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/// Internal invariant check; prints location and aborts. Used for
+/// "should never happen regardless of input" conditions.
+#define CHEHAB_ASSERT(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::fprintf(stderr, "CHEHAB internal error at %s:%d: %s\n",     \
+                         __FILE__, __LINE__, msg);                           \
+            std::abort();                                                    \
+        }                                                                    \
+    } while (0)
+
+} // namespace chehab

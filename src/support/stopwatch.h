@@ -1,0 +1,34 @@
+/// \file
+/// Monotonic wall-clock stopwatch used for compile-time measurements
+/// (Fig. 6) and training-throughput measurements (Fig. 10).
+#pragma once
+
+#include <chrono>
+
+namespace chehab {
+
+/// Simple RAII-free stopwatch over std::chrono::steady_clock.
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /// Restart timing from now.
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    double
+    elapsedSeconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /// Elapsed milliseconds since construction or last reset().
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace chehab

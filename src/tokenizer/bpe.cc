@@ -1,0 +1,162 @@
+#include "tokenizer/bpe.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace chehab::tokenizer {
+
+namespace {
+
+constexpr const char* kEndOfWord = "</w>";
+
+std::vector<std::string>
+splitWords(const std::string& text)
+{
+    std::vector<std::string> words;
+    std::istringstream iss(text);
+    std::string word;
+    while (iss >> word) words.push_back(word);
+    return words;
+}
+
+std::vector<std::string>
+wordToSymbols(const std::string& word)
+{
+    std::vector<std::string> symbols;
+    symbols.reserve(word.size() + 1);
+    for (char c : word) symbols.emplace_back(1, c);
+    symbols.emplace_back(kEndOfWord);
+    return symbols;
+}
+
+std::string
+pairKey(const std::string& a, const std::string& b)
+{
+    return a + '\x01' + b;
+}
+
+} // namespace
+
+void
+BpeTokenizer::train(const std::vector<std::string>& corpus, int num_merges)
+{
+    merges_.clear();
+    merge_rank_.clear();
+    id_of_.clear();
+
+    // Word frequency table; training operates on unique words weighted by
+    // count, the standard formulation.
+    std::unordered_map<std::string, int> word_freq;
+    for (const std::string& text : corpus) {
+        for (const std::string& word : splitWords(text)) ++word_freq[word];
+    }
+
+    std::vector<std::pair<std::vector<std::string>, int>> words;
+    words.reserve(word_freq.size());
+    for (const auto& [word, freq] : word_freq) {
+        words.emplace_back(wordToSymbols(word), freq);
+    }
+
+    int next_id = 3;
+    auto register_symbol = [&](const std::string& symbol) {
+        if (!id_of_.count(symbol)) id_of_.emplace(symbol, next_id++);
+    };
+    for (const auto& [symbols, freq] : words) {
+        (void)freq;
+        for (const auto& symbol : symbols) register_symbol(symbol);
+    }
+
+    for (int merge = 0; merge < num_merges; ++merge) {
+        // Count adjacent symbol pairs. std::map gives deterministic
+        // tie-breaking across runs/platforms.
+        std::map<std::pair<std::string, std::string>, long> pair_counts;
+        for (const auto& [symbols, freq] : words) {
+            for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+                pair_counts[{symbols[i], symbols[i + 1]}] += freq;
+            }
+        }
+        if (pair_counts.empty()) break;
+        auto best = pair_counts.begin();
+        for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+            if (it->second > best->second) best = it;
+        }
+        if (best->second < 2) break; // Nothing left worth merging.
+
+        const auto [left, right] = best->first;
+        const std::string fused = left + right;
+        merges_.emplace_back(left, right);
+        merge_rank_.emplace(pairKey(left, right),
+                            static_cast<int>(merges_.size()) - 1);
+        register_symbol(fused);
+
+        for (auto& [symbols, freq] : words) {
+            (void)freq;
+            std::vector<std::string> merged;
+            merged.reserve(symbols.size());
+            for (std::size_t i = 0; i < symbols.size(); ++i) {
+                if (i + 1 < symbols.size() && symbols[i] == left &&
+                    symbols[i + 1] == right) {
+                    merged.push_back(fused);
+                    ++i;
+                } else {
+                    merged.push_back(symbols[i]);
+                }
+            }
+            symbols = std::move(merged);
+        }
+    }
+}
+
+std::vector<std::string>
+BpeTokenizer::tokenize(const std::string& text) const
+{
+    std::vector<std::string> tokens;
+    for (const std::string& word : splitWords(text)) {
+        std::vector<std::string> symbols = wordToSymbols(word);
+        // Repeatedly apply the highest-priority applicable merge — the
+        // standard (and deliberately non-trivial-cost) BPE encode loop.
+        while (symbols.size() > 1) {
+            int best_rank = -1;
+            std::size_t best_pos = 0;
+            for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+                auto it =
+                    merge_rank_.find(pairKey(symbols[i], symbols[i + 1]));
+                if (it == merge_rank_.end()) continue;
+                if (best_rank < 0 || it->second < best_rank) {
+                    best_rank = it->second;
+                    best_pos = i;
+                }
+            }
+            if (best_rank < 0) break;
+            symbols[best_pos] += symbols[best_pos + 1];
+            symbols.erase(symbols.begin() +
+                          static_cast<std::ptrdiff_t>(best_pos) + 1);
+        }
+        for (auto& symbol : symbols) tokens.push_back(std::move(symbol));
+    }
+    return tokens;
+}
+
+std::vector<int>
+BpeTokenizer::encode(const ir::ExprPtr& e, int max_len) const
+{
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(max_len));
+    ids.push_back(clsId());
+    for (const std::string& token : tokenize(e->toString())) {
+        if (static_cast<int>(ids.size()) >= max_len) break;
+        ids.push_back(idOf(token));
+    }
+    while (static_cast<int>(ids.size()) < max_len) ids.push_back(padId());
+    return ids;
+}
+
+int
+BpeTokenizer::idOf(const std::string& token) const
+{
+    auto it = id_of_.find(token);
+    return it == id_of_.end() ? unkId() : it->second;
+}
+
+} // namespace chehab::tokenizer

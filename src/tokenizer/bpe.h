@@ -1,0 +1,50 @@
+/// \file
+/// Byte-Pair Encoding tokenizer (Sennrich et al.), used only by the
+/// ICI-vs-BPE ablation (Fig. 10). Trained on raw IR text; unlike ICI it
+/// must repeatedly apply merge rules at encode time, which is the
+/// throughput gap the ablation measures.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::tokenizer {
+
+/// Classic word-internal BPE with an end-of-word marker.
+class BpeTokenizer
+{
+  public:
+    /// Learn \p num_merges merge rules from whitespace-split \p corpus.
+    void train(const std::vector<std::string>& corpus, int num_merges);
+
+    /// Tokenize raw text into subword units by greedily applying the
+    /// learned merges per word.
+    std::vector<std::string> tokenize(const std::string& text) const;
+
+    /// Encode a program's textual form: CLS + subword ids, padded/truncated
+    /// to \p max_len.
+    std::vector<int> encode(const ir::ExprPtr& e, int max_len) const;
+
+    int padId() const { return 0; }
+    int clsId() const { return 1; }
+    int unkId() const { return 2; }
+
+    /// Vocabulary size (for the embedding table).
+    int size() const { return static_cast<int>(id_of_.size()) + 3; }
+
+    /// Number of learned merges (test/debug accessor).
+    int numMerges() const { return static_cast<int>(merges_.size()); }
+
+  private:
+    int idOf(const std::string& token) const;
+
+    /// Merge rules in priority order: (left, right) -> fused symbol.
+    std::vector<std::pair<std::string, std::string>> merges_;
+    std::unordered_map<std::string, int> merge_rank_;
+    std::unordered_map<std::string, int> id_of_;
+};
+
+} // namespace chehab::tokenizer

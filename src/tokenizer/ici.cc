@@ -1,0 +1,171 @@
+#include "tokenizer/ici.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace chehab::tokenizer {
+
+using ir::ExprPtr;
+using ir::Op;
+
+namespace {
+
+/// Number of distinct variable tokens (v0..v63) and constant classes
+/// (c0..c15) in the fixed vocabulary. Programs in the training
+/// distribution stay well under these caps.
+constexpr int kMaxVars = 64;
+constexpr int kMaxConsts = 16;
+
+/// Rotation step bucket token: sign plus power-of-two magnitude class,
+/// e.g. step 3 -> "r+4", step -16 -> "r-16".
+std::string
+stepToken(int step)
+{
+    if (step == 0) return "r0";
+    const char sign = step > 0 ? '+' : '-';
+    int magnitude = std::abs(step);
+    int bucket = 1;
+    while (bucket < magnitude && bucket < 4096) bucket <<= 1;
+    return std::string("r") + sign + std::to_string(bucket);
+}
+
+/// Single left-to-right tokenization pass with per-program rename maps.
+class IciPass
+{
+  public:
+    std::vector<std::string>
+    run(const ExprPtr& e)
+    {
+        tokens_.clear();
+        var_ids_.clear();
+        const_ids_.clear();
+        visit(e);
+        return std::move(tokens_);
+    }
+
+  private:
+    void
+    visit(const ExprPtr& e)
+    {
+        switch (e->op()) {
+          case Op::Var:
+          case Op::PlainVar: {
+            // Plaintext variables get their own namespace prefix so the
+            // embedding can distinguish ct and pt inputs.
+            const std::string key =
+                (e->op() == Op::Var ? "v:" : "p:") + e->name();
+            auto [it, inserted] =
+                var_ids_.emplace(key, static_cast<int>(var_ids_.size()));
+            const int id = std::min(it->second, kMaxVars - 1);
+            (void)inserted;
+            tokens_.push_back(
+                (e->op() == Op::Var ? "v" : "pv") + std::to_string(id));
+            return;
+          }
+          case Op::Const: {
+            if (e->value() == 0 || e->value() == 1) {
+                tokens_.push_back(std::to_string(e->value()));
+                return;
+            }
+            auto [it, inserted] = const_ids_.emplace(
+                e->value(), static_cast<int>(const_ids_.size()));
+            (void)inserted;
+            tokens_.push_back(
+                "c" + std::to_string(std::min(it->second, kMaxConsts - 1)));
+            return;
+          }
+          case Op::Rotate:
+            tokens_.push_back("(");
+            tokens_.push_back("<<");
+            visit(e->child(0));
+            tokens_.push_back(stepToken(e->step()));
+            tokens_.push_back(")");
+            return;
+          default: {
+            tokens_.push_back("(");
+            tokens_.push_back(ir::opName(e->op()));
+            for (const auto& child : e->children()) visit(child);
+            tokens_.push_back(")");
+            return;
+          }
+        }
+    }
+
+    std::vector<std::string> tokens_;
+    std::unordered_map<std::string, int> var_ids_;
+    std::unordered_map<std::int64_t, int> const_ids_;
+};
+
+} // namespace
+
+std::vector<std::string>
+iciTokens(const ExprPtr& e)
+{
+    return IciPass().run(e);
+}
+
+std::string
+canonicalForm(const ExprPtr& e)
+{
+    const std::vector<std::string> tokens = iciTokens(e);
+    std::string joined;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (i) joined += ' ';
+        joined += tokens[i];
+    }
+    return joined;
+}
+
+IciVocab::IciVocab()
+{
+    int next_id = 3; // 0 PAD, 1 CLS, 2 UNK.
+    auto add = [&](const std::string& token) {
+        id_of_.emplace(token, next_id++);
+    };
+    add("(");
+    add(")");
+    add("+");
+    add("-");
+    add("*");
+    add("<<");
+    add("Vec");
+    add("VecAdd");
+    add("VecSub");
+    add("VecMul");
+    add("VecNeg");
+    add("0");
+    add("1");
+    add("r0");
+    for (int b = 1; b <= 4096; b <<= 1) {
+        add("r+" + std::to_string(b));
+        add("r-" + std::to_string(b));
+    }
+    for (int i = 0; i < kMaxVars; ++i) add("v" + std::to_string(i));
+    for (int i = 0; i < kMaxVars; ++i) add("pv" + std::to_string(i));
+    for (int i = 0; i < kMaxConsts; ++i) add("c" + std::to_string(i));
+}
+
+int
+IciVocab::idOf(const std::string& token) const
+{
+    auto it = id_of_.find(token);
+    return it == id_of_.end() ? unkId() : it->second;
+}
+
+std::vector<int>
+IciVocab::encode(const ir::ExprPtr& e, int max_len) const
+{
+    CHEHAB_ASSERT(max_len >= 2, "encode needs room for CLS");
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(max_len));
+    ids.push_back(clsId());
+    for (const std::string& token : iciTokens(e)) {
+        if (static_cast<int>(ids.size()) >= max_len) break;
+        ids.push_back(idOf(token));
+    }
+    while (static_cast<int>(ids.size()) < max_len) ids.push_back(padId());
+    return ids;
+}
+
+} // namespace chehab::tokenizer

@@ -1,0 +1,58 @@
+/// \file
+/// Identifier and Constant Invariant (ICI) tokenization (§5.1).
+///
+/// ICI is alpha-renaming plus light canonicalization performed in a single
+/// left-to-right pass: the first distinct variable becomes v0, the second
+/// v1, ...; numeric constants map to c0, c1, ... by first occurrence of
+/// their *value* (so equal constants share a token), with the exception of
+/// the literals 0 and 1, which are kept verbatim because they are the
+/// additive/multiplicative identities that many rewrite rules branch on.
+/// Rotation steps are bucketed by sign and power-of-two magnitude.
+///
+/// The resulting canonical string doubles as the dataset-deduplication and
+/// benchmark-exclusion key (§6).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace chehab::tokenizer {
+
+/// Produce the ICI token sequence for \p e.
+std::vector<std::string> iciTokens(const ir::ExprPtr& e);
+
+/// Canonical form: the ICI tokens joined with single spaces. Two programs
+/// have equal canonical forms iff they are identical up to identifier
+/// names and non-0/1 constant values.
+std::string canonicalForm(const ir::ExprPtr& e);
+
+/// Fixed ICI vocabulary mapping tokens to dense ids for the embedding
+/// layer. Ids 0 and 1 are reserved for PAD and CLS. Unknown tokens
+/// (e.g. v64+ in a pathological program) map to a shared UNK id.
+class IciVocab
+{
+  public:
+    IciVocab();
+
+    int padId() const { return 0; }
+    int clsId() const { return 1; }
+    int unkId() const { return 2; }
+
+    /// Total vocabulary size (for the embedding table).
+    int size() const { return static_cast<int>(id_of_.size()) + 3; }
+
+    /// Id of \p token (UNK if unseen).
+    int idOf(const std::string& token) const;
+
+    /// Encode a program: CLS followed by token ids, truncated/padded to
+    /// \p max_len (PAD on the right).
+    std::vector<int> encode(const ir::ExprPtr& e, int max_len) const;
+
+  private:
+    std::unordered_map<std::string, int> id_of_;
+};
+
+} // namespace chehab::tokenizer

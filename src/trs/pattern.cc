@@ -1,0 +1,89 @@
+#include "trs/pattern.h"
+
+#include "support/error.h"
+
+namespace chehab::trs {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Op;
+
+bool
+isPatternVar(const std::string& name)
+{
+    return !name.empty() && name[0] == '?';
+}
+
+namespace {
+
+/// Per-variable admissibility: ?p* requires plain subtrees, ?c* requires
+/// constant leaves.
+bool
+admissible(const std::string& var_name, const ExprPtr& subject)
+{
+    if (var_name.size() >= 2) {
+        if (var_name[1] == 'p') return subject->isPlain();
+        if (var_name[1] == 'k') return subject->op() == Op::Const;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+matchPattern(const ExprPtr& pattern, const ExprPtr& subject,
+             Bindings& bindings)
+{
+    if (pattern->op() == Op::Var && isPatternVar(pattern->name())) {
+        if (!admissible(pattern->name(), subject)) return false;
+        auto it = bindings.find(pattern->name());
+        if (it != bindings.end()) return ir::equal(it->second, subject);
+        bindings.emplace(pattern->name(), subject);
+        return true;
+    }
+    if (pattern->op() != subject->op()) return false;
+    if (pattern->arity() != subject->arity()) return false;
+    switch (pattern->op()) {
+      case Op::Var:
+      case Op::PlainVar:
+        if (pattern->name() != subject->name()) return false;
+        break;
+      case Op::Const:
+        if (pattern->value() != subject->value()) return false;
+        break;
+      case Op::Rotate:
+        if (pattern->step() != subject->step()) return false;
+        break;
+      default:
+        break;
+    }
+    for (std::size_t i = 0; i < pattern->arity(); ++i) {
+        if (!matchPattern(pattern->child(i), subject->child(i), bindings)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+ir::ExprPtr
+substitute(const ExprPtr& tmpl, const Bindings& bindings)
+{
+    if (tmpl->op() == Op::Var && isPatternVar(tmpl->name())) {
+        auto it = bindings.find(tmpl->name());
+        if (it == bindings.end()) {
+            throw CompileError("unbound pattern variable '" + tmpl->name() +
+                               "' in rewrite template");
+        }
+        return it->second;
+    }
+    if (tmpl->arity() == 0) return tmpl;
+    std::vector<ExprPtr> kids;
+    kids.reserve(tmpl->arity());
+    for (const auto& child : tmpl->children()) {
+        kids.push_back(substitute(child, bindings));
+    }
+    return ir::makeNode(tmpl->op(), std::move(kids), tmpl->name(),
+                        tmpl->value(), tmpl->step());
+}
+
+} // namespace chehab::trs

@@ -1,0 +1,40 @@
+/// \file
+/// Pattern language of the CHEHAB term rewriting system.
+///
+/// Patterns are ordinary IR expressions in which variables whose names
+/// start with '?' are pattern variables:
+///
+///   * `?x`   — matches any subtree; repeated occurrences must bind to
+///              structurally identical subtrees,
+///   * `?p..` — matches only *plain* subtrees (no ciphertext variables),
+///              used by plaintext-consolidation rules,
+///   * `?k..` — matches only Const leaves (constant folding helpers).
+///
+/// Literal integers in a pattern (notably 0 and 1, which the ICI
+/// tokenizer also keeps literal) match only constants of equal value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ir/expr.h"
+
+namespace chehab::trs {
+
+/// Binding of pattern-variable names to matched subtrees.
+using Bindings = std::unordered_map<std::string, ir::ExprPtr>;
+
+/// True if \p name denotes a pattern variable ("?...").
+bool isPatternVar(const std::string& name);
+
+/// Try to match \p pattern against \p subject, extending \p bindings.
+/// Returns false (leaving bindings in an unspecified state) on mismatch.
+bool matchPattern(const ir::ExprPtr& pattern, const ir::ExprPtr& subject,
+                  Bindings& bindings);
+
+/// Instantiate \p tmpl by substituting bound pattern variables.
+/// Throws CompileError if the template references an unbound variable.
+ir::ExprPtr substitute(const ir::ExprPtr& tmpl, const Bindings& bindings);
+
+} // namespace chehab::trs

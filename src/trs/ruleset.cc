@@ -1,0 +1,757 @@
+#include "trs/ruleset.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "ir/analysis.h"
+#include "support/error.h"
+
+namespace chehab::trs {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Op;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared helpers for programmatic rules.
+// ---------------------------------------------------------------------
+
+/// Flatten a chain of binary \p op nodes into its term list (in-order).
+void
+flattenChain(const ExprPtr& e, Op op, std::vector<ExprPtr>& terms)
+{
+    if (e->op() == op) {
+        flattenChain(e->child(0), op, terms);
+        flattenChain(e->child(1), op, terms);
+    } else {
+        terms.push_back(e);
+    }
+}
+
+/// Smallest power of two >= n.
+int
+ceilPow2(int n)
+{
+    int p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Build a balanced binary tree of \p op over \p terms.
+ExprPtr
+buildBalanced(Op op, const std::vector<ExprPtr>& terms, int lo, int hi)
+{
+    if (hi - lo == 1) return terms[lo];
+    const int mid = lo + (hi - lo) / 2;
+    return ir::makeNode(op,
+                        {buildBalanced(op, terms, lo, mid),
+                         buildBalanced(op, terms, mid, hi)},
+                        {}, 0, 0);
+}
+
+/// Log-step rotate-and-add reduction: returns a vector whose slot
+/// i < stride holds the sum over j of V[i + j*stride]. Requires the width
+/// of \p v to be stride * 2^k.
+ExprPtr
+rotateReduce(ExprPtr v, int width, int stride, Op op = Op::VecAdd)
+{
+    for (int d = width / 2; d >= stride; d /= 2) {
+        v = ir::makeNode(op, {v, ir::rotate(v, d)}, {}, 0, 0);
+    }
+    return v;
+}
+
+/// Scalar product reduction (root only): an all-multiply chain with >= 4
+/// factors becomes a packed vector plus a log-depth rotate-and-multiply
+/// ladder (same multiplicative depth as a balanced tree, one wide
+/// VecMul per level instead of a level of scalar multiplies).
+std::optional<ExprPtr>
+reduceProduct(const ExprPtr& e)
+{
+    if (e->op() != Op::Mul) return std::nullopt;
+    std::vector<ExprPtr> factors;
+    flattenChain(e, Op::Mul, factors);
+    if (factors.size() < 4) return std::nullopt;
+    for (const auto& factor : factors) {
+        if (factor->op() == Op::Vec || ir::isVectorOp(factor->op()) ||
+            factor->op() == Op::Rotate) {
+            return std::nullopt;
+        }
+    }
+    int width = 1;
+    while (width < static_cast<int>(factors.size())) width <<= 1;
+    while (static_cast<int>(factors.size()) < width) {
+        factors.push_back(ir::constant(1));
+    }
+    return rotateReduce(ir::vec(std::move(factors)), width, 1, Op::VecMul);
+}
+
+/// True for leaves that the client can pack for free before encryption
+/// (§7.3 input layout transformation).
+bool
+isPackableLeaf(const ExprPtr& e)
+{
+    return e->op() == Op::Var || e->op() == Op::PlainVar ||
+           e->op() == Op::Const;
+}
+
+bool
+allChildrenLeaves(const ExprPtr& e)
+{
+    return std::all_of(e->children().begin(), e->children().end(),
+                       [](const ExprPtr& c) { return isPackableLeaf(c); });
+}
+
+/// Key for leaf ordering used by the canonical-rotation rule.
+std::string
+leafKey(const ExprPtr& e)
+{
+    switch (e->op()) {
+      case Op::Var: return "v:" + e->name();
+      case Op::PlainVar: return "p:" + e->name();
+      default: return "c:" + std::to_string(e->value());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Programmatic rewriters.
+// ---------------------------------------------------------------------
+
+/// Constant folding for scalar arithmetic over literal operands.
+std::optional<ExprPtr>
+constFold(const ExprPtr& e)
+{
+    if (!ir::isScalarOp(e->op())) return std::nullopt;
+    for (const auto& child : e->children()) {
+        if (child->op() != Op::Const) return std::nullopt;
+    }
+    std::int64_t result = 0;
+    switch (e->op()) {
+      case Op::Add: result = e->child(0)->value() + e->child(1)->value(); break;
+      case Op::Sub: result = e->child(0)->value() - e->child(1)->value(); break;
+      case Op::Mul: result = e->child(0)->value() * e->child(1)->value(); break;
+      case Op::Neg: result = -e->child(0)->value(); break;
+      default: return std::nullopt;
+    }
+    return ir::constant(result);
+}
+
+/// Generic non-isomorphic packing (Appendix E): vectorize every child of
+/// a Vec with top-level operation \p op, moving non-matching children into
+/// the first operand and padding the second with the identity element.
+std::optional<ExprPtr>
+packBinary(const ExprPtr& e, Op op, Op vec_op, std::int64_t identity)
+{
+    if (e->op() != Op::Vec) return std::nullopt;
+    int matching = 0;
+    for (const auto& child : e->children()) {
+        if (child->op() == op) ++matching;
+    }
+    if (matching < 2) return std::nullopt;
+    std::vector<ExprPtr> lhs;
+    std::vector<ExprPtr> rhs;
+    lhs.reserve(e->arity());
+    rhs.reserve(e->arity());
+    for (const auto& child : e->children()) {
+        if (child->op() == op) {
+            lhs.push_back(child->child(0));
+            rhs.push_back(child->child(1));
+        } else {
+            lhs.push_back(child);
+            rhs.push_back(ir::constant(identity));
+        }
+    }
+    return ir::makeNode(vec_op, {ir::vec(std::move(lhs)),
+                                 ir::vec(std::move(rhs))}, {}, 0, 0);
+}
+
+/// Packing for unary negation: all-Neg vectors become VecNeg, mixed
+/// vectors multiply by a ±1 plaintext mask.
+std::optional<ExprPtr>
+packNeg(const ExprPtr& e)
+{
+    if (e->op() != Op::Vec) return std::nullopt;
+    int matching = 0;
+    for (const auto& child : e->children()) {
+        if (child->op() == Op::Neg) ++matching;
+    }
+    if (matching < 2) return std::nullopt;
+    if (matching == static_cast<int>(e->arity())) {
+        std::vector<ExprPtr> inner;
+        inner.reserve(e->arity());
+        for (const auto& child : e->children()) {
+            inner.push_back(child->child(0));
+        }
+        return ir::vecNeg(ir::vec(std::move(inner)));
+    }
+    std::vector<ExprPtr> stripped;
+    std::vector<ExprPtr> mask;
+    for (const auto& child : e->children()) {
+        if (child->op() == Op::Neg) {
+            stripped.push_back(child->child(0));
+            mask.push_back(ir::constant(-1));
+        } else {
+            stripped.push_back(child);
+            mask.push_back(ir::constant(1));
+        }
+    }
+    return ir::vecMul(ir::vec(std::move(stripped)), ir::vec(std::move(mask)));
+}
+
+/// (<< (<< v s1) s2) => (<< v s1+s2).
+std::optional<ExprPtr>
+rotateCompose(const ExprPtr& e)
+{
+    if (e->op() != Op::Rotate || e->child(0)->op() != Op::Rotate) {
+        return std::nullopt;
+    }
+    return ir::rotate(e->child(0)->child(0), e->step() + e->child(0)->step());
+}
+
+/// (<< v 0) => v.
+std::optional<ExprPtr>
+rotateZero(const ExprPtr& e)
+{
+    if (e->op() != Op::Rotate || e->step() != 0) return std::nullopt;
+    return e->child(0);
+}
+
+/// (<< (VecOp a b) s) => (VecOp (<< a s) (<< b s)).
+std::optional<ExprPtr>
+rotateDistribute(const ExprPtr& e, Op vec_op)
+{
+    if (e->op() != Op::Rotate || e->child(0)->op() != vec_op) {
+        return std::nullopt;
+    }
+    const ExprPtr& inner = e->child(0);
+    return ir::makeNode(vec_op,
+                        {ir::rotate(inner->child(0), e->step()),
+                         ir::rotate(inner->child(1), e->step())},
+                        {}, 0, 0);
+}
+
+/// (VecOp (<< a s) (<< b s)) => (<< (VecOp a b) s).
+std::optional<ExprPtr>
+rotateHoist(const ExprPtr& e, Op vec_op)
+{
+    if (e->op() != vec_op) return std::nullopt;
+    const ExprPtr& a = e->child(0);
+    const ExprPtr& b = e->child(1);
+    if (a->op() != Op::Rotate || b->op() != Op::Rotate ||
+        a->step() != b->step()) {
+        return std::nullopt;
+    }
+    return ir::rotate(
+        ir::makeNode(vec_op, {a->child(0), b->child(0)}, {}, 0, 0),
+        a->step());
+}
+
+/// (<< (Vec leaves...) s) => (Vec permuted-leaves...): a rotation of a
+/// freshly packed input vector is a free client-side relayout.
+std::optional<ExprPtr>
+rotateOfVec(const ExprPtr& e)
+{
+    if (e->op() != Op::Rotate || e->child(0)->op() != Op::Vec) {
+        return std::nullopt;
+    }
+    const ExprPtr& v = e->child(0);
+    if (!allChildrenLeaves(v)) return std::nullopt;
+    const int n = static_cast<int>(v->arity());
+    const int step = ((e->step() % n) + n) % n;
+    if (step == 0) return v;
+    std::vector<ExprPtr> permuted;
+    permuted.reserve(v->arity());
+    for (int i = 0; i < n; ++i) permuted.push_back(v->child((i + step) % n));
+    return ir::vec(std::move(permuted));
+}
+
+/// Rewrite a leaf-packed Vec as a rotation of its lexicographically
+/// minimal cyclic order, exposing shareable packings to CSE.
+std::optional<ExprPtr>
+vecCanonicalRotation(const ExprPtr& e)
+{
+    if (e->op() != Op::Vec || e->arity() < 2 || !allChildrenLeaves(e)) {
+        return std::nullopt;
+    }
+    const int n = static_cast<int>(e->arity());
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (const auto& child : e->children()) keys.push_back(leafKey(child));
+
+    int best = 0;
+    for (int r = 1; r < n; ++r) {
+        for (int i = 0; i < n; ++i) {
+            const std::string& a = keys[(i + r) % n];
+            const std::string& b = keys[(i + best) % n];
+            if (a != b) {
+                if (a < b) best = r;
+                break;
+            }
+        }
+    }
+    if (best == 0) return std::nullopt;
+    std::vector<ExprPtr> canonical;
+    canonical.reserve(n);
+    for (int i = 0; i < n; ++i) canonical.push_back(e->child((i + best) % n));
+    return ir::rotate(ir::vec(std::move(canonical)), -best);
+}
+
+/// Scalar reduction (root only): an all-add tree with >= 4 terms becomes
+/// a packed vector plus a log-depth rotate-and-add ladder; the result
+/// lives in slot 0.
+std::optional<ExprPtr>
+reduceSum(const ExprPtr& e)
+{
+    if (e->op() != Op::Add) return std::nullopt;
+    std::vector<ExprPtr> terms;
+    flattenChain(e, Op::Add, terms);
+    if (terms.size() < 4) return std::nullopt;
+    for (const auto& term : terms) {
+        // Terms must be scalar-typed; a vector operand cannot appear under
+        // a scalar Add, so only check they are not themselves vectors.
+        if (term->op() == Op::Vec || ir::isVectorOp(term->op()) ||
+            term->op() == Op::Rotate) {
+            return std::nullopt;
+        }
+    }
+    const int width = ceilPow2(static_cast<int>(terms.size()));
+    while (static_cast<int>(terms.size()) < width) {
+        terms.push_back(ir::constant(0));
+    }
+    return rotateReduce(ir::vec(std::move(terms)), width, 1);
+}
+
+/// Scalar sum-of-products reduction (root only): Σ aᵢ·bᵢ becomes
+/// VecMul of two packed operand vectors plus a rotate-and-add ladder.
+std::optional<ExprPtr>
+reduceSumOfProducts(const ExprPtr& e)
+{
+    if (e->op() != Op::Add) return std::nullopt;
+    std::vector<ExprPtr> terms;
+    flattenChain(e, Op::Add, terms);
+    if (terms.size() < 2) return std::nullopt;
+    std::vector<ExprPtr> lhs;
+    std::vector<ExprPtr> rhs;
+    for (const auto& term : terms) {
+        if (term->op() != Op::Mul) return std::nullopt;
+        lhs.push_back(term->child(0));
+        rhs.push_back(term->child(1));
+    }
+    const int width = ceilPow2(static_cast<int>(terms.size()));
+    while (static_cast<int>(lhs.size()) < width) {
+        lhs.push_back(ir::constant(0));
+        rhs.push_back(ir::constant(1));
+    }
+    ExprPtr v = ir::vecMul(ir::vec(std::move(lhs)), ir::vec(std::move(rhs)));
+    return rotateReduce(std::move(v), width, 1);
+}
+
+/// Vector-of-reductions (root only; the Appendix E composite rule):
+/// (Vec Σⱼ a₀ⱼ·b₀ⱼ ... Σⱼ a_{w-1}j·b_{w-1}j) packs all products
+/// interleaved by output slot and reduces with stride-w rotations, leaving
+/// output i in slot i.
+std::optional<ExprPtr>
+vecReduceSumOfProducts(const ExprPtr& e)
+{
+    if (e->op() != Op::Vec || e->arity() < 2) return std::nullopt;
+    const int w = static_cast<int>(e->arity());
+    std::vector<std::vector<ExprPtr>> terms(w);
+    int max_terms = 0;
+    for (int i = 0; i < w; ++i) {
+        flattenChain(e->child(i), Op::Add, terms[i]);
+        for (const auto& term : terms[i]) {
+            if (term->op() != Op::Mul) return std::nullopt;
+        }
+        max_terms = std::max(max_terms, static_cast<int>(terms[i].size()));
+    }
+    if (max_terms < 2) return std::nullopt;
+    const int k = ceilPow2(max_terms);
+    std::vector<ExprPtr> lhs(static_cast<std::size_t>(k) * w);
+    std::vector<ExprPtr> rhs(static_cast<std::size_t>(k) * w);
+    for (int i = 0; i < w; ++i) {
+        for (int j = 0; j < k; ++j) {
+            if (j < static_cast<int>(terms[i].size())) {
+                lhs[static_cast<std::size_t>(j) * w + i] =
+                    terms[i][j]->child(0);
+                rhs[static_cast<std::size_t>(j) * w + i] =
+                    terms[i][j]->child(1);
+            } else {
+                lhs[static_cast<std::size_t>(j) * w + i] = ir::constant(0);
+                rhs[static_cast<std::size_t>(j) * w + i] = ir::constant(1);
+            }
+        }
+    }
+    ExprPtr v = ir::vecMul(ir::vec(std::move(lhs)), ir::vec(std::move(rhs)));
+    return rotateReduce(std::move(v), k * w, w);
+}
+
+/// Vector-of-sums (root only): like vecReduceSumOfProducts but with
+/// arbitrary scalar terms (no product requirement); packs terms directly.
+std::optional<ExprPtr>
+vecReduceSum(const ExprPtr& e)
+{
+    if (e->op() != Op::Vec || e->arity() < 2) return std::nullopt;
+    const int w = static_cast<int>(e->arity());
+    std::vector<std::vector<ExprPtr>> terms(w);
+    int max_terms = 0;
+    for (int i = 0; i < w; ++i) {
+        flattenChain(e->child(i), Op::Add, terms[i]);
+        max_terms = std::max(max_terms, static_cast<int>(terms[i].size()));
+    }
+    if (max_terms < 2) return std::nullopt;
+    const int k = ceilPow2(max_terms);
+    std::vector<ExprPtr> slots(static_cast<std::size_t>(k) * w);
+    for (int i = 0; i < w; ++i) {
+        for (int j = 0; j < k; ++j) {
+            slots[static_cast<std::size_t>(j) * w + i] =
+                j < static_cast<int>(terms[i].size()) ? terms[i][j]
+                                                      : ir::constant(0);
+        }
+    }
+    return rotateReduce(ir::vec(std::move(slots)), k * w, w);
+}
+
+/// Rebalance a chain of \p op into a minimal-depth tree; fires only when
+/// the depth strictly improves.
+std::optional<ExprPtr>
+balanceChain(const ExprPtr& e, Op op)
+{
+    if (e->op() != op) return std::nullopt;
+    std::vector<ExprPtr> terms;
+    flattenChain(e, op, terms);
+    if (terms.size() < 3) return std::nullopt;
+    ExprPtr balanced = buildBalanced(op, terms, 0,
+                                     static_cast<int>(terms.size()));
+    if (balanced->height() >= e->height()) return std::nullopt;
+    return balanced;
+}
+
+/// (VecOp (Vec a...) (Vec b...)) => (Vec (op a b)...): devectorization,
+/// the inverse of the packing rules. Occasionally needed to escape a poor
+/// earlier packing decision.
+std::optional<ExprPtr>
+devectorize(const ExprPtr& e, Op vec_op, Op scalar_op)
+{
+    if (e->op() != vec_op) return std::nullopt;
+    const ExprPtr& a = e->child(0);
+    const ExprPtr& b = e->child(1);
+    if (a->op() != Op::Vec || b->op() != Op::Vec || a->arity() != b->arity()) {
+        return std::nullopt;
+    }
+    std::vector<ExprPtr> slots;
+    slots.reserve(a->arity());
+    for (std::size_t i = 0; i < a->arity(); ++i) {
+        slots.push_back(
+            ir::makeNode(scalar_op, {a->child(i), b->child(i)}, {}, 0, 0));
+    }
+    return ir::vec(std::move(slots));
+}
+
+/// (VecMul v (Vec 1 1 ... 1)) => v, and the symmetric case.
+std::optional<ExprPtr>
+vecMulIdentity(const ExprPtr& e)
+{
+    if (e->op() != Op::VecMul) return std::nullopt;
+    auto all_ones = [](const ExprPtr& v) {
+        if (v->op() != Op::Vec) return false;
+        return std::all_of(v->children().begin(), v->children().end(),
+                           [](const ExprPtr& c) {
+                               return c->op() == Op::Const && c->value() == 1;
+                           });
+    };
+    if (all_ones(e->child(1))) return e->child(0);
+    if (all_ones(e->child(0))) return e->child(1);
+    return std::nullopt;
+}
+
+/// (VecAdd v (Vec 0 0 ... 0)) => v, and the symmetric case.
+std::optional<ExprPtr>
+vecAddIdentity(const ExprPtr& e)
+{
+    if (e->op() != Op::VecAdd) return std::nullopt;
+    auto all_zeros = [](const ExprPtr& v) {
+        if (v->op() != Op::Vec) return false;
+        return std::all_of(v->children().begin(), v->children().end(),
+                           [](const ExprPtr& c) {
+                               return c->op() == Op::Const && c->value() == 0;
+                           });
+    };
+    if (all_zeros(e->child(1))) return e->child(0);
+    if (all_zeros(e->child(0))) return e->child(1);
+    return std::nullopt;
+}
+
+/// Guard: the bound subtree must contain a ciphertext (used to stop the
+/// plaintext-consolidation rules from spinning on all-plain expressions).
+bool
+bindingNotPlain(const Bindings& bindings, const std::string& var)
+{
+    auto it = bindings.find(var);
+    return it != bindings.end() && !it->second->isPlain();
+}
+
+/// Generate the isomorphic vectorization patterns for a binary scalar op
+/// at a fixed width, e.g. width 2 addition:
+///   (Vec (+ ?a0 ?b0) (+ ?a1 ?b1))
+///     => (VecAdd (Vec ?a0 ?a1) (Vec ?b0 ?b1))
+RewriteRule
+makeIsoVectorizeRule(const std::string& op_name, const std::string& op_tok,
+                     const std::string& vec_tok, int width)
+{
+    std::string lhs = "(Vec";
+    std::string lhs_pack = "(Vec";
+    std::string rhs_pack = "(Vec";
+    for (int i = 0; i < width; ++i) {
+        const std::string ai = " ?a" + std::to_string(i);
+        const std::string bi = " ?b" + std::to_string(i);
+        lhs += " (" + op_tok + ai + bi + ")";
+        lhs_pack += ai;
+        rhs_pack += bi;
+    }
+    lhs += ")";
+    lhs_pack += ")";
+    rhs_pack += ")";
+    const std::string rhs = "(" + vec_tok + " " + lhs_pack + " " +
+                            rhs_pack + ")";
+    return {op_name + "-vectorize-" + std::to_string(width), lhs, rhs,
+            RuleKind::Vectorize};
+}
+
+/// Isomorphic vectorization for unary negation at a fixed width.
+RewriteRule
+makeNegVectorizeRule(int width)
+{
+    std::string lhs = "(Vec";
+    std::string pack = "(Vec";
+    for (int i = 0; i < width; ++i) {
+        lhs += " (- ?a" + std::to_string(i) + ")";
+        pack += " ?a" + std::to_string(i);
+    }
+    lhs += ")";
+    pack += ")";
+    return {"neg-vectorize-" + std::to_string(width), lhs,
+            "(VecNeg " + pack + ")", RuleKind::Vectorize};
+}
+
+} // namespace
+
+int
+Ruleset::indexOf(const std::string& name) const
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (rules_[i].name() == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Ruleset
+buildChehabRuleset()
+{
+    std::vector<RewriteRule> rules;
+    rules.reserve(90);
+
+    // --- Scalar arithmetic transformations (enable later simplification).
+    rules.emplace_back("add-comm", "(+ ?a ?b)", "(+ ?b ?a)",
+                       RuleKind::Transform);
+    rules.emplace_back("mul-comm", "(* ?a ?b)", "(* ?b ?a)",
+                       RuleKind::Transform);
+    rules.emplace_back("add-assoc-lr", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))",
+                       RuleKind::Transform);
+    rules.emplace_back("add-assoc-rl", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)",
+                       RuleKind::Transform);
+    rules.emplace_back("mul-assoc-lr", "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))",
+                       RuleKind::Transform);
+    rules.emplace_back("mul-assoc-rl", "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)",
+                       RuleKind::Transform);
+    rules.emplace_back("distribute-l", "(* ?a (+ ?b ?c))",
+                       "(+ (* ?a ?b) (* ?a ?c))", RuleKind::Transform);
+    rules.emplace_back("distribute-r", "(* (+ ?a ?b) ?c)",
+                       "(+ (* ?a ?c) (* ?b ?c))", RuleKind::Transform);
+    rules.emplace_back("sub-to-addneg", "(- ?a ?b)", "(+ ?a (- ?b))",
+                       RuleKind::Transform);
+    rules.emplace_back("addneg-to-sub", "(+ ?a (- ?b))", "(- ?a ?b)",
+                       RuleKind::Transform);
+    rules.emplace_back("neg-mul-l", "(* (- ?a) ?b)", "(- (* ?a ?b))",
+                       RuleKind::Transform);
+    rules.emplace_back("neg-mul-r", "(* ?a (- ?b))", "(- (* ?a ?b))",
+                       RuleKind::Transform);
+    rules.emplace_back("neg-distribute-add", "(- (+ ?a ?b))",
+                       "(+ (- ?a) (- ?b))", RuleKind::Transform);
+    rules.emplace_back("neg-collect-add", "(+ (- ?a) (- ?b))",
+                       "(- (+ ?a ?b))", RuleKind::Transform);
+
+    // --- Scalar factorization / simplification.
+    rules.emplace_back("comm-factor-ll", "(+ (* ?a ?b) (* ?a ?c))",
+                       "(* ?a (+ ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("comm-factor-rr", "(+ (* ?b ?a) (* ?c ?a))",
+                       "(* (+ ?b ?c) ?a)", RuleKind::Simplify);
+    rules.emplace_back("comm-factor-lr", "(+ (* ?a ?b) (* ?c ?a))",
+                       "(* ?a (+ ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("comm-factor-rl", "(+ (* ?b ?a) (* ?a ?c))",
+                       "(* ?a (+ ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("sub-factor", "(- (* ?a ?b) (* ?a ?c))",
+                       "(* ?a (- ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("add-identity-r", "(+ ?a 0)", "?a",
+                       RuleKind::Simplify);
+    rules.emplace_back("add-identity-l", "(+ 0 ?a)", "?a",
+                       RuleKind::Simplify);
+    rules.emplace_back("sub-zero", "(- ?a 0)", "?a", RuleKind::Simplify);
+    rules.emplace_back("sub-from-zero", "(- 0 ?a)", "(- ?a)",
+                       RuleKind::Simplify);
+    rules.emplace_back("mul-identity-r", "(* ?a 1)", "?a",
+                       RuleKind::Simplify);
+    rules.emplace_back("mul-identity-l", "(* 1 ?a)", "?a",
+                       RuleKind::Simplify);
+    rules.emplace_back("mul-zero-r", "(* ?a 0)", "0", RuleKind::Simplify);
+    rules.emplace_back("mul-zero-l", "(* 0 ?a)", "0", RuleKind::Simplify);
+    rules.emplace_back("sub-self", "(- ?a ?a)", "0", RuleKind::Simplify);
+    rules.emplace_back("neg-neg", "(- (- ?a))", "?a", RuleKind::Simplify);
+    rules.emplace_back("add-self-to-mul2", "(+ ?a ?a)", "(* 2 ?a)",
+                       RuleKind::Simplify);
+    rules.emplace_back(
+        "pt-consolidate-mul", "(* ?pa (* ?pb ?x))", "(* (* ?pa ?pb) ?x)",
+        RuleKind::Simplify,
+        [](const Bindings& b, const ir::ExprPtr&) {
+            return bindingNotPlain(b, "?x");
+        });
+    rules.emplace_back(
+        "pt-consolidate-add", "(+ ?pa (+ ?pb ?x))", "(+ (+ ?pa ?pb) ?x)",
+        RuleKind::Simplify,
+        [](const Bindings& b, const ir::ExprPtr&) {
+            return bindingNotPlain(b, "?x");
+        });
+    rules.emplace_back("const-fold", constFold, RuleKind::Simplify);
+
+    // --- Vector-level transformations and simplifications.
+    rules.emplace_back("vecadd-comm", "(VecAdd ?a ?b)", "(VecAdd ?b ?a)",
+                       RuleKind::Transform);
+    rules.emplace_back("vecmul-comm", "(VecMul ?a ?b)", "(VecMul ?b ?a)",
+                       RuleKind::Transform);
+    rules.emplace_back("vecadd-assoc-lr", "(VecAdd (VecAdd ?a ?b) ?c)",
+                       "(VecAdd ?a (VecAdd ?b ?c))", RuleKind::Transform);
+    rules.emplace_back("vecadd-assoc-rl", "(VecAdd ?a (VecAdd ?b ?c))",
+                       "(VecAdd (VecAdd ?a ?b) ?c)", RuleKind::Transform);
+    rules.emplace_back("vecmul-assoc-lr", "(VecMul (VecMul ?a ?b) ?c)",
+                       "(VecMul ?a (VecMul ?b ?c))", RuleKind::Transform);
+    rules.emplace_back("vecmul-assoc-rl", "(VecMul ?a (VecMul ?b ?c))",
+                       "(VecMul (VecMul ?a ?b) ?c)", RuleKind::Transform);
+    rules.emplace_back("vec-distribute", "(VecMul ?a (VecAdd ?b ?c))",
+                       "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))",
+                       RuleKind::Transform);
+    rules.emplace_back("vec-factor-ll", "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))",
+                       "(VecMul ?a (VecAdd ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("vec-factor-rr", "(VecAdd (VecMul ?b ?a) (VecMul ?c ?a))",
+                       "(VecMul (VecAdd ?b ?c) ?a)", RuleKind::Simplify);
+    rules.emplace_back("vec-factor-lr", "(VecAdd (VecMul ?a ?b) (VecMul ?c ?a))",
+                       "(VecMul ?a (VecAdd ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("vec-factor-rl", "(VecAdd (VecMul ?b ?a) (VecMul ?a ?c))",
+                       "(VecMul ?a (VecAdd ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("vec-sub-factor",
+                       "(VecSub (VecMul ?a ?b) (VecMul ?a ?c))",
+                       "(VecMul ?a (VecSub ?b ?c))", RuleKind::Simplify);
+    rules.emplace_back("vecneg-neg", "(VecNeg (VecNeg ?a))", "?a",
+                       RuleKind::Simplify);
+    rules.emplace_back("vec-sub-to-addneg", "(VecSub ?a ?b)",
+                       "(VecAdd ?a (VecNeg ?b))", RuleKind::Transform);
+    rules.emplace_back("vec-addneg-to-sub", "(VecAdd ?a (VecNeg ?b))",
+                       "(VecSub ?a ?b)", RuleKind::Transform);
+    rules.emplace_back("vecmul-identity", vecMulIdentity, RuleKind::Simplify);
+    rules.emplace_back("vecadd-identity", vecAddIdentity, RuleKind::Simplify);
+
+    // --- Isomorphic vectorization patterns (widths 2..4).
+    for (int w = 2; w <= 4; ++w) {
+        rules.push_back(makeIsoVectorizeRule("add", "+", "VecAdd", w));
+    }
+    for (int w = 2; w <= 4; ++w) {
+        rules.push_back(makeIsoVectorizeRule("mul", "*", "VecMul", w));
+    }
+    for (int w = 2; w <= 4; ++w) {
+        rules.push_back(makeIsoVectorizeRule("sub", "-", "VecSub", w));
+    }
+    rules.push_back(makeNegVectorizeRule(2));
+    rules.push_back(makeNegVectorizeRule(3));
+
+    // --- Non-isomorphic packing (identity padding).
+    rules.emplace_back(
+        "pack-add",
+        [](const ExprPtr& e) { return packBinary(e, Op::Add, Op::VecAdd, 0); },
+        RuleKind::Vectorize);
+    rules.emplace_back(
+        "pack-sub",
+        [](const ExprPtr& e) { return packBinary(e, Op::Sub, Op::VecSub, 0); },
+        RuleKind::Vectorize);
+    rules.emplace_back(
+        "pack-mul",
+        [](const ExprPtr& e) { return packBinary(e, Op::Mul, Op::VecMul, 1); },
+        RuleKind::Vectorize);
+    rules.emplace_back("pack-neg", packNeg, RuleKind::Vectorize);
+
+    // --- Rotation manipulation.
+    rules.emplace_back("rotate-compose", rotateCompose, RuleKind::Rotation);
+    rules.emplace_back("rotate-zero", rotateZero, RuleKind::Rotation);
+    rules.emplace_back(
+        "rotate-distribute-add",
+        [](const ExprPtr& e) { return rotateDistribute(e, Op::VecAdd); },
+        RuleKind::Rotation);
+    rules.emplace_back(
+        "rotate-hoist-add",
+        [](const ExprPtr& e) { return rotateHoist(e, Op::VecAdd); },
+        RuleKind::Rotation);
+    rules.emplace_back(
+        "rotate-distribute-mul",
+        [](const ExprPtr& e) { return rotateDistribute(e, Op::VecMul); },
+        RuleKind::Rotation);
+    rules.emplace_back(
+        "rotate-hoist-mul",
+        [](const ExprPtr& e) { return rotateHoist(e, Op::VecMul); },
+        RuleKind::Rotation);
+    rules.emplace_back("rotate-of-vec", rotateOfVec, RuleKind::Rotation);
+    rules.emplace_back("vec-canonical-rotation", vecCanonicalRotation,
+                       RuleKind::Rotation);
+
+    // --- Rotation-based reductions (root only: they widen the output).
+    rules.emplace_back("reduce-sum", reduceSum, RuleKind::Rotation,
+                       /*root_only=*/true);
+    rules.emplace_back("reduce-product", reduceProduct, RuleKind::Rotation,
+                       /*root_only=*/true);
+    rules.emplace_back("reduce-sum-of-products", reduceSumOfProducts,
+                       RuleKind::Rotation, /*root_only=*/true);
+    rules.emplace_back("vec-reduce-sum", vecReduceSum, RuleKind::Rotation,
+                       /*root_only=*/true);
+    rules.emplace_back("vec-reduce-sum-of-products", vecReduceSumOfProducts,
+                       RuleKind::Rotation, /*root_only=*/true);
+
+    // --- Circuit balancing (reduces depth / multiplicative depth).
+    rules.emplace_back(
+        "balance-add",
+        [](const ExprPtr& e) { return balanceChain(e, Op::Add); },
+        RuleKind::Balance);
+    rules.emplace_back(
+        "balance-mul",
+        [](const ExprPtr& e) { return balanceChain(e, Op::Mul); },
+        RuleKind::Balance);
+    rules.emplace_back(
+        "balance-vecadd",
+        [](const ExprPtr& e) { return balanceChain(e, Op::VecAdd); },
+        RuleKind::Balance);
+    rules.emplace_back(
+        "balance-vecmul",
+        [](const ExprPtr& e) { return balanceChain(e, Op::VecMul); },
+        RuleKind::Balance);
+
+    // --- Devectorization (escape hatch).
+    rules.emplace_back(
+        "devectorize-add",
+        [](const ExprPtr& e) { return devectorize(e, Op::VecAdd, Op::Add); },
+        RuleKind::Transform);
+    rules.emplace_back(
+        "devectorize-mul",
+        [](const ExprPtr& e) { return devectorize(e, Op::VecMul, Op::Mul); },
+        RuleKind::Transform);
+
+    return Ruleset(std::move(rules));
+}
+
+} // namespace chehab::trs

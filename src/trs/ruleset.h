@@ -1,0 +1,41 @@
+/// \file
+/// The CHEHAB rule set: 84 rewrite rules spanning vectorization,
+/// algebraic simplification, arithmetic transformation, circuit balancing
+/// and rotation manipulation (§5.2, Appendix E). The rules were seeded
+/// from Halide's TRS with FHE-incompatible rules (comparison, division,
+/// modulo) removed, then extended with FHE-specific rules that reduce
+/// operation count, rotations, circuit depth and multiplicative depth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trs/rule.h"
+
+namespace chehab::trs {
+
+/// Immutable collection of rules with name lookup. Index order is the
+/// action numbering used by the RL policy (the END action is appended by
+/// the environment, not stored here).
+class Ruleset
+{
+  public:
+    explicit Ruleset(std::vector<RewriteRule> rules)
+        : rules_(std::move(rules))
+    {}
+
+    std::size_t size() const { return rules_.size(); }
+    const RewriteRule& operator[](std::size_t i) const { return rules_[i]; }
+    const std::vector<RewriteRule>& rules() const { return rules_; }
+
+    /// Index of the rule with the given name, or -1.
+    int indexOf(const std::string& name) const;
+
+  private:
+    std::vector<RewriteRule> rules_;
+};
+
+/// Build the full CHEHAB RL rule set (84 rules).
+Ruleset buildChehabRuleset();
+
+} // namespace chehab::trs

@@ -1,0 +1,106 @@
+/// \file
+/// CoyoteSim baseline tests: semantic correctness on the benchmark
+/// shapes, vectorization evidence (rotations + masks, fewer scalar ops),
+/// compile-time growth with circuit size, and budget accounting.
+#include <gtest/gtest.h>
+
+#include "baselines/coyote_sim.h"
+#include "benchsuite/kernels.h"
+#include "ir/analysis.h"
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+
+namespace chehab::baselines {
+namespace {
+
+CoyoteConfig
+fastConfig()
+{
+    CoyoteConfig config;
+    config.search_budget = 2000;
+    return config;
+}
+
+TEST(CoyoteSimTest, PreservesSemanticsOnSimplePrograms)
+{
+    const char* programs[] = {
+        "(+ (* a b) (* c d))",
+        "(Vec (+ a b) (+ c d) (+ e f))",
+        "(Vec (* a b) (- c d))",
+        "(+ (+ (* a0 b0) (* a1 b1)) (+ (* a2 b2) (* a3 b3)))",
+        "(- (- a))",
+    };
+    for (const char* text : programs) {
+        const ir::ExprPtr source = ir::parse(text);
+        const CoyoteResult result = coyoteCompile(source, fastConfig());
+        ASSERT_NE(result.program, nullptr) << text;
+        EXPECT_TRUE(ir::wellTyped(result.program)) << text;
+        EXPECT_TRUE(ir::equivalentOn(source, result.program, 10)) << text;
+    }
+}
+
+TEST(CoyoteSimTest, PreservesSemanticsOnBenchmarkKernels)
+{
+    const benchsuite::Kernel kernels[] = {
+        benchsuite::dotProduct(4),
+        benchsuite::hammingDistance(4),
+        benchsuite::l2Distance(4),
+        benchsuite::matMul(3),
+        benchsuite::maxKernel(3),
+        benchsuite::robertsCross(3),
+    };
+    for (const auto& kernel : kernels) {
+        const CoyoteResult result =
+            coyoteCompile(kernel.program, fastConfig());
+        EXPECT_TRUE(ir::equivalentOn(kernel.program, result.program, 6))
+            << kernel.name;
+    }
+}
+
+TEST(CoyoteSimTest, VectorizesScalarCode)
+{
+    const benchsuite::Kernel kernel = benchsuite::dotProduct(8);
+    const CoyoteResult result = coyoteCompile(kernel.program, fastConfig());
+    const ir::OpCounts counts = ir::countOps(result.program);
+    // All compute is in vector form after Coyote.
+    EXPECT_EQ(counts.scalar_ops, 0);
+    EXPECT_GT(counts.vector_ops, 0);
+}
+
+TEST(CoyoteSimTest, ProducesRotationHeavyCircuits)
+{
+    // Coyote's signature (§7.5): correct but rotation/mask heavy compared
+    // to the packed-reduction circuits CHEHAB RL finds.
+    const benchsuite::Kernel kernel = benchsuite::matMul(3);
+    const CoyoteResult result = coyoteCompile(kernel.program, fastConfig());
+    const ir::OpCounts counts = ir::countOps(result.program);
+    EXPECT_GT(counts.rotation + counts.ct_pt_mul, 3);
+}
+
+TEST(CoyoteSimTest, CompileTimeGrowsWithSize)
+{
+    CoyoteConfig config;
+    config.search_budget = 200000;
+    const CoyoteResult small =
+        coyoteCompile(benchsuite::dotProduct(4).program, config);
+    const CoyoteResult large =
+        coyoteCompile(benchsuite::dotProduct(16).program, config);
+    EXPECT_GT(large.candidates_explored, small.candidates_explored);
+}
+
+TEST(CoyoteSimTest, HandlesPlainLeaves)
+{
+    const ir::ExprPtr source =
+        ir::parse("(Vec (+ (* 2 a) b) (+ (* 3 c) d))");
+    const CoyoteResult result = coyoteCompile(source, fastConfig());
+    EXPECT_TRUE(ir::equivalentOn(source, result.program, 8));
+}
+
+TEST(CoyoteSimTest, DegenerateLeafProgram)
+{
+    const CoyoteResult result = coyoteCompile(ir::parse("x"), fastConfig());
+    EXPECT_EQ(result.program->toString(), "x");
+}
+
+} // namespace
+} // namespace chehab::baselines

@@ -1,0 +1,134 @@
+/// \file
+/// Benchmark-suite tests: every kernel builds, type checks, has the
+/// expected structural properties, and computes the right function under
+/// the reference evaluator.
+#include <gtest/gtest.h>
+
+#include "benchsuite/kernels.h"
+#include "ir/analysis.h"
+#include "ir/evaluator.h"
+
+namespace chehab::benchsuite {
+namespace {
+
+TEST(KernelTest, FullSuiteBuildsAndTypeChecks)
+{
+    const std::vector<Kernel> kernels = fullSuite(8, 6);
+    EXPECT_GE(kernels.size(), 25u);
+    for (const Kernel& kernel : kernels) {
+        ASSERT_NE(kernel.program, nullptr) << kernel.name;
+        EXPECT_TRUE(ir::wellTyped(kernel.program)) << kernel.name;
+        EXPECT_FALSE(kernel.name.empty());
+    }
+}
+
+TEST(KernelTest, DotProductComputesDotProduct)
+{
+    const Kernel kernel = dotProduct(4);
+    ir::Env env;
+    for (int i = 0; i < 4; ++i) {
+        env["a_" + std::to_string(i)] = i + 1; // 1..4
+        env["b_" + std::to_string(i)] = 10;
+    }
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, env).scalar(), 100);
+}
+
+TEST(KernelTest, HammingDistanceOverBits)
+{
+    const Kernel kernel = hammingDistance(4);
+    ir::Env env = {{"a_0", 1}, {"a_1", 0}, {"a_2", 1}, {"a_3", 1},
+                   {"b_0", 0}, {"b_1", 0}, {"b_2", 1}, {"b_3", 0}};
+    // Differences at positions 0 and 3.
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, env).scalar(), 2);
+}
+
+TEST(KernelTest, L2Distance)
+{
+    const Kernel kernel = l2Distance(3);
+    ir::Env env = {{"a_0", 5}, {"a_1", 2}, {"a_2", 9},
+                   {"b_0", 1}, {"b_1", 2}, {"b_2", 7}};
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, env).scalar(),
+              16 + 0 + 4);
+}
+
+TEST(KernelTest, MatMulComputesProduct)
+{
+    const Kernel kernel = matMul(2);
+    ir::Env env = {{"a_0_0", 1}, {"a_0_1", 2}, {"a_1_0", 3}, {"a_1_1", 4},
+                   {"b_0_0", 5}, {"b_0_1", 6}, {"b_1_0", 7}, {"b_1_1", 8}};
+    const ir::Value out = ir::Evaluator().evaluate(kernel.program, env);
+    EXPECT_EQ(out.slots,
+              (std::vector<std::int64_t>{19, 22, 43, 50}));
+}
+
+TEST(KernelTest, MaxIsExactForBits)
+{
+    const Kernel kernel = maxKernel(5);
+    ir::Env zeros, mixed;
+    for (int i = 0; i < 5; ++i) {
+        zeros["a_" + std::to_string(i)] = 0;
+        mixed["a_" + std::to_string(i)] = i == 3 ? 1 : 0;
+    }
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, zeros).scalar(), 0);
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, mixed).scalar(), 1);
+}
+
+TEST(KernelTest, SortSortsBits)
+{
+    const Kernel kernel = sortKernel(4);
+    ir::Env env = {{"a_0", 1}, {"a_1", 0}, {"a_2", 1}, {"a_3", 0}};
+    const ir::Value out = ir::Evaluator().evaluate(kernel.program, env);
+    EXPECT_EQ(out.slots, (std::vector<std::int64_t>{0, 0, 1, 1}));
+}
+
+TEST(KernelTest, PolyRegIsQuadratic)
+{
+    const Kernel kernel = polyReg(2);
+    ir::Env env = {{"x_0", 3}, {"x_1", 5}, {"w", 2}, {"v", 1}, {"u", 4}};
+    const ir::Value out = ir::Evaluator().evaluate(kernel.program, env);
+    EXPECT_EQ(out.slots[0], 2 * 9 + 3 + 4);
+    EXPECT_EQ(out.slots[1], 2 * 25 + 5 + 4);
+}
+
+TEST(KernelTest, BoxBlurSumsWindow)
+{
+    const Kernel kernel = boxBlur(3);
+    ir::Env env;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            env["p_" + std::to_string(i) + "_" + std::to_string(j)] = 1;
+        }
+    }
+    EXPECT_EQ(ir::Evaluator().evaluate(kernel.program, env).scalar(), 9);
+}
+
+TEST(KernelTest, TreeRegimesDifferStructurally)
+{
+    const Kernel homogeneous = polynomialTree(100, 100, 5);
+    const Kernel mixed = polynomialTree(100, 50, 5);
+    const Kernel sparse = polynomialTree(50, 50, 5);
+    // Homogeneous full trees are all-multiply.
+    const ir::OpCounts h = ir::countOps(homogeneous.program, false);
+    EXPECT_EQ(h.ct_add, 0);
+    EXPECT_GT(h.ct_ct_mul + h.square, 20);
+    // Mixed trees have both op kinds.
+    const ir::OpCounts m = ir::countOps(mixed.program, false);
+    EXPECT_GT(m.ct_add, 0);
+    // Sparse trees are much smaller than full trees at equal depth.
+    EXPECT_LT(sparse.program->numNodes(), mixed.program->numNodes());
+    // Depth parameter is honoured.
+    EXPECT_EQ(ir::multiplicativeDepth(homogeneous.program), 5);
+}
+
+TEST(KernelTest, TreeNamesEncodeRegime)
+{
+    EXPECT_EQ(polynomialTree(100, 50, 10).name, "Tree 100-50-10");
+}
+
+TEST(KernelTest, SuiteSizesScaleWithParameter)
+{
+    EXPECT_LT(porcupineSuite(8).size(), porcupineSuite(16).size());
+}
+
+} // namespace
+} // namespace chehab::benchsuite

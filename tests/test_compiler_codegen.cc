@@ -1,0 +1,71 @@
+/// \file
+/// Code generation tests (§4.4): the emitted SEAL-targeting C++ must
+/// reference every instruction of the scheduled program with the right
+/// API calls.
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.h"
+#include "ir/parser.h"
+
+namespace chehab::compiler {
+namespace {
+
+std::string
+gen(const std::string& text, const std::string& name = "kernel")
+{
+    return generateSealCpp(schedule(ir::parse(text)), name);
+}
+
+TEST(CodegenTest, EmitsFunctionSkeleton)
+{
+    const std::string code = gen("(+ a b)", "my_kernel");
+    EXPECT_NE(code.find("Ciphertext"), std::string::npos);
+    EXPECT_NE(code.find("my_kernel"), std::string::npos);
+    EXPECT_NE(code.find("#include \"seal/seal.h\""), std::string::npos);
+    EXPECT_NE(code.find("return r"), std::string::npos);
+}
+
+TEST(CodegenTest, MapsOpsToSealApi)
+{
+    EXPECT_NE(gen("(+ a b)").find("evaluator.add("), std::string::npos);
+    EXPECT_NE(gen("(* a b)").find("evaluator.multiply("),
+              std::string::npos);
+    EXPECT_NE(gen("(* a b)").find("relinearize_inplace"),
+              std::string::npos);
+    EXPECT_NE(gen("(- a b)").find("evaluator.sub("), std::string::npos);
+    EXPECT_NE(gen("(- a)").find("evaluator.negate("), std::string::npos);
+    EXPECT_NE(gen("(* (pt w) x)").find("evaluator.multiply_plain("),
+              std::string::npos);
+    EXPECT_NE(gen("(<< (Vec a b c d) 1)").find("evaluator.rotate_rows("),
+              std::string::npos);
+}
+
+TEST(CodegenTest, PackCommentsListSlots)
+{
+    const std::string code = gen("(VecAdd (Vec a b) (Vec c d))");
+    EXPECT_NE(code.find("// [a, b]"), std::string::npos);
+    EXPECT_NE(code.find("(replicated)"), std::string::npos);
+}
+
+TEST(CodegenTest, RotationStepsAppearLiterally)
+{
+    const std::string code = gen("(<< (Vec a b c d) 3)");
+    EXPECT_NE(code.find(", 3, galois_keys"), std::string::npos);
+}
+
+TEST(CodegenTest, EveryRegisterDefinedBeforeUse)
+{
+    const FheProgram program = schedule(
+        ir::parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (Vec e f))"));
+    const std::string code = generateSealCpp(program, "k");
+    // The returned register must be declared somewhere above.
+    const std::string ret = "return r" +
+                            std::to_string(program.output_reg) + ";";
+    EXPECT_NE(code.find(ret), std::string::npos);
+    const std::string decl =
+        "r" + std::to_string(program.output_reg) + ";";
+    EXPECT_LT(code.find(decl), code.find(ret));
+}
+
+} // namespace
+} // namespace chehab::compiler

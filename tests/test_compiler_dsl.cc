@@ -1,0 +1,126 @@
+/// \file
+/// Embedded DSL tests (§4.1, App. C): staging, operator overloads,
+/// vector unrolling, compile-time rotations, helper functions, and the
+/// motivating example.
+#include <gtest/gtest.h>
+
+#include "compiler/dsl.h"
+#include "support/error.h"
+#include "ir/analysis.h"
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+
+namespace chehab::compiler {
+namespace {
+
+TEST(DslTest, ScalarStaging)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::input("x");
+    const Ciphertext y = Ciphertext::input("y");
+    (x * y + x).set_output();
+    EXPECT_EQ(program.build()->toString(), "(+ (* x y) x)");
+}
+
+TEST(DslTest, MotivatingExample)
+{
+    // §4.1's example function, verbatim structure.
+    DslProgram program;
+    Ciphertext v1 = Ciphertext::input("v1"), v2 = Ciphertext::input("v2"),
+               v3 = Ciphertext::input("v3"), v4 = Ciphertext::input("v4"),
+               v5 = Ciphertext::input("v5"), v6 = Ciphertext::input("v6"),
+               v7 = Ciphertext::input("v7"), v8 = Ciphertext::input("v8"),
+               v9 = Ciphertext::input("v9"), v10 = Ciphertext::input("v10");
+    Ciphertext x = (((v1 * v2) * (v3 * v4)) + ((v3 * v4) * (v5 * v6))) *
+                   ((v7 * v8) * (v9 * v10));
+    x.set_output();
+    const ir::ExprPtr expected = ir::parse(
+        "(* (+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))"
+        "   (* (* v7 v8) (* v9 v10)))");
+    EXPECT_TRUE(ir::equal(program.build(), expected));
+}
+
+TEST(DslTest, VectorInputsUnroll)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", 3);
+    const Ciphertext b = Ciphertext::inputVector("b", 3);
+    (a + b).set_output();
+    EXPECT_EQ(program.build()->toString(),
+              "(Vec (+ a_0 b_0) (+ a_1 b_1) (+ a_2 b_2))");
+}
+
+TEST(DslTest, ScalarBroadcastsOverVector)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::inputVector("x", 2);
+    const Ciphertext s = Ciphertext::input("s");
+    (s * x).set_output();
+    EXPECT_EQ(program.build()->toString(),
+              "(Vec (* s x_0) (* s x_1))");
+}
+
+TEST(DslTest, RotationIsCompileTimeReindexing)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", 3);
+    (a << 1).set_output();
+    // No runtime Rotate node: slots are re-indexed (§7.3).
+    const ir::ExprPtr built = program.build();
+    EXPECT_EQ(built->toString(), "(Vec a_1 a_2 a_0)");
+    EXPECT_EQ(ir::countOps(built).rotation, 0);
+}
+
+TEST(DslTest, PlaintextOperands)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::input("x");
+    const Plaintext w = Plaintext::input("w");
+    (w * x + Plaintext(3)).set_output();
+    EXPECT_EQ(program.build()->toString(), "(+ (* (pt w) x) 3)");
+}
+
+TEST(DslTest, Helpers)
+{
+    DslProgram program;
+    const Ciphertext a = Ciphertext::inputVector("a", 4);
+    reduce_add(square(a)).set_output();
+    const ir::ExprPtr built = program.build();
+    // Sum of four squares.
+    const ir::OpCounts counts = ir::countOps(built);
+    EXPECT_EQ(counts.square, 4);
+    EXPECT_EQ(counts.ct_add, 3);
+}
+
+TEST(DslTest, MultipleOutputsBecomeVec)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::input("x");
+    const Ciphertext y = Ciphertext::input("y");
+    (x + y).set_output();
+    (x * y).set_output();
+    EXPECT_EQ(program.build()->toString(), "(Vec (+ x y) (* x y))");
+}
+
+TEST(DslTest, AddManyMulMany)
+{
+    DslProgram program;
+    std::vector<Ciphertext> values = {Ciphertext::input("a"),
+                                      Ciphertext::input("b"),
+                                      Ciphertext::input("c")};
+    (add_many(values) + mul_many(values)).set_output();
+    const ir::ExprPtr built = program.build();
+    EXPECT_TRUE(ir::equivalentOn(
+        ir::parse("(+ (+ (+ a b) c) (* (* a b) c))"), built, 8));
+}
+
+TEST(DslTest, NoOutputsThrows)
+{
+    DslProgram program;
+    const Ciphertext x = Ciphertext::input("x");
+    (void)x;
+    EXPECT_THROW(program.build(), chehab::CompileError);
+}
+
+} // namespace
+} // namespace chehab::compiler

@@ -1,0 +1,99 @@
+/// \file
+/// Rotation-key selection tests (Appendix B): NAF correctness and the
+/// worked example (13 steps, β = 9 -> at most 9 keys with valid
+/// decompositions).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "compiler/keyselect.h"
+
+namespace chehab::compiler {
+namespace {
+
+int
+sumDigits(const std::vector<int>& digits)
+{
+    return std::accumulate(digits.begin(), digits.end(), 0);
+}
+
+TEST(NafTest, PaperExamples)
+{
+    // NAF(3) = 4 - 1; NAF(5) = 4 + 1 (App. B).
+    EXPECT_EQ(sumDigits(nafDigits(3)), 3);
+    EXPECT_EQ(nafDigits(3).size(), 2u);
+    EXPECT_EQ(sumDigits(nafDigits(5)), 5);
+    EXPECT_EQ(nafDigits(5).size(), 2u);
+    EXPECT_EQ(nafDigits(4), (std::vector<int>{4}));
+    EXPECT_EQ(nafDigits(1), (std::vector<int>{1}));
+}
+
+TEST(NafTest, DigitsAreSignedPowersOfTwoNonAdjacent)
+{
+    for (int value = 1; value <= 64; ++value) {
+        const std::vector<int> digits = nafDigits(value);
+        EXPECT_EQ(sumDigits(digits), value);
+        for (int d : digits) {
+            const int mag = d < 0 ? -d : d;
+            EXPECT_EQ(mag & (mag - 1), 0) << value; // Power of two.
+        }
+        // Non-adjacency: no two digits at consecutive bit positions.
+        for (std::size_t i = 0; i + 1 < digits.size(); ++i) {
+            const int a = std::abs(digits[i]);
+            const int b = std::abs(digits[i + 1]);
+            EXPECT_GE(b / a, 4) << value;
+        }
+    }
+}
+
+TEST(NafTest, NegativeSteps)
+{
+    EXPECT_EQ(sumDigits(nafDigits(-3)), -3);
+    EXPECT_EQ(sumDigits(nafDigits(-12)), -12);
+}
+
+TEST(KeySelectTest, UnderBudgetKeepsAllSteps)
+{
+    const RotationKeyPlan plan = selectRotationKeys({1, 2, 4}, 8);
+    EXPECT_EQ(plan.numKeys(), 3);
+    EXPECT_EQ(plan.decomposition.at(2), (std::vector<int>{2}));
+}
+
+TEST(KeySelectTest, AppendixBExample)
+{
+    // χ = {1,2,3,4,5,6,7,9,10,12,11,13,15}, β = 9: the appendix reaches
+    // 9 keys instead of 13.
+    const std::vector<int> chi = {1, 2, 3, 4, 5, 6, 7, 9, 10, 12, 11, 13, 15};
+    const RotationKeyPlan plan = selectRotationKeys(chi, 9);
+    EXPECT_LE(plan.numKeys(), 9);
+    // Every step must be realizable from generated keys.
+    for (int step : chi) {
+        const std::vector<int>& parts = plan.decomposition.at(step);
+        EXPECT_EQ(sumDigits(parts), step);
+        for (int part : parts) {
+            EXPECT_NE(std::find(plan.keys.begin(), plan.keys.end(), part),
+                      plan.keys.end())
+                << "step " << step << " needs missing key " << part;
+        }
+    }
+}
+
+TEST(KeySelectTest, TightBudgetDecomposesAggressively)
+{
+    const RotationKeyPlan plan =
+        selectRotationKeys({3, 5, 7, 9, 11, 13, 15}, 4);
+    EXPECT_LE(plan.numKeys(), 6); // Best effort; must not blow up.
+    for (const auto& [step, parts] : plan.decomposition) {
+        EXPECT_EQ(sumDigits(parts), step);
+    }
+}
+
+TEST(KeySelectTest, ZeroStepNeedsNoKey)
+{
+    const RotationKeyPlan plan = selectRotationKeys({0, 1}, 4);
+    EXPECT_EQ(plan.numKeys(), 1);
+    EXPECT_TRUE(plan.decomposition.at(0).empty());
+}
+
+} // namespace
+} // namespace chehab::compiler

@@ -1,0 +1,80 @@
+/// \file
+/// Classic pass tests (§4.3): constant folding, identity simplification,
+/// and the canonicalization pipeline.
+#include <gtest/gtest.h>
+
+#include "compiler/passes.h"
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+
+namespace chehab::compiler {
+namespace {
+
+using ir::parse;
+
+TEST(ConstantFoldTest, FoldsArithmetic)
+{
+    EXPECT_EQ(constantFold(parse("(+ 2 3)"))->toString(), "5");
+    EXPECT_EQ(constantFold(parse("(* (- 4 1) (+ 1 1))"))->toString(), "6");
+    EXPECT_EQ(constantFold(parse("(- 5)"))->toString(), "-5");
+}
+
+TEST(ConstantFoldTest, FoldsNestedInsideCiphertextOps)
+{
+    EXPECT_EQ(constantFold(parse("(* x (+ 2 3))"))->toString(), "(* x 5)");
+    EXPECT_EQ(constantFold(parse("(Vec (+ 1 2) x)"))->toString(),
+              "(Vec 3 x)");
+}
+
+TEST(ConstantFoldTest, LeavesVariablesAlone)
+{
+    const ir::ExprPtr e = parse("(+ x (pt w))");
+    EXPECT_TRUE(ir::equal(constantFold(e), e));
+}
+
+TEST(ConstantFoldTest, SharesUnchangedSubtrees)
+{
+    const ir::ExprPtr e = parse("(+ (* a b) (+ 1 2))");
+    const ir::ExprPtr folded = constantFold(e);
+    EXPECT_EQ(folded->child(0).get(), e->child(0).get());
+}
+
+TEST(SimplifyIdentitiesTest, RemovesIdentities)
+{
+    EXPECT_EQ(simplifyIdentities(parse("(+ x 0)"))->toString(), "x");
+    EXPECT_EQ(simplifyIdentities(parse("(* 1 x)"))->toString(), "x");
+    EXPECT_EQ(simplifyIdentities(parse("(- x 0)"))->toString(), "x");
+    EXPECT_EQ(simplifyIdentities(parse("(* x 0)"))->toString(), "0");
+    EXPECT_EQ(simplifyIdentities(parse("(- (- x))"))->toString(), "x");
+}
+
+TEST(SimplifyIdentitiesTest, CascadesBottomUp)
+{
+    EXPECT_EQ(simplifyIdentities(parse("(+ (* x 1) 0)"))->toString(), "x");
+    EXPECT_EQ(simplifyIdentities(parse("(* (+ y 0) (* 1 z))"))->toString(),
+              "(* y z)");
+}
+
+TEST(CanonicalizeTest, FoldThenSimplify)
+{
+    // (* x (- 3 2)) -> (* x 1) -> x.
+    EXPECT_EQ(canonicalize(parse("(* x (- 3 2))"))->toString(), "x");
+    EXPECT_EQ(canonicalize(parse("(+ (* x (+ 0 1)) (* 0 y))"))->toString(),
+              "x");
+}
+
+TEST(CanonicalizeTest, PreservesSemantics)
+{
+    const char* programs[] = {
+        "(+ (* x (- 3 2)) (* y 0))",
+        "(Vec (+ a 0) (* b 1) (- c 0))",
+        "(* (+ 2 3) (+ x y))",
+    };
+    for (const char* text : programs) {
+        const ir::ExprPtr e = parse(text);
+        EXPECT_TRUE(ir::equivalentOn(e, canonicalize(e), 8)) << text;
+    }
+}
+
+} // namespace
+} // namespace chehab::compiler

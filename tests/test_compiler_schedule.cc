@@ -1,0 +1,132 @@
+/// \file
+/// Scheduler tests: CSE, pack replication, rotation lowering (single
+/// rotation for power-of-two widths, rotate+mask emulation otherwise),
+/// computed-pack materialization, and plaintext operand classification.
+#include <gtest/gtest.h>
+
+#include "compiler/schedule.h"
+#include "ir/parser.h"
+#include "support/error.h"
+
+namespace chehab::compiler {
+namespace {
+
+using ir::parse;
+
+TEST(ScheduleTest, SingleVariable)
+{
+    const FheProgram program = schedule(parse("x"));
+    ASSERT_EQ(program.instrs.size(), 1u);
+    EXPECT_EQ(program.instrs[0].op, FheOpcode::PackCipher);
+    EXPECT_EQ(program.output_width, 1);
+}
+
+TEST(ScheduleTest, LeafPackIsSingleLoad)
+{
+    const FheProgram program = schedule(parse("(Vec a b c d)"));
+    ASSERT_EQ(program.instrs.size(), 1u);
+    EXPECT_EQ(program.instrs[0].slots.size(), 4u);
+    EXPECT_TRUE(program.instrs[0].replicate); // Power-of-two width.
+    EXPECT_EQ(program.output_width, 4);
+}
+
+TEST(ScheduleTest, NonPow2PackNotReplicated)
+{
+    const FheProgram program = schedule(parse("(Vec a b c)"));
+    EXPECT_FALSE(program.instrs[0].replicate);
+}
+
+TEST(ScheduleTest, CseSharesSubcircuits)
+{
+    // (* v3 v4) appears twice: one Mul instruction only.
+    const FheProgram program =
+        schedule(parse("(+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) v5))"));
+    EXPECT_EQ(program.counts().ct_ct_mul, 4);
+}
+
+TEST(ScheduleTest, VectorOpsLowerDirectly)
+{
+    const FheProgram program =
+        schedule(parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (Vec e f))"));
+    const FheProgram::Counts counts = program.counts();
+    EXPECT_EQ(counts.ct_ct_mul, 1);
+    EXPECT_EQ(counts.ct_add, 1);
+    EXPECT_EQ(counts.rotations, 0);
+}
+
+TEST(ScheduleTest, PlainOperandsUsePlainOps)
+{
+    const FheProgram program = schedule(parse("(* (pt w) x)"));
+    const FheProgram::Counts counts = program.counts();
+    EXPECT_EQ(counts.ct_pt_mul, 1);
+    EXPECT_EQ(counts.ct_ct_mul, 0);
+}
+
+TEST(ScheduleTest, SubWithPlainRhsBecomesAddPlain)
+{
+    const FheProgram program = schedule(parse("(- x 3)"));
+    bool has_add_plain = false;
+    for (const FheInstr& instr : program.instrs) {
+        if (instr.op == FheOpcode::AddPlain) has_add_plain = true;
+        EXPECT_NE(instr.op, FheOpcode::Sub);
+    }
+    EXPECT_TRUE(has_add_plain);
+}
+
+TEST(ScheduleTest, Pow2RotationIsSingleInstruction)
+{
+    const FheProgram program = schedule(parse("(<< (Vec a b c d) 1)"));
+    EXPECT_EQ(program.counts().rotations, 1);
+    EXPECT_EQ(program.counts().ct_pt_mul, 0);
+}
+
+TEST(ScheduleTest, NonPow2RotationLowersToRotateMaskAdd)
+{
+    const FheProgram program = schedule(parse("(<< (Vec a b c) 1)"));
+    const FheProgram::Counts counts = program.counts();
+    EXPECT_EQ(counts.rotations, 2);
+    EXPECT_EQ(counts.ct_pt_mul, 2);
+    EXPECT_GE(counts.ct_add, 1);
+}
+
+TEST(ScheduleTest, ComputedPackEmitsMaskRotateAdd)
+{
+    // One computed slot: the §2 "rotations and maskings we omit" cost.
+    const FheProgram program =
+        schedule(parse("(Vec a (+ x y) b c)"));
+    const FheProgram::Counts counts = program.counts();
+    EXPECT_GE(counts.rotations, 1);
+    EXPECT_GE(counts.ct_pt_mul, 1);
+    EXPECT_GE(counts.ct_add, 2); // The (+ x y) itself plus the merge.
+}
+
+TEST(ScheduleTest, RotationStepsCollected)
+{
+    const FheProgram program = schedule(
+        parse("(VecAdd (<< (Vec a b c d) 1) (<< (Vec e f g h) 3))"));
+    EXPECT_EQ(program.rotationSteps(), (std::vector<int>{1, 3}));
+}
+
+TEST(ScheduleTest, RejectsIllTypedInput)
+{
+    EXPECT_THROW(schedule(parse("(VecAdd (Vec a b) (Vec c d e))")),
+                 CompileError);
+}
+
+TEST(ScheduleTest, ReduceLadderShape)
+{
+    // The optimizer's dot-product output: 1 mul, log2(4)=2 rotations.
+    const ir::ExprPtr circuit = parse(
+        "(VecAdd (VecAdd (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3))"
+        "                (<< (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) 2))"
+        "        (<< (VecAdd (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3))"
+        "                (<< (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) 2)) 1))");
+    const FheProgram program = schedule(circuit);
+    const FheProgram::Counts counts = program.counts();
+    EXPECT_EQ(counts.ct_ct_mul, 1); // CSE collapses the repeats.
+    EXPECT_EQ(counts.rotations, 2);
+    EXPECT_EQ(counts.ct_add, 2);
+}
+
+} // namespace
+} // namespace chehab::compiler

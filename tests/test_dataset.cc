@@ -1,0 +1,166 @@
+/// \file
+/// Dataset generation tests: validity, diversity, dedup, benchmark
+/// exclusion and persistence (§6 post-processing pipeline).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "dataset/dataset.h"
+#include "dataset/motif_gen.h"
+#include "dataset/random_gen.h"
+#include "ir/analysis.h"
+#include "ir/parser.h"
+#include "tokenizer/ici.h"
+
+namespace chehab::dataset {
+namespace {
+
+TEST(RandomGenTest, ProducesWellTypedPrograms)
+{
+    RandomProgramGenerator gen(1);
+    for (int i = 0; i < 100; ++i) {
+        const ir::ExprPtr program = gen.generate();
+        ASSERT_NE(program, nullptr);
+        EXPECT_TRUE(ir::wellTyped(program));
+    }
+}
+
+TEST(RandomGenTest, SweepsDepthAndWidth)
+{
+    RandomProgramGenerator gen(2);
+    const ir::ExprPtr wide = gen.generateAt(2, 6);
+    EXPECT_EQ(ir::outputWidth(wide), 6);
+    const ir::ExprPtr scalar = gen.generateAt(3, 1);
+    EXPECT_EQ(ir::outputWidth(scalar), 1);
+}
+
+TEST(RandomGenTest, DeterministicUnderSeed)
+{
+    RandomProgramGenerator a(7), b(7);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(ir::equal(a.generate(), b.generate()));
+    }
+}
+
+TEST(MotifGenTest, ProducesWellTypedPrograms)
+{
+    MotifSynthesizer synth(3);
+    for (int i = 0; i < 200; ++i) {
+        const ir::ExprPtr program = synth.generate();
+        ASSERT_NE(program, nullptr);
+        EXPECT_TRUE(ir::wellTyped(program)) << program->toString();
+    }
+}
+
+TEST(MotifGenTest, ProducesDiverseCanonicalForms)
+{
+    MotifSynthesizer synth(4);
+    std::unordered_set<std::string> canonical;
+    for (int i = 0; i < 200; ++i) {
+        canonical.insert(tokenizer::canonicalForm(synth.generate()));
+    }
+    // The motif mixture should produce mostly distinct structures.
+    EXPECT_GT(canonical.size(), 100u);
+}
+
+TEST(MotifGenTest, ContainsOptimizableStructures)
+{
+    // A healthy fraction of motif programs must contain either shared
+    // subexpressions (factorization fodder) or isomorphic slots
+    // (vectorization fodder) — the properties the LLM prompt demands.
+    MotifSynthesizer synth(5);
+    int with_muls = 0;
+    int multi_output = 0;
+    for (int i = 0; i < 100; ++i) {
+        const ir::ExprPtr program = synth.generate();
+        const ir::OpCounts counts = ir::countOps(program);
+        if (counts.ct_ct_mul + counts.ct_pt_mul + counts.square > 0) {
+            ++with_muls;
+        }
+        if (ir::outputWidth(program) > 1) ++multi_output;
+    }
+    EXPECT_GT(with_muls, 50);
+    EXPECT_GT(multi_output, 10);
+}
+
+TEST(BuildDatasetTest, DeduplicatesByCanonicalForm)
+{
+    int counter = 0;
+    // Generator that cycles through only 3 distinct structures with
+    // varying names: dedup must collapse the renamings.
+    const auto gen = [&counter]() -> ir::ExprPtr {
+        const int k = counter++;
+        const std::string a = "a" + std::to_string(k);
+        const std::string b = "b" + std::to_string(k);
+        switch (k % 3) {
+          case 0: return ir::parse("(+ " + a + " " + b + ")");
+          case 1: return ir::parse("(* " + a + " " + b + ")");
+          default: return ir::parse("(- " + a + " " + b + ")");
+        }
+    };
+    const std::vector<ir::ExprPtr> dataset =
+        buildDataset(gen, 10, {}, 1000);
+    EXPECT_EQ(dataset.size(), 3u);
+}
+
+TEST(BuildDatasetTest, ExcludesBenchmarks)
+{
+    const ir::ExprPtr benchmark = ir::parse("(+ (* a b) (* c d))");
+    int counter = 0;
+    const auto gen = [&counter]() -> ir::ExprPtr {
+        // Alternates between an alpha-renamed copy of the benchmark and a
+        // different structure.
+        const int k = counter++;
+        if (k % 2 == 0) return ir::parse("(+ (* p q) (* r s))");
+        return ir::parse("(+ p" + std::to_string(k) + " q)");
+    };
+    const std::vector<ir::ExprPtr> dataset =
+        buildDataset(gen, 10, {benchmark}, 100);
+    for (const auto& program : dataset) {
+        EXPECT_NE(tokenizer::canonicalForm(program),
+                  tokenizer::canonicalForm(benchmark));
+    }
+}
+
+TEST(BuildDatasetTest, ReachesTargetWithRichGenerator)
+{
+    MotifSynthesizer synth(6);
+    const std::vector<ir::ExprPtr> dataset = buildDataset(
+        [&synth] { return synth.generate(); }, 150, {}, 10000);
+    EXPECT_EQ(dataset.size(), 150u);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip)
+{
+    MotifSynthesizer synth(7);
+    std::vector<ir::ExprPtr> programs;
+    for (int i = 0; i < 20; ++i) programs.push_back(synth.generate());
+
+    const std::string path = "/tmp/chehab_dataset_test.txt";
+    saveDataset(programs, path);
+    const std::vector<ir::ExprPtr> loaded = loadDataset(path);
+    ASSERT_EQ(loaded.size(), programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        EXPECT_TRUE(ir::equal(programs[i], loaded[i]));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadSkipsInvalidLines)
+{
+    const std::string path = "/tmp/chehab_dataset_invalid.txt";
+    {
+        std::ofstream out(path);
+        out << "(+ a b)\n";
+        out << "(this is not valid\n";
+        out << "(* c d)\n";
+    }
+    const std::vector<ir::ExprPtr> loaded = loadDataset(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chehab::dataset

@@ -1,0 +1,121 @@
+/// \file
+/// End-to-end property suite: for randomized programs from both dataset
+/// generators, the full pipeline — canonicalize, greedy TRS optimize,
+/// schedule, execute on SealLite — must reproduce the reference
+/// evaluator's outputs exactly (up to the reference output width; rewrites
+/// may widen vectors). This is the strongest whole-system invariant in
+/// the repo: it crosses the IR, TRS, scheduler, key selection and the
+/// homomorphic backend in one assertion.
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/runtime.h"
+#include "dataset/motif_gen.h"
+#include "dataset/random_gen.h"
+#include "ir/analysis.h"
+#include "ir/evaluator.h"
+#include "support/error.h"
+#include "trs/ruleset.h"
+
+namespace chehab {
+namespace {
+
+const trs::Ruleset&
+ruleset()
+{
+    static const trs::Ruleset rs = trs::buildChehabRuleset();
+    return rs;
+}
+
+compiler::FheRuntime&
+runtime()
+{
+    static compiler::FheRuntime instance([] {
+        fhe::SealLiteParams params;
+        params.n = 256;
+        params.prime_count = 7;
+        params.seed = 2024;
+        return params;
+    }());
+    return instance;
+}
+
+/// Compile (greedy TRS) + run on SealLite + compare against the
+/// reference evaluator with random inputs.
+void
+checkEndToEnd(const ir::ExprPtr& program, std::uint64_t seed)
+{
+    const compiler::Compiled compiled =
+        compiler::compileGreedy(ruleset(), program, {}, /*max_steps=*/24);
+    ASSERT_TRUE(ir::wellTyped(compiled.optimized));
+    // Optimization must never increase the model cost.
+    EXPECT_LE(compiled.stats.final_cost, compiled.stats.initial_cost);
+
+    Rng rng(seed);
+    ir::Env env;
+    for (const std::string& name : ir::ciphertextVars(program)) {
+        env[name] = static_cast<std::int64_t>(rng.uniformInt(32));
+    }
+    for (const std::string& name : ir::plaintextVars(program)) {
+        env[name] = static_cast<std::int64_t>(rng.uniformInt(32));
+    }
+
+    const ir::Value expected = ir::Evaluator().evaluate(program, env);
+    compiler::RunResult run;
+    try {
+        run = runtime().run(compiled.program, env, /*key_budget=*/8);
+    } catch (const CompileError&) {
+        GTEST_SKIP() << "circuit wider than the toy backend's row";
+    }
+    if (run.final_noise_budget <= 0) {
+        // Deep random circuits can legitimately exceed the toy modulus;
+        // noise behaviour itself is covered by test_fhe_sealite.
+        GTEST_SKIP() << "noise budget exhausted (toy parameters)";
+    }
+    const std::size_t meaningful =
+        std::min(run.output.size(), expected.slots.size());
+    ASSERT_GT(meaningful, 0u);
+    for (std::size_t i = 0; i < meaningful; ++i) {
+        EXPECT_EQ(run.output[i], expected.slots[i])
+            << "slot " << i << " of " << program->toString() << "\n  -> "
+            << compiled.optimized->toString();
+    }
+}
+
+class MotifEndToEnd : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MotifEndToEnd, CompiledCircuitsMatchReference)
+{
+    dataset::MotifGenConfig config;
+    config.max_terms = 6;
+    config.max_width = 4;
+    dataset::MotifSynthesizer synth(GetParam(), config);
+    for (int i = 0; i < 3; ++i) {
+        checkEndToEnd(synth.generate(), GetParam() * 17 + i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MotifEndToEnd,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class RandomEndToEnd : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomEndToEnd, CompiledCircuitsMatchReference)
+{
+    dataset::RandomGenConfig config;
+    config.max_depth = 4;
+    config.max_width = 4;
+    config.num_variables = 5;
+    dataset::RandomProgramGenerator gen(GetParam() * 131, config);
+    for (int i = 0; i < 3; ++i) {
+        checkEndToEnd(gen.generate(), GetParam() * 31 + i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEndToEnd,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace
+} // namespace chehab

@@ -1,0 +1,364 @@
+/// \file
+/// SealLite correctness suite: modular arithmetic, NTT round-trips,
+/// BigInt, batching encode/decode, encryption round-trips, every
+/// homomorphic operation against plaintext semantics, rotation/Galois
+/// behaviour, and noise-budget monotonicity (App. H.1).
+#include <gtest/gtest.h>
+
+#include "fhe/bigint.h"
+#include "fhe/modarith.h"
+#include "fhe/ntt.h"
+#include "fhe/sealite.h"
+#include "support/rng.h"
+
+namespace chehab::fhe {
+namespace {
+
+SealLiteParams
+testParams()
+{
+    SealLiteParams params;
+    params.n = 256;        // Toy degree: fast tests, 128 slots.
+    params.prime_bits = 30;
+    params.prime_count = 4;
+    params.plain_modulus = 65537;
+    params.seed = 99;
+    return params;
+}
+
+SealLite&
+scheme()
+{
+    static SealLite instance(testParams());
+    return instance;
+}
+
+std::int64_t
+tmod(std::int64_t x)
+{
+    const std::int64_t t = 65537;
+    const std::int64_t r = x % t;
+    return r < 0 ? r + t : r;
+}
+
+// -- modular arithmetic ------------------------------------------------
+
+TEST(ModArithTest, PowAndInv)
+{
+    EXPECT_EQ(powMod(2, 10, 1000003), 1024u);
+    const std::uint64_t p = 998244353;
+    const std::uint64_t inv = invMod(12345, p);
+    EXPECT_EQ(mulMod(12345, inv, p), 1u);
+}
+
+TEST(ModArithTest, PrimalityKnownValues)
+{
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(65537));
+    EXPECT_TRUE(isPrime(998244353));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_FALSE(isPrime(65536));
+    EXPECT_FALSE(isPrime(3215031751ULL)); // Strong pseudoprime to 2,3,5,7.
+}
+
+TEST(ModArithTest, NttPrimesAreFriendly)
+{
+    const auto primes = findNttPrimes(30, 3, 512);
+    ASSERT_EQ(primes.size(), 3u);
+    for (std::uint64_t p : primes) {
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ((p - 1) % 512, 0u);
+    }
+    EXPECT_NE(primes[0], primes[1]);
+}
+
+TEST(ModArithTest, PrimitiveRootHasExactOrder)
+{
+    const std::uint64_t p = findNttPrimes(30, 1, 512)[0];
+    const std::uint64_t psi = findPrimitiveRoot(512, p);
+    EXPECT_EQ(powMod(psi, 256, p), p - 1); // psi^(n) = -1.
+    EXPECT_EQ(powMod(psi, 512, p), 1u);
+}
+
+// -- NTT -----------------------------------------------------------------
+
+TEST(NttTest, RoundTrip)
+{
+    const int n = 64;
+    const std::uint64_t p = findNttPrimes(30, 1, 2 * n)[0];
+    const NttTables tables(n, p);
+    Rng rng(5);
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) v = rng.uniformInt(p);
+    std::vector<std::uint64_t> copy = values;
+    tables.forward(copy.data());
+    tables.inverse(copy.data());
+    EXPECT_EQ(copy, values);
+}
+
+TEST(NttTest, MatchesSchoolbookNegacyclic)
+{
+    const int n = 32;
+    const std::uint64_t p = findNttPrimes(30, 1, 2 * n)[0];
+    const NttTables tables(n, p);
+    Rng rng(6);
+    std::vector<std::uint64_t> a(n), b(n);
+    for (auto& v : a) v = rng.uniformInt(p);
+    for (auto& v : b) v = rng.uniformInt(p);
+
+    // Schoolbook x^n = -1 product.
+    std::vector<std::uint64_t> expected(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const std::uint64_t prod = mulMod(a[i], b[j], p);
+            if (i + j < n) {
+                expected[i + j] = addMod(expected[i + j], prod, p);
+            } else {
+                expected[i + j - n] = subMod(expected[i + j - n], prod, p);
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> fa = a, fb = b;
+    tables.forward(fa.data());
+    tables.forward(fb.data());
+    for (int i = 0; i < n; ++i) fa[i] = mulMod(fa[i], fb[i], p);
+    tables.inverse(fa.data());
+    EXPECT_EQ(fa, expected);
+}
+
+// -- BigInt ----------------------------------------------------------------
+
+TEST(BigIntTest, BasicArithmetic)
+{
+    const BigInt a(0xFFFFFFFFFFFFFFFFULL);
+    const BigInt b = a.add(BigInt(1));
+    EXPECT_EQ(b.bitLength(), 65);
+    EXPECT_EQ(b.subtract(BigInt(1)).compare(a), 0);
+    EXPECT_EQ(a.multiplySmall(2).toString(), "36893488147419103230");
+}
+
+TEST(BigIntTest, MultiplyAndDivmod)
+{
+    const BigInt a(1234567890123456789ULL);
+    const BigInt sq = a.multiply(a);
+    std::uint64_t rem = 0;
+    const BigInt back = sq.divmodSmall(1234567890123456789ULL, rem);
+    EXPECT_EQ(rem, 0u);
+    EXPECT_EQ(back.compare(a), 0);
+}
+
+TEST(BigIntTest, ReduceBySubtraction)
+{
+    const BigInt m(1000000007ULL);
+    const BigInt v = m.multiplySmall(3).add(BigInt(42));
+    EXPECT_EQ(v.reduceBySubtraction(m).toString(), "42");
+}
+
+// -- batching ----------------------------------------------------------------
+
+TEST(SealLiteTest, EncodeDecodeRoundTrip)
+{
+    std::vector<std::int64_t> values = {1, 2, 3, 42, 65536, 0, 9999};
+    const Plaintext plain = scheme().encode(values);
+    const std::vector<std::int64_t> decoded = scheme().decode(plain);
+    ASSERT_EQ(decoded.size(), static_cast<std::size_t>(scheme().slots()));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(decoded[i], values[i]) << i;
+    }
+    for (std::size_t i = values.size(); i < decoded.size(); ++i) {
+        EXPECT_EQ(decoded[i], 0) << i;
+    }
+}
+
+TEST(SealLiteTest, EncryptDecryptRoundTrip)
+{
+    std::vector<std::int64_t> values = {7, 0, 123, 65535, 1};
+    const Ciphertext ct = scheme().encrypt(scheme().encode(values));
+    const std::vector<std::int64_t> decrypted = scheme().decrypt(ct);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(decrypted[i], values[i]) << i;
+    }
+}
+
+TEST(SealLiteTest, HomomorphicAddSubNegate)
+{
+    const std::vector<std::int64_t> a = {10, 20, 30};
+    const std::vector<std::int64_t> b = {1, 2, 65530};
+    const Ciphertext ca = scheme().encrypt(scheme().encode(a));
+    const Ciphertext cb = scheme().encrypt(scheme().encode(b));
+
+    const auto sum = scheme().decrypt(scheme().add(ca, cb));
+    const auto diff = scheme().decrypt(scheme().sub(ca, cb));
+    const auto negated = scheme().decrypt(scheme().negate(ca));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(sum[static_cast<std::size_t>(i)], tmod(a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)]));
+        EXPECT_EQ(diff[static_cast<std::size_t>(i)], tmod(a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)]));
+        EXPECT_EQ(negated[static_cast<std::size_t>(i)], tmod(-a[static_cast<std::size_t>(i)]));
+    }
+}
+
+TEST(SealLiteTest, PlainOperations)
+{
+    const std::vector<std::int64_t> a = {5, 6, 7};
+    const std::vector<std::int64_t> w = {2, 3, 4};
+    const Ciphertext ca = scheme().encrypt(scheme().encode(a));
+    const Plaintext pw = scheme().encode(w);
+
+    const auto sum = scheme().decrypt(scheme().addPlain(ca, pw));
+    const auto prod = scheme().decrypt(scheme().mulPlain(ca, pw));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(sum[static_cast<std::size_t>(i)],
+                  tmod(a[static_cast<std::size_t>(i)] + w[static_cast<std::size_t>(i)]));
+        EXPECT_EQ(prod[static_cast<std::size_t>(i)],
+                  tmod(a[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(i)]));
+    }
+}
+
+TEST(SealLiteTest, CiphertextMultiplyWithRelin)
+{
+    const std::vector<std::int64_t> a = {3, 1000, 65536};
+    const std::vector<std::int64_t> b = {9, 7, 2};
+    const Ciphertext ca = scheme().encrypt(scheme().encode(a));
+    const Ciphertext cb = scheme().encrypt(scheme().encode(b));
+    const auto prod = scheme().decrypt(scheme().multiply(ca, cb));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(prod[static_cast<std::size_t>(i)],
+                  tmod(a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)]));
+    }
+}
+
+TEST(SealLiteTest, MultiplyDepthTwo)
+{
+    const std::vector<std::int64_t> a = {2, 3};
+    const Ciphertext ca = scheme().encrypt(scheme().encode(a));
+    const Ciphertext sq = scheme().multiply(ca, ca);
+    const Ciphertext quad = scheme().multiply(sq, sq);
+    const auto out = scheme().decrypt(quad);
+    EXPECT_EQ(out[0], 16);
+    EXPECT_EQ(out[1], 81);
+}
+
+TEST(SealLiteTest, RotationMatchesPaperConvention)
+{
+    SealLite& s = scheme();
+    s.makeGaloisKeys({1, 2});
+    std::vector<std::int64_t> values(static_cast<std::size_t>(s.slots()), 0);
+    for (int i = 0; i < s.slots(); ++i) values[static_cast<std::size_t>(i)] = i + 1;
+    const Ciphertext ct = s.encrypt(s.encode(values));
+
+    // v << 1: slot i takes the value of slot i+1 (cyclic), §3.1.
+    const auto rotated = s.decrypt(s.rotate(ct, 1));
+    for (int i = 0; i < s.slots(); ++i) {
+        EXPECT_EQ(rotated[static_cast<std::size_t>(i)],
+                  values[static_cast<std::size_t>((i + 1) % s.slots())]);
+    }
+    const auto rotated2 = s.decrypt(s.rotate(ct, 2));
+    EXPECT_EQ(rotated2[0], values[2]);
+}
+
+TEST(SealLiteTest, NegativeRotationIsRight)
+{
+    SealLite& s = scheme();
+    s.makeGaloisKeys({-1});
+    std::vector<std::int64_t> values = {10, 20, 30};
+    const Ciphertext ct = s.encrypt(s.encode(values));
+    const auto rotated = s.decrypt(s.rotate(ct, -1));
+    // Right rotation: slot 1 receives slot 0.
+    EXPECT_EQ(rotated[1], 10);
+    EXPECT_EQ(rotated[2], 20);
+}
+
+TEST(SealLiteTest, GaloisKeyManagement)
+{
+    SealLite s(testParams());
+    EXPECT_TRUE(s.hasGaloisKey(0)); // Identity needs no key.
+    EXPECT_FALSE(s.hasGaloisKey(3));
+    s.makeGaloisKeys({3, 3, 3});
+    EXPECT_TRUE(s.hasGaloisKey(3));
+    EXPECT_EQ(s.numGaloisKeys(), 1); // Deduplicated.
+}
+
+TEST(SealLiteTest, RotateAndAddComputesDotProductReduction)
+{
+    // The rotate-reduce ladder the TRS emits (log-depth partial sums).
+    SealLite s(testParams());
+    s.makeGaloisKeys({1, 2});
+    const std::vector<std::int64_t> a = {1, 2, 3, 4};
+    const std::vector<std::int64_t> b = {5, 6, 7, 8};
+    Ciphertext v = s.multiply(s.encrypt(s.encode(a)),
+                              s.encrypt(s.encode(b)));
+    v = s.add(v, s.rotate(v, 2));
+    v = s.add(v, s.rotate(v, 1));
+    // Slot 0 = 1*5 + 2*6 + 3*7 + 4*8 = 70.
+    EXPECT_EQ(s.decrypt(v)[0], 70);
+}
+
+// -- noise ----------------------------------------------------------------
+
+TEST(SealLiteNoiseTest, FreshBudgetPositiveAndScalesWithQ)
+{
+    SealLite small(testParams());
+    SealLiteParams bigger = testParams();
+    bigger.prime_count = 6;
+    SealLite big(bigger);
+    EXPECT_GT(small.freshNoiseBudget(), 40);
+    EXPECT_GT(big.freshNoiseBudget(), small.freshNoiseBudget() + 30);
+}
+
+TEST(SealLiteNoiseTest, AdditionConsumesLittle)
+{
+    SealLite s(testParams());
+    const Ciphertext ct = s.encrypt(s.encode({1, 2, 3}));
+    const int before = s.noiseBudgetBits(ct);
+    const int after = s.noiseBudgetBits(s.add(ct, ct));
+    EXPECT_GE(before, after);
+    EXPECT_LE(before - after, 3);
+}
+
+TEST(SealLiteNoiseTest, MultiplicationConsumesMuchMore)
+{
+    SealLite s(testParams());
+    const Ciphertext ct = s.encrypt(s.encode({5, 7}));
+    const int before = s.noiseBudgetBits(ct);
+    const int after_mul = s.noiseBudgetBits(s.multiply(ct, ct));
+    const int after_add = s.noiseBudgetBits(s.add(ct, ct));
+    EXPECT_GT(before - after_mul, 10);
+    EXPECT_GT(before - after_mul, 3 * (before - after_add));
+}
+
+TEST(SealLiteNoiseTest, RotationConsumesModestBudget)
+{
+    SealLite s(testParams());
+    s.makeGaloisKeys({1});
+    const Ciphertext ct = s.encrypt(s.encode({1, 2, 3, 4}));
+    const int before = s.noiseBudgetBits(ct);
+    const int after = s.noiseBudgetBits(s.rotate(ct, 1));
+    EXPECT_GE(before, after);
+    // Key switching adds bounded noise, far below a multiplication.
+    const int mul_cost =
+        before - s.noiseBudgetBits(s.multiply(ct, ct));
+    EXPECT_LT(before - after, mul_cost);
+}
+
+TEST(SealLiteNoiseTest, DeepCircuitExhaustsBudget)
+{
+    SealLiteParams params = testParams();
+    params.prime_count = 3;
+    SealLite s(params);
+    Ciphertext ct = s.encrypt(s.encode({2}));
+    int budget = s.noiseBudgetBits(ct);
+    int depth = 0;
+    while (budget > 0 && depth < 12) {
+        ct = s.multiply(ct, ct);
+        budget = s.noiseBudgetBits(ct);
+        ++depth;
+    }
+    // A small modulus must run out within a few squarings — the paper's
+    // "Coyote exhausts the entire noise budget" scenario (§7.5).
+    EXPECT_LE(depth, 8);
+    EXPECT_LE(budget, 0);
+}
+
+} // namespace
+} // namespace chehab::fhe

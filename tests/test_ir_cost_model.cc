@@ -1,0 +1,93 @@
+/// \file
+/// Tests for the FHE-aware analytical cost function (§5.3.1), including
+/// the motivating-example accounting that drives the reward.
+#include <gtest/gtest.h>
+
+#include "ir/cost_model.h"
+#include "ir/parser.h"
+
+namespace chehab::ir {
+namespace {
+
+TEST(CostModelTest, PaperDefaults)
+{
+    const OpCosts costs;
+    EXPECT_DOUBLE_EQ(costs.vec_add, 1.0);
+    EXPECT_DOUBLE_EQ(costs.vec_mul, 100.0);
+    EXPECT_DOUBLE_EQ(costs.rotation, 50.0);
+    EXPECT_DOUBLE_EQ(costs.scalar_op, 250.0);
+}
+
+TEST(CostModelTest, ScalarOpsChargedFlat)
+{
+    EXPECT_DOUBLE_EQ(operationCost(parse("(+ a b)")), 250.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(* a b)")), 250.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(- a)")), 250.0);
+}
+
+TEST(CostModelTest, VectorOpsCheap)
+{
+    EXPECT_DOUBLE_EQ(operationCost(parse("(VecAdd (Vec a b) (Vec c d))")),
+                     1.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(VecMul (Vec a b) (Vec c d))")),
+                     100.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(<< (Vec a b) 1)")), 50.0);
+}
+
+TEST(CostModelTest, LeavesAndPackingFree)
+{
+    EXPECT_DOUBLE_EQ(operationCost(parse("a")), 0.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(Vec a b c d)")), 0.0);
+}
+
+TEST(CostModelTest, PlainArithmeticFree)
+{
+    EXPECT_DOUBLE_EQ(operationCost(parse("(* (pt a) (pt b))")), 0.0);
+    EXPECT_DOUBLE_EQ(operationCost(parse("(* (* (pt a) (pt b)) x)")), 250.0);
+}
+
+TEST(CostModelTest, SharedSubtreesChargedOnce)
+{
+    // (* v3 v4) is shared: 4 unique muls + 1 add.
+    const ExprPtr e = parse("(+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) v5))");
+    EXPECT_DOUBLE_EQ(operationCost(e), 4 * 250.0 + 250.0);
+}
+
+TEST(CostModelTest, WeightedCostCombinesDepthTerms)
+{
+    const ExprPtr e = parse("(* (* a b) c)");
+    // ops = 2 * 250, depth = 2, mult depth = 2.
+    EXPECT_DOUBLE_EQ(cost(e), 500.0 + 2.0 + 2.0);
+    const CostWeights heavy{1.0, 100.0, 100.0};
+    EXPECT_DOUBLE_EQ(cost(e, heavy), 500.0 + 200.0 + 200.0);
+}
+
+TEST(CostModelTest, VectorizationLowersCost)
+{
+    // Two scalar adds vs one packed vector add.
+    const double scalar = cost(parse("(Vec (+ a b) (+ c d))"));
+    const double vectorized = cost(parse("(VecAdd (Vec a c) (Vec b d))"));
+    EXPECT_LT(vectorized, scalar);
+}
+
+TEST(CostModelTest, MotivatingExampleImprovement)
+{
+    // Eq. 1 (9 unique muls, 1 add, shared (* v3 v4) counted once).
+    const ExprPtr scalar = parse(
+        "(* (+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))"
+        "   (* (* v7 v8) (* v9 v10)))");
+    // A vectorized circuit in the spirit of Fig. 2a.
+    const ExprPtr vectorized = parse(
+        "(* (* (* v3 v4) (+ (* v1 v2) (* v5 v6))) (* (* v7 v8) (* v9 v10)))");
+    EXPECT_LT(cost(vectorized), cost(scalar));
+}
+
+TEST(CostModelTest, CustomOpCosts)
+{
+    OpCosts costs;
+    costs.rotation = 10.0;
+    EXPECT_DOUBLE_EQ(operationCost(parse("(<< (Vec a b) 1)"), costs), 10.0);
+}
+
+} // namespace
+} // namespace chehab::ir

@@ -1,0 +1,123 @@
+/// \file
+/// Tests for the reference slot-semantics evaluator and the randomized
+/// prefix-equivalence oracle used by the TRS soundness suite.
+#include <gtest/gtest.h>
+
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+#include "support/error.h"
+
+namespace chehab::ir {
+namespace {
+
+Value
+evalText(const std::string& text, const Env& env)
+{
+    return Evaluator().evaluate(parse(text), env);
+}
+
+TEST(EvaluatorTest, ScalarArithmetic)
+{
+    const Env env{{"a", 7}, {"b", 5}};
+    EXPECT_EQ(evalText("(+ a b)", env).scalar(), 12);
+    EXPECT_EQ(evalText("(- a b)", env).scalar(), 2);
+    EXPECT_EQ(evalText("(* a b)", env).scalar(), 35);
+    EXPECT_EQ(evalText("(- a)", env).scalar(), 65537 - 7);
+}
+
+TEST(EvaluatorTest, ModularReduction)
+{
+    const Env env{{"a", 65536}, {"b", 2}};
+    EXPECT_EQ(evalText("(+ a b)", env).scalar(), 1);
+    EXPECT_EQ(evalText("(* a b)", env).scalar(), 65535);
+}
+
+TEST(EvaluatorTest, VectorConstruction)
+{
+    const Env env{{"a", 1}, {"b", 2}, {"c", 3}};
+    const Value v = evalText("(Vec a b c)", env);
+    EXPECT_TRUE(v.is_vector);
+    EXPECT_EQ(v.slots, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(EvaluatorTest, ElementwiseOps)
+{
+    const Env env{{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}};
+    EXPECT_EQ(evalText("(VecAdd (Vec a b) (Vec c d))", env).slots,
+              (std::vector<std::int64_t>{4, 6}));
+    EXPECT_EQ(evalText("(VecMul (Vec a b) (Vec c d))", env).slots,
+              (std::vector<std::int64_t>{3, 8}));
+    EXPECT_EQ(evalText("(VecSub (Vec c d) (Vec a b))", env).slots,
+              (std::vector<std::int64_t>{2, 2}));
+}
+
+TEST(EvaluatorTest, RotationMatchesPaperConvention)
+{
+    // [1, 2, 3] << 1 == [2, 3, 1] (§3.1).
+    const Env env{{"a", 1}, {"b", 2}, {"c", 3}};
+    EXPECT_EQ(evalText("(<< (Vec a b c) 1)", env).slots,
+              (std::vector<std::int64_t>{2, 3, 1}));
+    EXPECT_EQ(evalText("(>> (Vec a b c) 1)", env).slots,
+              (std::vector<std::int64_t>{3, 1, 2}));
+    // Steps wrap modulo the width.
+    EXPECT_EQ(evalText("(<< (Vec a b c) 4)", env).slots,
+              (std::vector<std::int64_t>{2, 3, 1}));
+}
+
+TEST(EvaluatorTest, UnboundVariableThrows)
+{
+    EXPECT_THROW(evalText("(+ a zz)", Env{{"a", 1}}), CompileError);
+}
+
+TEST(EvaluatorTest, ShapeErrorsThrow)
+{
+    const Env env{{"a", 1}, {"b", 2}, {"c", 3}};
+    EXPECT_THROW(evalText("(VecAdd (Vec a b) (Vec a b c))", env),
+                 CompileError);
+}
+
+TEST(EquivalenceTest, DetectsEquivalentRewrites)
+{
+    // Factorization is semantics-preserving.
+    EXPECT_TRUE(equivalentOn(parse("(+ (* a b) (* a c))"),
+                             parse("(* a (+ b c))"), 16));
+    // Vectorization of isomorphic adds.
+    EXPECT_TRUE(equivalentOn(parse("(Vec (+ a b) (+ c d))"),
+                             parse("(VecAdd (Vec a c) (Vec b d))"), 16));
+}
+
+TEST(EquivalenceTest, DetectsBrokenRewrites)
+{
+    EXPECT_FALSE(equivalentOn(parse("(+ a b)"), parse("(* a b)"), 16));
+    EXPECT_FALSE(equivalentOn(parse("(Vec (+ a b) (+ c d))"),
+                              parse("(VecAdd (Vec a c) (Vec d b))"), 16));
+}
+
+TEST(EquivalenceTest, PrefixSemanticsAllowsWidening)
+{
+    // Dot product: scalar sum of products vs rotate-reduce circuit whose
+    // slot 0 holds the result and whose upper slots hold junk.
+    const ExprPtr reference = parse("(+ (* a b) (* c d))");
+    const ExprPtr widened =
+        parse("(VecAdd (VecMul (Vec a c) (Vec b d))"
+              "        (<< (VecMul (Vec a c) (Vec b d)) 1))");
+    EXPECT_TRUE(equivalentOn(reference, widened, 16));
+}
+
+TEST(EquivalenceTest, WideningMustKeepPrefix)
+{
+    const ExprPtr reference = parse("(Vec (+ a b) (+ c d))");
+    // Wrong slot order: prefix differs.
+    const ExprPtr wrong = parse("(VecAdd (Vec c a d) (Vec d b 0))");
+    EXPECT_FALSE(equivalentOn(reference, wrong, 16));
+}
+
+TEST(EquivalenceTest, DeterministicUnderSeed)
+{
+    const ExprPtr a = parse("(+ (* a b) (* a c))");
+    const ExprPtr b = parse("(* a (+ b c))");
+    EXPECT_EQ(equivalentOn(a, b, 8, 7), equivalentOn(a, b, 8, 7));
+}
+
+} // namespace
+} // namespace chehab::ir

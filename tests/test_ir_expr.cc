@@ -1,0 +1,135 @@
+/// \file
+/// Unit tests for the IR node representation, factories, structural
+/// equality/hashing and tree surgery (replaceAt/subtreeAt).
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+
+namespace chehab::ir {
+namespace {
+
+TEST(ExprTest, LeafProperties)
+{
+    const ExprPtr v = var("x");
+    EXPECT_EQ(v->op(), Op::Var);
+    EXPECT_EQ(v->name(), "x");
+    EXPECT_EQ(v->numNodes(), 1);
+    EXPECT_EQ(v->height(), 1);
+    EXPECT_FALSE(v->isPlain());
+
+    const ExprPtr p = plainVar("w");
+    EXPECT_TRUE(p->isPlain());
+
+    const ExprPtr c = constant(42);
+    EXPECT_TRUE(c->isPlain());
+    EXPECT_EQ(c->value(), 42);
+}
+
+TEST(ExprTest, CompositeMetadata)
+{
+    const ExprPtr e = add(mul(var("a"), var("b")), constant(3));
+    EXPECT_EQ(e->numNodes(), 5);
+    EXPECT_EQ(e->height(), 3);
+    EXPECT_FALSE(e->isPlain());
+}
+
+TEST(ExprTest, PlainPropagation)
+{
+    const ExprPtr plain = mul(plainVar("p"), constant(2));
+    EXPECT_TRUE(plain->isPlain());
+    const ExprPtr mixed = add(plain, var("x"));
+    EXPECT_FALSE(mixed->isPlain());
+}
+
+TEST(ExprTest, StructuralEqualityIgnoresIdentity)
+{
+    const ExprPtr a = add(var("x"), var("y"));
+    const ExprPtr b = add(var("x"), var("y"));
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_TRUE(equal(a, b));
+    EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(ExprTest, StructuralInequality)
+{
+    EXPECT_FALSE(equal(add(var("x"), var("y")), add(var("y"), var("x"))));
+    EXPECT_FALSE(equal(add(var("x"), var("y")), mul(var("x"), var("y"))));
+    EXPECT_FALSE(equal(constant(1), constant(2)));
+    EXPECT_FALSE(equal(rotate(vec({var("a"), var("b")}), 1),
+                       rotate(vec({var("a"), var("b")}), 2)));
+    EXPECT_FALSE(equal(var("x"), plainVar("x")));
+}
+
+TEST(ExprTest, NegVsSubDistinct)
+{
+    const ExprPtr n = neg(var("x"));
+    const ExprPtr s = sub(var("x"), var("x"));
+    EXPECT_EQ(n->op(), Op::Neg);
+    EXPECT_EQ(s->op(), Op::Sub);
+    EXPECT_FALSE(equal(n, s));
+}
+
+TEST(ExprTest, ToStringRoundShapes)
+{
+    EXPECT_EQ(add(var("a"), var("b"))->toString(), "(+ a b)");
+    EXPECT_EQ(neg(var("a"))->toString(), "(- a)");
+    EXPECT_EQ(sub(var("a"), var("b"))->toString(), "(- a b)");
+    EXPECT_EQ(rotate(vec({var("a"), var("b")}), 1)->toString(),
+              "(<< (Vec a b) 1)");
+    EXPECT_EQ(plainVar("w")->toString(), "(pt w)");
+    EXPECT_EQ(vecMul(vec({var("a")}), vec({constant(2)}))->toString(),
+              "(VecMul (Vec a) (Vec 2))");
+}
+
+TEST(ExprTest, SubtreeAtPreorder)
+{
+    // (+ (* a b) c): indices 0:+  1:*  2:a  3:b  4:c
+    const ExprPtr e = add(mul(var("a"), var("b")), var("c"));
+    EXPECT_EQ(subtreeAt(e, 0)->op(), Op::Add);
+    EXPECT_EQ(subtreeAt(e, 1)->op(), Op::Mul);
+    EXPECT_EQ(subtreeAt(e, 2)->name(), "a");
+    EXPECT_EQ(subtreeAt(e, 3)->name(), "b");
+    EXPECT_EQ(subtreeAt(e, 4)->name(), "c");
+}
+
+TEST(ExprTest, ReplaceAtRebuildsPath)
+{
+    const ExprPtr e = add(mul(var("a"), var("b")), var("c"));
+    const ExprPtr replaced = replaceAt(e, 1, constant(7));
+    EXPECT_EQ(replaced->toString(), "(+ 7 c)");
+    // Untouched sibling subtree is shared, not copied.
+    EXPECT_EQ(replaced->child(1).get(), e->child(1).get());
+    // Original is unchanged (immutability).
+    EXPECT_EQ(e->toString(), "(+ (* a b) c)");
+}
+
+TEST(ExprTest, ReplaceAtRoot)
+{
+    const ExprPtr e = add(var("a"), var("b"));
+    const ExprPtr replaced = replaceAt(e, 0, var("z"));
+    EXPECT_EQ(replaced->toString(), "z");
+}
+
+TEST(ExprTest, ForEachNodeVisitsPreorder)
+{
+    const ExprPtr e = add(mul(var("a"), var("b")), var("c"));
+    std::vector<Op> ops;
+    std::vector<int> indices;
+    forEachNode(e, [&](const ExprPtr& node, int index) {
+        ops.push_back(node->op());
+        indices.push_back(index);
+    });
+    ASSERT_EQ(ops.size(), 5u);
+    EXPECT_EQ(ops[0], Op::Add);
+    EXPECT_EQ(ops[1], Op::Mul);
+    EXPECT_EQ(indices, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExprTest, RotationStepNegative)
+{
+    const ExprPtr r = rotate(vec({var("a"), var("b"), var("c")}), -2);
+    EXPECT_EQ(r->step(), -2);
+}
+
+} // namespace
+} // namespace chehab::ir

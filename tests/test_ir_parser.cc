@@ -1,0 +1,104 @@
+/// \file
+/// Parser unit tests: grammar coverage, round-tripping through the
+/// printer, and error handling for malformed input (the dataset
+/// validation path of §6).
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "support/error.h"
+
+namespace chehab::ir {
+namespace {
+
+TEST(ParserTest, Leaves)
+{
+    EXPECT_EQ(parse("x")->op(), Op::Var);
+    EXPECT_EQ(parse("x")->name(), "x");
+    EXPECT_EQ(parse("42")->value(), 42);
+    EXPECT_EQ(parse("-7")->value(), -7);
+    EXPECT_EQ(parse("(pt w)")->op(), Op::PlainVar);
+}
+
+TEST(ParserTest, ScalarOps)
+{
+    EXPECT_EQ(parse("(+ a b)")->op(), Op::Add);
+    EXPECT_EQ(parse("(- a b)")->op(), Op::Sub);
+    EXPECT_EQ(parse("(- a)")->op(), Op::Neg);
+    EXPECT_EQ(parse("(* a b)")->op(), Op::Mul);
+}
+
+TEST(ParserTest, NaryFoldsLeft)
+{
+    const ExprPtr e = parse("(+ a b c d)");
+    EXPECT_EQ(e->toString(), "(+ (+ (+ a b) c) d)");
+}
+
+TEST(ParserTest, VectorOps)
+{
+    EXPECT_EQ(parse("(Vec a b c)")->arity(), 3u);
+    EXPECT_EQ(parse("(VecAdd (Vec a b) (Vec c d))")->op(), Op::VecAdd);
+    EXPECT_EQ(parse("(VecNeg (Vec a b))")->op(), Op::VecNeg);
+}
+
+TEST(ParserTest, Rotations)
+{
+    const ExprPtr left = parse("(<< (Vec a b c) 2)");
+    EXPECT_EQ(left->op(), Op::Rotate);
+    EXPECT_EQ(left->step(), 2);
+    const ExprPtr right = parse("(>> (Vec a b c) 2)");
+    EXPECT_EQ(right->step(), -2);
+}
+
+TEST(ParserTest, RoundTripThroughPrinter)
+{
+    const char* samples[] = {
+        "(+ a (* b c))",
+        "(VecMul (Vec a c e g) (Vec b d f h))",
+        "(<< (VecAdd (Vec a b) (Vec c d)) 1)",
+        "(- (- a))",
+        "(* (pt w) x)",
+        "(VecAdd (Vec (+ a b) (* c d)) (Vec 0 1))",
+    };
+    for (const char* text : samples) {
+        const ExprPtr once = parse(text);
+        const ExprPtr twice = parse(once->toString());
+        EXPECT_TRUE(equal(once, twice)) << text;
+    }
+}
+
+TEST(ParserTest, MotivatingExampleParses)
+{
+    // Eq. 1 of the paper.
+    const ExprPtr e = parse(
+        "(* (+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))"
+        "   (* (* v7 v8) (* v9 v10)))");
+    EXPECT_EQ(e->op(), Op::Mul);
+    EXPECT_EQ(e->numNodes(), 23);
+}
+
+TEST(ParserTest, WhitespaceInsensitive)
+{
+    EXPECT_TRUE(equal(parse("(+ a b)"), parse("  (  +   a\n\tb ) ")));
+}
+
+TEST(ParserTest, Errors)
+{
+    EXPECT_THROW(parse(""), CompileError);
+    EXPECT_THROW(parse("(+ a"), CompileError);
+    EXPECT_THROW(parse("(+ a b))"), CompileError);
+    EXPECT_THROW(parse("(/ a b)"), CompileError);
+    EXPECT_THROW(parse("(VecAdd a)"), CompileError);
+    EXPECT_THROW(parse("(Vec)"), CompileError);
+    EXPECT_THROW(parse("(<< v x)"), CompileError);
+    EXPECT_THROW(parse(")"), CompileError);
+}
+
+TEST(ParserTest, IsValidMirrorsParse)
+{
+    EXPECT_TRUE(isValid("(+ a b)"));
+    EXPECT_FALSE(isValid("(+ a"));
+    EXPECT_FALSE(isValid("(% a b)"));
+}
+
+} // namespace
+} // namespace chehab::ir

@@ -1,0 +1,139 @@
+/// \file
+/// RewriteEnv tests: reward structure (§5.3.2), END action, episode caps,
+/// action masking and the reward-ablation switches.
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "rl/env.h"
+
+namespace chehab::rl {
+namespace {
+
+using ir::parse;
+
+const trs::Ruleset&
+ruleset()
+{
+    static const trs::Ruleset rs = trs::buildChehabRuleset();
+    return rs;
+}
+
+TEST(RewriteEnvTest, ResetInitializesCosts)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ (* x 1) 0)"));
+    EXPECT_FALSE(env.done());
+    EXPECT_GT(env.initialCost(), 0.0);
+    EXPECT_DOUBLE_EQ(env.initialCost(), env.currentCost());
+    EXPECT_EQ(env.stepsTaken(), 0);
+}
+
+TEST(RewriteEnvTest, MatchCountsMaskRules)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ (* a b) (* a c))"));
+    const std::vector<int>& counts = env.matchCounts();
+    const int factor = ruleset().indexOf("comm-factor-ll");
+    const int rotate_zero = ruleset().indexOf("rotate-zero");
+    EXPECT_GT(counts[static_cast<std::size_t>(factor)], 0);
+    EXPECT_EQ(counts[static_cast<std::size_t>(rotate_zero)], 0);
+    // END is always available.
+    EXPECT_EQ(counts[static_cast<std::size_t>(env.endAction())], 1);
+}
+
+TEST(RewriteEnvTest, StepRewardIsRelativeImprovement)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ x 0)"));
+    const double c0 = env.currentCost();
+    const int rule = ruleset().indexOf("add-identity-r");
+    const StepResult result = env.step(rule, 0);
+    EXPECT_TRUE(result.applied);
+    const double c1 = env.currentCost();
+    EXPECT_NEAR(result.reward, (c0 - c1) / c0, 1e-9);
+    EXPECT_LT(c1, c0);
+}
+
+TEST(RewriteEnvTest, EndActionGivesTerminalReward)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ x 0)"));
+    env.step(ruleset().indexOf("add-identity-r"), 0);
+    const double improvement =
+        (env.initialCost() - env.currentCost()) / env.initialCost();
+    const StepResult result = env.step(env.endAction(), 0);
+    EXPECT_TRUE(result.done);
+    EXPECT_NEAR(result.reward, improvement * 100.0, 1e-6);
+    EXPECT_TRUE(env.done());
+}
+
+TEST(RewriteEnvTest, TerminalRewardDisabled)
+{
+    EnvConfig config;
+    config.use_terminal_reward = false;
+    RewriteEnv env(ruleset(), config);
+    env.reset(parse("(+ x 0)"));
+    env.step(ruleset().indexOf("add-identity-r"), 0);
+    const StepResult result = env.step(env.endAction(), 0);
+    EXPECT_DOUBLE_EQ(result.reward, 0.0);
+}
+
+TEST(RewriteEnvTest, StepRewardDisabled)
+{
+    EnvConfig config;
+    config.use_step_reward = false;
+    RewriteEnv env(ruleset(), config);
+    env.reset(parse("(+ x 0)"));
+    const StepResult result =
+        env.step(ruleset().indexOf("add-identity-r"), 0);
+    EXPECT_DOUBLE_EQ(result.reward, 0.0);
+}
+
+TEST(RewriteEnvTest, InvalidActionPenalized)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ a b)"));
+    const int rotate_zero = ruleset().indexOf("rotate-zero");
+    const StepResult result = env.step(rotate_zero, 0);
+    EXPECT_FALSE(result.applied);
+    EXPECT_LT(result.reward, 0.0);
+}
+
+TEST(RewriteEnvTest, EpisodeCapEndsEpisode)
+{
+    EnvConfig config;
+    config.max_steps = 3;
+    RewriteEnv env(ruleset(), config);
+    env.reset(parse("(+ a b)"));
+    const int comm = ruleset().indexOf("add-comm");
+    env.step(comm, 0);
+    env.step(comm, 0);
+    const StepResult result = env.step(comm, 0);
+    EXPECT_TRUE(result.done);
+    EXPECT_TRUE(env.done());
+}
+
+TEST(RewriteEnvTest, CostNeutralLoopGivesZeroReward)
+{
+    RewriteEnv env(ruleset());
+    env.reset(parse("(+ a b)"));
+    const int comm = ruleset().indexOf("add-comm");
+    const StepResult result = env.step(comm, 0);
+    EXPECT_TRUE(result.applied);
+    EXPECT_NEAR(result.reward, 0.0, 1e-9);
+}
+
+TEST(RewriteEnvTest, WeightsAffectCost)
+{
+    EnvConfig heavy;
+    heavy.weights = {1.0, 100.0, 100.0};
+    RewriteEnv env_heavy(ruleset(), heavy);
+    RewriteEnv env_default(ruleset());
+    const ir::ExprPtr program = parse("(* (* a b) c)");
+    env_heavy.reset(program);
+    env_default.reset(program);
+    EXPECT_GT(env_heavy.initialCost(), env_default.initialCost());
+}
+
+} // namespace
+} // namespace chehab::rl

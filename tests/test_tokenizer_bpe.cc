@@ -1,0 +1,85 @@
+/// \file
+/// BPE tokenizer tests (the Fig. 10 ablation baseline): merge learning,
+/// deterministic encoding, and the expected throughput disadvantage
+/// relative to ICI's single-pass tokenization.
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "tokenizer/bpe.h"
+#include "tokenizer/ici.h"
+
+namespace chehab::tokenizer {
+namespace {
+
+std::vector<std::string>
+trainingCorpus()
+{
+    return {
+        "(VecAdd (Vec a b) (Vec c d))",
+        "(VecMul (Vec a c e g) (Vec b d f h))",
+        "(+ (* a b) (* a c))",
+        "(+ (* x0 y0) (* x1 y1))",
+        "(VecAdd (VecMul (Vec a b) (Vec c d)) (Vec e f))",
+        "(- (* alpha beta) (* alpha gamma))",
+    };
+}
+
+TEST(BpeTest, LearnsMerges)
+{
+    BpeTokenizer bpe;
+    bpe.train(trainingCorpus(), 50);
+    EXPECT_GT(bpe.numMerges(), 0);
+    EXPECT_LE(bpe.numMerges(), 50);
+    EXPECT_GT(bpe.size(), 10);
+}
+
+TEST(BpeTest, MergesCompressFrequentWords)
+{
+    BpeTokenizer bpe;
+    bpe.train(trainingCorpus(), 200);
+    // "VecAdd" occurs often; after training it should need few subwords.
+    const std::vector<std::string> tokens = bpe.tokenize("(VecAdd");
+    EXPECT_LT(tokens.size(), 8u); // Unmerged would be 7 chars + markers.
+}
+
+TEST(BpeTest, DeterministicTokenization)
+{
+    BpeTokenizer bpe;
+    bpe.train(trainingCorpus(), 100);
+    EXPECT_EQ(bpe.tokenize("(+ (* a b) (* a c))"),
+              bpe.tokenize("(+ (* a b) (* a c))"));
+}
+
+TEST(BpeTest, UntrainedFallsBackToChars)
+{
+    BpeTokenizer bpe;
+    bpe.train({}, 10);
+    const std::vector<std::string> tokens = bpe.tokenize("ab");
+    // No merges learned: characters plus the end-of-word marker.
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0], "a");
+    EXPECT_EQ(tokens[1], "b");
+}
+
+TEST(BpeTest, EncodeShape)
+{
+    BpeTokenizer bpe;
+    bpe.train(trainingCorpus(), 100);
+    const std::vector<int> ids = bpe.encode(ir::parse("(+ a b)"), 24);
+    ASSERT_EQ(ids.size(), 24u);
+    EXPECT_EQ(ids[0], bpe.clsId());
+}
+
+TEST(BpeTest, IsNotAlphaRenamingInvariant)
+{
+    // The property ICI adds and BPE lacks: renamed programs tokenize
+    // differently, inflating the effective vocabulary (§5.1).
+    BpeTokenizer bpe;
+    bpe.train(trainingCorpus(), 100);
+    EXPECT_NE(bpe.tokenize("(+ aa bb)"), bpe.tokenize("(+ cc dd)"));
+    EXPECT_EQ(canonicalForm(ir::parse("(+ aa bb)")),
+              canonicalForm(ir::parse("(+ cc dd)")));
+}
+
+} // namespace
+} // namespace chehab::tokenizer

@@ -1,0 +1,120 @@
+/// \file
+/// ICI tokenization tests: alpha-renaming invariance, 0/1 literal
+/// preservation, constant-class consistency, and vocabulary encoding.
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "tokenizer/ici.h"
+
+namespace chehab::tokenizer {
+namespace {
+
+using ir::parse;
+
+TEST(IciTest, PaperExampleCanonicalization)
+{
+    // (+ a (+ b c)) and (+ x (+ y z)) map to the same canonical sequence
+    // (§5.1).
+    EXPECT_EQ(canonicalForm(parse("(+ a (+ b c))")),
+              canonicalForm(parse("(+ x (+ y z))")));
+    EXPECT_EQ(canonicalForm(parse("(+ a (+ b c))")),
+              "( + v0 ( + v1 v2 ) )");
+}
+
+TEST(IciTest, FirstOccurrenceOrdering)
+{
+    // The same variable re-occurring reuses its token.
+    EXPECT_EQ(canonicalForm(parse("(+ a (* b a))")),
+              "( + v0 ( * v1 v0 ) )");
+}
+
+TEST(IciTest, DistinguishesStructure)
+{
+    EXPECT_NE(canonicalForm(parse("(+ a b)")), canonicalForm(parse("(* a b)")));
+    EXPECT_NE(canonicalForm(parse("(+ a a)")), canonicalForm(parse("(+ a b)")));
+}
+
+TEST(IciTest, ZeroAndOneStayLiteral)
+{
+    EXPECT_EQ(canonicalForm(parse("(* x 1)")), "( * v0 1 )");
+    EXPECT_EQ(canonicalForm(parse("(+ x 0)")), "( + v0 0 )");
+}
+
+TEST(IciTest, ConstantClassesShareTokens)
+{
+    // The same constant reused receives the same c# token; distinct
+    // constants receive distinct tokens; the literal value is discarded.
+    EXPECT_EQ(canonicalForm(parse("(+ (* x 7) 7)")),
+              canonicalForm(parse("(+ (* x 9) 9)")));
+    EXPECT_NE(canonicalForm(parse("(+ (* x 7) 7)")),
+              canonicalForm(parse("(+ (* x 7) 8)")));
+    EXPECT_EQ(canonicalForm(parse("(+ (* x 7) 7)")),
+              "( + ( * v0 c0 ) c0 )");
+}
+
+TEST(IciTest, PlaintextVarsSeparateNamespace)
+{
+    EXPECT_EQ(canonicalForm(parse("(* (pt w) x)")), "( * pv0 v1 )");
+    EXPECT_NE(canonicalForm(parse("(* (pt w) x)")),
+              canonicalForm(parse("(* w x)")));
+}
+
+TEST(IciTest, RotationStepsBucketed)
+{
+    EXPECT_EQ(canonicalForm(parse("(<< (Vec a b c d) 2)")),
+              "( << ( Vec v0 v1 v2 v3 ) r+2 )");
+    // Step 3 buckets to the next power of two.
+    EXPECT_EQ(canonicalForm(parse("(<< (Vec a b c d) 3)")),
+              "( << ( Vec v0 v1 v2 v3 ) r+4 )");
+    EXPECT_EQ(canonicalForm(parse("(>> (Vec a b c d) 2)")),
+              "( << ( Vec v0 v1 v2 v3 ) r-2 )");
+}
+
+TEST(IciTest, VectorOpsTokenized)
+{
+    EXPECT_EQ(canonicalForm(parse("(VecAdd (Vec a b) (Vec c d))")),
+              "( VecAdd ( Vec v0 v1 ) ( Vec v2 v3 ) )");
+}
+
+TEST(IciVocabTest, KnownTokensHaveDistinctIds)
+{
+    const IciVocab vocab;
+    EXPECT_NE(vocab.idOf("+"), vocab.idOf("*"));
+    EXPECT_NE(vocab.idOf("v0"), vocab.idOf("v1"));
+    EXPECT_NE(vocab.idOf("("), vocab.idOf(")"));
+    EXPECT_EQ(vocab.idOf("totally-unknown"), vocab.unkId());
+    EXPECT_GT(vocab.size(), 100);
+}
+
+TEST(IciVocabTest, EncodeShape)
+{
+    const IciVocab vocab;
+    const std::vector<int> ids = vocab.encode(parse("(+ a b)"), 12);
+    ASSERT_EQ(ids.size(), 12u);
+    EXPECT_EQ(ids[0], vocab.clsId());
+    EXPECT_EQ(ids[1], vocab.idOf("("));
+    EXPECT_EQ(ids[2], vocab.idOf("+"));
+    EXPECT_EQ(ids[3], vocab.idOf("v0"));
+    EXPECT_EQ(ids[4], vocab.idOf("v1"));
+    EXPECT_EQ(ids[5], vocab.idOf(")"));
+    EXPECT_EQ(ids[6], vocab.padId());
+}
+
+TEST(IciVocabTest, EncodeTruncatesLongPrograms)
+{
+    const IciVocab vocab;
+    std::string text = "(+ a b)";
+    for (int i = 0; i < 6; ++i) text = "(+ " + text + " " + text + ")";
+    const std::vector<int> ids = vocab.encode(parse(text), 32);
+    EXPECT_EQ(ids.size(), 32u);
+}
+
+TEST(IciVocabTest, AlphaRenamedProgramsEncodeIdentically)
+{
+    const IciVocab vocab;
+    EXPECT_EQ(vocab.encode(parse("(* p (+ q r))"), 16),
+              vocab.encode(parse("(* alpha (+ beta gamma))"), 16));
+}
+
+} // namespace
+} // namespace chehab::tokenizer

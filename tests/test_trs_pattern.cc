@@ -1,0 +1,124 @@
+/// \file
+/// Pattern-matching unit tests: binding consistency, typed pattern
+/// variables (?p plain-only, ?c const-only), literal matching and
+/// substitution.
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "support/error.h"
+#include "trs/pattern.h"
+
+namespace chehab::trs {
+namespace {
+
+using ir::parse;
+
+TEST(PatternTest, IsPatternVar)
+{
+    EXPECT_TRUE(isPatternVar("?a"));
+    EXPECT_TRUE(isPatternVar("?p1"));
+    EXPECT_FALSE(isPatternVar("a"));
+    EXPECT_FALSE(isPatternVar(""));
+}
+
+TEST(PatternTest, WildcardBindsSubtree)
+{
+    Bindings b;
+    ASSERT_TRUE(matchPattern(parse("(+ ?a ?b)"), parse("(+ x (* y z))"), b));
+    EXPECT_EQ(b.at("?a")->toString(), "x");
+    EXPECT_EQ(b.at("?b")->toString(), "(* y z)");
+}
+
+TEST(PatternTest, RepeatedVarRequiresEquality)
+{
+    Bindings b;
+    EXPECT_TRUE(matchPattern(parse("(+ ?a ?a)"), parse("(+ x x)"), b));
+    Bindings b2;
+    EXPECT_FALSE(matchPattern(parse("(+ ?a ?a)"), parse("(+ x y)"), b2));
+    Bindings b3;
+    EXPECT_TRUE(matchPattern(parse("(+ (* ?a ?b) (* ?a ?c))"),
+                             parse("(+ (* k m) (* k n))"), b3));
+}
+
+TEST(PatternTest, OperatorMismatchFails)
+{
+    Bindings b;
+    EXPECT_FALSE(matchPattern(parse("(+ ?a ?b)"), parse("(* x y)"), b));
+    Bindings b2;
+    EXPECT_FALSE(matchPattern(parse("(- ?a)"), parse("(- x y)"), b2));
+}
+
+TEST(PatternTest, LiteralConstantsMatchExactly)
+{
+    Bindings b;
+    EXPECT_TRUE(matchPattern(parse("(* ?a 1)"), parse("(* x 1)"), b));
+    Bindings b2;
+    EXPECT_FALSE(matchPattern(parse("(* ?a 1)"), parse("(* x 2)"), b2));
+    Bindings b3;
+    EXPECT_FALSE(matchPattern(parse("(* ?a 1)"), parse("(* x y)"), b3));
+}
+
+TEST(PatternTest, PlainOnlyVariable)
+{
+    Bindings b;
+    EXPECT_TRUE(matchPattern(parse("(* ?pa ?x)"), parse("(* (pt w) y)"), b));
+    Bindings b2;
+    EXPECT_TRUE(matchPattern(parse("(* ?pa ?x)"), parse("(* 3 y)"), b2));
+    Bindings b3;
+    // Ciphertext operand cannot bind a ?p variable.
+    EXPECT_FALSE(matchPattern(parse("(* ?pa ?x)"), parse("(* q y)"), b3));
+}
+
+TEST(PatternTest, ConstOnlyVariable)
+{
+    Bindings b;
+    EXPECT_TRUE(matchPattern(parse("(+ ?k1 ?k2)"), parse("(+ 3 4)"), b));
+    Bindings b2;
+    EXPECT_FALSE(matchPattern(parse("(+ ?k1 ?k2)"), parse("(+ (pt w) 4)"),
+                              b2));
+}
+
+TEST(PatternTest, MatchesVectorShapes)
+{
+    Bindings b;
+    ASSERT_TRUE(matchPattern(parse("(VecAdd ?a ?b)"),
+                             parse("(VecAdd (Vec x y) (Vec u v))"), b));
+    EXPECT_EQ(b.at("?a")->toString(), "(Vec x y)");
+}
+
+TEST(PatternTest, VecArityMustMatch)
+{
+    Bindings b;
+    EXPECT_TRUE(matchPattern(parse("(Vec ?a ?b)"), parse("(Vec x y)"), b));
+    Bindings b2;
+    EXPECT_FALSE(matchPattern(parse("(Vec ?a ?b)"), parse("(Vec x y z)"),
+                              b2));
+}
+
+TEST(SubstituteTest, RebuildsTemplate)
+{
+    Bindings b;
+    ASSERT_TRUE(matchPattern(parse("(+ (* ?a ?b) (* ?a ?c))"),
+                             parse("(+ (* k m) (* k n))"), b));
+    const ir::ExprPtr result = substitute(parse("(* ?a (+ ?b ?c))"), b);
+    EXPECT_EQ(result->toString(), "(* k (+ m n))");
+}
+
+TEST(SubstituteTest, UnboundVariableThrows)
+{
+    Bindings empty;
+    EXPECT_THROW(substitute(parse("(+ ?a 1)"), empty), CompileError);
+}
+
+TEST(SubstituteTest, SharesBoundSubtrees)
+{
+    Bindings b;
+    ASSERT_TRUE(matchPattern(parse("?a"), parse("(* x y)"), b));
+    const ir::ExprPtr bound = b.at("?a");
+    const ir::ExprPtr result = substitute(parse("(+ ?a ?a)"), b);
+    EXPECT_EQ(result->child(0).get(), bound.get());
+    EXPECT_EQ(result->child(1).get(), bound.get());
+}
+
+} // namespace
+} // namespace chehab::trs

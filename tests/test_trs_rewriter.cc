@@ -1,0 +1,127 @@
+/// \file
+/// Tests for the rewrite engine: action enumeration (the RL action space)
+/// and the greedy best-improvement optimizer (the original CHEHAB
+/// baseline of Fig. 12).
+#include <gtest/gtest.h>
+
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+#include "trs/rewriter.h"
+
+namespace chehab::trs {
+namespace {
+
+using ir::ExprPtr;
+using ir::parse;
+
+const Ruleset&
+ruleset()
+{
+    static const Ruleset rs = buildChehabRuleset();
+    return rs;
+}
+
+TEST(EnumerateActionsTest, ListsOnlyApplicableRules)
+{
+    const ExprPtr program = parse("(+ (* a b) (* a c))");
+    const std::vector<RuleMatches> actions =
+        enumerateActions(ruleset(), program);
+    EXPECT_FALSE(actions.empty());
+    for (const RuleMatches& rm : actions) {
+        EXPECT_FALSE(rm.locations.empty());
+        // Every advertised action must be applicable.
+        for (std::size_t ordinal = 0; ordinal < rm.locations.size();
+             ++ordinal) {
+            EXPECT_NE(ruleset()[static_cast<std::size_t>(rm.rule_index)]
+                          .applyAt(program, static_cast<int>(ordinal)),
+                      nullptr);
+        }
+    }
+    // comm-factor must be among them.
+    bool has_factor = false;
+    for (const RuleMatches& rm : actions) {
+        if (ruleset()[static_cast<std::size_t>(rm.rule_index)].name() ==
+            "comm-factor-ll") {
+            has_factor = true;
+        }
+    }
+    EXPECT_TRUE(has_factor);
+}
+
+TEST(EnumerateActionsTest, RespectsLocationCap)
+{
+    // Lots of commutativity sites.
+    const ExprPtr program = parse(
+        "(+ (+ (+ (+ (+ (+ a b) c) d) e) f) (+ (+ (+ g h) i) j))");
+    for (const RuleMatches& rm : enumerateActions(ruleset(), program, 3)) {
+        EXPECT_LE(rm.locations.size(), 3u);
+    }
+}
+
+TEST(GreedyOptimizeTest, SimplifiesIdentities)
+{
+    const OptimizeResult result =
+        greedyOptimize(ruleset(), parse("(+ (* x 1) 0)"));
+    EXPECT_EQ(result.program->toString(), "x");
+    EXPECT_LT(result.final_cost, result.initial_cost);
+    EXPECT_GE(result.steps, 1);
+}
+
+TEST(GreedyOptimizeTest, VectorizesIsomorphicCode)
+{
+    const ExprPtr program = parse("(Vec (+ a b) (+ c d) (+ e f) (+ g h))");
+    const OptimizeResult result = greedyOptimize(ruleset(), program);
+    // One packed vector addition: cost 1 instead of 4x250.
+    EXPECT_LE(result.final_cost, 10.0);
+    EXPECT_TRUE(ir::equivalentOn(program, result.program, 8));
+}
+
+TEST(GreedyOptimizeTest, ReducesDotProduct)
+{
+    const ExprPtr program = parse(
+        "(+ (+ (* a0 b0) (* a1 b1)) (+ (* a2 b2) (* a3 b3)))");
+    const OptimizeResult result = greedyOptimize(ruleset(), program);
+    EXPECT_TRUE(ir::equivalentOn(program, result.program, 8));
+    // Far below the scalar cost of 7 * 250.
+    EXPECT_LT(result.final_cost, 400.0);
+}
+
+TEST(GreedyOptimizeTest, StopsAtLocalOptimum)
+{
+    // Already optimal single variable: no steps taken.
+    const OptimizeResult result = greedyOptimize(ruleset(), parse("x"));
+    EXPECT_EQ(result.steps, 0);
+    EXPECT_DOUBLE_EQ(result.final_cost, result.initial_cost);
+}
+
+TEST(GreedyOptimizeTest, HonoursStepBudget)
+{
+    const ExprPtr program = parse(
+        "(Vec (+ a b) (+ c d) (+ e f) (+ g h) (+ i j) (+ k l))");
+    const OptimizeResult result =
+        greedyOptimize(ruleset(), program, {}, {}, /*max_steps=*/1);
+    EXPECT_LE(result.steps, 1);
+}
+
+TEST(GreedyOptimizeTest, TraceMatchesStepCount)
+{
+    const OptimizeResult result =
+        greedyOptimize(ruleset(), parse("(+ (* x 1) 0)"));
+    EXPECT_EQ(static_cast<int>(result.trace.size()), result.steps);
+}
+
+TEST(GreedyOptimizeTest, WeightsInfluenceOutcome)
+{
+    // With heavy depth weights the optimizer should still be sound.
+    const ExprPtr program =
+        parse("(* a (* b (* c (* d (* e (* f (* g h)))))))");
+    const ir::CostWeights heavy{1.0, 150.0, 150.0};
+    const OptimizeResult result =
+        greedyOptimize(ruleset(), program, heavy);
+    EXPECT_TRUE(ir::equivalentOn(program, result.program, 8));
+    EXPECT_LE(ir::multiplicativeDepth(result.program),
+              ir::multiplicativeDepth(program));
+}
+
+} // namespace
+} // namespace chehab::trs
