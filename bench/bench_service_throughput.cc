@@ -1,0 +1,195 @@
+/// \file
+/// Compile-service throughput benchmark: jobs/sec for the concurrent
+/// CompileService at 1/2/4/8 workers against the serial single-shot
+/// pipeline, on two batch shapes:
+///
+///   cold — distinct kernels only (measures worker-pool scaling and the
+///          cost-priority dispatch; no cache reuse is possible),
+///   dup  — a 90%-duplicate batch (each kernel repeated 10x, shuffled),
+///          where the content-addressed cache and single-flight dedup
+///          carry the load.
+///
+/// Environment knobs (see bench/common.h):
+///   CHEHAB_BENCH_FAST=1    smaller batch and rewrite budget
+///
+/// Writes results/service_throughput.csv through the shared
+/// support/csv.h writer and prints a summary table.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "dataset/motif_gen.h"
+#include "ir/cost_model.h"
+#include "service/compile_service.h"
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+struct Scenario
+{
+    std::string name;
+    std::vector<service::CompileRequest> batch;
+    std::size_t distinct = 0;
+};
+
+std::vector<ir::ExprPtr>
+distinctKernels(int count)
+{
+    // Motif-synthesized programs: structured enough that the greedy TRS
+    // has real work to do, cheap enough for a laptop-scale bench.
+    dataset::MotifGenConfig config;
+    config.max_terms = 6;
+    config.max_width = 4;
+    dataset::MotifSynthesizer synth(4242, config);
+    std::vector<ir::ExprPtr> kernels;
+    kernels.reserve(static_cast<std::size_t>(count));
+    std::vector<ir::Fingerprint> seen;
+    while (static_cast<int>(kernels.size()) < count) {
+        ir::ExprPtr program = synth.generate();
+        const ir::Fingerprint fp = ir::fingerprint(program);
+        bool duplicate = false;
+        for (const ir::Fingerprint& other : seen) {
+            if (other == fp) duplicate = true;
+        }
+        if (duplicate) continue;
+        seen.push_back(fp);
+        kernels.push_back(std::move(program));
+    }
+    return kernels;
+}
+
+service::CompileRequest
+makeRequest(const std::string& name, ir::ExprPtr source, int max_steps)
+{
+    service::CompileRequest request;
+    request.name = name;
+    request.source = std::move(source);
+    request.mode = service::OptMode::Greedy;
+    request.max_steps = max_steps;
+    return request;
+}
+
+double
+runSerial(const Scenario& scenario, const trs::Ruleset& ruleset)
+{
+    const Stopwatch wall;
+    for (const service::CompileRequest& request : scenario.batch) {
+        compiler::compileGreedy(ruleset, request.source, request.weights,
+                                request.max_steps);
+    }
+    return wall.elapsedSeconds();
+}
+
+struct RunResult
+{
+    double wall_seconds = 0.0;
+    service::ServiceStats stats;
+};
+
+RunResult
+runService(const Scenario& scenario, int workers)
+{
+    service::CompileService compile_service({workers});
+    std::vector<service::CompileRequest> batch = scenario.batch;
+    const Stopwatch wall;
+    std::vector<service::CompileResponse> responses =
+        compile_service.compileBatch(std::move(batch));
+    RunResult result;
+    result.wall_seconds = wall.elapsedSeconds();
+    result.stats = compile_service.stats();
+    for (const service::CompileResponse& response : responses) {
+        if (!response.ok) {
+            std::fprintf(stderr, "[bench] %s FAILED: %s\n",
+                         response.name.c_str(), response.error.c_str());
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const benchcommon::Budget budget = benchcommon::budgetFromEnv();
+    const int kernel_count = budget.fast ? 8 : 24;
+    const int max_steps = budget.fast ? 8 : 20;
+    const int dup_factor = 10; // 90%-duplicate batch.
+
+    std::vector<ir::ExprPtr> kernels = distinctKernels(kernel_count);
+
+    Scenario cold;
+    cold.name = "cold";
+    cold.distinct = kernels.size();
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        cold.batch.push_back(makeRequest("k" + std::to_string(i),
+                                         kernels[i], max_steps));
+    }
+
+    Scenario dup;
+    dup.name = "dup90";
+    dup.distinct = kernels.size();
+    for (int r = 0; r < dup_factor; ++r) {
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            dup.batch.push_back(makeRequest("k" + std::to_string(i),
+                                            kernels[i], max_steps));
+        }
+    }
+    // Deterministic shuffle so duplicates interleave like real traffic.
+    Rng rng(99);
+    for (std::size_t i = dup.batch.size(); i > 1; --i) {
+        std::swap(dup.batch[i - 1], dup.batch[rng.pickIndex(i)]);
+    }
+
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+
+    std::filesystem::create_directories("results");
+    CsvWriter csv("results/service_throughput.csv",
+                  {"scenario", "workers", "jobs", "distinct", "wall_s",
+                   "jobs_per_s", "speedup_vs_serial", "compiled",
+                   "cache_hits", "inflight_joins"});
+
+    std::printf("%-8s %-8s %6s %9s %11s %9s %9s %6s %6s\n", "scenario",
+                "workers", "jobs", "wall_s", "jobs/s", "speedup",
+                "compiled", "hits", "joins");
+    for (Scenario* scenario : {&cold, &dup}) {
+        const double serial_seconds = runSerial(*scenario, ruleset);
+        const double serial_rate =
+            static_cast<double>(scenario->batch.size()) / serial_seconds;
+        std::printf("%-8s %-8s %6zu %9.3f %11.1f %9s %9zu %6s %6s\n",
+                    scenario->name.c_str(), "serial",
+                    scenario->batch.size(), serial_seconds, serial_rate,
+                    "1.00x", scenario->batch.size(), "-", "-");
+        csv.writeRow(scenario->name, "serial", scenario->batch.size(),
+                     scenario->distinct, serial_seconds, serial_rate, 1.0,
+                     scenario->batch.size(), 0, 0);
+
+        for (int workers : {1, 2, 4, 8}) {
+            const RunResult run = runService(*scenario, workers);
+            const double rate =
+                static_cast<double>(scenario->batch.size()) /
+                run.wall_seconds;
+            const double speedup = serial_seconds / run.wall_seconds;
+            std::printf(
+                "%-8s %-8d %6zu %9.3f %11.1f %8.2fx %9llu %6llu %6llu\n",
+                scenario->name.c_str(), workers, scenario->batch.size(),
+                run.wall_seconds, rate, speedup,
+                static_cast<unsigned long long>(run.stats.compiled),
+                static_cast<unsigned long long>(run.stats.cache.hits),
+                static_cast<unsigned long long>(
+                    run.stats.cache.inflight_joins));
+            csv.writeRow(scenario->name, workers, scenario->batch.size(),
+                         scenario->distinct, run.wall_seconds, rate,
+                         speedup, run.stats.compiled, run.stats.cache.hits,
+                         run.stats.cache.inflight_joins);
+        }
+    }
+    std::printf("[bench] wrote results/service_throughput.csv\n");
+    return 0;
+}

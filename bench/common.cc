@@ -251,23 +251,6 @@ sanitize(const std::string& label)
     return out;
 }
 
-std::vector<std::string>
-splitCsvLine(const std::string& line)
-{
-    std::vector<std::string> cells;
-    std::string cell;
-    for (char c : line) {
-        if (c == ',') {
-            cells.push_back(cell);
-            cell.clear();
-        } else {
-            cell += c;
-        }
-    }
-    cells.push_back(cell);
-    return cells;
-}
-
 } // namespace
 
 std::vector<Row>

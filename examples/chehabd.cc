@@ -1,0 +1,339 @@
+/// \file
+/// chehabd — batch compile-service driver.
+///
+/// Reads kernel sources (s-expression IR, one kernel per file), runs
+/// the whole batch through the concurrent CompileService, and reports
+/// per-request statistics as a table, CSV, or JSON.
+///
+///   $ ./chehabd kernels/dot8.ir kernels/blur.ir
+///   $ ./chehabd --suite 8 --workers 4 --repeat 10 --csv stats.csv
+///   $ echo "(+ (* a b) c)" | ./chehabd -
+///
+/// Options:
+///   --workers N     worker threads (default 4)
+///   --mode M        noopt | greedy (default) | rl
+///   --max-steps N   greedy rewrite budget (default 75)
+///   --repeat R      submit the batch R times; repeats exercise the
+///                   content-addressed cache (default 1)
+///   --suite N       add the built-in Porcupine suite at size N
+///   --train-steps N PPO budget for --mode rl (default 256)
+///   --csv PATH      write per-request stats CSV
+///   --json PATH     write per-request stats JSON
+///   --dump          print each distinct kernel's instruction stream
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "dataset/dataset.h"
+#include "dataset/motif_gen.h"
+#include "ir/parser.h"
+#include "rl/agent.h"
+#include "service/compile_service.h"
+#include "support/csv.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+struct Options
+{
+    int workers = 4;
+    service::OptMode mode = service::OptMode::Greedy;
+    int max_steps = 75;
+    int repeat = 1;
+    int suite_n = 0;
+    int train_steps = 256;
+    std::string csv_path;
+    std::string json_path;
+    bool dump = false;
+    std::vector<std::string> files;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workers N] [--mode noopt|greedy|rl] "
+                 "[--max-steps N]\n"
+                 "       [--repeat R] [--suite N] [--train-steps N] "
+                 "[--csv PATH]\n"
+                 "       [--json PATH] [--dump] [kernel-file | -] ...\n",
+                 argv0);
+}
+
+bool
+parseArgs(int argc, char** argv, Options& options)
+{
+    auto intArg = [&](int& i, int& out) {
+        if (i + 1 >= argc) return false;
+        out = std::atoi(argv[++i]);
+        return true;
+    };
+    auto strArg = [&](int& i, std::string& out) {
+        if (i + 1 >= argc) return false;
+        out = argv[++i];
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers") {
+            if (!intArg(i, options.workers)) return false;
+        } else if (arg == "--mode") {
+            std::string mode;
+            if (!strArg(i, mode)) return false;
+            if (mode == "noopt") {
+                options.mode = service::OptMode::NoOpt;
+            } else if (mode == "greedy") {
+                options.mode = service::OptMode::Greedy;
+            } else if (mode == "rl") {
+                options.mode = service::OptMode::Rl;
+            } else {
+                std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+                return false;
+            }
+        } else if (arg == "--max-steps") {
+            if (!intArg(i, options.max_steps)) return false;
+        } else if (arg == "--repeat") {
+            if (!intArg(i, options.repeat)) return false;
+        } else if (arg == "--suite") {
+            if (!intArg(i, options.suite_n)) return false;
+        } else if (arg == "--train-steps") {
+            if (!intArg(i, options.train_steps)) return false;
+        } else if (arg == "--csv") {
+            if (!strArg(i, options.csv_path)) return false;
+        } else if (arg == "--json") {
+            if (!strArg(i, options.json_path)) return false;
+        } else if (arg == "--dump") {
+            options.dump = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            options.files.push_back(arg);
+        }
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    for (char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options options;
+    if (!parseArgs(argc, argv, options)) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (options.files.empty() && options.suite_n == 0) {
+        usage(argv[0]);
+        std::fprintf(stderr, "\nno kernels given; try --suite 8\n");
+        return 2;
+    }
+
+    // ---- assemble the batch -------------------------------------------
+    std::vector<service::CompileRequest> batch;
+    for (const std::string& path : options.files) {
+        std::string text;
+        if (path == "-") {
+            std::ostringstream buffer;
+            buffer << std::cin.rdbuf();
+            text = buffer.str();
+        } else {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "chehabd: cannot read %s\n",
+                             path.c_str());
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+        service::CompileRequest request;
+        request.name = path == "-" ? "<stdin>" : path;
+        try {
+            request.source = ir::parse(text);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "chehabd: %s: %s\n", request.name.c_str(),
+                         e.what());
+            return 1;
+        }
+        request.mode = options.mode;
+        request.max_steps = options.max_steps;
+        batch.push_back(std::move(request));
+    }
+    if (options.suite_n > 0) {
+        for (benchsuite::Kernel& kernel :
+             benchsuite::porcupineSuite(options.suite_n)) {
+            service::CompileRequest request;
+            request.name = kernel.name;
+            request.source = kernel.program;
+            request.mode = options.mode;
+            request.max_steps = options.max_steps;
+            batch.push_back(std::move(request));
+        }
+    }
+    {
+        std::vector<service::CompileRequest> repeated;
+        repeated.reserve(batch.size() *
+                         static_cast<std::size_t>(options.repeat));
+        for (int r = 0; r < options.repeat; ++r) {
+            for (const service::CompileRequest& request : batch) {
+                repeated.push_back(request);
+            }
+        }
+        batch = std::move(repeated);
+    }
+
+    // ---- optional RL agent --------------------------------------------
+    std::unique_ptr<rl::RlAgent> agent;
+    service::ServiceConfig config;
+    config.num_workers = options.workers;
+    trs::Ruleset ruleset = trs::buildChehabRuleset();
+    if (options.mode == service::OptMode::Rl) {
+        std::fprintf(stderr,
+                     "chehabd: training RL agent (%d PPO steps)...\n",
+                     options.train_steps);
+        rl::AgentConfig agent_config;
+        agent_config.ppo.total_timesteps = options.train_steps;
+        agent_config.ppo.steps_per_update = 128;
+        agent_config.compile_rollouts = 2;
+        agent = std::make_unique<rl::RlAgent>(ruleset, agent_config);
+        dataset::MotifSynthesizer synth(1234, {});
+        agent->train(dataset::buildDataset(
+            [&synth] { return synth.generate(); }, 128, {}));
+        config.agent = agent.get();
+    }
+
+    // ---- run ----------------------------------------------------------
+    service::CompileService compile_service(config);
+    const Stopwatch wall;
+    std::vector<service::CompileResponse> responses =
+        compile_service.compileBatch(std::move(batch));
+    const double wall_seconds = wall.elapsedSeconds();
+
+    // ---- report -------------------------------------------------------
+    std::printf("%-24s %-7s %-3s %-5s %9s %9s %7s %6s\n", "kernel", "mode",
+                "ok", "src", "queue_ms", "comp_ms", "cost", "worker");
+    int failures = 0;
+    for (const service::CompileResponse& response : responses) {
+        if (!response.ok) ++failures;
+        const char* provenance = response.cache_hit
+                                     ? "hit"
+                                     : (response.deduplicated ? "join"
+                                                              : "miss");
+        std::printf("%-24s %-7s %-3s %-5s %9.2f %9.2f %7.0f %6d\n",
+                    response.name.c_str(),
+                    service::optModeName(options.mode),
+                    response.ok ? "y" : "N", provenance,
+                    response.queue_seconds * 1e3,
+                    response.compile_seconds * 1e3,
+                    response.estimated_cost, response.worker_id);
+        if (!response.ok) {
+            std::printf("  error: %s\n", response.error.c_str());
+        }
+    }
+
+    const service::ServiceStats stats = compile_service.stats();
+    std::printf("\n%zu requests in %.3f s (%.1f jobs/s) on %d workers: "
+                "%llu compiled, %llu cache hits, %llu in-flight joins, "
+                "%llu failed\n",
+                responses.size(), wall_seconds,
+                wall_seconds > 0 ? static_cast<double>(responses.size()) /
+                                       wall_seconds
+                                 : 0.0,
+                compile_service.numWorkers(),
+                static_cast<unsigned long long>(stats.compiled),
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.inflight_joins),
+                static_cast<unsigned long long>(stats.failed));
+
+    if (options.dump) {
+        std::map<std::string, const service::CompileResponse*> distinct;
+        for (const service::CompileResponse& response : responses) {
+            if (response.ok) distinct.emplace(response.name, &response);
+        }
+        for (const auto& [name, response] : distinct) {
+            std::printf("\n-- %s --\n%s", name.c_str(),
+                        response->compiled.program.disassemble().c_str());
+        }
+    }
+
+    if (!options.csv_path.empty()) {
+        CsvWriter csv(options.csv_path,
+                      {"kernel", "mode", "ok", "cache_hit", "deduplicated",
+                       "queue_s", "compile_s", "estimated_cost", "worker",
+                       "instrs", "final_cost", "mult_depth", "error"});
+        for (const service::CompileResponse& response : responses) {
+            csv.writeRow(response.name, service::optModeName(options.mode),
+                         response.ok ? 1 : 0, response.cache_hit ? 1 : 0,
+                         response.deduplicated ? 1 : 0,
+                         response.queue_seconds, response.compile_seconds,
+                         response.estimated_cost, response.worker_id,
+                         response.compiled.program.instrs.size(),
+                         response.compiled.stats.final_cost,
+                         response.compiled.stats.mult_depth,
+                         response.error);
+        }
+        std::printf("wrote %s\n", options.csv_path.c_str());
+    }
+
+    if (!options.json_path.empty()) {
+        std::ofstream json(options.json_path);
+        json << "[\n";
+        for (std::size_t i = 0; i < responses.size(); ++i) {
+            const service::CompileResponse& response = responses[i];
+            json << "  {\"kernel\": \"" << jsonEscape(response.name)
+                 << "\", \"mode\": \""
+                 << service::optModeName(options.mode)
+                 << "\", \"ok\": " << (response.ok ? "true" : "false")
+                 << ", \"cache_hit\": "
+                 << (response.cache_hit ? "true" : "false")
+                 << ", \"deduplicated\": "
+                 << (response.deduplicated ? "true" : "false")
+                 << ", \"queue_s\": " << response.queue_seconds
+                 << ", \"compile_s\": " << response.compile_seconds
+                 << ", \"estimated_cost\": " << response.estimated_cost
+                 << ", \"worker\": " << response.worker_id
+                 << ", \"error\": \"" << jsonEscape(response.error)
+                 << "\"}" << (i + 1 < responses.size() ? "," : "") << "\n";
+        }
+        json << "]\n";
+        std::printf("wrote %s\n", options.json_path.c_str());
+    }
+
+    return failures == 0 ? 0 : 1;
+}

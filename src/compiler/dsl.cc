@@ -8,7 +8,10 @@ using ir::ExprPtr;
 
 namespace {
 
-DslProgram* g_current_program = nullptr;
+// One staging slot per thread: concurrent service workers (or tests)
+// may each stage a DslProgram without racing, while double-staging on
+// one thread stays a hard error.
+thread_local DslProgram* g_current_program = nullptr;
 
 /// Elementwise zip of two staged values of matching shapes; scalars
 /// broadcast over vectors.

@@ -118,7 +118,9 @@ Ciphertext add_many(const std::vector<Ciphertext>& values);
 Ciphertext mul_many(const std::vector<Ciphertext>& values);
 /// @}
 
-/// Collects outputs during staging; exactly one may be live at a time.
+/// Collects outputs during staging; exactly one may be live at a time
+/// *per thread* (the staging slot is thread_local, so independent
+/// threads can stage programs concurrently).
 class DslProgram
 {
   public:

@@ -3,6 +3,16 @@
 /// (RL TRS, greedy TRS, or none) -> schedule. Produces the optimized IR,
 /// the instruction stream, and compile-time statistics for Fig. 6 /
 /// Table 6.
+///
+/// Thread-safety contract (audited for the concurrent compile service):
+/// all three entry points are reentrant — they keep no static or global
+/// mutable state, take their inputs by const reference, and never mutate
+/// them (IR nodes are immutable; Ruleset and RlAgent are only read).
+/// Concurrent calls may share the same Ruleset, RlAgent and even the
+/// same source ExprPtr. They are also deterministic: a fixed input
+/// produces a bit-identical FheProgram on every call, on any thread
+/// (compileWithAgent derives its rollout RNG from the agent's fixed
+/// seed per call).
 #pragma once
 
 #include <string>

@@ -48,6 +48,73 @@ FheProgram::counts() const
     return counts;
 }
 
+std::string
+FheProgram::disassemble() const
+{
+    std::string out;
+    auto emitSlots = [&out](const FheInstr& instr) {
+        for (const PackSlot& slot : instr.slots) {
+            out += ' ';
+            switch (slot.kind) {
+            case PackSlot::Kind::CtVar: out += "ct:" + slot.name; break;
+            case PackSlot::Kind::PtVar: out += "pt:" + slot.name; break;
+            case PackSlot::Kind::Const:
+                out += std::to_string(slot.value);
+                break;
+            case PackSlot::Kind::PlainExpr:
+                out += slot.expr ? slot.expr->toString() : "<null>";
+                break;
+            }
+        }
+        if (instr.replicate) out += " replicate";
+    };
+    for (const FheInstr& instr : instrs) {
+        out += 'r' + std::to_string(instr.dst);
+        switch (instr.op) {
+        case FheOpcode::PackCipher:
+            out += " = PackCipher";
+            emitSlots(instr);
+            break;
+        case FheOpcode::PackPlain:
+            out += " = PackPlain";
+            emitSlots(instr);
+            break;
+        case FheOpcode::Add:
+            out += " = Add r" + std::to_string(instr.a) + " r" +
+                   std::to_string(instr.b);
+            break;
+        case FheOpcode::Sub:
+            out += " = Sub r" + std::to_string(instr.a) + " r" +
+                   std::to_string(instr.b);
+            break;
+        case FheOpcode::Mul:
+            out += " = Mul r" + std::to_string(instr.a) + " r" +
+                   std::to_string(instr.b);
+            break;
+        case FheOpcode::AddPlain:
+            out += " = AddPlain r" + std::to_string(instr.a) + " r" +
+                   std::to_string(instr.b);
+            break;
+        case FheOpcode::MulPlain:
+            out += " = MulPlain r" + std::to_string(instr.a) + " r" +
+                   std::to_string(instr.b);
+            break;
+        case FheOpcode::Negate:
+            out += " = Negate r" + std::to_string(instr.a);
+            break;
+        case FheOpcode::Rotate:
+            out += " = Rotate r" + std::to_string(instr.a) + " by " +
+                   std::to_string(instr.step);
+            break;
+        }
+        out += '\n';
+    }
+    out += "regs " + std::to_string(num_regs) + " output r" +
+           std::to_string(output_reg) + " width " +
+           std::to_string(output_width) + '\n';
+    return out;
+}
+
 namespace {
 
 bool

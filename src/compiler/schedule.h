@@ -73,6 +73,13 @@ struct FheProgram
     /// Distinct ciphertext rotation steps (the χ set of App. B).
     std::vector<int> rotationSteps() const;
 
+    /// Canonical textual disassembly of the instruction stream: one
+    /// line per instruction plus the register/output footer. Two
+    /// programs disassemble identically iff their instruction streams
+    /// are identical, so this doubles as the byte-exact comparison key
+    /// the compile service's determinism guarantee is stated over.
+    std::string disassemble() const;
+
     /// Tallies per opcode, for Table 6 and the latency estimator.
     struct Counts
     {

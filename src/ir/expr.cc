@@ -189,6 +189,57 @@ equal(const ExprPtr& a, const ExprPtr& b)
 
 namespace {
 
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Absorb one word into a fingerprint lane with a lane-specific tweak.
+std::uint64_t
+absorb(std::uint64_t acc, std::uint64_t word, std::uint64_t tweak)
+{
+    return mix64(acc * 0x9e3779b97f4a7c15ULL + word + tweak);
+}
+
+Fingerprint
+fingerprintImpl(const ExprPtr& node)
+{
+    Fingerprint fp;
+    fp.hi = absorb(0x243f6a8885a308d3ULL,
+                   static_cast<std::uint64_t>(node->op()), 1);
+    fp.lo = absorb(0x13198a2e03707344ULL,
+                   static_cast<std::uint64_t>(node->op()), 2);
+    for (char c : node->name()) {
+        fp.hi = absorb(fp.hi, static_cast<unsigned char>(c), 3);
+        fp.lo = absorb(fp.lo, static_cast<unsigned char>(c), 5);
+    }
+    fp.hi = absorb(fp.hi, static_cast<std::uint64_t>(node->value()), 7);
+    fp.lo = absorb(fp.lo, static_cast<std::uint64_t>(node->value()), 11);
+    fp.hi = absorb(fp.hi, static_cast<std::uint64_t>(node->step()), 13);
+    fp.lo = absorb(fp.lo, static_cast<std::uint64_t>(node->step()), 17);
+    for (const ExprPtr& child : node->children()) {
+        const Fingerprint sub = fingerprintImpl(child);
+        fp.hi = absorb(absorb(fp.hi, sub.hi, 19), sub.lo, 23);
+        fp.lo = absorb(absorb(fp.lo, sub.lo, 29), sub.hi, 31);
+    }
+    return fp;
+}
+
+} // namespace
+
+Fingerprint
+fingerprint(const ExprPtr& root)
+{
+    if (!root) return {};
+    return fingerprintImpl(root);
+}
+
+namespace {
+
 /// Recursive worker for replaceAt: `offset` is the pre-order index of
 /// `node`; returns the rebuilt node or nullptr if `index` is outside the
 /// subtree.

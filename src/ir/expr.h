@@ -144,6 +144,35 @@ ExprPtr vecNeg(ExprPtr a);
 /// Deep structural equality (hash-accelerated).
 bool equal(const ExprPtr& a, const ExprPtr& b);
 
+/// 128-bit content fingerprint of a subtree.
+///
+/// Unlike Expr::hash() — a fast 64-bit structural hash meant for hash
+/// tables, where collisions are handled by a deep-equality check — the
+/// fingerprint mixes every node field through two independent 64-bit
+/// mixers, so it can stand alone as a content-addressed cache key
+/// (service::KernelCache): two programs with equal fingerprints are,
+/// for all practical purposes, structurally identical.
+struct Fingerprint
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    friend bool
+    operator==(const Fingerprint& a, const Fingerprint& b)
+    {
+        return a.hi == b.hi && a.lo == b.lo;
+    }
+    friend bool
+    operator!=(const Fingerprint& a, const Fingerprint& b)
+    {
+        return !(a == b);
+    }
+};
+
+/// Compute the content fingerprint of \p root. Deterministic across
+/// processes and runs (no pointer or ASLR dependence).
+Fingerprint fingerprint(const ExprPtr& root);
+
 /// Rebuild \p root with the subtree at pre-order index \p index replaced by
 /// \p replacement. Index 0 is the root itself. Shared structure outside the
 /// replaced path is reused.

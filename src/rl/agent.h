@@ -52,11 +52,18 @@ class RlAgent
     RlAgent(const trs::Ruleset& ruleset, AgentConfig config,
             std::unique_ptr<TokenEncoder> encoder = nullptr);
 
-    /// PPO-train the policy on \p dataset.
+    /// PPO-train the policy on \p dataset. NOT thread-safe: mutates the
+    /// policy; no optimize() call may run concurrently with train().
     TrainStats train(const std::vector<ir::ExprPtr>& dataset,
                      const PpoTrainer::UpdateCallback& callback = nullptr);
 
     /// Optimize one program with the current policy.
+    ///
+    /// Thread-safe and deterministic once training is done: reads the
+    /// policy, seeds a fresh local Rng from the fixed config seed, and
+    /// touches no other shared state — concurrent service workers may
+    /// share one trained agent and a given program always yields the
+    /// same circuit.
     AgentResult optimize(const ir::ExprPtr& program) const;
 
     const Policy& policy() const { return *policy_; }

@@ -1,0 +1,88 @@
+/// \file
+/// Content-addressed cache key for compiled kernels.
+///
+/// Two requests map to the same key — and therefore to the same cache
+/// entry — exactly when they would produce the same Compiled artifact:
+/// same canonicalized IR (ir::Fingerprint over the *canonicalized* tree,
+/// so syntactically different sources that canonicalize identically
+/// share an entry), same optimizer mode, and same mode-relevant
+/// parameters. Cost weights are compared by exact bit pattern: a weight
+/// nudge is a different compilation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+#include "ir/cost_model.h"
+#include "ir/expr.h"
+#include "service/request.h"
+
+namespace chehab::service {
+
+/// Cache identity of one compile job.
+struct CacheKey
+{
+    ir::Fingerprint source;      ///< Fingerprint of the canonical IR.
+    OptMode mode = OptMode::NoOpt;
+    std::uint64_t w_ops_bits = 0;
+    std::uint64_t w_depth_bits = 0;
+    std::uint64_t w_mult_bits = 0;
+    int max_steps = 0;
+
+    friend bool
+    operator==(const CacheKey& a, const CacheKey& b)
+    {
+        return a.source == b.source && a.mode == b.mode &&
+               a.w_ops_bits == b.w_ops_bits &&
+               a.w_depth_bits == b.w_depth_bits &&
+               a.w_mult_bits == b.w_mult_bits && a.max_steps == b.max_steps;
+    }
+};
+
+/// Build the key for a request whose source canonicalized to
+/// \p canonical. Mode-irrelevant parameters are zeroed so e.g. two NoOpt
+/// requests with different greedy budgets still share an entry.
+inline CacheKey
+makeCacheKey(const ir::ExprPtr& canonical, const CompileRequest& request)
+{
+    CacheKey key;
+    key.source = ir::fingerprint(canonical);
+    key.mode = request.mode;
+    if (request.mode == OptMode::Greedy) {
+        auto bits = [](double value) {
+            std::uint64_t out = 0;
+            std::memcpy(&out, &value, sizeof(out));
+            return out;
+        };
+        key.w_ops_bits = bits(request.weights.w_ops);
+        key.w_depth_bits = bits(request.weights.w_depth);
+        key.w_mult_bits = bits(request.weights.w_mult);
+        key.max_steps = request.max_steps;
+    }
+    return key;
+}
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey& key) const
+    {
+        // The fingerprint is already uniformly mixed; fold in the
+        // parameters with the usual golden-ratio combine.
+        std::size_t h = static_cast<std::size_t>(key.source.hi ^
+                                                 (key.source.lo << 1));
+        auto mix = [&h](std::uint64_t v) {
+            h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                 (h << 6) + (h >> 2);
+        };
+        mix(static_cast<std::uint64_t>(key.mode));
+        mix(key.w_ops_bits);
+        mix(key.w_depth_bits);
+        mix(key.w_mult_bits);
+        mix(static_cast<std::uint64_t>(key.max_steps));
+        return h;
+    }
+};
+
+} // namespace chehab::service

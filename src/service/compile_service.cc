@@ -1,0 +1,186 @@
+#include "service/compile_service.h"
+
+#include <exception>
+#include <utility>
+
+#include "compiler/passes.h"
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace chehab::service {
+
+const char*
+optModeName(OptMode mode)
+{
+    switch (mode) {
+    case OptMode::NoOpt: return "noopt";
+    case OptMode::Greedy: return "greedy";
+    case OptMode::Rl: return "rl";
+    }
+    return "?";
+}
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(config), ruleset_(trs::buildChehabRuleset()),
+      pool_(std::make_unique<ThreadPool>(config.num_workers))
+{}
+
+CompileService::~CompileService() = default;
+
+int
+CompileService::numWorkers() const
+{
+    return pool_->size();
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    ServiceStats snapshot = stats_;
+    snapshot.cache = cache_.stats();
+    return snapshot;
+}
+
+CompileResponse
+CompileService::makeResponse(const CompileRequest& request,
+                             const CacheEntry::Settled& settled,
+                             bool cache_hit, bool deduplicated,
+                             double queue_seconds,
+                             double estimated_cost) const
+{
+    CompileResponse response;
+    response.name = request.name;
+    response.cache_hit = cache_hit;
+    response.deduplicated = deduplicated;
+    response.queue_seconds = queue_seconds;
+    response.compile_seconds = settled.compile_seconds;
+    response.estimated_cost = estimated_cost;
+    response.worker_id = settled.worker_id;
+    if (settled.state == CacheEntry::State::Ready) {
+        response.ok = true;
+        response.compiled = *settled.compiled;
+    } else {
+        response.ok = false;
+        response.error = *settled.error;
+    }
+    return response;
+}
+
+std::future<CompileResponse>
+CompileService::submit(CompileRequest request)
+{
+    auto promise = std::make_shared<std::promise<CompileResponse>>();
+    std::future<CompileResponse> future = promise->get_future();
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++stats_.submitted;
+    }
+
+    const Stopwatch queue_watch;
+
+    // Canonicalize on the caller: the cache key must identify the
+    // *canonical* program so syntactic variants share one entry, and
+    // the cost estimate prices what the optimizer will actually see.
+    ir::ExprPtr canonical;
+    try {
+        if (!request.source) throw CompileError("null request source");
+        canonical = compiler::canonicalize(request.source);
+    } catch (const std::exception& e) {
+        CompileResponse response;
+        response.name = request.name;
+        response.error = e.what();
+        promise->set_value(std::move(response));
+        return future;
+    }
+
+    const CacheKey key = makeCacheKey(canonical, request);
+    const double estimate = ir::cost(canonical, request.weights);
+
+    KernelCache::Admission admission = cache_.acquire(key);
+    const bool cache_hit = !admission.owner && !admission.was_pending;
+    const bool deduplicated = admission.was_pending;
+
+    if (admission.owner) {
+        // This caller admitted the key: compile on the pool, most
+        // expensive kernels first (LPT order minimizes batch makespan).
+        std::shared_ptr<CacheEntry> entry = admission.entry;
+        CompileRequest job = request;
+        // Hand the worker the canonical tree computed above: the
+        // pipeline's own canonicalize pass becomes a cheap no-op and
+        // the cache key provably describes the compiled source.
+        job.source = canonical;
+        pool_->submit(
+            [this, entry, job = std::move(job)](int worker) {
+                const Stopwatch compile_watch;
+                try {
+                    compiler::Compiled compiled;
+                    switch (job.mode) {
+                    case OptMode::NoOpt:
+                        compiled = compiler::compileNoOpt(job.source);
+                        break;
+                    case OptMode::Greedy:
+                        compiled = compiler::compileGreedy(
+                            ruleset_, job.source, job.weights,
+                            job.max_steps);
+                        break;
+                    case OptMode::Rl:
+                        if (!config_.agent) {
+                            throw CompileError(
+                                "OptMode::Rl request but the service was "
+                                "configured without an RL agent");
+                        }
+                        compiled =
+                            compiler::compileWithAgent(*config_.agent,
+                                                       job.source);
+                        break;
+                    }
+                    const double seconds = compile_watch.elapsedSeconds();
+                    {
+                        std::unique_lock<std::mutex> lock(stats_mutex_);
+                        ++stats_.compiled;
+                        stats_.total_compile_seconds += seconds;
+                    }
+                    entry->publishReady(std::move(compiled), seconds,
+                                        worker);
+                } catch (const std::exception& e) {
+                    {
+                        std::unique_lock<std::mutex> lock(stats_mutex_);
+                        ++stats_.failed;
+                    }
+                    entry->publishFailure(e.what(), worker);
+                }
+            },
+            estimate);
+    }
+
+    // Hit, join, or owner alike: resolve the future when the entry
+    // settles. Runs inline for an already-settled entry, otherwise on
+    // the publishing worker — never blocks a pool thread.
+    admission.entry->onSettled(
+        [this, promise, request = std::move(request), cache_hit,
+         deduplicated, queue_watch,
+         estimate](const CacheEntry::Settled& settled) {
+            promise->set_value(makeResponse(request, settled, cache_hit,
+                                            deduplicated,
+                                            queue_watch.elapsedSeconds(),
+                                            estimate));
+        });
+    return future;
+}
+
+std::vector<CompileResponse>
+CompileService::compileBatch(std::vector<CompileRequest> requests)
+{
+    std::vector<std::future<CompileResponse>> futures;
+    futures.reserve(requests.size());
+    for (CompileRequest& request : requests) {
+        futures.push_back(submit(std::move(request)));
+    }
+    std::vector<CompileResponse> responses;
+    responses.reserve(futures.size());
+    for (auto& future : futures) responses.push_back(future.get());
+    return responses;
+}
+
+} // namespace chehab::service

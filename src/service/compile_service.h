@@ -1,0 +1,100 @@
+/// \file
+/// Multi-threaded compile-and-run front end over the single-shot
+/// pipelines of compiler/pipeline.h.
+///
+/// Architecture:
+///
+///     submit(request)
+///        |  canonicalize on the caller, derive CacheKey + cost estimate
+///        v
+///     KernelCache::acquire  -- owner --> ThreadPool (priority = cost)
+///        |                                  | compileNoOpt/Greedy/WithAgent
+///        |  hit / in-flight join            v
+///        +-----------------------> CacheEntry settles -> futures resolve
+///
+/// Expensive kernels dispatch first (longest-processing-time-first on
+/// the §5.3.1 cost estimate), which minimizes batch makespan when job
+/// costs are heterogeneous. Identical concurrent requests compile once
+/// (single-flight); later identical requests are cache hits.
+///
+/// Thread-safety contract: every public member function may be called
+/// concurrently from any thread. Determinism: all three pipelines are
+/// deterministic, so for a fixed request the service returns a
+/// byte-identical instruction stream regardless of worker count or
+/// submission order.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "rl/agent.h"
+#include "service/kernel_cache.h"
+#include "service/request.h"
+#include "support/thread_pool.h"
+#include "trs/ruleset.h"
+
+namespace chehab::service {
+
+/// Service construction knobs.
+struct ServiceConfig
+{
+    int num_workers = 4;
+    /// Agent for OptMode::Rl requests; not owned, must outlive the
+    /// service. Rl requests fail with a CompileError message when null.
+    const rl::RlAgent* agent = nullptr;
+};
+
+/// Aggregate service counters (monotonic; snapshot via stats()).
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t compiled = 0;       ///< Owner compiles actually run.
+    std::uint64_t failed = 0;         ///< Compiles that threw.
+    double total_compile_seconds = 0.0; ///< Sum over owner compiles.
+    KernelCache::Stats cache;
+};
+
+class CompileService
+{
+  public:
+    explicit CompileService(ServiceConfig config = {});
+    ~CompileService();
+
+    CompileService(const CompileService&) = delete;
+    CompileService& operator=(const CompileService&) = delete;
+
+    /// Enqueue one request; the future resolves when the artifact is
+    /// available (immediately on a cache hit). Never throws on compile
+    /// failure — inspect CompileResponse::ok.
+    std::future<CompileResponse> submit(CompileRequest request);
+
+    /// Submit a whole batch and block for all responses, in input order.
+    std::vector<CompileResponse> compileBatch(
+        std::vector<CompileRequest> requests);
+
+    ServiceStats stats() const;
+    int numWorkers() const;
+    const trs::Ruleset& ruleset() const { return ruleset_; }
+
+  private:
+    CompileResponse makeResponse(const CompileRequest& request,
+                                 const CacheEntry::Settled& settled,
+                                 bool cache_hit, bool deduplicated,
+                                 double queue_seconds,
+                                 double estimated_cost) const;
+
+    ServiceConfig config_;
+    trs::Ruleset ruleset_; ///< Owned, immutable after construction.
+    KernelCache cache_;
+
+    mutable std::mutex stats_mutex_;
+    ServiceStats stats_;
+
+    /// Declared last so it destructs first: worker tasks touch the
+    /// cache and stats members above, which must outlive the drain.
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace chehab::service

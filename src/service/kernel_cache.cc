@@ -1,0 +1,124 @@
+#include "service/kernel_cache.h"
+
+#include "support/error.h"
+
+namespace chehab::service {
+
+CacheEntry::Settled
+CacheEntry::snapshotLocked() const
+{
+    Settled snapshot;
+    snapshot.state = state_;
+    snapshot.compile_seconds = compile_seconds_;
+    snapshot.worker_id = worker_id_;
+    if (state_ == State::Ready) snapshot.compiled = &compiled_;
+    if (state_ == State::Failed) snapshot.error = &error_;
+    return snapshot;
+}
+
+void
+CacheEntry::publishReady(compiler::Compiled compiled, double compile_seconds,
+                         int worker_id)
+{
+    std::vector<std::function<void(const Settled&)>> pending;
+    Settled snapshot;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        CHEHAB_ASSERT(state_ == State::Pending,
+                      "cache entry published twice");
+        compiled_ = std::move(compiled);
+        compile_seconds_ = compile_seconds;
+        worker_id_ = worker_id;
+        state_ = State::Ready;
+        pending.swap(continuations_);
+        snapshot = snapshotLocked();
+    }
+    settled_.notify_all();
+    for (auto& fn : pending) fn(snapshot);
+}
+
+void
+CacheEntry::publishFailure(std::string error, int worker_id)
+{
+    std::vector<std::function<void(const Settled&)>> pending;
+    Settled snapshot;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        CHEHAB_ASSERT(state_ == State::Pending,
+                      "cache entry published twice");
+        error_ = std::move(error);
+        worker_id_ = worker_id;
+        state_ = State::Failed;
+        pending.swap(continuations_);
+        snapshot = snapshotLocked();
+    }
+    settled_.notify_all();
+    for (auto& fn : pending) fn(snapshot);
+}
+
+void
+CacheEntry::onSettled(std::function<void(const Settled&)> fn)
+{
+    Settled snapshot;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (state_ == State::Pending) {
+            continuations_.push_back(std::move(fn));
+            return;
+        }
+        snapshot = snapshotLocked();
+    }
+    fn(snapshot);
+}
+
+CacheEntry::Settled
+CacheEntry::waitSettled()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    settled_.wait(lock, [this] { return state_ != State::Pending; });
+    return snapshotLocked();
+}
+
+bool
+CacheEntry::isSettled() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return state_ != State::Pending;
+}
+
+KernelCache::Admission
+KernelCache::acquire(const CacheKey& key)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Admission admission;
+    auto [it, inserted] =
+        entries_.try_emplace(key, std::make_shared<CacheEntry>());
+    admission.entry = it->second;
+    if (inserted) {
+        admission.owner = true;
+        ++stats_.misses;
+        ++stats_.entries;
+        return admission;
+    }
+    // An entry that has settled by admission time is a plain hit; a
+    // pending one is an in-flight join (single-flight dedup). The entry
+    // can settle between this check and the caller's onSettled() attach
+    // — that only makes the continuation run inline, the accounting
+    // stays consistent with what the caller observed.
+    if (admission.entry->isSettled()) {
+        ++stats_.hits;
+    } else {
+        admission.was_pending = true;
+        ++stats_.inflight_joins;
+    }
+    return admission;
+}
+
+KernelCache::Stats
+KernelCache::stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace chehab::service

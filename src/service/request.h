@@ -1,0 +1,62 @@
+/// \file
+/// Request/response types of the compile-and-run service.
+///
+/// A CompileRequest names one kernel and how to compile it; the service
+/// answers with a CompileResponse carrying the full Compiled artifact
+/// plus provenance (cache hit vs. fresh compile vs. joined in-flight
+/// compile) and latency breakdown. Requests are value types: once
+/// submitted, the service owns its copy and the caller may reuse or
+/// destroy the original.
+#pragma once
+
+#include <string>
+
+#include "compiler/pipeline.h"
+#include "ir/cost_model.h"
+#include "ir/expr.h"
+
+namespace chehab::service {
+
+/// Which optimizer pipeline to run (mirrors compiler/pipeline.h).
+enum class OptMode : std::uint8_t {
+    NoOpt,  ///< canonicalize + schedule only (Table 6 "Initial").
+    Greedy, ///< greedy best-improvement TRS (original CHEHAB).
+    Rl,     ///< RL-guided TRS; requires an agent on the service.
+};
+
+/// Printable mode name ("noopt"/"greedy"/"rl").
+const char* optModeName(OptMode mode);
+
+/// One compile job.
+struct CompileRequest
+{
+    std::string name;           ///< Client label echoed in the response.
+    ir::ExprPtr source;         ///< Kernel IR (e.g. from ir::parse).
+    OptMode mode = OptMode::Greedy;
+    ir::CostWeights weights{};  ///< Cost weights (Greedy only).
+    int max_steps = 75;         ///< Rewrite budget (Greedy only).
+};
+
+/// The service's answer to one request.
+struct CompileResponse
+{
+    std::string name;
+    bool ok = false;
+    std::string error;          ///< CompileError text when !ok.
+    compiler::Compiled compiled;
+
+    bool cache_hit = false;     ///< Served from an already-ready entry.
+    bool deduplicated = false;  ///< Joined an in-flight identical compile.
+    double queue_seconds = 0.0; ///< Submit -> result available.
+    /// Wall time of the compile that produced the artifact. Cache-served
+    /// responses report the *original* compile's duration (what the
+    /// cache saved, not what this request spent — that is
+    /// queue_seconds).
+    double compile_seconds = 0.0;
+    double estimated_cost = 0.0; ///< Cost-model dispatch priority used.
+    /// Worker that compiled the artifact (also for cache-served
+    /// responses); -1 only when the request failed before dispatch.
+    int worker_id = -1;
+};
+
+} // namespace chehab::service

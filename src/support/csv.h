@@ -1,6 +1,12 @@
 /// \file
-/// Minimal CSV writer used by the benchmark harnesses to mirror the paper
-/// artifact's results/*.csv outputs.
+/// Minimal CSV reader/writer used by the benchmark harnesses and the
+/// chehabd service driver to mirror the paper artifact's results/*.csv
+/// outputs.
+///
+/// This header is the single escaping/formatting path for CSV in the
+/// repo: every emitter goes through CsvWriter (RFC-4180 quoting) and
+/// every consumer through splitCsvLine, so a cell written with a comma,
+/// quote or newline in it round-trips.
 #pragma once
 
 #include <fstream>
@@ -9,6 +15,57 @@
 #include <vector>
 
 namespace chehab {
+
+/// Quote \p cell per RFC 4180 when it contains a comma, quote, CR or
+/// newline; internal quotes double. Plain cells pass through unchanged.
+inline std::string
+csvEscape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/// Split one CSV line into cells, honouring RFC-4180 quoting (the
+/// inverse of CsvWriter's escaping). Embedded newlines are not
+/// supported by the line-oriented readers in this repo, so a quoted
+/// newline arrives as whatever std::getline handed the caller.
+inline std::vector<std::string>
+splitCsvLine(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"' && cell.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
 
 /// Streams rows of heterogeneous cells into a CSV file.
 class CsvWriter
@@ -24,7 +81,7 @@ class CsvWriter
     /// True if the output file opened successfully.
     bool ok() const { return static_cast<bool>(out_); }
 
-    /// Write one row; cells are converted with operator<<.
+    /// Write one row; cells are converted with operator<< and escaped.
     template <typename... Cells>
     void
     writeRow(const Cells&... cells)
@@ -49,7 +106,7 @@ class CsvWriter
     {
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (i) out_ << ',';
-            out_ << row[i];
+            out_ << csvEscape(row[i]);
         }
         out_ << '\n';
     }

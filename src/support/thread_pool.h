@@ -1,0 +1,130 @@
+/// \file
+/// Fixed-size worker pool with cost-priority dispatch.
+///
+/// Tasks carry a numeric priority; the pool always runs the highest-
+/// priority queued task next, with FIFO order between equal priorities.
+/// The compile service uses the cost-model estimate of each kernel as
+/// its priority, i.e. longest-processing-time-first dispatch — the
+/// classic makespan heuristic for heterogeneous job batches (cf. the
+/// DSMC load-balancing literature in PAPERS.md: once per-task cost is
+/// uneven, cost-aware ordering is what keeps workers busy).
+///
+/// Thread-safety: all public member functions may be called from any
+/// thread. Tasks must not call wait() (they may submit new tasks).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chehab {
+
+class ThreadPool
+{
+  public:
+    /// Spawns \p num_threads workers (clamped to >= 1).
+    explicit ThreadPool(int num_threads)
+    {
+        if (num_threads < 1) num_threads = 1;
+        workers_.reserve(static_cast<std::size_t>(num_threads));
+        for (int i = 0; i < num_threads; ++i) {
+            workers_.emplace_back([this, i] { workerLoop(i); });
+        }
+    }
+
+    /// Waits for queued tasks to finish, then joins the workers.
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        work_available_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue \p task; higher \p priority runs earlier. The task
+    /// receives the index of the worker executing it.
+    void
+    submit(std::function<void(int)> task, double priority = 0.0)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_.push_back(Item{priority, next_seq_++, std::move(task)});
+            std::push_heap(queue_.begin(), queue_.end(), ItemOrder{});
+            ++pending_;
+        }
+        work_available_.notify_one();
+    }
+
+    /// Block until every task submitted so far has completed.
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    struct Item
+    {
+        double priority = 0.0;
+        std::uint64_t seq = 0; ///< FIFO tiebreak between equal priorities.
+        std::function<void(int)> fn;
+    };
+
+    struct ItemOrder
+    {
+        // priority_queue pops the *greatest*; an item is "less" (pops
+        // later) when its priority is lower or it arrived later.
+        bool
+        operator()(const Item& a, const Item& b) const
+        {
+            if (a.priority != b.priority) return a.priority < b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    workerLoop(int worker_index)
+    {
+        for (;;) {
+            Item item;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_available_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty()) return; // stopping_ && drained.
+                std::pop_heap(queue_.begin(), queue_.end(), ItemOrder{});
+                item = std::move(queue_.back());
+                queue_.pop_back();
+            }
+            item.fn(worker_index);
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (--pending_ == 0) idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::vector<Item> queue_; ///< Max-heap ordered by ItemOrder.
+    std::uint64_t next_seq_ = 0;
+    int pending_ = 0; ///< Queued + currently executing.
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace chehab

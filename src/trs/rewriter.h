@@ -3,6 +3,11 @@
 /// for the RL environment, and the greedy best-improvement optimizer that
 /// implements the *original* (pre-RL) CHEHAB TRS used as a baseline in
 /// Fig. 12.
+///
+/// Thread-safety: both functions are pure — no statics, no RNG, no
+/// mutation of the ruleset or program — so any number of threads may
+/// run them concurrently against one shared Ruleset. greedyOptimize is
+/// deterministic (ties break on rule order, then match ordinal).
 #pragma once
 
 #include <vector>

@@ -131,5 +131,31 @@ TEST(ExprTest, RotationStepNegative)
     EXPECT_EQ(r->step(), -2);
 }
 
+TEST(ExprTest, FingerprintMatchesStructuralEquality)
+{
+    const ExprPtr a = add(mul(var("x"), var("y")), constant(3));
+    const ExprPtr b = add(mul(var("x"), var("y")), constant(3));
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(ExprTest, FingerprintDistinguishesStructure)
+{
+    const Fingerprint base = fingerprint(add(var("x"), var("y")));
+    EXPECT_NE(base, fingerprint(add(var("y"), var("x"))));
+    EXPECT_NE(base, fingerprint(mul(var("x"), var("y"))));
+    EXPECT_NE(base, fingerprint(sub(var("x"), var("y"))));
+    EXPECT_NE(fingerprint(var("x")), fingerprint(plainVar("x")));
+    EXPECT_NE(fingerprint(constant(1)), fingerprint(constant(2)));
+    EXPECT_NE(fingerprint(rotate(var("v"), 1)),
+              fingerprint(rotate(var("v"), 2)));
+    // Child order and nesting matter.
+    EXPECT_NE(fingerprint(add(add(var("a"), var("b")), var("c"))),
+              fingerprint(add(var("a"), add(var("b"), var("c")))));
+    // Null is the zero fingerprint, distinct from any real node.
+    EXPECT_EQ(fingerprint(nullptr), Fingerprint{});
+    EXPECT_NE(fingerprint(constant(0)), Fingerprint{});
+}
+
 } // namespace
 } // namespace chehab::ir

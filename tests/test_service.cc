@@ -1,0 +1,255 @@
+/// \file
+/// Tests for the concurrent compile service: cache hit/miss accounting,
+/// single-flight deduplication of concurrent identical requests, and
+/// bit-identical output independent of worker count.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/parser.h"
+#include "service/cache_key.h"
+#include "service/compile_service.h"
+
+namespace chehab::service {
+namespace {
+
+CompileRequest
+greedyRequest(const std::string& name, const std::string& source,
+              int max_steps = 20)
+{
+    CompileRequest request;
+    request.name = name;
+    request.source = ir::parse(source);
+    request.mode = OptMode::Greedy;
+    request.max_steps = max_steps;
+    return request;
+}
+
+/// A moderately expensive kernel: an 8-term dot product the greedy TRS
+/// has to chew on for a while.
+std::string
+dotSource(int n, const std::string& prefix = "")
+{
+    std::string sum;
+    for (int i = 0; i < n; ++i) {
+        const std::string a = prefix + "a" + std::to_string(i);
+        const std::string b = prefix + "b" + std::to_string(i);
+        const std::string term = "(* " + a + " " + b + ")";
+        sum = i == 0 ? term : "(+ " + sum + " " + term + ")";
+    }
+    return sum;
+}
+
+TEST(CompileServiceTest, SingleRequestCompiles)
+{
+    CompileService service({/*num_workers=*/2});
+    std::vector<CompileResponse> responses =
+        service.compileBatch({greedyRequest("dot", dotSource(4))});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_TRUE(responses[0].ok) << responses[0].error;
+    EXPECT_FALSE(responses[0].cache_hit);
+    EXPECT_FALSE(responses[0].deduplicated);
+    EXPECT_GT(responses[0].compiled.program.instrs.size(), 0u);
+    EXPECT_GE(responses[0].worker_id, 0);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.compiled, 1u);
+    EXPECT_EQ(stats.cache.misses, 1u);
+    EXPECT_EQ(stats.cache.hits, 0u);
+}
+
+TEST(CompileServiceTest, CacheHitMissAccounting)
+{
+    CompileService service({/*num_workers=*/2});
+    const std::string a = dotSource(4);
+    const std::string b = dotSource(3, "z");
+    std::vector<CompileResponse> responses = service.compileBatch(
+        {greedyRequest("a0", a), greedyRequest("b0", b),
+         greedyRequest("a1", a), greedyRequest("a2", a),
+         greedyRequest("b1", b)});
+    ASSERT_EQ(responses.size(), 5u);
+    for (const CompileResponse& response : responses) {
+        EXPECT_TRUE(response.ok) << response.name << ": " << response.error;
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 5u);
+    EXPECT_EQ(stats.cache.entries, 2u);
+    EXPECT_EQ(stats.cache.misses, 2u);
+    EXPECT_EQ(stats.compiled, 2u); // Single-flight: one compile per key.
+    EXPECT_EQ(stats.cache.hits + stats.cache.inflight_joins, 3u);
+    // Every duplicate was served from the cache, one way or the other.
+    for (const std::string& name : {"a1", "a2", "b1"}) {
+        for (const CompileResponse& response : responses) {
+            if (response.name != name) continue;
+            EXPECT_TRUE(response.cache_hit || response.deduplicated)
+                << name;
+        }
+    }
+}
+
+TEST(CompileServiceTest, SingleFlightDedupUnderConcurrency)
+{
+    // One worker, and a slow blocker kernel submitted first: the
+    // duplicates all arrive while their owner compile is still queued
+    // behind the blocker, so every one of them must join in flight.
+    CompileService service({/*num_workers=*/1});
+    std::vector<CompileRequest> batch;
+    batch.push_back(greedyRequest("blocker", dotSource(8, "q"), 75));
+    for (int i = 0; i < 7; ++i) {
+        batch.push_back(greedyRequest("dup" + std::to_string(i),
+                                      dotSource(8), 75));
+    }
+    std::vector<CompileResponse> responses =
+        service.compileBatch(std::move(batch));
+    ASSERT_EQ(responses.size(), 8u);
+    for (const CompileResponse& response : responses) {
+        EXPECT_TRUE(response.ok) << response.error;
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.compiled, 2u); // blocker + one owner compile.
+    EXPECT_EQ(stats.cache.misses, 2u);
+    EXPECT_EQ(stats.cache.inflight_joins, 6u);
+    EXPECT_EQ(stats.cache.hits, 0u);
+
+    // All duplicates carry the identical artifact.
+    const std::string reference =
+        responses[1].compiled.program.disassemble();
+    for (std::size_t i = 2; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].compiled.program.disassemble(), reference);
+    }
+}
+
+TEST(CompileServiceTest, ByteIdenticalAcrossWorkerCounts)
+{
+    std::vector<std::string> sources = {
+        dotSource(4), dotSource(6, "m"), "(VecAdd (Vec x y) (Vec u v))",
+        "(* (+ a b) (+ a b))", dotSource(5, "k")};
+
+    auto runAll = [&sources](int workers) {
+        std::vector<CompileRequest> batch;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            batch.push_back(greedyRequest("k" + std::to_string(i),
+                                          sources[i]));
+        }
+        // Duplicates sprinkled in, so cache-served responses are
+        // compared too.
+        batch.push_back(greedyRequest("k0dup", sources[0]));
+        batch.push_back(greedyRequest("k2dup", sources[2]));
+        std::map<std::string, std::string> by_name;
+        for (CompileResponse& response :
+             CompileService({workers}).compileBatch(std::move(batch))) {
+            EXPECT_TRUE(response.ok) << response.error;
+            by_name[response.name] =
+                response.compiled.program.disassemble();
+        }
+        return by_name;
+    };
+
+    const auto serial = runAll(1);
+    const auto wide = runAll(8);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (const auto& [name, text] : serial) {
+        ASSERT_TRUE(wide.count(name)) << name;
+        EXPECT_EQ(wide.at(name), text) << name;
+        EXPECT_FALSE(text.empty());
+    }
+    // Duplicates resolve to the same stream as their originals.
+    EXPECT_EQ(serial.at("k0"), serial.at("k0dup"));
+    EXPECT_EQ(serial.at("k2"), serial.at("k2dup"));
+}
+
+TEST(CompileServiceTest, SyntacticVariantsShareOneEntry)
+{
+    // (+ x 0) canonicalizes to x, so both requests hit one cache slot.
+    CompileService service({/*num_workers=*/2});
+    CompileRequest plain;
+    plain.name = "x";
+    plain.source = ir::parse("x");
+    plain.mode = OptMode::NoOpt;
+    CompileRequest variant;
+    variant.name = "x_plus_0";
+    variant.source = ir::parse("(+ x 0)");
+    variant.mode = OptMode::NoOpt;
+    std::vector<CompileResponse> responses =
+        service.compileBatch({plain, variant});
+    EXPECT_TRUE(responses[0].ok);
+    EXPECT_TRUE(responses[1].ok);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.entries, 1u);
+    EXPECT_EQ(stats.cache.misses, 1u);
+}
+
+TEST(CompileServiceTest, ModeAndWeightsAreCacheKeyed)
+{
+    CompileService service({/*num_workers=*/2});
+    const std::string source = dotSource(3);
+    CompileRequest greedy = greedyRequest("g", source);
+    CompileRequest reweighted = greedyRequest("w", source);
+    reweighted.weights.w_depth = 2.0;
+    CompileRequest noopt;
+    noopt.name = "n";
+    noopt.source = ir::parse(source);
+    noopt.mode = OptMode::NoOpt;
+    service.compileBatch({greedy, reweighted, noopt});
+    // Three distinct compilations despite one source program.
+    EXPECT_EQ(service.stats().cache.entries, 3u);
+
+    // NoOpt ignores greedy-only parameters in the key.
+    CompileRequest noopt_other_budget = noopt;
+    noopt_other_budget.name = "n2";
+    noopt_other_budget.max_steps = 3;
+    service.compileBatch({noopt_other_budget});
+    EXPECT_EQ(service.stats().cache.entries, 3u);
+    EXPECT_EQ(service.stats().cache.hits, 1u);
+}
+
+TEST(CompileServiceTest, RlWithoutAgentFailsGracefully)
+{
+    CompileService service({/*num_workers=*/1});
+    CompileRequest request;
+    request.name = "rl";
+    request.source = ir::parse("(+ a b)");
+    request.mode = OptMode::Rl;
+    std::vector<CompileResponse> responses =
+        service.compileBatch({request});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_FALSE(responses[0].ok);
+    EXPECT_NE(responses[0].error.find("RL agent"), std::string::npos);
+    EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(CompileServiceTest, NullSourceRejectedOnSubmit)
+{
+    CompileService service({/*num_workers=*/1});
+    CompileRequest request;
+    request.name = "null";
+    std::vector<CompileResponse> responses =
+        service.compileBatch({request});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_FALSE(responses[0].ok);
+    EXPECT_FALSE(responses[0].error.empty());
+}
+
+TEST(CompileServiceTest, MatchesDirectPipelineOutput)
+{
+    const std::string source = dotSource(4);
+    CompileService service({/*num_workers=*/4});
+    std::vector<CompileResponse> responses =
+        service.compileBatch({greedyRequest("direct", source)});
+    ASSERT_TRUE(responses[0].ok);
+
+    const compiler::Compiled direct = compiler::compileGreedy(
+        service.ruleset(), ir::parse(source), {}, /*max_steps=*/20);
+    EXPECT_EQ(responses[0].compiled.program.disassemble(),
+              direct.program.disassemble());
+    EXPECT_EQ(responses[0].compiled.optimized->toString(),
+              direct.optimized->toString());
+}
+
+} // namespace
+} // namespace chehab::service

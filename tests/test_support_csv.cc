@@ -1,0 +1,75 @@
+/// \file
+/// Round-trip tests for the shared CSV escaping/parsing path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/csv.h"
+
+namespace chehab {
+namespace {
+
+TEST(CsvTest, EscapePlainCellsUnchanged)
+{
+    EXPECT_EQ(csvEscape("kernel_1"), "kernel_1");
+    EXPECT_EQ(csvEscape("3.14"), "3.14");
+    EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(CsvTest, EscapeQuotesSpecials)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, SplitPlainLine)
+{
+    EXPECT_EQ(splitCsvLine("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(splitCsvLine("a,,c"),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(splitCsvLine(""), (std::vector<std::string>{""}));
+}
+
+TEST(CsvTest, SplitInvertsEscape)
+{
+    const std::vector<std::string> cells = {"plain", "with,comma",
+                                            "with \"quotes\"", ""};
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) line += ',';
+        line += csvEscape(cells[i]);
+    }
+    EXPECT_EQ(splitCsvLine(line), cells);
+}
+
+TEST(CsvTest, WriterEscapesOnDisk)
+{
+    const std::string path = "test_csv_roundtrip.csv";
+    {
+        CsvWriter csv(path, {"name", "note"});
+        ASSERT_TRUE(csv.ok());
+        csv.writeRow("k1", "compile failed: expected ')', got ','");
+        csv.writeRow("k2", 42);
+    }
+    std::ifstream in(path);
+    std::string header;
+    std::string row1;
+    std::string row2;
+    std::getline(in, header);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    EXPECT_EQ(splitCsvLine(header),
+              (std::vector<std::string>{"name", "note"}));
+    EXPECT_EQ(splitCsvLine(row1),
+              (std::vector<std::string>{
+                  "k1", "compile failed: expected ')', got ','"}));
+    EXPECT_EQ(splitCsvLine(row2), (std::vector<std::string>{"k2", "42"}));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chehab

@@ -1,0 +1,132 @@
+/// \file
+/// Unit tests for the priority worker pool: completion, wait()
+/// semantics, cost-priority ordering and FIFO tiebreak.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace chehab {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&count](int) { ++count; });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsToOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexInRange)
+{
+    ThreadPool pool(3);
+    std::atomic<bool> in_range{true};
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&in_range](int worker) {
+            if (worker < 0 || worker >= 3) in_range = false;
+        });
+    }
+    pool.wait();
+    EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPoolTest, HigherPriorityRunsFirst)
+{
+    ThreadPool pool(1);
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+
+    // Occupy the single worker so the remaining submissions queue up.
+    pool.submit([&](int) {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+    });
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    auto record = [&](int tag) {
+        std::unique_lock<std::mutex> lock(order_mutex);
+        order.push_back(tag);
+    };
+    pool.submit([&, record](int) { record(1); }, /*priority=*/1.0);
+    pool.submit([&, record](int) { record(3); }, /*priority=*/3.0);
+    pool.submit([&, record](int) { record(2); }, /*priority=*/2.0);
+
+    {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    pool.wait();
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ThreadPoolTest, EqualPriorityIsFifo)
+{
+    ThreadPool pool(1);
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    pool.submit([&](int) {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+    });
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&, i](int) {
+            std::unique_lock<std::mutex> lock(order_mutex);
+            order.push_back(i);
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    pool.wait();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 20; ++i) {
+            pool.submit([&count](int) { ++count; });
+        }
+    } // ~ThreadPool must finish queued work before joining.
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&](int) {
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&count](int) { ++count; });
+        }
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+} // namespace
+} // namespace chehab
