@@ -1,0 +1,170 @@
+/// \file
+/// End-to-end compile-and-execute throughput benchmark: jobs/sec for
+/// CompileService::runBatch at 1/2/4/8 workers, on two batch shapes:
+///
+///   cold — distinct kernels only (measures worker-pool scaling of the
+///          execute path and per-parameter runtime pooling; every job
+///          compiles and runs),
+///   dup  — a 90%-duplicate batch (each kernel repeated 10x, shuffled),
+///          where the run-result cache and single-flight dedup carry
+///          the load (each distinct job executes once).
+///
+/// Environment knobs (see bench/common.h):
+///   CHEHAB_BENCH_FAST=1    smaller batch and rewrite budget
+///
+/// Writes results/service_execute.csv through the shared support/csv.h
+/// writer and prints a summary table.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "common.h"
+#include "service/compile_service.h"
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+struct Scenario
+{
+    std::string name;
+    std::vector<service::RunRequest> batch;
+    std::size_t distinct = 0;
+};
+
+/// Suite kernels that fit the toy 128-slot batching row used here.
+std::vector<benchsuite::Kernel>
+executableKernels(bool fast)
+{
+    std::vector<benchsuite::Kernel> kernels = {
+        benchsuite::dotProduct(4),     benchsuite::dotProduct(8),
+        benchsuite::l2Distance(4),     benchsuite::hammingDistance(4),
+        benchsuite::linearReg(8),      benchsuite::polyReg(8),
+        benchsuite::robertsCross(3),
+    };
+    if (!fast) {
+        kernels.push_back(benchsuite::dotProduct(16));
+        kernels.push_back(benchsuite::l2Distance(8));
+        kernels.push_back(benchsuite::hammingDistance(8));
+        kernels.push_back(benchsuite::robertsCross(4));
+        kernels.push_back(benchsuite::boxBlur(3));
+    }
+    return kernels;
+}
+
+service::RunRequest
+makeRequest(const benchsuite::Kernel& kernel, int max_steps)
+{
+    service::RunRequest request;
+    request.name = kernel.name;
+    request.source = kernel.program;
+    request.pipeline = compiler::DriverConfig::greedy({}, max_steps);
+    request.params.n = 256;
+    request.params.prime_count = 4;
+    request.params.seed = 17;
+    request.inputs = benchsuite::syntheticInputs(kernel.program);
+    return request;
+}
+
+struct RunOutcome
+{
+    double wall_seconds = 0.0;
+    service::ServiceStats stats;
+};
+
+RunOutcome
+runService(const Scenario& scenario, int workers)
+{
+    service::CompileService compile_service({workers});
+    std::vector<service::RunRequest> batch = scenario.batch;
+    const Stopwatch wall;
+    std::vector<service::RunResponse> responses =
+        compile_service.runBatch(std::move(batch));
+    RunOutcome outcome;
+    outcome.wall_seconds = wall.elapsedSeconds();
+    outcome.stats = compile_service.stats();
+    for (const service::RunResponse& response : responses) {
+        if (!response.ok) {
+            std::fprintf(stderr, "[bench] %s FAILED: %s\n",
+                         response.name.c_str(), response.error.c_str());
+        }
+    }
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    const benchcommon::Budget budget = benchcommon::budgetFromEnv();
+    const int max_steps = budget.fast ? 8 : 20;
+    const int dup_factor = 10; // 90%-duplicate batch.
+
+    const std::vector<benchsuite::Kernel> kernels =
+        executableKernels(budget.fast);
+
+    Scenario cold;
+    cold.name = "cold";
+    cold.distinct = kernels.size();
+    for (const benchsuite::Kernel& kernel : kernels) {
+        cold.batch.push_back(makeRequest(kernel, max_steps));
+    }
+
+    Scenario dup;
+    dup.name = "dup90";
+    dup.distinct = kernels.size();
+    for (int r = 0; r < dup_factor; ++r) {
+        for (const benchsuite::Kernel& kernel : kernels) {
+            dup.batch.push_back(makeRequest(kernel, max_steps));
+        }
+    }
+    // Deterministic shuffle so duplicates interleave like real traffic.
+    Rng rng(99);
+    for (std::size_t i = dup.batch.size(); i > 1; --i) {
+        std::swap(dup.batch[i - 1], dup.batch[rng.pickIndex(i)]);
+    }
+
+    std::filesystem::create_directories("results");
+    CsvWriter csv("results/service_execute.csv",
+                  {"scenario", "workers", "jobs", "distinct", "wall_s",
+                   "jobs_per_s", "compiled", "executed", "run_hits",
+                   "run_joins", "runtimes"});
+
+    std::printf("%-8s %-8s %6s %9s %11s %9s %9s %6s %6s %9s\n",
+                "scenario", "workers", "jobs", "wall_s", "jobs/s",
+                "compiled", "executed", "hits", "joins", "runtimes");
+    for (Scenario* scenario : {&cold, &dup}) {
+        for (int workers : {1, 2, 4, 8}) {
+            const RunOutcome run = runService(*scenario, workers);
+            const double rate =
+                static_cast<double>(scenario->batch.size()) /
+                run.wall_seconds;
+            std::printf(
+                "%-8s %-8d %6zu %9.3f %11.1f %9llu %9llu %6llu %6llu "
+                "%9llu\n",
+                scenario->name.c_str(), workers, scenario->batch.size(),
+                run.wall_seconds, rate,
+                static_cast<unsigned long long>(run.stats.compiled),
+                static_cast<unsigned long long>(run.stats.executed),
+                static_cast<unsigned long long>(run.stats.run_cache.hits),
+                static_cast<unsigned long long>(
+                    run.stats.run_cache.inflight_joins),
+                static_cast<unsigned long long>(
+                    run.stats.runtimes_created));
+            csv.writeRow(scenario->name, workers, scenario->batch.size(),
+                         scenario->distinct, run.wall_seconds, rate,
+                         run.stats.compiled, run.stats.executed,
+                         run.stats.run_cache.hits,
+                         run.stats.run_cache.inflight_joins,
+                         run.stats.runtimes_created);
+        }
+    }
+    std::printf("[bench] wrote results/service_execute.csv\n");
+    return 0;
+}

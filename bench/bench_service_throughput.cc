@@ -70,8 +70,7 @@ makeRequest(const std::string& name, ir::ExprPtr source, int max_steps)
     service::CompileRequest request;
     request.name = name;
     request.source = std::move(source);
-    request.mode = service::OptMode::Greedy;
-    request.max_steps = max_steps;
+    request.pipeline = compiler::DriverConfig::greedy({}, max_steps);
     return request;
 }
 
@@ -80,8 +79,9 @@ runSerial(const Scenario& scenario, const trs::Ruleset& ruleset)
 {
     const Stopwatch wall;
     for (const service::CompileRequest& request : scenario.batch) {
-        compiler::compileGreedy(ruleset, request.source, request.weights,
-                                request.max_steps);
+        compiler::compileGreedy(ruleset, request.source,
+                                request.pipeline.weights,
+                                request.pipeline.max_steps);
     }
     return wall.elapsedSeconds();
 }

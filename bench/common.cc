@@ -135,7 +135,10 @@ Harness::compileCoyote(const benchsuite::Kernel& kernel)
     compiler::Compiled compiled;
     compiled.optimized = coyote.program;
     compiled.program = compiler::schedule(coyote.program);
-    compiled.stats.compile_seconds = coyote.compile_seconds;
+    compiler::PassStats coyote_pass;
+    coyote_pass.name = "coyote";
+    coyote_pass.seconds = coyote.compile_seconds;
+    compiled.stats.passes.push_back(std::move(coyote_pass));
     compiled.stats.final_cost = ir::cost(coyote.program);
     compiled.stats.circuit_depth = ir::circuitDepth(coyote.program);
     compiled.stats.mult_depth = ir::multiplicativeDepth(coyote.program);
@@ -187,7 +190,7 @@ Harness::evaluate(const benchsuite::Kernel& kernel,
     Row row;
     row.kernel = kernel.name;
     row.compiler = compiler_label;
-    row.compile_s = compiled.stats.compile_seconds;
+    row.compile_s = compiled.stats.totalSeconds();
     row.depth = compiled.stats.circuit_depth;
     row.mult_depth = compiled.stats.mult_depth;
 

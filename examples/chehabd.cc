@@ -1,12 +1,17 @@
 /// \file
-/// chehabd — batch compile-service driver.
+/// chehabd — batch compile(-and-run) service driver.
 ///
 /// Reads kernel sources (s-expression IR, one kernel per file), runs
 /// the whole batch through the concurrent CompileService, and reports
-/// per-request statistics as a table, CSV, or JSON.
+/// per-request statistics as a table, CSV, or JSON. With --run each
+/// kernel is additionally executed on a pooled SealLite runtime with
+/// deterministic synthetic inputs, and the report gains the
+/// Table-6-style noise/latency columns (exec time, fresh/final noise
+/// budget, consumed noise, rotation keys).
 ///
 ///   $ ./chehabd kernels/dot8.ir kernels/blur.ir
 ///   $ ./chehabd --suite 8 --workers 4 --repeat 10 --csv stats.csv
+///   $ ./chehabd --suite 8 --run --key-budget 6 --json run.json
 ///   $ echo "(+ (* a b) c)" | ./chehabd -
 ///
 /// Options:
@@ -14,12 +19,20 @@
 ///   --mode M        noopt | greedy (default) | rl
 ///   --max-steps N   greedy rewrite budget (default 75)
 ///   --repeat R      submit the batch R times; repeats exercise the
-///                   content-addressed cache (default 1)
+///                   content-addressed caches (default 1)
 ///   --suite N       add the built-in Porcupine suite at size N
 ///   --train-steps N PPO budget for --mode rl (default 256)
+///   --cache-cap N   LRU capacity of the kernel/run caches (default
+///                   unbounded)
+///   --run           execute each kernel on SealLite after compiling
+///   --key-budget N  rotation-key budget β for --run (default 0 = one
+///                   key per distinct step)
+///   --poly-n N      SealLite polynomial degree for --run (default 256,
+///                   toy-sized for speed; slots = N/2)
 ///   --csv PATH      write per-request stats CSV
 ///   --json PATH     write per-request stats JSON
 ///   --dump          print each distinct kernel's instruction stream
+///                   and its per-pass compile-time breakdown
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +65,10 @@ struct Options
     int repeat = 1;
     int suite_n = 0;
     int train_steps = 256;
+    int cache_cap = 0;
+    bool run = false;
+    int key_budget = 0;
+    int poly_n = 256;
     std::string csv_path;
     std::string json_path;
     bool dump = false;
@@ -65,6 +82,8 @@ usage(const char* argv0)
                  "usage: %s [--workers N] [--mode noopt|greedy|rl] "
                  "[--max-steps N]\n"
                  "       [--repeat R] [--suite N] [--train-steps N] "
+                 "[--cache-cap N]\n"
+                 "       [--run] [--key-budget N] [--poly-n N] "
                  "[--csv PATH]\n"
                  "       [--json PATH] [--dump] [kernel-file | -] ...\n",
                  argv0);
@@ -108,6 +127,14 @@ parseArgs(int argc, char** argv, Options& options)
             if (!intArg(i, options.suite_n)) return false;
         } else if (arg == "--train-steps") {
             if (!intArg(i, options.train_steps)) return false;
+        } else if (arg == "--cache-cap") {
+            if (!intArg(i, options.cache_cap)) return false;
+        } else if (arg == "--run") {
+            options.run = true;
+        } else if (arg == "--key-budget") {
+            if (!intArg(i, options.key_budget)) return false;
+        } else if (arg == "--poly-n") {
+            if (!intArg(i, options.poly_n)) return false;
         } else if (arg == "--csv") {
             if (!strArg(i, options.csv_path)) return false;
         } else if (arg == "--json") {
@@ -147,6 +174,12 @@ jsonEscape(const std::string& text)
     return out;
 }
 
+struct NamedKernel
+{
+    std::string name;
+    ir::ExprPtr source;
+};
+
 } // namespace
 
 int
@@ -162,9 +195,20 @@ main(int argc, char** argv)
         std::fprintf(stderr, "\nno kernels given; try --suite 8\n");
         return 2;
     }
+    // SealLite needs a power-of-two degree with t = 65537 ≡ 1 (mod 2n);
+    // reject bad values here rather than aborting inside a worker.
+    if (options.run &&
+        (options.poly_n < 8 || options.poly_n > 32768 ||
+         (options.poly_n & (options.poly_n - 1)) != 0)) {
+        std::fprintf(stderr,
+                     "chehabd: --poly-n must be a power of two in "
+                     "[8, 32768], got %d\n",
+                     options.poly_n);
+        return 2;
+    }
 
-    // ---- assemble the batch -------------------------------------------
-    std::vector<service::CompileRequest> batch;
+    // ---- assemble the kernel list -------------------------------------
+    std::vector<NamedKernel> kernels;
     for (const std::string& path : options.files) {
         std::string text;
         if (path == "-") {
@@ -182,46 +226,35 @@ main(int argc, char** argv)
             buffer << in.rdbuf();
             text = buffer.str();
         }
-        service::CompileRequest request;
-        request.name = path == "-" ? "<stdin>" : path;
+        NamedKernel kernel;
+        kernel.name = path == "-" ? "<stdin>" : path;
         try {
-            request.source = ir::parse(text);
+            kernel.source = ir::parse(text);
         } catch (const std::exception& e) {
-            std::fprintf(stderr, "chehabd: %s: %s\n", request.name.c_str(),
+            std::fprintf(stderr, "chehabd: %s: %s\n", kernel.name.c_str(),
                          e.what());
             return 1;
         }
-        request.mode = options.mode;
-        request.max_steps = options.max_steps;
-        batch.push_back(std::move(request));
+        kernels.push_back(std::move(kernel));
     }
     if (options.suite_n > 0) {
         for (benchsuite::Kernel& kernel :
              benchsuite::porcupineSuite(options.suite_n)) {
-            service::CompileRequest request;
-            request.name = kernel.name;
-            request.source = kernel.program;
-            request.mode = options.mode;
-            request.max_steps = options.max_steps;
-            batch.push_back(std::move(request));
+            kernels.push_back({kernel.name, kernel.program});
         }
     }
-    {
-        std::vector<service::CompileRequest> repeated;
-        repeated.reserve(batch.size() *
-                         static_cast<std::size_t>(options.repeat));
-        for (int r = 0; r < options.repeat; ++r) {
-            for (const service::CompileRequest& request : batch) {
-                repeated.push_back(request);
-            }
-        }
-        batch = std::move(repeated);
-    }
+
+    const compiler::DriverConfig pipeline =
+        service::makePipeline(options.mode, {}, options.max_steps);
 
     // ---- optional RL agent --------------------------------------------
     std::unique_ptr<rl::RlAgent> agent;
     service::ServiceConfig config;
     config.num_workers = options.workers;
+    config.kernel_cache_capacity =
+        static_cast<std::size_t>(options.cache_cap);
+    config.run_cache_capacity =
+        static_cast<std::size_t>(options.cache_cap);
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
         std::fprintf(stderr,
@@ -238,30 +271,106 @@ main(int argc, char** argv)
         config.agent = agent.get();
     }
 
+    fhe::SealLiteParams run_params;
+    run_params.n = options.poly_n;
+    run_params.prime_count = 4;
+    run_params.seed = 17;
+
     // ---- run ----------------------------------------------------------
+    // With --run every response is a RunResponse; otherwise compile-only
+    // responses are adapted into the same reporting shape.
     service::CompileService compile_service(config);
     const Stopwatch wall;
-    std::vector<service::CompileResponse> responses =
-        compile_service.compileBatch(std::move(batch));
+    std::vector<service::RunResponse> responses;
+    if (options.run) {
+        std::vector<service::RunRequest> batch;
+        for (int r = 0; r < options.repeat; ++r) {
+            for (const NamedKernel& kernel : kernels) {
+                service::RunRequest request;
+                request.name = kernel.name;
+                request.source = kernel.source;
+                request.pipeline = pipeline;
+                request.inputs = benchsuite::syntheticInputs(kernel.source);
+                request.key_budget = options.key_budget;
+                request.params = run_params;
+                batch.push_back(std::move(request));
+            }
+        }
+        responses = compile_service.runBatch(std::move(batch));
+    } else {
+        std::vector<service::CompileRequest> batch;
+        for (int r = 0; r < options.repeat; ++r) {
+            for (const NamedKernel& kernel : kernels) {
+                service::CompileRequest request;
+                request.name = kernel.name;
+                request.source = kernel.source;
+                request.pipeline = pipeline;
+                batch.push_back(std::move(request));
+            }
+        }
+        for (service::CompileResponse& response :
+             compile_service.compileBatch(std::move(batch))) {
+            service::RunResponse adapted;
+            adapted.name = std::move(response.name);
+            adapted.ok = response.ok;
+            adapted.error = std::move(response.error);
+            adapted.compiled = std::move(response.compiled);
+            adapted.compile_cache_hit = response.cache_hit;
+            adapted.compile_deduplicated = response.deduplicated;
+            adapted.queue_seconds = response.queue_seconds;
+            adapted.compile_seconds = response.compile_seconds;
+            adapted.estimated_cost = response.estimated_cost;
+            adapted.worker_id = response.worker_id;
+            responses.push_back(std::move(adapted));
+        }
+    }
     const double wall_seconds = wall.elapsedSeconds();
 
     // ---- report -------------------------------------------------------
-    std::printf("%-24s %-7s %-3s %-5s %9s %9s %7s %6s\n", "kernel", "mode",
-                "ok", "src", "queue_ms", "comp_ms", "cost", "worker");
+    if (options.run) {
+        std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %9s %6s %6s %5s "
+                    "%6s\n",
+                    "kernel", "mode", "ok", "csrc", "rsrc", "queue_ms",
+                    "comp_ms", "exec_ms", "noise", "final", "keys",
+                    "worker");
+    } else {
+        std::printf("%-24s %-7s %-3s %-5s %9s %9s %7s %6s\n", "kernel",
+                    "mode", "ok", "src", "queue_ms", "comp_ms", "cost",
+                    "worker");
+    }
     int failures = 0;
-    for (const service::CompileResponse& response : responses) {
+    for (const service::RunResponse& response : responses) {
         if (!response.ok) ++failures;
-        const char* provenance = response.cache_hit
-                                     ? "hit"
-                                     : (response.deduplicated ? "join"
-                                                              : "miss");
-        std::printf("%-24s %-7s %-3s %-5s %9.2f %9.2f %7.0f %6d\n",
-                    response.name.c_str(),
-                    service::optModeName(options.mode),
-                    response.ok ? "y" : "N", provenance,
-                    response.queue_seconds * 1e3,
-                    response.compile_seconds * 1e3,
-                    response.estimated_cost, response.worker_id);
+        const char* compile_src =
+            response.compile_cache_hit
+                ? "hit"
+                : (response.compile_deduplicated ? "join" : "miss");
+        if (options.run) {
+            const char* run_src =
+                response.run_cache_hit
+                    ? "hit"
+                    : (response.run_deduplicated ? "join" : "miss");
+            std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %9.2f %6d "
+                        "%6d %5d %6d\n",
+                        response.name.c_str(),
+                        service::optModeName(options.mode),
+                        response.ok ? "y" : "N", compile_src, run_src,
+                        response.queue_seconds * 1e3,
+                        response.compile_seconds * 1e3,
+                        response.exec_seconds * 1e3,
+                        response.result.consumed_noise,
+                        response.result.final_noise_budget,
+                        response.result.rotation_keys,
+                        response.worker_id);
+        } else {
+            std::printf("%-24s %-7s %-3s %-5s %9.2f %9.2f %7.0f %6d\n",
+                        response.name.c_str(),
+                        service::optModeName(options.mode),
+                        response.ok ? "y" : "N", compile_src,
+                        response.queue_seconds * 1e3,
+                        response.compile_seconds * 1e3,
+                        response.estimated_cost, response.worker_id);
+        }
         if (!response.ok) {
             std::printf("  error: %s\n", response.error.c_str());
         }
@@ -270,7 +379,7 @@ main(int argc, char** argv)
     const service::ServiceStats stats = compile_service.stats();
     std::printf("\n%zu requests in %.3f s (%.1f jobs/s) on %d workers: "
                 "%llu compiled, %llu cache hits, %llu in-flight joins, "
-                "%llu failed\n",
+                "%llu evicted, %llu failed\n",
                 responses.size(), wall_seconds,
                 wall_seconds > 0 ? static_cast<double>(responses.size()) /
                                        wall_seconds
@@ -279,34 +388,90 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.compiled),
                 static_cast<unsigned long long>(stats.cache.hits),
                 static_cast<unsigned long long>(stats.cache.inflight_joins),
+                static_cast<unsigned long long>(stats.cache.evictions),
                 static_cast<unsigned long long>(stats.failed));
+    if (options.run) {
+        std::printf("run path: %llu executed, %llu run-cache hits, "
+                    "%llu run joins, %llu runtimes pooled, %llu failed\n",
+                    static_cast<unsigned long long>(stats.executed),
+                    static_cast<unsigned long long>(stats.run_cache.hits),
+                    static_cast<unsigned long long>(
+                        stats.run_cache.inflight_joins),
+                    static_cast<unsigned long long>(stats.runtimes_created),
+                    static_cast<unsigned long long>(stats.run_failed));
+    }
 
     if (options.dump) {
-        std::map<std::string, const service::CompileResponse*> distinct;
-        for (const service::CompileResponse& response : responses) {
+        std::map<std::string, const service::RunResponse*> distinct;
+        for (const service::RunResponse& response : responses) {
             if (response.ok) distinct.emplace(response.name, &response);
         }
         for (const auto& [name, response] : distinct) {
-            std::printf("\n-- %s --\n%s", name.c_str(),
+            std::printf("\n-- %s (%s) --\n", name.c_str(),
+                        response->compiled.stats.passes.empty()
+                            ? "no pass breakdown"
+                            : "per-pass breakdown");
+            for (const compiler::PassStats& pass :
+                 response->compiled.stats.passes) {
+                std::printf("  %-14s %9.3f ms   cost %8.1f -> %-8.1f "
+                            "%4d rewrites\n",
+                            pass.name.c_str(), pass.seconds * 1e3,
+                            pass.cost_before, pass.cost_after,
+                            pass.rewrite_steps);
+            }
+            std::printf("%s",
                         response->compiled.program.disassemble().c_str());
         }
     }
 
     if (!options.csv_path.empty()) {
-        CsvWriter csv(options.csv_path,
-                      {"kernel", "mode", "ok", "cache_hit", "deduplicated",
-                       "queue_s", "compile_s", "estimated_cost", "worker",
-                       "instrs", "final_cost", "mult_depth", "error"});
-        for (const service::CompileResponse& response : responses) {
-            csv.writeRow(response.name, service::optModeName(options.mode),
-                         response.ok ? 1 : 0, response.cache_hit ? 1 : 0,
-                         response.deduplicated ? 1 : 0,
-                         response.queue_seconds, response.compile_seconds,
-                         response.estimated_cost, response.worker_id,
-                         response.compiled.program.instrs.size(),
-                         response.compiled.stats.final_cost,
-                         response.compiled.stats.mult_depth,
-                         response.error);
+        std::vector<std::string> header = {
+            "kernel", "mode", "ok", "cache_hit", "deduplicated", "queue_s",
+            "compile_s", "estimated_cost", "worker", "instrs", "final_cost",
+            "mult_depth", "error"};
+        if (options.run) {
+            for (const char* column :
+                 {"run_cache_hit", "run_deduplicated", "exec_s",
+                  "eval_s", "fresh_noise", "final_noise", "consumed_noise",
+                  "rotation_keys", "output0"}) {
+                header.push_back(column);
+            }
+        }
+        CsvWriter csv(options.csv_path, header);
+        for (const service::RunResponse& response : responses) {
+            if (options.run) {
+                csv.writeRow(
+                    response.name, service::optModeName(options.mode),
+                    response.ok ? 1 : 0,
+                    response.compile_cache_hit ? 1 : 0,
+                    response.compile_deduplicated ? 1 : 0,
+                    response.queue_seconds, response.compile_seconds,
+                    response.estimated_cost, response.worker_id,
+                    response.compiled.program.instrs.size(),
+                    response.compiled.stats.final_cost,
+                    response.compiled.stats.mult_depth, response.error,
+                    response.run_cache_hit ? 1 : 0,
+                    response.run_deduplicated ? 1 : 0,
+                    response.exec_seconds, response.result.exec_seconds,
+                    response.result.fresh_noise_budget,
+                    response.result.final_noise_budget,
+                    response.result.consumed_noise,
+                    response.result.rotation_keys,
+                    response.result.output.empty()
+                        ? 0
+                        : response.result.output.front());
+            } else {
+                csv.writeRow(
+                    response.name, service::optModeName(options.mode),
+                    response.ok ? 1 : 0,
+                    response.compile_cache_hit ? 1 : 0,
+                    response.compile_deduplicated ? 1 : 0,
+                    response.queue_seconds, response.compile_seconds,
+                    response.estimated_cost, response.worker_id,
+                    response.compiled.program.instrs.size(),
+                    response.compiled.stats.final_cost,
+                    response.compiled.stats.mult_depth, response.error);
+            }
         }
         std::printf("wrote %s\n", options.csv_path.c_str());
     }
@@ -315,18 +480,40 @@ main(int argc, char** argv)
         std::ofstream json(options.json_path);
         json << "[\n";
         for (std::size_t i = 0; i < responses.size(); ++i) {
-            const service::CompileResponse& response = responses[i];
+            const service::RunResponse& response = responses[i];
             json << "  {\"kernel\": \"" << jsonEscape(response.name)
                  << "\", \"mode\": \""
                  << service::optModeName(options.mode)
                  << "\", \"ok\": " << (response.ok ? "true" : "false")
                  << ", \"cache_hit\": "
-                 << (response.cache_hit ? "true" : "false")
+                 << (response.compile_cache_hit ? "true" : "false")
                  << ", \"deduplicated\": "
-                 << (response.deduplicated ? "true" : "false")
+                 << (response.compile_deduplicated ? "true" : "false")
                  << ", \"queue_s\": " << response.queue_seconds
-                 << ", \"compile_s\": " << response.compile_seconds
-                 << ", \"estimated_cost\": " << response.estimated_cost
+                 << ", \"compile_s\": " << response.compile_seconds;
+            if (options.run) {
+                json << ", \"run_cache_hit\": "
+                     << (response.run_cache_hit ? "true" : "false")
+                     << ", \"run_deduplicated\": "
+                     << (response.run_deduplicated ? "true" : "false")
+                     << ", \"exec_s\": " << response.exec_seconds
+                     << ", \"eval_s\": " << response.result.exec_seconds
+                     << ", \"fresh_noise\": "
+                     << response.result.fresh_noise_budget
+                     << ", \"final_noise\": "
+                     << response.result.final_noise_budget
+                     << ", \"consumed_noise\": "
+                     << response.result.consumed_noise
+                     << ", \"rotation_keys\": "
+                     << response.result.rotation_keys << ", \"output\": [";
+                for (std::size_t slot = 0;
+                     slot < response.result.output.size(); ++slot) {
+                    if (slot > 0) json << ", ";
+                    json << response.result.output[slot];
+                }
+                json << "]";
+            }
+            json << ", \"estimated_cost\": " << response.estimated_cost
                  << ", \"worker\": " << response.worker_id
                  << ", \"error\": \"" << jsonEscape(response.error)
                  << "\"}" << (i + 1 < responses.size() ? "," : "") << "\n";

@@ -68,7 +68,7 @@ main()
     std::printf("\n  circuit: %d ct-ct mul, %d rotations, "
                 "compile %.2f s, noise %d bits\n\n",
                 lin.program.counts().ct_ct_mul,
-                lin.program.counts().rotations, lin.stats.compile_seconds,
+                lin.program.counts().rotations, lin.stats.totalSeconds(),
                 lin_run.consumed_noise);
 
     // --- Encrypted polynomial regression: y_i = (w*x_i + v)*x_i + u ---

@@ -1,6 +1,7 @@
 #include "benchsuite/kernels.h"
 
 #include "compiler/dsl.h"
+#include "ir/analysis.h"
 #include "support/rng.h"
 
 namespace chehab::benchsuite {
@@ -376,6 +377,20 @@ fullSuite(int max_n, int max_tree_depth)
         kernels.push_back(std::move(kernel));
     }
     return kernels;
+}
+
+ir::Env
+syntheticInputs(const ir::ExprPtr& program)
+{
+    ir::Env env;
+    std::int64_t next = 1;
+    for (const std::string& name : ir::ciphertextVars(program)) {
+        env[name] = (next++ % 9) + 1;
+    }
+    for (const std::string& name : ir::plaintextVars(program)) {
+        env[name] = (next++ % 9) + 1;
+    }
+    return env;
 }
 
 } // namespace chehab::benchsuite

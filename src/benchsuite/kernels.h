@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/evaluator.h"
 #include "ir/expr.h"
 
 namespace chehab::benchsuite {
@@ -41,6 +42,13 @@ Kernel sortKernel(int k);       ///< Sorting network over k bit inputs.
 Kernel polynomialTree(int density, int homogeneity, int depth,
                       std::uint64_t seed = 7);
 /// @}
+
+/// Deterministic synthetic inputs for executing a kernel: the i-th
+/// distinct variable (ciphertext first, then plaintext, each in
+/// first-occurrence order) gets the small value (i % 9) + 1 — identical
+/// across processes, so chehabd --run, the execute benches and the
+/// service tests all reproduce the same outputs and noise accounting.
+ir::Env syntheticInputs(const ir::ExprPtr& program);
 
 /// \name Suites
 /// @{

@@ -1,0 +1,342 @@
+#include "compiler/driver.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "compiler/passes.h"
+#include "ir/analysis.h"
+#include "rl/agent.h"
+#include "support/error.h"
+#include "support/stopwatch.h"
+#include "trs/rewriter.h"
+#include "trs/ruleset.h"
+
+namespace chehab::compiler {
+
+namespace {
+
+// ---------------------------------------------------------- built-ins
+
+class CanonicalizePass final : public Pass
+{
+  public:
+    std::string name() const override { return "canonicalize"; }
+
+    void
+    run(CompileState& state, const PassContext&) const override
+    {
+        state.expr = canonicalize(state.expr);
+        // The cost entering the optimizer; TRS passes refine this with
+        // their own (weighted) measurement.
+        state.initial_cost = ir::cost(state.expr);
+    }
+};
+
+class GreedyTrsPass final : public Pass
+{
+  public:
+    std::string name() const override { return "greedy-trs"; }
+
+    void
+    run(CompileState& state, const PassContext& ctx) const override
+    {
+        if (!ctx.ruleset) {
+            throw CompileError("greedy-trs pass requires a ruleset");
+        }
+        trs::OptimizeResult result = trs::greedyOptimize(
+            *ctx.ruleset, state.expr, ctx.weights, {}, ctx.max_steps);
+        state.expr = std::move(result.program);
+        state.initial_cost = result.initial_cost;
+        state.rewrite_steps += result.steps;
+    }
+};
+
+class RlTrsPass final : public Pass
+{
+  public:
+    std::string name() const override { return "rl-trs"; }
+
+    void
+    run(CompileState& state, const PassContext& ctx) const override
+    {
+        if (!ctx.agent) {
+            throw CompileError(
+                "rl-trs pass requested but no RL agent is configured");
+        }
+        rl::AgentResult result = ctx.agent->optimize(state.expr);
+        state.expr = std::move(result.program);
+        state.initial_cost = result.initial_cost;
+        state.rewrite_steps += result.steps;
+    }
+};
+
+class SchedulePass final : public Pass
+{
+  public:
+    std::string name() const override { return "schedule"; }
+
+    void
+    run(CompileState& state, const PassContext&) const override
+    {
+        state.program = schedule(state.expr);
+        state.scheduled = true;
+    }
+};
+
+class KeySelectPass final : public Pass
+{
+  public:
+    std::string name() const override { return "key-select"; }
+
+    void
+    run(CompileState& state, const PassContext& ctx) const override
+    {
+        if (!state.scheduled) {
+            throw CompileError(
+                "key-select pass requires a scheduled program (place it "
+                "after the schedule pass)");
+        }
+        const std::vector<int> steps = state.program.rotationSteps();
+        if (ctx.key_budget > 0) {
+            state.key_plan = selectRotationKeys(steps, ctx.key_budget);
+        } else {
+            state.key_plan = RotationKeyPlan{};
+            state.key_plan.keys = steps;
+            for (int step : steps) {
+                state.key_plan.decomposition[step] = {step};
+            }
+        }
+        state.key_planned = true;
+    }
+};
+
+// ----------------------------------------------------------- registry
+
+using Registry = std::map<std::string, PassFactory>;
+
+std::mutex&
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+Registry&
+registry()
+{
+    static Registry passes = [] {
+        Registry built_in;
+        built_in["canonicalize"] = [] {
+            return std::unique_ptr<Pass>(new CanonicalizePass());
+        };
+        built_in["greedy-trs"] = [] {
+            return std::unique_ptr<Pass>(new GreedyTrsPass());
+        };
+        built_in["rl-trs"] = [] {
+            return std::unique_ptr<Pass>(new RlTrsPass());
+        };
+        built_in["schedule"] = [] {
+            return std::unique_ptr<Pass>(new SchedulePass());
+        };
+        built_in["key-select"] = [] {
+            return std::unique_ptr<Pass>(new KeySelectPass());
+        };
+        return built_in;
+    }();
+    return passes;
+}
+
+} // namespace
+
+void
+registerPass(const std::string& name, PassFactory factory)
+{
+    std::unique_lock<std::mutex> lock(registryMutex());
+    registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Pass>
+createPass(const std::string& name)
+{
+    std::unique_lock<std::mutex> lock(registryMutex());
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+        throw CompileError("unknown pass '" + name + "'");
+    }
+    return it->second();
+}
+
+std::vector<std::string>
+registeredPassNames()
+{
+    std::unique_lock<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto& [name, factory] : registry()) names.push_back(name);
+    return names;
+}
+
+// ------------------------------------------------------- DriverConfig
+
+std::uint64_t
+DriverConfig::fingerprint() const
+{
+    // FNV-1a over the pass-name sequence, then mix in the parameters of
+    // each parameter-consuming pass that is actually present.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mixByte = [&h](unsigned char byte) {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+    };
+    auto mixU64 = [&mixByte](std::uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            mixByte(static_cast<unsigned char>(value >> (8 * i)));
+        }
+    };
+    auto bits = [](double value) {
+        std::uint64_t out = 0;
+        static_assert(sizeof(out) == sizeof(value), "double is 64-bit");
+        std::memcpy(&out, &value, sizeof(out));
+        return out;
+    };
+    for (const std::string& pass : passes) {
+        for (char c : pass) mixByte(static_cast<unsigned char>(c));
+        mixByte(0xffu); // Separator: {"ab","c"} != {"a","bc"}.
+    }
+    if (hasPass("greedy-trs")) {
+        mixU64(bits(weights.w_ops));
+        mixU64(bits(weights.w_depth));
+        mixU64(bits(weights.w_mult));
+        mixU64(static_cast<std::uint64_t>(max_steps));
+    }
+    if (hasPass("key-select")) {
+        mixU64(static_cast<std::uint64_t>(key_budget));
+    }
+    return h;
+}
+
+std::string
+DriverConfig::describe() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        if (i > 0) out << " > ";
+        out << passes[i];
+        if (passes[i] == "greedy-trs") {
+            out << "(steps=" << max_steps << ")";
+        } else if (passes[i] == "key-select" && key_budget > 0) {
+            out << "(budget=" << key_budget << ")";
+        }
+    }
+    return out.str();
+}
+
+bool
+DriverConfig::hasPass(const std::string& name) const
+{
+    return std::find(passes.begin(), passes.end(), name) != passes.end();
+}
+
+DriverConfig
+DriverConfig::noOpt()
+{
+    DriverConfig config;
+    config.passes = {"canonicalize", "schedule"};
+    return config;
+}
+
+DriverConfig
+DriverConfig::greedy(const ir::CostWeights& weights, int max_steps)
+{
+    DriverConfig config;
+    config.passes = {"canonicalize", "greedy-trs", "schedule"};
+    config.weights = weights;
+    config.max_steps = max_steps;
+    return config;
+}
+
+DriverConfig
+DriverConfig::rl()
+{
+    DriverConfig config;
+    config.passes = {"canonicalize", "rl-trs", "schedule"};
+    return config;
+}
+
+// -------------------------------------------------------- PassManager
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+void
+PassManager::run(CompileState& state, const PassContext& ctx,
+                 std::vector<PassStats>& stats) const
+{
+    for (const std::unique_ptr<Pass>& pass : passes_) {
+        PassStats record;
+        record.name = pass->name();
+        record.cost_before = ir::cost(state.expr);
+        const int steps_before = state.rewrite_steps;
+        const Stopwatch watch;
+        pass->run(state, ctx);
+        record.seconds = watch.elapsedSeconds();
+        record.cost_after = ir::cost(state.expr);
+        record.rewrite_steps = state.rewrite_steps - steps_before;
+        stats.push_back(std::move(record));
+    }
+}
+
+// ----------------------------------------------------- CompilerDriver
+
+CompilerDriver::CompilerDriver(const trs::Ruleset* ruleset,
+                               const rl::RlAgent* agent)
+    : ruleset_(ruleset), agent_(agent)
+{}
+
+Compiled
+CompilerDriver::compile(const ir::ExprPtr& source,
+                        const DriverConfig& config) const
+{
+    if (!source) throw CompileError("null compile source");
+
+    PassManager manager;
+    for (const std::string& name : config.passes) {
+        manager.addPass(createPass(name));
+    }
+
+    PassContext ctx;
+    ctx.ruleset = ruleset_;
+    ctx.agent = agent_;
+    ctx.weights = config.weights;
+    ctx.max_steps = config.max_steps;
+    ctx.key_budget = config.key_budget;
+
+    CompileState state;
+    state.expr = source;
+    state.initial_cost = ir::cost(source);
+
+    Compiled compiled;
+    manager.run(state, ctx, compiled.stats.passes);
+
+    compiled.optimized = std::move(state.expr);
+    compiled.program = std::move(state.program);
+    compiled.key_plan = std::move(state.key_plan);
+    compiled.key_planned = state.key_planned;
+    compiled.stats.initial_cost = state.initial_cost;
+    compiled.stats.final_cost = ir::cost(compiled.optimized);
+    compiled.stats.circuit_depth = ir::circuitDepth(compiled.optimized);
+    compiled.stats.mult_depth =
+        ir::multiplicativeDepth(compiled.optimized);
+    compiled.stats.ir_counts = ir::countOps(compiled.optimized);
+    compiled.stats.rewrite_steps = state.rewrite_steps;
+    return compiled;
+}
+
+} // namespace chehab::compiler

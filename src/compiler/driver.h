@@ -1,0 +1,162 @@
+/// \file
+/// PassManager + CompilerDriver: the unified compilation architecture.
+///
+/// Every stage of the Fig. 3 pipeline — canonicalize, greedy-TRS,
+/// RL-TRS, schedule, key-select — is a named, instrumented Pass. A
+/// DriverConfig names the pass sequence plus its parameters; the
+/// CompilerDriver materializes the sequence from the pass registry and
+/// runs it through a PassManager, which records per-pass wall time and
+/// cost deltas into CompileStats::passes. The legacy entry points
+/// (compileNoOpt / compileGreedy / compileWithAgent) are one-line
+/// configurations of this driver, and the compile service keys its
+/// content-addressed cache on DriverConfig::fingerprint() — a new pass
+/// ordering is automatically a new cache identity.
+///
+/// Thread-safety: a CompilerDriver is immutable after construction and
+/// compile() touches no shared mutable state, so one driver may serve
+/// any number of threads. Passes must be reentrant and deterministic;
+/// all built-in passes are. registerPass() is NOT thread-safe against
+/// concurrent compile() calls — register custom passes at startup.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "ir/cost_model.h"
+#include "ir/expr.h"
+
+namespace chehab::rl {
+class RlAgent;
+}
+namespace chehab::trs {
+class Ruleset;
+}
+
+namespace chehab::compiler {
+
+/// Read-only resources and knobs a pass may consume. Owned by the
+/// caller; every pointer must outlive the compile() call.
+struct PassContext
+{
+    const trs::Ruleset* ruleset = nullptr; ///< greedy-trs requirement.
+    const rl::RlAgent* agent = nullptr;    ///< rl-trs requirement.
+    ir::CostWeights weights{};             ///< greedy-trs cost weights.
+    int max_steps = 75;                    ///< greedy-trs rewrite budget.
+    int key_budget = 0;                    ///< key-select β (0 = one key
+                                           ///  per distinct step).
+};
+
+/// Mutable compilation state threaded through the pass sequence.
+struct CompileState
+{
+    ir::ExprPtr expr;          ///< Current IR (input of the next pass).
+    FheProgram program;        ///< Valid once scheduled.
+    bool scheduled = false;
+    RotationKeyPlan key_plan;  ///< Valid once key_planned.
+    bool key_planned = false;
+    double initial_cost = 0.0; ///< Cost entering the optimizer (set by
+                               ///  canonicalize, refined by TRS passes).
+    int rewrite_steps = 0;     ///< Accumulated over all TRS passes.
+};
+
+/// One named compilation stage.
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual std::string name() const = 0;
+    virtual void run(CompileState& state, const PassContext& ctx) const = 0;
+};
+
+/// \name Pass registry
+/// The driver looks passes up by name, so alternative stages (new
+/// backends, experimental orderings) plug in without touching the
+/// driver. Built-ins: "canonicalize", "greedy-trs", "rl-trs",
+/// "schedule", "key-select".
+/// @{
+using PassFactory = std::function<std::unique_ptr<Pass>()>;
+
+/// Register \p factory under \p name (replaces an existing entry).
+void registerPass(const std::string& name, PassFactory factory);
+
+/// Instantiate the pass registered as \p name. Throws CompileError for
+/// an unknown name.
+std::unique_ptr<Pass> createPass(const std::string& name);
+
+/// Names of all registered passes, sorted.
+std::vector<std::string> registeredPassNames();
+/// @}
+
+/// A named pass sequence plus the parameters those passes consume: the
+/// complete, hashable description of one compilation pipeline.
+struct DriverConfig
+{
+    std::vector<std::string> passes; ///< Run in order.
+    ir::CostWeights weights{};       ///< Consumed by greedy-trs.
+    int max_steps = 75;              ///< Consumed by greedy-trs.
+    int key_budget = 0;              ///< Consumed by key-select.
+
+    /// Content hash of the pipeline: pass names in order, plus — for
+    /// each parameter-consuming pass actually present — that pass's
+    /// parameters (bit-exact for weights). Two configs with equal
+    /// fingerprints request the same compilation, so this is what the
+    /// service's cache keys on; parameters of absent passes are
+    /// deliberately excluded (a NoOpt pipeline ignores the greedy
+    /// budget).
+    std::uint64_t fingerprint() const;
+
+    /// Human-readable pipeline description, e.g.
+    /// "canonicalize > greedy-trs(steps=75) > schedule".
+    std::string describe() const;
+
+    bool hasPass(const std::string& name) const;
+
+    /// \name The three canonical pipelines (Fig. 3 / Table 6)
+    /// @{
+    static DriverConfig noOpt();
+    static DriverConfig greedy(const ir::CostWeights& weights = {},
+                               int max_steps = 75);
+    static DriverConfig rl();
+    /// @}
+};
+
+/// Runs a pass sequence over one compile state, timing each pass and
+/// recording cost deltas.
+class PassManager
+{
+  public:
+    void addPass(std::unique_ptr<Pass> pass);
+
+    /// Run every pass in order over \p state, appending one PassStats
+    /// per pass to \p stats.
+    void run(CompileState& state, const PassContext& ctx,
+             std::vector<PassStats>& stats) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// The one compilation driver behind every pipeline entry point.
+class CompilerDriver
+{
+  public:
+    /// Neither pointer is owned; each must outlive the driver. Pass
+    /// nullptr when the corresponding pass family is never requested
+    /// (the pass itself fails with CompileError otherwise).
+    explicit CompilerDriver(const trs::Ruleset* ruleset = nullptr,
+                            const rl::RlAgent* agent = nullptr);
+
+    /// Compile \p source through the pipeline \p config names. Throws
+    /// CompileError on unknown passes or pass failures.
+    Compiled compile(const ir::ExprPtr& source,
+                     const DriverConfig& config) const;
+
+  private:
+    const trs::Ruleset* ruleset_;
+    const rl::RlAgent* agent_;
+};
+
+} // namespace chehab::compiler

@@ -1,60 +1,28 @@
 #include "compiler/pipeline.h"
 
-#include "compiler/passes.h"
-#include "support/stopwatch.h"
+#include "compiler/driver.h"
 
 namespace chehab::compiler {
-
-namespace {
-
-Compiled
-finish(ir::ExprPtr optimized, double compile_seconds, double initial_cost,
-       int rewrite_steps)
-{
-    Compiled compiled;
-    compiled.optimized = std::move(optimized);
-    compiled.program = schedule(compiled.optimized);
-    compiled.stats.compile_seconds = compile_seconds;
-    compiled.stats.initial_cost = initial_cost;
-    compiled.stats.final_cost = ir::cost(compiled.optimized);
-    compiled.stats.circuit_depth = ir::circuitDepth(compiled.optimized);
-    compiled.stats.mult_depth = ir::multiplicativeDepth(compiled.optimized);
-    compiled.stats.ir_counts = ir::countOps(compiled.optimized);
-    compiled.stats.rewrite_steps = rewrite_steps;
-    return compiled;
-}
-
-} // namespace
 
 Compiled
 compileNoOpt(const ir::ExprPtr& source)
 {
-    Stopwatch watch;
-    ir::ExprPtr canonical = canonicalize(source);
-    const double initial = ir::cost(canonical);
-    return finish(std::move(canonical), watch.elapsedSeconds(), initial, 0);
+    return CompilerDriver().compile(source, DriverConfig::noOpt());
 }
 
 Compiled
 compileGreedy(const trs::Ruleset& ruleset, const ir::ExprPtr& source,
               const ir::CostWeights& weights, int max_steps)
 {
-    Stopwatch watch;
-    const ir::ExprPtr canonical = canonicalize(source);
-    trs::OptimizeResult result =
-        trs::greedyOptimize(ruleset, canonical, weights, {}, max_steps);
-    return finish(std::move(result.program), watch.elapsedSeconds(),
-                  result.initial_cost, result.steps);
+    return CompilerDriver(&ruleset).compile(
+        source, DriverConfig::greedy(weights, max_steps));
 }
 
 Compiled
 compileWithAgent(const rl::RlAgent& agent, const ir::ExprPtr& source)
 {
-    Stopwatch watch;
-    const ir::ExprPtr canonical = canonicalize(source);
-    rl::AgentResult result = agent.optimize(canonical);
-    return finish(std::move(result.program), watch.elapsedSeconds(),
-                  result.initial_cost, result.steps);
+    return CompilerDriver(&agent.ruleset(), &agent)
+        .compile(source, DriverConfig::rl());
 }
 
 } // namespace chehab::compiler

@@ -4,6 +4,11 @@
 /// the instruction stream, and compile-time statistics for Fig. 6 /
 /// Table 6.
 ///
+/// Since the PassManager refactor the three entry points below are thin
+/// configurations of one CompilerDriver (compiler/driver.h): each stage
+/// is a named Pass and the stats carry a per-pass timing/cost breakdown
+/// instead of one opaque wall-clock blob.
+///
 /// Thread-safety contract (audited for the concurrent compile service):
 /// all three entry points are reentrant — they keep no static or global
 /// mutable state, take their inputs by const reference, and never mutate
@@ -16,7 +21,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "compiler/keyselect.h"
 #include "compiler/schedule.h"
 #include "ir/cost_model.h"
 #include "rl/agent.h"
@@ -24,16 +31,36 @@
 
 namespace chehab::compiler {
 
-/// Compile-time statistics for one kernel.
+/// Timing and cost delta of one pass in a driver pipeline.
+struct PassStats
+{
+    std::string name;          ///< Registered pass name.
+    double seconds = 0.0;      ///< Wall time of this pass alone.
+    double cost_before = 0.0;  ///< ir::cost of the IR entering the pass.
+    double cost_after = 0.0;   ///< ir::cost of the IR leaving the pass.
+    int rewrite_steps = 0;     ///< Rewrites applied by this pass.
+};
+
+/// Compile-time statistics for one kernel. Timing is reported per pass
+/// (the old single compile_seconds blob is totalSeconds()).
 struct CompileStats
 {
-    double compile_seconds = 0.0;
+    std::vector<PassStats> passes; ///< One entry per executed pass.
     double initial_cost = 0.0;
     double final_cost = 0.0;
     int circuit_depth = 0;
     int mult_depth = 0;
     ir::OpCounts ir_counts;   ///< Over the optimized IR (DAG-unique).
     int rewrite_steps = 0;
+
+    /// Total compile wall time: the sum over the per-pass breakdown.
+    double
+    totalSeconds() const
+    {
+        double total = 0.0;
+        for (const PassStats& pass : passes) total += pass.seconds;
+        return total;
+    }
 };
 
 /// Result of a full compilation.
@@ -41,6 +68,11 @@ struct Compiled
 {
     ir::ExprPtr optimized;
     FheProgram program;
+    /// Rotation-key plan chosen by the "key-select" pass; valid only
+    /// when key_planned. Pipelines without the pass leave key selection
+    /// to the runtime (FheRuntime::run's key_budget parameter).
+    RotationKeyPlan key_plan;
+    bool key_planned = false;
     CompileStats stats;
 };
 

@@ -61,10 +61,6 @@ RunResult
 FheRuntime::run(const FheProgram& program, const ir::Env& env,
                 int key_budget)
 {
-    RunResult result;
-    result.counts = program.counts();
-    result.fresh_noise_budget = scheme_.freshNoiseBudget();
-
     // Rotation-key selection (App. B): under a budget, rotations execute
     // as NAF-component sequences.
     const std::vector<int> steps = program.rotationSteps();
@@ -75,6 +71,17 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
         plan.keys = steps;
         for (int s : steps) plan.decomposition[s] = {s};
     }
+    return run(program, env, plan);
+}
+
+RunResult
+FheRuntime::run(const FheProgram& program, const ir::Env& env,
+                const RotationKeyPlan& plan)
+{
+    RunResult result;
+    result.counts = program.counts();
+    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+
     scheme_.makeGaloisKeys(plan.keys);
     result.rotation_keys = static_cast<int>(plan.keys.size());
 

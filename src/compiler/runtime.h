@@ -48,6 +48,12 @@ class FheRuntime
     RunResult run(const FheProgram& program, const ir::Env& env,
                   int key_budget = 0);
 
+    /// Execute \p program under a precomputed rotation-key plan (e.g.
+    /// the compiler's key-select pass output). The plan must cover every
+    /// rotation step the program uses.
+    RunResult run(const FheProgram& program, const ir::Env& env,
+                  const RotationKeyPlan& plan);
+
     /// Microbenchmark the four op classes (median of \p reps).
     OpLatencies calibrate(int reps = 3);
 

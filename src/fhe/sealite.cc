@@ -514,9 +514,18 @@ SealLite::makeGaloisKeys(const std::vector<int>& steps)
         if (normalized == 0 || galois_keys_.count(normalized)) continue;
         const std::uint64_t g = galoisElement(normalized);
         galois_elements_[normalized] = g;
+        // Key randomness is a pure function of (params seed, step): park
+        // the main stream, generate from a step-derived seed, restore.
+        // This keeps a key for step s bit-identical across schemes and
+        // generation orders (see the header contract).
+        const Rng saved = rng_;
+        rng_.reseed(params_.seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     static_cast<std::uint64_t>(normalized + 1)));
         galois_keys_.emplace(normalized,
                              makeKeySwitchKey(applyAutomorphism(
                                  secret_rns_, g)));
+        rng_ = saved;
     }
 }
 

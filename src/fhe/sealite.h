@@ -121,8 +121,23 @@ class SealLite
     Ciphertext rotate(const Ciphertext& a, int step) const;
     /// @}
 
+    /// Re-seed the encryption/error randomness stream. Key material
+    /// (secret, relinearization and Galois keys) is unaffected: the
+    /// secret and relin keys are fixed at construction, and Galois keys
+    /// derive their randomness from (params seed, step) alone. The
+    /// service's runtime pool reseeds per request so a pooled, reused
+    /// scheme produces bit-identical noise accounting regardless of
+    /// which requests ran on it before.
+    void reseedRandomness(std::uint64_t seed) { rng_.reseed(seed); }
+
     /// \name Rotation (Galois) keys — App. B's χ set feeds this.
     /// @{
+    /// Generate keys for \p steps (already-present steps are skipped).
+    /// Each key's randomness is derived deterministically from the
+    /// params seed and the step, so the key for a given step is
+    /// bit-identical no matter when or in what order it is generated —
+    /// pooled runtimes can accumulate keys across requests without
+    /// becoming history-dependent.
     void makeGaloisKeys(const std::vector<int>& steps);
     bool hasGaloisKey(int step) const;
     int numGaloisKeys() const { return static_cast<int>(galois_keys_.size()); }

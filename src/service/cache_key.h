@@ -1,65 +1,70 @@
 /// \file
-/// Content-addressed cache key for compiled kernels.
+/// Content-addressed cache keys for compiled kernels and run results.
 ///
-/// Two requests map to the same key — and therefore to the same cache
-/// entry — exactly when they would produce the same Compiled artifact:
-/// same canonicalized IR (ir::Fingerprint over the *canonicalized* tree,
-/// so syntactically different sources that canonicalize identically
-/// share an entry), same optimizer mode, and same mode-relevant
-/// parameters. Cost weights are compared by exact bit pattern: a weight
-/// nudge is a different compilation.
+/// Two compile requests map to the same key — and therefore to the same
+/// cache entry — exactly when they would produce the same Compiled
+/// artifact: same canonicalized IR (ir::Fingerprint over the
+/// *canonicalized* tree, so syntactically different sources that
+/// canonicalize identically share an entry) and same driver pass
+/// configuration (compiler::DriverConfig::fingerprint(): the pass-name
+/// sequence plus the parameters of the passes actually present, with
+/// cost weights compared by exact bit pattern — a weight nudge is a
+/// different compilation, and a NoOpt pipeline ignores greedy-only
+/// parameters because the greedy pass is absent).
+///
+/// A run key extends the compile key with everything execution depends
+/// on: the input bindings, the runtime key budget, and the SealLite
+/// parameters.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <cstring>
 #include <functional>
+#include <string>
+#include <vector>
 
-#include "ir/cost_model.h"
+#include "compiler/driver.h"
+#include "fhe/sealite.h"
+#include "ir/evaluator.h"
 #include "ir/expr.h"
 #include "service/request.h"
 
 namespace chehab::service {
 
+namespace detail {
+
+/// Golden-ratio hash combine shared by the key hashers.
+inline void
+mix(std::size_t& h, std::uint64_t v)
+{
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+}
+
+} // namespace detail
+
 /// Cache identity of one compile job.
 struct CacheKey
 {
     ir::Fingerprint source;      ///< Fingerprint of the canonical IR.
-    OptMode mode = OptMode::NoOpt;
-    std::uint64_t w_ops_bits = 0;
-    std::uint64_t w_depth_bits = 0;
-    std::uint64_t w_mult_bits = 0;
-    int max_steps = 0;
+    std::uint64_t pipeline = 0;  ///< DriverConfig::fingerprint().
 
     friend bool
     operator==(const CacheKey& a, const CacheKey& b)
     {
-        return a.source == b.source && a.mode == b.mode &&
-               a.w_ops_bits == b.w_ops_bits &&
-               a.w_depth_bits == b.w_depth_bits &&
-               a.w_mult_bits == b.w_mult_bits && a.max_steps == b.max_steps;
+        return a.source == b.source && a.pipeline == b.pipeline;
     }
 };
 
 /// Build the key for a request whose source canonicalized to
-/// \p canonical. Mode-irrelevant parameters are zeroed so e.g. two NoOpt
-/// requests with different greedy budgets still share an entry.
+/// \p canonical.
 inline CacheKey
-makeCacheKey(const ir::ExprPtr& canonical, const CompileRequest& request)
+makeCacheKey(const ir::ExprPtr& canonical,
+             const compiler::DriverConfig& pipeline)
 {
     CacheKey key;
     key.source = ir::fingerprint(canonical);
-    key.mode = request.mode;
-    if (request.mode == OptMode::Greedy) {
-        auto bits = [](double value) {
-            std::uint64_t out = 0;
-            std::memcpy(&out, &value, sizeof(out));
-            return out;
-        };
-        key.w_ops_bits = bits(request.weights.w_ops);
-        key.w_depth_bits = bits(request.weights.w_depth);
-        key.w_mult_bits = bits(request.weights.w_mult);
-        key.max_steps = request.max_steps;
-    }
+    key.pipeline = pipeline.fingerprint();
     return key;
 }
 
@@ -69,18 +74,94 @@ struct CacheKeyHash
     operator()(const CacheKey& key) const
     {
         // The fingerprint is already uniformly mixed; fold in the
-        // parameters with the usual golden-ratio combine.
+        // pipeline hash with the usual golden-ratio combine.
         std::size_t h = static_cast<std::size_t>(key.source.hi ^
                                                  (key.source.lo << 1));
-        auto mix = [&h](std::uint64_t v) {
-            h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
-                 (h << 6) + (h >> 2);
-        };
-        mix(static_cast<std::uint64_t>(key.mode));
-        mix(key.w_ops_bits);
-        mix(key.w_depth_bits);
-        mix(key.w_mult_bits);
-        mix(static_cast<std::uint64_t>(key.max_steps));
+        detail::mix(h, key.pipeline);
+        return h;
+    }
+};
+
+/// Order-independent content hash of an input environment.
+inline std::uint64_t
+envFingerprint(const ir::Env& env)
+{
+    std::vector<std::pair<std::string, std::int64_t>> entries(env.begin(),
+                                                              env.end());
+    std::sort(entries.begin(), entries.end());
+    std::size_t h = 0x243f6a8885a308d3ULL; // pi digits: arbitrary seed.
+    for (const auto& [name, value] : entries) {
+        for (char c : name) {
+            detail::mix(h, static_cast<unsigned char>(c));
+        }
+        detail::mix(h, 0xffu); // Name/value separator.
+        detail::mix(h, static_cast<std::uint64_t>(value));
+    }
+    return static_cast<std::uint64_t>(h);
+}
+
+/// Content hash of the SealLite parameter set (every field: equal
+/// hashes are intended to mean interchangeable runtimes).
+inline std::uint64_t
+paramsFingerprint(const fhe::SealLiteParams& params)
+{
+    std::size_t h = 0x13198a2e03707344ULL;
+    detail::mix(h, static_cast<std::uint64_t>(params.n));
+    detail::mix(h, static_cast<std::uint64_t>(params.prime_bits));
+    detail::mix(h, static_cast<std::uint64_t>(params.prime_count));
+    detail::mix(h, params.plain_modulus);
+    detail::mix(h, params.seed);
+    detail::mix(h, static_cast<std::uint64_t>(params.error_stddev_x10));
+    detail::mix(h, static_cast<std::uint64_t>(params.decomp_bits));
+    return static_cast<std::uint64_t>(h);
+}
+
+/// Cache identity of one run job: compile identity + execution inputs.
+struct RunKey
+{
+    CacheKey compile;
+    std::uint64_t env_hash = 0;
+    int key_budget = 0;
+    std::uint64_t params_hash = 0;
+
+    friend bool
+    operator==(const RunKey& a, const RunKey& b)
+    {
+        return a.compile == b.compile && a.env_hash == b.env_hash &&
+               a.key_budget == b.key_budget &&
+               a.params_hash == b.params_hash;
+    }
+};
+
+/// Build the run key for a request whose source canonicalized to
+/// \p canonical.
+inline RunKey
+makeRunKey(const ir::ExprPtr& canonical, const RunRequest& request)
+{
+    RunKey key;
+    key.compile = makeCacheKey(canonical, request.pipeline);
+    key.env_hash = envFingerprint(request.inputs);
+    // The budget only matters when the compiled artifact carries no key
+    // plan (the plan wins otherwise) — but whether it will is a
+    // pipeline property, so folding the budget in unconditionally can
+    // only split entries that would have been shared, never alias
+    // distinct executions.
+    key.key_budget = request.pipeline.hasPass("key-select")
+                         ? 0
+                         : request.key_budget;
+    key.params_hash = paramsFingerprint(request.params);
+    return key;
+}
+
+struct RunKeyHash
+{
+    std::size_t
+    operator()(const RunKey& key) const
+    {
+        std::size_t h = CacheKeyHash{}(key.compile);
+        detail::mix(h, key.env_hash);
+        detail::mix(h, static_cast<std::uint64_t>(key.key_budget));
+        detail::mix(h, key.params_hash);
         return h;
     }
 };

@@ -9,6 +9,20 @@
 
 namespace chehab::service {
 
+namespace {
+
+/// Encryption-randomness seed for one run: any deterministic function
+/// of the run identity works; mixing the key hash with a tag keeps it
+/// disjoint from the seeds used elsewhere.
+std::uint64_t
+runSeed(const RunKey& key)
+{
+    return static_cast<std::uint64_t>(RunKeyHash{}(key)) ^
+           0x52554e5345454421ULL; // "RUNSEED!"
+}
+
+} // namespace
+
 const char*
 optModeName(OptMode mode)
 {
@@ -20,8 +34,22 @@ optModeName(OptMode mode)
     return "?";
 }
 
+compiler::DriverConfig
+makePipeline(OptMode mode, const ir::CostWeights& weights, int max_steps)
+{
+    switch (mode) {
+    case OptMode::NoOpt: return compiler::DriverConfig::noOpt();
+    case OptMode::Greedy:
+        return compiler::DriverConfig::greedy(weights, max_steps);
+    case OptMode::Rl: return compiler::DriverConfig::rl();
+    }
+    return compiler::DriverConfig::greedy(weights, max_steps);
+}
+
 CompileService::CompileService(ServiceConfig config)
     : config_(config), ruleset_(trs::buildChehabRuleset()),
+      cache_(config.kernel_cache_capacity),
+      run_cache_(config.run_cache_capacity),
       pool_(std::make_unique<ThreadPool>(config.num_workers))
 {}
 
@@ -36,10 +64,31 @@ CompileService::numWorkers() const
 ServiceStats
 CompileService::stats() const
 {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
-    ServiceStats snapshot = stats_;
+    ServiceStats snapshot;
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        snapshot = stats_;
+    }
     snapshot.cache = cache_.stats();
+    snapshot.run_cache = run_cache_.stats();
+    {
+        std::unique_lock<std::mutex> lock(pools_mutex_);
+        for (const auto& [key, pool] : pools_) {
+            snapshot.runtimes_created +=
+                static_cast<std::uint64_t>(pool->created());
+        }
+    }
     return snapshot;
+}
+
+RuntimePool&
+CompileService::poolFor(const fhe::SealLiteParams& params)
+{
+    const std::uint64_t key = paramsFingerprint(params);
+    std::unique_lock<std::mutex> lock(pools_mutex_);
+    std::unique_ptr<RuntimePool>& slot = pools_[key];
+    if (!slot) slot = std::make_unique<RuntimePool>(params);
+    return *slot;
 }
 
 CompileResponse
@@ -54,17 +103,58 @@ CompileService::makeResponse(const CompileRequest& request,
     response.cache_hit = cache_hit;
     response.deduplicated = deduplicated;
     response.queue_seconds = queue_seconds;
-    response.compile_seconds = settled.compile_seconds;
+    response.compile_seconds = settled.seconds;
     response.estimated_cost = estimated_cost;
     response.worker_id = settled.worker_id;
     if (settled.state == CacheEntry::State::Ready) {
         response.ok = true;
-        response.compiled = *settled.compiled;
+        response.compiled = *settled.artifact;
     } else {
         response.ok = false;
         response.error = *settled.error;
     }
     return response;
+}
+
+KernelCache::Admission
+CompileService::admitCompile(const ir::ExprPtr& canonical,
+                             const compiler::DriverConfig& pipeline,
+                             const CacheKey& key, double estimate)
+{
+    KernelCache::Admission admission = cache_.acquire(key);
+    if (!admission.owner) return admission;
+
+    // This caller admitted the key: compile on the pool, most expensive
+    // kernels first (LPT order minimizes batch makespan). The worker
+    // compiles the canonical tree computed by the caller: the driver's
+    // own canonicalize pass becomes a cheap no-op and the cache key
+    // provably describes the compiled source.
+    std::shared_ptr<CacheEntry> entry = admission.entry;
+    pool_->submit(
+        [this, entry, canonical, pipeline](int worker) {
+            const Stopwatch compile_watch;
+            try {
+                const compiler::CompilerDriver driver(&ruleset_,
+                                                      config_.agent);
+                compiler::Compiled compiled =
+                    driver.compile(canonical, pipeline);
+                const double seconds = compile_watch.elapsedSeconds();
+                {
+                    std::unique_lock<std::mutex> lock(stats_mutex_);
+                    ++stats_.compiled;
+                    stats_.total_compile_seconds += seconds;
+                }
+                entry->publishReady(std::move(compiled), seconds, worker);
+            } catch (const std::exception& e) {
+                {
+                    std::unique_lock<std::mutex> lock(stats_mutex_);
+                    ++stats_.failed;
+                }
+                entry->publishFailure(e.what(), worker);
+            }
+        },
+        estimate);
+    return admission;
 }
 
 std::future<CompileResponse>
@@ -94,65 +184,13 @@ CompileService::submit(CompileRequest request)
         return future;
     }
 
-    const CacheKey key = makeCacheKey(canonical, request);
-    const double estimate = ir::cost(canonical, request.weights);
+    const CacheKey key = makeCacheKey(canonical, request.pipeline);
+    const double estimate = ir::cost(canonical, request.pipeline.weights);
 
-    KernelCache::Admission admission = cache_.acquire(key);
+    KernelCache::Admission admission =
+        admitCompile(canonical, request.pipeline, key, estimate);
     const bool cache_hit = !admission.owner && !admission.was_pending;
     const bool deduplicated = admission.was_pending;
-
-    if (admission.owner) {
-        // This caller admitted the key: compile on the pool, most
-        // expensive kernels first (LPT order minimizes batch makespan).
-        std::shared_ptr<CacheEntry> entry = admission.entry;
-        CompileRequest job = request;
-        // Hand the worker the canonical tree computed above: the
-        // pipeline's own canonicalize pass becomes a cheap no-op and
-        // the cache key provably describes the compiled source.
-        job.source = canonical;
-        pool_->submit(
-            [this, entry, job = std::move(job)](int worker) {
-                const Stopwatch compile_watch;
-                try {
-                    compiler::Compiled compiled;
-                    switch (job.mode) {
-                    case OptMode::NoOpt:
-                        compiled = compiler::compileNoOpt(job.source);
-                        break;
-                    case OptMode::Greedy:
-                        compiled = compiler::compileGreedy(
-                            ruleset_, job.source, job.weights,
-                            job.max_steps);
-                        break;
-                    case OptMode::Rl:
-                        if (!config_.agent) {
-                            throw CompileError(
-                                "OptMode::Rl request but the service was "
-                                "configured without an RL agent");
-                        }
-                        compiled =
-                            compiler::compileWithAgent(*config_.agent,
-                                                       job.source);
-                        break;
-                    }
-                    const double seconds = compile_watch.elapsedSeconds();
-                    {
-                        std::unique_lock<std::mutex> lock(stats_mutex_);
-                        ++stats_.compiled;
-                        stats_.total_compile_seconds += seconds;
-                    }
-                    entry->publishReady(std::move(compiled), seconds,
-                                        worker);
-                } catch (const std::exception& e) {
-                    {
-                        std::unique_lock<std::mutex> lock(stats_mutex_);
-                        ++stats_.failed;
-                    }
-                    entry->publishFailure(e.what(), worker);
-                }
-            },
-            estimate);
-    }
 
     // Hit, join, or owner alike: resolve the future when the entry
     // settles. Runs inline for an already-settled entry, otherwise on
@@ -169,6 +207,158 @@ CompileService::submit(CompileRequest request)
     return future;
 }
 
+std::future<RunResponse>
+CompileService::submitRun(RunRequest request)
+{
+    auto promise = std::make_shared<std::promise<RunResponse>>();
+    std::future<RunResponse> future = promise->get_future();
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++stats_.run_submitted;
+    }
+
+    const Stopwatch queue_watch;
+
+    ir::ExprPtr canonical;
+    try {
+        if (!request.source) throw CompileError("null request source");
+        canonical = compiler::canonicalize(request.source);
+    } catch (const std::exception& e) {
+        RunResponse response;
+        response.name = request.name;
+        response.error = e.what();
+        promise->set_value(std::move(response));
+        return future;
+    }
+
+    const CacheKey compile_key = makeCacheKey(canonical, request.pipeline);
+    const double estimate = ir::cost(canonical, request.pipeline.weights);
+
+    const RunKey run_key = makeRunKey(canonical, request);
+    RunCache::Admission run_admission = run_cache_.acquire(run_key);
+    const bool run_hit =
+        !run_admission.owner && !run_admission.was_pending;
+    const bool run_dedup = run_admission.was_pending;
+    const std::string name = request.name;
+
+    // Only the run owner touches the kernel cache: a request served
+    // from the run cache definitionally reused the compile stage too
+    // (the artifact is embedded in the run entry), so its compile
+    // provenance mirrors the run provenance — and admitting the
+    // compile key anyway could schedule a recompile nothing consumes
+    // when the compile entry was LRU-evicted after the run settled.
+    bool compile_hit = run_hit;
+    bool compile_dedup = run_dedup;
+
+    if (run_admission.owner) {
+        // Run requests and plain compile requests share the kernel
+        // cache: a run of a kernel someone already compiled reuses
+        // that artifact, and vice versa.
+        KernelCache::Admission compile_admission = admitCompile(
+            canonical, request.pipeline, compile_key, estimate);
+        compile_hit =
+            !compile_admission.owner && !compile_admission.was_pending;
+        compile_dedup = compile_admission.was_pending;
+
+        // Single-flight execute: chain onto the compile entry, then run
+        // on the pool. The continuation only enqueues — execution never
+        // runs inline on the publishing worker's continuation path.
+        std::shared_ptr<RunEntry> run_entry = run_admission.entry;
+        std::shared_ptr<CacheEntry> compile_entry = compile_admission.entry;
+        RunRequest job = std::move(request);
+        compile_admission.entry->onSettled(
+            [this, run_entry, compile_entry, job = std::move(job), run_key,
+             estimate](const CacheEntry::Settled& compile_settled) {
+                if (compile_settled.state != CacheEntry::State::Ready) {
+                    {
+                        std::unique_lock<std::mutex> lock(stats_mutex_);
+                        ++stats_.run_failed;
+                    }
+                    run_entry->publishFailure(*compile_settled.error,
+                                              compile_settled.worker_id);
+                    return;
+                }
+                // The artifact pointer stays valid because the execute
+                // task holds the compile entry alive via shared_ptr.
+                const compiler::Compiled* compiled =
+                    compile_settled.artifact;
+                const double compile_seconds = compile_settled.seconds;
+                pool_->submit(
+                    [this, run_entry, compile_entry, compiled,
+                     compile_seconds, job, run_key](int worker) {
+                        const Stopwatch exec_watch;
+                        try {
+                            RunArtifact artifact;
+                            artifact.compiled = *compiled;
+                            artifact.compile_seconds = compile_seconds;
+                            RuntimePool::Lease lease =
+                                poolFor(job.params).acquire();
+                            // Per-request reseed: bit-identical noise
+                            // accounting on any pooled instance (see
+                            // runtime_pool.h).
+                            lease->scheme().reseedRandomness(
+                                runSeed(run_key));
+                            if (artifact.compiled.key_planned) {
+                                artifact.result = lease->run(
+                                    artifact.compiled.program, job.inputs,
+                                    artifact.compiled.key_plan);
+                            } else {
+                                artifact.result = lease->run(
+                                    artifact.compiled.program, job.inputs,
+                                    job.key_budget);
+                            }
+                            const double seconds =
+                                exec_watch.elapsedSeconds();
+                            {
+                                std::unique_lock<std::mutex> lock(
+                                    stats_mutex_);
+                                ++stats_.executed;
+                                stats_.total_exec_seconds += seconds;
+                            }
+                            run_entry->publishReady(std::move(artifact),
+                                                    seconds, worker);
+                        } catch (const std::exception& e) {
+                            {
+                                std::unique_lock<std::mutex> lock(
+                                    stats_mutex_);
+                                ++stats_.run_failed;
+                            }
+                            run_entry->publishFailure(e.what(), worker);
+                        }
+                    },
+                    estimate);
+            });
+    }
+
+    run_admission.entry->onSettled(
+        [promise, name, compile_hit, compile_dedup, run_hit,
+         run_dedup, queue_watch,
+         estimate](const RunEntry::Settled& settled) {
+            RunResponse response;
+            response.name = name;
+            response.compile_cache_hit = compile_hit;
+            response.compile_deduplicated = compile_dedup;
+            response.run_cache_hit = run_hit;
+            response.run_deduplicated = run_dedup;
+            response.queue_seconds = queue_watch.elapsedSeconds();
+            response.exec_seconds = settled.seconds;
+            response.estimated_cost = estimate;
+            response.worker_id = settled.worker_id;
+            if (settled.state == RunEntry::State::Ready) {
+                response.ok = true;
+                response.compiled = settled.artifact->compiled;
+                response.result = settled.artifact->result;
+                response.compile_seconds =
+                    settled.artifact->compile_seconds;
+            } else {
+                response.ok = false;
+                response.error = *settled.error;
+            }
+            promise->set_value(std::move(response));
+        });
+    return future;
+}
+
 std::vector<CompileResponse>
 CompileService::compileBatch(std::vector<CompileRequest> requests)
 {
@@ -178,6 +368,20 @@ CompileService::compileBatch(std::vector<CompileRequest> requests)
         futures.push_back(submit(std::move(request)));
     }
     std::vector<CompileResponse> responses;
+    responses.reserve(futures.size());
+    for (auto& future : futures) responses.push_back(future.get());
+    return responses;
+}
+
+std::vector<RunResponse>
+CompileService::runBatch(std::vector<RunRequest> requests)
+{
+    std::vector<std::future<RunResponse>> futures;
+    futures.reserve(requests.size());
+    for (RunRequest& request : requests) {
+        futures.push_back(submitRun(std::move(request)));
+    }
+    std::vector<RunResponse> responses;
     responses.reserve(futures.size());
     for (auto& future : futures) responses.push_back(future.get());
     return responses;

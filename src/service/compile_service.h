@@ -1,59 +1,103 @@
 /// \file
-/// Multi-threaded compile-and-run front end over the single-shot
-/// pipelines of compiler/pipeline.h.
+/// Multi-threaded compile-and-run front end over the unified
+/// CompilerDriver (compiler/driver.h).
 ///
-/// Architecture:
+/// Compile path:
 ///
 ///     submit(request)
 ///        |  canonicalize on the caller, derive CacheKey + cost estimate
 ///        v
 ///     KernelCache::acquire  -- owner --> ThreadPool (priority = cost)
-///        |                                  | compileNoOpt/Greedy/WithAgent
+///        |                                  | CompilerDriver::compile
 ///        |  hit / in-flight join            v
 ///        +-----------------------> CacheEntry settles -> futures resolve
 ///
+/// Run path (submitRun) reuses the compile path end to end — run
+/// requests and plain compile requests dedupe against the same kernel
+/// cache — then chains execution onto the settled compile:
+///
+///     submitRun(request)
+///        |  admit compile (above) + RunCache::acquire (single-flight)
+///        v
+///     compile settles -- run owner --> ThreadPool: lease pooled
+///        |                             FheRuntime (per-params), reseed
+///        |  run hit / join             deterministically, execute
+///        +--------------------> RunEntry settles -> futures resolve
+///
 /// Expensive kernels dispatch first (longest-processing-time-first on
 /// the §5.3.1 cost estimate), which minimizes batch makespan when job
-/// costs are heterogeneous. Identical concurrent requests compile once
-/// (single-flight); later identical requests are cache hits.
+/// costs are heterogeneous. Identical concurrent requests compile (and
+/// execute) once: single-flight on both caches. Both caches take an
+/// optional LRU capacity so long-running processes stay bounded.
 ///
 /// Thread-safety contract: every public member function may be called
-/// concurrently from any thread. Determinism: all three pipelines are
-/// deterministic, so for a fixed request the service returns a
-/// byte-identical instruction stream regardless of worker count or
-/// submission order.
+/// concurrently from any thread. Determinism: the driver pipelines are
+/// deterministic and the runtime pool reseeds per request (see
+/// service/runtime_pool.h), so for a fixed request the service returns
+/// a byte-identical instruction stream — and for run requests,
+/// bit-identical outputs and noise accounting — regardless of worker
+/// count or submission order.
 #pragma once
 
 #include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "compiler/driver.h"
 #include "compiler/pipeline.h"
 #include "rl/agent.h"
 #include "service/kernel_cache.h"
 #include "service/request.h"
+#include "service/runtime_pool.h"
 #include "support/thread_pool.h"
 #include "trs/ruleset.h"
 
 namespace chehab::service {
 
+/// What the run cache stores per entry: the executed program's compile
+/// artifact plus the execution outcome.
+struct RunArtifact
+{
+    compiler::Compiled compiled;
+    compiler::RunResult result;
+    double compile_seconds = 0.0; ///< Wall time of the producing compile.
+};
+
+using RunEntry = SettleEntry<RunArtifact>;
+using RunCache = SingleFlightCache<RunKey, RunKeyHash, RunArtifact>;
+
 /// Service construction knobs.
 struct ServiceConfig
 {
     int num_workers = 4;
-    /// Agent for OptMode::Rl requests; not owned, must outlive the
-    /// service. Rl requests fail with a CompileError message when null.
+    /// Agent for rl-trs pipelines; not owned, must outlive the service.
+    /// Pipelines naming "rl-trs" fail with a CompileError message when
+    /// null.
     const rl::RlAgent* agent = nullptr;
+    /// LRU capacity of the kernel (compile) cache; 0 = unbounded.
+    std::size_t kernel_cache_capacity = 0;
+    /// LRU capacity of the run-result cache; 0 = unbounded.
+    std::size_t run_cache_capacity = 0;
 };
 
 /// Aggregate service counters (monotonic; snapshot via stats()).
 struct ServiceStats
 {
-    std::uint64_t submitted = 0;
+    std::uint64_t submitted = 0;      ///< Compile requests accepted.
     std::uint64_t compiled = 0;       ///< Owner compiles actually run.
     std::uint64_t failed = 0;         ///< Compiles that threw.
     double total_compile_seconds = 0.0; ///< Sum over owner compiles.
-    KernelCache::Stats cache;
+
+    std::uint64_t run_submitted = 0;  ///< Run requests accepted.
+    std::uint64_t executed = 0;       ///< Owner executions actually run.
+    std::uint64_t run_failed = 0;     ///< Runs that failed (either stage).
+    double total_exec_seconds = 0.0;  ///< Sum over owner executions.
+    std::uint64_t runtimes_created = 0; ///< Pooled FheRuntimes built.
+
+    KernelCache::Stats cache;         ///< Hits/misses/evictions etc.
+    RunCache::Stats run_cache;
 };
 
 class CompileService
@@ -65,7 +109,7 @@ class CompileService
     CompileService(const CompileService&) = delete;
     CompileService& operator=(const CompileService&) = delete;
 
-    /// Enqueue one request; the future resolves when the artifact is
+    /// Enqueue one compile; the future resolves when the artifact is
     /// available (immediately on a cache hit). Never throws on compile
     /// failure — inspect CompileResponse::ok.
     std::future<CompileResponse> submit(CompileRequest request);
@@ -74,11 +118,31 @@ class CompileService
     std::vector<CompileResponse> compileBatch(
         std::vector<CompileRequest> requests);
 
+    /// Enqueue one compile-then-execute job; the future resolves when
+    /// the outputs are available. Never throws on compile or execution
+    /// failure — inspect RunResponse::ok.
+    std::future<RunResponse> submitRun(RunRequest request);
+
+    /// Submit a whole run batch and block for all responses, in input
+    /// order.
+    std::vector<RunResponse> runBatch(std::vector<RunRequest> requests);
+
     ServiceStats stats() const;
     int numWorkers() const;
     const trs::Ruleset& ruleset() const { return ruleset_; }
 
   private:
+    /// Admit \p key into the kernel cache; when this caller becomes the
+    /// owner, dispatch the compile of \p canonical under \p pipeline
+    /// onto the pool at \p estimate priority.
+    KernelCache::Admission admitCompile(const ir::ExprPtr& canonical,
+                                        const compiler::DriverConfig& pipeline,
+                                        const CacheKey& key,
+                                        double estimate);
+
+    /// The per-params runtime pool (created on first use).
+    RuntimePool& poolFor(const fhe::SealLiteParams& params);
+
     CompileResponse makeResponse(const CompileRequest& request,
                                  const CacheEntry::Settled& settled,
                                  bool cache_hit, bool deduplicated,
@@ -88,12 +152,17 @@ class CompileService
     ServiceConfig config_;
     trs::Ruleset ruleset_; ///< Owned, immutable after construction.
     KernelCache cache_;
+    RunCache run_cache_;
+
+    mutable std::mutex pools_mutex_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<RuntimePool>> pools_;
 
     mutable std::mutex stats_mutex_;
     ServiceStats stats_;
 
     /// Declared last so it destructs first: worker tasks touch the
-    /// cache and stats members above, which must outlive the drain.
+    /// cache, pool and stats members above, which must outlive the
+    /// drain.
     std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,108 +1,18 @@
 /// \file
-/// Content-addressed cache of Compiled artifacts with single-flight
-/// admission: for N concurrent identical requests, exactly one caller
-/// becomes the *owner* (compiles and publishes), the other N-1 attach
-/// continuations that fire when the entry settles. Entries never expire;
-/// the working set is bounded by the number of distinct (kernel, mode,
-/// parameters) combinations a deployment serves.
-///
-/// Thread-safety: all public member functions may be called from any
-/// thread. Continuations run either inline on the caller (entry already
-/// settled) or on the publisher's thread; they must not block.
+/// The compile-side instantiations of the generic single-flight cache
+/// (service/single_flight.h): CacheEntry holds one Compiled artifact,
+/// KernelCache maps compile cache keys to entries with LRU bounding and
+/// hit/miss/join/eviction accounting.
 #pragma once
-
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "compiler/pipeline.h"
 #include "service/cache_key.h"
+#include "service/single_flight.h"
 
 namespace chehab::service {
 
-/// One cache slot; shared between the owner and any joiners.
-class CacheEntry
-{
-  public:
-    enum class State : std::uint8_t { Pending, Ready, Failed };
-
-    /// Snapshot of a settled entry passed to continuations.
-    struct Settled
-    {
-        State state = State::Pending;
-        const compiler::Compiled* compiled = nullptr; ///< Ready only.
-        const std::string* error = nullptr;           ///< Failed only.
-        double compile_seconds = 0.0;
-        int worker_id = -1;
-    };
-
-    /// Publish a successful compile and run all queued continuations.
-    void publishReady(compiler::Compiled compiled, double compile_seconds,
-                      int worker_id);
-
-    /// Publish a failure (CompileError text) and run continuations.
-    void publishFailure(std::string error, int worker_id);
-
-    /// Run \p fn with the settled snapshot — immediately if the entry
-    /// has settled, otherwise when it does. Continuations run at most
-    /// once and in attach order.
-    void onSettled(std::function<void(const Settled&)> fn);
-
-    /// Block until settled and return the snapshot (test/CLI helper;
-    /// never call from a pool worker, the owner task may be queued
-    /// behind the caller).
-    Settled waitSettled();
-
-    /// True once publishReady/publishFailure has run.
-    bool isSettled() const;
-
-  private:
-    Settled snapshotLocked() const;
-
-    mutable std::mutex mutex_;
-    std::condition_variable settled_;
-    State state_ = State::Pending;
-    compiler::Compiled compiled_;
-    std::string error_;
-    double compile_seconds_ = 0.0;
-    int worker_id_ = -1;
-    std::vector<std::function<void(const Settled&)>> continuations_;
-};
-
-/// The content-addressed map plus hit/miss accounting.
-class KernelCache
-{
-  public:
-    struct Stats
-    {
-        std::uint64_t misses = 0;         ///< Owner admissions (compiles).
-        std::uint64_t hits = 0;           ///< Served from a settled entry.
-        std::uint64_t inflight_joins = 0; ///< Attached to a pending entry.
-        std::uint64_t entries = 0;        ///< Distinct keys ever admitted.
-    };
-
-    struct Admission
-    {
-        std::shared_ptr<CacheEntry> entry;
-        bool owner = false;     ///< Caller must compile and publish.
-        bool was_pending = false; ///< Joined an in-flight compile.
-    };
-
-    /// Look up \p key; the first caller for a key becomes the owner.
-    Admission acquire(const CacheKey& key);
-
-    Stats stats() const;
-
-  private:
-    mutable std::mutex mutex_;
-    std::unordered_map<CacheKey, std::shared_ptr<CacheEntry>, CacheKeyHash>
-        entries_;
-    Stats stats_;
-};
+using CacheEntry = SettleEntry<compiler::Compiled>;
+using KernelCache =
+    SingleFlightCache<CacheKey, CacheKeyHash, compiler::Compiled>;
 
 } // namespace chehab::service

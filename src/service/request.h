@@ -1,23 +1,34 @@
 /// \file
 /// Request/response types of the compile-and-run service.
 ///
-/// A CompileRequest names one kernel and how to compile it; the service
-/// answers with a CompileResponse carrying the full Compiled artifact
-/// plus provenance (cache hit vs. fresh compile vs. joined in-flight
-/// compile) and latency breakdown. Requests are value types: once
-/// submitted, the service owns its copy and the caller may reuse or
-/// destroy the original.
+/// A CompileRequest names one kernel and the driver pipeline to compile
+/// it with; the service answers with a CompileResponse carrying the full
+/// Compiled artifact plus provenance (cache hit vs. fresh compile vs.
+/// joined in-flight compile) and latency breakdown. A RunRequest
+/// additionally carries inputs and runtime parameters; the service
+/// compiles (or reuses a cached/in-flight compile), then executes the
+/// program on a pooled SealLite runtime and answers with the outputs
+/// and the Table-6-style noise/latency accounting. Requests are value
+/// types: once submitted, the service owns its copy and the caller may
+/// reuse or destroy the original.
 #pragma once
 
 #include <string>
 
+#include "compiler/driver.h"
 #include "compiler/pipeline.h"
+#include "compiler/runtime.h"
+#include "fhe/sealite.h"
 #include "ir/cost_model.h"
+#include "ir/evaluator.h"
 #include "ir/expr.h"
 
 namespace chehab::service {
 
-/// Which optimizer pipeline to run (mirrors compiler/pipeline.h).
+/// Convenience names for the three canonical pipelines. The service
+/// itself keys on the full pass configuration
+/// (compiler::DriverConfig::fingerprint()), not on this enum — it only
+/// exists as CLI/test sugar for makePipeline().
 enum class OptMode : std::uint8_t {
     NoOpt,  ///< canonicalize + schedule only (Table 6 "Initial").
     Greedy, ///< greedy best-improvement TRS (original CHEHAB).
@@ -27,14 +38,18 @@ enum class OptMode : std::uint8_t {
 /// Printable mode name ("noopt"/"greedy"/"rl").
 const char* optModeName(OptMode mode);
 
+/// The canonical driver pipeline for \p mode.
+compiler::DriverConfig makePipeline(OptMode mode,
+                                    const ir::CostWeights& weights = {},
+                                    int max_steps = 75);
+
 /// One compile job.
 struct CompileRequest
 {
-    std::string name;           ///< Client label echoed in the response.
-    ir::ExprPtr source;         ///< Kernel IR (e.g. from ir::parse).
-    OptMode mode = OptMode::Greedy;
-    ir::CostWeights weights{};  ///< Cost weights (Greedy only).
-    int max_steps = 75;         ///< Rewrite budget (Greedy only).
+    std::string name;   ///< Client label echoed in the response.
+    ir::ExprPtr source; ///< Kernel IR (e.g. from ir::parse).
+    /// The pass pipeline to run; defaults to the greedy TRS pipeline.
+    compiler::DriverConfig pipeline = compiler::DriverConfig::greedy();
 };
 
 /// The service's answer to one request.
@@ -57,6 +72,49 @@ struct CompileResponse
     /// Worker that compiled the artifact (also for cache-served
     /// responses); -1 only when the request failed before dispatch.
     int worker_id = -1;
+};
+
+/// One compile-and-execute job.
+struct RunRequest
+{
+    std::string name;   ///< Client label echoed in the response.
+    ir::ExprPtr source; ///< Kernel IR.
+    compiler::DriverConfig pipeline = compiler::DriverConfig::greedy();
+    ir::Env inputs;     ///< Variable bindings for execution.
+    /// Rotation-key budget for execution when the pipeline has no
+    /// key-select pass (0 = one key per distinct step). Ignored when
+    /// the compiled artifact carries a key plan — the plan wins.
+    int key_budget = 0;
+    /// SealLite parameters; requests with equal parameters share one
+    /// pooled runtime family (and therefore key material).
+    fhe::SealLiteParams params{};
+};
+
+/// The service's answer to one run request.
+struct RunResponse
+{
+    std::string name;
+    bool ok = false;
+    std::string error; ///< Compile or execution error text when !ok.
+    compiler::Compiled compiled;
+    compiler::RunResult result; ///< Outputs + noise/latency accounting.
+
+    /// Compile-stage provenance. A response served from the run cache
+    /// reused the compile stage by definition (the artifact is part of
+    /// the run entry), so these mirror the run provenance then.
+    bool compile_cache_hit = false;
+    bool compile_deduplicated = false;
+    bool run_cache_hit = false;     ///< Served from a settled run entry.
+    bool run_deduplicated = false;  ///< Joined an in-flight identical run.
+    double queue_seconds = 0.0;     ///< Submit -> result available.
+    double compile_seconds = 0.0;   ///< Original compile's wall time.
+    /// Wall time of the execution that produced the artifact (packing,
+    /// key generation and homomorphic evaluation; the server-side
+    /// evaluation alone is result.exec_seconds). Cache-served responses
+    /// report the original execution's duration.
+    double exec_seconds = 0.0;
+    double estimated_cost = 0.0; ///< Cost-model dispatch priority used.
+    int worker_id = -1;          ///< Worker that executed the program.
 };
 
 } // namespace chehab::service

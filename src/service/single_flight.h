@@ -1,0 +1,265 @@
+/// \file
+/// Generic content-addressed, single-flight, LRU-bounded cache — the
+/// machinery behind both the kernel (compile) cache and the run-result
+/// cache. For N concurrent identical requests, exactly one caller
+/// becomes the *owner* (does the work and publishes), the other N-1
+/// attach continuations that fire when the entry settles.
+///
+/// With a nonzero capacity the map evicts least-recently-used *settled*
+/// entries once it grows past the limit, so a long-running service
+/// process cannot grow without bound. Pending entries are never evicted
+/// (they are about to be needed by their joiners); eviction only
+/// removes the map slot — joiners and the owner keep the entry alive
+/// through their shared_ptr until their futures resolve.
+///
+/// Thread-safety: all public member functions may be called from any
+/// thread. Continuations run either inline on the caller (entry already
+/// settled) or on the publisher's thread; they must not block.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace chehab::service {
+
+/// One cache slot holding an artifact of type \p Artifact; shared
+/// between the owner and any joiners.
+template <typename Artifact>
+class SettleEntry
+{
+  public:
+    enum class State : std::uint8_t { Pending, Ready, Failed };
+
+    /// Snapshot of a settled entry passed to continuations.
+    struct Settled
+    {
+        State state = State::Pending;
+        const Artifact* artifact = nullptr; ///< Ready only.
+        const std::string* error = nullptr; ///< Failed only.
+        double seconds = 0.0; ///< Wall time of the work that produced it.
+        int worker_id = -1;
+    };
+
+    /// Publish a successful result and run all queued continuations.
+    void
+    publishReady(Artifact artifact, double seconds, int worker_id)
+    {
+        std::vector<std::function<void(const Settled&)>> pending;
+        Settled snapshot;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            CHEHAB_ASSERT(state_ == State::Pending,
+                          "cache entry published twice");
+            artifact_ = std::move(artifact);
+            seconds_ = seconds;
+            worker_id_ = worker_id;
+            state_ = State::Ready;
+            pending.swap(continuations_);
+            snapshot = snapshotLocked();
+        }
+        settled_.notify_all();
+        for (auto& fn : pending) fn(snapshot);
+    }
+
+    /// Publish a failure (error text) and run continuations.
+    void
+    publishFailure(std::string error, int worker_id)
+    {
+        std::vector<std::function<void(const Settled&)>> pending;
+        Settled snapshot;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            CHEHAB_ASSERT(state_ == State::Pending,
+                          "cache entry published twice");
+            error_ = std::move(error);
+            worker_id_ = worker_id;
+            state_ = State::Failed;
+            pending.swap(continuations_);
+            snapshot = snapshotLocked();
+        }
+        settled_.notify_all();
+        for (auto& fn : pending) fn(snapshot);
+    }
+
+    /// Run \p fn with the settled snapshot — immediately if the entry
+    /// has settled, otherwise when it does. Continuations run at most
+    /// once and in attach order.
+    void
+    onSettled(std::function<void(const Settled&)> fn)
+    {
+        Settled snapshot;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (state_ == State::Pending) {
+                continuations_.push_back(std::move(fn));
+                return;
+            }
+            snapshot = snapshotLocked();
+        }
+        fn(snapshot);
+    }
+
+    /// Block until settled and return the snapshot (test/CLI helper;
+    /// never call from a pool worker, the owner task may be queued
+    /// behind the caller).
+    Settled
+    waitSettled()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        settled_.wait(lock, [this] { return state_ != State::Pending; });
+        return snapshotLocked();
+    }
+
+    /// True once publishReady/publishFailure has run.
+    bool
+    isSettled() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return state_ != State::Pending;
+    }
+
+  private:
+    Settled
+    snapshotLocked() const
+    {
+        Settled snapshot;
+        snapshot.state = state_;
+        snapshot.seconds = seconds_;
+        snapshot.worker_id = worker_id_;
+        if (state_ == State::Ready) snapshot.artifact = &artifact_;
+        if (state_ == State::Failed) snapshot.error = &error_;
+        return snapshot;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable settled_;
+    State state_ = State::Pending;
+    Artifact artifact_;
+    std::string error_;
+    double seconds_ = 0.0;
+    int worker_id_ = -1;
+    std::vector<std::function<void(const Settled&)>> continuations_;
+};
+
+/// The content-addressed map: single-flight admission, hit/miss/join/
+/// eviction accounting, optional LRU capacity bound.
+template <typename Key, typename KeyHash, typename Artifact>
+class SingleFlightCache
+{
+  public:
+    using Entry = SettleEntry<Artifact>;
+
+    struct Stats
+    {
+        std::uint64_t misses = 0;         ///< Owner admissions (work runs).
+        std::uint64_t hits = 0;           ///< Served from a settled entry.
+        std::uint64_t inflight_joins = 0; ///< Attached to a pending entry.
+        /// Admissions of a fresh entry (monotonic; a key readmitted
+        /// after eviction counts again).
+        std::uint64_t entries = 0;
+        std::uint64_t evictions = 0;      ///< LRU evictions.
+        std::uint64_t resident = 0;       ///< Entries currently mapped.
+    };
+
+    struct Admission
+    {
+        std::shared_ptr<Entry> entry;
+        bool owner = false;       ///< Caller must do the work and publish.
+        bool was_pending = false; ///< Joined an in-flight computation.
+    };
+
+    /// \p capacity 0 = unbounded; otherwise the maximum number of
+    /// resident entries (best effort: pending entries never count
+    /// toward eviction candidates, so the map may transiently exceed
+    /// the capacity while many keys are in flight).
+    explicit SingleFlightCache(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {}
+
+    /// Look up \p key; the first caller for a key becomes the owner.
+    /// Touches the key's LRU recency either way.
+    Admission
+    acquire(const Key& key)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Admission admission;
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            lru_.push_front(key);
+            auto [slot, inserted] = map_.emplace(
+                key, Slot{std::make_shared<Entry>(), lru_.begin()});
+            (void)inserted;
+            admission.entry = slot->second.entry;
+            admission.owner = true;
+            ++stats_.misses;
+            ++stats_.entries;
+            evictLocked();
+            return admission;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        it->second.lru_it = lru_.begin();
+        admission.entry = it->second.entry;
+        // An entry that has settled by admission time is a plain hit; a
+        // pending one is an in-flight join (single-flight dedup). The
+        // entry can settle between this check and the caller's
+        // onSettled() attach — that only makes the continuation run
+        // inline, the accounting stays consistent with what the caller
+        // observed.
+        if (admission.entry->isSettled()) {
+            ++stats_.hits;
+        } else {
+            admission.was_pending = true;
+            ++stats_.inflight_joins;
+        }
+        return admission;
+    }
+
+    Stats
+    stats() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Stats snapshot = stats_;
+        snapshot.resident = map_.size();
+        return snapshot;
+    }
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<Entry> entry;
+        typename std::list<Key>::iterator lru_it;
+    };
+
+    void
+    evictLocked()
+    {
+        if (capacity_ == 0) return;
+        auto it = lru_.end();
+        while (map_.size() > capacity_ && it != lru_.begin()) {
+            --it;
+            auto slot = map_.find(*it);
+            CHEHAB_ASSERT(slot != map_.end(), "LRU list out of sync");
+            if (!slot->second.entry->isSettled()) continue;
+            map_.erase(slot);
+            it = lru_.erase(it);
+            ++stats_.evictions;
+        }
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, Slot, KeyHash> map_;
+    std::list<Key> lru_; ///< Front = most recently used.
+    Stats stats_;
+};
+
+} // namespace chehab::service

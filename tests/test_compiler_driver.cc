@@ -1,0 +1,298 @@
+/// \file
+/// Tests for the PassManager/CompilerDriver architecture: the legacy
+/// entry points must be bit-identical to the hand-rolled pre-refactor
+/// pass sequences (golden equivalence via FheProgram::disassemble()),
+/// per-pass stats must be recorded, the registry must support custom
+/// passes, and DriverConfig fingerprints must identify pipelines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "compiler/passes.h"
+#include "compiler/pipeline.h"
+#include "compiler/schedule.h"
+#include "ir/parser.h"
+#include "rl/agent.h"
+#include "support/error.h"
+#include "trs/rewriter.h"
+#include "trs/ruleset.h"
+
+namespace chehab::compiler {
+namespace {
+
+std::string
+dotSource(int n)
+{
+    std::string sum;
+    for (int i = 0; i < n; ++i) {
+        const std::string term = "(* a" + std::to_string(i) + " b" +
+                                 std::to_string(i) + ")";
+        sum = i == 0 ? term : "(+ " + sum + " " + term + ")";
+    }
+    return sum;
+}
+
+// ---- golden equivalence to the pre-refactor pipelines ---------------
+
+TEST(CompilerDriverTest, NoOptMatchesLegacySequence)
+{
+    const ir::ExprPtr source = ir::parse("(+ (* a b) (+ c 0))");
+
+    // The pre-refactor compileNoOpt: canonicalize, then schedule.
+    const ir::ExprPtr canonical = canonicalize(source);
+    const FheProgram legacy = schedule(canonical);
+
+    const Compiled driver = compileNoOpt(source);
+    EXPECT_EQ(driver.program.disassemble(), legacy.disassemble());
+    EXPECT_EQ(driver.optimized->toString(), canonical->toString());
+    EXPECT_DOUBLE_EQ(driver.stats.initial_cost, ir::cost(canonical));
+    EXPECT_DOUBLE_EQ(driver.stats.final_cost, ir::cost(canonical));
+    EXPECT_EQ(driver.stats.rewrite_steps, 0);
+}
+
+TEST(CompilerDriverTest, GreedyMatchesLegacySequence)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    const ir::CostWeights weights{};
+    const int max_steps = 30;
+
+    // The pre-refactor compileGreedy: canonicalize, greedy TRS,
+    // schedule.
+    const ir::ExprPtr canonical = canonicalize(source);
+    trs::OptimizeResult legacy_opt =
+        trs::greedyOptimize(ruleset, canonical, weights, {}, max_steps);
+    const FheProgram legacy = schedule(legacy_opt.program);
+
+    const Compiled driver =
+        compileGreedy(ruleset, source, weights, max_steps);
+    EXPECT_EQ(driver.program.disassemble(), legacy.disassemble());
+    EXPECT_EQ(driver.optimized->toString(),
+              legacy_opt.program->toString());
+    EXPECT_DOUBLE_EQ(driver.stats.initial_cost, legacy_opt.initial_cost);
+    EXPECT_EQ(driver.stats.rewrite_steps, legacy_opt.steps);
+}
+
+TEST(CompilerDriverTest, AgentMatchesLegacySequence)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    rl::AgentConfig config;
+    config.compile_rollouts = 1;
+    const rl::RlAgent agent(ruleset, config); // Untrained: still
+                                              // deterministic.
+    const ir::ExprPtr source = ir::parse(dotSource(3));
+
+    // The pre-refactor compileWithAgent: canonicalize, agent optimize,
+    // schedule.
+    const ir::ExprPtr canonical = canonicalize(source);
+    rl::AgentResult legacy_opt = agent.optimize(canonical);
+    const FheProgram legacy = schedule(legacy_opt.program);
+
+    const Compiled driver = compileWithAgent(agent, source);
+    EXPECT_EQ(driver.program.disassemble(), legacy.disassemble());
+    EXPECT_EQ(driver.optimized->toString(),
+              legacy_opt.program->toString());
+    EXPECT_DOUBLE_EQ(driver.stats.initial_cost, legacy_opt.initial_cost);
+    EXPECT_EQ(driver.stats.rewrite_steps, legacy_opt.steps);
+}
+
+TEST(CompilerDriverTest, RepeatedCompilesAreBitIdentical)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const ir::ExprPtr source = ir::parse(dotSource(5));
+    const Compiled first = compileGreedy(ruleset, source);
+    const Compiled second = compileGreedy(ruleset, source);
+    EXPECT_EQ(first.program.disassemble(), second.program.disassemble());
+}
+
+// ---- per-pass statistics --------------------------------------------
+
+TEST(CompilerDriverTest, PerPassStatsRecorded)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const Compiled compiled =
+        compileGreedy(ruleset, ir::parse(dotSource(4)));
+
+    ASSERT_EQ(compiled.stats.passes.size(), 3u);
+    EXPECT_EQ(compiled.stats.passes[0].name, "canonicalize");
+    EXPECT_EQ(compiled.stats.passes[1].name, "greedy-trs");
+    EXPECT_EQ(compiled.stats.passes[2].name, "schedule");
+
+    double sum = 0.0;
+    for (const PassStats& pass : compiled.stats.passes) {
+        EXPECT_GE(pass.seconds, 0.0) << pass.name;
+        sum += pass.seconds;
+    }
+    EXPECT_DOUBLE_EQ(compiled.stats.totalSeconds(), sum);
+
+    // The TRS pass is where the cost drops and the rewrites happen.
+    const PassStats& trs_pass = compiled.stats.passes[1];
+    EXPECT_LT(trs_pass.cost_after, trs_pass.cost_before);
+    EXPECT_EQ(trs_pass.rewrite_steps, compiled.stats.rewrite_steps);
+    EXPECT_GT(trs_pass.rewrite_steps, 0);
+
+    // Schedule does not change the IR cost.
+    const PassStats& schedule_pass = compiled.stats.passes[2];
+    EXPECT_DOUBLE_EQ(schedule_pass.cost_before,
+                     schedule_pass.cost_after);
+}
+
+// ---- registry -------------------------------------------------------
+
+TEST(CompilerDriverTest, UnknownPassThrows)
+{
+    DriverConfig config;
+    config.passes = {"canonicalize", "no-such-pass", "schedule"};
+    EXPECT_THROW(CompilerDriver().compile(ir::parse("(+ a b)"), config),
+                 CompileError);
+}
+
+TEST(CompilerDriverTest, BuiltInPassesRegistered)
+{
+    const std::vector<std::string> names = registeredPassNames();
+    for (const char* required : {"canonicalize", "greedy-trs", "rl-trs",
+                                 "schedule", "key-select"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), required),
+                  names.end())
+            << required;
+    }
+}
+
+namespace {
+
+/// A pass that proves third-party stages plug into the driver: negates
+/// the program twice (a semantic no-op that changes the tree shape
+/// until canonicalize cleans it, so we just count invocations).
+class CountingPass final : public Pass
+{
+  public:
+    explicit CountingPass(int* counter) : counter_(counter) {}
+    std::string name() const override { return "counting"; }
+
+    void
+    run(CompileState&, const PassContext&) const override
+    {
+        ++*counter_;
+    }
+
+  private:
+    int* counter_;
+};
+
+} // namespace
+
+TEST(CompilerDriverTest, CustomPassPluggable)
+{
+    static int invocations = 0;
+    invocations = 0;
+    registerPass("counting", [] {
+        return std::unique_ptr<Pass>(new CountingPass(&invocations));
+    });
+
+    DriverConfig config;
+    config.passes = {"canonicalize", "counting", "schedule"};
+    const Compiled compiled =
+        CompilerDriver().compile(ir::parse("(+ a b)"), config);
+    EXPECT_EQ(invocations, 1);
+    ASSERT_EQ(compiled.stats.passes.size(), 3u);
+    EXPECT_EQ(compiled.stats.passes[1].name, "counting");
+    // And the pipeline output is unaffected by the no-op stage.
+    EXPECT_EQ(compiled.program.disassemble(),
+              compileNoOpt(ir::parse("(+ a b)")).program.disassemble());
+}
+
+// ---- config fingerprints --------------------------------------------
+
+TEST(CompilerDriverTest, FingerprintIdentifiesPipelines)
+{
+    const DriverConfig noopt = DriverConfig::noOpt();
+    const DriverConfig greedy = DriverConfig::greedy();
+    EXPECT_NE(noopt.fingerprint(), greedy.fingerprint());
+    EXPECT_NE(greedy.fingerprint(), DriverConfig::rl().fingerprint());
+
+    // Parameters of absent passes do not matter...
+    DriverConfig noopt_budget = noopt;
+    noopt_budget.max_steps = 3;
+    noopt_budget.weights.w_depth = 9.0;
+    EXPECT_EQ(noopt.fingerprint(), noopt_budget.fingerprint());
+
+    // ...parameters of present passes do.
+    DriverConfig greedy_budget = greedy;
+    greedy_budget.max_steps = 3;
+    EXPECT_NE(greedy.fingerprint(), greedy_budget.fingerprint());
+    ir::CostWeights heavier;
+    heavier.w_depth = 2.0;
+    EXPECT_NE(DriverConfig::greedy(heavier).fingerprint(),
+              greedy.fingerprint());
+
+    // Pass order is part of the identity.
+    DriverConfig reordered = greedy;
+    std::swap(reordered.passes[0], reordered.passes[1]);
+    EXPECT_NE(reordered.fingerprint(), greedy.fingerprint());
+
+    // Name-boundary confusion is not: {"ab","c"} vs {"a","bc"}.
+    DriverConfig ab_c;
+    ab_c.passes = {"ab", "c"};
+    DriverConfig a_bc;
+    a_bc.passes = {"a", "bc"};
+    EXPECT_NE(ab_c.fingerprint(), a_bc.fingerprint());
+}
+
+TEST(CompilerDriverTest, DescribeNamesThePipeline)
+{
+    EXPECT_EQ(DriverConfig::noOpt().describe(), "canonicalize > schedule");
+    EXPECT_EQ(DriverConfig::greedy({}, 42).describe(),
+              "canonicalize > greedy-trs(steps=42) > schedule");
+}
+
+// ---- key-select pass ------------------------------------------------
+
+TEST(CompilerDriverTest, KeySelectPassPopulatesPlan)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    DriverConfig config = DriverConfig::noOpt();
+    config.passes.push_back("key-select");
+    config.key_budget = 3;
+
+    const ir::ExprPtr source = ir::parse(
+        "(VecAdd (<< (Vec a b c d e f g h) 3)"
+        "        (<< (Vec a b c d e f g h) 5))");
+    const Compiled compiled = CompilerDriver(&ruleset).compile(source,
+                                                              config);
+    ASSERT_TRUE(compiled.key_planned);
+    EXPECT_LE(static_cast<int>(compiled.key_plan.keys.size()), 3);
+    // Every rotation step the program uses has a decomposition.
+    for (int step : compiled.program.rotationSteps()) {
+        EXPECT_TRUE(compiled.key_plan.decomposition.count(step)) << step;
+    }
+    ASSERT_EQ(compiled.stats.passes.size(), 3u);
+    EXPECT_EQ(compiled.stats.passes.back().name, "key-select");
+}
+
+TEST(CompilerDriverTest, KeySelectWithoutScheduleThrows)
+{
+    DriverConfig config;
+    config.passes = {"canonicalize", "key-select"};
+    EXPECT_THROW(
+        CompilerDriver().compile(ir::parse("(<< (Vec a b) 1)"), config),
+        CompileError);
+}
+
+TEST(CompilerDriverTest, RlPassWithoutAgentThrows)
+{
+    try {
+        CompilerDriver().compile(ir::parse("(+ a b)"),
+                                 DriverConfig::rl());
+        FAIL() << "expected CompileError";
+    } catch (const CompileError& e) {
+        EXPECT_NE(std::string(e.what()).find("RL agent"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace chehab::compiler

@@ -22,8 +22,7 @@ greedyRequest(const std::string& name, const std::string& source,
     CompileRequest request;
     request.name = name;
     request.source = ir::parse(source);
-    request.mode = OptMode::Greedy;
-    request.max_steps = max_steps;
+    request.pipeline = compiler::DriverConfig::greedy({}, max_steps);
     return request;
 }
 
@@ -170,11 +169,11 @@ TEST(CompileServiceTest, SyntacticVariantsShareOneEntry)
     CompileRequest plain;
     plain.name = "x";
     plain.source = ir::parse("x");
-    plain.mode = OptMode::NoOpt;
+    plain.pipeline = compiler::DriverConfig::noOpt();
     CompileRequest variant;
     variant.name = "x_plus_0";
     variant.source = ir::parse("(+ x 0)");
-    variant.mode = OptMode::NoOpt;
+    variant.pipeline = compiler::DriverConfig::noOpt();
     std::vector<CompileResponse> responses =
         service.compileBatch({plain, variant});
     EXPECT_TRUE(responses[0].ok);
@@ -184,25 +183,29 @@ TEST(CompileServiceTest, SyntacticVariantsShareOneEntry)
     EXPECT_EQ(stats.cache.misses, 1u);
 }
 
-TEST(CompileServiceTest, ModeAndWeightsAreCacheKeyed)
+TEST(CompileServiceTest, PipelineAndWeightsAreCacheKeyed)
 {
     CompileService service({/*num_workers=*/2});
     const std::string source = dotSource(3);
     CompileRequest greedy = greedyRequest("g", source);
     CompileRequest reweighted = greedyRequest("w", source);
-    reweighted.weights.w_depth = 2.0;
+    ir::CostWeights heavier_depth;
+    heavier_depth.w_depth = 2.0;
+    reweighted.pipeline =
+        compiler::DriverConfig::greedy(heavier_depth, 20);
     CompileRequest noopt;
     noopt.name = "n";
     noopt.source = ir::parse(source);
-    noopt.mode = OptMode::NoOpt;
+    noopt.pipeline = compiler::DriverConfig::noOpt();
     service.compileBatch({greedy, reweighted, noopt});
     // Three distinct compilations despite one source program.
     EXPECT_EQ(service.stats().cache.entries, 3u);
 
-    // NoOpt ignores greedy-only parameters in the key.
+    // A pipeline without the greedy pass ignores greedy-only parameters
+    // in its fingerprint.
     CompileRequest noopt_other_budget = noopt;
     noopt_other_budget.name = "n2";
-    noopt_other_budget.max_steps = 3;
+    noopt_other_budget.pipeline.max_steps = 3;
     service.compileBatch({noopt_other_budget});
     EXPECT_EQ(service.stats().cache.entries, 3u);
     EXPECT_EQ(service.stats().cache.hits, 1u);
@@ -214,7 +217,7 @@ TEST(CompileServiceTest, RlWithoutAgentFailsGracefully)
     CompileRequest request;
     request.name = "rl";
     request.source = ir::parse("(+ a b)");
-    request.mode = OptMode::Rl;
+    request.pipeline = compiler::DriverConfig::rl();
     std::vector<CompileResponse> responses =
         service.compileBatch({request});
     ASSERT_EQ(responses.size(), 1u);
