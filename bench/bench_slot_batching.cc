@@ -1,0 +1,158 @@
+/// \file
+/// Slot-batching throughput benchmark: jobs/sec for a batch of small
+/// coalescible run requests (one kernel, distinct inputs — the shape a
+/// fleet of clients hammering the same model produces) as the lane cap
+/// sweeps from 1 (solo execution) toward the full row. Each packed
+/// group encrypts, evaluates and decrypts ONE ciphertext row regardless
+/// of how many requests rode it, so jobs/sec should scale roughly with
+/// the lane count until the row (or the batch) is exhausted.
+///
+/// Usage:
+///   bench_slot_batching [LANES...]   lane caps to sweep (default
+///                                    1 2 4 8 16; 1 = batching off)
+///
+/// Environment knobs (see bench/common.h):
+///   CHEHAB_BENCH_FAST=1    smaller batch and rewrite budget
+///
+/// Writes results/slot_batching.csv and prints a summary table with
+/// the speedup over the lanes=1 baseline.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "common.h"
+#include "service/compile_service.h"
+#include "support/csv.h"
+#include "support/parse_int.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+service::RunRequest
+makeRequest(const benchsuite::Kernel& kernel, int index, int max_steps)
+{
+    service::RunRequest request;
+    request.name = kernel.name + "#" + std::to_string(index);
+    request.source = kernel.program;
+    request.pipeline = compiler::DriverConfig::greedy({}, max_steps);
+    request.params.n = 256; // 128-slot row.
+    request.params.prime_count = 4;
+    request.params.seed = 17;
+    request.inputs = benchsuite::syntheticInputs(kernel.program);
+    // Distinct inputs per request: identical requests would collapse in
+    // the run cache instead of exercising the coalescer.
+    for (auto& [name, value] : request.inputs) value += index * 3 + 1;
+    request.key_budget = 0;
+    return request;
+}
+
+struct Outcome
+{
+    double wall_seconds = 0.0;
+    double jobs_per_second = 0.0;
+    service::ServiceStats stats;
+};
+
+Outcome
+runSweep(const std::vector<service::RunRequest>& batch, int lanes,
+         int workers)
+{
+    service::ServiceConfig config;
+    config.num_workers = workers;
+    config.max_lanes = lanes;
+    config.batch_window_seconds = 0.002;
+    service::CompileService service(config);
+    std::vector<service::RunRequest> jobs = batch;
+    const Stopwatch wall;
+    std::vector<service::RunResponse> responses =
+        service.runBatch(std::move(jobs));
+    Outcome outcome;
+    outcome.wall_seconds = wall.elapsedSeconds();
+    outcome.jobs_per_second =
+        static_cast<double>(batch.size()) / outcome.wall_seconds;
+    outcome.stats = service.stats();
+    for (const service::RunResponse& response : responses) {
+        if (!response.ok) {
+            std::fprintf(stderr, "[bench] %s FAILED: %s\n",
+                         response.name.c_str(), response.error.c_str());
+        }
+    }
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const benchcommon::Budget budget = benchcommon::budgetFromEnv();
+    const int max_steps = budget.fast ? 8 : 20;
+    const int jobs = budget.fast ? 16 : 32;
+    const int workers = 4;
+
+    std::vector<int> lane_caps;
+    for (int i = 1; i < argc; ++i) {
+        int lanes = 0;
+        if (!parseInt(argv[i], lanes) || lanes < 0) {
+            std::fprintf(stderr,
+                         "bench_slot_batching: bad lane count '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+        lane_caps.push_back(lanes);
+    }
+    if (lane_caps.empty()) lane_caps = {1, 2, 4, 8, 16};
+
+    // One small kernel, many distinct-input requests: the coalescible
+    // load slot batching exists for.
+    const benchsuite::Kernel kernel = benchsuite::dotProduct(4);
+    std::vector<service::RunRequest> batch;
+    for (int i = 0; i < jobs; ++i) {
+        batch.push_back(makeRequest(kernel, i, max_steps));
+    }
+
+    std::filesystem::create_directories("results");
+    CsvWriter csv("results/slot_batching.csv",
+                  {"lanes", "workers", "jobs", "wall_s", "jobs_per_s",
+                   "speedup_vs_solo", "packed_groups", "packed_lanes",
+                   "solo_runs", "executed", "fallbacks"});
+
+    std::printf("%-6s %-8s %6s %9s %11s %9s %7s %7s %6s %6s\n", "lanes",
+                "workers", "jobs", "wall_s", "jobs/s", "speedup",
+                "groups", "packed", "solo", "exec");
+    double solo_rate = 0.0;
+    for (int lanes : lane_caps) {
+        const Outcome outcome = runSweep(batch, lanes, workers);
+        // Speedup baseline: the most recent lanes=1 run, or — when the
+        // sweep omits 1 — the first run, so the column is never 0/0.
+        if (lanes == 1 || solo_rate == 0.0) {
+            solo_rate = outcome.jobs_per_second;
+        }
+        const double speedup =
+            solo_rate > 0.0 ? outcome.jobs_per_second / solo_rate : 0.0;
+        std::printf("%-6d %-8d %6zu %9.3f %11.1f %8.2fx %7llu %7llu "
+                    "%6llu %6llu\n",
+                    lanes, workers, batch.size(), outcome.wall_seconds,
+                    outcome.jobs_per_second, speedup,
+                    static_cast<unsigned long long>(
+                        outcome.stats.packed_groups),
+                    static_cast<unsigned long long>(
+                        outcome.stats.packed_lanes),
+                    static_cast<unsigned long long>(
+                        outcome.stats.solo_runs),
+                    static_cast<unsigned long long>(
+                        outcome.stats.executed));
+        csv.writeRow(lanes, workers, batch.size(), outcome.wall_seconds,
+                     outcome.jobs_per_second, speedup,
+                     outcome.stats.packed_groups,
+                     outcome.stats.packed_lanes, outcome.stats.solo_runs,
+                     outcome.stats.executed,
+                     outcome.stats.packed_fallbacks);
+    }
+    std::printf("[bench] wrote results/slot_batching.csv\n");
+    return 0;
+}

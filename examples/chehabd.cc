@@ -29,10 +29,24 @@
 ///                   key per distinct step)
 ///   --poly-n N      SealLite polynomial degree for --run (default 256,
 ///                   toy-sized for speed; slots = N/2)
+///   --batch-lanes N slot-batching lane cap for --run: pack up to N
+///                   coalescible requests into one ciphertext row
+///                   (default 1 = off, 0 = as many as the row allows)
+///   --batch-window-us N  how long a pending run waits for row-mates
+///                   before a partial batch flushes (default 500)
+///   --distinct-inputs    give every --repeat copy its own synthetic
+///                   inputs, so repeats become coalescible slot-batch
+///                   lanes instead of run-cache hits
 ///   --csv PATH      write per-request stats CSV
 ///   --json PATH     write per-request stats JSON
 ///   --dump          print each distinct kernel's instruction stream
 ///                   and its per-pass compile-time breakdown
+///
+/// With --run and --batch-lanes > 1 the report gains packed-vs-solo
+/// latency columns: `lanes` (how many requests shared the executed
+/// row) and `amort_ms` (the shared execution wall time divided by the
+/// lane count — the per-request cost packing actually achieved, to
+/// compare against the solo `exec_ms`).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +65,7 @@
 #include "rl/agent.h"
 #include "service/compile_service.h"
 #include "support/csv.h"
+#include "support/parse_int.h"
 #include "support/stopwatch.h"
 
 namespace {
@@ -69,6 +84,9 @@ struct Options
     bool run = false;
     int key_budget = 0;
     int poly_n = 256;
+    int batch_lanes = 1;
+    int batch_window_us = 500;
+    bool distinct_inputs = false;
     std::string csv_path;
     std::string json_path;
     bool dump = false;
@@ -84,6 +102,8 @@ usage(const char* argv0)
                  "       [--repeat R] [--suite N] [--train-steps N] "
                  "[--cache-cap N]\n"
                  "       [--run] [--key-budget N] [--poly-n N] "
+                 "[--batch-lanes N]\n"
+                 "       [--batch-window-us N] [--distinct-inputs] "
                  "[--csv PATH]\n"
                  "       [--json PATH] [--dump] [kernel-file | -] ...\n",
                  argv0);
@@ -92,9 +112,20 @@ usage(const char* argv0)
 bool
 parseArgs(int argc, char** argv, Options& options)
 {
+    // Checked parse: "--workers abc" must fail loudly, not silently
+    // become 0 workers (std::atoi's behavior).
     auto intArg = [&](int& i, int& out) {
-        if (i + 1 >= argc) return false;
-        out = std::atoi(argv[++i]);
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "chehabd: %s needs a value\n", argv[i]);
+            return false;
+        }
+        if (!parseInt(argv[i + 1], out)) {
+            std::fprintf(stderr,
+                         "chehabd: %s expects an integer, got '%s'\n",
+                         argv[i], argv[i + 1]);
+            return false;
+        }
+        ++i;
         return true;
     };
     auto strArg = [&](int& i, std::string& out) {
@@ -135,6 +166,12 @@ parseArgs(int argc, char** argv, Options& options)
             if (!intArg(i, options.key_budget)) return false;
         } else if (arg == "--poly-n") {
             if (!intArg(i, options.poly_n)) return false;
+        } else if (arg == "--batch-lanes") {
+            if (!intArg(i, options.batch_lanes)) return false;
+        } else if (arg == "--batch-window-us") {
+            if (!intArg(i, options.batch_window_us)) return false;
+        } else if (arg == "--distinct-inputs") {
+            options.distinct_inputs = true;
         } else if (arg == "--csv") {
             if (!strArg(i, options.csv_path)) return false;
         } else if (arg == "--json") {
@@ -206,6 +243,12 @@ main(int argc, char** argv)
                      options.poly_n);
         return 2;
     }
+    if (options.batch_lanes < 0 || options.batch_window_us < 0) {
+        std::fprintf(stderr,
+                     "chehabd: --batch-lanes and --batch-window-us must "
+                     "be non-negative\n");
+        return 2;
+    }
 
     // ---- assemble the kernel list -------------------------------------
     std::vector<NamedKernel> kernels;
@@ -255,6 +298,8 @@ main(int argc, char** argv)
         static_cast<std::size_t>(options.cache_cap);
     config.run_cache_capacity =
         static_cast<std::size_t>(options.cache_cap);
+    config.max_lanes = options.batch_lanes;
+    config.batch_window_seconds = options.batch_window_us * 1e-6;
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
         std::fprintf(stderr,
@@ -291,6 +336,14 @@ main(int argc, char** argv)
                 request.source = kernel.source;
                 request.pipeline = pipeline;
                 request.inputs = benchsuite::syntheticInputs(kernel.source);
+                if (options.distinct_inputs && r > 0) {
+                    // Jitter per repeat: the copies stop colliding in
+                    // the run cache and instead coalesce into packed
+                    // rows (when --batch-lanes allows).
+                    for (auto& [name, value] : request.inputs) {
+                        value += r;
+                    }
+                }
                 request.key_budget = options.key_budget;
                 request.params = run_params;
                 batch.push_back(std::move(request));
@@ -328,11 +381,11 @@ main(int argc, char** argv)
 
     // ---- report -------------------------------------------------------
     if (options.run) {
-        std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %9s %6s %6s %5s "
-                    "%6s\n",
+        std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %9s %9s %5s %6s "
+                    "%6s %5s %6s\n",
                     "kernel", "mode", "ok", "csrc", "rsrc", "queue_ms",
-                    "comp_ms", "exec_ms", "noise", "final", "keys",
-                    "worker");
+                    "comp_ms", "exec_ms", "amort_ms", "lanes", "noise",
+                    "final", "keys", "worker");
     } else {
         std::printf("%-24s %-7s %-3s %-5s %9s %9s %7s %6s\n", "kernel",
                     "mode", "ok", "src", "queue_ms", "comp_ms", "cost",
@@ -350,14 +403,21 @@ main(int argc, char** argv)
                 response.run_cache_hit
                     ? "hit"
                     : (response.run_deduplicated ? "join" : "miss");
-            std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %9.2f %6d "
-                        "%6d %5d %6d\n",
+            // Packed-vs-solo latency: exec_ms is the (shared) execution
+            // wall time; amort_ms divides it across the lanes that rode
+            // the row — for solo runs the two columns are equal.
+            const double amort_ms =
+                response.exec_seconds * 1e3 /
+                (response.packed_lanes > 0 ? response.packed_lanes : 1);
+            std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %9.2f "
+                        "%9.2f %5d %6d %6d %5d %6d\n",
                         response.name.c_str(),
                         service::optModeName(options.mode),
                         response.ok ? "y" : "N", compile_src, run_src,
                         response.queue_seconds * 1e3,
                         response.compile_seconds * 1e3,
-                        response.exec_seconds * 1e3,
+                        response.exec_seconds * 1e3, amort_ms,
+                        response.packed_lanes,
                         response.result.consumed_noise,
                         response.result.final_noise_budget,
                         response.result.rotation_keys,
@@ -399,6 +459,18 @@ main(int argc, char** argv)
                         stats.run_cache.inflight_joins),
                     static_cast<unsigned long long>(stats.runtimes_created),
                     static_cast<unsigned long long>(stats.run_failed));
+        if (options.batch_lanes != 1) {
+            std::printf(
+                "slot batching: %llu packed groups carrying %llu lanes, "
+                "%llu solo runs, %llu full flushes, %llu window flushes, "
+                "%llu fallbacks\n",
+                static_cast<unsigned long long>(stats.packed_groups),
+                static_cast<unsigned long long>(stats.packed_lanes),
+                static_cast<unsigned long long>(stats.solo_runs),
+                static_cast<unsigned long long>(stats.full_flushes),
+                static_cast<unsigned long long>(stats.window_flushes),
+                static_cast<unsigned long long>(stats.packed_fallbacks));
+        }
     }
 
     if (options.dump) {
@@ -433,7 +505,7 @@ main(int argc, char** argv)
             for (const char* column :
                  {"run_cache_hit", "run_deduplicated", "exec_s",
                   "eval_s", "fresh_noise", "final_noise", "consumed_noise",
-                  "rotation_keys", "output0"}) {
+                  "rotation_keys", "packed_lanes", "lane", "output0"}) {
                 header.push_back(column);
             }
         }
@@ -457,6 +529,7 @@ main(int argc, char** argv)
                     response.result.final_noise_budget,
                     response.result.consumed_noise,
                     response.result.rotation_keys,
+                    response.packed_lanes, response.lane,
                     response.result.output.empty()
                         ? 0
                         : response.result.output.front());
@@ -505,7 +578,10 @@ main(int argc, char** argv)
                      << ", \"consumed_noise\": "
                      << response.result.consumed_noise
                      << ", \"rotation_keys\": "
-                     << response.result.rotation_keys << ", \"output\": [";
+                     << response.result.rotation_keys
+                     << ", \"packed_lanes\": " << response.packed_lanes
+                     << ", \"lane\": " << response.lane
+                     << ", \"output\": [";
                 for (std::size_t slot = 0;
                      slot < response.result.output.size(); ++slot) {
                     if (slot > 0) json << ", ";

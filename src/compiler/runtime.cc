@@ -13,7 +13,7 @@ FheRuntime::FheRuntime(fhe::SealLiteParams params)
 {}
 
 std::vector<std::int64_t>
-FheRuntime::packValues(const FheInstr& instr, const ir::Env& env) const
+FheRuntime::packBase(const FheInstr& instr, const ir::Env& env) const
 {
     const int width = static_cast<int>(instr.slots.size());
     if (width > scheme_.slots()) {
@@ -45,9 +45,17 @@ FheRuntime::packValues(const FheInstr& instr, const ir::Env& env) const
           }
         }
     }
+    return base;
+}
+
+std::vector<std::int64_t>
+FheRuntime::packValues(const FheInstr& instr, const ir::Env& env) const
+{
+    std::vector<std::int64_t> base = packBase(instr, env);
     if (!instr.replicate) return base;
     // Replicate period-w across the whole row so a single ciphertext
     // rotation realizes the width-w cyclic rotation.
+    const int width = static_cast<int>(base.size());
     std::vector<std::int64_t> replicated(
         static_cast<std::size_t>(scheme_.slots()));
     for (int i = 0; i < scheme_.slots(); ++i) {
@@ -57,49 +65,60 @@ FheRuntime::packValues(const FheInstr& instr, const ir::Env& env) const
     return replicated;
 }
 
-RunResult
-FheRuntime::run(const FheProgram& program, const ir::Env& env,
-                int key_budget)
+std::vector<std::int64_t>
+FheRuntime::packLaneRegion(const FheInstr& instr, const ir::Env& env,
+                           int lane_stride) const
+{
+    std::vector<std::int64_t> base = packBase(instr, env);
+    const int width = static_cast<int>(base.size());
+    if (width > lane_stride) {
+        throw CompileError("pack wider than the lane stride (" +
+                           std::to_string(width) + " > " +
+                           std::to_string(lane_stride) + ")");
+    }
+    std::vector<std::int64_t> region(static_cast<std::size_t>(lane_stride),
+                                     0);
+    if (instr.replicate) {
+        // Period-w replication *within the lane's region*: the stride
+        // is a power-of-two multiple of the (power-of-two) pack width,
+        // so a whole-row rotation still realizes the width-w cyclic
+        // rotation inside every lane.
+        for (int i = 0; i < lane_stride; ++i) {
+            region[static_cast<std::size_t>(i)] =
+                base[static_cast<std::size_t>(i % width)];
+        }
+    } else {
+        std::copy(base.begin(), base.end(), region.begin());
+    }
+    return region;
+}
+
+RotationKeyPlan
+effectiveKeyPlan(const FheProgram& program, int key_budget)
 {
     // Rotation-key selection (App. B): under a budget, rotations execute
     // as NAF-component sequences.
     const std::vector<int> steps = program.rotationSteps();
+    if (key_budget > 0) return selectRotationKeys(steps, key_budget);
     RotationKeyPlan plan;
-    if (key_budget > 0) {
-        plan = selectRotationKeys(steps, key_budget);
-    } else {
-        plan.keys = steps;
-        for (int s : steps) plan.decomposition[s] = {s};
-    }
-    return run(program, env, plan);
+    plan.keys = steps;
+    for (int s : steps) plan.decomposition[s] = {s};
+    return plan;
 }
 
 RunResult
 FheRuntime::run(const FheProgram& program, const ir::Env& env,
-                const RotationKeyPlan& plan)
+                int key_budget)
 {
-    RunResult result;
-    result.counts = program.counts();
-    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+    return run(program, env, effectiveKeyPlan(program, key_budget));
+}
 
-    scheme_.makeGaloisKeys(plan.keys);
-    result.rotation_keys = static_cast<int>(plan.keys.size());
-
-    // Client-side phase: pack, encode, encrypt.
-    std::unordered_map<int, fhe::Ciphertext> cts;
-    std::unordered_map<int, fhe::Plaintext> plains;
-    for (const FheInstr& instr : program.instrs) {
-        if (instr.op == FheOpcode::PackCipher) {
-            cts.emplace(instr.dst,
-                        scheme_.encrypt(scheme_.encode(
-                            packValues(instr, env))));
-        } else if (instr.op == FheOpcode::PackPlain) {
-            plains.emplace(instr.dst,
-                           scheme_.encode(packValues(instr, env)));
-        }
-    }
-
-    // Server-side phase (timed).
+double
+FheRuntime::evaluateServer(
+    const FheProgram& program, const RotationKeyPlan& plan,
+    std::unordered_map<int, fhe::Ciphertext>& cts,
+    const std::unordered_map<int, fhe::Plaintext>& plains) const
+{
     Stopwatch watch;
     for (const FheInstr& instr : program.instrs) {
         switch (instr.op) {
@@ -139,7 +158,35 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
           }
         }
     }
-    result.exec_seconds = watch.elapsedSeconds();
+    return watch.elapsedSeconds();
+}
+
+RunResult
+FheRuntime::run(const FheProgram& program, const ir::Env& env,
+                const RotationKeyPlan& plan)
+{
+    RunResult result;
+    result.counts = program.counts();
+    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+
+    scheme_.makeGaloisKeys(plan.keys);
+    result.rotation_keys = static_cast<int>(plan.keys.size());
+
+    // Client-side phase: pack, encode, encrypt.
+    std::unordered_map<int, fhe::Ciphertext> cts;
+    std::unordered_map<int, fhe::Plaintext> plains;
+    for (const FheInstr& instr : program.instrs) {
+        if (instr.op == FheOpcode::PackCipher) {
+            cts.emplace(instr.dst,
+                        scheme_.encrypt(scheme_.encode(
+                            packValues(instr, env))));
+        } else if (instr.op == FheOpcode::PackPlain) {
+            plains.emplace(instr.dst,
+                           scheme_.encode(packValues(instr, env)));
+        }
+    }
+
+    result.exec_seconds = evaluateServer(program, plan, cts, plains);
 
     // Degenerate all-plaintext programs produce a plaintext output
     // register: nothing homomorphic ever ran.
@@ -169,6 +216,84 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
                                 static_cast<std::size_t>(
                                     program.output_width)));
     return result;
+}
+
+PackedRunResult
+FheRuntime::runPacked(const FheProgram& program,
+                      const std::vector<const ir::Env*>& lanes,
+                      const RotationKeyPlan& plan, int lane_stride)
+{
+    const int num_lanes = static_cast<int>(lanes.size());
+    if (lane_stride <= 0 || num_lanes <= 0 ||
+        scheme_.slots() % lane_stride != 0 ||
+        num_lanes * lane_stride > scheme_.slots()) {
+        throw CompileError(
+            "lane layout exceeds the batching row (" +
+            std::to_string(num_lanes) + " x " +
+            std::to_string(lane_stride) + " > " +
+            std::to_string(scheme_.slots()) + ")");
+    }
+    if (program.output_width > lane_stride) {
+        throw CompileError("output wider than the lane stride");
+    }
+    // Pad the row to full capacity with phantom copies of lane 0: a
+    // partially-used row would leave a zero zone whose content after
+    // rotations is not covered by the planner's per-region safety
+    // invariants, whereas a fully-laned row is (every region behaves
+    // like a real lane, and lane 0's wraparound neighbour is one).
+    const int num_regions = scheme_.slots() / lane_stride;
+
+    PackedRunResult packed;
+    RunResult& result = packed.shared;
+    result.counts = program.counts();
+    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+
+    scheme_.makeGaloisKeys(plan.keys);
+    result.rotation_keys = static_cast<int>(plan.keys.size());
+
+    // Client-side phase: pack every lane's region, encode the shared
+    // row once per instruction, encrypt once per PackCipher.
+    std::unordered_map<int, fhe::Ciphertext> cts;
+    std::unordered_map<int, fhe::Plaintext> plains;
+    std::vector<std::vector<std::int64_t>> regions(
+        static_cast<std::size_t>(num_regions));
+    for (const FheInstr& instr : program.instrs) {
+        if (instr.op != FheOpcode::PackCipher &&
+            instr.op != FheOpcode::PackPlain) {
+            continue;
+        }
+        for (int l = 0; l < num_regions; ++l) {
+            const ir::Env& env =
+                *lanes[static_cast<std::size_t>(l < num_lanes ? l : 0)];
+            regions[static_cast<std::size_t>(l)] =
+                packLaneRegion(instr, env, lane_stride);
+        }
+        fhe::Plaintext plain = scheme_.encodeLanes(regions, lane_stride);
+        if (instr.op == FheOpcode::PackCipher) {
+            cts.emplace(instr.dst, scheme_.encrypt(plain));
+        } else {
+            plains.emplace(instr.dst, std::move(plain));
+        }
+    }
+
+    result.exec_seconds = evaluateServer(program, plan, cts, plains);
+
+    if (!cts.count(program.output_reg)) {
+        // All-plaintext program: mirror run()'s degenerate path.
+        result.final_noise_budget = result.fresh_noise_budget;
+        packed.lane_outputs =
+            scheme_.decodeLanes(plains.at(program.output_reg), lane_stride,
+                                program.output_width, num_lanes);
+        return packed;
+    }
+
+    const fhe::Ciphertext& out = cts.at(program.output_reg);
+    result.final_noise_budget = scheme_.noiseBudgetBits(out);
+    result.consumed_noise =
+        result.fresh_noise_budget - result.final_noise_budget;
+    packed.lane_outputs = scheme_.decryptLanes(
+        out, lane_stride, program.output_width, num_lanes);
+    return packed;
 }
 
 OpLatencies

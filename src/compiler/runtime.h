@@ -26,6 +26,16 @@ struct RunResult
     int rotation_keys = 0;            ///< Keys generated (after App. B).
 };
 
+/// Outcome of executing one lane-packed program: the shared row's
+/// noise/latency accounting plus each lane's output slice. The noise
+/// fields describe the *shared* ciphertext — every lane's data rode the
+/// same row, so per-lane noise is by construction the row's noise.
+struct PackedRunResult
+{
+    RunResult shared; ///< output left empty; per-lane slices below.
+    std::vector<std::vector<std::int64_t>> lane_outputs;
+};
+
 /// Per-operation latencies measured on the backend (seconds).
 struct OpLatencies
 {
@@ -34,6 +44,12 @@ struct OpLatencies
     double ct_pt_mul = 0.0;
     double rotation = 0.0;
 };
+
+/// The rotation-key plan run() uses for \p key_budget: the App. B NAF
+/// selection when the budget is positive, otherwise one dedicated key
+/// per distinct step. Exposed so the service's batch planner can
+/// analyze the exact decomposed rotation sequence a run will execute.
+RotationKeyPlan effectiveKeyPlan(const FheProgram& program, int key_budget);
 
 /// Runs FheProgram instruction streams against one SealLite instance.
 class FheRuntime
@@ -54,6 +70,21 @@ class FheRuntime
     RunResult run(const FheProgram& program, const ir::Env& env,
                   const RotationKeyPlan& plan);
 
+    /// Execute \p program once with one input environment per lane,
+    /// each lane packed into its own \p lane_stride-slot region of the
+    /// shared ciphertext row, and extract every lane's first
+    /// output_width slots. The caller (the service's batch planner) is
+    /// responsible for having proven the program lane-safe at this
+    /// stride; this function only validates capacity. Replicated packs
+    /// replicate within each lane's region, non-replicated packs load
+    /// at the region base with the remainder of the region zeroed, and
+    /// plaintext masks repeat per region so every lane sees the same
+    /// mask the solo program would.
+    PackedRunResult runPacked(const FheProgram& program,
+                              const std::vector<const ir::Env*>& lanes,
+                              const RotationKeyPlan& plan,
+                              int lane_stride);
+
     /// Microbenchmark the four op classes (median of \p reps).
     OpLatencies calibrate(int reps = 3);
 
@@ -65,8 +96,21 @@ class FheRuntime
     int slots() const { return scheme_.slots(); }
 
   private:
+    /// The instruction's base pack pattern (width = slots.size()),
+    /// before any replication.
+    std::vector<std::int64_t> packBase(const FheInstr& instr,
+                                       const ir::Env& env) const;
     std::vector<std::int64_t> packValues(const FheInstr& instr,
                                          const ir::Env& env) const;
+    /// Lane l's region (length \p lane_stride) for \p instr.
+    std::vector<std::int64_t> packLaneRegion(const FheInstr& instr,
+                                             const ir::Env& env,
+                                             int lane_stride) const;
+    /// The timed server-side phase shared by run() and runPacked().
+    double evaluateServer(
+        const FheProgram& program, const RotationKeyPlan& plan,
+        std::unordered_map<int, fhe::Ciphertext>& cts,
+        const std::unordered_map<int, fhe::Plaintext>& plains) const;
 
     fhe::SealLite scheme_;
     ir::Evaluator plain_eval_;

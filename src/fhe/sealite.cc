@@ -1,5 +1,6 @@
 #include "fhe/sealite.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fhe/modarith.h"
@@ -286,6 +287,56 @@ SealLite::decode(const Plaintext& plain) const
         values[j] = static_cast<std::int64_t>(acc);
     }
     return values;
+}
+
+Plaintext
+SealLite::encodeLanes(const std::vector<std::vector<std::int64_t>>& lanes,
+                      int lane_stride) const
+{
+    CHEHAB_ASSERT(lane_stride > 0, "lane stride must be positive");
+    CHEHAB_ASSERT(static_cast<int>(lanes.size()) * lane_stride <= slots(),
+                  "lanes exceed the batching row");
+    std::vector<std::int64_t> row(
+        static_cast<std::size_t>(lanes.size()) *
+            static_cast<std::size_t>(lane_stride),
+        0);
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+        CHEHAB_ASSERT(static_cast<int>(lanes[l].size()) <= lane_stride,
+                      "lane wider than its stride");
+        std::copy(lanes[l].begin(), lanes[l].end(),
+                  row.begin() + static_cast<std::ptrdiff_t>(
+                                    l * static_cast<std::size_t>(lane_stride)));
+    }
+    return encode(row);
+}
+
+std::vector<std::vector<std::int64_t>>
+SealLite::decodeLanes(const Plaintext& plain, int lane_stride, int width,
+                      int num_lanes) const
+{
+    CHEHAB_ASSERT(lane_stride > 0 && width >= 0 && width <= lane_stride,
+                  "bad lane slice");
+    CHEHAB_ASSERT(num_lanes >= 0 && num_lanes * lane_stride <= slots(),
+                  "lanes exceed the batching row");
+    const std::vector<std::int64_t> row = decode(plain);
+    std::vector<std::vector<std::int64_t>> out(
+        static_cast<std::size_t>(num_lanes));
+    for (int l = 0; l < num_lanes; ++l) {
+        const auto base = static_cast<std::size_t>(l) *
+                          static_cast<std::size_t>(lane_stride);
+        out[static_cast<std::size_t>(l)].assign(
+            row.begin() + static_cast<std::ptrdiff_t>(base),
+            row.begin() + static_cast<std::ptrdiff_t>(
+                              base + static_cast<std::size_t>(width)));
+    }
+    return out;
+}
+
+std::vector<std::vector<std::int64_t>>
+SealLite::decryptLanes(const Ciphertext& ct, int lane_stride, int width,
+                       int num_lanes) const
+{
+    return decodeLanes(decryptPlain(ct), lane_stride, width, num_lanes);
 }
 
 // ---------------------------------------------------------------------

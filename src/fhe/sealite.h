@@ -100,6 +100,29 @@ class SealLite
     std::vector<std::int64_t> decode(const Plaintext& plain) const;
     /// @}
 
+    /// \name Lane-sliced batching (slot coalescing)
+    /// The service's batch planner packs several logical requests into
+    /// one ciphertext row by giving each a contiguous region ("lane")
+    /// of \p lane_stride slots. These helpers encode/decode at lane
+    /// granularity; the stride must be positive and
+    /// lanes.size() * lane_stride must fit in the row.
+    /// @{
+    /// Encode one region per lane: lane l's values land at slot offset
+    /// l * lane_stride (each lane vector must be at most lane_stride
+    /// wide; shorter vectors are zero-padded to the stride). Slots past
+    /// the last lane stay zero.
+    Plaintext encodeLanes(const std::vector<std::vector<std::int64_t>>& lanes,
+                          int lane_stride) const;
+    /// Decode the first \p width slots of each of \p num_lanes lanes.
+    std::vector<std::vector<std::int64_t>>
+    decodeLanes(const Plaintext& plain, int lane_stride, int width,
+                int num_lanes) const;
+    /// Decrypt, then decodeLanes.
+    std::vector<std::vector<std::int64_t>>
+    decryptLanes(const Ciphertext& ct, int lane_stride, int width,
+                 int num_lanes) const;
+    /// @}
+
     /// \name Encryption
     /// @{
     Ciphertext encrypt(const Plaintext& plain);

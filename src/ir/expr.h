@@ -150,7 +150,7 @@ bool equal(const ExprPtr& a, const ExprPtr& b);
 /// tables, where collisions are handled by a deep-equality check — the
 /// fingerprint mixes every node field through two independent 64-bit
 /// mixers, so it can stand alone as a content-addressed cache key
-/// (service::KernelCache): two programs with equal fingerprints are,
+/// (service::CompileCache): two programs with equal fingerprints are,
 /// for all practical purposes, structurally identical.
 struct Fingerprint
 {

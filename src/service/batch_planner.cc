@@ -1,0 +1,380 @@
+#include "service/batch_planner.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace chehab::service {
+
+namespace {
+
+using compiler::FheInstr;
+using compiler::FheOpcode;
+using compiler::FheProgram;
+using compiler::PackSlot;
+using compiler::RotationKeyPlan;
+
+bool
+isPow2(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+int
+nextPow2(int x)
+{
+    int p = 1;
+    while (p < x) p <<= 1;
+    return p;
+}
+
+/// Conservative lane state of one virtual register at stride S.
+///
+/// Invariants (per lane region of S slots):
+///   - uniform: the packed value is exact and identical in every lane;
+///     periodic additionally says the *solo* row is period-S (a
+///     replicated or all-zero constant pack), which is what whole-row
+///     rotations need to keep a uniform register exact — a
+///     non-replicated constant pack is identical per region in the
+///     packed row but zero-tailed in the solo row, so rotating it
+///     wraps constants where solo semantics has zeros;
+///   - otherwise, region offsets [dirty_bot, S - dirty_top) hold
+///     exactly what a solo run of that lane would hold there, and
+///     offsets [zero_from, S) are zero in solo semantics (zero_from = S
+///     when unknown).
+struct RegState
+{
+    bool uniform = false;
+    bool periodic = false;
+    int dirty_bot = 0;
+    int dirty_top = 0;
+    int zero_from = 0;
+};
+
+/// True when \p x is provably zero — in both packed and solo semantics
+/// — at every region offset in [k, S).
+bool
+zeroAbove(const RegState& x, int k, int stride)
+{
+    if (k >= stride) return true;
+    if (x.uniform) return x.zero_from <= k;
+    return x.dirty_top == 0 && x.zero_from <= k && x.dirty_bot <= k;
+}
+
+RegState
+packState(const FheInstr& instr, int stride)
+{
+    RegState st;
+    const int width = static_cast<int>(instr.slots.size());
+    bool all_const = true;
+    int last_nonzero = -1;
+    for (int i = 0; i < width; ++i) {
+        const PackSlot& slot = instr.slots[static_cast<std::size_t>(i)];
+        if (slot.kind != PackSlot::Kind::Const) {
+            all_const = false;
+            break;
+        }
+        if (slot.value != 0) last_nonzero = i;
+    }
+    // Constant packs (masks above all) hold the same values in every
+    // lane; anything touching inputs is lane-specific.
+    st.uniform = all_const;
+    st.periodic =
+        all_const && (instr.replicate || last_nonzero < 0);
+    if (instr.replicate) {
+        // Period-w fill of the whole region: zero only if all-zero.
+        st.zero_from = (all_const && last_nonzero < 0) ? 0 : stride;
+    } else {
+        st.zero_from = all_const ? last_nonzero + 1 : width;
+    }
+    return st;
+}
+
+RegState
+combine(const RegState& a, const RegState& b, bool is_mul, int stride)
+{
+    RegState o;
+    o.uniform = a.uniform && b.uniform;
+    o.periodic = a.periodic && b.periodic; // Pointwise ops keep period.
+    // Virtual zero support of the result: a product is zero where
+    // either factor is, a sum/difference where both are.
+    o.zero_from = is_mul ? std::min(a.zero_from, b.zero_from)
+                         : std::max(a.zero_from, b.zero_from);
+    if (o.uniform) return o;
+
+    int dirty_a = a.dirty_top;
+    int dirty_b = b.dirty_top;
+    if (is_mul) {
+        // Mask cleaning: multiplying a dirty top margin by an operand
+        // that is provably zero there yields exact zeros — this is how
+        // the scheduler's own wraparound masks confine rotation spill.
+        if (dirty_a > 0 && zeroAbove(b, stride - dirty_a, stride)) {
+            dirty_a = 0;
+        }
+        if (dirty_b > 0 && zeroAbove(a, stride - dirty_b, stride)) {
+            dirty_b = 0;
+        }
+    }
+    o.dirty_top = std::max(dirty_a, dirty_b);
+    // Zero knowledge is top-anchored, so bottom margins never clean.
+    o.dirty_bot = std::max(a.dirty_bot, b.dirty_bot);
+    return o;
+}
+
+/// Apply one physical rotation by \p step (positive = left) to \p s.
+RegState
+rotateState(RegState s, int step, int stride)
+{
+    if (step == 0) return s;
+    // A period-S row rotates identically whole-row or per-region:
+    // uniform survives. A uniform-but-aperiodic row (non-replicated
+    // constant pack) does not — its packed row repeats the pattern per
+    // region while the solo row is zero past the pattern, so rotation
+    // wraps constants where solo has zeros. Demote it to the
+    // dirty-margin rules, for which its (0, 0, zero_from) state is a
+    // valid starting point.
+    if (s.uniform && s.periodic) return s;
+    s.uniform = false;
+    if (step > 0) {
+        const int c = std::min(step, stride);
+        s.dirty_bot = std::max(0, s.dirty_bot - c);
+        s.dirty_top = std::min(stride, s.dirty_top + c);
+        // Zeros shift toward the region base but the top c slots now
+        // hold (wrapped or neighbouring) unknowns.
+        if (s.zero_from != 0) s.zero_from = stride;
+        return s;
+    }
+    const int m = std::min(-step, stride);
+    // A right rotation drags the *previous* lane's top slots into this
+    // lane's readout zone — unless those slots are provable zeros, in
+    // which case the packed row and solo semantics agree.
+    if (zeroAbove(s, stride - m, stride)) {
+        s.dirty_bot =
+            s.dirty_bot == 0 ? 0 : std::min(stride, s.dirty_bot + m);
+        s.dirty_top = 0;
+    } else {
+        s.dirty_bot = std::min(stride, s.dirty_bot + m);
+        s.dirty_top = std::max(0, s.dirty_top - m);
+    }
+    s.zero_from = std::min(stride, s.zero_from + m);
+    return s;
+}
+
+/// Run the dataflow at one candidate stride. Returns true when the
+/// output register's readout window [0, output_width) is certified
+/// exact for every lane.
+bool
+safeAtStride(const FheProgram& program, const RotationKeyPlan& plan,
+             int stride, std::string* reason)
+{
+    // Seed every register as "no knowledge" (zero_from = stride, i.e.
+    // no provable zeros): a register read before any instruction
+    // writes it must not pass for all-zero, or the mask-cleaning rule
+    // could certify an unsound packing. (Such programs fail at
+    // execution anyway — the runtime's register maps throw — but the
+    // analysis is a public API and must stay conservative on its own.)
+    RegState unknown;
+    unknown.zero_from = stride;
+    std::vector<RegState> regs(
+        static_cast<std::size_t>(std::max(program.num_regs, 1)), unknown);
+    for (const FheInstr& instr : program.instrs) {
+        RegState st;
+        switch (instr.op) {
+          case FheOpcode::PackCipher:
+          case FheOpcode::PackPlain:
+            if (static_cast<int>(instr.slots.size()) > stride) {
+                if (reason) *reason = "pack wider than lane stride";
+                return false;
+            }
+            st = packState(instr, stride);
+            break;
+          case FheOpcode::Add:
+          case FheOpcode::Sub:
+          case FheOpcode::AddPlain:
+            st = combine(regs[static_cast<std::size_t>(instr.a)],
+                         regs[static_cast<std::size_t>(instr.b)],
+                         /*is_mul=*/false, stride);
+            break;
+          case FheOpcode::Mul:
+          case FheOpcode::MulPlain:
+            st = combine(regs[static_cast<std::size_t>(instr.a)],
+                         regs[static_cast<std::size_t>(instr.b)],
+                         /*is_mul=*/true, stride);
+            break;
+          case FheOpcode::Negate:
+            st = regs[static_cast<std::size_t>(instr.a)];
+            break;
+          case FheOpcode::Rotate: {
+            auto seq = plan.decomposition.find(instr.step);
+            if (seq == plan.decomposition.end()) {
+                if (reason) *reason = "rotation step missing from key plan";
+                return false;
+            }
+            st = regs[static_cast<std::size_t>(instr.a)];
+            for (int component : seq->second) {
+                st = rotateState(st, component, stride);
+            }
+            break;
+          }
+        }
+        regs[static_cast<std::size_t>(instr.dst)] = st;
+    }
+    if (program.output_reg < 0 ||
+        program.output_reg >= static_cast<int>(regs.size())) {
+        if (reason) *reason = "program has no output register";
+        return false;
+    }
+    const RegState& out = regs[static_cast<std::size_t>(program.output_reg)];
+    if (out.uniform) return true;
+    if (out.dirty_bot > 0) {
+        if (reason) *reason = "rotations dirty the lane's readout base";
+        return false;
+    }
+    if (program.output_width > stride - out.dirty_top) {
+        if (reason) *reason = "rotation spill reaches the output window";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+LaneFit
+analyzeLaneFit(const compiler::FheProgram& program,
+               const compiler::RotationKeyPlan& plan, int row_slots)
+{
+    LaneFit fit;
+    if (!isPow2(row_slots)) {
+        fit.reason = "row size is not a power of two";
+        return fit;
+    }
+    int width_max = 1;
+    for (const FheInstr& instr : program.instrs) {
+        if (instr.op == FheOpcode::PackCipher ||
+            instr.op == FheOpcode::PackPlain) {
+            width_max = std::max(width_max,
+                                 static_cast<int>(instr.slots.size()));
+        }
+    }
+    const int start =
+        nextPow2(std::max({1, width_max, program.output_width}));
+    std::string reason = "no certifying stride";
+    // Safety is monotone in the stride, so the first certified stride
+    // is the smallest — and therefore packs the most lanes per row.
+    for (int stride = start; stride <= row_slots; stride <<= 1) {
+        if (safeAtStride(program, plan, stride, &reason)) {
+            fit.safe = true;
+            fit.stride = stride;
+            fit.max_lanes = row_slots / stride;
+            if (fit.max_lanes < 2) {
+                fit.safe = false;
+                fit.reason = "kernel fills the row; nothing to coalesce";
+            }
+            return fit;
+        }
+    }
+    fit.reason = reason;
+    return fit;
+}
+
+std::optional<BatchPlanner::Group>
+BatchPlanner::add(const BatchGroupKey& key, BatchLane lane, int capacity,
+                  int stride, const compiler::RotationKeyPlan& plan,
+                  Clock::time_point now)
+{
+    auto it = pending_.find(key);
+    if (it == pending_.end()) {
+        Group group;
+        group.key = key;
+        group.stride = stride;
+        group.capacity = capacity;
+        group.plan = plan;
+        group.deadline = now + window_;
+        it = pending_.emplace(key, std::move(group)).first;
+    }
+    Group& group = it->second;
+    group.estimate_sum += lane.estimate;
+    group.lanes.push_back(std::move(lane));
+    if (static_cast<int>(group.lanes.size()) >= group.capacity) {
+        Group full = std::move(group);
+        pending_.erase(it);
+        return full;
+    }
+    return std::nullopt;
+}
+
+std::optional<BatchPlanner::Clock::time_point>
+BatchPlanner::earliestDeadline() const
+{
+    std::optional<Clock::time_point> earliest;
+    for (const auto& [key, group] : pending_) {
+        if (!earliest || group.deadline < *earliest) {
+            earliest = group.deadline;
+        }
+    }
+    return earliest;
+}
+
+std::vector<BatchPlanner::Group>
+BatchPlanner::takeDue(Clock::time_point now)
+{
+    std::vector<Group> due;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline <= now) {
+            due.push_back(std::move(it->second));
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return due;
+}
+
+std::vector<BatchPlanner::Group>
+BatchPlanner::takeAll()
+{
+    std::vector<Group> all;
+    all.reserve(pending_.size());
+    for (auto& [key, group] : pending_) all.push_back(std::move(group));
+    pending_.clear();
+    return all;
+}
+
+std::size_t
+BatchPlanner::pendingLanes() const
+{
+    std::size_t lanes = 0;
+    for (const auto& [key, group] : pending_) lanes += group.lanes.size();
+    return lanes;
+}
+
+std::uint64_t
+BatchPlanner::canonicalizeAndSeed(Group& group)
+{
+    // Lane order must not depend on arrival interleaving: sort by the
+    // full run identity (lanes are distinct by single-flight, so the
+    // tuple is a total order in practice).
+    std::stable_sort(
+        group.lanes.begin(), group.lanes.end(),
+        [](const BatchLane& a, const BatchLane& b) {
+            return std::make_tuple(a.run_key.env_hash, a.run_key.key_budget,
+                                   a.run_key.params_hash,
+                                   a.run_key.compile.source.hi,
+                                   a.run_key.compile.source.lo,
+                                   a.run_key.compile.pipeline) <
+                   std::make_tuple(b.run_key.env_hash, b.run_key.key_budget,
+                                   b.run_key.params_hash,
+                                   b.run_key.compile.source.hi,
+                                   b.run_key.compile.source.lo,
+                                   b.run_key.compile.pipeline);
+        });
+    std::size_t h = 0x5041434b53454544ULL; // "PACKSEED"
+    detail::mix(h, static_cast<std::uint64_t>(group.lanes.size()));
+    for (const BatchLane& lane : group.lanes) {
+        detail::mix(h, static_cast<std::uint64_t>(
+                           RunKeyHash{}(lane.run_key)));
+    }
+    return static_cast<std::uint64_t>(h);
+}
+
+} // namespace chehab::service

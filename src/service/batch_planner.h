@@ -1,0 +1,182 @@
+/// \file
+/// Slot-batching coalescer: packs concurrent run requests into shared
+/// ciphertext rows.
+///
+/// SealLite batches n/2 SIMD slots per ciphertext, but a small kernel
+/// (a dot-8, a 3x3 blur) occupies a handful of them — the rest of every
+/// row the service encrypts, evaluates and decrypts is wasted work. The
+/// BatchPlanner groups pending run jobs that share a compiled artifact,
+/// SealLite parameters and rotation-key plan, assigns each a contiguous
+/// *lane* (a lane_stride-slot region of the row), and hands full or
+/// window-expired groups back to the service, which executes the kernel
+/// once per group via FheRuntime::runPacked and scatters per-lane
+/// output slices into the individual responses.
+///
+/// Lane safety. Packing is only sound when the program's whole-row
+/// rotations cannot leak one lane's data into the slots another lane
+/// reads. analyzeLaneFit() proves this statically with a per-register
+/// dataflow over the instruction stream (using the *decomposed*
+/// rotation sequences of the key plan, since those are the physical
+/// rotations). Each register carries a conservative lane state:
+///
+///   - uniform: the value is identical in every lane (constant masks
+///     and anything derived only from them) — exact under any op;
+///   - dirty_bot / dirty_top: slots at the bottom/top of each lane's
+///     region that may differ from what a solo run of that lane would
+///     hold (rotations grow these margins as they drag neighbouring
+///     lanes' slots across region boundaries);
+///   - zero_from: region offset past which the value is zero in solo
+///     semantics (non-replicated packs zero-fill their region), which
+///     lets mask multiplies *clean* dirty margins and right rotations
+///     pull in provable zeros instead of neighbour data.
+///
+/// A stride S certifies the program when the output register's bottom
+/// margin is zero and its top margin leaves output_width clean slots.
+/// Safety is monotone in S (every rule's S-dependence is of the form
+/// "x <= S - y"), so the planner picks the smallest certified
+/// power-of-two stride — maximizing lanes per row — and a certified
+/// packed run equals the same lanes' solo runs bit-for-bit.
+///
+/// Thread-safety: BatchPlanner is NOT internally synchronized; the
+/// CompileService wraps it with its coalescer mutex. analyzeLaneFit is
+/// a pure function.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/keyselect.h"
+#include "compiler/schedule.h"
+#include "service/cache_key.h"
+
+namespace chehab::service {
+
+/// Outcome of the static lane-safety analysis for one (program, key
+/// plan, row) combination.
+struct LaneFit
+{
+    bool safe = false; ///< Certified at stride for >= 2 lanes.
+    int stride = 0;    ///< Slots per lane (power of two).
+    int max_lanes = 1; ///< row_slots / stride when safe.
+    std::string reason; ///< Why coalescing was refused (diagnostics).
+};
+
+/// Prove (or refuse) lane-packed execution of \p program under the
+/// decomposed rotation sequences of \p plan on a \p row_slots-slot row.
+/// Returns the smallest certified power-of-two stride; a result with
+/// max_lanes < 2 means packing buys nothing and the caller should run
+/// solo.
+LaneFit analyzeLaneFit(const compiler::FheProgram& program,
+                       const compiler::RotationKeyPlan& plan,
+                       int row_slots);
+
+/// Identity of one coalescible group: requests may share a row exactly
+/// when they run the same compiled artifact on the same SealLite
+/// parameters under the same effective key budget (0 when the artifact
+/// carries a compiler key plan — the plan wins, so the request budget
+/// is irrelevant, mirroring makeRunKey).
+struct BatchGroupKey
+{
+    CacheKey compile;
+    std::uint64_t params_hash = 0;
+    int key_budget = 0;
+
+    friend bool
+    operator==(const BatchGroupKey& a, const BatchGroupKey& b)
+    {
+        return a.compile == b.compile && a.params_hash == b.params_hash &&
+               a.key_budget == b.key_budget;
+    }
+};
+
+struct BatchGroupKeyHash
+{
+    std::size_t
+    operator()(const BatchGroupKey& key) const
+    {
+        std::size_t h = CacheKeyHash{}(key.compile);
+        detail::mix(h, key.params_hash);
+        detail::mix(h, static_cast<std::uint64_t>(key.key_budget));
+        return h;
+    }
+};
+
+/// One pending run job awaiting a lane: everything the service needs to
+/// execute it (solo or packed) and publish its entry once done. The
+/// compile entry shared_ptr keeps \c compiled alive until publication.
+struct BatchLane
+{
+    std::shared_ptr<RunEntry> entry;
+    std::shared_ptr<CacheEntry> compile_entry;
+    const compiler::Compiled* compiled = nullptr;
+    double compile_seconds = 0.0;
+    RunRequest request;
+    RunKey run_key;
+    double estimate = 0.0;
+};
+
+/// Groups pending coalescible runs and decides when each group is ready
+/// to execute. Window semantics: a group's deadline is fixed when its
+/// first lane arrives; it flushes early the moment it reaches capacity.
+class BatchPlanner
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    struct Group
+    {
+        BatchGroupKey key;
+        std::vector<BatchLane> lanes;
+        int stride = 0;
+        int capacity = 0; ///< Lane cap (analysis row limit x config cap).
+        compiler::RotationKeyPlan plan;
+        double estimate_sum = 0.0; ///< Dispatch priority of the group.
+        Clock::time_point deadline;
+    };
+
+    explicit BatchPlanner(std::chrono::nanoseconds window =
+                              std::chrono::nanoseconds{0})
+        : window_(window)
+    {}
+
+    /// Append \p lane to the group identified by \p key (creating it
+    /// with \p capacity, \p stride and \p plan when absent). Returns
+    /// the full group — removed from the pending map — once it reaches
+    /// capacity, nullopt otherwise.
+    std::optional<Group> add(const BatchGroupKey& key, BatchLane lane,
+                             int capacity, int stride,
+                             const compiler::RotationKeyPlan& plan,
+                             Clock::time_point now);
+
+    /// Deadline of the oldest pending group, if any.
+    std::optional<Clock::time_point> earliestDeadline() const;
+
+    /// Remove and return every group whose deadline has passed.
+    std::vector<Group> takeDue(Clock::time_point now);
+
+    /// Remove and return every pending group (service shutdown).
+    std::vector<Group> takeAll();
+
+    std::size_t pendingLanes() const;
+
+    /// Order \p group's lanes deterministically — by the full run-key
+    /// contents, env hash first (within one group the compile, params
+    /// and budget fields are equal, so the env hash is what
+    /// discriminates) — so packed noise accounting does not depend on
+    /// the arrival interleaving, then return the group's packing seed:
+    /// a content hash of the ordered lane identities that reseeds the
+    /// runtime's encryption randomness exactly like the solo path's
+    /// per-request seed does.
+    static std::uint64_t canonicalizeAndSeed(Group& group);
+
+  private:
+    std::chrono::nanoseconds window_;
+    std::unordered_map<BatchGroupKey, Group, BatchGroupKeyHash> pending_;
+};
+
+} // namespace chehab::service

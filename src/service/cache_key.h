@@ -15,6 +15,12 @@
 /// A run key extends the compile key with everything execution depends
 /// on: the input bindings, the runtime key budget, and the SealLite
 /// parameters.
+///
+/// This header also instantiates the generic single-flight cache
+/// (service/single_flight.h) for both stages: CompileCache maps compile
+/// keys to Compiled artifacts, RunCache maps run keys to executed
+/// RunArtifacts, each with LRU bounding and hit/miss/join/eviction
+/// accounting.
 #pragma once
 
 #include <algorithm>
@@ -24,10 +30,13 @@
 #include <vector>
 
 #include "compiler/driver.h"
+#include "compiler/pipeline.h"
+#include "compiler/runtime.h"
 #include "fhe/sealite.h"
 #include "ir/evaluator.h"
 #include "ir/expr.h"
 #include "service/request.h"
+#include "service/single_flight.h"
 
 namespace chehab::service {
 
@@ -165,5 +174,28 @@ struct RunKeyHash
         return h;
     }
 };
+
+/// \name Cache instantiations
+/// @{
+using CacheEntry = SettleEntry<compiler::Compiled>;
+using CompileCache =
+    SingleFlightCache<CacheKey, CacheKeyHash, compiler::Compiled>;
+
+/// What the run cache stores per entry: the executed program's compile
+/// artifact plus the execution outcome. For a request served from a
+/// packed (slot-coalesced) row, packed_lanes records how many requests
+/// shared that row and lane which region this request occupied.
+struct RunArtifact
+{
+    compiler::Compiled compiled;
+    compiler::RunResult result;
+    double compile_seconds = 0.0; ///< Wall time of the producing compile.
+    int packed_lanes = 1;         ///< Requests sharing the executed row.
+    int lane = 0;                 ///< This request's lane index.
+};
+
+using RunEntry = SettleEntry<RunArtifact>;
+using RunCache = SingleFlightCache<RunKey, RunKeyHash, RunArtifact>;
+/// @}
 
 } // namespace chehab::service

@@ -1,5 +1,7 @@
 #include "service/compile_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -11,14 +13,22 @@ namespace chehab::service {
 
 namespace {
 
-/// Encryption-randomness seed for one run: any deterministic function
-/// of the run identity works; mixing the key hash with a tag keeps it
-/// disjoint from the seeds used elsewhere.
+/// Encryption-randomness seed for one solo run: any deterministic
+/// function of the run identity works; mixing the key hash with a tag
+/// keeps it disjoint from the seeds used elsewhere.
 std::uint64_t
 runSeed(const RunKey& key)
 {
     return static_cast<std::uint64_t>(RunKeyHash{}(key)) ^
            0x52554e5345454421ULL; // "RUNSEED!"
+}
+
+std::chrono::nanoseconds
+toWindow(double seconds)
+{
+    if (seconds <= 0.0) return std::chrono::nanoseconds{0};
+    return std::chrono::nanoseconds{
+        static_cast<std::int64_t>(seconds * 1e9)};
 }
 
 } // namespace
@@ -50,10 +60,37 @@ CompileService::CompileService(ServiceConfig config)
     : config_(config), ruleset_(trs::buildChehabRuleset()),
       cache_(config.kernel_cache_capacity),
       run_cache_(config.run_cache_capacity),
+      planner_(toWindow(config.batch_window_seconds)),
       pool_(std::make_unique<ThreadPool>(config.num_workers))
-{}
+{
+    if (config_.max_lanes != 1) {
+        flusher_ = std::thread([this] { flusherLoop(); });
+    }
+}
 
-CompileService::~CompileService() = default;
+CompileService::~CompileService()
+{
+    if (flusher_.joinable()) {
+        {
+            std::unique_lock<std::mutex> lock(batch_mutex_);
+            batch_stop_ = true;
+        }
+        batch_cv_.notify_all();
+        flusher_.join();
+        // Flush whatever the window never reached so every outstanding
+        // future resolves; the pool destructor (pool_ is declared last,
+        // so it destructs first) drains these tasks before any other
+        // member goes away.
+        std::vector<BatchPlanner::Group> rest;
+        {
+            std::unique_lock<std::mutex> lock(batch_mutex_);
+            rest = planner_.takeAll();
+        }
+        for (BatchPlanner::Group& group : rest) {
+            dispatchGroup(std::move(group), /*window_flush=*/true);
+        }
+    }
+}
 
 int
 CompileService::numWorkers() const
@@ -64,6 +101,10 @@ CompileService::numWorkers() const
 ServiceStats
 CompileService::stats() const
 {
+    // Each counter group is read under its own mutex; cross-group
+    // invariants (e.g. executed <= run_cache.misses) still hold for the
+    // combined snapshot because every counter is monotonic and the
+    // earlier-ordered one is always incremented first.
     ServiceStats snapshot;
     {
         std::unique_lock<std::mutex> lock(stats_mutex_);
@@ -116,12 +157,12 @@ CompileService::makeResponse(const CompileRequest& request,
     return response;
 }
 
-KernelCache::Admission
+CompileCache::Admission
 CompileService::admitCompile(const ir::ExprPtr& canonical,
                              const compiler::DriverConfig& pipeline,
                              const CacheKey& key, double estimate)
 {
-    KernelCache::Admission admission = cache_.acquire(key);
+    CompileCache::Admission admission = cache_.acquire(key);
     if (!admission.owner) return admission;
 
     // This caller admitted the key: compile on the pool, most expensive
@@ -187,7 +228,7 @@ CompileService::submit(CompileRequest request)
     const CacheKey key = makeCacheKey(canonical, request.pipeline);
     const double estimate = ir::cost(canonical, request.pipeline.weights);
 
-    KernelCache::Admission admission =
+    CompileCache::Admission admission =
         admitCompile(canonical, request.pipeline, key, estimate);
     const bool cache_hit = !admission.owner && !admission.was_pending;
     const bool deduplicated = admission.was_pending;
@@ -205,6 +246,253 @@ CompileService::submit(CompileRequest request)
                                             estimate));
         });
     return future;
+}
+
+bool
+CompileService::tryCoalesce(BatchLane& lane, const CacheKey& compile_key)
+{
+    if (config_.max_lanes == 1) return false;
+    const int row_slots = lane.request.params.n / 2;
+    if (row_slots <= 0) return false;
+
+    const int effective_budget =
+        lane.compiled->key_planned ? 0 : lane.request.key_budget;
+    BatchGroupKey group_key;
+    group_key.compile = compile_key;
+    group_key.params_hash = paramsFingerprint(lane.request.params);
+    group_key.key_budget = effective_budget;
+
+    std::optional<BatchPlanner::Group> full;
+    {
+        std::unique_lock<std::mutex> lock(batch_mutex_);
+        if (batch_stop_) return false; // Shutting down: run solo.
+        auto it = fit_cache_.find(group_key);
+        if (it == fit_cache_.end()) {
+            // Analyze the exact rotation sequences this run will
+            // execute: the compiler's key plan when present, the
+            // runtime's budget-derived plan otherwise (mirroring the
+            // solo execution path). Memoized per group identity.
+            GroupFit entry;
+            if (lane.compiled->key_planned) {
+                entry.plan = lane.compiled->key_plan;
+            } else {
+                entry.plan = compiler::effectiveKeyPlan(
+                    lane.compiled->program, effective_budget);
+            }
+            entry.fit = analyzeLaneFit(lane.compiled->program, entry.plan,
+                                       row_slots);
+            // Crude bound so a churn of distinct kernels cannot grow
+            // the memo without limit; recomputation is cheap.
+            if (fit_cache_.size() >= 4096) fit_cache_.clear();
+            it = fit_cache_.emplace(group_key, std::move(entry)).first;
+        }
+        const GroupFit& group_fit = it->second;
+        if (!group_fit.fit.safe) return false;
+        int capacity = group_fit.fit.max_lanes;
+        if (config_.max_lanes > 1) {
+            capacity = std::min(capacity, config_.max_lanes);
+        }
+        if (capacity < 2) return false;
+        full = planner_.add(group_key, std::move(lane), capacity,
+                            group_fit.fit.stride, group_fit.plan,
+                            BatchPlanner::Clock::now());
+    }
+    if (full) {
+        dispatchGroup(std::move(*full), /*window_flush=*/false);
+    } else {
+        batch_cv_.notify_one(); // A new deadline may now be earliest.
+    }
+    return true;
+}
+
+void
+CompileService::flusherLoop()
+{
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    while (!batch_stop_) {
+        const std::optional<BatchPlanner::Clock::time_point> deadline =
+            planner_.earliestDeadline();
+        if (!deadline) {
+            batch_cv_.wait(lock, [this] {
+                return batch_stop_ || planner_.pendingLanes() > 0;
+            });
+            continue;
+        }
+        batch_cv_.wait_until(lock, *deadline);
+        std::vector<BatchPlanner::Group> due =
+            planner_.takeDue(BatchPlanner::Clock::now());
+        if (due.empty()) continue;
+        lock.unlock();
+        for (BatchPlanner::Group& group : due) {
+            dispatchGroup(std::move(group), /*window_flush=*/true);
+        }
+        lock.lock();
+    }
+}
+
+void
+CompileService::dispatchGroup(BatchPlanner::Group group, bool window_flush)
+{
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        if (window_flush) {
+            ++stats_.window_flushes;
+        } else {
+            ++stats_.full_flushes;
+        }
+    }
+    if (group.lanes.size() == 1) {
+        // A group the window closed before any peer arrived: packing a
+        // single request buys nothing, run it solo.
+        submitSoloRun(std::move(group.lanes.front()));
+        return;
+    }
+    const double priority = group.estimate_sum;
+    auto shared = std::make_shared<BatchPlanner::Group>(std::move(group));
+    pool_->submit(
+        [this, shared](int worker) { executePacked(*shared, worker); },
+        priority);
+}
+
+void
+CompileService::runSoloLane(const BatchLane& lane,
+                            compiler::FheRuntime& runtime, int worker)
+{
+    const Stopwatch exec_watch;
+    try {
+        RunArtifact artifact;
+        artifact.compiled = *lane.compiled;
+        artifact.compile_seconds = lane.compile_seconds;
+        // Per-request reseed: bit-identical noise accounting on any
+        // pooled instance (see runtime_pool.h).
+        runtime.scheme().reseedRandomness(runSeed(lane.run_key));
+        if (artifact.compiled.key_planned) {
+            artifact.result =
+                runtime.run(artifact.compiled.program, lane.request.inputs,
+                            artifact.compiled.key_plan);
+        } else {
+            artifact.result =
+                runtime.run(artifact.compiled.program, lane.request.inputs,
+                            lane.request.key_budget);
+        }
+        const double seconds = exec_watch.elapsedSeconds();
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++stats_.executed;
+            ++stats_.solo_runs;
+            stats_.total_exec_seconds += seconds;
+        }
+        lane.entry->publishReady(std::move(artifact), seconds, worker);
+    } catch (const std::exception& e) {
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++stats_.run_failed;
+        }
+        lane.entry->publishFailure(e.what(), worker);
+    }
+}
+
+void
+CompileService::submitSoloRun(BatchLane lane)
+{
+    const double priority = lane.estimate;
+    auto shared = std::make_shared<BatchLane>(std::move(lane));
+    pool_->submit(
+        [this, shared](int worker) {
+            const BatchLane& lane = *shared;
+            try {
+                RuntimePool::Lease lease =
+                    poolFor(lane.request.params).acquire();
+                runSoloLane(lane, lease.runtime(), worker);
+            } catch (const std::exception& e) {
+                // Lease acquisition failed (runtime construction threw).
+                {
+                    std::unique_lock<std::mutex> lock(stats_mutex_);
+                    ++stats_.run_failed;
+                }
+                lane.entry->publishFailure(e.what(), worker);
+            }
+        },
+        priority);
+}
+
+void
+CompileService::executePacked(BatchPlanner::Group& group, int worker)
+{
+    // The group is executed exactly once, on this worker; every lane's
+    // entry is published from here (success, fallback, or failure).
+    const std::uint64_t seed = BatchPlanner::canonicalizeAndSeed(group);
+    const std::vector<BatchLane>& lanes = group.lanes;
+    const compiler::Compiled& compiled = *lanes.front().compiled;
+    const Stopwatch exec_watch;
+    std::size_t published = 0; ///< Lane entries settled so far.
+    try {
+        RuntimePool::Lease lease =
+            poolFor(lanes.front().request.params).acquire();
+        lease->scheme().reseedRandomness(seed);
+        std::vector<const ir::Env*> envs;
+        envs.reserve(lanes.size());
+        for (const BatchLane& lane : lanes) {
+            envs.push_back(&lane.request.inputs);
+        }
+        compiler::PackedRunResult packed = lease->runPacked(
+            compiled.program, envs, group.plan, group.stride);
+
+        if (packed.shared.final_noise_budget <= 0) {
+            // The shared row's noise headroom ran out (other lanes'
+            // messages fatten the multiply noise): packed outputs are
+            // no longer trustworthy, so re-execute each lane solo —
+            // exactly as if it had never been coalesced.
+            {
+                std::unique_lock<std::mutex> lock(stats_mutex_);
+                ++stats_.packed_fallbacks;
+            }
+            for (const BatchLane& lane : lanes) {
+                // runSoloLane settles the entry on success AND failure.
+                runSoloLane(lane, lease.runtime(), worker);
+                ++published;
+            }
+            return;
+        }
+
+        const double seconds = exec_watch.elapsedSeconds();
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++stats_.executed;
+            ++stats_.packed_groups;
+            stats_.total_exec_seconds += seconds;
+        }
+        // packed_lanes counts per publication (not the group size up
+        // front) so a mid-loop throw leaves the counters consistent
+        // with what was actually delivered.
+        for (; published < lanes.size(); ++published) {
+            const std::size_t l = published;
+            RunArtifact artifact;
+            artifact.compiled = compiled;
+            artifact.compile_seconds = lanes[l].compile_seconds;
+            artifact.result = packed.shared;
+            artifact.result.output = packed.lane_outputs[l];
+            artifact.packed_lanes = static_cast<int>(lanes.size());
+            artifact.lane = static_cast<int>(l);
+            {
+                std::unique_lock<std::mutex> lock(stats_mutex_);
+                ++stats_.packed_lanes;
+            }
+            lanes[l].entry->publishReady(std::move(artifact), seconds,
+                                         worker);
+        }
+    } catch (const std::exception& e) {
+        // Fail only the lanes not yet published: an already-settled
+        // entry must never be published twice.
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            stats_.run_failed +=
+                static_cast<std::uint64_t>(lanes.size() - published);
+        }
+        for (std::size_t l = published; l < lanes.size(); ++l) {
+            lanes[l].entry->publishFailure(e.what(), worker);
+        }
+    }
 }
 
 std::future<RunResponse>
@@ -254,79 +542,45 @@ CompileService::submitRun(RunRequest request)
         // Run requests and plain compile requests share the kernel
         // cache: a run of a kernel someone already compiled reuses
         // that artifact, and vice versa.
-        KernelCache::Admission compile_admission = admitCompile(
+        CompileCache::Admission compile_admission = admitCompile(
             canonical, request.pipeline, compile_key, estimate);
         compile_hit =
             !compile_admission.owner && !compile_admission.was_pending;
         compile_dedup = compile_admission.was_pending;
 
-        // Single-flight execute: chain onto the compile entry, then run
-        // on the pool. The continuation only enqueues — execution never
-        // runs inline on the publishing worker's continuation path.
+        // Single-flight execute: chain onto the compile entry. The
+        // continuation hands the job to the slot-batching coalescer
+        // (lane-safe kernels wait up to the batch window for peers to
+        // share a ciphertext row with) or enqueues a solo execution —
+        // it never runs the kernel inline on the publishing worker.
         std::shared_ptr<RunEntry> run_entry = run_admission.entry;
         std::shared_ptr<CacheEntry> compile_entry = compile_admission.entry;
         RunRequest job = std::move(request);
         compile_admission.entry->onSettled(
             [this, run_entry, compile_entry, job = std::move(job), run_key,
-             estimate](const CacheEntry::Settled& compile_settled) {
-                if (compile_settled.state != CacheEntry::State::Ready) {
+             compile_key, estimate](const CacheEntry::Settled& settled) {
+                if (settled.state != CacheEntry::State::Ready) {
                     {
                         std::unique_lock<std::mutex> lock(stats_mutex_);
                         ++stats_.run_failed;
                     }
-                    run_entry->publishFailure(*compile_settled.error,
-                                              compile_settled.worker_id);
+                    run_entry->publishFailure(*settled.error,
+                                              settled.worker_id);
                     return;
                 }
-                // The artifact pointer stays valid because the execute
-                // task holds the compile entry alive via shared_ptr.
-                const compiler::Compiled* compiled =
-                    compile_settled.artifact;
-                const double compile_seconds = compile_settled.seconds;
-                pool_->submit(
-                    [this, run_entry, compile_entry, compiled,
-                     compile_seconds, job, run_key](int worker) {
-                        const Stopwatch exec_watch;
-                        try {
-                            RunArtifact artifact;
-                            artifact.compiled = *compiled;
-                            artifact.compile_seconds = compile_seconds;
-                            RuntimePool::Lease lease =
-                                poolFor(job.params).acquire();
-                            // Per-request reseed: bit-identical noise
-                            // accounting on any pooled instance (see
-                            // runtime_pool.h).
-                            lease->scheme().reseedRandomness(
-                                runSeed(run_key));
-                            if (artifact.compiled.key_planned) {
-                                artifact.result = lease->run(
-                                    artifact.compiled.program, job.inputs,
-                                    artifact.compiled.key_plan);
-                            } else {
-                                artifact.result = lease->run(
-                                    artifact.compiled.program, job.inputs,
-                                    job.key_budget);
-                            }
-                            const double seconds =
-                                exec_watch.elapsedSeconds();
-                            {
-                                std::unique_lock<std::mutex> lock(
-                                    stats_mutex_);
-                                ++stats_.executed;
-                                stats_.total_exec_seconds += seconds;
-                            }
-                            run_entry->publishReady(std::move(artifact),
-                                                    seconds, worker);
-                        } catch (const std::exception& e) {
-                            {
-                                std::unique_lock<std::mutex> lock(
-                                    stats_mutex_);
-                                ++stats_.run_failed;
-                            }
-                            run_entry->publishFailure(e.what(), worker);
-                        }
-                    },
-                    estimate);
+                // The artifact pointer stays valid because the lane
+                // holds the compile entry alive via shared_ptr.
+                BatchLane lane;
+                lane.entry = run_entry;
+                lane.compile_entry = compile_entry;
+                lane.compiled = settled.artifact;
+                lane.compile_seconds = settled.seconds;
+                lane.request = job;
+                lane.run_key = run_key;
+                lane.estimate = estimate;
+                if (!tryCoalesce(lane, compile_key)) {
+                    submitSoloRun(std::move(lane));
+                }
             });
     }
 
@@ -350,6 +604,8 @@ CompileService::submitRun(RunRequest request)
                 response.result = settled.artifact->result;
                 response.compile_seconds =
                     settled.artifact->compile_seconds;
+                response.packed_lanes = settled.artifact->packed_lanes;
+                response.lane = settled.artifact->lane;
             } else {
                 response.ok = false;
                 response.error = *settled.error;

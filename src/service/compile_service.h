@@ -7,7 +7,7 @@
 ///     submit(request)
 ///        |  canonicalize on the caller, derive CacheKey + cost estimate
 ///        v
-///     KernelCache::acquire  -- owner --> ThreadPool (priority = cost)
+///     CompileCache::acquire -- owner --> ThreadPool (priority = cost)
 ///        |                                  | CompilerDriver::compile
 ///        |  hit / in-flight join            v
 ///        +-----------------------> CacheEntry settles -> futures resolve
@@ -19,10 +19,23 @@
 ///     submitRun(request)
 ///        |  admit compile (above) + RunCache::acquire (single-flight)
 ///        v
-///     compile settles -- run owner --> ThreadPool: lease pooled
-///        |                             FheRuntime (per-params), reseed
-///        |  run hit / join             deterministically, execute
+///     compile settles -- run owner --> slot-batching coalescer:
+///        |                             lane-safe kernels wait up to
+///        |  run hit / join             batch_window for peers, then a
+///        |                             packed group (or a solo run)
+///        |                             executes on a pooled FheRuntime
 ///        +--------------------> RunEntry settles -> futures resolve
+///
+/// Slot batching: SealLite exposes n/2 SIMD lanes per ciphertext row,
+/// but a small kernel touches only a handful of them. When max_lanes
+/// allows it, run requests that share a compiled artifact and SealLite
+/// parameters are coalesced: each request's inputs are packed into its
+/// own lane-stride-aligned region of one shared row, the kernel
+/// executes once, and per-lane output slices are scattered back into
+/// individual responses (see service/batch_planner.h for the
+/// lane-safety analysis that gates this). A group flushes when it
+/// reaches its lane capacity or when the oldest member has waited
+/// batch_window seconds.
 ///
 /// Expensive kernels dispatch first (longest-processing-time-first on
 /// the §5.3.1 cost estimate), which minimizes batch makespan when job
@@ -36,37 +49,32 @@
 /// service/runtime_pool.h), so for a fixed request the service returns
 /// a byte-identical instruction stream — and for run requests,
 /// bit-identical outputs and noise accounting — regardless of worker
-/// count or submission order.
+/// count or submission order. Packed runs keep the output side of that
+/// guarantee unconditionally (a lane's outputs are bit-identical to its
+/// solo run); their noise accounting is that of the shared row, which
+/// is deterministic for a fixed group composition (see README,
+/// "determinism contract for packed runs").
 #pragma once
 
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "compiler/driver.h"
 #include "compiler/pipeline.h"
 #include "rl/agent.h"
-#include "service/kernel_cache.h"
+#include "service/batch_planner.h"
+#include "service/cache_key.h"
 #include "service/request.h"
 #include "service/runtime_pool.h"
 #include "support/thread_pool.h"
 #include "trs/ruleset.h"
 
 namespace chehab::service {
-
-/// What the run cache stores per entry: the executed program's compile
-/// artifact plus the execution outcome.
-struct RunArtifact
-{
-    compiler::Compiled compiled;
-    compiler::RunResult result;
-    double compile_seconds = 0.0; ///< Wall time of the producing compile.
-};
-
-using RunEntry = SettleEntry<RunArtifact>;
-using RunCache = SingleFlightCache<RunKey, RunKeyHash, RunArtifact>;
 
 /// Service construction knobs.
 struct ServiceConfig
@@ -80,6 +88,14 @@ struct ServiceConfig
     std::size_t kernel_cache_capacity = 0;
     /// LRU capacity of the run-result cache; 0 = unbounded.
     std::size_t run_cache_capacity = 0;
+    /// Slot-batching lane cap: 1 disables coalescing (default), 0 means
+    /// "as many lanes as the row and the lane-safety analysis allow",
+    /// any other value caps the lanes packed into one row.
+    int max_lanes = 1;
+    /// How long a pending coalescible run waits for peers before its
+    /// (possibly partial) group flushes. Groups that reach their lane
+    /// capacity flush immediately.
+    double batch_window_seconds = 0.0005;
 };
 
 /// Aggregate service counters (monotonic; snapshot via stats()).
@@ -91,12 +107,26 @@ struct ServiceStats
     double total_compile_seconds = 0.0; ///< Sum over owner compiles.
 
     std::uint64_t run_submitted = 0;  ///< Run requests accepted.
-    std::uint64_t executed = 0;       ///< Owner executions actually run.
+    /// Owner executions actually run: one per solo run and one per
+    /// packed group (however many lanes it carried).
+    std::uint64_t executed = 0;
     std::uint64_t run_failed = 0;     ///< Runs that failed (either stage).
     double total_exec_seconds = 0.0;  ///< Sum over owner executions.
     std::uint64_t runtimes_created = 0; ///< Pooled FheRuntimes built.
 
-    KernelCache::Stats cache;         ///< Hits/misses/evictions etc.
+    /// \name Slot-batching coalescer
+    /// @{
+    std::uint64_t packed_groups = 0;  ///< Packed (>= 2 lane) executions.
+    std::uint64_t packed_lanes = 0;   ///< Requests served via packed rows.
+    std::uint64_t solo_runs = 0;      ///< Owner runs executed unbatched.
+    std::uint64_t full_flushes = 0;   ///< Groups flushed at lane capacity.
+    std::uint64_t window_flushes = 0; ///< Groups flushed by the window.
+    /// Packed rows whose noise budget hit zero and were re-executed
+    /// lane-by-lane (solo semantics win over amortization).
+    std::uint64_t packed_fallbacks = 0;
+    /// @}
+
+    CompileCache::Stats cache;        ///< Hits/misses/evictions etc.
     RunCache::Stats run_cache;
 };
 
@@ -135,10 +165,10 @@ class CompileService
     /// Admit \p key into the kernel cache; when this caller becomes the
     /// owner, dispatch the compile of \p canonical under \p pipeline
     /// onto the pool at \p estimate priority.
-    KernelCache::Admission admitCompile(const ir::ExprPtr& canonical,
-                                        const compiler::DriverConfig& pipeline,
-                                        const CacheKey& key,
-                                        double estimate);
+    CompileCache::Admission admitCompile(const ir::ExprPtr& canonical,
+                                         const compiler::DriverConfig& pipeline,
+                                         const CacheKey& key,
+                                         double estimate);
 
     /// The per-params runtime pool (created on first use).
     RuntimePool& poolFor(const fhe::SealLiteParams& params);
@@ -149,9 +179,37 @@ class CompileService
                                  double queue_seconds,
                                  double estimated_cost) const;
 
+    /// Try to enqueue a settled-compile run job into the coalescer.
+    /// Returns false — leaving \p lane untouched — when batching is off
+    /// or the program is not lane-safe for these parameters; the caller
+    /// must then execute solo. On success \p lane has been moved into
+    /// the planner.
+    bool tryCoalesce(BatchLane& lane, const CacheKey& compile_key);
+
+    /// Dispatch one flushed group onto the worker pool (solo execution
+    /// for single-lane groups).
+    void dispatchGroup(BatchPlanner::Group group, bool window_flush);
+
+    /// Submit a solo execution task for \p lane onto the pool.
+    void submitSoloRun(BatchLane lane);
+
+    /// Execute \p lane solo on \p runtime and publish its entry
+    /// (success or failure). The one solo-execution body: the pool task
+    /// and the packed-row fallback both run through here, so their
+    /// semantics (reseed scheme, stats, artifact fields, timing) cannot
+    /// diverge.
+    void runSoloLane(const BatchLane& lane, compiler::FheRuntime& runtime,
+                     int worker);
+
+    /// Execute a >= 2 lane group as one packed row (worker context).
+    void executePacked(BatchPlanner::Group& group, int worker);
+
+    /// Background loop flushing window-expired groups.
+    void flusherLoop();
+
     ServiceConfig config_;
     trs::Ruleset ruleset_; ///< Owned, immutable after construction.
-    KernelCache cache_;
+    CompileCache cache_;
     RunCache run_cache_;
 
     mutable std::mutex pools_mutex_;
@@ -159,6 +217,28 @@ class CompileService
 
     mutable std::mutex stats_mutex_;
     ServiceStats stats_;
+
+    /// Memoized lane-safety verdict for one group identity: the
+    /// analysis depends only on (compiled program, effective budget,
+    /// row size), all captured by the BatchGroupKey, so the hot path —
+    /// thousands of requests for the same small kernel — computes it
+    /// once per kernel instead of once per request.
+    struct GroupFit
+    {
+        LaneFit fit;
+        compiler::RotationKeyPlan plan;
+    };
+
+    /// Coalescer state: planner and fit memo guarded by batch_mutex_;
+    /// the flusher thread sleeps on batch_cv_ until the earliest group
+    /// deadline.
+    std::mutex batch_mutex_;
+    std::condition_variable batch_cv_;
+    BatchPlanner planner_;
+    std::unordered_map<BatchGroupKey, GroupFit, BatchGroupKeyHash>
+        fit_cache_;
+    bool batch_stop_ = false;
+    std::thread flusher_;
 
     /// Declared last so it destructs first: worker tasks touch the
     /// cache, pool and stats members above, which must outlive the

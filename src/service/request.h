@@ -115,6 +115,13 @@ struct RunResponse
     double exec_seconds = 0.0;
     double estimated_cost = 0.0; ///< Cost-model dispatch priority used.
     int worker_id = -1;          ///< Worker that executed the program.
+
+    /// Slot-batching provenance: how many run requests shared the
+    /// ciphertext row this one executed on (1 = solo), and which lane
+    /// this request occupied. Packed outputs are bit-identical to a
+    /// solo run; the noise fields of \c result describe the shared row.
+    int packed_lanes = 1;
+    int lane = 0;
 };
 
 } // namespace chehab::service

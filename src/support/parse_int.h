@@ -1,0 +1,33 @@
+/// \file
+/// Checked string-to-integer parsing for CLI flags.
+///
+/// std::atoi silently returns 0 for garbage ("--workers=abc" becomes 0
+/// workers) and has undefined behavior on overflow; every numeric flag
+/// parser should reject both with a diagnosable failure instead.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace chehab {
+
+/// Parse \p text as a base-10 int into \p out. Returns false — leaving
+/// \p out untouched — when \p text is null, empty, contains trailing
+/// garbage ("12x"), or does not fit in int. Leading whitespace and a
+/// sign are accepted, mirroring strtol.
+inline bool
+parseInt(const char* text, int& out)
+{
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') return false;    // No digits / junk.
+    if (errno == ERANGE) return false;                // Overflowed long.
+    if (value < INT_MIN || value > INT_MAX) return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+} // namespace chehab

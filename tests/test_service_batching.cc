@@ -1,0 +1,490 @@
+/// \file
+/// Tests for the slot-batching coalescer: packed vs. solo bit-identical
+/// outputs per lane, packed-noise determinism at 1 vs. 8 workers,
+/// partial final batches, mixed-parameter batches never coalescing,
+/// window-timeout flushes, the lane-safety analysis itself, and the
+/// counter-consistency invariants the concurrency audit asserts under
+/// TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "compiler/driver.h"
+#include "compiler/passes.h"
+#include "compiler/runtime.h"
+#include "ir/evaluator.h"
+#include "ir/parser.h"
+#include "service/batch_planner.h"
+#include "service/compile_service.h"
+#include "trs/ruleset.h"
+
+namespace chehab::service {
+namespace {
+
+fhe::SealLiteParams
+smallParams()
+{
+    fhe::SealLiteParams params;
+    params.n = 256; // 128-slot row.
+    params.prime_count = 4;
+    params.seed = 17;
+    return params;
+}
+
+std::string
+dotSource(int n)
+{
+    std::string sum;
+    for (int i = 0; i < n; ++i) {
+        const std::string term = "(* a" + std::to_string(i) + " b" +
+                                 std::to_string(i) + ")";
+        sum = i == 0 ? term : "(+ " + sum + " " + term + ")";
+    }
+    return sum;
+}
+
+/// Distinct deterministic inputs per request index.
+ir::Env
+inputsFor(const ir::ExprPtr& source, int index)
+{
+    ir::Env env = benchsuite::syntheticInputs(source);
+    for (auto& [name, value] : env) value += index * 7 + 1;
+    return env;
+}
+
+RunRequest
+laneRequest(const std::string& name, const ir::ExprPtr& source, int index,
+            int key_budget = 0)
+{
+    RunRequest request;
+    request.name = name;
+    request.source = source;
+    request.pipeline = compiler::DriverConfig::greedy({}, 20);
+    request.inputs = inputsFor(source, index);
+    request.key_budget = key_budget;
+    request.params = smallParams();
+    return request;
+}
+
+ServiceConfig
+batchedConfig(int workers, int max_lanes, double window_seconds)
+{
+    ServiceConfig config;
+    config.num_workers = workers;
+    config.max_lanes = max_lanes;
+    config.batch_window_seconds = window_seconds;
+    return config;
+}
+
+struct Snapshot
+{
+    std::vector<std::int64_t> output;
+    int fresh = 0;
+    int final_budget = 0;
+    int consumed = 0;
+    int keys = 0;
+    int packed_lanes = 0;
+    int lane = 0;
+};
+
+std::map<std::string, Snapshot>
+runAndSnapshot(const ServiceConfig& config,
+               std::vector<RunRequest> batch)
+{
+    std::map<std::string, Snapshot> by_name;
+    CompileService service(config);
+    for (RunResponse& response : service.runBatch(std::move(batch))) {
+        EXPECT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        Snapshot snap;
+        snap.output = response.result.output;
+        snap.fresh = response.result.fresh_noise_budget;
+        snap.final_budget = response.result.final_noise_budget;
+        snap.consumed = response.result.consumed_noise;
+        snap.keys = response.result.rotation_keys;
+        snap.packed_lanes = response.packed_lanes;
+        snap.lane = response.lane;
+        by_name[response.name] = snap;
+    }
+    return by_name;
+}
+
+// ---- packed vs. solo --------------------------------------------------
+
+TEST(ServiceBatchingTest, PackedOutputsBitIdenticalToSolo)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    const int n = 8;
+    std::vector<RunRequest> batch;
+    for (int i = 0; i < n; ++i) {
+        batch.push_back(
+            laneRequest("k" + std::to_string(i), source, i));
+    }
+
+    // Solo: coalescing disabled (the default config).
+    const auto solo =
+        runAndSnapshot(batchedConfig(2, /*max_lanes=*/1, 0.0), batch);
+    // Packed: all eight requests share one row (capacity 8 fills the
+    // group before any window could expire).
+    const auto packed =
+        runAndSnapshot(batchedConfig(2, /*max_lanes=*/8, 1.0), batch);
+
+    ASSERT_EQ(solo.size(), packed.size());
+    for (const auto& [name, solo_snap] : solo) {
+        ASSERT_TRUE(packed.count(name)) << name;
+        const Snapshot& packed_snap = packed.at(name);
+        // The determinism contract: per-lane outputs are bit-identical
+        // to the solo run; so are the request-independent accounting
+        // fields (fresh budget, rotation keys). The final/consumed
+        // noise describes the shared row and may legitimately differ.
+        EXPECT_EQ(solo_snap.output, packed_snap.output) << name;
+        EXPECT_EQ(solo_snap.fresh, packed_snap.fresh) << name;
+        EXPECT_EQ(solo_snap.keys, packed_snap.keys) << name;
+        EXPECT_EQ(solo_snap.packed_lanes, 1) << name;
+        EXPECT_EQ(packed_snap.packed_lanes, n) << name;
+        EXPECT_FALSE(packed_snap.output.empty()) << name;
+        // Every lane rode the same row: shared noise accounting.
+        EXPECT_EQ(packed_snap.final_budget,
+                  packed.begin()->second.final_budget)
+            << name;
+        EXPECT_GT(packed_snap.final_budget, 0) << name;
+    }
+    // And both agree with the reference evaluator.
+    for (int i = 0; i < n; ++i) {
+        const ir::Value expected =
+            ir::Evaluator().evaluate(source, inputsFor(source, i));
+        EXPECT_EQ(packed.at("k" + std::to_string(i)).output[0],
+                  expected.slots[0]);
+    }
+}
+
+TEST(ServiceBatchingTest, PackedDeterministicAcrossWorkerCounts)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    auto makeBatch = [&source] {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 8; ++i) {
+            batch.push_back(
+                laneRequest("k" + std::to_string(i), source, i));
+        }
+        return batch;
+    };
+
+    const auto serial =
+        runAndSnapshot(batchedConfig(1, 8, 1.0), makeBatch());
+    const auto wide =
+        runAndSnapshot(batchedConfig(8, 8, 1.0), makeBatch());
+    ASSERT_EQ(serial.size(), wide.size());
+    for (const auto& [name, snap] : serial) {
+        ASSERT_TRUE(wide.count(name)) << name;
+        const Snapshot& other = wide.at(name);
+        // Same group composition => same lane order, same packing seed:
+        // outputs AND the shared row's noise accounting are
+        // bit-identical regardless of worker count.
+        EXPECT_EQ(snap.output, other.output) << name;
+        EXPECT_EQ(snap.fresh, other.fresh) << name;
+        EXPECT_EQ(snap.final_budget, other.final_budget) << name;
+        EXPECT_EQ(snap.consumed, other.consumed) << name;
+        EXPECT_EQ(snap.keys, other.keys) << name;
+        EXPECT_EQ(snap.packed_lanes, other.packed_lanes) << name;
+        EXPECT_EQ(snap.lane, other.lane) << name;
+        EXPECT_EQ(snap.packed_lanes, 8) << name;
+    }
+}
+
+TEST(ServiceBatchingTest, PartialFinalBatchFlushesViaWindow)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    std::vector<RunRequest> batch;
+    for (int i = 0; i < 6; ++i) {
+        batch.push_back(laneRequest("k" + std::to_string(i), source, i));
+    }
+    // Capacity 4: the first four lanes flush full; the remaining two
+    // form a partial group only the window can flush.
+    CompileService service(batchedConfig(2, 4, /*window=*/0.15));
+    std::vector<RunResponse> responses =
+        service.runBatch(std::move(batch));
+    int lanes4 = 0;
+    int lanes2 = 0;
+    for (const RunResponse& response : responses) {
+        ASSERT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        if (response.packed_lanes == 4) ++lanes4;
+        if (response.packed_lanes == 2) ++lanes2;
+        const int index = std::stoi(response.name.substr(1));
+        const ir::Value expected = ir::Evaluator().evaluate(
+            source, inputsFor(source, index));
+        EXPECT_EQ(response.result.output[0], expected.slots[0])
+            << response.name;
+    }
+    EXPECT_EQ(lanes4, 4);
+    EXPECT_EQ(lanes2, 2);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.packed_groups, 2u);
+    EXPECT_EQ(stats.packed_lanes, 6u);
+    EXPECT_EQ(stats.full_flushes, 1u);
+    EXPECT_GE(stats.window_flushes, 1u);
+}
+
+TEST(ServiceBatchingTest, MixedParamsAndBudgetsNeverCoalesce)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    std::vector<RunRequest> batch;
+    batch.push_back(laneRequest("p17", source, 0));
+    RunRequest other_params = laneRequest("p23", source, 0);
+    other_params.params.seed = 23; // Different runtime family.
+    batch.push_back(std::move(other_params));
+
+    CompileService service(batchedConfig(2, 8, /*window=*/0.05));
+    std::vector<RunResponse> responses =
+        service.runBatch(std::move(batch));
+    for (const RunResponse& response : responses) {
+        ASSERT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        // Each request sat in its own single-lane group, so both ran
+        // solo (packing across parameter sets would mix key material).
+        EXPECT_EQ(response.packed_lanes, 1) << response.name;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.packed_groups, 0u);
+    EXPECT_EQ(stats.solo_runs, 2u);
+}
+
+TEST(ServiceBatchingTest, WindowTimeoutFlushesUndersizedGroup)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    std::vector<RunRequest> batch;
+    for (int i = 0; i < 3; ++i) {
+        batch.push_back(laneRequest("k" + std::to_string(i), source, i));
+    }
+    // Capacity 8 but only 3 requests: nothing fills the group; the
+    // window must flush it or runBatch would block forever.
+    CompileService service(batchedConfig(2, 8, /*window=*/0.1));
+    std::vector<RunResponse> responses =
+        service.runBatch(std::move(batch));
+    for (const RunResponse& response : responses) {
+        ASSERT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        EXPECT_EQ(response.packed_lanes, 3) << response.name;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.packed_groups, 1u);
+    EXPECT_EQ(stats.packed_lanes, 3u);
+    EXPECT_EQ(stats.full_flushes, 0u);
+    EXPECT_GE(stats.window_flushes, 1u);
+}
+
+TEST(ServiceBatchingTest, RowFillingKernelRunsSolo)
+{
+    // A pack as wide as the row leaves no lane to share: the planner
+    // must refuse and the service must fall back to solo execution.
+    std::string vec = "(VecAdd (Vec";
+    std::string other = " (Vec";
+    for (int i = 0; i < 128; ++i) {
+        vec += " x" + std::to_string(i);
+        other += " y" + std::to_string(i);
+    }
+    const ir::ExprPtr source = ir::parse(vec + ")" + other + "))");
+    std::vector<RunRequest> batch;
+    for (int i = 0; i < 2; ++i) {
+        batch.push_back(laneRequest("w" + std::to_string(i), source, i));
+    }
+    CompileService service(batchedConfig(2, 8, /*window=*/0.05));
+    std::vector<RunResponse> responses =
+        service.runBatch(std::move(batch));
+    for (const RunResponse& response : responses) {
+        ASSERT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        EXPECT_EQ(response.packed_lanes, 1) << response.name;
+    }
+    EXPECT_EQ(service.stats().packed_groups, 0u);
+    EXPECT_EQ(service.stats().solo_runs, 2u);
+}
+
+// ---- the lane-safety analysis directly --------------------------------
+
+TEST(ServiceBatchingTest, LaneFitCertifiesRotateReduceKernels)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const compiler::CompilerDriver driver(&ruleset);
+    const compiler::Compiled compiled =
+        driver.compile(compiler::canonicalize(ir::parse(dotSource(4))),
+                       compiler::DriverConfig::greedy({}, 20));
+    const compiler::RotationKeyPlan plan =
+        compiler::effectiveKeyPlan(compiled.program, 0);
+    const LaneFit fit = analyzeLaneFit(compiled.program, plan, 128);
+    ASSERT_TRUE(fit.safe) << fit.reason;
+    EXPECT_GE(fit.max_lanes, 2);
+    EXPECT_LE(fit.stride, 32);
+    EXPECT_EQ(fit.stride * fit.max_lanes, 128);
+
+    // The same program cannot share a 4-slot row with anyone.
+    const LaneFit tiny = analyzeLaneFit(compiled.program, plan, 4);
+    EXPECT_FALSE(tiny.safe);
+}
+
+TEST(ServiceBatchingTest, RotatedAperiodicConstantPackIsNotCertified)
+{
+    // Regression: a rotated NON-replicated constant pack repeats its
+    // pattern per region in the packed row but is zero-tailed in the
+    // solo row, so rotation wraps constants across the region boundary
+    // where solo semantics has zeros. The analysis must not certify a
+    // stride whose readout window can see those wrapped slots.
+    compiler::FheProgram program;
+    compiler::FheInstr pack;
+    pack.op = compiler::FheOpcode::PackCipher;
+    pack.replicate = false;
+    for (std::int64_t v : {5, 7, 9}) {
+        compiler::PackSlot slot;
+        slot.kind = compiler::PackSlot::Kind::Const;
+        slot.value = v;
+        pack.slots.push_back(slot);
+    }
+    pack.dst = 0;
+    program.instrs.push_back(pack);
+    compiler::FheInstr rot;
+    rot.op = compiler::FheOpcode::Rotate;
+    rot.a = 0;
+    rot.step = 1;
+    rot.dst = 1;
+    program.instrs.push_back(rot);
+    program.num_regs = 2;
+    program.output_reg = 1;
+    program.output_width = 4;
+
+    const compiler::RotationKeyPlan plan =
+        compiler::effectiveKeyPlan(program, 0);
+    const LaneFit fit = analyzeLaneFit(program, plan, 128);
+    // Stride 4 would put the wrapped constant inside the 4-slot
+    // readout; the smallest sound stride is 8 (dirty_top = 1).
+    ASSERT_TRUE(fit.safe) << fit.reason;
+    EXPECT_GE(fit.stride, 8);
+
+    // And the certified stride really is bit-identical to solo.
+    std::vector<ir::Env> envs(2);
+    std::vector<const ir::Env*> lanes = {&envs[0], &envs[1]};
+    compiler::FheRuntime packed_rt(smallParams());
+    const compiler::PackedRunResult packed =
+        packed_rt.runPacked(program, lanes, plan, fit.stride);
+    compiler::FheRuntime solo_rt(smallParams());
+    const compiler::RunResult solo = solo_rt.run(program, envs[0], plan);
+    EXPECT_EQ(packed.lane_outputs[0], solo.output);
+    EXPECT_EQ(packed.lane_outputs[1], solo.output);
+    EXPECT_EQ(solo.output, (std::vector<std::int64_t>{7, 9, 0, 0}));
+}
+
+TEST(ServiceBatchingTest, RunPackedMatchesSoloRunsDirectly)
+{
+    // Runtime-level check, bypassing the service: three lanes packed in
+    // one row equal three solo runs, output for output.
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const compiler::CompilerDriver driver(&ruleset);
+    const ir::ExprPtr source = ir::parse(dotSource(8));
+    const compiler::Compiled compiled =
+        driver.compile(compiler::canonicalize(source),
+                       compiler::DriverConfig::greedy({}, 20));
+    const compiler::RotationKeyPlan plan =
+        compiler::effectiveKeyPlan(compiled.program, 0);
+    const LaneFit fit = analyzeLaneFit(compiled.program, plan, 128);
+    ASSERT_TRUE(fit.safe) << fit.reason;
+
+    std::vector<ir::Env> envs;
+    for (int i = 0; i < 3; ++i) envs.push_back(inputsFor(source, i));
+    std::vector<const ir::Env*> lanes;
+    for (const ir::Env& env : envs) lanes.push_back(&env);
+
+    compiler::FheRuntime packed_rt(smallParams());
+    const compiler::PackedRunResult packed =
+        packed_rt.runPacked(compiled.program, lanes, plan, fit.stride);
+    ASSERT_EQ(packed.lane_outputs.size(), 3u);
+    EXPECT_GT(packed.shared.final_noise_budget, 0);
+
+    for (int i = 0; i < 3; ++i) {
+        compiler::FheRuntime solo_rt(smallParams());
+        const compiler::RunResult solo =
+            solo_rt.run(compiled.program, envs[static_cast<std::size_t>(i)],
+                        plan);
+        EXPECT_EQ(packed.lane_outputs[static_cast<std::size_t>(i)],
+                  solo.output)
+            << "lane " << i;
+    }
+}
+
+// ---- counter consistency under concurrency (exercised by TSan CI) -----
+
+TEST(ServiceBatchingTest, ConcurrentRunBatchAndStatsConsistency)
+{
+    // The audit invariants: every counter is written under its guarding
+    // mutex and the aggregate identities below hold for any quiescent
+    // snapshot, at any worker count, with the coalescer on. stats() is
+    // hammered concurrently so TSan can prove the reads are not torn.
+    const ir::ExprPtr source_a = ir::parse(dotSource(4));
+    const ir::ExprPtr source_b = ir::parse(dotSource(3));
+    CompileService service(batchedConfig(4, 4, /*window=*/0.02));
+
+    std::atomic<bool> done{false};
+    std::thread poller([&service, &done] {
+        while (!done.load()) {
+            const ServiceStats snap = service.stats();
+            // Monotonic counters can never make hits exceed lookups.
+            EXPECT_LE(snap.run_cache.hits + snap.run_cache.inflight_joins +
+                          snap.run_cache.misses,
+                      snap.run_submitted);
+            std::this_thread::yield();
+        }
+    });
+
+    const int threads = 4;
+    const int per_thread = 10;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < threads; ++t) {
+        submitters.emplace_back([&, t] {
+            std::vector<RunRequest> batch;
+            for (int i = 0; i < per_thread; ++i) {
+                const ir::ExprPtr& source =
+                    (i % 2 == 0) ? source_a : source_b;
+                // Mix distinct inputs with cross-thread duplicates.
+                const int index = (i % 3 == 0) ? i : t * 100 + i;
+                batch.push_back(laneRequest(
+                    "t" + std::to_string(t) + "i" + std::to_string(i),
+                    source, index));
+            }
+            for (RunResponse& response :
+                 service.runBatch(std::move(batch))) {
+                EXPECT_TRUE(response.ok)
+                    << response.name << ": " << response.error;
+            }
+        });
+    }
+    for (std::thread& thread : submitters) thread.join();
+    done.store(true);
+    poller.join();
+
+    const ServiceStats stats = service.stats();
+    // Every run submission did exactly one run-cache acquire.
+    EXPECT_EQ(stats.run_cache.hits + stats.run_cache.inflight_joins +
+                  stats.run_cache.misses,
+              stats.run_submitted);
+    // Every compile submission and every run owner did exactly one
+    // kernel-cache acquire.
+    EXPECT_EQ(stats.cache.hits + stats.cache.inflight_joins +
+                  stats.cache.misses,
+              stats.submitted + stats.run_cache.misses);
+    // Owner compiles either succeeded or failed.
+    EXPECT_EQ(stats.cache.misses, stats.compiled + stats.failed);
+    // Every run owner ended exactly one way: a packed lane, a solo run,
+    // or a failure.
+    EXPECT_EQ(stats.run_cache.misses,
+              stats.packed_lanes + stats.solo_runs + stats.run_failed);
+    // One execution per solo run and per packed group.
+    EXPECT_EQ(stats.executed, stats.solo_runs + stats.packed_groups);
+    EXPECT_EQ(stats.run_failed, 0u);
+}
+
+} // namespace
+} // namespace chehab::service

@@ -320,7 +320,7 @@ TEST(ServiceExecuteTest, NullSourceRejectedOnSubmitRun)
 
 // ---- LRU bounding ---------------------------------------------------
 
-TEST(ServiceExecuteTest, KernelCacheLruEviction)
+TEST(ServiceExecuteTest, CompileCacheLruEviction)
 {
     ServiceConfig config;
     config.num_workers = 2;

@@ -1,0 +1,63 @@
+/// \file
+/// Tests for the checked CLI integer parser: garbage, trailing junk,
+/// overflow and boundary values must be rejected (std::atoi, which this
+/// replaced, silently returned 0 for "abc").
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <string>
+
+#include "support/parse_int.h"
+
+namespace chehab {
+namespace {
+
+TEST(ParseIntTest, ParsesPlainIntegers)
+{
+    int out = -1;
+    EXPECT_TRUE(parseInt("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parseInt("42", out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(parseInt("-7", out));
+    EXPECT_EQ(out, -7);
+    EXPECT_TRUE(parseInt("+13", out));
+    EXPECT_EQ(out, 13);
+    EXPECT_TRUE(parseInt("  8", out)); // strtol-style leading spaces.
+    EXPECT_EQ(out, 8);
+}
+
+TEST(ParseIntTest, AcceptsIntBoundaries)
+{
+    int out = 0;
+    EXPECT_TRUE(parseInt(std::to_string(INT_MAX).c_str(), out));
+    EXPECT_EQ(out, INT_MAX);
+    EXPECT_TRUE(parseInt(std::to_string(INT_MIN).c_str(), out));
+    EXPECT_EQ(out, INT_MIN);
+}
+
+TEST(ParseIntTest, RejectsGarbageWithoutClobberingOutput)
+{
+    int out = 99;
+    EXPECT_FALSE(parseInt("abc", out));
+    EXPECT_FALSE(parseInt("", out));
+    EXPECT_FALSE(parseInt(nullptr, out));
+    EXPECT_FALSE(parseInt("12x", out));   // Trailing junk.
+    EXPECT_FALSE(parseInt("1 2", out));   // Embedded space.
+    EXPECT_FALSE(parseInt("4.5", out));   // Not an integer.
+    EXPECT_FALSE(parseInt("--3", out));
+    EXPECT_EQ(out, 99); // Failures leave the output untouched.
+}
+
+TEST(ParseIntTest, RejectsOverflow)
+{
+    int out = 7;
+    // One past INT_MAX / INT_MIN, and far past long.
+    EXPECT_FALSE(parseInt("2147483648", out));
+    EXPECT_FALSE(parseInt("-2147483649", out));
+    EXPECT_FALSE(parseInt("99999999999999999999999999", out));
+    EXPECT_EQ(out, 7);
+}
+
+} // namespace
+} // namespace chehab
