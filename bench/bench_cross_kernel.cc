@@ -1,0 +1,224 @@
+/// \file
+/// Cross-kernel packing throughput benchmark: jobs/sec for a mixed
+/// batch of small *distinct* kernels (the shape a multi-tenant fleet
+/// produces — many models, few concurrent requests each) as the lane
+/// cap sweeps from 1 (solo execution) toward the full row, with
+/// cross-kernel composition on and off at each cap.
+///
+/// Per-artifact batching (PR 3) only packs requests that share one
+/// compiled kernel, so a mixed workload fragments into per-kernel
+/// groups that mostly flush by window timeout half-empty. Cross-kernel
+/// packing concatenates the distinct programs onto disjoint lane
+/// blocks of one row, sharing the runtime lease, the merged Galois
+/// keygen and the dispatch across kernels.
+///
+/// Usage:
+///   bench_cross_kernel [LANES...]    lane caps to sweep (default
+///                                    1 2 4 8 16; 1 = batching off)
+///
+/// Environment knobs (see bench/common.h):
+///   CHEHAB_BENCH_FAST=1    smaller batch and rewrite budget
+///
+/// Writes results/cross_kernel.csv and prints a summary table with the
+/// speedup over the lanes=1 baseline.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchsuite/kernels.h"
+#include "common.h"
+#include "service/compile_service.h"
+#include "support/csv.h"
+#include "support/parse_int.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+service::RunRequest
+makeRequest(const benchsuite::Kernel& kernel, int index, int max_steps)
+{
+    service::RunRequest request;
+    request.name = kernel.name + "#" + std::to_string(index);
+    request.source = kernel.program;
+    request.pipeline = compiler::DriverConfig::greedy({}, max_steps);
+    request.params.n = 256; // 128-slot row.
+    request.params.prime_count = 4;
+    request.params.seed = 17;
+    request.inputs = benchsuite::syntheticInputs(kernel.program);
+    // Distinct inputs per request: identical requests would collapse in
+    // the run cache instead of exercising the coalescer.
+    for (auto& [name, value] : request.inputs) value += index * 3 + 1;
+    request.key_budget = 0;
+    return request;
+}
+
+struct Outcome
+{
+    double wall_seconds = 0.0;
+    double jobs_per_second = 0.0;
+    service::ServiceStats stats;
+};
+
+Outcome
+runSweep(const std::vector<service::RunRequest>& batch, int lanes,
+         bool cross, int workers)
+{
+    service::ServiceConfig config;
+    config.num_workers = workers;
+    config.max_lanes = lanes;
+    config.batch_window_seconds = 0.002;
+    config.cross_kernel = cross;
+    service::CompileService service(config);
+    // Warm the kernel cache first: this bench measures *execution*
+    // throughput (the compile stage is identical across configurations
+    // and bench_service_throughput already measures it); cold compiles
+    // would both dilute the packing speedup and stagger the runs'
+    // arrival at the coalescer.
+    {
+        std::vector<service::CompileRequest> warm;
+        for (const service::RunRequest& request : batch) {
+            service::CompileRequest compile;
+            compile.name = request.name;
+            compile.source = request.source;
+            compile.pipeline = request.pipeline;
+            warm.push_back(std::move(compile));
+        }
+        service.compileBatch(std::move(warm));
+    }
+    std::vector<service::RunRequest> jobs = batch;
+    const Stopwatch wall;
+    std::vector<service::RunResponse> responses =
+        service.runBatch(std::move(jobs));
+    Outcome outcome;
+    outcome.wall_seconds = wall.elapsedSeconds();
+    outcome.jobs_per_second =
+        static_cast<double>(batch.size()) / outcome.wall_seconds;
+    outcome.stats = service.stats();
+    for (const service::RunResponse& response : responses) {
+        if (!response.ok) {
+            std::fprintf(stderr, "[bench] %s FAILED: %s\n",
+                         response.name.c_str(), response.error.c_str());
+        }
+    }
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const benchcommon::Budget budget = benchcommon::budgetFromEnv();
+    const int max_steps = budget.fast ? 8 : 20;
+    const int jobs = budget.fast ? 16 : 32;
+    const int workers = 4;
+
+    std::vector<int> lane_caps;
+    for (int i = 1; i < argc; ++i) {
+        int lanes = 0;
+        if (!parseInt(argv[i], lanes) || lanes < 0) {
+            std::fprintf(stderr,
+                         "bench_cross_kernel: bad lane count '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+        lane_caps.push_back(lanes);
+    }
+    if (lane_caps.empty()) lane_caps = {1, 2, 4, 8, 16};
+
+    // Two batch shapes over distinct coalescible kernels with
+    // heterogeneous certified strides (2 to 16 slots on the 128-slot
+    // row). "mix8" round-robins jobs over 8 kernels — each artifact
+    // musters a handful of peers, so per-artifact groups flush
+    // half-empty; "mix16" spreads the same jobs over 16 kernels — the
+    // multi-tenant extreme where per-artifact packing barely pairs two
+    // requests and cross-kernel composition carries the row sharing.
+    const std::vector<benchsuite::Kernel> mix8 = {
+        benchsuite::dotProduct(4),      benchsuite::polyReg(4),
+        benchsuite::l2Distance(4),      benchsuite::linearReg(4),
+        benchsuite::dotProduct(8),      benchsuite::hammingDistance(4),
+        benchsuite::polyReg(8),         benchsuite::l2Distance(8)};
+    std::vector<benchsuite::Kernel> mix16 = mix8;
+    for (const benchsuite::Kernel& kernel :
+         {benchsuite::dotProduct(2), benchsuite::polyReg(2),
+          benchsuite::l2Distance(2), benchsuite::linearReg(2),
+          benchsuite::hammingDistance(2), benchsuite::linearReg(8),
+          benchsuite::hammingDistance(8), benchsuite::sortKernel(2)}) {
+        mix16.push_back(kernel);
+    }
+    struct Shape
+    {
+        const char* name;
+        const std::vector<benchsuite::Kernel>* kernels;
+    };
+    const std::vector<Shape> shapes = {{"mix8", &mix8},
+                                       {"mix16", &mix16}};
+
+    std::filesystem::create_directories("results");
+    CsvWriter csv("results/cross_kernel.csv",
+                  {"shape", "lanes", "cross_kernel", "workers", "jobs",
+                   "wall_s", "jobs_per_s", "speedup_vs_solo",
+                   "packed_groups", "packed_lanes", "composite_groups",
+                   "composite_members", "solo_runs", "window_flushes",
+                   "fallbacks"});
+
+    std::printf("%-6s %-6s %-6s %6s %9s %11s %9s %7s %7s %6s %8s %6s\n",
+                "shape", "lanes", "cross", "jobs", "wall_s", "jobs/s",
+                "speedup", "groups", "packed", "xrows", "xkernels",
+                "solo");
+    for (const Shape& shape : shapes) {
+        std::vector<service::RunRequest> batch;
+        for (int i = 0; i < jobs; ++i) {
+            batch.push_back(makeRequest(
+                (*shape.kernels)[static_cast<std::size_t>(i) %
+                                 shape.kernels->size()],
+                i, max_steps));
+        }
+        double solo_rate = 0.0;
+        for (int lanes : lane_caps) {
+            for (int cross = 0; cross < (lanes == 1 ? 1 : 2); ++cross) {
+                const Outcome outcome =
+                    runSweep(batch, lanes, cross != 0, workers);
+                // Speedup baseline: the most recent lanes=1 run, or —
+                // when the sweep omits 1 — the first run, so the column
+                // is never 0/0.
+                if (lanes == 1 || solo_rate == 0.0) {
+                    solo_rate = outcome.jobs_per_second;
+                }
+                const double speedup =
+                    solo_rate > 0.0 ? outcome.jobs_per_second / solo_rate
+                                    : 0.0;
+                std::printf(
+                    "%-6s %-6d %-6s %6zu %9.3f %11.1f %8.2fx %7llu %7llu "
+                    "%6llu %8llu %6llu\n",
+                    shape.name, lanes, cross ? "on" : "off", batch.size(),
+                    outcome.wall_seconds, outcome.jobs_per_second, speedup,
+                    static_cast<unsigned long long>(
+                        outcome.stats.packed_groups),
+                    static_cast<unsigned long long>(
+                        outcome.stats.packed_lanes),
+                    static_cast<unsigned long long>(
+                        outcome.stats.composite_groups),
+                    static_cast<unsigned long long>(
+                        outcome.stats.composite_members),
+                    static_cast<unsigned long long>(
+                        outcome.stats.solo_runs));
+                csv.writeRow(shape.name, lanes, cross, workers,
+                             batch.size(), outcome.wall_seconds,
+                             outcome.jobs_per_second, speedup,
+                             outcome.stats.packed_groups,
+                             outcome.stats.packed_lanes,
+                             outcome.stats.composite_groups,
+                             outcome.stats.composite_members,
+                             outcome.stats.solo_runs,
+                             outcome.stats.window_flushes,
+                             outcome.stats.packed_fallbacks);
+            }
+        }
+    }
+    std::printf("[bench] wrote results/cross_kernel.csv\n");
+    return 0;
+}

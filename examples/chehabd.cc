@@ -34,6 +34,9 @@
 ///                   (default 1 = off, 0 = as many as the row allows)
 ///   --batch-window-us N  how long a pending run waits for row-mates
 ///                   before a partial batch flushes (default 500)
+///   --cross-kernel  let runs of *different* kernels share a ciphertext
+///                   row (program concatenation on disjoint lanes; needs
+///                   --batch-lanes != 1)
 ///   --distinct-inputs    give every --repeat copy its own synthetic
 ///                   inputs, so repeats become coalescible slot-batch
 ///                   lanes instead of run-cache hits
@@ -86,6 +89,7 @@ struct Options
     int poly_n = 256;
     int batch_lanes = 1;
     int batch_window_us = 500;
+    bool cross_kernel = false;
     bool distinct_inputs = false;
     std::string csv_path;
     std::string json_path;
@@ -103,9 +107,10 @@ usage(const char* argv0)
                  "[--cache-cap N]\n"
                  "       [--run] [--key-budget N] [--poly-n N] "
                  "[--batch-lanes N]\n"
-                 "       [--batch-window-us N] [--distinct-inputs] "
-                 "[--csv PATH]\n"
-                 "       [--json PATH] [--dump] [kernel-file | -] ...\n",
+                 "       [--batch-window-us N] [--cross-kernel] "
+                 "[--distinct-inputs]\n"
+                 "       [--csv PATH] [--json PATH] [--dump] "
+                 "[kernel-file | -] ...\n",
                  argv0);
 }
 
@@ -170,6 +175,8 @@ parseArgs(int argc, char** argv, Options& options)
             if (!intArg(i, options.batch_lanes)) return false;
         } else if (arg == "--batch-window-us") {
             if (!intArg(i, options.batch_window_us)) return false;
+        } else if (arg == "--cross-kernel") {
+            options.cross_kernel = true;
         } else if (arg == "--distinct-inputs") {
             options.distinct_inputs = true;
         } else if (arg == "--csv") {
@@ -300,6 +307,7 @@ main(int argc, char** argv)
         static_cast<std::size_t>(options.cache_cap);
     config.max_lanes = options.batch_lanes;
     config.batch_window_seconds = options.batch_window_us * 1e-6;
+    config.cross_kernel = options.cross_kernel;
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
         std::fprintf(stderr,
@@ -461,11 +469,14 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(stats.run_failed));
         if (options.batch_lanes != 1) {
             std::printf(
-                "slot batching: %llu packed groups carrying %llu lanes, "
+                "slot batching: %llu packed groups carrying %llu lanes "
+                "(%llu cross-kernel rows spanning %llu kernels), "
                 "%llu solo runs, %llu full flushes, %llu window flushes, "
                 "%llu fallbacks\n",
                 static_cast<unsigned long long>(stats.packed_groups),
                 static_cast<unsigned long long>(stats.packed_lanes),
+                static_cast<unsigned long long>(stats.composite_groups),
+                static_cast<unsigned long long>(stats.composite_members),
                 static_cast<unsigned long long>(stats.solo_runs),
                 static_cast<unsigned long long>(stats.full_flushes),
                 static_cast<unsigned long long>(stats.window_flushes),

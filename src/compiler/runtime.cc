@@ -94,16 +94,21 @@ FheRuntime::packLaneRegion(const FheInstr& instr, const ir::Env& env,
 }
 
 RotationKeyPlan
-effectiveKeyPlan(const FheProgram& program, int key_budget)
+effectiveKeyPlanFor(const std::vector<int>& steps, int key_budget)
 {
     // Rotation-key selection (App. B): under a budget, rotations execute
     // as NAF-component sequences.
-    const std::vector<int> steps = program.rotationSteps();
     if (key_budget > 0) return selectRotationKeys(steps, key_budget);
     RotationKeyPlan plan;
     plan.keys = steps;
     for (int s : steps) plan.decomposition[s] = {s};
     return plan;
+}
+
+RotationKeyPlan
+effectiveKeyPlan(const FheProgram& program, int key_budget)
+{
+    return effectiveKeyPlanFor(program.rotationSteps(), key_budget);
 }
 
 RunResult
@@ -294,6 +299,113 @@ FheRuntime::runPacked(const FheProgram& program,
     packed.lane_outputs = scheme_.decryptLanes(
         out, lane_stride, program.output_width, num_lanes);
     return packed;
+}
+
+CompositeRunResult
+FheRuntime::runComposite(
+    const CompositeProgram& composite,
+    const std::vector<std::vector<const ir::Env*>>& member_lanes)
+{
+    const FheProgram& program = composite.program;
+    const int stride = composite.lane_stride;
+    if (stride <= 0 || scheme_.slots() % stride != 0) {
+        throw CompileError("composite lane stride does not tile the row");
+    }
+    const int num_regions = scheme_.slots() / stride;
+    if (composite.members.empty() ||
+        member_lanes.size() != composite.members.size()) {
+        throw CompileError("composite member/lane-set mismatch");
+    }
+    for (std::size_t m = 0; m < composite.members.size(); ++m) {
+        const CompositeMember& member = composite.members[m];
+        if (member.lane_count <= 0 || member.lane_base < 0 ||
+            member.lane_base + member.lane_count > num_regions) {
+            throw CompileError(
+                "composite lane layout exceeds the batching row");
+        }
+        if (static_cast<int>(member_lanes[m].size()) != member.lane_count) {
+            throw CompileError("composite member lane-count mismatch");
+        }
+        if (member.output_width > stride) {
+            throw CompileError("output wider than the lane stride");
+        }
+    }
+
+    CompositeRunResult composite_result;
+    RunResult& result = composite_result.shared;
+    result.counts = program.counts();
+    result.fresh_noise_budget = scheme_.freshNoiseBudget();
+
+    scheme_.makeGaloisKeys(composite.plan.keys);
+    result.rotation_keys = static_cast<int>(composite.plan.keys.size());
+
+    // Client-side phase: every pack instruction belongs to exactly one
+    // member slice; its regions carry that member's request lanes at
+    // the member's composite-lane block and phantom copies of the
+    // member's first lane everywhere else, so each member's rows are
+    // fully laned (the shape its lane-safety certificate assumes).
+    std::unordered_map<int, fhe::Ciphertext> cts;
+    std::unordered_map<int, fhe::Plaintext> plains;
+    std::vector<std::vector<std::int64_t>> regions(
+        static_cast<std::size_t>(num_regions));
+    for (std::size_t m = 0; m < composite.members.size(); ++m) {
+        const CompositeMember& member = composite.members[m];
+        const std::vector<const ir::Env*>& lanes = member_lanes[m];
+        for (int i = member.instr_begin; i < member.instr_end; ++i) {
+            const FheInstr& instr =
+                program.instrs[static_cast<std::size_t>(i)];
+            if (instr.op != FheOpcode::PackCipher &&
+                instr.op != FheOpcode::PackPlain) {
+                continue;
+            }
+            for (int r = 0; r < num_regions; ++r) {
+                const int lane = r - member.lane_base;
+                const ir::Env& env =
+                    (lane >= 0 && lane < member.lane_count)
+                        ? *lanes[static_cast<std::size_t>(lane)]
+                        : *lanes.front();
+                regions[static_cast<std::size_t>(r)] =
+                    packLaneRegion(instr, env, stride);
+            }
+            fhe::Plaintext plain = scheme_.encodeLanes(regions, stride);
+            if (instr.op == FheOpcode::PackCipher) {
+                cts.emplace(instr.dst, scheme_.encrypt(plain));
+            } else {
+                plains.emplace(instr.dst, std::move(plain));
+            }
+        }
+    }
+
+    result.exec_seconds = evaluateServer(program, composite.plan, cts,
+                                         plains);
+
+    // Per-member readout: each member's output lives in its own
+    // (renamed) register, so noise accounting is per member; the shared
+    // result reports the minimum so the caller's exhausted-budget
+    // fallback stays conservative.
+    result.final_noise_budget = result.fresh_noise_budget;
+    for (const CompositeMember& member : composite.members) {
+        if (cts.count(member.output_reg)) {
+            const fhe::Ciphertext& out = cts.at(member.output_reg);
+            const int budget = scheme_.noiseBudgetBits(out);
+            composite_result.member_final_budgets.push_back(budget);
+            result.final_noise_budget =
+                std::min(result.final_noise_budget, budget);
+            composite_result.member_outputs.push_back(scheme_.decryptLanes(
+                out, stride, member.output_width, member.lane_count,
+                member.lane_base));
+        } else {
+            // All-plaintext member: nothing homomorphic ran for it.
+            composite_result.member_final_budgets.push_back(
+                result.fresh_noise_budget);
+            composite_result.member_outputs.push_back(scheme_.decodeLanes(
+                plains.at(member.output_reg), stride, member.output_width,
+                member.lane_count, member.lane_base));
+        }
+    }
+    result.consumed_noise =
+        result.fresh_noise_budget - result.final_noise_budget;
+    return composite_result;
 }
 
 OpLatencies

@@ -36,6 +36,54 @@ struct PackedRunResult
     std::vector<std::vector<std::int64_t>> lane_outputs;
 };
 
+/// One member of a cross-kernel composite: a contiguous slice of the
+/// composite instruction stream (one whole source program, registers
+/// renamed to a disjoint range) that owns a contiguous block of
+/// composite lanes. The member's real request lanes occupy composite
+/// lane indices [lane_base, lane_base + lane_count); every other
+/// region of the member's *own* ciphertexts is phantom-padded with a
+/// copy of its first lane, so each member's rows are fully laned and
+/// the per-member lane-safety certification carries over unchanged.
+struct CompositeMember
+{
+    int instr_begin = 0; ///< First instruction of this member's slice.
+    int instr_end = 0;   ///< One past the last instruction.
+    int lane_base = 0;   ///< First composite lane this member owns.
+    int lane_count = 0;  ///< Request lanes this member carries.
+    int output_reg = -1; ///< Renamed output register.
+    int output_width = 1;
+};
+
+/// A cross-kernel composite program: the concatenation of several
+/// members' scheduled instruction streams over one shared register
+/// space, executed as a single stream on one runtime with a merged
+/// rotation-key plan. Members never share registers (renaming keeps
+/// their ciphertexts disjoint), so the composite shares the runtime
+/// lease, Galois keygen and dispatch across kernels while each
+/// member's values stay exactly its own.
+struct CompositeProgram
+{
+    FheProgram program; ///< Concatenated, renamed instruction stream.
+    std::vector<CompositeMember> members;
+    RotationKeyPlan plan; ///< Merged (union) key plan, sorted keys.
+    int lane_stride = 0;  ///< Common power-of-two stride of all lanes.
+};
+
+/// Outcome of executing one composite: shared accounting (the reported
+/// final budget is the minimum over the members' output ciphertexts)
+/// plus, per member, its own final noise budget and its lanes' output
+/// slices.
+struct CompositeRunResult
+{
+    RunResult shared; ///< output left empty; per-member slices below.
+    /// Final noise budget of each member's output ciphertext (<= 0
+    /// means that member's outputs are not trustworthy and its lanes
+    /// must fall back to solo execution).
+    std::vector<int> member_final_budgets;
+    /// member_outputs[m][l] = member m's lane l output slice.
+    std::vector<std::vector<std::vector<std::int64_t>>> member_outputs;
+};
+
 /// Per-operation latencies measured on the backend (seconds).
 struct OpLatencies
 {
@@ -50,6 +98,11 @@ struct OpLatencies
 /// per distinct step. Exposed so the service's batch planner can
 /// analyze the exact decomposed rotation sequence a run will execute.
 RotationKeyPlan effectiveKeyPlan(const FheProgram& program, int key_budget);
+
+/// Same, over an explicit step set (the cross-kernel composer feeds the
+/// union of its members' rotation steps through this).
+RotationKeyPlan effectiveKeyPlanFor(const std::vector<int>& steps,
+                                    int key_budget);
 
 /// Runs FheProgram instruction streams against one SealLite instance.
 class FheRuntime
@@ -84,6 +137,21 @@ class FheRuntime
                               const std::vector<const ir::Env*>& lanes,
                               const RotationKeyPlan& plan,
                               int lane_stride);
+
+    /// Execute a cross-kernel composite (see CompositeProgram) once:
+    /// the whole concatenated stream runs on this runtime under the
+    /// merged key plan, member m's pack instructions load
+    /// \p member_lanes[m]'s environments into its composite-lane block
+    /// (phantom-padding every other region of the member's ciphertexts
+    /// with its first lane), and each member's output register is
+    /// decrypted into per-lane slices. \p member_lanes[m].size() must
+    /// equal members[m].lane_count. The caller (the service's batch
+    /// planner) is responsible for having certified every member
+    /// lane-safe at the composite stride; this function only validates
+    /// the lane layout.
+    CompositeRunResult runComposite(
+        const CompositeProgram& composite,
+        const std::vector<std::vector<const ir::Env*>>& member_lanes);
 
     /// Microbenchmark the four op classes (median of \p reps).
     OpLatencies calibrate(int reps = 3);

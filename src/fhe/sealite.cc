@@ -312,17 +312,18 @@ SealLite::encodeLanes(const std::vector<std::vector<std::int64_t>>& lanes,
 
 std::vector<std::vector<std::int64_t>>
 SealLite::decodeLanes(const Plaintext& plain, int lane_stride, int width,
-                      int num_lanes) const
+                      int num_lanes, int first_lane) const
 {
     CHEHAB_ASSERT(lane_stride > 0 && width >= 0 && width <= lane_stride,
                   "bad lane slice");
-    CHEHAB_ASSERT(num_lanes >= 0 && num_lanes * lane_stride <= slots(),
+    CHEHAB_ASSERT(first_lane >= 0 && num_lanes >= 0 &&
+                      (first_lane + num_lanes) * lane_stride <= slots(),
                   "lanes exceed the batching row");
     const std::vector<std::int64_t> row = decode(plain);
     std::vector<std::vector<std::int64_t>> out(
         static_cast<std::size_t>(num_lanes));
     for (int l = 0; l < num_lanes; ++l) {
-        const auto base = static_cast<std::size_t>(l) *
+        const auto base = static_cast<std::size_t>(first_lane + l) *
                           static_cast<std::size_t>(lane_stride);
         out[static_cast<std::size_t>(l)].assign(
             row.begin() + static_cast<std::ptrdiff_t>(base),
@@ -334,9 +335,10 @@ SealLite::decodeLanes(const Plaintext& plain, int lane_stride, int width,
 
 std::vector<std::vector<std::int64_t>>
 SealLite::decryptLanes(const Ciphertext& ct, int lane_stride, int width,
-                       int num_lanes) const
+                       int num_lanes, int first_lane) const
 {
-    return decodeLanes(decryptPlain(ct), lane_stride, width, num_lanes);
+    return decodeLanes(decryptPlain(ct), lane_stride, width, num_lanes,
+                       first_lane);
 }
 
 // ---------------------------------------------------------------------

@@ -113,14 +113,17 @@ class SealLite
     /// the last lane stay zero.
     Plaintext encodeLanes(const std::vector<std::vector<std::int64_t>>& lanes,
                           int lane_stride) const;
-    /// Decode the first \p width slots of each of \p num_lanes lanes.
+    /// Decode the first \p width slots of each of \p num_lanes lanes,
+    /// starting at lane index \p first_lane (the cross-kernel composite
+    /// places a member's lanes at an arbitrary lane-aligned offset of
+    /// the shared row, not necessarily at lane 0).
     std::vector<std::vector<std::int64_t>>
     decodeLanes(const Plaintext& plain, int lane_stride, int width,
-                int num_lanes) const;
+                int num_lanes, int first_lane = 0) const;
     /// Decrypt, then decodeLanes.
     std::vector<std::vector<std::int64_t>>
     decryptLanes(const Ciphertext& ct, int lane_stride, int width,
-                 int num_lanes) const;
+                 int num_lanes, int first_lane = 0) const;
     /// @}
 
     /// \name Encryption

@@ -77,10 +77,19 @@ packState(const FheInstr& instr, int stride)
         if (slot.value != 0) last_nonzero = i;
     }
     // Constant packs (masks above all) hold the same values in every
-    // lane; anything touching inputs is lane-specific.
+    // lane; anything touching inputs is lane-specific. The periodic
+    // (rotation-exact) claim for a replicated constant needs its period
+    // to divide the stride: per-region replication restarts the phase
+    // at every region base, so a non-dividing width disagrees with the
+    // solo row's continuous period once a rotation crosses a region
+    // boundary. (The scheduler only replicates power-of-two widths, for
+    // which pow2 strides always divide evenly, but analyzeLaneFit is a
+    // public API and must stay sound for arbitrary programs.)
     st.uniform = all_const;
     st.periodic =
-        all_const && (instr.replicate || last_nonzero < 0);
+        all_const &&
+        ((instr.replicate && width > 0 && stride % width == 0) ||
+         last_nonzero < 0);
     if (instr.replicate) {
         // Period-w fill of the whole region: zero only if all-zero.
         st.zero_from = (all_const && last_nonzero < 0) ? 0 : stride;
@@ -210,10 +219,23 @@ safeAtStride(const FheProgram& program, const RotationKeyPlan& plan,
                 if (reason) *reason = "rotation step missing from key plan";
                 return false;
             }
-            st = regs[static_cast<std::size_t>(instr.a)];
-            for (int component : seq->second) {
-                st = rotateState(st, component, stride);
-            }
+            // The physical rotations are the decomposed components, but
+            // whole-row cyclic shifts compose exactly: the sequence IS
+            // the rotation by its net sum, in both packed and solo
+            // semantics, and no intermediate row is ever observed. So
+            // the dataflow applies the net displacement once — which is
+            // what lets a NAF decomposition with negative components
+            // (e.g. 3 -> {-1, 4}) certify: component-wise application
+            // would smear a spurious dirty bottom margin from the right
+            // rotation even though the dragged slots rotate straight
+            // back.
+            long long net = 0;
+            for (int component : seq->second) net += component;
+            st = rotateState(
+                regs[static_cast<std::size_t>(instr.a)],
+                static_cast<int>(std::max<long long>(
+                    std::min<long long>(net, stride), -stride)),
+                stride);
             break;
           }
         }
@@ -235,6 +257,14 @@ safeAtStride(const FheProgram& program, const RotationKeyPlan& plan,
         return false;
     }
     return true;
+}
+
+/// Total order on compile keys, for deterministic member layout.
+bool
+compileKeyLess(const CacheKey& a, const CacheKey& b)
+{
+    return std::make_tuple(a.source.hi, a.source.lo, a.pipeline) <
+           std::make_tuple(b.source.hi, b.source.lo, b.pipeline);
 }
 
 } // namespace
@@ -277,25 +307,99 @@ analyzeLaneFit(const compiler::FheProgram& program,
     return fit;
 }
 
+std::optional<compiler::RotationKeyPlan>
+mergeKeyPlans(const compiler::RotationKeyPlan& a,
+              const compiler::RotationKeyPlan& b)
+{
+    compiler::RotationKeyPlan merged = a;
+    for (const auto& [step, sequence] : b.decomposition) {
+        auto it = merged.decomposition.find(step);
+        if (it == merged.decomposition.end()) {
+            merged.decomposition.emplace(step, sequence);
+        } else if (it->second != sequence) {
+            // The members realize the same logical rotation through
+            // different physical sequences; one merged plan cannot
+            // honour both certificates.
+            return std::nullopt;
+        }
+    }
+    merged.keys.insert(merged.keys.end(), b.keys.begin(), b.keys.end());
+    std::sort(merged.keys.begin(), merged.keys.end());
+    merged.keys.erase(std::unique(merged.keys.begin(), merged.keys.end()),
+                      merged.keys.end());
+    return merged;
+}
+
+int
+BatchPlanner::Group::capacityAt(int at_stride) const
+{
+    if (at_stride <= 0) return 0;
+    const int row_bound = row_slots / at_stride;
+    return lanes_cap > 0 ? std::min(row_bound, lanes_cap) : row_bound;
+}
+
+namespace {
+
+/// Try to seat every lane of \p group on \p row: same row identity,
+/// stride grown to cover both, capacity respected, key plans
+/// compatible. On success \p group's members move into \p row and the
+/// function returns true; on failure both are untouched.
+bool
+tryMergeInto(BatchPlanner::Group& row, BatchPlanner::Group& group)
+{
+    if (!(row.key == group.key) || row.row_slots != group.row_slots) {
+        return false;
+    }
+    const int new_stride = std::max(row.stride, group.stride);
+    if (new_stride > row.row_slots || row.row_slots % new_stride != 0) {
+        return false;
+    }
+    if (row.total_lanes + group.total_lanes > row.capacityAt(new_stride)) {
+        return false;
+    }
+    std::optional<compiler::RotationKeyPlan> merged =
+        mergeKeyPlans(row.merged_plan, group.merged_plan);
+    if (!merged) return false; // Incompatible rotation plans.
+    row.stride = new_stride;
+    row.merged_plan = std::move(*merged);
+    row.estimate_sum += group.estimate_sum;
+    row.total_lanes += group.total_lanes;
+    for (BatchPlanner::GroupMember& member : group.members) {
+        row.members.push_back(std::move(member));
+    }
+    return true;
+}
+
+} // namespace
+
 std::optional<BatchPlanner::Group>
-BatchPlanner::add(const BatchGroupKey& key, BatchLane lane, int capacity,
-                  int stride, const compiler::RotationKeyPlan& plan,
+BatchPlanner::add(const BatchGroupKey& key, const MemberSpec& member,
+                  BatchLane lane, int row_slots, int lanes_cap,
                   Clock::time_point now)
 {
     auto it = pending_.find(key);
     if (it == pending_.end()) {
         Group group;
-        group.key = key;
-        group.stride = stride;
-        group.capacity = capacity;
-        group.plan = plan;
+        group.key.params_hash = key.params_hash;
+        group.key.key_budget = key.key_budget;
+        group.row_slots = row_slots;
+        group.lanes_cap = lanes_cap;
+        group.stride = member.min_stride;
         group.deadline = now + window_;
+        group.merged_plan = *member.plan;
+        GroupMember fresh;
+        fresh.compile = member.compile;
+        fresh.compiled = member.compiled;
+        fresh.plan = *member.plan;
+        fresh.min_stride = member.min_stride;
+        group.members.push_back(std::move(fresh));
         it = pending_.emplace(key, std::move(group)).first;
     }
     Group& group = it->second;
     group.estimate_sum += lane.estimate;
-    group.lanes.push_back(std::move(lane));
-    if (static_cast<int>(group.lanes.size()) >= group.capacity) {
+    group.members.front().lanes.push_back(std::move(lane));
+    ++group.total_lanes;
+    if (group.full()) {
         Group full = std::move(group);
         pending_.erase(it);
         return full;
@@ -331,6 +435,23 @@ BatchPlanner::takeDue(Clock::time_point now)
 }
 
 std::vector<BatchPlanner::Group>
+BatchPlanner::consolidateDue(std::vector<Group> due)
+{
+    std::vector<Group> rows = consolidateGroups(std::move(due));
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        bool joined = false;
+        for (Group& row : rows) {
+            if (tryMergeInto(row, it->second)) {
+                joined = true;
+                break;
+            }
+        }
+        it = joined ? pending_.erase(it) : std::next(it);
+    }
+    return rows;
+}
+
+std::vector<BatchPlanner::Group>
 BatchPlanner::takeAll()
 {
     std::vector<Group> all;
@@ -344,37 +465,143 @@ std::size_t
 BatchPlanner::pendingLanes() const
 {
     std::size_t lanes = 0;
-    for (const auto& [key, group] : pending_) lanes += group.lanes.size();
+    for (const auto& [key, group] : pending_) {
+        lanes += static_cast<std::size_t>(group.total_lanes);
+    }
     return lanes;
+}
+
+std::vector<BatchPlanner::Group>
+consolidateGroups(std::vector<BatchPlanner::Group> groups)
+{
+    // First-fit decreasing over the certified strides: widest members
+    // seed rows, narrower ones fill the remaining lanes. Sorting also
+    // makes the consolidation a pure function of the flushed set
+    // (arrival interleaving must not leak into row composition). Every
+    // input group keeps its lanes in one member, so each program still
+    // executes exactly once.
+    std::sort(groups.begin(), groups.end(),
+              [](const BatchPlanner::Group& a,
+                 const BatchPlanner::Group& b) {
+                  if (a.stride != b.stride) return a.stride > b.stride;
+                  if (a.total_lanes != b.total_lanes) {
+                      return a.total_lanes > b.total_lanes;
+                  }
+                  return compileKeyLess(a.members.front().compile,
+                                        b.members.front().compile);
+              });
+    std::vector<BatchPlanner::Group> rows;
+    for (BatchPlanner::Group& group : groups) {
+        bool placed = false;
+        for (BatchPlanner::Group& row : rows) {
+            if (tryMergeInto(row, group)) {
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) rows.push_back(std::move(group));
+    }
+    return rows;
 }
 
 std::uint64_t
 BatchPlanner::canonicalizeAndSeed(Group& group)
 {
-    // Lane order must not depend on arrival interleaving: sort by the
-    // full run identity (lanes are distinct by single-flight, so the
-    // tuple is a total order in practice).
-    std::stable_sort(
-        group.lanes.begin(), group.lanes.end(),
-        [](const BatchLane& a, const BatchLane& b) {
-            return std::make_tuple(a.run_key.env_hash, a.run_key.key_budget,
-                                   a.run_key.params_hash,
-                                   a.run_key.compile.source.hi,
-                                   a.run_key.compile.source.lo,
-                                   a.run_key.compile.pipeline) <
-                   std::make_tuple(b.run_key.env_hash, b.run_key.key_budget,
-                                   b.run_key.params_hash,
-                                   b.run_key.compile.source.hi,
-                                   b.run_key.compile.source.lo,
-                                   b.run_key.compile.pipeline);
-        });
+    // Neither the member layout nor the lane order may depend on the
+    // arrival interleaving: members sort by compile-key content, lanes
+    // within a member by the full run identity (lanes are distinct by
+    // single-flight, so the tuple is a total order in practice).
+    std::stable_sort(group.members.begin(), group.members.end(),
+                     [](const GroupMember& a, const GroupMember& b) {
+                         return compileKeyLess(a.compile, b.compile);
+                     });
+    int lane_base = 0;
+    for (GroupMember& member : group.members) {
+        std::stable_sort(
+            member.lanes.begin(), member.lanes.end(),
+            [](const BatchLane& a, const BatchLane& b) {
+                return std::make_tuple(a.run_key.env_hash,
+                                       a.run_key.key_budget,
+                                       a.run_key.params_hash,
+                                       a.run_key.compile.source.hi,
+                                       a.run_key.compile.source.lo,
+                                       a.run_key.compile.pipeline) <
+                       std::make_tuple(b.run_key.env_hash,
+                                       b.run_key.key_budget,
+                                       b.run_key.params_hash,
+                                       b.run_key.compile.source.hi,
+                                       b.run_key.compile.source.lo,
+                                       b.run_key.compile.pipeline);
+            });
+        member.lane_base = lane_base;
+        lane_base += static_cast<int>(member.lanes.size());
+    }
     std::size_t h = 0x5041434b53454544ULL; // "PACKSEED"
-    detail::mix(h, static_cast<std::uint64_t>(group.lanes.size()));
-    for (const BatchLane& lane : group.lanes) {
-        detail::mix(h, static_cast<std::uint64_t>(
-                           RunKeyHash{}(lane.run_key)));
+    detail::mix(h, static_cast<std::uint64_t>(group.total_lanes));
+    for (const GroupMember& member : group.members) {
+        for (const BatchLane& lane : member.lanes) {
+            detail::mix(h, static_cast<std::uint64_t>(
+                               RunKeyHash{}(lane.run_key)));
+        }
     }
     return static_cast<std::uint64_t>(h);
+}
+
+std::uint64_t
+compositeFingerprint(const BatchPlanner::Group& group)
+{
+    std::size_t h = 0x434f4d504f534954ULL; // "COMPOSIT"
+    detail::mix(h, static_cast<std::uint64_t>(group.stride));
+    detail::mix(h, static_cast<std::uint64_t>(group.row_slots));
+    // The members' effective key plans — and therefore the composite's
+    // merged plan — are a function of (artifact, effective budget), so
+    // the budget is part of the composite identity.
+    detail::mix(h, static_cast<std::uint64_t>(group.key.key_budget));
+    detail::mix(h, group.key.params_hash);
+    for (const BatchPlanner::GroupMember& member : group.members) {
+        detail::mix(h, member.compile.source.hi);
+        detail::mix(h, member.compile.source.lo);
+        detail::mix(h, member.compile.pipeline);
+        detail::mix(h, static_cast<std::uint64_t>(member.lane_base));
+        detail::mix(h, static_cast<std::uint64_t>(member.lanes.size()));
+    }
+    return static_cast<std::uint64_t>(h);
+}
+
+compiler::CompositeProgram
+composeGroup(const BatchPlanner::Group& group)
+{
+    compiler::CompositeProgram composite;
+    composite.lane_stride = group.stride;
+    composite.plan = group.merged_plan;
+    int reg_base = 0;
+    for (const BatchPlanner::GroupMember& member : group.members) {
+        const FheProgram& source = member.compiled->program;
+        compiler::CompositeMember slice;
+        slice.instr_begin =
+            static_cast<int>(composite.program.instrs.size());
+        for (const FheInstr& instr : source.instrs) {
+            FheInstr renamed = instr;
+            if (renamed.dst >= 0) renamed.dst += reg_base;
+            if (renamed.a >= 0) renamed.a += reg_base;
+            if (renamed.b >= 0) renamed.b += reg_base;
+            composite.program.instrs.push_back(std::move(renamed));
+        }
+        slice.instr_end = static_cast<int>(composite.program.instrs.size());
+        slice.lane_base = member.lane_base;
+        slice.lane_count = static_cast<int>(member.lanes.size());
+        slice.output_reg = source.output_reg + reg_base;
+        slice.output_width = source.output_width;
+        composite.members.push_back(slice);
+        reg_base += std::max(source.num_regs, 1);
+    }
+    composite.program.num_regs = reg_base;
+    // The composite's own output fields are unused (readout happens per
+    // member slice), but keep them valid: point them at the last
+    // member's output.
+    composite.program.output_reg = composite.members.back().output_reg;
+    composite.program.output_width = composite.members.back().output_width;
+    return composite;
 }
 
 } // namespace chehab::service

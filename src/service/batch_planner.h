@@ -5,19 +5,48 @@
 /// SealLite batches n/2 SIMD slots per ciphertext, but a small kernel
 /// (a dot-8, a 3x3 blur) occupies a handful of them — the rest of every
 /// row the service encrypts, evaluates and decrypts is wasted work. The
-/// BatchPlanner groups pending run jobs that share a compiled artifact,
-/// SealLite parameters and rotation-key plan, assigns each a contiguous
+/// BatchPlanner groups pending run jobs that share SealLite parameters
+/// and an effective rotation-key budget, assigns each a contiguous
 /// *lane* (a lane_stride-slot region of the row), and hands full or
-/// window-expired groups back to the service, which executes the kernel
-/// once per group via FheRuntime::runPacked and scatters per-lane
-/// output slices into the individual responses.
+/// window-expired groups back to the service, which executes each group
+/// once — via FheRuntime::runPacked when every lane runs the same
+/// compiled artifact, via FheRuntime::runComposite when the group mixes
+/// artifacts (cross-kernel packing) — and scatters per-lane output
+/// slices into the individual responses.
+///
+/// Cross-kernel packing. With ServiceConfig::cross_kernel on, a row
+/// may be shared by requests running *different* compiled programs:
+/// the group then holds one member per distinct artifact, each member
+/// owning a disjoint block of composite lanes, and composeGroup()
+/// concatenates the members' scheduled instruction streams into one
+/// composite program (per-member register renaming keeps their
+/// ciphertexts disjoint; a merged union key plan covers every member's
+/// decomposed rotations). Placement policy: lanes always accumulate
+/// per artifact — same-kernel lanes ride one member and therefore one
+/// program execution, which is where packing's compute saving lives —
+/// and only at *flush* time are window-expired partial groups that
+/// share a row identity consolidated (consolidateGroups, first-fit
+/// decreasing over the certified strides) into composite rows, so a
+/// mixed workload of small distinct kernels shares the runtime lease,
+/// the merged Galois keygen and the dispatch instead of paying them
+/// once per kernel. Groups that fill on their own dispatch untouched:
+/// consolidating full rows could only multiply program executions.
+/// Each member must be lane-safe at the composite's common stride —
+/// the maximum of the members' smallest certified strides, sound
+/// because certification is monotone in the stride — and members whose
+/// key plans decompose a shared rotation step differently never share
+/// a row (their certificates would disagree with the merged plan's
+/// physical rotation sequences).
 ///
 /// Lane safety. Packing is only sound when the program's whole-row
 /// rotations cannot leak one lane's data into the slots another lane
 /// reads. analyzeLaneFit() proves this statically with a per-register
 /// dataflow over the instruction stream (using the *decomposed*
 /// rotation sequences of the key plan, since those are the physical
-/// rotations). Each register carries a conservative lane state:
+/// rotations; a decomposed sequence is exactly the whole-row rotation
+/// by its net sum, so the dataflow applies the net displacement — which
+/// is what certifies NAF decompositions with negative components).
+/// Each register carries a conservative lane state:
 ///
 ///   - uniform: the value is identical in every lane (constant masks
 ///     and anything derived only from them) — exact under any op;
@@ -38,8 +67,9 @@
 /// packed run equals the same lanes' solo runs bit-for-bit.
 ///
 /// Thread-safety: BatchPlanner is NOT internally synchronized; the
-/// CompileService wraps it with its coalescer mutex. analyzeLaneFit is
-/// a pure function.
+/// CompileService wraps it with its coalescer mutex. analyzeLaneFit,
+/// mergeKeyPlans, composeGroup and compositeFingerprint are pure
+/// functions.
 #pragma once
 
 #include <chrono>
@@ -51,6 +81,7 @@
 #include <vector>
 
 #include "compiler/keyselect.h"
+#include "compiler/runtime.h"
 #include "compiler/schedule.h"
 #include "service/cache_key.h"
 
@@ -75,11 +106,12 @@ LaneFit analyzeLaneFit(const compiler::FheProgram& program,
                        const compiler::RotationKeyPlan& plan,
                        int row_slots);
 
-/// Identity of one coalescible group: requests may share a row exactly
-/// when they run the same compiled artifact on the same SealLite
-/// parameters under the same effective key budget (0 when the artifact
-/// carries a compiler key plan — the plan wins, so the request budget
-/// is irrelevant, mirroring makeRunKey).
+/// Identity of one coalescible member: requests of one member run the
+/// same compiled artifact on the same SealLite parameters under the
+/// same effective key budget (0 when the artifact carries a compiler
+/// key plan — the plan wins, so the request budget is irrelevant,
+/// mirroring makeRunKey). Also the memo key of the service's
+/// lane-safety fit cache.
 struct BatchGroupKey
 {
     CacheKey compile;
@@ -106,6 +138,23 @@ struct BatchGroupKeyHash
     }
 };
 
+/// Identity of one shareable *row*: requests may ride the same
+/// ciphertext row exactly when they run on the same SealLite parameters
+/// under the same effective key budget (the artifact tier lives below
+/// this, in the group's members).
+struct RowKey
+{
+    std::uint64_t params_hash = 0;
+    int key_budget = 0;
+
+    friend bool
+    operator==(const RowKey& a, const RowKey& b)
+    {
+        return a.params_hash == b.params_hash &&
+               a.key_budget == b.key_budget;
+    }
+};
+
 /// One pending run job awaiting a lane: everything the service needs to
 /// execute it (solo or packed) and publish its entry once done. The
 /// compile entry shared_ptr keeps \c compiled alive until publication.
@@ -120,23 +169,69 @@ struct BatchLane
     double estimate = 0.0;
 };
 
+/// Union of two rotation-key plans, or nullopt when they disagree on
+/// the decomposition of a shared step (the merged plan could then not
+/// preserve both members' certified physical rotation sequences).
+/// Merged keys are sorted, so the plan — and the Galois keygen it
+/// drives — is a pure function of the member set.
+std::optional<compiler::RotationKeyPlan>
+mergeKeyPlans(const compiler::RotationKeyPlan& a,
+              const compiler::RotationKeyPlan& b);
+
 /// Groups pending coalescible runs and decides when each group is ready
 /// to execute. Window semantics: a group's deadline is fixed when its
 /// first lane arrives; it flushes early the moment it reaches capacity.
+/// Pending groups are strictly per artifact (one open group per
+/// BatchGroupKey); cross-kernel rows only form when the service
+/// consolidates window-flushed partial groups (consolidateGroups).
 class BatchPlanner
 {
   public:
     using Clock = std::chrono::steady_clock;
 
+    /// What the service knows about one compiled artifact when it
+    /// hands a lane to the planner.
+    struct MemberSpec
+    {
+        CacheKey compile;
+        const compiler::Compiled* compiled = nullptr;
+        /// The member's effective rotation-key plan (compiler plan when
+        /// key_planned, budget-derived otherwise). Not owned; must
+        /// outlive the add() call (the planner copies it).
+        const compiler::RotationKeyPlan* plan = nullptr;
+        int min_stride = 0; ///< Smallest certified power-of-two stride.
+    };
+
+    /// One distinct artifact inside a group, carrying its lanes.
+    struct GroupMember
+    {
+        CacheKey compile;
+        const compiler::Compiled* compiled = nullptr;
+        compiler::RotationKeyPlan plan; ///< Member's own effective plan.
+        int min_stride = 0;
+        int lane_base = 0; ///< Assigned by canonicalizeAndSeed.
+        std::vector<BatchLane> lanes;
+    };
+
     struct Group
     {
-        BatchGroupKey key;
-        std::vector<BatchLane> lanes;
-        int stride = 0;
-        int capacity = 0; ///< Lane cap (analysis row limit x config cap).
-        compiler::RotationKeyPlan plan;
+        RowKey key;
+        int row_slots = 0;
+        int lanes_cap = 0; ///< Config lane cap (0 = row-bound only).
+        int stride = 0;    ///< Common stride: max member min_stride.
+        int total_lanes = 0;
+        std::vector<GroupMember> members;
+        compiler::RotationKeyPlan merged_plan; ///< Union over members.
         double estimate_sum = 0.0; ///< Dispatch priority of the group.
         Clock::time_point deadline;
+
+        /// Lanes the row can hold at \p stride (row bound under the
+        /// configured lane cap) — the one source of truth for both
+        /// capacity-triggered flushing and consolidation-time packing.
+        int capacityAt(int stride) const;
+        /// Lanes the row can hold at the current stride.
+        int capacity() const { return capacityAt(stride); }
+        bool full() const { return total_lanes >= capacity(); }
     };
 
     explicit BatchPlanner(std::chrono::nanoseconds window =
@@ -144,13 +239,15 @@ class BatchPlanner
         : window_(window)
     {}
 
-    /// Append \p lane to the group identified by \p key (creating it
-    /// with \p capacity, \p stride and \p plan when absent). Returns
+    /// Append \p lane to the pending group for \p key (creating it from
+    /// \p member, \p row_slots and \p lanes_cap when absent). Returns
     /// the full group — removed from the pending map — once it reaches
-    /// capacity, nullopt otherwise.
-    std::optional<Group> add(const BatchGroupKey& key, BatchLane lane,
-                             int capacity, int stride,
-                             const compiler::RotationKeyPlan& plan,
+    /// capacity, nullopt otherwise. Precondition: min_stride divides
+    /// row_slots and allows >= 2 lanes under \p lanes_cap (the service
+    /// refuses such lanes upstream).
+    std::optional<Group> add(const BatchGroupKey& key,
+                             const MemberSpec& member, BatchLane lane,
+                             int row_slots, int lanes_cap,
                              Clock::time_point now);
 
     /// Deadline of the oldest pending group, if any.
@@ -159,17 +256,26 @@ class BatchPlanner
     /// Remove and return every group whose deadline has passed.
     std::vector<Group> takeDue(Clock::time_point now);
 
+    /// Cross-kernel flush: consolidate the window-expired groups in
+    /// \p due among themselves (consolidateGroups), then offer every
+    /// still-pending row-mate a seat on the resulting rows. A pending
+    /// group is removed ONLY when it actually joins a row — a mate the
+    /// rows cannot take (stride, lane cap or key-plan conflict) keeps
+    /// its place and its batch window, so an incompatible neighbour's
+    /// flush never degrades it to an early solo dispatch.
+    std::vector<Group> consolidateDue(std::vector<Group> due);
+
     /// Remove and return every pending group (service shutdown).
     std::vector<Group> takeAll();
 
     std::size_t pendingLanes() const;
 
-    /// Order \p group's lanes deterministically — by the full run-key
-    /// contents, env hash first (within one group the compile, params
-    /// and budget fields are equal, so the env hash is what
-    /// discriminates) — so packed noise accounting does not depend on
-    /// the arrival interleaving, then return the group's packing seed:
-    /// a content hash of the ordered lane identities that reseeds the
+    /// Order \p group deterministically — members by compile-key
+    /// content, lanes within a member by the full run-key contents —
+    /// and assign each member its contiguous composite lane block, so
+    /// neither the lane layout nor the packed noise accounting depends
+    /// on the arrival interleaving. Returns the group's packing seed: a
+    /// content hash of the ordered lane identities that reseeds the
     /// runtime's encryption randomness exactly like the solo path's
     /// per-request seed does.
     static std::uint64_t canonicalizeAndSeed(Group& group);
@@ -178,5 +284,27 @@ class BatchPlanner
     std::chrono::nanoseconds window_;
     std::unordered_map<BatchGroupKey, Group, BatchGroupKeyHash> pending_;
 };
+
+/// Consolidate flushed groups that share a row identity (RowKey) into
+/// cross-kernel composite rows: first-fit decreasing over the members'
+/// certified strides, growing each row's common stride as members join
+/// and respecting its lane cap and key-plan compatibility. Input
+/// groups are single-artifact (as the planner produces them); each
+/// either seeds a row or joins one, so no program ever executes more
+/// than once per flush. Deterministic for a fixed input set.
+std::vector<BatchPlanner::Group>
+consolidateGroups(std::vector<BatchPlanner::Group> groups);
+
+/// Content hash of a canonicalized group's composite identity: the
+/// member artifact fingerprints, their lane assignment and the common
+/// stride — everything the composite program is a function of. The
+/// service's composite cache keys on this.
+std::uint64_t compositeFingerprint(const BatchPlanner::Group& group);
+
+/// Concatenate a canonicalized (>= 1 member) group's programs into one
+/// composite: registers renamed to disjoint ranges, one CompositeMember
+/// per group member mirroring its lane block, and the group's merged
+/// key plan. Pure; the result owns copies of everything it needs.
+compiler::CompositeProgram composeGroup(const BatchPlanner::Group& group);
 
 } // namespace chehab::service

@@ -86,6 +86,9 @@ CompileService::~CompileService()
             std::unique_lock<std::mutex> lock(batch_mutex_);
             rest = planner_.takeAll();
         }
+        if (config_.cross_kernel) {
+            rest = consolidateGroups(std::move(rest));
+        }
         for (BatchPlanner::Group& group : rest) {
             dispatchGroup(std::move(group), /*window_flush=*/true);
         }
@@ -257,17 +260,20 @@ CompileService::tryCoalesce(BatchLane& lane, const CacheKey& compile_key)
 
     const int effective_budget =
         lane.compiled->key_planned ? 0 : lane.request.key_budget;
-    BatchGroupKey group_key;
-    group_key.compile = compile_key;
-    group_key.params_hash = paramsFingerprint(lane.request.params);
-    group_key.key_budget = effective_budget;
+    BatchGroupKey fit_key;
+    fit_key.compile = compile_key;
+    fit_key.params_hash = paramsFingerprint(lane.request.params);
+    fit_key.key_budget = effective_budget;
+
+    const int lanes_cap = config_.max_lanes > 1 ? config_.max_lanes : 0;
 
     std::optional<BatchPlanner::Group> full;
     {
         std::unique_lock<std::mutex> lock(batch_mutex_);
         if (batch_stop_) return false; // Shutting down: run solo.
-        auto it = fit_cache_.find(group_key);
-        if (it == fit_cache_.end()) {
+        auto it = fit_cache_.find(fit_key);
+        const bool memo_hit = it != fit_cache_.end();
+        if (!memo_hit) {
             // Analyze the exact rotation sequences this run will
             // execute: the compiler's key plan when present, the
             // runtime's budget-derived plan otherwise (mirroring the
@@ -284,18 +290,28 @@ CompileService::tryCoalesce(BatchLane& lane, const CacheKey& compile_key)
             // Crude bound so a churn of distinct kernels cannot grow
             // the memo without limit; recomputation is cheap.
             if (fit_cache_.size() >= 4096) fit_cache_.clear();
-            it = fit_cache_.emplace(group_key, std::move(entry)).first;
+            it = fit_cache_.emplace(fit_key, std::move(entry)).first;
+        }
+        {
+            std::unique_lock<std::mutex> stats_lock(stats_mutex_);
+            if (memo_hit) {
+                ++stats_.fit_memo_hits;
+            } else {
+                ++stats_.fit_memo_misses;
+            }
         }
         const GroupFit& group_fit = it->second;
         if (!group_fit.fit.safe) return false;
-        int capacity = group_fit.fit.max_lanes;
-        if (config_.max_lanes > 1) {
-            capacity = std::min(capacity, config_.max_lanes);
-        }
+        int capacity = row_slots / group_fit.fit.stride;
+        if (lanes_cap > 0) capacity = std::min(capacity, lanes_cap);
         if (capacity < 2) return false;
-        full = planner_.add(group_key, std::move(lane), capacity,
-                            group_fit.fit.stride, group_fit.plan,
-                            BatchPlanner::Clock::now());
+        BatchPlanner::MemberSpec member;
+        member.compile = compile_key;
+        member.compiled = lane.compiled;
+        member.plan = &group_fit.plan;
+        member.min_stride = group_fit.fit.stride;
+        full = planner_.add(fit_key, member, std::move(lane), row_slots,
+                            lanes_cap, BatchPlanner::Clock::now());
     }
     if (full) {
         dispatchGroup(std::move(*full), /*window_flush=*/false);
@@ -322,6 +338,15 @@ CompileService::flusherLoop()
         std::vector<BatchPlanner::Group> due =
             planner_.takeDue(BatchPlanner::Clock::now());
         if (due.empty()) continue;
+        // Window-expired partial groups are where cross-kernel packing
+        // pays: consolidate compatible ones into shared rows and offer
+        // still-pending row-mates a seat (mates that do not fit keep
+        // their window) before dispatching. Full groups never reach
+        // this path — they dispatched at capacity, already perfectly
+        // packed.
+        if (config_.cross_kernel) {
+            due = planner_.consolidateDue(std::move(due));
+        }
         lock.unlock();
         for (BatchPlanner::Group& group : due) {
             dispatchGroup(std::move(group), /*window_flush=*/true);
@@ -341,10 +366,10 @@ CompileService::dispatchGroup(BatchPlanner::Group group, bool window_flush)
             ++stats_.full_flushes;
         }
     }
-    if (group.lanes.size() == 1) {
+    if (group.total_lanes == 1) {
         // A group the window closed before any peer arrived: packing a
         // single request buys nothing, run it solo.
-        submitSoloRun(std::move(group.lanes.front()));
+        submitSoloRun(std::move(group.members.front().lanes.front()));
         return;
     }
     const double priority = group.estimate_sum;
@@ -416,43 +441,92 @@ CompileService::submitSoloRun(BatchLane lane)
         priority);
 }
 
+std::shared_ptr<const compiler::CompositeProgram>
+CompileService::compositeFor(const BatchPlanner::Group& group)
+{
+    const std::uint64_t fingerprint = compositeFingerprint(group);
+    {
+        std::unique_lock<std::mutex> lock(batch_mutex_);
+        auto it = composite_cache_.find(fingerprint);
+        if (it != composite_cache_.end()) {
+            std::unique_lock<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.composite_cache_hits;
+            return it->second;
+        }
+    }
+    auto composite = std::make_shared<const compiler::CompositeProgram>(
+        composeGroup(group));
+    {
+        std::unique_lock<std::mutex> lock(batch_mutex_);
+        // Crude churn bound, mirroring the fit memo. A racing composer
+        // may have published the same fingerprint meanwhile; both
+        // values are identical by content-addressing, either wins.
+        if (composite_cache_.size() >= 1024) composite_cache_.clear();
+        composite_cache_.emplace(fingerprint, composite);
+    }
+    {
+        std::unique_lock<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.composite_cache_misses;
+    }
+    return composite;
+}
+
 void
 CompileService::executePacked(BatchPlanner::Group& group, int worker)
 {
     // The group is executed exactly once, on this worker; every lane's
     // entry is published from here (success, fallback, or failure).
     const std::uint64_t seed = BatchPlanner::canonicalizeAndSeed(group);
-    const std::vector<BatchLane>& lanes = group.lanes;
-    const compiler::Compiled& compiled = *lanes.front().compiled;
+    // Canonical flat lane order, for exception-safe publication.
+    std::vector<const BatchLane*> flat;
+    flat.reserve(static_cast<std::size_t>(group.total_lanes));
+    for (const BatchPlanner::GroupMember& member : group.members) {
+        for (const BatchLane& lane : member.lanes) flat.push_back(&lane);
+    }
     const Stopwatch exec_watch;
     std::size_t published = 0; ///< Lane entries settled so far.
     try {
         RuntimePool::Lease lease =
-            poolFor(lanes.front().request.params).acquire();
+            poolFor(flat.front()->request.params).acquire();
         lease->scheme().reseedRandomness(seed);
-        std::vector<const ir::Env*> envs;
-        envs.reserve(lanes.size());
-        for (const BatchLane& lane : lanes) {
-            envs.push_back(&lane.request.inputs);
-        }
-        compiler::PackedRunResult packed = lease->runPacked(
-            compiled.program, envs, group.plan, group.stride);
 
-        if (packed.shared.final_noise_budget <= 0) {
-            // The shared row's noise headroom ran out (other lanes'
-            // messages fatten the multiply noise): packed outputs are
-            // no longer trustworthy, so re-execute each lane solo —
-            // exactly as if it had never been coalesced.
-            {
-                std::unique_lock<std::mutex> lock(stats_mutex_);
-                ++stats_.packed_fallbacks;
+        // Run the row: one kernel -> the packed fast path; a mix of
+        // kernels -> the composed concatenation. Both produce the same
+        // shape: per-member final budgets and per-lane output slices.
+        std::vector<int> member_budgets;
+        std::vector<std::vector<std::vector<std::int64_t>>> member_outputs;
+        compiler::RunResult shared;
+        if (group.members.size() == 1) {
+            const BatchPlanner::GroupMember& member = group.members.front();
+            std::vector<const ir::Env*> envs;
+            envs.reserve(member.lanes.size());
+            for (const BatchLane& lane : member.lanes) {
+                envs.push_back(&lane.request.inputs);
             }
-            for (const BatchLane& lane : lanes) {
-                // runSoloLane settles the entry on success AND failure.
-                runSoloLane(lane, lease.runtime(), worker);
-                ++published;
+            compiler::PackedRunResult packed =
+                lease->runPacked(member.compiled->program, envs,
+                                 member.plan, group.stride);
+            shared = std::move(packed.shared);
+            member_budgets.push_back(shared.final_noise_budget);
+            member_outputs.push_back(std::move(packed.lane_outputs));
+        } else {
+            std::shared_ptr<const compiler::CompositeProgram> composite =
+                compositeFor(group);
+            std::vector<std::vector<const ir::Env*>> member_lanes;
+            member_lanes.reserve(group.members.size());
+            for (const BatchPlanner::GroupMember& member : group.members) {
+                std::vector<const ir::Env*> envs;
+                envs.reserve(member.lanes.size());
+                for (const BatchLane& lane : member.lanes) {
+                    envs.push_back(&lane.request.inputs);
+                }
+                member_lanes.push_back(std::move(envs));
             }
-            return;
+            compiler::CompositeRunResult result =
+                lease->runComposite(*composite, member_lanes);
+            shared = std::move(result.shared);
+            member_budgets = std::move(result.member_final_budgets);
+            member_outputs = std::move(result.member_outputs);
         }
 
         const double seconds = exec_watch.elapsedSeconds();
@@ -460,26 +534,59 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.executed;
             ++stats_.packed_groups;
+            if (group.members.size() > 1) {
+                ++stats_.composite_groups;
+                stats_.composite_members += group.members.size();
+            }
             stats_.total_exec_seconds += seconds;
         }
-        // packed_lanes counts per publication (not the group size up
-        // front) so a mid-loop throw leaves the counters consistent
-        // with what was actually delivered.
-        for (; published < lanes.size(); ++published) {
-            const std::size_t l = published;
-            RunArtifact artifact;
-            artifact.compiled = compiled;
-            artifact.compile_seconds = lanes[l].compile_seconds;
-            artifact.result = packed.shared;
-            artifact.result.output = packed.lane_outputs[l];
-            artifact.packed_lanes = static_cast<int>(lanes.size());
-            artifact.lane = static_cast<int>(l);
-            {
-                std::unique_lock<std::mutex> lock(stats_mutex_);
-                ++stats_.packed_lanes;
+
+        for (std::size_t m = 0; m < group.members.size(); ++m) {
+            const BatchPlanner::GroupMember& member = group.members[m];
+            if (member_budgets[m] <= 0) {
+                // This member's noise headroom ran out on the shared
+                // row (other lanes' messages fatten the multiply
+                // noise): its packed outputs are no longer
+                // trustworthy, so re-execute its lanes solo — exactly
+                // as if they had never been coalesced. Other members'
+                // outputs live in their own ciphertexts and stand.
+                {
+                    std::unique_lock<std::mutex> lock(stats_mutex_);
+                    ++stats_.packed_fallbacks;
+                }
+                for (const BatchLane& lane : member.lanes) {
+                    // runSoloLane settles the entry on success AND
+                    // failure.
+                    runSoloLane(lane, lease.runtime(), worker);
+                    ++published;
+                }
+                continue;
             }
-            lanes[l].entry->publishReady(std::move(artifact), seconds,
-                                         worker);
+            // packed_lanes counts per publication (not the group size
+            // up front) so a mid-loop throw leaves the counters
+            // consistent with what was actually delivered.
+            for (std::size_t l = 0; l < member.lanes.size(); ++l) {
+                RunArtifact artifact;
+                artifact.compiled = *member.compiled;
+                artifact.compile_seconds =
+                    member.lanes[l].compile_seconds;
+                artifact.result = shared;
+                artifact.result.counts =
+                    member.compiled->program.counts();
+                artifact.result.final_noise_budget = member_budgets[m];
+                artifact.result.consumed_noise =
+                    shared.fresh_noise_budget - member_budgets[m];
+                artifact.result.output = member_outputs[m][l];
+                artifact.packed_lanes = group.total_lanes;
+                artifact.lane = member.lane_base + static_cast<int>(l);
+                {
+                    std::unique_lock<std::mutex> lock(stats_mutex_);
+                    ++stats_.packed_lanes;
+                }
+                member.lanes[l].entry->publishReady(std::move(artifact),
+                                                    seconds, worker);
+                ++published;
+            }
         }
     } catch (const std::exception& e) {
         // Fail only the lanes not yet published: an already-settled
@@ -487,10 +594,10 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
         {
             std::unique_lock<std::mutex> lock(stats_mutex_);
             stats_.run_failed +=
-                static_cast<std::uint64_t>(lanes.size() - published);
+                static_cast<std::uint64_t>(flat.size() - published);
         }
-        for (std::size_t l = published; l < lanes.size(); ++l) {
-            lanes[l].entry->publishFailure(e.what(), worker);
+        for (std::size_t l = published; l < flat.size(); ++l) {
+            flat[l]->entry->publishFailure(e.what(), worker);
         }
     }
 }

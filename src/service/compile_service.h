@@ -33,8 +33,12 @@
 /// own lane-stride-aligned region of one shared row, the kernel
 /// executes once, and per-lane output slices are scattered back into
 /// individual responses (see service/batch_planner.h for the
-/// lane-safety analysis that gates this). A group flushes when it
-/// reaches its lane capacity or when the oldest member has waited
+/// lane-safety analysis that gates this). With cross_kernel on,
+/// requests running *different* artifacts on the same parameters and
+/// effective key budget share rows too: their programs are
+/// concatenated onto disjoint lane blocks (registers renamed, key
+/// plans merged) and the composite executes once. A group flushes when
+/// it reaches its lane capacity or when the oldest member has waited
 /// batch_window seconds.
 ///
 /// Expensive kernels dispatch first (longest-processing-time-first on
@@ -96,6 +100,13 @@ struct ServiceConfig
     /// (possibly partial) group flushes. Groups that reach their lane
     /// capacity flush immediately.
     double batch_window_seconds = 0.0005;
+    /// Cross-kernel packing: when true (and max_lanes allows packing),
+    /// runs of *different* compiled artifacts that share SealLite
+    /// parameters and an effective key budget may ride one ciphertext
+    /// row — the planner concatenates their programs onto disjoint lane
+    /// blocks and executes the composite once (see batch_planner.h).
+    /// When false (default) only runs of the same artifact coalesce.
+    bool cross_kernel = false;
 };
 
 /// Aggregate service counters (monotonic; snapshot via stats()).
@@ -121,9 +132,24 @@ struct ServiceStats
     std::uint64_t solo_runs = 0;      ///< Owner runs executed unbatched.
     std::uint64_t full_flushes = 0;   ///< Groups flushed at lane capacity.
     std::uint64_t window_flushes = 0; ///< Groups flushed by the window.
-    /// Packed rows whose noise budget hit zero and were re-executed
-    /// lane-by-lane (solo semantics win over amortization).
+    /// Members (per-kernel instruction slices) whose noise budget hit
+    /// zero in a packed row and whose lanes were re-executed solo
+    /// (solo semantics win over amortization).
     std::uint64_t packed_fallbacks = 0;
+    /// Packed executions whose row mixed >= 2 distinct kernels
+    /// (a subset of packed_groups).
+    std::uint64_t composite_groups = 0;
+    /// Distinct-kernel members across those composite rows.
+    std::uint64_t composite_members = 0;
+    /// Lane-safety verdicts served from the group-identity memo vs.
+    /// freshly analyzed (one miss per distinct (artifact, params,
+    /// budget) identity).
+    std::uint64_t fit_memo_hits = 0;
+    std::uint64_t fit_memo_misses = 0;
+    /// Composite programs served from the content-addressed composite
+    /// cache vs. freshly composed.
+    std::uint64_t composite_cache_hits = 0;
+    std::uint64_t composite_cache_misses = 0;
     /// @}
 
     CompileCache::Stats cache;        ///< Hits/misses/evictions etc.
@@ -201,8 +227,16 @@ class CompileService
     void runSoloLane(const BatchLane& lane, compiler::FheRuntime& runtime,
                      int worker);
 
-    /// Execute a >= 2 lane group as one packed row (worker context).
+    /// Execute a >= 2 lane group as one packed row (worker context):
+    /// FheRuntime::runPacked for a single-member group, the cross-kernel
+    /// composite path for a multi-member one.
     void executePacked(BatchPlanner::Group& group, int worker);
+
+    /// The composite program for a canonicalized multi-member group,
+    /// served from the content-addressed composite cache or freshly
+    /// composed.
+    std::shared_ptr<const compiler::CompositeProgram>
+    compositeFor(const BatchPlanner::Group& group);
 
     /// Background loop flushing window-expired groups.
     void flusherLoop();
@@ -229,14 +263,21 @@ class CompileService
         compiler::RotationKeyPlan plan;
     };
 
-    /// Coalescer state: planner and fit memo guarded by batch_mutex_;
-    /// the flusher thread sleeps on batch_cv_ until the earliest group
-    /// deadline.
+    /// Coalescer state: planner, fit memo and composite cache guarded
+    /// by batch_mutex_; the flusher thread sleeps on batch_cv_ until
+    /// the earliest group deadline.
     std::mutex batch_mutex_;
     std::condition_variable batch_cv_;
     BatchPlanner planner_;
     std::unordered_map<BatchGroupKey, GroupFit, BatchGroupKeyHash>
         fit_cache_;
+    /// Content-addressed composite cache: compositeFingerprint of the
+    /// canonicalized group -> composed program, so a recurring mix of
+    /// kernels composes (and renames) once. Same crude churn bound as
+    /// the fit memo.
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const compiler::CompositeProgram>>
+        composite_cache_;
     bool batch_stop_ = false;
     std::thread flusher_;
 

@@ -415,6 +415,225 @@ TEST(ServiceBatchingTest, RunPackedMatchesSoloRunsDirectly)
     }
 }
 
+// ---- cross-kernel packing ---------------------------------------------
+
+TEST(ServiceBatchingTest, CrossKernelPackedOutputsBitIdenticalToSolo)
+{
+    // Three distinct kernels, distinct inputs, one parameter set: with
+    // cross_kernel on they consolidate into shared rows; outputs must
+    // equal the solo service's and the reference evaluator's, at 1 and
+    // 8 workers (the acceptance contract for cross-kernel packing).
+    const std::vector<ir::ExprPtr> sources = {
+        ir::parse(dotSource(4)), ir::parse(dotSource(3)),
+        ir::parse("(+ (* a0 b0) b1)")};
+    auto makeBatch = [&sources] {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 12; ++i) {
+            batch.push_back(laneRequest(
+                "k" + std::to_string(i),
+                sources[static_cast<std::size_t>(i) % sources.size()],
+                i));
+        }
+        return batch;
+    };
+    const auto solo =
+        runAndSnapshot(batchedConfig(2, /*max_lanes=*/1, 0.0),
+                       makeBatch());
+    for (int workers : {1, 8}) {
+        ServiceConfig config = batchedConfig(workers, 0, /*window=*/0.05);
+        config.cross_kernel = true;
+        const auto packed = runAndSnapshot(config, makeBatch());
+        ASSERT_EQ(solo.size(), packed.size()) << workers << " workers";
+        for (const auto& [name, solo_snap] : solo) {
+            ASSERT_TRUE(packed.count(name)) << name;
+            EXPECT_EQ(solo_snap.output, packed.at(name).output)
+                << name << " at " << workers << " workers";
+        }
+    }
+    for (int i = 0; i < 12; ++i) {
+        const ir::ExprPtr& source =
+            sources[static_cast<std::size_t>(i) % sources.size()];
+        const ir::Value expected =
+            ir::Evaluator().evaluate(source, inputsFor(source, i));
+        EXPECT_EQ(solo.at("k" + std::to_string(i)).output[0],
+                  expected.slots[0]);
+    }
+}
+
+TEST(ServiceBatchingTest, CrossKernelConsolidatesWindowFlushedGroups)
+{
+    // Two kernels with two requests each against an 8-lane cap: neither
+    // fills a row alone, so per-artifact mode executes two window
+    // flushed groups, while cross-kernel mode consolidates them into
+    // one composite row of 4 lanes spanning 2 members.
+    const ir::ExprPtr source_a = ir::parse(dotSource(4));
+    const ir::ExprPtr source_b = ir::parse(dotSource(3));
+    auto makeBatch = [&] {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 2; ++i) {
+            batch.push_back(laneRequest("a" + std::to_string(i),
+                                        source_a, i));
+            batch.push_back(laneRequest("b" + std::to_string(i),
+                                        source_b, i));
+        }
+        return batch;
+    };
+    {
+        CompileService service(batchedConfig(2, 8, /*window=*/0.05));
+        for (const RunResponse& response :
+             service.runBatch(makeBatch())) {
+            ASSERT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            EXPECT_EQ(response.packed_lanes, 2) << response.name;
+        }
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.packed_groups, 2u);
+        EXPECT_EQ(stats.composite_groups, 0u);
+    }
+    {
+        ServiceConfig config = batchedConfig(2, 8, /*window=*/0.05);
+        config.cross_kernel = true;
+        CompileService service(config);
+        for (const RunResponse& response :
+             service.runBatch(makeBatch())) {
+            ASSERT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            EXPECT_EQ(response.packed_lanes, 4) << response.name;
+        }
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.packed_groups, 1u);
+        EXPECT_EQ(stats.composite_groups, 1u);
+        EXPECT_EQ(stats.composite_members, 2u);
+        EXPECT_EQ(stats.packed_lanes, 4u);
+        EXPECT_EQ(stats.composite_cache_misses, 1u);
+    }
+}
+
+TEST(ServiceBatchingTest, CrossKernelLaneOrderIsContentDeterministic)
+{
+    // Submitting the same mixed batch in different orders must produce
+    // the same composite lane assignment per request: lane order is a
+    // content hash of the member run keys, never the arrival order.
+    const std::vector<ir::ExprPtr> sources = {ir::parse(dotSource(4)),
+                                              ir::parse(dotSource(3))};
+    auto makeBatch = [&sources](bool reversed) {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 4; ++i) {
+            batch.push_back(laneRequest(
+                "k" + std::to_string(i),
+                sources[static_cast<std::size_t>(i) % sources.size()],
+                i));
+        }
+        if (reversed) std::reverse(batch.begin(), batch.end());
+        return batch;
+    };
+    std::map<std::string, int> forward_lanes;
+    std::map<std::string, int> reversed_lanes;
+    for (bool reversed : {false, true}) {
+        ServiceConfig config = batchedConfig(1, 8, /*window=*/0.05);
+        config.cross_kernel = true;
+        CompileService service(config);
+        for (const RunResponse& response :
+             service.runBatch(makeBatch(reversed))) {
+            ASSERT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            EXPECT_EQ(response.packed_lanes, 4) << response.name;
+            (reversed ? reversed_lanes
+                      : forward_lanes)[response.name] = response.lane;
+        }
+    }
+    EXPECT_EQ(forward_lanes, reversed_lanes);
+}
+
+// ---- group-identity memoization ---------------------------------------
+
+TEST(ServiceBatchingTest, FitMemoHitsOncePerGroupIdentity)
+{
+    // Eight distinct-input requests of one kernel share one group
+    // identity: the lane-safety analysis runs once (miss), the other
+    // seven owners hit the memo. A second kernel adds exactly one more
+    // miss.
+    const ir::ExprPtr source_a = ir::parse(dotSource(4));
+    const ir::ExprPtr source_b = ir::parse(dotSource(3));
+    CompileService service(batchedConfig(2, 8, /*window=*/0.05));
+    std::vector<RunRequest> batch;
+    for (int i = 0; i < 8; ++i) {
+        batch.push_back(laneRequest("a" + std::to_string(i), source_a, i));
+    }
+    for (const RunResponse& response : service.runBatch(std::move(batch))) {
+        ASSERT_TRUE(response.ok) << response.name << ": " << response.error;
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.fit_memo_misses, 1u);
+    EXPECT_EQ(stats.fit_memo_hits, 7u);
+
+    std::vector<RunRequest> second;
+    for (int i = 0; i < 4; ++i) {
+        second.push_back(laneRequest("b" + std::to_string(i), source_b, i));
+    }
+    for (const RunResponse& response :
+         service.runBatch(std::move(second))) {
+        ASSERT_TRUE(response.ok) << response.name << ": " << response.error;
+    }
+    stats = service.stats();
+    EXPECT_EQ(stats.fit_memo_misses, 2u);
+    EXPECT_EQ(stats.fit_memo_hits, 10u);
+
+    // Same kernel, different effective budget: a new group identity.
+    std::vector<RunRequest> budgeted;
+    budgeted.push_back(laneRequest("c0", source_a, 0, /*key_budget=*/2));
+    for (const RunResponse& response :
+         service.runBatch(std::move(budgeted))) {
+        ASSERT_TRUE(response.ok) << response.name << ": " << response.error;
+    }
+    stats = service.stats();
+    EXPECT_EQ(stats.fit_memo_misses, 3u);
+}
+
+// ---- flusher shutdown: drain-on-stop ----------------------------------
+
+TEST(ServiceBatchingTest, ShutdownDrainsPendingGroups)
+{
+    // Three lanes sit in a pending group whose window (30 s) never
+    // expires and whose capacity (8) is never reached; destroying the
+    // service must stop the flusher, drain the planner and settle every
+    // outstanding future — packed, in order, before any member the
+    // tasks touch is torn down (TSan checks the ordering).
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    std::vector<std::future<RunResponse>> futures;
+    {
+        CompileService service(batchedConfig(2, 8, /*window=*/30.0));
+        for (int i = 0; i < 3; ++i) {
+            futures.push_back(service.submitRun(
+                laneRequest("k" + std::to_string(i), source, i)));
+        }
+        // Wait until the lanes actually reach the planner (the compile
+        // stage settles asynchronously) so the destructor exercises the
+        // drain path, not the not-yet-coalesced one.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(20);
+        while (service.stats().compiled < 1 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(futures[static_cast<std::size_t>(i)].wait_for(
+                      std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "future " << i << " not settled by shutdown";
+        const RunResponse response =
+            futures[static_cast<std::size_t>(i)].get();
+        ASSERT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        const ir::Value expected = ir::Evaluator().evaluate(
+            source, inputsFor(source, i));
+        EXPECT_EQ(response.result.output[0], expected.slots[0])
+            << response.name;
+    }
+}
+
 // ---- counter consistency under concurrency (exercised by TSan CI) -----
 
 TEST(ServiceBatchingTest, ConcurrentRunBatchAndStatsConsistency)
