@@ -34,6 +34,10 @@
 ///                   (default 1 = off, 0 = as many as the row allows)
 ///   --batch-window-us N  how long a pending run waits for row-mates
 ///                   before a partial batch flushes (default 500)
+///   --adaptive-window N  1 (default) derives each group's flush
+///                   deadline from the load model's arrival-rate
+///                   estimate (ceiling-bounded by --batch-window-us);
+///                   0 keeps the fixed window
 ///   --cross-kernel  let runs of *different* kernels share a ciphertext
 ///                   row (program concatenation on disjoint lanes; needs
 ///                   --batch-lanes != 1)
@@ -50,6 +54,14 @@
 /// row) and `amort_ms` (the shared execution wall time divided by the
 /// lane count — the per-request cost packing actually achieved, to
 /// compare against the solo `exec_ms`).
+///
+/// Every report also carries the load model's predicted-vs-measured
+/// pair (`pred_ms`/`meas_ms` in the table, `pred_s`/`meas_s` in
+/// CSV/JSON): the predicted wall time the scheduler dispatched on
+/// against the wall time actually measured (compile time without
+/// --run, execution time with it), so the model's cost error is
+/// visible per request and summarized in the footer.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +101,7 @@ struct Options
     int poly_n = 256;
     int batch_lanes = 1;
     int batch_window_us = 500;
+    int adaptive_window = 1;
     bool cross_kernel = false;
     bool distinct_inputs = false;
     std::string csv_path;
@@ -107,8 +120,8 @@ usage(const char* argv0)
                  "[--cache-cap N]\n"
                  "       [--run] [--key-budget N] [--poly-n N] "
                  "[--batch-lanes N]\n"
-                 "       [--batch-window-us N] [--cross-kernel] "
-                 "[--distinct-inputs]\n"
+                 "       [--batch-window-us N] [--adaptive-window 0|1] "
+                 "[--cross-kernel] [--distinct-inputs]\n"
                  "       [--csv PATH] [--json PATH] [--dump] "
                  "[kernel-file | -] ...\n",
                  argv0);
@@ -175,6 +188,8 @@ parseArgs(int argc, char** argv, Options& options)
             if (!intArg(i, options.batch_lanes)) return false;
         } else if (arg == "--batch-window-us") {
             if (!intArg(i, options.batch_window_us)) return false;
+        } else if (arg == "--adaptive-window") {
+            if (!intArg(i, options.adaptive_window)) return false;
         } else if (arg == "--cross-kernel") {
             options.cross_kernel = true;
         } else if (arg == "--distinct-inputs") {
@@ -307,6 +322,7 @@ main(int argc, char** argv)
         static_cast<std::size_t>(options.cache_cap);
     config.max_lanes = options.batch_lanes;
     config.batch_window_seconds = options.batch_window_us * 1e-6;
+    config.adaptive_window = options.adaptive_window != 0;
     config.cross_kernel = options.cross_kernel;
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
@@ -381,6 +397,7 @@ main(int argc, char** argv)
             adapted.queue_seconds = response.queue_seconds;
             adapted.compile_seconds = response.compile_seconds;
             adapted.estimated_cost = response.estimated_cost;
+            adapted.predicted_seconds = response.predicted_seconds;
             adapted.worker_id = response.worker_id;
             responses.push_back(std::move(adapted));
         }
@@ -389,55 +406,70 @@ main(int argc, char** argv)
 
     // ---- report -------------------------------------------------------
     if (options.run) {
-        std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %9s %9s %5s %6s "
-                    "%6s %5s %6s\n",
+        std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %8s %8s %9s %5s "
+                    "%6s %6s %5s %6s\n",
                     "kernel", "mode", "ok", "csrc", "rsrc", "queue_ms",
-                    "comp_ms", "exec_ms", "amort_ms", "lanes", "noise",
-                    "final", "keys", "worker");
+                    "comp_ms", "pred_ms", "meas_ms", "amort_ms", "lanes",
+                    "noise", "final", "keys", "worker");
     } else {
-        std::printf("%-24s %-7s %-3s %-5s %9s %9s %7s %6s\n", "kernel",
-                    "mode", "ok", "src", "queue_ms", "comp_ms", "cost",
-                    "worker");
+        std::printf("%-24s %-7s %-3s %-5s %9s %8s %8s %7s %6s\n",
+                    "kernel", "mode", "ok", "src", "queue_ms", "pred_ms",
+                    "meas_ms", "cost", "worker");
     }
     int failures = 0;
+    // Mean relative prediction error of the load model over the batch:
+    // |pred - meas| / meas, averaged over requests with a measurement.
+    double error_sum = 0.0;
+    int error_count = 0;
     for (const service::RunResponse& response : responses) {
         if (!response.ok) ++failures;
         const char* compile_src =
             response.compile_cache_hit
                 ? "hit"
                 : (response.compile_deduplicated ? "join" : "miss");
+        // pred vs meas: the wall time the scheduler dispatched on
+        // against the wall time actually measured — the execution for
+        // --run, the compile otherwise.
+        const double pred_s = response.predicted_seconds;
+        const double meas_s =
+            options.run ? response.exec_seconds : response.compile_seconds;
+        if (response.ok && meas_s > 0.0) {
+            error_sum += std::abs(pred_s - meas_s) / meas_s;
+            ++error_count;
+        }
         if (options.run) {
             const char* run_src =
                 response.run_cache_hit
                     ? "hit"
                     : (response.run_deduplicated ? "join" : "miss");
-            // Packed-vs-solo latency: exec_ms is the (shared) execution
+            // Packed-vs-solo latency: meas_ms is the (shared) execution
             // wall time; amort_ms divides it across the lanes that rode
             // the row — for solo runs the two columns are equal.
             const double amort_ms =
                 response.exec_seconds * 1e3 /
                 (response.packed_lanes > 0 ? response.packed_lanes : 1);
-            std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %9.2f "
-                        "%9.2f %5d %6d %6d %5d %6d\n",
+            std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %8.2f "
+                        "%8.2f %9.2f %5d %6d %6d %5d %6d\n",
                         response.name.c_str(),
                         service::optModeName(options.mode),
                         response.ok ? "y" : "N", compile_src, run_src,
                         response.queue_seconds * 1e3,
-                        response.compile_seconds * 1e3,
-                        response.exec_seconds * 1e3, amort_ms,
+                        response.compile_seconds * 1e3, pred_s * 1e3,
+                        meas_s * 1e3, amort_ms,
                         response.packed_lanes,
                         response.result.consumed_noise,
                         response.result.final_noise_budget,
                         response.result.rotation_keys,
                         response.worker_id);
         } else {
-            std::printf("%-24s %-7s %-3s %-5s %9.2f %9.2f %7.0f %6d\n",
+            std::printf("%-24s %-7s %-3s %-5s %9.2f %8.2f %8.2f %7.0f "
+                        "%6d\n",
                         response.name.c_str(),
                         service::optModeName(options.mode),
                         response.ok ? "y" : "N", compile_src,
-                        response.queue_seconds * 1e3,
-                        response.compile_seconds * 1e3,
-                        response.estimated_cost, response.worker_id);
+                        response.queue_seconds * 1e3, pred_s * 1e3,
+                        meas_s * 1e3, response.estimated_cost,
+                        response.worker_id);
         }
         if (!response.ok) {
             std::printf("  error: %s\n", response.error.c_str());
@@ -458,6 +490,29 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.cache.inflight_joins),
                 static_cast<unsigned long long>(stats.cache.evictions),
                 static_cast<unsigned long long>(stats.failed));
+    std::printf("load model: %llu warm / %llu cold predictions, "
+                "%llu compile + %llu run observations",
+                static_cast<unsigned long long>(
+                    stats.load_model.warm_predictions),
+                static_cast<unsigned long long>(
+                    stats.load_model.cold_predictions),
+                static_cast<unsigned long long>(
+                    stats.load_model.compile_observations),
+                static_cast<unsigned long long>(
+                    stats.load_model.run_observations));
+    if (error_count > 0) {
+        std::printf(", %.1f%% mean |pred-meas|/meas error",
+                    100.0 * error_sum / error_count);
+    }
+    std::printf("\n");
+    if (options.run && options.batch_lanes != 1) {
+        std::printf("adaptive window: %llu shrunk / %llu ceiling "
+                    "deadlines\n",
+                    static_cast<unsigned long long>(
+                        stats.load_model.window_shrinks),
+                    static_cast<unsigned long long>(
+                        stats.load_model.window_ceilings));
+    }
     if (options.run) {
         std::printf("run path: %llu executed, %llu run-cache hits, "
                     "%llu run joins, %llu runtimes pooled, %llu failed\n",
@@ -510,8 +565,8 @@ main(int argc, char** argv)
     if (!options.csv_path.empty()) {
         std::vector<std::string> header = {
             "kernel", "mode", "ok", "cache_hit", "deduplicated", "queue_s",
-            "compile_s", "estimated_cost", "worker", "instrs", "final_cost",
-            "mult_depth", "error"};
+            "compile_s", "pred_s", "meas_s", "estimated_cost", "worker",
+            "instrs", "final_cost", "mult_depth", "error"};
         if (options.run) {
             for (const char* column :
                  {"run_cache_hit", "run_deduplicated", "exec_s",
@@ -522,6 +577,11 @@ main(int argc, char** argv)
         }
         CsvWriter csv(options.csv_path, header);
         for (const service::RunResponse& response : responses) {
+            // pred_s/meas_s mirror the table columns: the scheduler's
+            // predicted wall time vs. what the measured stage actually
+            // took (execution with --run, compile otherwise).
+            const double meas_s = options.run ? response.exec_seconds
+                                              : response.compile_seconds;
             if (options.run) {
                 csv.writeRow(
                     response.name, service::optModeName(options.mode),
@@ -529,6 +589,7 @@ main(int argc, char** argv)
                     response.compile_cache_hit ? 1 : 0,
                     response.compile_deduplicated ? 1 : 0,
                     response.queue_seconds, response.compile_seconds,
+                    response.predicted_seconds, meas_s,
                     response.estimated_cost, response.worker_id,
                     response.compiled.program.instrs.size(),
                     response.compiled.stats.final_cost,
@@ -551,6 +612,7 @@ main(int argc, char** argv)
                     response.compile_cache_hit ? 1 : 0,
                     response.compile_deduplicated ? 1 : 0,
                     response.queue_seconds, response.compile_seconds,
+                    response.predicted_seconds, meas_s,
                     response.estimated_cost, response.worker_id,
                     response.compiled.program.instrs.size(),
                     response.compiled.stats.final_cost,
@@ -574,7 +636,11 @@ main(int argc, char** argv)
                  << ", \"deduplicated\": "
                  << (response.compile_deduplicated ? "true" : "false")
                  << ", \"queue_s\": " << response.queue_seconds
-                 << ", \"compile_s\": " << response.compile_seconds;
+                 << ", \"compile_s\": " << response.compile_seconds
+                 << ", \"pred_s\": " << response.predicted_seconds
+                 << ", \"meas_s\": "
+                 << (options.run ? response.exec_seconds
+                                 : response.compile_seconds);
             if (options.run) {
                 json << ", \"run_cache_hit\": "
                      << (response.run_cache_hit ? "true" : "false")

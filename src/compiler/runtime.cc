@@ -170,6 +170,7 @@ RunResult
 FheRuntime::run(const FheProgram& program, const ir::Env& env,
                 const RotationKeyPlan& plan)
 {
+    const Stopwatch setup_watch;
     RunResult result;
     result.counts = program.counts();
     result.fresh_noise_budget = scheme_.freshNoiseBudget();
@@ -191,6 +192,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
         }
     }
 
+    result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, plan, cts, plains);
 
     // Degenerate all-plaintext programs produce a plaintext output
@@ -248,6 +250,7 @@ FheRuntime::runPacked(const FheProgram& program,
     // like a real lane, and lane 0's wraparound neighbour is one).
     const int num_regions = scheme_.slots() / lane_stride;
 
+    const Stopwatch setup_watch;
     PackedRunResult packed;
     RunResult& result = packed.shared;
     result.counts = program.counts();
@@ -281,6 +284,7 @@ FheRuntime::runPacked(const FheProgram& program,
         }
     }
 
+    result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, plan, cts, plains);
 
     if (!cts.count(program.output_reg)) {
@@ -331,6 +335,7 @@ FheRuntime::runComposite(
         }
     }
 
+    const Stopwatch setup_watch;
     CompositeRunResult composite_result;
     RunResult& result = composite_result.shared;
     result.counts = program.counts();
@@ -376,6 +381,7 @@ FheRuntime::runComposite(
         }
     }
 
+    result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, composite.plan, cts,
                                          plains);
 

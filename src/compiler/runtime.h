@@ -19,6 +19,12 @@ struct RunResult
 {
     std::vector<std::int64_t> output; ///< First output_width slots.
     double exec_seconds = 0.0;        ///< Server-side evaluation only.
+    /// Wall time of everything before the server-side evaluation:
+    /// Galois key generation, packing, encoding and encryption. This is
+    /// the fixed per-row cost that slot batching amortizes across
+    /// lanes; the service's load model reads it to price row sharing
+    /// (see service/load_model.h).
+    double setup_seconds = 0.0;
     int fresh_noise_budget = 0;
     int final_noise_budget = 0;       ///< <= 0 means budget exhausted.
     int consumed_noise = 0;           ///< CN of Table 6.

@@ -340,34 +340,123 @@ BatchPlanner::Group::capacityAt(int at_stride) const
 
 namespace {
 
-/// Try to seat every lane of \p group on \p row: same row identity,
-/// stride grown to cover both, capacity respected, key plans
-/// compatible. On success \p group's members move into \p row and the
-/// function returns true; on failure both are untouched.
-bool
-tryMergeInto(BatchPlanner::Group& row, BatchPlanner::Group& group)
+/// A feasible merge of one group onto one row, computed without
+/// mutating either side.
+struct MergePlan
+{
+    int new_stride = 0;
+    compiler::RotationKeyPlan merged_plan;
+};
+
+/// Can every lane of \p group ride \p row? Same row identity, stride
+/// grown to cover both, capacity respected, key plans compatible.
+std::optional<MergePlan>
+planMerge(const BatchPlanner::Group& row, const BatchPlanner::Group& group)
 {
     if (!(row.key == group.key) || row.row_slots != group.row_slots) {
-        return false;
+        return std::nullopt;
     }
     const int new_stride = std::max(row.stride, group.stride);
     if (new_stride > row.row_slots || row.row_slots % new_stride != 0) {
-        return false;
+        return std::nullopt;
     }
     if (row.total_lanes + group.total_lanes > row.capacityAt(new_stride)) {
-        return false;
+        return std::nullopt;
     }
     std::optional<compiler::RotationKeyPlan> merged =
         mergeKeyPlans(row.merged_plan, group.merged_plan);
-    if (!merged) return false; // Incompatible rotation plans.
-    row.stride = new_stride;
-    row.merged_plan = std::move(*merged);
+    if (!merged) return std::nullopt; // Incompatible rotation plans.
+    MergePlan plan;
+    plan.new_stride = new_stride;
+    plan.merged_plan = std::move(*merged);
+    return plan;
+}
+
+/// Move \p group's members onto \p row under \p plan.
+void
+commitMerge(BatchPlanner::Group& row, BatchPlanner::Group& group,
+            MergePlan plan)
+{
+    row.stride = plan.new_stride;
+    row.merged_plan = std::move(plan.merged_plan);
     row.estimate_sum += group.estimate_sum;
+    row.predicted_sum += group.predicted_sum;
     row.total_lanes += group.total_lanes;
     for (BatchPlanner::GroupMember& member : group.members) {
         row.members.push_back(std::move(member));
     }
-    return true;
+}
+
+/// Wasted lanes of \p row if \p group joined it at \p new_stride.
+int
+wasteAfter(const BatchPlanner::Group& row,
+           const BatchPlanner::Group& group, int new_stride)
+{
+    return row.capacityAt(new_stride) -
+           (row.total_lanes + group.total_lanes);
+}
+
+/// Total order on rows for cost-driven tie-breaks: compile-key content
+/// of the first member, so row choice is a pure function of the
+/// flushed set, never of row creation order alone.
+bool
+rowContentLess(const BatchPlanner::Group& a, const BatchPlanner::Group& b)
+{
+    return compileKeyLess(a.members.front().compile,
+                          b.members.front().compile);
+}
+
+/// A chosen seat: the row index and the merge plan that admits it.
+struct Seat
+{
+    std::size_t row = 0;
+    MergePlan plan;
+};
+
+/// The row in \p rows that \p group should join under \p policy, or
+/// nullopt when no row is feasible (or the cost rule prefers an own
+/// row). Cost-driven choice minimizes the resulting predicted row
+/// seconds (the makespan objective), then wasted lanes, then row
+/// content; legacy choice is first fit.
+std::optional<Seat>
+chooseRow(std::vector<BatchPlanner::Group>& rows,
+          const BatchPlanner::Group& group, const ConsolidatePolicy& policy,
+          bool allow_new_row)
+{
+    std::optional<Seat> best;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::optional<MergePlan> plan = planMerge(rows[r], group);
+        if (!plan) continue;
+        if (!policy.cost_driven || !best) {
+            best = Seat{r, std::move(*plan)};
+            if (!policy.cost_driven) break; // First fit.
+            continue;
+        }
+        const auto score = [&](std::size_t idx, const MergePlan& p) {
+            return std::make_pair(rows[idx].predicted_sum +
+                                      group.predicted_sum,
+                                  wasteAfter(rows[idx], group,
+                                             p.new_stride));
+        };
+        const auto cand = score(r, *plan);
+        const auto incumbent = score(best->row, best->plan);
+        if (cand < incumbent ||
+            (cand == incumbent &&
+             rowContentLess(rows[r], rows[best->row]))) {
+            best = Seat{r, std::move(*plan)};
+        }
+    }
+    if (!best) return std::nullopt;
+    if (policy.cost_driven && allow_new_row && policy.shareable &&
+        policy.parallelism > 0 &&
+        static_cast<int>(rows.size()) < policy.parallelism &&
+        !policy.shareable(group)) {
+        // Execution-dominated group with worker slots still free:
+        // sharing a row would serialize real work for an overhead
+        // saving that cannot pay for it — give it its own row.
+        return std::nullopt;
+    }
+    return best;
 }
 
 } // namespace
@@ -375,7 +464,7 @@ tryMergeInto(BatchPlanner::Group& row, BatchPlanner::Group& group)
 std::optional<BatchPlanner::Group>
 BatchPlanner::add(const BatchGroupKey& key, const MemberSpec& member,
                   BatchLane lane, int row_slots, int lanes_cap,
-                  Clock::time_point now)
+                  Clock::time_point now, double adaptive_wait_seconds)
 {
     auto it = pending_.find(key);
     if (it == pending_.end()) {
@@ -385,8 +474,12 @@ BatchPlanner::add(const BatchGroupKey& key, const MemberSpec& member,
         group.row_slots = row_slots;
         group.lanes_cap = lanes_cap;
         group.stride = member.min_stride;
-        group.deadline = now + window_;
+        group.hard_deadline = now + window_;
+        group.deadline = group.hard_deadline;
         group.merged_plan = *member.plan;
+        // One program execution per member, however many lanes ride it:
+        // the group's predicted seconds count each member once.
+        group.predicted_sum = lane.predicted;
         GroupMember fresh;
         fresh.compile = member.compile;
         fresh.compiled = member.compiled;
@@ -403,6 +496,17 @@ BatchPlanner::add(const BatchGroupKey& key, const MemberSpec& member,
         Group full = std::move(group);
         pending_.erase(it);
         return full;
+    }
+    if (adaptive_wait_seconds >= 0.0) {
+        // Recompute the effective deadline from the arrival-rate
+        // estimate on every arrival, ceiling-bounded by the fixed
+        // window. The caller must notify its flusher afterwards: the
+        // new deadline may be earlier than the one it sleeps on.
+        const auto wait = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(adaptive_wait_seconds));
+        group.deadline = std::min(group.hard_deadline, now + wait);
+    } else {
+        group.deadline = group.hard_deadline;
     }
     return std::nullopt;
 }
@@ -434,16 +538,34 @@ BatchPlanner::takeDue(Clock::time_point now)
     return due;
 }
 
-std::vector<BatchPlanner::Group>
-BatchPlanner::consolidateDue(std::vector<Group> due)
+std::size_t
+BatchPlanner::pendingLanesFor(const BatchGroupKey& key) const
 {
-    std::vector<Group> rows = consolidateGroups(std::move(due));
+    auto it = pending_.find(key);
+    if (it == pending_.end()) return 0;
+    return static_cast<std::size_t>(it->second.total_lanes);
+}
+
+std::vector<BatchPlanner::Group>
+BatchPlanner::consolidateDue(std::vector<Group> due,
+                             const ConsolidatePolicy& policy)
+{
+    std::vector<Group> rows = consolidateGroups(std::move(due), policy);
     for (auto it = pending_.begin(); it != pending_.end();) {
+        // A pending row-mate is pulled forward only when it joins a row
+        // — and, under the cost rule, only when it is overhead-
+        // dominated: pulling an execution-dominated mate would
+        // serialize its work early when letting it keep its window (and
+        // likely its own row) costs nothing.
         bool joined = false;
-        for (Group& row : rows) {
-            if (tryMergeInto(row, it->second)) {
+        if (!policy.cost_driven || !policy.shareable ||
+            policy.shareable(it->second)) {
+            std::optional<Seat> seat = chooseRow(rows, it->second, policy,
+                                                 /*allow_new_row=*/false);
+            if (seat) {
+                commitMerge(rows[seat->row], it->second,
+                            std::move(seat->plan));
                 joined = true;
-                break;
             }
         }
         it = joined ? pending_.erase(it) : std::next(it);
@@ -472,17 +594,25 @@ BatchPlanner::pendingLanes() const
 }
 
 std::vector<BatchPlanner::Group>
-consolidateGroups(std::vector<BatchPlanner::Group> groups)
+consolidateGroups(std::vector<BatchPlanner::Group> groups,
+                  const ConsolidatePolicy& policy)
 {
-    // First-fit decreasing over the certified strides: widest members
-    // seed rows, narrower ones fill the remaining lanes. Sorting also
-    // makes the consolidation a pure function of the flushed set
-    // (arrival interleaving must not leak into row composition). Every
-    // input group keeps its lanes in one member, so each program still
-    // executes exactly once.
+    // Sorting first makes the consolidation a pure function of the
+    // flushed set (arrival interleaving must not leak into row
+    // composition). Cost-driven mode places the heaviest-predicted
+    // groups first — the makespan analogue of longest-processing-time
+    // scheduling — while the legacy mode keeps first-fit decreasing
+    // over the certified strides (widest members seed rows, narrower
+    // ones fill the remaining lanes). Every input group keeps its
+    // lanes in one member, so each program still executes exactly
+    // once.
     std::sort(groups.begin(), groups.end(),
-              [](const BatchPlanner::Group& a,
-                 const BatchPlanner::Group& b) {
+              [&policy](const BatchPlanner::Group& a,
+                        const BatchPlanner::Group& b) {
+                  if (policy.cost_driven &&
+                      a.predicted_sum != b.predicted_sum) {
+                      return a.predicted_sum > b.predicted_sum;
+                  }
                   if (a.stride != b.stride) return a.stride > b.stride;
                   if (a.total_lanes != b.total_lanes) {
                       return a.total_lanes > b.total_lanes;
@@ -492,14 +622,13 @@ consolidateGroups(std::vector<BatchPlanner::Group> groups)
               });
     std::vector<BatchPlanner::Group> rows;
     for (BatchPlanner::Group& group : groups) {
-        bool placed = false;
-        for (BatchPlanner::Group& row : rows) {
-            if (tryMergeInto(row, group)) {
-                placed = true;
-                break;
-            }
+        std::optional<Seat> seat =
+            chooseRow(rows, group, policy, /*allow_new_row=*/true);
+        if (seat) {
+            commitMerge(rows[seat->row], group, std::move(seat->plan));
+        } else {
+            rows.push_back(std::move(group));
         }
-        if (!placed) rows.push_back(std::move(group));
     }
     return rows;
 }

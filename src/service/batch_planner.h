@@ -25,8 +25,9 @@
 /// per artifact — same-kernel lanes ride one member and therefore one
 /// program execution, which is where packing's compute saving lives —
 /// and only at *flush* time are window-expired partial groups that
-/// share a row identity consolidated (consolidateGroups, first-fit
-/// decreasing over the certified strides) into composite rows, so a
+/// share a row identity consolidated (consolidateGroups — cost-driven
+/// row assignment under the load model, legacy first-fit decreasing
+/// over the certified strides otherwise) into composite rows, so a
 /// mixed workload of small distinct kernels shares the runtime lease,
 /// the merged Galois keygen and the dispatch instead of paying them
 /// once per kernel. Groups that fill on their own dispatch untouched:
@@ -74,6 +75,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -166,7 +168,14 @@ struct BatchLane
     double compile_seconds = 0.0;
     RunRequest request;
     RunKey run_key;
-    double estimate = 0.0;
+    /// Coalescer group identity (artifact x params x effective budget);
+    /// also the load model's run-profile and arrival-estimator key.
+    BatchGroupKey group_key;
+    double estimate = 0.0;  ///< Static ir::cost() estimate.
+    /// Load-model predicted seconds of executing this lane's program
+    /// once (measured EWMA when warm, scaled static estimate when
+    /// cold); drives dispatch priority and consolidation.
+    double predicted = 0.0;
 };
 
 /// Union of two rotation-key plans, or nullopt when they disagree on
@@ -178,11 +187,15 @@ std::optional<compiler::RotationKeyPlan>
 mergeKeyPlans(const compiler::RotationKeyPlan& a,
               const compiler::RotationKeyPlan& b);
 
+struct ConsolidatePolicy;
+
 /// Groups pending coalescible runs and decides when each group is ready
-/// to execute. Window semantics: a group's deadline is fixed when its
-/// first lane arrives; it flushes early the moment it reaches capacity.
-/// Pending groups are strictly per artifact (one open group per
-/// BatchGroupKey); cross-kernel rows only form when the service
+/// to execute. Window semantics: a group's *hard* deadline is fixed
+/// when its first lane arrives (first arrival + window); the adaptive
+/// window may pull the effective deadline earlier — never later — on
+/// each arrival, and the group flushes early the moment it reaches
+/// capacity. Pending groups are strictly per artifact (one open group
+/// per BatchGroupKey); cross-kernel rows only form when the service
 /// consolidates window-flushed partial groups (consolidateGroups).
 class BatchPlanner
 {
@@ -222,8 +235,18 @@ class BatchPlanner
         int total_lanes = 0;
         std::vector<GroupMember> members;
         compiler::RotationKeyPlan merged_plan; ///< Union over members.
-        double estimate_sum = 0.0; ///< Dispatch priority of the group.
+        double estimate_sum = 0.0; ///< Static-cost sum over lanes.
+        /// Predicted seconds of executing this group once: the sum of
+        /// its members' per-execution predictions (a member's program
+        /// runs once however many lanes it carries). Dispatch priority
+        /// and the consolidation makespan objective both read this.
+        double predicted_sum = 0.0;
+        /// Effective flush deadline (what the flusher sleeps on). The
+        /// adaptive window may move it earlier than hard_deadline and
+        /// recomputes it on every arrival; it never passes the ceiling.
         Clock::time_point deadline;
+        /// First arrival + the configured batch window: the ceiling.
+        Clock::time_point hard_deadline;
 
         /// Lanes the row can hold at \p stride (row bound under the
         /// configured lane cap) — the one source of truth for both
@@ -245,13 +268,26 @@ class BatchPlanner
     /// capacity, nullopt otherwise. Precondition: min_stride divides
     /// row_slots and allows >= 2 lanes under \p lanes_cap (the service
     /// refuses such lanes upstream).
+    ///
+    /// \p adaptive_wait_seconds, when non-negative, is the load model's
+    /// estimate of how long the remaining lanes will take to arrive:
+    /// the group's effective deadline becomes min(hard ceiling, now +
+    /// wait), recomputed on every arrival. Negative means fixed-window
+    /// semantics (deadline = hard ceiling). Whenever the effective
+    /// deadline may have moved earlier, the caller must notify its
+    /// flusher so it re-derives its wait_until target instead of
+    /// sleeping out the stale deadline.
     std::optional<Group> add(const BatchGroupKey& key,
                              const MemberSpec& member, BatchLane lane,
                              int row_slots, int lanes_cap,
-                             Clock::time_point now);
+                             Clock::time_point now,
+                             double adaptive_wait_seconds = -1.0);
 
     /// Deadline of the oldest pending group, if any.
     std::optional<Clock::time_point> earliestDeadline() const;
+
+    /// Lanes currently pending for \p key (0 when no open group).
+    std::size_t pendingLanesFor(const BatchGroupKey& key) const;
 
     /// Remove and return every group whose deadline has passed.
     std::vector<Group> takeDue(Clock::time_point now);
@@ -260,10 +296,12 @@ class BatchPlanner
     /// \p due among themselves (consolidateGroups), then offer every
     /// still-pending row-mate a seat on the resulting rows. A pending
     /// group is removed ONLY when it actually joins a row — a mate the
-    /// rows cannot take (stride, lane cap or key-plan conflict) keeps
-    /// its place and its batch window, so an incompatible neighbour's
-    /// flush never degrades it to an early solo dispatch.
-    std::vector<Group> consolidateDue(std::vector<Group> due);
+    /// rows cannot take (stride, lane cap, key-plan conflict, or the
+    /// policy's cost rule) keeps its place and its batch window, so an
+    /// incompatible neighbour's flush never degrades it to an early
+    /// solo dispatch.
+    std::vector<Group> consolidateDue(std::vector<Group> due,
+                                      const ConsolidatePolicy& policy);
 
     /// Remove and return every pending group (service shutdown).
     std::vector<Group> takeAll();
@@ -285,15 +323,43 @@ class BatchPlanner
     std::unordered_map<BatchGroupKey, Group, BatchGroupKeyHash> pending_;
 };
 
+/// How consolidateGroups assigns flushed groups to rows.
+struct ConsolidatePolicy
+{
+    /// Cost-driven row assignment (the load model's mode): groups are
+    /// placed heaviest-predicted first onto the feasible row that
+    /// minimizes the resulting predicted row seconds, then wasted
+    /// lanes (best-fit by makespan); execution-dominated groups (the
+    /// \c shareable callback answers false) seed their own rows while
+    /// fewer than \c parallelism rows exist, so a few heavy kernels
+    /// spread across workers instead of serializing on one shared row.
+    /// When false: the legacy first-fit-decreasing over certified
+    /// strides, blind to cost.
+    bool cost_driven = false;
+    /// Worker parallelism available to execute rows; 0 disables the
+    /// own-row rule (always pack as tightly as rows allow).
+    int parallelism = 0;
+    /// Cost advice for one group: true = overhead-dominated, share a
+    /// row whenever one fits; false = execution-dominated, prefer an
+    /// own row (see LoadModel::preferRowShare). Null = always share.
+    std::function<bool(const BatchPlanner::Group&)> shareable;
+};
+
 /// Consolidate flushed groups that share a row identity (RowKey) into
-/// cross-kernel composite rows: first-fit decreasing over the members'
-/// certified strides, growing each row's common stride as members join
-/// and respecting its lane cap and key-plan compatibility. Input
-/// groups are single-artifact (as the planner produces them); each
-/// either seeds a row or joins one, so no program ever executes more
-/// than once per flush. Deterministic for a fixed input set.
+/// cross-kernel composite rows, growing each row's common stride as
+/// members join and respecting its lane cap and key-plan
+/// compatibility. Row assignment follows \p policy: cost-driven
+/// (minimize predicted composite makespan, then wasted lanes, ties
+/// broken by compile-key content so row composition stays a pure
+/// function of the flushed set) or the legacy first-fit decreasing
+/// over certified strides. Input groups are single-artifact (as the
+/// planner produces them); each either seeds a row or joins one, so no
+/// program ever executes more than once per flush. Deterministic for a
+/// fixed input set and fixed predictions — independent of input order,
+/// worker count and arrival interleaving.
 std::vector<BatchPlanner::Group>
-consolidateGroups(std::vector<BatchPlanner::Group> groups);
+consolidateGroups(std::vector<BatchPlanner::Group> groups,
+                  const ConsolidatePolicy& policy = {});
 
 /// Content hash of a canonicalized group's composite identity: the
 /// member artifact fingerprints, their lane assignment and the common

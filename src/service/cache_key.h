@@ -190,6 +190,10 @@ struct RunArtifact
     compiler::Compiled compiled;
     compiler::RunResult result;
     double compile_seconds = 0.0; ///< Wall time of the producing compile.
+    /// Load-model predicted wall seconds of the execution that
+    /// produced this artifact (the row's prediction for packed runs);
+    /// feeds the pred-vs-measured error reporting in chehabd.
+    double predicted_seconds = 0.0;
     int packed_lanes = 1;         ///< Requests sharing the executed row.
     int lane = 0;                 ///< This request's lane index.
 };

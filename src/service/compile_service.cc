@@ -60,6 +60,7 @@ CompileService::CompileService(ServiceConfig config)
     : config_(config), ruleset_(trs::buildChehabRuleset()),
       cache_(config.kernel_cache_capacity),
       run_cache_(config.run_cache_capacity),
+      load_model_(config.load_model),
       planner_(toWindow(config.batch_window_seconds)),
       pool_(std::make_unique<ThreadPool>(config.num_workers))
 {
@@ -87,7 +88,7 @@ CompileService::~CompileService()
             rest = planner_.takeAll();
         }
         if (config_.cross_kernel) {
-            rest = consolidateGroups(std::move(rest));
+            rest = consolidateGroups(std::move(rest), consolidatePolicy());
         }
         for (BatchPlanner::Group& group : rest) {
             dispatchGroup(std::move(group), /*window_flush=*/true);
@@ -115,6 +116,8 @@ CompileService::stats() const
     }
     snapshot.cache = cache_.stats();
     snapshot.run_cache = run_cache_.stats();
+    snapshot.load_model = load_model_.snapshot();
+    snapshot.pool = pool_->stats();
     {
         std::unique_lock<std::mutex> lock(pools_mutex_);
         for (const auto& [key, pool] : pools_) {
@@ -140,7 +143,8 @@ CompileService::makeResponse(const CompileRequest& request,
                              const CacheEntry::Settled& settled,
                              bool cache_hit, bool deduplicated,
                              double queue_seconds,
-                             double estimated_cost) const
+                             double estimated_cost,
+                             double predicted_seconds) const
 {
     CompileResponse response;
     response.name = request.name;
@@ -149,6 +153,7 @@ CompileService::makeResponse(const CompileRequest& request,
     response.queue_seconds = queue_seconds;
     response.compile_seconds = settled.seconds;
     response.estimated_cost = estimated_cost;
+    response.predicted_seconds = predicted_seconds;
     response.worker_id = settled.worker_id;
     if (settled.state == CacheEntry::State::Ready) {
         response.ok = true;
@@ -163,19 +168,23 @@ CompileService::makeResponse(const CompileRequest& request,
 CompileCache::Admission
 CompileService::admitCompile(const ir::ExprPtr& canonical,
                              const compiler::DriverConfig& pipeline,
-                             const CacheKey& key, double estimate)
+                             const CacheKey& key, double estimate,
+                             double predicted)
 {
     CompileCache::Admission admission = cache_.acquire(key);
     if (!admission.owner) return admission;
 
-    // This caller admitted the key: compile on the pool, most expensive
-    // kernels first (LPT order minimizes batch makespan). The worker
-    // compiles the canonical tree computed by the caller: the driver's
-    // own canonicalize pass becomes a cheap no-op and the cache key
-    // provably describes the compiled source.
+    // This caller admitted the key: compile on the pool, longest
+    // *predicted* wall time first (LPT order minimizes batch makespan,
+    // and predicted seconds rank compile tasks against run tasks in
+    // the shared queue). The worker compiles the canonical tree
+    // computed by the caller: the driver's own canonicalize pass
+    // becomes a cheap no-op and the cache key provably describes the
+    // compiled source. Measured wall time feeds the load model so the
+    // next compile of this key dispatches on truth, not estimate.
     std::shared_ptr<CacheEntry> entry = admission.entry;
     pool_->submit(
-        [this, entry, canonical, pipeline](int worker) {
+        [this, entry, canonical, pipeline, key, estimate](int worker) {
             const Stopwatch compile_watch;
             try {
                 const compiler::CompilerDriver driver(&ruleset_,
@@ -183,6 +192,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 compiler::Compiled compiled =
                     driver.compile(canonical, pipeline);
                 const double seconds = compile_watch.elapsedSeconds();
+                load_model_.observeCompile(key, estimate, seconds);
                 {
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.compiled;
@@ -197,7 +207,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 entry->publishFailure(e.what(), worker);
             }
         },
-        estimate);
+        predicted);
     return admission;
 }
 
@@ -230,9 +240,12 @@ CompileService::submit(CompileRequest request)
 
     const CacheKey key = makeCacheKey(canonical, request.pipeline);
     const double estimate = ir::cost(canonical, request.pipeline.weights);
+    const double predicted =
+        load_model_.predictCompileSeconds(key, estimate);
 
     CompileCache::Admission admission =
-        admitCompile(canonical, request.pipeline, key, estimate);
+        admitCompile(canonical, request.pipeline, key, estimate,
+                     predicted);
     const bool cache_hit = !admission.owner && !admission.was_pending;
     const bool deduplicated = admission.was_pending;
 
@@ -241,29 +254,25 @@ CompileService::submit(CompileRequest request)
     // the publishing worker — never blocks a pool thread.
     admission.entry->onSettled(
         [this, promise, request = std::move(request), cache_hit,
-         deduplicated, queue_watch,
-         estimate](const CacheEntry::Settled& settled) {
+         deduplicated, queue_watch, estimate,
+         predicted](const CacheEntry::Settled& settled) {
             promise->set_value(makeResponse(request, settled, cache_hit,
                                             deduplicated,
                                             queue_watch.elapsedSeconds(),
-                                            estimate));
+                                            estimate, predicted));
         });
     return future;
 }
 
 bool
-CompileService::tryCoalesce(BatchLane& lane, const CacheKey& compile_key)
+CompileService::tryCoalesce(BatchLane& lane)
 {
     if (config_.max_lanes == 1) return false;
     const int row_slots = lane.request.params.n / 2;
     if (row_slots <= 0) return false;
 
-    const int effective_budget =
-        lane.compiled->key_planned ? 0 : lane.request.key_budget;
-    BatchGroupKey fit_key;
-    fit_key.compile = compile_key;
-    fit_key.params_hash = paramsFingerprint(lane.request.params);
-    fit_key.key_budget = effective_budget;
+    const BatchGroupKey& fit_key = lane.group_key;
+    const int effective_budget = fit_key.key_budget;
 
     const int lanes_cap = config_.max_lanes > 1 ? config_.max_lanes : 0;
 
@@ -306,19 +315,59 @@ CompileService::tryCoalesce(BatchLane& lane, const CacheKey& compile_key)
         if (lanes_cap > 0) capacity = std::min(capacity, lanes_cap);
         if (capacity < 2) return false;
         BatchPlanner::MemberSpec member;
-        member.compile = compile_key;
+        member.compile = fit_key.compile;
         member.compiled = lane.compiled;
         member.plan = &group_fit.plan;
         member.min_stride = group_fit.fit.stride;
+        // Feed the arrival estimator, then derive how much longer the
+        // group should keep its seat open: the expected fill time of
+        // the remaining lanes, ceiling-bounded by the fixed window
+        // (fixed-window semantics until the estimator has confidence,
+        // or when adaptive windows are opted out).
+        const BatchPlanner::Clock::time_point now =
+            BatchPlanner::Clock::now();
+        double adaptive_wait = -1.0;
+        if (config_.adaptive_window) {
+            // The arrival tracker only feeds the adaptive window, so
+            // the fixed-window configuration skips it entirely.
+            load_model_.observeArrival(fit_key, now,
+                                       config_.batch_window_seconds);
+            const int remaining =
+                capacity -
+                (static_cast<int>(planner_.pendingLanesFor(fit_key)) + 1);
+            adaptive_wait = load_model_.adaptiveWaitSeconds(
+                fit_key, remaining, config_.batch_window_seconds);
+        }
         full = planner_.add(fit_key, member, std::move(lane), row_slots,
-                            lanes_cap, BatchPlanner::Clock::now());
+                            lanes_cap, now, adaptive_wait);
     }
     if (full) {
         dispatchGroup(std::move(*full), /*window_flush=*/false);
     } else {
-        batch_cv_.notify_one(); // A new deadline may now be earliest.
+        // The add may have created a new earliest deadline OR — under
+        // the adaptive window — shortened an existing one: wake the
+        // flusher so it re-derives its wait_until target instead of
+        // sleeping out the stale deadline.
+        batch_cv_.notify_one();
     }
     return true;
+}
+
+ConsolidatePolicy
+CompileService::consolidatePolicy()
+{
+    ConsolidatePolicy policy;
+    policy.cost_driven = load_model_.enabled();
+    policy.parallelism = pool_->size();
+    if (policy.cost_driven) {
+        // The model never locks back into the service, so this
+        // callback is safe under batch_mutex_.
+        policy.shareable = [this](const BatchPlanner::Group& group) {
+            return load_model_.preferRowShare(group.key.params_hash,
+                                              group.predicted_sum);
+        };
+    }
+    return policy;
 }
 
 void
@@ -326,6 +375,12 @@ CompileService::flusherLoop()
 {
     std::unique_lock<std::mutex> lock(batch_mutex_);
     while (!batch_stop_) {
+        // Re-derive the wait target on every pass: the adaptive window
+        // recomputes group deadlines on each arrival — possibly
+        // *earlier* than what this thread last slept on — and every
+        // such update notifies batch_cv_, so waking here and re-reading
+        // earliestDeadline() is what keeps a shortened window from
+        // being slept out at its old fixed deadline.
         const std::optional<BatchPlanner::Clock::time_point> deadline =
             planner_.earliestDeadline();
         if (!deadline) {
@@ -345,7 +400,8 @@ CompileService::flusherLoop()
         // this path — they dispatched at capacity, already perfectly
         // packed.
         if (config_.cross_kernel) {
-            due = planner_.consolidateDue(std::move(due));
+            due = planner_.consolidateDue(std::move(due),
+                                          consolidatePolicy());
         }
         lock.unlock();
         for (BatchPlanner::Group& group : due) {
@@ -372,7 +428,9 @@ CompileService::dispatchGroup(BatchPlanner::Group group, bool window_flush)
         submitSoloRun(std::move(group.members.front().lanes.front()));
         return;
     }
-    const double priority = group.estimate_sum;
+    // LPT on the row's predicted seconds (one program execution per
+    // member), in the same unit compile tasks are ranked by.
+    const double priority = group.predicted_sum;
     auto shared = std::make_shared<BatchPlanner::Group>(std::move(group));
     pool_->submit(
         [this, shared](int worker) { executePacked(*shared, worker); },
@@ -388,6 +446,7 @@ CompileService::runSoloLane(const BatchLane& lane,
         RunArtifact artifact;
         artifact.compiled = *lane.compiled;
         artifact.compile_seconds = lane.compile_seconds;
+        artifact.predicted_seconds = lane.predicted;
         // Per-request reseed: bit-identical noise accounting on any
         // pooled instance (see runtime_pool.h).
         runtime.scheme().reseedRandomness(runSeed(lane.run_key));
@@ -401,6 +460,8 @@ CompileService::runSoloLane(const BatchLane& lane,
                             lane.request.key_budget);
         }
         const double seconds = exec_watch.elapsedSeconds();
+        load_model_.observeRun(lane.group_key, lane.estimate, seconds,
+                               artifact.result.setup_seconds);
         {
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.executed;
@@ -420,7 +481,7 @@ CompileService::runSoloLane(const BatchLane& lane,
 void
 CompileService::submitSoloRun(BatchLane lane)
 {
-    const double priority = lane.estimate;
+    const double priority = lane.predicted;
     auto shared = std::make_shared<BatchLane>(std::move(lane));
     pool_->submit(
         [this, shared](int worker) {
@@ -530,6 +591,13 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
         }
 
         const double seconds = exec_watch.elapsedSeconds();
+        // For proportional measured-time attribution per member (each
+        // member's program ran exactly once on this row); equal split
+        // when every prediction is zero.
+        double total_pred = 0.0;
+        for (const BatchPlanner::GroupMember& member : group.members) {
+            total_pred += member.lanes.front().predicted;
+        }
         {
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.executed;
@@ -562,6 +630,22 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 }
                 continue;
             }
+            // Feed the measured row time back, attributed to this
+            // member's predicted share; fallback members are skipped —
+            // their packed execution was discarded and runSoloLane just
+            // observed their true solo cost, so a diluted packed-share
+            // sample would only bias the profile low for exactly the
+            // groups that should read as expensive.
+            {
+                const BatchLane& first = member.lanes.front();
+                const double share =
+                    total_pred > 0.0
+                        ? first.predicted / total_pred
+                        : 1.0 / static_cast<double>(group.members.size());
+                load_model_.observeRun(first.group_key, first.estimate,
+                                       seconds * share,
+                                       shared.setup_seconds * share);
+            }
             // packed_lanes counts per publication (not the group size
             // up front) so a mid-loop throw leaves the counters
             // consistent with what was actually delivered.
@@ -570,6 +654,7 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 artifact.compiled = *member.compiled;
                 artifact.compile_seconds =
                     member.lanes[l].compile_seconds;
+                artifact.predicted_seconds = group.predicted_sum;
                 artifact.result = shared;
                 artifact.result.counts =
                     member.compiled->program.counts();
@@ -650,7 +735,8 @@ CompileService::submitRun(RunRequest request)
         // cache: a run of a kernel someone already compiled reuses
         // that artifact, and vice versa.
         CompileCache::Admission compile_admission = admitCompile(
-            canonical, request.pipeline, compile_key, estimate);
+            canonical, request.pipeline, compile_key, estimate,
+            load_model_.predictCompileSeconds(compile_key, estimate));
         compile_hit =
             !compile_admission.owner && !compile_admission.was_pending;
         compile_dedup = compile_admission.was_pending;
@@ -684,8 +770,20 @@ CompileService::submitRun(RunRequest request)
                 lane.compile_seconds = settled.seconds;
                 lane.request = job;
                 lane.run_key = run_key;
+                // Group identity (artifact x params x effective
+                // budget): the load model's run-profile key and, when
+                // coalescible, the planner's group key.
+                lane.group_key.compile = compile_key;
+                lane.group_key.params_hash =
+                    paramsFingerprint(lane.request.params);
+                lane.group_key.key_budget =
+                    settled.artifact->key_planned
+                        ? 0
+                        : lane.request.key_budget;
                 lane.estimate = estimate;
-                if (!tryCoalesce(lane, compile_key)) {
+                lane.predicted = load_model_.predictRunSeconds(
+                    lane.group_key, estimate);
+                if (!tryCoalesce(lane)) {
                     submitSoloRun(std::move(lane));
                 }
             });
@@ -711,6 +809,8 @@ CompileService::submitRun(RunRequest request)
                 response.result = settled.artifact->result;
                 response.compile_seconds =
                     settled.artifact->compile_seconds;
+                response.predicted_seconds =
+                    settled.artifact->predicted_seconds;
                 response.packed_lanes = settled.artifact->packed_lanes;
                 response.lane = settled.artifact->lane;
             } else {

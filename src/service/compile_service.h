@@ -41,11 +41,17 @@
 /// it reaches its lane capacity or when the oldest member has waited
 /// batch_window seconds.
 ///
-/// Expensive kernels dispatch first (longest-processing-time-first on
-/// the §5.3.1 cost estimate), which minimizes batch makespan when job
-/// costs are heterogeneous. Identical concurrent requests compile (and
-/// execute) once: single-flight on both caches. Both caches take an
-/// optional LRU capacity so long-running processes stay bounded.
+/// Expensive work dispatches first: compile tasks and run tasks ride
+/// one two-level priority queue ranked by the timer-augmented load
+/// model's *predicted seconds* (service/load_model.h — measured EWMA
+/// profiles when warm, the §5.3.1 static estimate scaled into seconds
+/// when cold), which minimizes batch makespan when job costs are
+/// heterogeneous. The same model drives cost-based consolidation of
+/// window-flushed groups and arrival-rate-adaptive batch windows
+/// (ServiceConfig::adaptive_window). Identical concurrent requests
+/// compile (and execute) once: single-flight on both caches. Both
+/// caches take an optional LRU capacity so long-running processes stay
+/// bounded.
 ///
 /// Thread-safety contract: every public member function may be called
 /// concurrently from any thread. Determinism: the driver pipelines are
@@ -73,6 +79,7 @@
 #include "rl/agent.h"
 #include "service/batch_planner.h"
 #include "service/cache_key.h"
+#include "service/load_model.h"
 #include "service/request.h"
 #include "service/runtime_pool.h"
 #include "support/thread_pool.h"
@@ -107,6 +114,19 @@ struct ServiceConfig
     /// blocks and executes the composite once (see batch_planner.h).
     /// When false (default) only runs of the same artifact coalesce.
     bool cross_kernel = false;
+    /// Adaptive batch windows: when true (default) a pending group's
+    /// flush deadline is derived from the load model's arrival-rate
+    /// estimate for its group key — the expected time for the
+    /// remaining lanes to arrive — bounded by batch_window_seconds as
+    /// a ceiling, and recomputed (only ever earlier) on each arrival.
+    /// Until the estimator has confidence (min_arrival_samples) the
+    /// fixed window applies unchanged. False opts out: fixed windows
+    /// always.
+    bool adaptive_window = true;
+    /// Timer-augmented load model knobs; load_model.enabled = false
+    /// restores the fully static scheduler (static-cost LPT dispatch,
+    /// stride-FFD consolidation, fixed windows) for A/B comparison.
+    LoadModelConfig load_model;
 };
 
 /// Aggregate service counters (monotonic; snapshot via stats()).
@@ -154,6 +174,11 @@ struct ServiceStats
 
     CompileCache::Stats cache;        ///< Hits/misses/evictions etc.
     RunCache::Stats run_cache;
+    /// Timer-augmented load model activity: profile counts, warm vs
+    /// cold predictions, window shrinks, consolidation share advice.
+    LoadModelSnapshot load_model;
+    /// Worker-pool execution counters (tasks completed, busy seconds).
+    ThreadPool::Stats pool;
 };
 
 class CompileService
@@ -190,11 +215,13 @@ class CompileService
   private:
     /// Admit \p key into the kernel cache; when this caller becomes the
     /// owner, dispatch the compile of \p canonical under \p pipeline
-    /// onto the pool at \p estimate priority.
+    /// onto the pool at \p predicted (load-model seconds) priority.
+    /// \p estimate is the static cost the model calibrates against.
     CompileCache::Admission admitCompile(const ir::ExprPtr& canonical,
                                          const compiler::DriverConfig& pipeline,
                                          const CacheKey& key,
-                                         double estimate);
+                                         double estimate,
+                                         double predicted);
 
     /// The per-params runtime pool (created on first use).
     RuntimePool& poolFor(const fhe::SealLiteParams& params);
@@ -203,14 +230,20 @@ class CompileService
                                  const CacheEntry::Settled& settled,
                                  bool cache_hit, bool deduplicated,
                                  double queue_seconds,
-                                 double estimated_cost) const;
+                                 double estimated_cost,
+                                 double predicted_seconds) const;
 
-    /// Try to enqueue a settled-compile run job into the coalescer.
-    /// Returns false — leaving \p lane untouched — when batching is off
-    /// or the program is not lane-safe for these parameters; the caller
-    /// must then execute solo. On success \p lane has been moved into
-    /// the planner.
-    bool tryCoalesce(BatchLane& lane, const CacheKey& compile_key);
+    /// Try to enqueue a settled-compile run job into the coalescer
+    /// (its group identity travels in lane.group_key). Returns false —
+    /// leaving \p lane untouched — when batching is off or the program
+    /// is not lane-safe for these parameters; the caller must then
+    /// execute solo. On success \p lane has been moved into the
+    /// planner.
+    bool tryCoalesce(BatchLane& lane);
+
+    /// The consolidation policy the load model prescribes (cost-driven
+    /// when enabled, legacy stride FFD otherwise).
+    ConsolidatePolicy consolidatePolicy();
 
     /// Dispatch one flushed group onto the worker pool (solo execution
     /// for single-lane groups).
@@ -245,6 +278,10 @@ class CompileService
     trs::Ruleset ruleset_; ///< Owned, immutable after construction.
     CompileCache cache_;
     RunCache run_cache_;
+    /// Timer-augmented cost model behind dispatch priorities, adaptive
+    /// windows and cost-driven consolidation. Internally synchronized;
+    /// may be queried under batch_mutex_ (it never calls back out).
+    LoadModel load_model_;
 
     mutable std::mutex pools_mutex_;
     std::unordered_map<std::uint64_t, std::unique_ptr<RuntimePool>> pools_;

@@ -68,7 +68,12 @@ struct CompileResponse
     /// cache saved, not what this request spent — that is
     /// queue_seconds).
     double compile_seconds = 0.0;
-    double estimated_cost = 0.0; ///< Cost-model dispatch priority used.
+    double estimated_cost = 0.0; ///< Static §5.3.1 cost estimate.
+    /// Load-model predicted compile wall time at submission (the
+    /// dispatch priority actually used): the key's measured EWMA when
+    /// warm, the scaled static estimate when cold. Compare against
+    /// compile_seconds for the model's prediction error.
+    double predicted_seconds = 0.0;
     /// Worker that compiled the artifact (also for cache-served
     /// responses); -1 only when the request failed before dispatch.
     int worker_id = -1;
@@ -113,7 +118,13 @@ struct RunResponse
     /// evaluation alone is result.exec_seconds). Cache-served responses
     /// report the original execution's duration.
     double exec_seconds = 0.0;
-    double estimated_cost = 0.0; ///< Cost-model dispatch priority used.
+    double estimated_cost = 0.0; ///< Static §5.3.1 cost estimate.
+    /// Load-model predicted execution wall time at dispatch: for a
+    /// solo run, this run's per-execution prediction; for a packed or
+    /// composite run, the predicted seconds of the shared row (compare
+    /// against exec_seconds, which is also the shared row's wall
+    /// time). Cache-served responses report the original prediction.
+    double predicted_seconds = 0.0;
     int worker_id = -1;          ///< Worker that executed the program.
 
     /// Slot-batching provenance: how many run requests shared the

@@ -3,17 +3,26 @@
 ///
 /// Tasks carry a numeric priority; the pool always runs the highest-
 /// priority queued task next, with FIFO order between equal priorities.
-/// The compile service uses the cost-model estimate of each kernel as
-/// its priority, i.e. longest-processing-time-first dispatch — the
+/// The compile service runs one two-level queue on this pool: compile
+/// tasks and run tasks are both ranked by the load model's *predicted
+/// seconds* (service/load_model.h — measured EWMA profiles when warm,
+/// the static cost estimate scaled into seconds when cold), i.e.
+/// longest-processing-time-first dispatch in one comparable unit — the
 /// classic makespan heuristic for heterogeneous job batches (cf. the
-/// DSMC load-balancing literature in PAPERS.md: once per-task cost is
-/// uneven, cost-aware ordering is what keeps workers busy).
+/// timer-augmented DSMC load-balancing literature in PAPERS.md: once
+/// per-task cost is uneven, measured-runtime ordering is what keeps
+/// workers busy).
+///
+/// The pool also keeps aggregate timing counters (tasks completed,
+/// busy seconds) so callers can report worker utilization alongside
+/// the model's prediction accuracy.
 ///
 /// Thread-safety: all public member functions may be called from any
 /// thread. Tasks must not call wait() (they may submit new tasks).
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -74,6 +83,20 @@ class ThreadPool
 
     int size() const { return static_cast<int>(workers_.size()); }
 
+    /// Aggregate execution counters (monotonic snapshot).
+    struct Stats
+    {
+        std::uint64_t tasks_run = 0; ///< Tasks completed.
+        double busy_seconds = 0.0;   ///< Summed task wall time.
+    };
+
+    Stats
+    stats() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
   private:
     struct Item
     {
@@ -109,20 +132,28 @@ class ThreadPool
                 item = std::move(queue_.back());
                 queue_.pop_back();
             }
+            const auto started = std::chrono::steady_clock::now();
             item.fn(worker_index);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
             {
                 std::unique_lock<std::mutex> lock(mutex_);
+                ++stats_.tasks_run;
+                stats_.busy_seconds += seconds;
                 if (--pending_ == 0) idle_.notify_all();
             }
         }
     }
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_available_;
     std::condition_variable idle_;
     std::vector<Item> queue_; ///< Max-heap ordered by ItemOrder.
     std::uint64_t next_seq_ = 0;
     int pending_ = 0; ///< Queued + currently executing.
+    Stats stats_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };
