@@ -71,6 +71,10 @@ runSweep(const std::vector<service::RunRequest>& batch, int lanes,
     config.max_lanes = lanes;
     config.batch_window_seconds = 0.002;
     config.cross_kernel = cross;
+    // The latency percentile columns come from the service's telemetry
+    // histograms; the recorder runs inside the measured region, so its
+    // (near-zero) overhead is priced into jobs/s.
+    config.telemetry = true;
     service::CompileService service(config);
     // Warm the kernel cache first: this bench measures *execution*
     // throughput (the compile stage is identical across configurations
@@ -96,6 +100,9 @@ runSweep(const std::vector<service::RunRequest>& batch, int lanes,
     outcome.wall_seconds = wall.elapsedSeconds();
     outcome.jobs_per_second =
         static_cast<double>(batch.size()) / outcome.wall_seconds;
+    // Wait for the final tasks' telemetry epilogues (futures resolve
+    // from inside worker tasks) so the histogram snapshot is complete.
+    service.drain();
     outcome.stats = service.stats();
     for (const service::RunResponse& response : responses) {
         if (!response.ok) {
@@ -163,12 +170,14 @@ main(int argc, char** argv)
                    "wall_s", "jobs_per_s", "speedup_vs_solo",
                    "packed_groups", "packed_lanes", "composite_groups",
                    "composite_members", "solo_runs", "window_flushes",
-                   "fallbacks"});
+                   "fallbacks", "qwait_p50", "qwait_p99", "exec_p50",
+                   "exec_p99", "window_wait_p99"});
 
-    std::printf("%-6s %-6s %-6s %6s %9s %11s %9s %7s %7s %6s %8s %6s\n",
+    std::printf("%-6s %-6s %-6s %6s %9s %11s %9s %7s %7s %6s %8s %6s "
+                "%8s %8s\n",
                 "shape", "lanes", "cross", "jobs", "wall_s", "jobs/s",
                 "speedup", "groups", "packed", "xrows", "xkernels",
-                "solo");
+                "solo", "qw_p99ms", "ex_p99ms");
     for (const Shape& shape : shapes) {
         std::vector<service::RunRequest> batch;
         for (int i = 0; i < jobs; ++i) {
@@ -191,9 +200,11 @@ main(int argc, char** argv)
                 const double speedup =
                     solo_rate > 0.0 ? outcome.jobs_per_second / solo_rate
                                     : 0.0;
+                const benchcommon::LatencySummary lat =
+                    benchcommon::latencySummary(outcome.stats.telemetry);
                 std::printf(
                     "%-6s %-6d %-6s %6zu %9.3f %11.1f %8.2fx %7llu %7llu "
-                    "%6llu %8llu %6llu\n",
+                    "%6llu %8llu %6llu %8.2f %8.2f\n",
                     shape.name, lanes, cross ? "on" : "off", batch.size(),
                     outcome.wall_seconds, outcome.jobs_per_second, speedup,
                     static_cast<unsigned long long>(
@@ -205,7 +216,8 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(
                         outcome.stats.composite_members),
                     static_cast<unsigned long long>(
-                        outcome.stats.solo_runs));
+                        outcome.stats.solo_runs),
+                    lat.qwait_p99 * 1e3, lat.exec_p99 * 1e3);
                 csv.writeRow(shape.name, lanes, cross, workers,
                              batch.size(), outcome.wall_seconds,
                              outcome.jobs_per_second, speedup,
@@ -215,7 +227,9 @@ main(int argc, char** argv)
                              outcome.stats.composite_members,
                              outcome.stats.solo_runs,
                              outcome.stats.window_flushes,
-                             outcome.stats.packed_fallbacks);
+                             outcome.stats.packed_fallbacks,
+                             lat.qwait_p50, lat.qwait_p99, lat.exec_p50,
+                             lat.exec_p99, lat.window_wait_p99);
             }
         }
     }

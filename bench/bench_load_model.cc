@@ -30,14 +30,23 @@
 ///                                 1 = batching off)
 ///
 /// Environment knobs (see bench/common.h):
-///   CHEHAB_BENCH_FAST=1    smaller batch and rewrite budget
+///   CHEHAB_BENCH_FAST=1     smaller batch and rewrite budget
+///   CHEHAB_BENCH_TRACE=PATH write a Chrome trace-event JSON of the
+///                           adaptive sweep at the last lane cap
+///                           (nightly CI uploads it as an artifact)
 ///
-/// Writes results/load_model.csv and prints a summary table with the
-/// adaptive-over-static speedup per lane cap.
+/// Writes results/load_model.csv — including the per-phase latency
+/// percentile columns (qwait/exec p50/p99, window-wait p99) from the
+/// service's telemetry histograms — and prints a summary table with
+/// the adaptive-over-static speedup per lane cap. Telemetry is on for
+/// every sweep; its overhead is part of what this bench keeps honest
+/// (the recorder must stay invisible next to FHE execution).
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <iterator>
 #include <string>
@@ -93,11 +102,15 @@ struct Outcome
 Outcome
 runSweep(const std::vector<benchsuite::Kernel>& mix, int requests_per_kernel,
          int lanes, bool adaptive, int workers, int warmup_rounds,
-         int rounds, int max_steps)
+         int rounds, int max_steps, const std::string& trace_path)
 {
     service::ServiceConfig config;
     config.num_workers = workers;
     config.max_lanes = lanes;
+    // Always on: the percentile columns come from here, and running the
+    // throughput measurement with the recorder live is the regression
+    // gate on its overhead.
+    config.telemetry = true;
     // A service-shaped safety window (tens of ms — sized so a late
     // straggler can still catch its row): the fixed-window baseline
     // sits it out on every partial group; the adaptive scheduler
@@ -197,6 +210,10 @@ runSweep(const std::vector<benchsuite::Kernel>& mix, int requests_per_kernel,
     outcome.wall_seconds = wall.elapsedSeconds();
     outcome.jobs_per_second =
         static_cast<double>(jobs) / outcome.wall_seconds;
+    // Let the final tasks' telemetry epilogues land before snapshotting
+    // (futures resolve from inside worker tasks); the wall clock above
+    // intentionally stops at response availability.
+    service.drain();
     outcome.stats = service.stats();
 
     // Correctness gate on a final round: packed/composite outputs must
@@ -236,6 +253,17 @@ runSweep(const std::vector<benchsuite::Kernel>& mix, int requests_per_kernel,
             ++outcome.wrong_outputs;
             std::fprintf(stderr, "[bench] %s OUTPUT MISMATCH\n",
                          responses[i].name.c_str());
+        }
+    }
+    if (!trace_path.empty()) {
+        service.drain();
+        std::ofstream trace(trace_path);
+        if (trace) {
+            service.telemetry().writeChromeTrace(trace);
+            std::printf("[bench] wrote %s\n", trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "[bench] cannot write %s\n",
+                         trace_path.c_str());
         }
     }
     return outcome;
@@ -285,6 +313,9 @@ main(int argc, char** argv)
         benchsuite::dotProduct(8),      benchsuite::linearReg(8)};
     if (budget.fast) mix.resize(8); // Keeps the 4-heavy/4-light skew.
 
+    const char* trace_env = std::getenv("CHEHAB_BENCH_TRACE");
+    const std::string trace_path = trace_env ? trace_env : "";
+
     std::filesystem::create_directories("results");
     CsvWriter csv("results/load_model.csv",
                   {"lanes", "scheduler", "jobs_per_sec", "wall_s",
@@ -293,7 +324,8 @@ main(int argc, char** argv)
                    "window_shrinks",
                    "warm_predictions", "cold_predictions",
                    "share_preferred", "solo_preferred", "wrong_outputs",
-                   "speedup_vs_static"});
+                   "speedup_vs_static", "qwait_p50", "qwait_p99",
+                   "exec_p50", "exec_p99", "window_wait_p99"});
 
     std::printf("bench_load_model: %zu kernels x %d requests x %d "
                 "rounds on %d workers (max_steps=%d)\n\n",
@@ -305,12 +337,18 @@ main(int argc, char** argv)
 
     bool correct = true;
     for (int lanes : lane_caps) {
+        // The trace artifact (when requested) captures the adaptive
+        // sweep at the last lane cap — the configuration the nightly
+        // wants a span-level look at.
+        const bool trace_this =
+            !trace_path.empty() && lanes == lane_caps.back();
         const Outcome fixed =
             runSweep(mix, requests_per_kernel, lanes, /*adaptive=*/false,
-                     workers, warmup_rounds, rounds, max_steps);
+                     workers, warmup_rounds, rounds, max_steps, "");
         const Outcome adaptive =
             runSweep(mix, requests_per_kernel, lanes, /*adaptive=*/true,
-                     workers, warmup_rounds, rounds, max_steps);
+                     workers, warmup_rounds, rounds, max_steps,
+                     trace_this ? trace_path : "");
         const double speedup =
             fixed.jobs_per_second > 0.0
                 ? adaptive.jobs_per_second / fixed.jobs_per_second
@@ -320,9 +358,23 @@ main(int argc, char** argv)
         std::printf("%5d  %22.1f  %22.1f  %7.2fx\n", lanes,
                     fixed.jobs_per_second, adaptive.jobs_per_second,
                     speedup);
+        const auto latencyLine = [](const char* name,
+                                    const Outcome& outcome) {
+            const benchcommon::LatencySummary lat =
+                benchcommon::latencySummary(outcome.stats.telemetry);
+            std::printf("       [%s] qwait p50/p99 %.2f/%.2f ms, "
+                        "exec p50/p99 %.2f/%.2f ms, window p99 %.2f ms\n",
+                        name, lat.qwait_p50 * 1e3, lat.qwait_p99 * 1e3,
+                        lat.exec_p50 * 1e3, lat.exec_p99 * 1e3,
+                        lat.window_wait_p99 * 1e3);
+        };
+        latencyLine("static  ", fixed);
+        latencyLine("adaptive", adaptive);
         const auto writeRow = [&](const char* name,
                                   const Outcome& outcome,
                                   double vs_static) {
+            const benchcommon::LatencySummary lat =
+                benchcommon::latencySummary(outcome.stats.telemetry);
             csv.writeRow(
                 lanes, name, outcome.jobs_per_second,
                 outcome.wall_seconds, outcome.stats.packed_groups,
@@ -335,7 +387,9 @@ main(int argc, char** argv)
                 outcome.stats.load_model.cold_predictions,
                 outcome.stats.load_model.share_preferred,
                 outcome.stats.load_model.solo_preferred,
-                outcome.wrong_outputs, vs_static);
+                outcome.wrong_outputs, vs_static, lat.qwait_p50,
+                lat.qwait_p99, lat.exec_p50, lat.exec_p99,
+                lat.window_wait_p99);
         };
         writeRow("static", fixed, 1.0);
         writeRow("adaptive", adaptive, speedup);

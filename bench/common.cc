@@ -173,6 +173,23 @@ randomEnv(const ir::ExprPtr& program, std::uint64_t seed)
     return env;
 }
 
+LatencySummary
+latencySummary(const telemetry::TelemetrySnapshot& snapshot)
+{
+    LatencySummary summary;
+    const telemetry::LatencyHistogram& qwait =
+        snapshot.phase(telemetry::Phase::QueueWait);
+    const telemetry::LatencyHistogram& exec =
+        snapshot.phase(telemetry::Phase::Execute);
+    summary.qwait_p50 = qwait.percentile(50.0);
+    summary.qwait_p99 = qwait.percentile(99.0);
+    summary.exec_p50 = exec.percentile(50.0);
+    summary.exec_p99 = exec.percentile(99.0);
+    summary.window_wait_p99 =
+        snapshot.phase(telemetry::Phase::WindowWait).percentile(99.0);
+    return summary;
+}
+
 Row
 Harness::evaluate(const benchsuite::Kernel& kernel,
                   const std::string& compiler_label,

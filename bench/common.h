@@ -24,6 +24,7 @@
 #include "dataset/motif_gen.h"
 #include "dataset/random_gen.h"
 #include "rl/agent.h"
+#include "support/telemetry.h"
 #include "trs/rewriter.h"
 
 namespace chehab::benchcommon {
@@ -131,5 +132,20 @@ class Harness
 
 /// Deterministic random inputs for a kernel.
 ir::Env randomEnv(const ir::ExprPtr& program, std::uint64_t seed);
+
+/// Batch-wide latency percentiles (seconds) distilled from a service
+/// telemetry snapshot — the columns the service benches report next to
+/// their throughput numbers. All zero when telemetry was off.
+struct LatencySummary
+{
+    double qwait_p50 = 0.0;       ///< Pool queue wait.
+    double qwait_p99 = 0.0;
+    double exec_p50 = 0.0;        ///< Whole-row execution.
+    double exec_p99 = 0.0;
+    double window_wait_p99 = 0.0; ///< Coalescer wait for row-mates.
+};
+
+LatencySummary latencySummary(
+    const telemetry::TelemetrySnapshot& snapshot);
 
 } // namespace chehab::benchcommon

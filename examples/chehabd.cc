@@ -48,6 +48,17 @@
 ///   --json PATH     write per-request stats JSON
 ///   --dump          print each distinct kernel's instruction stream
 ///                   and its per-pass compile-time breakdown
+///   --telemetry 0|1 record request-lifecycle spans and per-phase
+///                   latency histograms (default: on exactly when
+///                   --trace-out or --stats-json is given)
+///   --trace-out PATH  write the recorded spans as Chrome trace-event
+///                   JSON — load in chrome://tracing or Perfetto to see
+///                   each request's enqueue -> dispatch -> compile/
+///                   execute span tree per worker track
+///   --stats-json PATH write one service-wide snapshot as JSON: config,
+///                   throughput, every service counter, and per-phase
+///                   latency percentiles (qwait_p50/p99, exec_p50/p99,
+///                   window_wait_p99, ...)
 ///
 /// With --run and --batch-lanes > 1 the report gains packed-vs-solo
 /// latency columns: `lanes` (how many requests shared the executed
@@ -61,6 +72,13 @@
 /// against the wall time actually measured (compile time without
 /// --run, execution time with it), so the model's cost error is
 /// visible per request and summarized in the footer.
+///
+/// With telemetry on the footer gains a per-phase latency table
+/// (enqueue, queue_wait, compile, execute, setup, evaluate, decode,
+/// window_wait — count plus p50/p90/p99/max ms), and the CSV/JSON
+/// reports gain the per-request window_s/setup_s/decode_s phase
+/// columns plus the batch-wide percentile columns. Telemetry only
+/// reads clocks — it never changes scheduling decisions or outputs.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +100,7 @@
 #include "support/csv.h"
 #include "support/parse_int.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -107,6 +126,11 @@ struct Options
     std::string csv_path;
     std::string json_path;
     bool dump = false;
+    /// -1 = auto: telemetry turns on exactly when an exporter below
+    /// wants its output.
+    int telemetry = -1;
+    std::string trace_path;
+    std::string stats_json_path;
     std::vector<std::string> files;
 };
 
@@ -123,6 +147,8 @@ usage(const char* argv0)
                  "       [--batch-window-us N] [--adaptive-window 0|1] "
                  "[--cross-kernel] [--distinct-inputs]\n"
                  "       [--csv PATH] [--json PATH] [--dump] "
+                 "[--telemetry 0|1]\n"
+                 "       [--trace-out PATH] [--stats-json PATH] "
                  "[kernel-file | -] ...\n",
                  argv0);
 }
@@ -200,6 +226,12 @@ parseArgs(int argc, char** argv, Options& options)
             if (!strArg(i, options.json_path)) return false;
         } else if (arg == "--dump") {
             options.dump = true;
+        } else if (arg == "--telemetry") {
+            if (!intArg(i, options.telemetry)) return false;
+        } else if (arg == "--trace-out") {
+            if (!strArg(i, options.trace_path)) return false;
+        } else if (arg == "--stats-json") {
+            if (!strArg(i, options.stats_json_path)) return false;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else {
@@ -239,6 +271,121 @@ struct NamedKernel
     ir::ExprPtr source;
 };
 
+/// --stats-json: one service-wide snapshot — run configuration,
+/// throughput, every ServiceStats counter, and the per-phase latency
+/// histograms. The flat qwait_p50/exec_p99-style keys at the end
+/// duplicate the nested phase table for one-liner extraction (jq,
+/// spreadsheet joins); the CSV carries the same columns.
+void
+writeStatsJson(std::ostream& out, const Options& options,
+               const service::ServiceStats& stats, std::size_t requests,
+               int failures, double wall_seconds,
+               const std::string& invariant_error)
+{
+    const telemetry::TelemetrySnapshot& tel = stats.telemetry;
+    auto phaseJson = [&](telemetry::Phase phase) {
+        const telemetry::LatencyHistogram& hist = tel.phase(phase);
+        out << "\"" << telemetry::phaseName(phase)
+            << "\": {\"count\": " << hist.count()
+            << ", \"mean_s\": " << hist.mean()
+            << ", \"min_s\": " << hist.min()
+            << ", \"max_s\": " << hist.max()
+            << ", \"p50_s\": " << hist.percentile(50.0)
+            << ", \"p90_s\": " << hist.percentile(90.0)
+            << ", \"p99_s\": " << hist.percentile(99.0) << "}";
+    };
+    // Generic lambda: CompileCache::Stats and RunCache::Stats are
+    // distinct nested types with the same shape.
+    auto cacheJson = [&](const char* key, const auto& cache) {
+        out << "  \"" << key << "\": {\"hits\": " << cache.hits
+            << ", \"misses\": " << cache.misses
+            << ", \"inflight_joins\": " << cache.inflight_joins
+            << ", \"entries\": " << cache.entries
+            << ", \"evictions\": " << cache.evictions
+            << ", \"resident\": " << cache.resident << "},\n";
+    };
+    out << "{\n";
+    out << "  \"workers\": " << options.workers << ",\n";
+    out << "  \"mode\": \"" << service::optModeName(options.mode)
+        << "\",\n";
+    out << "  \"run\": " << (options.run ? "true" : "false") << ",\n";
+    out << "  \"batch_lanes\": " << options.batch_lanes << ",\n";
+    out << "  \"requests\": " << requests << ",\n";
+    out << "  \"failures\": " << failures << ",\n";
+    out << "  \"wall_s\": " << wall_seconds << ",\n";
+    out << "  \"jobs_per_s\": "
+        << (wall_seconds > 0
+                ? static_cast<double>(requests) / wall_seconds
+                : 0.0)
+        << ",\n";
+    // Empty string = every cross-counter invariant held on this
+    // (quiescent) snapshot.
+    out << "  \"invariants\": \"" << jsonEscape(invariant_error)
+        << "\",\n";
+    out << "  \"counters\": {\"submitted\": " << stats.submitted
+        << ", \"compiled\": " << stats.compiled
+        << ", \"failed\": " << stats.failed
+        << ", \"total_compile_s\": " << stats.total_compile_seconds
+        << ", \"run_submitted\": " << stats.run_submitted
+        << ", \"executed\": " << stats.executed
+        << ", \"run_failed\": " << stats.run_failed
+        << ", \"total_exec_s\": " << stats.total_exec_seconds
+        << ", \"runtimes_created\": " << stats.runtimes_created
+        << ", \"packed_groups\": " << stats.packed_groups
+        << ", \"packed_lanes\": " << stats.packed_lanes
+        << ", \"solo_runs\": " << stats.solo_runs
+        << ", \"full_flushes\": " << stats.full_flushes
+        << ", \"window_flushes\": " << stats.window_flushes
+        << ", \"packed_fallbacks\": " << stats.packed_fallbacks
+        << ", \"composite_groups\": " << stats.composite_groups
+        << ", \"composite_members\": " << stats.composite_members
+        << "},\n";
+    cacheJson("compile_cache", stats.cache);
+    cacheJson("run_cache", stats.run_cache);
+    out << "  \"load_model\": {\"warm_predictions\": "
+        << stats.load_model.warm_predictions
+        << ", \"cold_predictions\": "
+        << stats.load_model.cold_predictions
+        << ", \"compile_observations\": "
+        << stats.load_model.compile_observations
+        << ", \"run_observations\": "
+        << stats.load_model.run_observations
+        << ", \"window_shrinks\": " << stats.load_model.window_shrinks
+        << ", \"window_ceilings\": " << stats.load_model.window_ceilings
+        << ", \"share_preferred\": " << stats.load_model.share_preferred
+        << ", \"solo_preferred\": " << stats.load_model.solo_preferred
+        << "},\n";
+    out << "  \"pool\": {\"tasks_run\": " << stats.pool.tasks_run
+        << ", \"busy_s\": " << stats.pool.busy_seconds << "},\n";
+    out << "  \"telemetry\": {\"enabled\": "
+        << (tel.enabled ? "true" : "false")
+        << ", \"events\": " << tel.events
+        << ", \"dropped\": " << tel.dropped << ", \"phases\": {";
+    for (int p = 0; p < telemetry::kPhaseCount; ++p) {
+        if (p > 0) out << ", ";
+        phaseJson(static_cast<telemetry::Phase>(p));
+    }
+    out << "}},\n";
+    out << "  \"qwait_p50\": "
+        << tel.phase(telemetry::Phase::QueueWait).percentile(50.0)
+        << ",\n";
+    out << "  \"qwait_p99\": "
+        << tel.phase(telemetry::Phase::QueueWait).percentile(99.0)
+        << ",\n";
+    out << "  \"compile_p50\": "
+        << tel.phase(telemetry::Phase::Compile).percentile(50.0) << ",\n";
+    out << "  \"compile_p99\": "
+        << tel.phase(telemetry::Phase::Compile).percentile(99.0) << ",\n";
+    out << "  \"exec_p50\": "
+        << tel.phase(telemetry::Phase::Execute).percentile(50.0) << ",\n";
+    out << "  \"exec_p99\": "
+        << tel.phase(telemetry::Phase::Execute).percentile(99.0) << ",\n";
+    out << "  \"window_wait_p99\": "
+        << tel.phase(telemetry::Phase::WindowWait).percentile(99.0)
+        << "\n";
+    out << "}\n";
+}
+
 } // namespace
 
 int
@@ -271,6 +418,18 @@ main(int argc, char** argv)
                      "be non-negative\n");
         return 2;
     }
+    if (options.telemetry < -1 || options.telemetry > 1) {
+        std::fprintf(stderr, "chehabd: --telemetry must be 0 or 1\n");
+        return 2;
+    }
+    // Telemetry defaults to on exactly when an exporter needs it; an
+    // explicit --telemetry wins in either direction (0 with --trace-out
+    // yields an empty trace).
+    const bool telemetry_on =
+        options.telemetry == -1
+            ? !options.trace_path.empty() ||
+                  !options.stats_json_path.empty()
+            : options.telemetry != 0;
 
     // ---- assemble the kernel list -------------------------------------
     std::vector<NamedKernel> kernels;
@@ -324,6 +483,7 @@ main(int argc, char** argv)
     config.batch_window_seconds = options.batch_window_us * 1e-6;
     config.adaptive_window = options.adaptive_window != 0;
     config.cross_kernel = options.cross_kernel;
+    config.telemetry = telemetry_on;
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
         std::fprintf(stderr,
@@ -403,6 +563,11 @@ main(int argc, char** argv)
         }
     }
     const double wall_seconds = wall.elapsedSeconds();
+    // The last future resolves from inside its worker task; wait for
+    // the task epilogues too so the stats snapshot and the exported
+    // trace carry every span (wall_seconds above intentionally stops
+    // at response availability).
+    compile_service.drain();
 
     // ---- report -------------------------------------------------------
     if (options.run) {
@@ -538,6 +703,36 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.packed_fallbacks));
         }
     }
+    if (telemetry_on) {
+        std::printf("\ntelemetry: %llu trace events (%llu dropped)\n",
+                    static_cast<unsigned long long>(
+                        stats.telemetry.events),
+                    static_cast<unsigned long long>(
+                        stats.telemetry.dropped));
+        std::printf("%-12s %9s %10s %10s %10s %10s\n", "phase", "count",
+                    "p50_ms", "p90_ms", "p99_ms", "max_ms");
+        for (int p = 0; p < telemetry::kPhaseCount; ++p) {
+            const telemetry::LatencyHistogram& hist =
+                stats.telemetry.hist[static_cast<std::size_t>(p)];
+            if (hist.count() == 0) continue;
+            std::printf("%-12s %9llu %10.3f %10.3f %10.3f %10.3f\n",
+                        telemetry::phaseName(
+                            static_cast<telemetry::Phase>(p)),
+                        static_cast<unsigned long long>(hist.count()),
+                        hist.percentile(50.0) * 1e3,
+                        hist.percentile(90.0) * 1e3,
+                        hist.percentile(99.0) * 1e3, hist.max() * 1e3);
+        }
+    }
+    // Every request has resolved by now, so the strict (quiescent)
+    // accounting equalities must hold; a non-empty result is a service
+    // bookkeeping bug worth surfacing even in a reporting tool.
+    const std::string invariant_error =
+        service::checkStatsInvariants(stats, /*quiescent=*/true);
+    if (!invariant_error.empty()) {
+        std::fprintf(stderr, "chehabd: WARNING: %s\n",
+                     invariant_error.c_str());
+    }
 
     if (options.dump) {
         std::map<std::string, const service::RunResponse*> distinct;
@@ -570,11 +765,35 @@ main(int argc, char** argv)
         if (options.run) {
             for (const char* column :
                  {"run_cache_hit", "run_deduplicated", "exec_s",
-                  "eval_s", "fresh_noise", "final_noise", "consumed_noise",
+                  "eval_s", "setup_s", "decode_s", "window_s",
+                  "fresh_noise", "final_noise", "consumed_noise",
                   "rotation_keys", "packed_lanes", "lane", "output0"}) {
                 header.push_back(column);
             }
         }
+        // Batch-wide latency percentiles (seconds), repeated on every
+        // row so a single CSV joins per-request and aggregate views;
+        // all 0 when telemetry is off.
+        for (const char* column :
+             {"qwait_p50", "qwait_p99", "compile_p50", "compile_p99",
+              "exec_p50", "exec_p99", "window_wait_p99"}) {
+            header.push_back(column);
+        }
+        const telemetry::LatencyHistogram& qwait_hist =
+            stats.telemetry.phase(telemetry::Phase::QueueWait);
+        const telemetry::LatencyHistogram& compile_hist =
+            stats.telemetry.phase(telemetry::Phase::Compile);
+        const telemetry::LatencyHistogram& exec_hist =
+            stats.telemetry.phase(telemetry::Phase::Execute);
+        const telemetry::LatencyHistogram& window_hist =
+            stats.telemetry.phase(telemetry::Phase::WindowWait);
+        const double qwait_p50 = qwait_hist.percentile(50.0);
+        const double qwait_p99 = qwait_hist.percentile(99.0);
+        const double compile_p50 = compile_hist.percentile(50.0);
+        const double compile_p99 = compile_hist.percentile(99.0);
+        const double exec_p50 = exec_hist.percentile(50.0);
+        const double exec_p99 = exec_hist.percentile(99.0);
+        const double window_p99 = window_hist.percentile(99.0);
         CsvWriter csv(options.csv_path, header);
         for (const service::RunResponse& response : responses) {
             // pred_s/meas_s mirror the table columns: the scheduler's
@@ -597,6 +816,9 @@ main(int argc, char** argv)
                     response.run_cache_hit ? 1 : 0,
                     response.run_deduplicated ? 1 : 0,
                     response.exec_seconds, response.result.exec_seconds,
+                    response.result.setup_seconds,
+                    response.result.decode_seconds,
+                    response.window_wait_seconds,
                     response.result.fresh_noise_budget,
                     response.result.final_noise_budget,
                     response.result.consumed_noise,
@@ -604,7 +826,9 @@ main(int argc, char** argv)
                     response.packed_lanes, response.lane,
                     response.result.output.empty()
                         ? 0
-                        : response.result.output.front());
+                        : response.result.output.front(),
+                    qwait_p50, qwait_p99, compile_p50, compile_p99,
+                    exec_p50, exec_p99, window_p99);
             } else {
                 csv.writeRow(
                     response.name, service::optModeName(options.mode),
@@ -616,7 +840,9 @@ main(int argc, char** argv)
                     response.estimated_cost, response.worker_id,
                     response.compiled.program.instrs.size(),
                     response.compiled.stats.final_cost,
-                    response.compiled.stats.mult_depth, response.error);
+                    response.compiled.stats.mult_depth, response.error,
+                    qwait_p50, qwait_p99, compile_p50, compile_p99,
+                    exec_p50, exec_p99, window_p99);
             }
         }
         std::printf("wrote %s\n", options.csv_path.c_str());
@@ -648,6 +874,12 @@ main(int argc, char** argv)
                      << (response.run_deduplicated ? "true" : "false")
                      << ", \"exec_s\": " << response.exec_seconds
                      << ", \"eval_s\": " << response.result.exec_seconds
+                     << ", \"setup_s\": "
+                     << response.result.setup_seconds
+                     << ", \"decode_s\": "
+                     << response.result.decode_seconds
+                     << ", \"window_s\": "
+                     << response.window_wait_seconds
                      << ", \"fresh_noise\": "
                      << response.result.fresh_noise_budget
                      << ", \"final_noise\": "
@@ -673,6 +905,30 @@ main(int argc, char** argv)
         }
         json << "]\n";
         std::printf("wrote %s\n", options.json_path.c_str());
+    }
+
+    if (!options.trace_path.empty()) {
+        std::ofstream trace(options.trace_path);
+        if (!trace) {
+            std::fprintf(stderr, "chehabd: cannot write %s\n",
+                         options.trace_path.c_str());
+            return 1;
+        }
+        compile_service.telemetry().writeChromeTrace(trace);
+        std::printf("wrote %s (load in chrome://tracing or Perfetto)\n",
+                    options.trace_path.c_str());
+    }
+
+    if (!options.stats_json_path.empty()) {
+        std::ofstream stats_json(options.stats_json_path);
+        if (!stats_json) {
+            std::fprintf(stderr, "chehabd: cannot write %s\n",
+                         options.stats_json_path.c_str());
+            return 1;
+        }
+        writeStatsJson(stats_json, options, stats, responses.size(),
+                       failures, wall_seconds, invariant_error);
+        std::printf("wrote %s\n", options.stats_json_path.c_str());
     }
 
     return failures == 0 ? 0 : 1;

@@ -194,6 +194,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
 
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, plan, cts, plains);
+    const Stopwatch decode_watch;
 
     // Degenerate all-plaintext programs produce a plaintext output
     // register: nothing homomorphic ever ran.
@@ -207,6 +208,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
                                  values.size(),
                                  static_cast<std::size_t>(
                                      program.output_width)));
+        result.decode_seconds = decode_watch.elapsedSeconds();
         return result;
     }
 
@@ -222,6 +224,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
                                 decrypted.size(),
                                 static_cast<std::size_t>(
                                     program.output_width)));
+    result.decode_seconds = decode_watch.elapsedSeconds();
     return result;
 }
 
@@ -286,6 +289,7 @@ FheRuntime::runPacked(const FheProgram& program,
 
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, plan, cts, plains);
+    const Stopwatch decode_watch;
 
     if (!cts.count(program.output_reg)) {
         // All-plaintext program: mirror run()'s degenerate path.
@@ -293,6 +297,7 @@ FheRuntime::runPacked(const FheProgram& program,
         packed.lane_outputs =
             scheme_.decodeLanes(plains.at(program.output_reg), lane_stride,
                                 program.output_width, num_lanes);
+        result.decode_seconds = decode_watch.elapsedSeconds();
         return packed;
     }
 
@@ -302,6 +307,7 @@ FheRuntime::runPacked(const FheProgram& program,
         result.fresh_noise_budget - result.final_noise_budget;
     packed.lane_outputs = scheme_.decryptLanes(
         out, lane_stride, program.output_width, num_lanes);
+    result.decode_seconds = decode_watch.elapsedSeconds();
     return packed;
 }
 
@@ -384,6 +390,7 @@ FheRuntime::runComposite(
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds = evaluateServer(program, composite.plan, cts,
                                          plains);
+    const Stopwatch decode_watch;
 
     // Per-member readout: each member's output lives in its own
     // (renamed) register, so noise accounting is per member; the shared
@@ -411,6 +418,7 @@ FheRuntime::runComposite(
     }
     result.consumed_noise =
         result.fresh_noise_budget - result.final_noise_budget;
+    result.decode_seconds = decode_watch.elapsedSeconds();
     return composite_result;
 }
 

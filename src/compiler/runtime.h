@@ -25,6 +25,11 @@ struct RunResult
     /// lanes; the service's load model reads it to price row sharing
     /// (see service/load_model.h).
     double setup_seconds = 0.0;
+    /// Wall time of everything after the server-side evaluation:
+    /// decryption, decoding and the per-lane output scatter. Completes
+    /// the setup/evaluate/decode phase split that the telemetry layer
+    /// (support/telemetry.h) exports per request.
+    double decode_seconds = 0.0;
     int fresh_noise_budget = 0;
     int final_noise_budget = 0;       ///< <= 0 means budget exhausted.
     int consumed_noise = 0;           ///< CN of Table 6.

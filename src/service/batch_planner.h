@@ -176,6 +176,17 @@ struct BatchLane
     /// once (measured EWMA when warm, scaled static estimate when
     /// cold); drives dispatch priority and consolidation.
     double predicted = 0.0;
+    /// Telemetry correlation id of the originating run request (0 when
+    /// telemetry is off).
+    std::uint64_t request_id = 0;
+    /// Recorder timestamp when the lane entered the coalescer (0 =
+    /// never coalesced or telemetry off); the dispatch path turns it
+    /// into the window-wait measurement below.
+    std::int64_t coalesce_ns = 0;
+    /// Seconds this lane waited in the coalescer before its group
+    /// dispatched; 0 for solo-path lanes. Copied into RunArtifact so
+    /// every response carries its phase breakdown.
+    double window_wait_seconds = 0.0;
 };
 
 /// Union of two rotation-key plans, or nullopt when they disagree on

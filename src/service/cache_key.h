@@ -194,6 +194,11 @@ struct RunArtifact
     /// produced this artifact (the row's prediction for packed runs);
     /// feeds the pred-vs-measured error reporting in chehabd.
     double predicted_seconds = 0.0;
+    /// Seconds this request waited in the slot-batching coalescer for
+    /// row-mates before its group flushed (0 for solo-path runs);
+    /// completes the queue/window/compile/setup/evaluate/decode phase
+    /// breakdown every RunResponse carries.
+    double window_wait_seconds = 0.0;
     int packed_lanes = 1;         ///< Requests sharing the executed row.
     int lane = 0;                 ///< This request's lane index.
 };

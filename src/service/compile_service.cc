@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "compiler/passes.h"
@@ -61,8 +62,9 @@ CompileService::CompileService(ServiceConfig config)
       cache_(config.kernel_cache_capacity),
       run_cache_(config.run_cache_capacity),
       load_model_(config.load_model),
+      telemetry_(config.telemetry),
       planner_(toWindow(config.batch_window_seconds)),
-      pool_(std::make_unique<ThreadPool>(config.num_workers))
+      pool_(std::make_unique<ThreadPool>(config.num_workers, &telemetry_))
 {
     if (config_.max_lanes != 1) {
         flusher_ = std::thread([this] { flusherLoop(); });
@@ -102,30 +104,122 @@ CompileService::numWorkers() const
     return pool_->size();
 }
 
+void
+CompileService::drain()
+{
+    // The pool decrements its pending counter only after the task's
+    // telemetry epilogue (the dispatch span), so an idle pool means
+    // every span of every completed request has been recorded.
+    pool_->wait();
+}
+
 ServiceStats
 CompileService::stats() const
 {
-    // Each counter group is read under its own mutex; cross-group
-    // invariants (e.g. executed <= run_cache.misses) still hold for the
-    // combined snapshot because every counter is monotonic and the
-    // earlier-ordered one is always incremented first.
+    // One consistent snapshot: stats_mutex_ is held across the whole
+    // assembly, so the service counters are frozen while the cache /
+    // load-model / pool / telemetry sub-stats are gathered. Deadlock-
+    // free because every sub-stats call takes only its own leaf mutex
+    // (single-flight map mutex, model mutex, pool mutex, recorder
+    // shard mutexes) and none of those holders ever acquires
+    // stats_mutex_ — writers that want it simply block until the
+    // snapshot completes. The frozen counters plus the
+    // read-after-freeze sub-stats are what makes every invariant in
+    // checkStatsInvariants() hold for any snapshot, not just at
+    // quiescence.
     ServiceStats snapshot;
-    {
-        std::unique_lock<std::mutex> lock(stats_mutex_);
-        snapshot = stats_;
-    }
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
     snapshot.cache = cache_.stats();
     snapshot.run_cache = run_cache_.stats();
     snapshot.load_model = load_model_.snapshot();
     snapshot.pool = pool_->stats();
+    snapshot.telemetry = telemetry_.snapshot();
     {
-        std::unique_lock<std::mutex> lock(pools_mutex_);
+        std::unique_lock<std::mutex> pools_lock(pools_mutex_);
         for (const auto& [key, pool] : pools_) {
             snapshot.runtimes_created +=
                 static_cast<std::uint64_t>(pool->created());
         }
     }
     return snapshot;
+}
+
+std::string
+checkStatsInvariants(const ServiceStats& stats, bool quiescent)
+{
+    const auto fail = [](const char* what, std::uint64_t lhs,
+                         std::uint64_t rhs) {
+        return std::string("stats invariant violated: ") + what + " (" +
+               std::to_string(lhs) + " vs " + std::to_string(rhs) + ")";
+    };
+
+    // Always-true invariants. Counters on each side of an equality are
+    // incremented inside one stats_mutex_ critical section, and every
+    // inequality pairs a frozen counter with one that is only
+    // incremented strictly earlier (or read after the freeze), so these
+    // hold for any stats() snapshot — mid-flight included.
+    if (stats.executed != stats.solo_runs + stats.packed_groups) {
+        return fail("executed == solo_runs + packed_groups",
+                    stats.executed, stats.solo_runs + stats.packed_groups);
+    }
+    if (stats.composite_groups > stats.packed_groups) {
+        return fail("composite_groups <= packed_groups",
+                    stats.composite_groups, stats.packed_groups);
+    }
+    if (stats.composite_members < 2 * stats.composite_groups) {
+        return fail("composite_members >= 2 * composite_groups",
+                    stats.composite_members, 2 * stats.composite_groups);
+    }
+    if (stats.packed_groups > stats.full_flushes + stats.window_flushes) {
+        return fail("packed_groups <= full_flushes + window_flushes",
+                    stats.packed_groups,
+                    stats.full_flushes + stats.window_flushes);
+    }
+    if (stats.compiled + stats.failed > stats.cache.misses) {
+        return fail("compiled + failed <= cache.misses",
+                    stats.compiled + stats.failed, stats.cache.misses);
+    }
+    if (stats.packed_lanes + stats.solo_runs + stats.run_failed >
+        stats.run_cache.misses) {
+        return fail(
+            "packed_lanes + solo_runs + run_failed <= run_cache.misses",
+            stats.packed_lanes + stats.solo_runs + stats.run_failed,
+            stats.run_cache.misses);
+    }
+
+    if (!quiescent) return {};
+
+    // Quiescent accounting equalities: every accepted request has
+    // resolved, so admissions balance against outcomes exactly.
+    const std::uint64_t cache_acquires =
+        stats.cache.hits + stats.cache.inflight_joins + stats.cache.misses;
+    const std::uint64_t run_acquires = stats.run_cache.hits +
+                                       stats.run_cache.inflight_joins +
+                                       stats.run_cache.misses;
+    if (run_acquires != stats.run_submitted) {
+        return fail("run-cache acquires == run_submitted", run_acquires,
+                    stats.run_submitted);
+    }
+    // Compile acquires: one per compile request plus one per run-cache
+    // owner (only run owners touch the kernel cache).
+    if (cache_acquires != stats.submitted + stats.run_cache.misses) {
+        return fail("cache acquires == submitted + run_cache.misses",
+                    cache_acquires,
+                    stats.submitted + stats.run_cache.misses);
+    }
+    if (stats.cache.misses != stats.compiled + stats.failed) {
+        return fail("cache.misses == compiled + failed", stats.cache.misses,
+                    stats.compiled + stats.failed);
+    }
+    if (stats.run_cache.misses !=
+        stats.packed_lanes + stats.solo_runs + stats.run_failed) {
+        return fail(
+            "run_cache.misses == packed_lanes + solo_runs + run_failed",
+            stats.run_cache.misses,
+            stats.packed_lanes + stats.solo_runs + stats.run_failed);
+    }
+    return {};
 }
 
 RuntimePool&
@@ -169,7 +263,7 @@ CompileCache::Admission
 CompileService::admitCompile(const ir::ExprPtr& canonical,
                              const compiler::DriverConfig& pipeline,
                              const CacheKey& key, double estimate,
-                             double predicted)
+                             double predicted, std::uint64_t request_id)
 {
     CompileCache::Admission admission = cache_.acquire(key);
     if (!admission.owner) return admission;
@@ -184,7 +278,10 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
     // next compile of this key dispatches on truth, not estimate.
     std::shared_ptr<CacheEntry> entry = admission.entry;
     pool_->submit(
-        [this, entry, canonical, pipeline, key, estimate](int worker) {
+        [this, entry, canonical, pipeline, key, estimate,
+         request_id](int worker) {
+            const std::int64_t span_start =
+                telemetry_.enabled() ? telemetry_.nowNs() : 0;
             const Stopwatch compile_watch;
             try {
                 const compiler::CompilerDriver driver(&ruleset_,
@@ -192,6 +289,13 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 compiler::Compiled compiled =
                     driver.compile(canonical, pipeline);
                 const double seconds = compile_watch.elapsedSeconds();
+                if (telemetry_.enabled()) {
+                    telemetry_.span("compile", worker, span_start,
+                                    telemetry_.nowNs(), request_id,
+                                    {{"est_cost", estimate},
+                                     {"meas_s", seconds}});
+                    telemetry_.observe(telemetry::Phase::Compile, seconds);
+                }
                 load_model_.observeCompile(key, estimate, seconds);
                 {
                     std::unique_lock<std::mutex> lock(stats_mutex_);
@@ -200,6 +304,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 }
                 entry->publishReady(std::move(compiled), seconds, worker);
             } catch (const std::exception& e) {
+                telemetry_.instant("compile_failed", worker, request_id);
                 {
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.failed;
@@ -207,7 +312,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 entry->publishFailure(e.what(), worker);
             }
         },
-        predicted);
+        predicted, ThreadPool::TaskTag{"dispatch", request_id, predicted});
     return admission;
 }
 
@@ -222,6 +327,11 @@ CompileService::submit(CompileRequest request)
     }
 
     const Stopwatch queue_watch;
+    const bool traced = telemetry_.enabled();
+    const std::uint64_t rid =
+        traced ? next_request_id_.fetch_add(1) + 1 : 0;
+    const int client_tid = telemetry::TraceRecorder::clientTid();
+    const std::int64_t enqueue_start = traced ? telemetry_.nowNs() : 0;
 
     // Canonicalize on the caller: the cache key must identify the
     // *canonical* program so syntactic variants share one entry, and
@@ -244,10 +354,22 @@ CompileService::submit(CompileRequest request)
         load_model_.predictCompileSeconds(key, estimate);
 
     CompileCache::Admission admission =
-        admitCompile(canonical, request.pipeline, key, estimate,
-                     predicted);
+        admitCompile(canonical, request.pipeline, key, estimate, predicted,
+                     rid);
     const bool cache_hit = !admission.owner && !admission.was_pending;
     const bool deduplicated = admission.was_pending;
+
+    if (traced) {
+        // The client-side admission span: canonicalize, key derivation,
+        // cache acquire and (for owners) the pool dispatch.
+        telemetry_.span("enqueue", client_tid, enqueue_start,
+                        telemetry_.nowNs(), rid, {{"pred_s", predicted}});
+        telemetry_.observe(telemetry::Phase::Enqueue,
+                           queue_watch.elapsedSeconds());
+        if (cache_hit) {
+            telemetry_.instant("compile_cache_hit", client_tid, rid);
+        }
+    }
 
     // Hit, join, or owner alike: resolve the future when the entry
     // settles. Runs inline for an already-settled entry, otherwise on
@@ -338,6 +460,18 @@ CompileService::tryCoalesce(BatchLane& lane)
             adaptive_wait = load_model_.adaptiveWaitSeconds(
                 fit_key, remaining, config_.batch_window_seconds);
         }
+        if (telemetry_.enabled()) {
+            // Stamp the coalescer arrival: dispatchGroup turns it into
+            // the lane's window-wait measurement at flush time.
+            lane.coalesce_ns = telemetry_.nowNs();
+            if (adaptive_wait >= 0.0 &&
+                adaptive_wait < config_.batch_window_seconds) {
+                telemetry_.instant("window_shrink",
+                                   telemetry::TraceRecorder::clientTid(),
+                                   lane.request_id,
+                                   {{"wait_s", adaptive_wait}});
+            }
+        }
         full = planner_.add(fit_key, member, std::move(lane), row_slots,
                             lanes_cap, now, adaptive_wait);
     }
@@ -400,8 +534,16 @@ CompileService::flusherLoop()
         // this path — they dispatched at capacity, already perfectly
         // packed.
         if (config_.cross_kernel) {
+            const std::size_t before = due.size();
             due = planner_.consolidateDue(std::move(due),
                                           consolidatePolicy());
+            if (telemetry_.enabled() && due.size() != before) {
+                telemetry_.instant(
+                    "consolidate", telemetry::TraceRecorder::kFlusherTid,
+                    0,
+                    {{"groups_in", static_cast<double>(before)},
+                     {"groups_out", static_cast<double>(due.size())}});
+            }
         }
         lock.unlock();
         for (BatchPlanner::Group& group : due) {
@@ -422,6 +564,30 @@ CompileService::dispatchGroup(BatchPlanner::Group group, bool window_flush)
             ++stats_.full_flushes;
         }
     }
+    if (telemetry_.enabled()) {
+        // Close every lane's coalescer wait: arrival stamp -> this
+        // flush. Measured here (not at execution) so the wait excludes
+        // the pool queue — that part is the dispatch span's qwait.
+        const std::int64_t now = telemetry_.nowNs();
+        for (BatchPlanner::GroupMember& member : group.members) {
+            for (BatchLane& lane : member.lanes) {
+                if (lane.coalesce_ns <= 0) continue;
+                lane.window_wait_seconds =
+                    static_cast<double>(now - lane.coalesce_ns) / 1e9;
+                telemetry_.observe(telemetry::Phase::WindowWait,
+                                   lane.window_wait_seconds);
+            }
+        }
+        // Full flushes happen on the arriving client's thread,
+        // window flushes on the flusher (or the destructor's drain).
+        telemetry_.instant(
+            window_flush ? "window_flush" : "full_flush",
+            window_flush ? telemetry::TraceRecorder::kFlusherTid
+                         : telemetry::TraceRecorder::clientTid(),
+            group.members.front().lanes.front().request_id,
+            {{"lanes", static_cast<double>(group.total_lanes)},
+             {"members", static_cast<double>(group.members.size())}});
+    }
     if (group.total_lanes == 1) {
         // A group the window closed before any peer arrived: packing a
         // single request buys nothing, run it solo.
@@ -431,22 +597,61 @@ CompileService::dispatchGroup(BatchPlanner::Group group, bool window_flush)
     // LPT on the row's predicted seconds (one program execution per
     // member), in the same unit compile tasks are ranked by.
     const double priority = group.predicted_sum;
+    const std::uint64_t rid =
+        group.members.front().lanes.front().request_id;
     auto shared = std::make_shared<BatchPlanner::Group>(std::move(group));
     pool_->submit(
         [this, shared](int worker) { executePacked(*shared, worker); },
-        priority);
+        priority, ThreadPool::TaskTag{"dispatch", rid, priority});
+}
+
+void
+CompileService::recordExecutePhases(int worker, std::int64_t start_ns,
+                                    std::uint64_t request_id,
+                                    const compiler::RunResult& result,
+                                    double seconds, int lanes)
+{
+    if (!telemetry_.enabled()) return;
+    const std::int64_t end_ns =
+        start_ns + static_cast<std::int64_t>(seconds * 1e9);
+    telemetry_.span("execute", worker, start_ns, end_ns, request_id,
+                    {{"lanes", static_cast<double>(lanes)},
+                     {"meas_s", seconds}});
+    // The sub-phases ran back to back inside the execution; rebuild
+    // their bounds from the measured split (clamped so FP rounding
+    // never pushes a child past its parent).
+    const auto offset = [&](double s) {
+        return std::min(end_ns,
+                        start_ns + static_cast<std::int64_t>(s * 1e9));
+    };
+    const std::int64_t setup_end = offset(result.setup_seconds);
+    const std::int64_t eval_end =
+        offset(result.setup_seconds + result.exec_seconds);
+    const std::int64_t decode_end =
+        offset(result.setup_seconds + result.exec_seconds +
+               result.decode_seconds);
+    telemetry_.span("setup", worker, start_ns, setup_end, request_id);
+    telemetry_.span("evaluate", worker, setup_end, eval_end, request_id);
+    telemetry_.span("decode", worker, eval_end, decode_end, request_id);
+    telemetry_.observe(telemetry::Phase::Execute, seconds);
+    telemetry_.observe(telemetry::Phase::Setup, result.setup_seconds);
+    telemetry_.observe(telemetry::Phase::Evaluate, result.exec_seconds);
+    telemetry_.observe(telemetry::Phase::Decode, result.decode_seconds);
 }
 
 void
 CompileService::runSoloLane(const BatchLane& lane,
                             compiler::FheRuntime& runtime, int worker)
 {
+    const std::int64_t span_start =
+        telemetry_.enabled() ? telemetry_.nowNs() : 0;
     const Stopwatch exec_watch;
     try {
         RunArtifact artifact;
         artifact.compiled = *lane.compiled;
         artifact.compile_seconds = lane.compile_seconds;
         artifact.predicted_seconds = lane.predicted;
+        artifact.window_wait_seconds = lane.window_wait_seconds;
         // Per-request reseed: bit-identical noise accounting on any
         // pooled instance (see runtime_pool.h).
         runtime.scheme().reseedRandomness(runSeed(lane.run_key));
@@ -460,6 +665,8 @@ CompileService::runSoloLane(const BatchLane& lane,
                             lane.request.key_budget);
         }
         const double seconds = exec_watch.elapsedSeconds();
+        recordExecutePhases(worker, span_start, lane.request_id,
+                            artifact.result, seconds, /*lanes=*/1);
         load_model_.observeRun(lane.group_key, lane.estimate, seconds,
                                artifact.result.setup_seconds);
         {
@@ -470,6 +677,7 @@ CompileService::runSoloLane(const BatchLane& lane,
         }
         lane.entry->publishReady(std::move(artifact), seconds, worker);
     } catch (const std::exception& e) {
+        telemetry_.instant("run_failed", worker, lane.request_id);
         {
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.run_failed;
@@ -482,6 +690,8 @@ void
 CompileService::submitSoloRun(BatchLane lane)
 {
     const double priority = lane.predicted;
+    const ThreadPool::TaskTag tag{"dispatch", lane.request_id,
+                                  lane.predicted};
     auto shared = std::make_shared<BatchLane>(std::move(lane));
     pool_->submit(
         [this, shared](int worker) {
@@ -499,7 +709,7 @@ CompileService::submitSoloRun(BatchLane lane)
                 lane.entry->publishFailure(e.what(), worker);
             }
         },
-        priority);
+        priority, tag);
 }
 
 std::shared_ptr<const compiler::CompositeProgram>
@@ -544,6 +754,8 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
     for (const BatchPlanner::GroupMember& member : group.members) {
         for (const BatchLane& lane : member.lanes) flat.push_back(&lane);
     }
+    const std::int64_t span_start =
+        telemetry_.enabled() ? telemetry_.nowNs() : 0;
     const Stopwatch exec_watch;
     std::size_t published = 0; ///< Lane entries settled so far.
     try {
@@ -591,6 +803,9 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
         }
 
         const double seconds = exec_watch.elapsedSeconds();
+        recordExecutePhases(worker, span_start,
+                            flat.front()->request_id, shared, seconds,
+                            group.total_lanes);
         // For proportional measured-time attribution per member (each
         // member's program ran exactly once on this row); equal split
         // when every prediction is zero.
@@ -618,6 +833,11 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 // trustworthy, so re-execute its lanes solo — exactly
                 // as if they had never been coalesced. Other members'
                 // outputs live in their own ciphertexts and stand.
+                telemetry_.instant(
+                    "solo_fallback", worker,
+                    member.lanes.front().request_id,
+                    {{"lanes",
+                      static_cast<double>(member.lanes.size())}});
                 {
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.packed_fallbacks;
@@ -655,6 +875,8 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 artifact.compile_seconds =
                     member.lanes[l].compile_seconds;
                 artifact.predicted_seconds = group.predicted_sum;
+                artifact.window_wait_seconds =
+                    member.lanes[l].window_wait_seconds;
                 artifact.result = shared;
                 artifact.result.counts =
                     member.compiled->program.counts();
@@ -698,6 +920,11 @@ CompileService::submitRun(RunRequest request)
     }
 
     const Stopwatch queue_watch;
+    const bool traced = telemetry_.enabled();
+    const std::uint64_t rid =
+        traced ? next_request_id_.fetch_add(1) + 1 : 0;
+    const int client_tid = telemetry::TraceRecorder::clientTid();
+    const std::int64_t enqueue_start = traced ? telemetry_.nowNs() : 0;
 
     ir::ExprPtr canonical;
     try {
@@ -736,7 +963,7 @@ CompileService::submitRun(RunRequest request)
         // that artifact, and vice versa.
         CompileCache::Admission compile_admission = admitCompile(
             canonical, request.pipeline, compile_key, estimate,
-            load_model_.predictCompileSeconds(compile_key, estimate));
+            load_model_.predictCompileSeconds(compile_key, estimate), rid);
         compile_hit =
             !compile_admission.owner && !compile_admission.was_pending;
         compile_dedup = compile_admission.was_pending;
@@ -751,7 +978,8 @@ CompileService::submitRun(RunRequest request)
         RunRequest job = std::move(request);
         compile_admission.entry->onSettled(
             [this, run_entry, compile_entry, job = std::move(job), run_key,
-             compile_key, estimate](const CacheEntry::Settled& settled) {
+             compile_key, estimate,
+             rid](const CacheEntry::Settled& settled) {
                 if (settled.state != CacheEntry::State::Ready) {
                     {
                         std::unique_lock<std::mutex> lock(stats_mutex_);
@@ -783,10 +1011,26 @@ CompileService::submitRun(RunRequest request)
                 lane.estimate = estimate;
                 lane.predicted = load_model_.predictRunSeconds(
                     lane.group_key, estimate);
+                lane.request_id = rid;
                 if (!tryCoalesce(lane)) {
                     submitSoloRun(std::move(lane));
                 }
             });
+    }
+
+    if (traced) {
+        // The client-side admission span: canonicalize, both cache
+        // acquires and (for owners) the compile dispatch / chaining.
+        telemetry_.span("enqueue", client_tid, enqueue_start,
+                        telemetry_.nowNs(), rid,
+                        {{"est_cost", estimate}});
+        telemetry_.observe(telemetry::Phase::Enqueue,
+                           queue_watch.elapsedSeconds());
+        if (run_hit) {
+            telemetry_.instant("run_cache_hit", client_tid, rid);
+        } else if (run_admission.owner && compile_hit) {
+            telemetry_.instant("compile_cache_hit", client_tid, rid);
+        }
     }
 
     run_admission.entry->onSettled(
@@ -811,6 +1055,8 @@ CompileService::submitRun(RunRequest request)
                     settled.artifact->compile_seconds;
                 response.predicted_seconds =
                     settled.artifact->predicted_seconds;
+                response.window_wait_seconds =
+                    settled.artifact->window_wait_seconds;
                 response.packed_lanes = settled.artifact->packed_lanes;
                 response.lane = settled.artifact->lane;
             } else {

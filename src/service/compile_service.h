@@ -66,10 +66,12 @@
 /// "determinism contract for packed runs").
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +84,7 @@
 #include "service/load_model.h"
 #include "service/request.h"
 #include "service/runtime_pool.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 #include "trs/ruleset.h"
 
@@ -127,6 +130,13 @@ struct ServiceConfig
     /// restores the fully static scheduler (static-cost LPT dispatch,
     /// stride-FFD consolidation, fixed windows) for A/B comparison.
     LoadModelConfig load_model;
+    /// Request-lifecycle telemetry (support/telemetry.h): spans for
+    /// enqueue/dispatch/compile/execute (with setup/evaluate/decode
+    /// sub-phases), per-phase latency histograms, cache-hit and
+    /// fallback instants. Always compiled in; when false (default) the
+    /// recorder is a near-zero-cost no-op. Never affects scheduling or
+    /// outputs — see the determinism contract above.
+    bool telemetry = false;
 };
 
 /// Aggregate service counters (monotonic; snapshot via stats()).
@@ -179,7 +189,21 @@ struct ServiceStats
     LoadModelSnapshot load_model;
     /// Worker-pool execution counters (tasks completed, busy seconds).
     ThreadPool::Stats pool;
+    /// Per-phase latency histograms + trace-event counters; only
+    /// populated (enabled = true) when ServiceConfig::telemetry is on.
+    telemetry::TelemetrySnapshot telemetry;
 };
+
+/// Cross-counter consistency check over one stats() snapshot. Returns
+/// an empty string when consistent, else a description of the first
+/// violated invariant. The always-true invariants hold for any
+/// snapshot (stats() freezes the service counters while gathering the
+/// cache/pool sub-stats, and every cross-group counter pair is
+/// incremented in an order that preserves them mid-flight); with
+/// \p quiescent set, the stricter accounting equalities that only hold
+/// once every submitted request has resolved are checked too.
+std::string checkStatsInvariants(const ServiceStats& stats,
+                                 bool quiescent = false);
 
 class CompileService
 {
@@ -212,16 +236,31 @@ class CompileService
     int numWorkers() const;
     const trs::Ruleset& ruleset() const { return ruleset_; }
 
+    /// Block until every task submitted so far has fully finished.
+    /// Futures resolve from *inside* worker tasks, so a caller that was
+    /// just unblocked can observe the pool mid-epilogue — in particular
+    /// before the final task's dispatch span reached the trace
+    /// recorder. Call this before exporting traces or asserting on
+    /// span counts; responses themselves never need it.
+    void drain();
+
+    /// The service's trace recorder (always present; a no-op unless
+    /// ServiceConfig::telemetry enabled it). Exposes the recorded
+    /// events and the Chrome trace exporter.
+    const telemetry::TraceRecorder& telemetry() const { return telemetry_; }
+
   private:
     /// Admit \p key into the kernel cache; when this caller becomes the
     /// owner, dispatch the compile of \p canonical under \p pipeline
     /// onto the pool at \p predicted (load-model seconds) priority.
-    /// \p estimate is the static cost the model calibrates against.
+    /// \p estimate is the static cost the model calibrates against;
+    /// \p request_id tags the dispatch/compile telemetry spans.
     CompileCache::Admission admitCompile(const ir::ExprPtr& canonical,
                                          const compiler::DriverConfig& pipeline,
                                          const CacheKey& key,
                                          double estimate,
-                                         double predicted);
+                                         double predicted,
+                                         std::uint64_t request_id);
 
     /// The per-params runtime pool (created on first use).
     RuntimePool& poolFor(const fhe::SealLiteParams& params);
@@ -251,6 +290,15 @@ class CompileService
 
     /// Submit a solo execution task for \p lane onto the pool.
     void submitSoloRun(BatchLane lane);
+
+    /// Record the "execute" span plus its setup/evaluate/decode
+    /// sub-spans (offsets derived from the RunResult's measured phase
+    /// split) and the phase histogram samples for one owner execution
+    /// — solo or packed row. No-op when telemetry is disabled.
+    void recordExecutePhases(int worker, std::int64_t start_ns,
+                             std::uint64_t request_id,
+                             const compiler::RunResult& result,
+                             double seconds, int lanes);
 
     /// Execute \p lane solo on \p runtime and publish its entry
     /// (success or failure). The one solo-execution body: the pool task
@@ -286,8 +334,21 @@ class CompileService
     mutable std::mutex pools_mutex_;
     std::unordered_map<std::uint64_t, std::unique_ptr<RuntimePool>> pools_;
 
+    /// Guards stats_ — and, in stats(), is held across the cache /
+    /// load-model / pool sub-snapshot reads so one snapshot is
+    /// mutually consistent. Lock ordering: stats_mutex_ is a leaf for
+    /// writers (never held while taking another service lock except
+    /// inside stats(), which takes only the sub-stats' own leaf
+    /// mutexes); batch_mutex_ -> stats_mutex_ is the one nesting.
     mutable std::mutex stats_mutex_;
     ServiceStats stats_;
+
+    /// Request-lifecycle recorder (see ServiceConfig::telemetry).
+    /// Declared before pool_ so it outlives the worker drain.
+    telemetry::TraceRecorder telemetry_;
+    /// Telemetry correlation ids, shared by compile and run requests
+    /// (ids are process-unique, 1-based; 0 means "no request").
+    std::atomic<std::uint64_t> next_request_id_{0};
 
     /// Memoized lane-safety verdict for one group identity: the
     /// analysis depends only on (compiled program, effective budget,

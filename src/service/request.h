@@ -125,6 +125,13 @@ struct RunResponse
     /// against exec_seconds, which is also the shared row's wall
     /// time). Cache-served responses report the original prediction.
     double predicted_seconds = 0.0;
+    /// Seconds the request waited in the slot-batching coalescer for
+    /// row-mates before its group flushed (0 for solo-path and
+    /// cache-served responses report the original wait). Together with
+    /// queue_seconds, compile_seconds, exec_seconds and the
+    /// setup/exec/decode split inside \c result this completes the
+    /// request's phase breakdown.
+    double window_wait_seconds = 0.0;
     int worker_id = -1;          ///< Worker that executed the program.
 
     /// Slot-batching provenance: how many run requests shared the

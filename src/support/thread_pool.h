@@ -17,6 +17,12 @@
 /// busy seconds) so callers can report worker utilization alongside
 /// the model's prediction accuracy.
 ///
+/// Telemetry: when constructed with a TraceRecorder, the pool records a
+/// queue-wait histogram sample per task (enqueue -> dequeue) and, for
+/// tasks submitted with a TaskTag, a "dispatch" span on the worker's
+/// track carrying queue-wait plus predicted-vs-measured seconds — the
+/// span every service-level compile/execute span nests inside.
+///
 /// Thread-safety: all public member functions may be called from any
 /// thread. Tasks must not call wait() (they may submit new tasks).
 #pragma once
@@ -30,13 +36,35 @@
 #include <thread>
 #include <vector>
 
+#include "support/telemetry.h"
+
 namespace chehab {
+
+/// Telemetry identity of a task submitted to the ThreadPool. \c name
+/// is the span name recorded on the worker's track (the compile
+/// service passes "dispatch"; task bodies nest their own
+/// compile/execute spans inside it) and must be a string literal; a
+/// null name means the task gets queue-wait accounting but no span.
+/// (Namespace-scope rather than nested so it can be a default
+/// argument of ThreadPool::submit.)
+struct TaskTag
+{
+    const char* name = nullptr;
+    std::uint64_t request_id = 0;
+    double predicted_seconds = 0.0; ///< Load-model prediction.
+};
 
 class ThreadPool
 {
   public:
-    /// Spawns \p num_threads workers (clamped to >= 1).
-    explicit ThreadPool(int num_threads)
+    using TaskTag = chehab::TaskTag;
+
+    /// Spawns \p num_threads workers (clamped to >= 1). The optional
+    /// \p recorder (not owned; must outlive the pool) receives
+    /// queue-wait samples and dispatch spans when enabled.
+    explicit ThreadPool(int num_threads,
+                        telemetry::TraceRecorder* recorder = nullptr)
+        : recorder_(recorder)
     {
         if (num_threads < 1) num_threads = 1;
         workers_.reserve(static_cast<std::size_t>(num_threads));
@@ -60,13 +88,23 @@ class ThreadPool
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// Enqueue \p task; higher \p priority runs earlier. The task
-    /// receives the index of the worker executing it.
+    /// receives the index of the worker executing it. \p tag names the
+    /// task for telemetry (queue-wait + dispatch span).
     void
-    submit(std::function<void(int)> task, double priority = 0.0)
+    submit(std::function<void(int)> task, double priority = 0.0,
+           TaskTag tag = TaskTag())
     {
+        Item item;
+        item.priority = priority;
+        item.fn = std::move(task);
+        item.tag = tag;
+        if (recorder_ && recorder_->enabled()) {
+            item.enqueue_ns = recorder_->nowNs();
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            queue_.push_back(Item{priority, next_seq_++, std::move(task)});
+            item.seq = next_seq_++;
+            queue_.push_back(std::move(item));
             std::push_heap(queue_.begin(), queue_.end(), ItemOrder{});
             ++pending_;
         }
@@ -103,6 +141,10 @@ class ThreadPool
         double priority = 0.0;
         std::uint64_t seq = 0; ///< FIFO tiebreak between equal priorities.
         std::function<void(int)> fn;
+        TaskTag tag;
+        /// Recorder timestamp at submit; 0 when telemetry was disabled
+        /// at enqueue time (no queue-wait sample then).
+        std::int64_t enqueue_ns = 0;
     };
 
     struct ItemOrder
@@ -132,12 +174,33 @@ class ThreadPool
                 item = std::move(queue_.back());
                 queue_.pop_back();
             }
+            // Telemetry is sampled only when it was enabled at both
+            // enqueue and dequeue — a flag flip mid-flight skips the
+            // sample rather than recording a bogus wait.
+            const bool traced = recorder_ && recorder_->enabled() &&
+                                item.enqueue_ns > 0;
+            double queue_wait_seconds = 0.0;
+            std::int64_t start_ns = 0;
+            if (traced) {
+                start_ns = recorder_->nowNs();
+                queue_wait_seconds =
+                    static_cast<double>(start_ns - item.enqueue_ns) / 1e9;
+                recorder_->observe(telemetry::Phase::QueueWait,
+                                   queue_wait_seconds);
+            }
             const auto started = std::chrono::steady_clock::now();
             item.fn(worker_index);
             const double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - started)
                     .count();
+            if (traced && item.tag.name) {
+                recorder_->span(item.tag.name, worker_index, start_ns,
+                                recorder_->nowNs(), item.tag.request_id,
+                                {{"qwait_s", queue_wait_seconds},
+                                 {"pred_s", item.tag.predicted_seconds},
+                                 {"meas_s", seconds}});
+            }
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 ++stats_.tasks_run;
@@ -155,6 +218,7 @@ class ThreadPool
     int pending_ = 0; ///< Queued + currently executing.
     Stats stats_;
     bool stopping_ = false;
+    telemetry::TraceRecorder* recorder_ = nullptr; ///< Not owned.
     std::vector<std::thread> workers_;
 };
 

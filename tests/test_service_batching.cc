@@ -10,6 +10,7 @@
 #include <atomic>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "ir/parser.h"
 #include "service/batch_planner.h"
 #include "service/compile_service.h"
+#include "support/telemetry.h"
 #include "trs/ruleset.h"
 
 namespace chehab::service {
@@ -685,24 +687,122 @@ TEST(ServiceBatchingTest, ConcurrentRunBatchAndStatsConsistency)
     poller.join();
 
     const ServiceStats stats = service.stats();
-    // Every run submission did exactly one run-cache acquire.
-    EXPECT_EQ(stats.run_cache.hits + stats.run_cache.inflight_joins +
-                  stats.run_cache.misses,
-              stats.run_submitted);
-    // Every compile submission and every run owner did exactly one
-    // kernel-cache acquire.
-    EXPECT_EQ(stats.cache.hits + stats.cache.inflight_joins +
-                  stats.cache.misses,
-              stats.submitted + stats.run_cache.misses);
-    // Owner compiles either succeeded or failed.
-    EXPECT_EQ(stats.cache.misses, stats.compiled + stats.failed);
-    // Every run owner ended exactly one way: a packed lane, a solo run,
-    // or a failure.
-    EXPECT_EQ(stats.run_cache.misses,
-              stats.packed_lanes + stats.solo_runs + stats.run_failed);
-    // One execution per solo run and per packed group.
-    EXPECT_EQ(stats.executed, stats.solo_runs + stats.packed_groups);
+    // The aggregate identities (cache acquires vs. submissions, owner
+    // outcomes, executions per group) live in one place now; an empty
+    // string means every cross-counter invariant held.
+    EXPECT_EQ(checkStatsInvariants(stats, /*quiescent=*/true), "");
     EXPECT_EQ(stats.run_failed, 0u);
+}
+
+// ---- telemetry --------------------------------------------------------
+
+TEST(ServiceBatchingTest, TracedPackedRunIsBitIdenticalAndWellNested)
+{
+    // The determinism contract: enabling telemetry never changes
+    // scheduling decisions or outputs. And the trace itself must be a
+    // forest of well-nested spans: compile/execute inside the dispatch
+    // span of the same worker, the execute sub-phases inside execute.
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    auto makeBatch = [&source] {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 8; ++i) {
+            batch.push_back(
+                laneRequest("k" + std::to_string(i), source, i));
+        }
+        return batch;
+    };
+
+    const auto untraced =
+        runAndSnapshot(batchedConfig(8, 4, 1.0), makeBatch());
+
+    ServiceConfig config = batchedConfig(8, 4, 1.0);
+    config.telemetry = true;
+    CompileService service(config);
+    std::map<std::string, Snapshot> traced;
+    for (RunResponse& response : service.runBatch(makeBatch())) {
+        EXPECT_TRUE(response.ok)
+            << response.name << ": " << response.error;
+        Snapshot snap;
+        snap.output = response.result.output;
+        snap.fresh = response.result.fresh_noise_budget;
+        snap.final_budget = response.result.final_noise_budget;
+        snap.consumed = response.result.consumed_noise;
+        snap.keys = response.result.rotation_keys;
+        snap.packed_lanes = response.packed_lanes;
+        snap.lane = response.lane;
+        traced[response.name] = snap;
+    }
+
+    ASSERT_EQ(untraced.size(), traced.size());
+    for (const auto& [name, snap] : untraced) {
+        ASSERT_TRUE(traced.count(name)) << name;
+        const Snapshot& other = traced.at(name);
+        EXPECT_EQ(snap.output, other.output) << name;
+        EXPECT_EQ(snap.fresh, other.fresh) << name;
+        EXPECT_EQ(snap.final_budget, other.final_budget) << name;
+        EXPECT_EQ(snap.consumed, other.consumed) << name;
+        EXPECT_EQ(snap.keys, other.keys) << name;
+        EXPECT_EQ(snap.packed_lanes, other.packed_lanes) << name;
+        EXPECT_EQ(snap.lane, other.lane) << name;
+    }
+
+    // Futures resolve from inside worker tasks, so wait for the final
+    // dispatch spans' epilogues before asserting on the trace.
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(checkStatsInvariants(stats, /*quiescent=*/true), "");
+    EXPECT_TRUE(stats.telemetry.enabled);
+    EXPECT_EQ(stats.telemetry.dropped, 0u);
+
+    const std::vector<telemetry::TraceEvent> events =
+        service.telemetry().events();
+    auto spansNamed = [&events](const char* name) {
+        std::vector<const telemetry::TraceEvent*> matched;
+        for (const telemetry::TraceEvent& event : events) {
+            if (!event.isInstant() &&
+                std::string_view(event.name) == name) {
+                matched.push_back(&event);
+            }
+        }
+        return matched;
+    };
+    auto containedIn = [](const telemetry::TraceEvent& inner,
+                          const std::vector<const telemetry::TraceEvent*>&
+                              outers) {
+        for (const telemetry::TraceEvent* outer : outers) {
+            if (outer->tid == inner.tid &&
+                outer->start_ns <= inner.start_ns &&
+                inner.end_ns <= outer->end_ns) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    // One enqueue span per submission; one execute span per execution.
+    EXPECT_EQ(spansNamed("enqueue").size(), std::size_t{8});
+    EXPECT_EQ(spansNamed("execute").size(),
+              static_cast<std::size_t>(stats.executed));
+
+    const auto dispatch = spansNamed("dispatch");
+    const auto execute = spansNamed("execute");
+    EXPECT_FALSE(dispatch.empty());
+    for (const char* name : {"compile", "execute"}) {
+        for (const telemetry::TraceEvent* span : spansNamed(name)) {
+            EXPECT_TRUE(containedIn(*span, dispatch))
+                << name << " span at " << span->start_ns
+                << " ns has no enclosing dispatch span on tid "
+                << span->tid;
+        }
+    }
+    for (const char* name : {"setup", "evaluate", "decode"}) {
+        for (const telemetry::TraceEvent* span : spansNamed(name)) {
+            EXPECT_TRUE(containedIn(*span, execute))
+                << name << " span at " << span->start_ns
+                << " ns has no enclosing execute span on tid "
+                << span->tid;
+        }
+    }
 }
 
 } // namespace
