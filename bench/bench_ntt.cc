@@ -1,0 +1,217 @@
+/// \file
+/// NTT hot-path microbench: forward/inverse transform and full
+/// negacyclic poly-multiply throughput, old (seed mulMod-per-butterfly,
+/// division in every reduction) vs new (Harvey lazy butterflies with
+/// Shoup twiddles, Barrett pointwise) at n ∈ {2^12, 2^13, 2^14} over a
+/// 30-bit NTT prime — the same prime width the SealLite coefficient
+/// chains use.
+///
+/// Both paths are exercised from the same NttTables instance
+/// (forwardBaseline/inverseBaseline preserve the seed code), so the
+/// comparison isolates the reduction strategy: twiddles, ordering and
+/// outputs are bit-identical, which this bench asserts on every size
+/// before timing.
+///
+/// Output: one table row per (n, op) with µs/op for each path and the
+/// speedup, plus results/ntt.csv with the same columns.
+///
+/// Environment knobs:
+///  - CHEHAB_BENCH_FAST=1   n = 4096 only, shorter timing windows
+///    (the CI per-push smoke).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fhe/modarith.h"
+#include "fhe/ntt.h"
+#include "support/csv.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace chehab;
+
+/// Deterministic pseudo-random coefficients in [0, p) (splitmix64).
+std::vector<std::uint64_t>
+randomPoly(int n, std::uint64_t p, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> poly(static_cast<std::size_t>(n));
+    std::uint64_t state = seed;
+    for (auto& c : poly) {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        c = (z ^ (z >> 31)) % p;
+    }
+    return poly;
+}
+
+/// Seconds per call: run \p fn in doubling batches until the window
+/// fills, take the best (least-disturbed) rate of three passes.
+double
+secondsPerOp(double window_s, const std::function<void()>& fn)
+{
+    fn(); // warm caches and branch predictors
+    double best = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+        int reps = 1;
+        for (;;) {
+            const Stopwatch timer;
+            for (int r = 0; r < reps; ++r) fn();
+            const double elapsed = timer.elapsedSeconds();
+            if (elapsed >= window_s) {
+                const double per_op = elapsed / reps;
+                if (best == 0.0 || per_op < best) best = per_op;
+                break;
+            }
+            reps *= 2;
+        }
+    }
+    return best;
+}
+
+struct BenchRow
+{
+    int n = 0;
+    const char* op = "";
+    double old_s = 0.0;
+    double new_s = 0.0;
+    double speedup() const { return new_s > 0.0 ? old_s / new_s : 0.0; }
+};
+
+} // namespace
+
+int
+main()
+{
+    const bool fast = [] {
+        const char* v = std::getenv("CHEHAB_BENCH_FAST");
+        return v != nullptr && std::string(v) != "0";
+    }();
+    const double window_s = fast ? 0.02 : 0.15;
+    std::vector<int> sizes = {1 << 12, 1 << 13, 1 << 14};
+    if (fast) sizes = {1 << 12};
+
+    std::printf("[bench] NTT hot path: seed mulMod vs Harvey/Shoup "
+                "(%s mode)\n\n",
+                fast ? "fast" : "full");
+    std::printf("%6s %8s %12s %12s %9s\n", "n", "op", "old_us", "new_us",
+                "speedup");
+
+    std::vector<BenchRow> rows;
+    for (const int n : sizes) {
+        const std::uint64_t p =
+            fhe::findNttPrimes(30, 1,
+                               static_cast<std::uint64_t>(2 * n))[0];
+        const std::shared_ptr<const fhe::NttTables> tables =
+            fhe::acquireNttTables(n, p);
+        const std::vector<std::uint64_t> a = randomPoly(n, p, 1);
+        const std::vector<std::uint64_t> b = randomPoly(n, p, 2);
+
+        // Bit-identity sanity: the timed paths must agree before the
+        // numbers mean anything.
+        {
+            std::vector<std::uint64_t> lhs = a;
+            std::vector<std::uint64_t> rhs = a;
+            tables->forward(lhs.data());
+            tables->forwardBaseline(rhs.data());
+            if (lhs != rhs) {
+                std::fprintf(stderr,
+                             "bench_ntt: forward mismatch at n=%d\n", n);
+                return 1;
+            }
+            tables->inverse(lhs.data());
+            tables->inverseBaseline(rhs.data());
+            if (lhs != rhs || lhs != a) {
+                std::fprintf(stderr,
+                             "bench_ntt: inverse mismatch at n=%d\n", n);
+                return 1;
+            }
+        }
+
+        std::vector<std::uint64_t> scratch = a;
+        std::vector<std::uint64_t> scratch2 = b;
+        BenchRow fwd{n, "forward"};
+        fwd.old_s = secondsPerOp(window_s, [&] {
+            tables->forwardBaseline(scratch.data());
+        });
+        fwd.new_s = secondsPerOp(window_s, [&] {
+            tables->forward(scratch.data());
+        });
+        // Transforms round-trip values through [0, p) either way, so
+        // the same scratch buffer stays a valid input across reps.
+        BenchRow inv{n, "inverse"};
+        inv.old_s = secondsPerOp(window_s, [&] {
+            tables->inverseBaseline(scratch.data());
+        });
+        inv.new_s = secondsPerOp(window_s, [&] {
+            tables->inverse(scratch.data());
+        });
+
+        // Full negacyclic product: two forwards, a pointwise multiply,
+        // one inverse — the shape sealite.cc's mulPoly executes per
+        // prime. Old pointwise = generic 128-bit division mulMod; new
+        // pointwise = the tables' Barrett reducer.
+        const fhe::Barrett& barrett = tables->reducer();
+        BenchRow mul{n, "polymul"};
+        mul.old_s = secondsPerOp(window_s, [&] {
+            scratch = a;
+            scratch2 = b;
+            tables->forwardBaseline(scratch.data());
+            tables->forwardBaseline(scratch2.data());
+            for (int i = 0; i < n; ++i) {
+                scratch[static_cast<std::size_t>(i)] = fhe::mulMod(
+                    scratch[static_cast<std::size_t>(i)],
+                    scratch2[static_cast<std::size_t>(i)], p);
+            }
+            tables->inverseBaseline(scratch.data());
+        });
+        mul.new_s = secondsPerOp(window_s, [&] {
+            scratch = a;
+            scratch2 = b;
+            tables->forward(scratch.data());
+            tables->forward(scratch2.data());
+            for (int i = 0; i < n; ++i) {
+                scratch[static_cast<std::size_t>(i)] = barrett.mulMod(
+                    scratch[static_cast<std::size_t>(i)],
+                    scratch2[static_cast<std::size_t>(i)]);
+            }
+            tables->inverse(scratch.data());
+        });
+
+        for (const BenchRow& row : {fwd, inv, mul}) {
+            std::printf("%6d %8s %12.2f %12.2f %8.2fx\n", row.n, row.op,
+                        row.old_s * 1e6, row.new_s * 1e6, row.speedup());
+            rows.push_back(row);
+        }
+    }
+
+    double polymul_worst = 0.0;
+    for (const BenchRow& row : rows) {
+        if (std::string(row.op) == "polymul" &&
+            (polymul_worst == 0.0 || row.speedup() < polymul_worst)) {
+            polymul_worst = row.speedup();
+        }
+    }
+    std::printf("\n[bench] worst-case poly-multiply speedup: %.2fx "
+                "(acceptance floor: 2x)\n",
+                polymul_worst);
+
+    std::filesystem::create_directories("results");
+    CsvWriter csv("results/ntt.csv",
+                  {"n", "op", "old_us", "new_us", "speedup"});
+    for (const BenchRow& row : rows) {
+        csv.writeRow(row.n, row.op, row.old_s * 1e6, row.new_s * 1e6,
+                     row.speedup());
+    }
+    std::printf("[bench] wrote results/ntt.csv\n");
+
+    // The CI smoke treats a regression below the acceptance floor as a
+    // failure so the hot path cannot silently rot back to divisions.
+    return polymul_worst >= 2.0 ? 0 : 1;
+}

@@ -27,6 +27,12 @@
 ///   --run           execute each kernel on SealLite after compiling
 ///   --key-budget N  rotation-key budget β for --run (default 0 = one
 ///                   key per distinct step)
+///   --mod-switch 0|1 append the mid-circuit modulus-switching pass to
+///                   the pipeline (default 0). With --run the report
+///                   gains a `drops` column (modulus drops the noise
+///                   gate actually took) and a footer line with the
+///                   total drops and the minimum post-switch noise
+///                   budget. Decoded outputs are unchanged either way.
 ///   --poly-n N      SealLite polynomial degree for --run (default 256,
 ///                   toy-sized for speed; slots = N/2)
 ///   --batch-lanes N slot-batching lane cap for --run: pack up to N
@@ -117,6 +123,7 @@ struct Options
     int cache_cap = 0;
     bool run = false;
     int key_budget = 0;
+    int mod_switch = 0;
     int poly_n = 256;
     int batch_lanes = 1;
     int batch_window_us = 500;
@@ -142,8 +149,8 @@ usage(const char* argv0)
                  "[--max-steps N]\n"
                  "       [--repeat R] [--suite N] [--train-steps N] "
                  "[--cache-cap N]\n"
-                 "       [--run] [--key-budget N] [--poly-n N] "
-                 "[--batch-lanes N]\n"
+                 "       [--run] [--key-budget N] [--mod-switch 0|1] "
+                 "[--poly-n N] [--batch-lanes N]\n"
                  "       [--batch-window-us N] [--adaptive-window 0|1] "
                  "[--cross-kernel] [--distinct-inputs]\n"
                  "       [--csv PATH] [--json PATH] [--dump] "
@@ -208,6 +215,8 @@ parseArgs(int argc, char** argv, Options& options)
             options.run = true;
         } else if (arg == "--key-budget") {
             if (!intArg(i, options.key_budget)) return false;
+        } else if (arg == "--mod-switch") {
+            if (!intArg(i, options.mod_switch)) return false;
         } else if (arg == "--poly-n") {
             if (!intArg(i, options.poly_n)) return false;
         } else if (arg == "--batch-lanes") {
@@ -339,6 +348,7 @@ writeStatsJson(std::ostream& out, const Options& options,
         << ", \"packed_fallbacks\": " << stats.packed_fallbacks
         << ", \"composite_groups\": " << stats.composite_groups
         << ", \"composite_members\": " << stats.composite_members
+        << ", \"mod_switch_drops\": " << stats.mod_switch_drops
         << "},\n";
     cacheJson("compile_cache", stats.cache);
     cacheJson("run_cache", stats.run_cache);
@@ -422,6 +432,10 @@ main(int argc, char** argv)
         std::fprintf(stderr, "chehabd: --telemetry must be 0 or 1\n");
         return 2;
     }
+    if (options.mod_switch < 0 || options.mod_switch > 1) {
+        std::fprintf(stderr, "chehabd: --mod-switch must be 0 or 1\n");
+        return 2;
+    }
     // Telemetry defaults to on exactly when an exporter needs it; an
     // explicit --telemetry wins in either direction (0 with --trace-out
     // yields an empty trace).
@@ -468,8 +482,12 @@ main(int argc, char** argv)
         }
     }
 
-    const compiler::DriverConfig pipeline =
+    compiler::DriverConfig pipeline =
         service::makePipeline(options.mode, {}, options.max_steps);
+    // The mod-switch pass rides after whatever the mode picked; it is
+    // part of the pipeline fingerprint, so --mod-switch runs get their
+    // own kernel/run cache entries and never collide with plain ones.
+    if (options.mod_switch != 0) pipeline.passes.push_back("mod-switch");
 
     // ---- optional RL agent --------------------------------------------
     std::unique_ptr<rl::RlAgent> agent;
@@ -572,10 +590,10 @@ main(int argc, char** argv)
     // ---- report -------------------------------------------------------
     if (options.run) {
         std::printf("%-24s %-7s %-3s %-5s %-5s %9s %9s %8s %8s %9s %5s "
-                    "%6s %6s %5s %6s\n",
+                    "%6s %6s %5s %5s %6s\n",
                     "kernel", "mode", "ok", "csrc", "rsrc", "queue_ms",
                     "comp_ms", "pred_ms", "meas_ms", "amort_ms", "lanes",
-                    "noise", "final", "keys", "worker");
+                    "noise", "final", "keys", "drops", "worker");
     } else {
         std::printf("%-24s %-7s %-3s %-5s %9s %8s %8s %7s %6s\n",
                     "kernel", "mode", "ok", "src", "queue_ms", "pred_ms",
@@ -614,7 +632,7 @@ main(int argc, char** argv)
                 response.exec_seconds * 1e3 /
                 (response.packed_lanes > 0 ? response.packed_lanes : 1);
             std::printf("%-24s %-7s %-3s %-5s %-5s %9.2f %9.2f %8.2f "
-                        "%8.2f %9.2f %5d %6d %6d %5d %6d\n",
+                        "%8.2f %9.2f %5d %6d %6d %5d %5d %6d\n",
                         response.name.c_str(),
                         service::optModeName(options.mode),
                         response.ok ? "y" : "N", compile_src, run_src,
@@ -625,6 +643,7 @@ main(int argc, char** argv)
                         response.result.consumed_noise,
                         response.result.final_noise_budget,
                         response.result.rotation_keys,
+                        response.result.mod_switch_drops,
                         response.worker_id);
         } else {
             std::printf("%-24s %-7s %-3s %-5s %9.2f %8.2f %8.2f %7.0f "
@@ -702,6 +721,27 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.window_flushes),
                 static_cast<unsigned long long>(stats.packed_fallbacks));
         }
+        if (options.mod_switch != 0) {
+            // Post-switch headroom: the smallest noise budget any
+            // request finished with after its modulus drops. With the
+            // gate working, this stays positive — drops spend budget
+            // the circuit was never going to use.
+            int min_final = 0;
+            bool have_final = false;
+            for (const service::RunResponse& response : responses) {
+                if (!response.ok) continue;
+                if (!have_final ||
+                    response.result.final_noise_budget < min_final) {
+                    min_final = response.result.final_noise_budget;
+                    have_final = true;
+                }
+            }
+            std::printf("mod-switch: %llu modulus drops across executed "
+                        "rows; min noise budget after switching: %d bits\n",
+                        static_cast<unsigned long long>(
+                            stats.mod_switch_drops),
+                        have_final ? min_final : 0);
+        }
     }
     if (telemetry_on) {
         std::printf("\ntelemetry: %llu trace events (%llu dropped)\n",
@@ -767,7 +807,8 @@ main(int argc, char** argv)
                  {"run_cache_hit", "run_deduplicated", "exec_s",
                   "eval_s", "setup_s", "decode_s", "window_s",
                   "fresh_noise", "final_noise", "consumed_noise",
-                  "rotation_keys", "packed_lanes", "lane", "output0"}) {
+                  "rotation_keys", "mod_switch_drops", "packed_lanes",
+                  "lane", "output0"}) {
                 header.push_back(column);
             }
         }
@@ -823,6 +864,7 @@ main(int argc, char** argv)
                     response.result.final_noise_budget,
                     response.result.consumed_noise,
                     response.result.rotation_keys,
+                    response.result.mod_switch_drops,
                     response.packed_lanes, response.lane,
                     response.result.output.empty()
                         ? 0
@@ -888,6 +930,8 @@ main(int argc, char** argv)
                      << response.result.consumed_noise
                      << ", \"rotation_keys\": "
                      << response.result.rotation_keys
+                     << ", \"mod_switch_drops\": "
+                     << response.result.mod_switch_drops
                      << ", \"packed_lanes\": " << response.packed_lanes
                      << ", \"lane\": " << response.lane
                      << ", \"output\": [";

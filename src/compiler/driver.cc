@@ -114,6 +114,48 @@ class KeySelectPass final : public Pass
     }
 };
 
+class ModSwitchPass final : public Pass
+{
+  public:
+    std::string name() const override { return "mod-switch"; }
+
+    void
+    run(CompileState& state, const PassContext& ctx) const override
+    {
+        if (!state.scheduled) {
+            throw CompileError(
+                "mod-switch pass requires a scheduled program (place it "
+                "after the schedule pass)");
+        }
+        // Mark a candidate drop point after every ciphertext multiply
+        // that still has non-pack work ahead of it: a multiply is where
+        // the phase estimate jumps, so the headroom a drop frees pays
+        // off across everything downstream. Whether a marked point
+        // actually drops is decided per execution by the runtime's
+        // noise simulation (see compiler/modswitch.h) — parameters are
+        // unknown here.
+        ModSwitchPlan plan;
+        plan.margin_bits = ctx.mod_switch_margin;
+        plan.min_level = 2;
+        const auto& instrs = state.program.instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op != FheOpcode::Mul) continue;
+            bool work_remaining = false;
+            for (std::size_t j = i + 1; j < instrs.size(); ++j) {
+                if (instrs[j].op != FheOpcode::PackCipher &&
+                    instrs[j].op != FheOpcode::PackPlain) {
+                    work_remaining = true;
+                    break;
+                }
+            }
+            if (work_remaining) {
+                plan.points.push_back(static_cast<int>(i) + 1);
+            }
+        }
+        state.program.mod_switch = std::move(plan);
+    }
+};
+
 // ----------------------------------------------------------- registry
 
 using Registry = std::map<std::string, PassFactory>;
@@ -144,6 +186,9 @@ registry()
         };
         built_in["key-select"] = [] {
             return std::unique_ptr<Pass>(new KeySelectPass());
+        };
+        built_in["mod-switch"] = [] {
+            return std::unique_ptr<Pass>(new ModSwitchPass());
         };
         return built_in;
     }();
@@ -216,6 +261,9 @@ DriverConfig::fingerprint() const
     if (hasPass("key-select")) {
         mixU64(static_cast<std::uint64_t>(key_budget));
     }
+    if (hasPass("mod-switch")) {
+        mixU64(static_cast<std::uint64_t>(mod_switch_margin));
+    }
     return h;
 }
 
@@ -230,6 +278,8 @@ DriverConfig::describe() const
             out << "(steps=" << max_steps << ")";
         } else if (passes[i] == "key-select" && key_budget > 0) {
             out << "(budget=" << key_budget << ")";
+        } else if (passes[i] == "mod-switch") {
+            out << "(margin=" << mod_switch_margin << ")";
         }
     }
     return out.str();
@@ -317,6 +367,7 @@ CompilerDriver::compile(const ir::ExprPtr& source,
     ctx.weights = config.weights;
     ctx.max_steps = config.max_steps;
     ctx.key_budget = config.key_budget;
+    ctx.mod_switch_margin = config.mod_switch_margin;
 
     CompileState state;
     state.expr = source;

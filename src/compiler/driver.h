@@ -47,6 +47,9 @@ struct PassContext
     int max_steps = 75;                    ///< greedy-trs rewrite budget.
     int key_budget = 0;                    ///< key-select β (0 = one key
                                            ///  per distinct step).
+    int mod_switch_margin = 12;            ///< mod-switch noise margin
+                                           ///  (bits of headroom the
+                                           ///  runtime gate preserves).
 };
 
 /// Mutable compilation state threaded through the pass sequence.
@@ -75,7 +78,7 @@ class Pass
 /// The driver looks passes up by name, so alternative stages (new
 /// backends, experimental orderings) plug in without touching the
 /// driver. Built-ins: "canonicalize", "greedy-trs", "rl-trs",
-/// "schedule", "key-select".
+/// "schedule", "key-select", "mod-switch".
 /// @{
 using PassFactory = std::function<std::unique_ptr<Pass>()>;
 
@@ -98,6 +101,7 @@ struct DriverConfig
     ir::CostWeights weights{};       ///< Consumed by greedy-trs.
     int max_steps = 75;              ///< Consumed by greedy-trs.
     int key_budget = 0;              ///< Consumed by key-select.
+    int mod_switch_margin = 12;      ///< Consumed by mod-switch.
 
     /// Content hash of the pipeline: pass names in order, plus — for
     /// each parameter-consuming pass actually present — that pass's

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compiler/modswitch.h"
 #include "support/error.h"
 #include "support/stopwatch.h"
 
@@ -122,10 +123,45 @@ double
 FheRuntime::evaluateServer(
     const FheProgram& program, const RotationKeyPlan& plan,
     std::unordered_map<int, fhe::Ciphertext>& cts,
-    const std::unordered_map<int, fhe::Plaintext>& plains) const
+    const std::unordered_map<int, fhe::Plaintext>& plains,
+    int fresh_noise_budget, int* mod_switch_drops) const
 {
+    const ModSwitchPlan& ms = program.mod_switch;
+    const bool gated = !ms.empty();
+    modswitch::NoiseParams np;
+    modswitch::NoiseState noise;
+    std::size_t next_point = 0;
+    if (gated) {
+        np = modswitch::noiseParamsFor(scheme_, fresh_noise_budget);
+        noise = modswitch::initialState(program, np);
+    }
+
     Stopwatch watch;
-    for (const FheInstr& instr : program.instrs) {
+    for (std::size_t idx = 0; idx < program.instrs.size(); ++idx) {
+        const FheInstr& instr = program.instrs[idx];
+        if (gated) {
+            while (next_point < ms.points.size() &&
+                   ms.points[next_point] < static_cast<int>(idx)) {
+                ++next_point;
+            }
+            if (next_point < ms.points.size() &&
+                ms.points[next_point] == static_cast<int>(idx)) {
+                // Multi-prime drops are possible when the noise demand
+                // collapsed far below the chain (each iteration re-runs
+                // the full suffix simulation one level lower).
+                while (modswitch::canDropBefore(
+                    program, static_cast<int>(idx), noise, np, plan,
+                    ms.margin_bits, ms.min_level)) {
+                    const int new_level = noise.level - 1;
+                    for (auto& [reg, ct] : cts) {
+                        scheme_.modSwitchTo(ct, new_level);
+                    }
+                    modswitch::applyDrop(noise, np);
+                    if (mod_switch_drops) ++*mod_switch_drops;
+                }
+                ++next_point;
+            }
+        }
         switch (instr.op) {
           case FheOpcode::PackCipher:
           case FheOpcode::PackPlain:
@@ -162,6 +198,7 @@ FheRuntime::evaluateServer(
             break;
           }
         }
+        if (gated) modswitch::applyInstr(noise, instr, np, plan);
     }
     return watch.elapsedSeconds();
 }
@@ -193,7 +230,9 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
     }
 
     result.setup_seconds = setup_watch.elapsedSeconds();
-    result.exec_seconds = evaluateServer(program, plan, cts, plains);
+    result.exec_seconds =
+        evaluateServer(program, plan, cts, plains,
+                       result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
     // Degenerate all-plaintext programs produce a plaintext output
@@ -288,7 +327,9 @@ FheRuntime::runPacked(const FheProgram& program,
     }
 
     result.setup_seconds = setup_watch.elapsedSeconds();
-    result.exec_seconds = evaluateServer(program, plan, cts, plains);
+    result.exec_seconds =
+        evaluateServer(program, plan, cts, plains,
+                       result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
     if (!cts.count(program.output_reg)) {
@@ -388,8 +429,9 @@ FheRuntime::runComposite(
     }
 
     result.setup_seconds = setup_watch.elapsedSeconds();
-    result.exec_seconds = evaluateServer(program, composite.plan, cts,
-                                         plains);
+    result.exec_seconds =
+        evaluateServer(program, composite.plan, cts, plains,
+                       result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
     // Per-member readout: each member's output lives in its own

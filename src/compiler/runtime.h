@@ -35,6 +35,10 @@ struct RunResult
     int consumed_noise = 0;           ///< CN of Table 6.
     FheProgram::Counts counts;
     int rotation_keys = 0;            ///< Keys generated (after App. B).
+    /// Modulus drops the mod-switch gate actually took during the
+    /// server phase (0 when the pass did not run or no point passed the
+    /// noise simulation). Deterministic per (program, plan, params).
+    int mod_switch_drops = 0;
 };
 
 /// Outcome of executing one lane-packed program: the shared row's
@@ -185,11 +189,20 @@ class FheRuntime
     std::vector<std::int64_t> packLaneRegion(const FheInstr& instr,
                                              const ir::Env& env,
                                              int lane_stride) const;
-    /// The timed server-side phase shared by run() and runPacked().
+    /// The timed server-side phase shared by run(), runPacked() and
+    /// runComposite(). When the program carries a mod-switch plan, each
+    /// marked point runs the deterministic noise gate
+    /// (compiler/modswitch.h) against \p fresh_noise_budget and, on
+    /// success, switches EVERY live ciphertext down one level in
+    /// lockstep (so binary ops always see equal levels — in a composite
+    /// this includes other members' ciphertexts, which is sound because
+    /// switching is exact per ciphertext). Drops taken are added to
+    /// \p mod_switch_drops.
     double evaluateServer(
         const FheProgram& program, const RotationKeyPlan& plan,
         std::unordered_map<int, fhe::Ciphertext>& cts,
-        const std::unordered_map<int, fhe::Plaintext>& plains) const;
+        const std::unordered_map<int, fhe::Plaintext>& plains,
+        int fresh_noise_budget, int* mod_switch_drops) const;
 
     fhe::SealLite scheme_;
     ir::Evaluator plain_eval_;

@@ -112,6 +112,14 @@ FheProgram::disassemble() const
     out += "regs " + std::to_string(num_regs) + " output r" +
            std::to_string(output_reg) + " width " +
            std::to_string(output_width) + '\n';
+    if (!mod_switch.empty()) {
+        out += "modswitch points";
+        for (int point : mod_switch.points) {
+            out += ' ' + std::to_string(point);
+        }
+        out += " margin " + std::to_string(mod_switch.margin_bits) +
+               " min-level " + std::to_string(mod_switch.min_level) + '\n';
+    }
     return out;
 }
 

@@ -62,6 +62,22 @@ struct FheInstr
     bool replicate = false;       ///< Replicate the pack across the row.
 };
 
+/// Candidate modulus-switch drop points chosen by the mod-switch pass.
+/// The pass runs before parameters are known, so it only marks *where*
+/// a drop is structurally profitable (after a ciphertext multiply with
+/// further work remaining); the runtime decides per execution — via a
+/// deterministic noise simulation against the actual chain — whether
+/// each point actually drops. Empty plan = pass not run = no drops.
+struct ModSwitchPlan
+{
+    std::vector<int> points; ///< Instruction indices; drop happens *before*
+                             ///  executing the instruction at each index.
+    int margin_bits = 12;    ///< Safety margin the noise gate must keep.
+    int min_level = 2;       ///< Never drop below this many chain primes.
+
+    bool empty() const { return points.empty(); }
+};
+
 /// A scheduled program.
 struct FheProgram
 {
@@ -69,6 +85,7 @@ struct FheProgram
     int num_regs = 0;
     int output_reg = -1;
     int output_width = 1;
+    ModSwitchPlan mod_switch;
 
     /// Distinct ciphertext rotation steps (the χ set of App. B).
     std::vector<int> rotationSteps() const;

@@ -1,5 +1,11 @@
 #include "fhe/modarith.h"
 
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
 #include "support/error.h"
 
 namespace chehab::fhe {
@@ -56,9 +62,50 @@ isPrime(std::uint64_t n)
     return true;
 }
 
+namespace {
+
+// Both searches are pure functions of their arguments, so a process-wide
+// memo is safe to share between every SealLite / NttTables construction
+// (runtime-pool replicas used to redo identical Miller-Rabin walks and
+// generator probes on every cold start).
+std::mutex&
+memoMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+using PrimesKey = std::tuple<int, int, std::uint64_t>;
+
+std::map<PrimesKey, std::vector<std::uint64_t>>&
+primesMemo()
+{
+    static std::map<PrimesKey, std::vector<std::uint64_t>> memo;
+    return memo;
+}
+
+std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>&
+rootMemo()
+{
+    static std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+        memo;
+    return memo;
+}
+
+std::atomic<std::uint64_t> prime_searches{0};
+std::atomic<std::uint64_t> root_searches{0};
+
+} // namespace
+
 std::vector<std::uint64_t>
 findNttPrimes(int bits, int count, std::uint64_t modulus_step)
 {
+    const PrimesKey key{bits, count, modulus_step};
+    std::unique_lock<std::mutex> lock(memoMutex());
+    auto it = primesMemo().find(key);
+    if (it != primesMemo().end()) return it->second;
+
+    prime_searches.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint64_t> primes;
     // Walk downward from 2^bits in steps that preserve ≡ 1 (mod step).
     std::uint64_t candidate =
@@ -69,6 +116,7 @@ findNttPrimes(int bits, int count, std::uint64_t modulus_step)
     }
     CHEHAB_ASSERT(static_cast<int>(primes.size()) == count,
                   "not enough NTT primes at this bit width");
+    primesMemo().emplace(key, primes);
     return primes;
 }
 
@@ -76,14 +124,35 @@ std::uint64_t
 findPrimitiveRoot(std::uint64_t two_n, std::uint64_t p)
 {
     CHEHAB_ASSERT((p - 1) % two_n == 0, "2n must divide p-1");
+    const std::pair<std::uint64_t, std::uint64_t> key{two_n, p};
+    std::unique_lock<std::mutex> lock(memoMutex());
+    auto it = rootMemo().find(key);
+    if (it != rootMemo().end()) return it->second;
+
+    root_searches.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t cofactor = (p - 1) / two_n;
     for (std::uint64_t g = 2; g < p; ++g) {
         const std::uint64_t candidate = powMod(g, cofactor, p);
         // Primitive iff candidate^(2n/2) = -1.
-        if (powMod(candidate, two_n / 2, p) == p - 1) return candidate;
+        if (powMod(candidate, two_n / 2, p) == p - 1) {
+            rootMemo().emplace(key, candidate);
+            return candidate;
+        }
     }
     CHEHAB_ASSERT(false, "no primitive root found");
     return 0;
+}
+
+std::uint64_t
+primitiveRootSearches()
+{
+    return root_searches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+nttPrimeSearches()
+{
+    return prime_searches.load(std::memory_order_relaxed);
 }
 
 } // namespace chehab::fhe

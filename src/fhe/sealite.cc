@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "fhe/modarith.h"
 #include "support/error.h"
@@ -12,35 +13,73 @@ SealLite::SealLite(SealLiteParams params)
     : params_(params), rng_(params.seed)
 {
     const auto n = static_cast<std::uint64_t>(params_.n);
+    const std::uint64_t t = params_.plain_modulus;
     CHEHAB_ASSERT((params_.n & (params_.n - 1)) == 0,
                   "n must be a power of two");
-    CHEHAB_ASSERT((params_.plain_modulus - 1) % (2 * n) == 0,
+    CHEHAB_ASSERT((t - 1) % (2 * n) == 0,
                   "t must be ≡ 1 (mod 2n) for batching");
+    // Pointwise NTT products use single-word Barrett multiplies whose
+    // 64-bit product bound needs p^2 < 2^64.
+    CHEHAB_ASSERT(params_.prime_bits <= 31,
+                  "chain primes must stay below 2^32");
 
     primes_ = findNttPrimes(params_.prime_bits, params_.prime_count, 2 * n);
     ntt_.reserve(primes_.size());
     for (std::uint64_t p : primes_) {
-        ntt_.emplace_back(params_.n, p);
+        ntt_.push_back(acquireNttTables(params_.n, p));
     }
 
-    // q and the CRT recomposition constants.
-    q_ = BigInt(1);
-    for (std::uint64_t p : primes_) q_ = q_.multiplySmall(p);
-    for (std::size_t i = 0; i < primes_.size(); ++i) {
-        BigInt q_hat(1);
-        for (std::size_t j = 0; j < primes_.size(); ++j) {
-            if (j != i) q_hat = q_hat.multiplySmall(primes_[j]);
+    // Per-level CRT recomposition tables: level k uses the first k chain
+    // primes (modulus switching walks down the chain one prime at a time).
+    level_tables_.resize(primes_.size());
+    for (std::size_t lvl = 1; lvl <= primes_.size(); ++lvl) {
+        LevelTables& tab = level_tables_[lvl - 1];
+        tab.q = BigInt(1);
+        for (std::size_t i = 0; i < lvl; ++i) {
+            tab.q = tab.q.multiplySmall(primes_[i]);
         }
-        // (q/q_i) mod q_i via divmod on the bignum.
-        std::uint64_t q_hat_mod_qi = 0;
-        q_hat.divmodSmall(primes_[i], q_hat_mod_qi);
-        q_hat_inv_.push_back(invMod(q_hat_mod_qi, primes_[i]));
-        q_hat_.push_back(std::move(q_hat));
+        std::uint64_t rem = 0;
+        tab.half_q = tab.q.divmodSmall(2, rem);
+        tab.q.divmodSmall(t, tab.q_mod_t);
+        for (std::size_t i = 0; i < lvl; ++i) {
+            BigInt q_hat(1);
+            for (std::size_t j = 0; j < lvl; ++j) {
+                if (j != i) q_hat = q_hat.multiplySmall(primes_[j]);
+            }
+            // (q/q_i) mod q_i via divmod on the bignum.
+            std::uint64_t q_hat_mod_qi = 0;
+            q_hat.divmodSmall(primes_[i], q_hat_mod_qi);
+            tab.q_hat_inv.push_back(invMod(q_hat_mod_qi, primes_[i]));
+            tab.q_hat.push_back(std::move(q_hat));
+        }
+    }
+
+    // Modulus-switch constants for dropping prime index l (level l+1
+    // -> l): q_l^{-1} mod t for the δ construction, and per surviving
+    // prime the rescale factor q_l^{-1} folded with the centered scalar
+    // φ ≡ q_l (mod t) that restores the plaintext scaling (see header).
+    inv_prime_mod_t_.assign(primes_.size(), 0);
+    switch_factor_.resize(primes_.size());
+    for (std::size_t l = 1; l < primes_.size(); ++l) {
+        const std::uint64_t ql = primes_[l];
+        const std::uint64_t ql_mod_t = ql % t;
+        CHEHAB_ASSERT(ql_mod_t != 0, "chain prime divisible by t");
+        inv_prime_mod_t_[l] = invMod(ql_mod_t, t);
+        const bool phi_negative = ql_mod_t > t / 2;
+        const std::uint64_t phi_abs = phi_negative ? t - ql_mod_t : ql_mod_t;
+        auto& factors = switch_factor_[l];
+        factors.resize(l);
+        for (std::size_t i = 0; i < l; ++i) {
+            const std::uint64_t qi = primes_[i];
+            const std::uint64_t inv_ql = invMod(ql % qi, qi);
+            std::uint64_t phi_mod = phi_abs % qi;
+            if (phi_negative && phi_mod != 0) phi_mod = qi - phi_mod;
+            factors[i] = mulMod(inv_ql, phi_mod, qi);
+        }
     }
 
     // Batching tables mod t: zeta is a primitive 2n-th root; slot j of
     // row 0 is the evaluation at zeta^(3^j mod 2n).
-    const std::uint64_t t = params_.plain_modulus;
     const std::uint64_t zeta = findPrimitiveRoot(2 * n, t);
     zeta_powers_.resize(2 * n);
     std::uint64_t power = 1;
@@ -59,7 +98,15 @@ SealLite::SealLite(SealLiteParams params)
     // Key material.
     secret_ = sampleTernary();
     secret_rns_ = liftSmall(secret_);
+    secret_ntt_ = toNttForm(secret_rns_);
     relin_key_ = makeKeySwitchKey(mulPoly(secret_rns_, secret_rns_));
+}
+
+int
+SealLite::coeffModulusBitsAt(int level) const
+{
+    CHEHAB_ASSERT(level >= 1 && level <= levels(), "bad chain level");
+    return level_tables_[static_cast<std::size_t>(level) - 1].q.bitLength();
 }
 
 // ---------------------------------------------------------------------
@@ -67,10 +114,10 @@ SealLite::SealLite(SealLiteParams params)
 // ---------------------------------------------------------------------
 
 RnsPoly
-SealLite::zeroPoly() const
+SealLite::zeroPoly(int k) const
 {
     RnsPoly poly;
-    poly.k = static_cast<int>(primes_.size());
+    poly.k = k == 0 ? static_cast<int>(primes_.size()) : k;
     poly.n = params_.n;
     poly.data.assign(static_cast<std::size_t>(poly.k) * poly.n, 0);
     return poly;
@@ -132,6 +179,7 @@ SealLite::sampleError()
 void
 SealLite::addInPlace(RnsPoly& a, const RnsPoly& b) const
 {
+    CHEHAB_ASSERT(a.k == b.k, "RNS add across mismatched levels");
     for (int i = 0; i < a.k; ++i) {
         const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
         std::uint64_t* x = a.component(i);
@@ -143,6 +191,7 @@ SealLite::addInPlace(RnsPoly& a, const RnsPoly& b) const
 void
 SealLite::subInPlace(RnsPoly& a, const RnsPoly& b) const
 {
+    CHEHAB_ASSERT(a.k == b.k, "RNS sub across mismatched levels");
     for (int i = 0; i < a.k; ++i) {
         const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
         std::uint64_t* x = a.component(i);
@@ -164,33 +213,84 @@ SealLite::negateInPlace(RnsPoly& a) const
 RnsPoly
 SealLite::mulPoly(const RnsPoly& a, const RnsPoly& b) const
 {
-    RnsPoly result = zeroPoly();
+    CHEHAB_ASSERT(a.k == b.k, "RNS multiply across mismatched levels");
+    RnsPoly result = zeroPoly(a.k);
     std::vector<std::uint64_t> fa(static_cast<std::size_t>(params_.n));
     std::vector<std::uint64_t> fb(static_cast<std::size_t>(params_.n));
     for (int i = 0; i < result.k; ++i) {
-        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        const NttTables& tables = *ntt_[static_cast<std::size_t>(i)];
+        const Barrett& reducer = tables.reducer();
         const std::uint64_t* x = a.component(i);
         const std::uint64_t* y = b.component(i);
         std::copy(x, x + params_.n, fa.begin());
         std::copy(y, y + params_.n, fb.begin());
-        ntt_[static_cast<std::size_t>(i)].forward(fa.data());
-        ntt_[static_cast<std::size_t>(i)].forward(fb.data());
+        tables.forward(fa.data());
+        tables.forward(fb.data());
         for (int j = 0; j < params_.n; ++j) {
             fa[static_cast<std::size_t>(j)] =
-                mulMod(fa[static_cast<std::size_t>(j)],
-                       fb[static_cast<std::size_t>(j)], p);
+                reducer.mulMod(fa[static_cast<std::size_t>(j)],
+                               fb[static_cast<std::size_t>(j)]);
         }
-        ntt_[static_cast<std::size_t>(i)].inverse(fa.data());
+        tables.inverse(fa.data());
         std::copy(fa.begin(), fa.end(), result.component(i));
     }
     return result;
 }
 
 RnsPoly
+SealLite::mulPolyNtt(const RnsPoly& a, const NttForm& b) const
+{
+    CHEHAB_ASSERT(b.n == a.n && b.k >= a.k,
+                  "NTT form shorter than the operand level");
+    RnsPoly result = zeroPoly(a.k);
+    std::vector<std::uint64_t> fa(static_cast<std::size_t>(params_.n));
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        const NttTables& tables = *ntt_[static_cast<std::size_t>(i)];
+        const std::uint64_t* x = a.component(i);
+        std::copy(x, x + params_.n, fa.begin());
+        tables.forward(fa.data());
+        const std::uint64_t* w = b.component(i);
+        const std::uint64_t* ws = b.shoupComponent(i);
+        for (int j = 0; j < params_.n; ++j) {
+            fa[static_cast<std::size_t>(j)] =
+                mulModShoup(fa[static_cast<std::size_t>(j)],
+                            w[static_cast<std::size_t>(j)],
+                            ws[static_cast<std::size_t>(j)], p);
+        }
+        tables.inverse(fa.data());
+        std::copy(fa.begin(), fa.end(), result.component(i));
+    }
+    return result;
+}
+
+NttForm
+SealLite::toNttForm(const RnsPoly& a) const
+{
+    NttForm form;
+    form.k = a.k;
+    form.n = a.n;
+    form.values = a.data;
+    form.shoup.resize(form.values.size());
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        std::uint64_t* v = form.values.data() +
+                           static_cast<std::size_t>(i) * form.n;
+        ntt_[static_cast<std::size_t>(i)]->forward(v);
+        std::uint64_t* s = form.shoup.data() +
+                           static_cast<std::size_t>(i) * form.n;
+        for (int j = 0; j < form.n; ++j) {
+            s[j] = shoupPrecompute(v[j], p);
+        }
+    }
+    return form;
+}
+
+RnsPoly
 SealLite::applyAutomorphism(const RnsPoly& a,
                             std::uint64_t galois_element) const
 {
-    RnsPoly result = zeroPoly();
+    RnsPoly result = zeroPoly(a.k);
     const auto two_n = static_cast<std::uint64_t>(2 * params_.n);
     for (int i = 0; i < a.k; ++i) {
         const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
@@ -211,9 +311,9 @@ SealLite::applyAutomorphism(const RnsPoly& a,
 }
 
 RnsPoly
-SealLite::liftPlain(const Plaintext& plain) const
+SealLite::liftPlain(const Plaintext& plain, int k) const
 {
-    RnsPoly poly = zeroPoly();
+    RnsPoly poly = zeroPoly(k);
     for (int i = 0; i < poly.k; ++i) {
         const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
         std::uint64_t* c = poly.component(i);
@@ -222,6 +322,96 @@ SealLite::liftPlain(const Plaintext& plain) const
         }
     }
     return poly;
+}
+
+std::shared_ptr<const NttForm>
+SealLite::plainNttForm(const Plaintext& plain) const
+{
+    // FNV-1a over the coefficients; the full vector is stored alongside
+    // the form and compared on hit, so a hash collision degrades to a
+    // rebuild rather than a wrong product.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (std::uint64_t v : plain.coeffs) {
+        hash ^= v;
+        hash *= 1099511628211ULL;
+    }
+    {
+        std::lock_guard<std::mutex> lock(plain_cache_mutex_);
+        auto it = plain_ntt_cache_.find(hash);
+        if (it != plain_ntt_cache_.end() &&
+            it->second->coeffs == plain.coeffs) {
+            return {it->second, &it->second->form};
+        }
+    }
+    auto entry = std::make_shared<PlainCacheEntry>();
+    entry->coeffs = plain.coeffs;
+    entry->form = toNttForm(liftPlain(plain));
+    std::lock_guard<std::mutex> lock(plain_cache_mutex_);
+    if (plain_ntt_cache_.size() >= 256) plain_ntt_cache_.clear();
+    plain_ntt_cache_[hash] = entry;
+    return {entry, &entry->form};
+}
+
+void
+SealLite::modSwitchPolyDown(RnsPoly& poly) const
+{
+    CHEHAB_ASSERT(poly.k >= 2, "cannot drop the last chain prime");
+    const int l = poly.k - 1;
+    const std::uint64_t ql = primes_[static_cast<std::size_t>(l)];
+    const std::uint64_t t = params_.plain_modulus;
+    const std::uint64_t inv_ql_t = inv_prime_mod_t_[static_cast<std::size_t>(l)];
+    const auto& factors = switch_factor_[static_cast<std::size_t>(l)];
+    const std::uint64_t* last = poly.component(l);
+    const auto half_ql = static_cast<std::int64_t>(ql / 2);
+
+    // δ per coefficient: δ ≡ c (mod q_l) and δ ≡ 0 (mod t), built as the
+    // centered residue δ0 of c mod q_l plus q_l times the centered lift
+    // of -δ0·q_l^{-1} mod t, so |δ| <= q_l(t+1)/2 (fits int64 for the
+    // <= 46-bit products the parameter asserts allow).
+    std::vector<std::int64_t> delta(static_cast<std::size_t>(poly.n));
+    for (int x = 0; x < poly.n; ++x) {
+        const auto r = static_cast<std::int64_t>(last[x]);
+        const std::int64_t delta0 =
+            r > half_ql ? r - static_cast<std::int64_t>(ql) : r;
+        const std::uint64_t d0_mod_t =
+            delta0 >= 0
+                ? static_cast<std::uint64_t>(delta0) % t
+                : (t - static_cast<std::uint64_t>(-delta0) % t) % t;
+        const std::uint64_t u = mulMod((t - d0_mod_t) % t, inv_ql_t, t);
+        const std::int64_t uc =
+            u > t / 2 ? static_cast<std::int64_t>(u - t)
+                      : static_cast<std::int64_t>(u);
+        delta[static_cast<std::size_t>(x)] =
+            delta0 + static_cast<std::int64_t>(ql) * uc;
+    }
+
+    // Surviving components: c' = (c - δ) * q_l^{-1} * φ mod q_i with the
+    // two scalars folded into one precomputed factor.
+    for (int i = 0; i < l; ++i) {
+        const std::uint64_t qi = primes_[static_cast<std::size_t>(i)];
+        const std::uint64_t factor = factors[static_cast<std::size_t>(i)];
+        std::uint64_t* c = poly.component(i);
+        for (int x = 0; x < poly.n; ++x) {
+            const std::int64_t d = delta[static_cast<std::size_t>(x)];
+            const std::uint64_t d_mod =
+                d >= 0 ? static_cast<std::uint64_t>(d) % qi
+                       : (qi - static_cast<std::uint64_t>(-d) % qi) % qi;
+            c[x] = mulMod(subMod(c[x], d_mod, qi), factor, qi);
+        }
+    }
+    poly.k = l;
+    poly.data.resize(static_cast<std::size_t>(l) * poly.n);
+}
+
+void
+SealLite::modSwitchTo(Ciphertext& ct, int level) const
+{
+    CHEHAB_ASSERT(level >= 1 && level <= ct.c0.k,
+                  "mod switch target outside the remaining chain");
+    while (ct.c0.k > level) {
+        modSwitchPolyDown(ct.c0);
+        modSwitchPolyDown(ct.c1);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -351,7 +541,7 @@ SealLite::encrypt(const Plaintext& plain)
     Ciphertext ct;
     ct.c1 = uniformPoly();
     // c0 = -(a*s) + t*e + m.
-    ct.c0 = mulPoly(ct.c1, secret_rns_);
+    ct.c0 = mulPolyNtt(ct.c1, secret_ntt_);
     negateInPlace(ct.c0);
     std::vector<int> error = sampleError();
     const auto t = static_cast<int>(params_.plain_modulus);
@@ -364,34 +554,32 @@ SealLite::encrypt(const Plaintext& plain)
 BigInt
 SealLite::recomposeCoeff(const RnsPoly& poly, int index) const
 {
+    const LevelTables& tab =
+        level_tables_[static_cast<std::size_t>(poly.k) - 1];
     BigInt value;
     for (int i = 0; i < poly.k; ++i) {
         const std::uint64_t scaled =
             mulMod(poly.component(i)[index],
-                   q_hat_inv_[static_cast<std::size_t>(i)],
+                   tab.q_hat_inv[static_cast<std::size_t>(i)],
                    primes_[static_cast<std::size_t>(i)]);
         value = value.add(
-            q_hat_[static_cast<std::size_t>(i)].multiplySmall(scaled));
+            tab.q_hat[static_cast<std::size_t>(i)].multiplySmall(scaled));
     }
-    return value.reduceBySubtraction(q_);
+    return value.reduceBySubtraction(tab.q);
 }
 
 Plaintext
 SealLite::decryptPlain(const Ciphertext& ct) const
 {
-    // v = c0 + c1*s mod q; m = (centered v) mod t.
-    RnsPoly v = mulPoly(ct.c1, secret_rns_);
+    // v = c0 + c1*s mod q; m = (centered v) mod t. q here is the
+    // ciphertext's *current* chain product — decryption works at every
+    // level.
+    RnsPoly v = mulPolyNtt(ct.c1, secret_ntt_);
     addInPlace(v, ct.c0);
 
     const std::uint64_t t = params_.plain_modulus;
-    std::uint64_t q_mod_t = 0;
-    q_.divmodSmall(t, q_mod_t);
-
-    BigInt half_q = q_;
-    {
-        std::uint64_t rem = 0;
-        half_q = half_q.divmodSmall(2, rem);
-    }
+    const LevelTables& tab =
+        level_tables_[static_cast<std::size_t>(v.k) - 1];
 
     Plaintext plain;
     plain.coeffs.assign(static_cast<std::size_t>(params_.n), 0);
@@ -399,9 +587,9 @@ SealLite::decryptPlain(const Ciphertext& ct) const
         const BigInt value = recomposeCoeff(v, j);
         std::uint64_t value_mod_t = 0;
         value.divmodSmall(t, value_mod_t);
-        if (value.compare(half_q) > 0) {
+        if (value.compare(tab.half_q) > 0) {
             // True integer is value - q (negative lift).
-            value_mod_t = subMod(value_mod_t, q_mod_t, t);
+            value_mod_t = subMod(value_mod_t, tab.q_mod_t, t);
         }
         plain.coeffs[static_cast<std::size_t>(j)] = value_mod_t;
     }
@@ -449,17 +637,20 @@ Ciphertext
 SealLite::addPlain(const Ciphertext& a, const Plaintext& plain) const
 {
     Ciphertext out = a;
-    addInPlace(out.c0, liftPlain(plain));
+    addInPlace(out.c0, liftPlain(plain, a.c0.k));
     return out;
 }
 
 Ciphertext
 SealLite::mulPlain(const Ciphertext& a, const Plaintext& plain) const
 {
-    const RnsPoly lifted = liftPlain(plain);
+    // Packed executions re-multiply the same masks on every run of a
+    // cached program; the cached NTT form turns each mulPlain into one
+    // forward + pointwise Shoup + one inverse per component.
+    const std::shared_ptr<const NttForm> form = plainNttForm(plain);
     Ciphertext out;
-    out.c0 = mulPoly(a.c0, lifted);
-    out.c1 = mulPoly(a.c1, lifted);
+    out.c0 = mulPolyNtt(a.c0, *form);
+    out.c1 = mulPolyNtt(a.c1, *form);
     return out;
 }
 
@@ -481,7 +672,7 @@ SealLite::makeKeySwitchKey(const RnsPoly& target)
         const std::uint64_t p_i = primes_[static_cast<std::size_t>(i)];
         for (int d = 0; d < digits; ++d) {
             RnsPoly a_id = uniformPoly();
-            RnsPoly b_id = mulPoly(a_id, secret_rns_);
+            RnsPoly b_id = mulPolyNtt(a_id, secret_ntt_);
             negateInPlace(b_id);
             std::vector<int> error = sampleError();
             for (auto& e : error) e *= t;
@@ -497,8 +688,8 @@ SealLite::makeKeySwitchKey(const RnsPoly& target)
                 dst[j] = addMod(dst[j], mulMod(src[j], base_power, p_i),
                                 p_i);
             }
-            key.a.push_back(std::move(a_id));
-            key.b.push_back(std::move(b_id));
+            key.a.push_back(toNttForm(a_id));
+            key.b.push_back(toNttForm(b_id));
         }
     }
     return key;
@@ -508,27 +699,69 @@ void
 SealLite::keySwitch(const RnsPoly& poly, const KeySwitchKey& key,
                     RnsPoly& delta_c0, RnsPoly& delta_c1) const
 {
-    const int k = static_cast<int>(primes_.size());
+    // Operates at poly's level: residues i >= poly.k no longer exist,
+    // and for the surviving primes the first poly.k components of the
+    // full-level key entries are exactly the level-poly.k key (the CRT
+    // basis T_i reduces correctly mod every surviving prime).
+    const int k = poly.k;
     const int digits = digitsPerPrime();
     const std::uint64_t mask = (1ULL << params_.decomp_bits) - 1;
+    const int n = params_.n;
+    std::vector<std::uint64_t> digit(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> transformed(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> prod(static_cast<std::size_t>(n));
     for (int i = 0; i < k; ++i) {
         const std::uint64_t* residues = poly.component(i);
         for (int d = 0; d < digits; ++d) {
             // Base-2^w digit of the i-th residue polynomial; digit values
-            // are < 2^w < every prime, so the RNS lift is a plain copy.
-            RnsPoly digit = zeroPoly();
+            // are < 2^w < every prime, so the RNS lift is a plain copy
+            // shared across components.
             bool nonzero = false;
-            for (int x = 0; x < params_.n; ++x) {
+            for (int x = 0; x < n; ++x) {
                 const std::uint64_t v =
                     (residues[x] >> (d * params_.decomp_bits)) & mask;
-                if (v != 0) nonzero = true;
-                for (int j = 0; j < k; ++j) digit.component(j)[x] = v;
+                digit[static_cast<std::size_t>(x)] = v;
+                nonzero = nonzero || v != 0;
             }
             if (!nonzero) continue;
             const std::size_t idx =
                 static_cast<std::size_t>(i) * digits + d;
-            addInPlace(delta_c0, mulPoly(key.b[idx], digit));
-            addInPlace(delta_c1, mulPoly(key.a[idx], digit));
+            const NttForm& key_b = key.b[idx];
+            const NttForm& key_a = key.a[idx];
+            // One forward transform of the digit per prime serves both
+            // key components (the seed path re-transformed it for each).
+            for (int j = 0; j < k; ++j) {
+                const std::uint64_t p = primes_[static_cast<std::size_t>(j)];
+                const NttTables& tables = *ntt_[static_cast<std::size_t>(j)];
+                std::copy(digit.begin(), digit.end(), transformed.begin());
+                tables.forward(transformed.data());
+                const std::uint64_t* bw = key_b.component(j);
+                const std::uint64_t* bs = key_b.shoupComponent(j);
+                for (int x = 0; x < n; ++x) {
+                    prod[static_cast<std::size_t>(x)] = mulModShoup(
+                        transformed[static_cast<std::size_t>(x)],
+                        bw[x], bs[x], p);
+                }
+                tables.inverse(prod.data());
+                std::uint64_t* dst0 = delta_c0.component(j);
+                for (int x = 0; x < n; ++x) {
+                    dst0[x] = addMod(dst0[x],
+                                     prod[static_cast<std::size_t>(x)], p);
+                }
+                const std::uint64_t* aw = key_a.component(j);
+                const std::uint64_t* as = key_a.shoupComponent(j);
+                for (int x = 0; x < n; ++x) {
+                    prod[static_cast<std::size_t>(x)] = mulModShoup(
+                        transformed[static_cast<std::size_t>(x)],
+                        aw[x], as[x], p);
+                }
+                tables.inverse(prod.data());
+                std::uint64_t* dst1 = delta_c1.component(j);
+                for (int x = 0; x < n; ++x) {
+                    dst1[x] = addMod(dst1[x],
+                                     prod[static_cast<std::size_t>(x)], p);
+                }
+            }
         }
     }
 }
@@ -603,7 +836,7 @@ SealLite::rotate(const Ciphertext& a, int step) const
 
     Ciphertext out;
     out.c0 = applyAutomorphism(a.c0, g);
-    out.c1 = zeroPoly();
+    out.c1 = zeroPoly(a.c0.k);
     const RnsPoly rotated_c1 = applyAutomorphism(a.c1, g);
     keySwitch(rotated_c1, key_it->second, out.c0, out.c1);
     return out;
@@ -616,18 +849,20 @@ SealLite::rotate(const Ciphertext& a, int step) const
 int
 SealLite::noiseBudgetBits(const Ciphertext& ct) const
 {
-    RnsPoly v = mulPoly(ct.c1, secret_rns_);
+    RnsPoly v = mulPolyNtt(ct.c1, secret_ntt_);
     addInPlace(v, ct.c0);
+    const LevelTables& tab =
+        level_tables_[static_cast<std::size_t>(v.k) - 1];
 
     BigInt max_magnitude;
     for (int j = 0; j < params_.n; ++j) {
         const BigInt value = recomposeCoeff(v, j);
-        const BigInt complement = q_.subtract(value);
+        const BigInt complement = tab.q.subtract(value);
         const BigInt magnitude =
             value.compare(complement) <= 0 ? value : complement;
         if (magnitude.compare(max_magnitude) > 0) max_magnitude = magnitude;
     }
-    const int budget = (q_.bitLength() - 1) - max_magnitude.bitLength();
+    const int budget = (tab.q.bitLength() - 1) - max_magnitude.bitLength();
     return budget;
 }
 

@@ -8,8 +8,21 @@
 /// symmetric RLWE encryption (c₀ = −a·s + t·e + m, c₁ = a), ciphertext
 /// add/sub/negate, plaintext add/multiply, ciphertext multiply with
 /// RNS-basis relinearization, Galois-automorphism slot rotations with key
-/// switching, CRT batching over the plaintext modulus t, and SEAL-style
-/// invariant-noise-budget measurement.
+/// switching, CRT batching over the plaintext modulus t, SEAL-style
+/// invariant-noise-budget measurement, and BGV modulus switching
+/// (modSwitchTo: drop trailing RNS primes mid-circuit once the noise
+/// demand fits the smaller chain — the runtime support behind the
+/// compiler's mod-switch pass).
+///
+/// Modulus switching (exactness contract): dropping the last prime q_l
+/// rescales every component by q_l^{-1} using a correction δ with
+/// δ ≡ c (mod q_l) and δ ≡ 0 (mod t), which multiplies the encoded
+/// plaintext by q_l^{-1} mod t; the implementation immediately undoes
+/// that by folding the centered scalar φ ≡ q_l (mod t) into the same
+/// per-coefficient multiply, so ciphertexts never carry a correction
+/// factor and decoded outputs are bit-identical with or without drops
+/// (while noise bounds hold — the compiler pass gates drops on a
+/// deterministic noise simulation with margin).
 ///
 /// Substitution note (documented in DESIGN.md): the paper evaluates on
 /// BFV; we implement its sibling exact scheme BGV because BGV's multiply
@@ -26,6 +39,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -49,17 +64,42 @@ struct SealLiteParams
                                       ///  trade-off, as in SEAL).
 };
 
-/// Polynomial in RNS form: prime-major layout, `prime_count * n` words.
+/// Polynomial in RNS form: prime-major layout, `k * n` words. k is the
+/// poly's *level* — the number of leading chain primes it still carries
+/// (modulus switching truncates trailing components).
 struct RnsPoly
 {
     std::vector<std::uint64_t> data;
-    int k = 0; ///< Number of primes.
+    int k = 0; ///< Number of primes (current level).
     int n = 0;
 
     std::uint64_t* component(int i) { return data.data() + static_cast<std::size_t>(i) * n; }
     const std::uint64_t* component(int i) const
     {
         return data.data() + static_cast<std::size_t>(i) * n;
+    }
+};
+
+/// A polynomial cached in per-prime NTT (evaluation) form with a Shoup
+/// companion per slot: multiplying a variable coefficient-form operand
+/// against a cached form costs one forward + pointwise Shoup multiplies
+/// + one inverse (key-switch keys, the secret, and repeated plaintext
+/// constants all qualify). Always built at the full level; a level-k
+/// consumer reads the first k components (RNS primes are independent).
+struct NttForm
+{
+    std::vector<std::uint64_t> values; ///< Prime-major, k * n words.
+    std::vector<std::uint64_t> shoup;  ///< Shoup companions, same layout.
+    int k = 0;
+    int n = 0;
+
+    const std::uint64_t* component(int i) const
+    {
+        return values.data() + static_cast<std::size_t>(i) * n;
+    }
+    const std::uint64_t* shoupComponent(int i) const
+    {
+        return shoup.data() + static_cast<std::size_t>(i) * n;
     }
 };
 
@@ -89,8 +129,26 @@ class SealLite
     /// Usable SIMD slots (one batching row = n/2).
     int slots() const { return params_.n / 2; }
 
-    /// log2 of the coefficient modulus (total budget headroom).
-    int coeffModulusBits() const { return q_.bitLength(); }
+    /// log2 of the full coefficient modulus (total budget headroom).
+    int coeffModulusBits() const { return coeffModulusBitsAt(levels()); }
+
+    /// \name Modulus chain levels
+    /// @{
+    /// Number of primes in the full chain.
+    int levels() const { return static_cast<int>(primes_.size()); }
+    /// log2 of the coefficient modulus at \p level primes (1..levels()).
+    int coeffModulusBitsAt(int level) const;
+    /// The chain primes, in order (index < level participates).
+    const std::vector<std::uint64_t>& primeChain() const { return primes_; }
+    /// Current level of a ciphertext.
+    int level(const Ciphertext& ct) const { return ct.c0.k; }
+    /// Switch \p ct down to \p level primes (1 <= level <= current),
+    /// dropping trailing chain primes one at a time. Exact: the decoded
+    /// plaintext is unchanged (see the header notes); noise shrinks by
+    /// roughly prime_bits and grows by ~log2(t) per drop, and the
+    /// budget is thereafter measured against the smaller modulus.
+    void modSwitchTo(Ciphertext& ct, int level) const;
+    /// @}
 
     /// \name Batching
     /// @{
@@ -134,6 +192,9 @@ class SealLite
     /// @}
 
     /// \name Homomorphic evaluation
+    /// Binary ciphertext operations require both operands at the same
+    /// level (the runtime's drop points switch every live ciphertext in
+    /// lockstep, so this holds by construction).
     /// @{
     Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
     Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
@@ -171,8 +232,9 @@ class SealLite
 
     /// \name Noise measurement (App. H.1)
     /// @{
-    /// Remaining invariant noise budget in bits (<= 0 means decryption
-    /// is no longer guaranteed).
+    /// Remaining invariant noise budget in bits, measured against the
+    /// ciphertext's *current* coefficient modulus (<= 0 means
+    /// decryption is no longer guaranteed).
     int noiseBudgetBits(const Ciphertext& ct) const;
     /// Budget of a fresh encryption under these parameters.
     int freshNoiseBudget();
@@ -182,12 +244,24 @@ class SealLite
     struct KeySwitchKey
     {
         // One (b, a) pair per (RNS prime, base-2^w digit) combination:
-        // entry i*digits+d encrypts T_i * B^d * target.
-        std::vector<RnsPoly> b;
-        std::vector<RnsPoly> a;
+        // entry i*digits+d encrypts T_i * B^d * target. Stored in NTT
+        // form (with Shoup companions) — key switching only ever
+        // multiplies them against freshly decomposed digit polynomials.
+        std::vector<NttForm> b;
+        std::vector<NttForm> a;
     };
 
-    RnsPoly zeroPoly() const;
+    /// Per-level CRT recomposition tables (level = index + 1 primes).
+    struct LevelTables
+    {
+        BigInt q;
+        BigInt half_q;
+        std::uint64_t q_mod_t = 0;
+        std::vector<BigInt> q_hat;            ///< q / q_i.
+        std::vector<std::uint64_t> q_hat_inv; ///< (q/q_i)^-1 mod q_i.
+    };
+
+    RnsPoly zeroPoly(int k = 0) const; ///< k = 0 means full level.
     RnsPoly uniformPoly();
     /// Small (ternary / gaussian) polynomial lifted to RNS.
     RnsPoly liftSmall(const std::vector<int>& coeffs) const;
@@ -197,14 +271,28 @@ class SealLite
     void addInPlace(RnsPoly& a, const RnsPoly& b) const;
     void subInPlace(RnsPoly& a, const RnsPoly& b) const;
     void negateInPlace(RnsPoly& a) const;
-    /// Negacyclic product via per-prime NTT.
+    /// Negacyclic product via per-prime NTT (operands at equal levels).
     RnsPoly mulPoly(const RnsPoly& a, const RnsPoly& b) const;
+    /// Negacyclic product against a cached NTT form: one forward, n
+    /// Shoup pointwise multiplies, one inverse per prime. Result at
+    /// a's level (the form is full-level).
+    RnsPoly mulPolyNtt(const RnsPoly& a, const NttForm& b) const;
+    /// Transform \p a (full level) into cached NTT form.
+    NttForm toNttForm(const RnsPoly& a) const;
     /// Apply x -> x^galois_element to every RNS component.
     RnsPoly applyAutomorphism(const RnsPoly& a,
                               std::uint64_t galois_element) const;
 
-    /// Lift a plaintext (mod t) into RNS form.
-    RnsPoly liftPlain(const Plaintext& plain) const;
+    /// Lift a plaintext (mod t) into RNS form at level \p k (0 = full).
+    RnsPoly liftPlain(const Plaintext& plain, int k = 0) const;
+
+    /// Cached (lifted + NTT-transformed) form of \p plain for repeated
+    /// ciphertext-plaintext multiplies across packed executions.
+    std::shared_ptr<const NttForm> plainNttForm(const Plaintext& plain) const;
+
+    /// Drop the last RNS prime of \p poly (the rescale + folded
+    /// t-correction described in the header notes).
+    void modSwitchPolyDown(RnsPoly& poly) const;
 
     /// Key-switch digit count per RNS prime.
     int digitsPerPrime() const;
@@ -213,33 +301,56 @@ class SealLite
     /// an automorphism image of s).
     KeySwitchKey makeKeySwitchKey(const RnsPoly& target);
     /// Key-switch \p poly (a component that currently multiplies the key
-    /// target) onto (delta_c0, delta_c1).
+    /// target) onto (delta_c0, delta_c1). Operates at poly's level: only
+    /// the first poly.k primes' digits and key components participate
+    /// (valid because the full-level CRT basis T_i reduces to the
+    /// level-k basis mod the surviving primes).
     void keySwitch(const RnsPoly& poly, const KeySwitchKey& key,
                    RnsPoly& delta_c0, RnsPoly& delta_c1) const;
 
     /// Galois element for a left rotation by \p step.
     std::uint64_t galoisElement(int step) const;
 
-    /// CRT-recompose coefficient \p index of \p poly.
+    /// CRT-recompose coefficient \p index of \p poly at poly's level.
     BigInt recomposeCoeff(const RnsPoly& poly, int index) const;
 
     SealLiteParams params_;
     std::vector<std::uint64_t> primes_;
-    std::vector<NttTables> ntt_;
-    BigInt q_;
-    std::vector<BigInt> q_hat_;                ///< q / q_i.
-    std::vector<std::uint64_t> q_hat_inv_;     ///< (q/q_i)^-1 mod q_i.
+    /// Shared process-wide tables (see acquireNttTables).
+    std::vector<std::shared_ptr<const NttTables>> ntt_;
+    std::vector<LevelTables> level_tables_;    ///< [k-1] = level-k tables.
+    /// Modulus-switch precomputation for dropping prime index l
+    /// (level l+1 -> l): q_l^{-1} mod t, and per surviving prime i the
+    /// folded factor (q_l^{-1} mod q_i) * (φ mod q_i) with φ the
+    /// centered representative of q_l mod t.
+    std::vector<std::uint64_t> inv_prime_mod_t_;
+    std::vector<std::vector<std::uint64_t>> switch_factor_;
     std::vector<std::uint64_t> zeta_powers_;   ///< 2n-th root powers mod t.
     std::vector<int> slot_exponents_;          ///< e_j = 3^j mod 2n (row 0).
     std::uint64_t inv_n_mod_t_ = 0;
 
     std::vector<int> secret_;                  ///< Ternary secret key.
     RnsPoly secret_rns_;
+    NttForm secret_ntt_;                       ///< Cached NTT form of s.
     KeySwitchKey relin_key_;
     std::unordered_map<int, KeySwitchKey> galois_keys_;
     std::unordered_map<int, std::uint64_t> galois_elements_;
     Rng rng_;
     int fresh_budget_ = -1;
+
+    /// Cache of NTT forms for repeatedly-used plaintext constants
+    /// (packed masks are re-multiplied on every run of a cached
+    /// program). Keyed by coefficient hash with full-coefficient
+    /// verification on hit; cleared wholesale at capacity.
+    struct PlainCacheEntry
+    {
+        std::vector<std::uint64_t> coeffs;
+        NttForm form;
+    };
+    mutable std::mutex plain_cache_mutex_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::shared_ptr<const PlainCacheEntry>>
+        plain_ntt_cache_;
 };
 
 } // namespace chehab::fhe

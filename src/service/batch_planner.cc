@@ -722,6 +722,21 @@ composeGroup(const BatchPlanner::Group& group)
         slice.output_reg = source.output_reg + reg_base;
         slice.output_width = source.output_width;
         composite.members.push_back(slice);
+        // Carry each member's mod-switch plan into the composite stream
+        // (points shift by the slice offset). Drops are global barriers
+        // at runtime — they switch every member's ciphertexts — so the
+        // composite keeps the most conservative margin/floor of any
+        // member that requested the pass.
+        if (!source.mod_switch.empty()) {
+            compiler::ModSwitchPlan& merged = composite.program.mod_switch;
+            for (int point : source.mod_switch.points) {
+                merged.points.push_back(point + slice.instr_begin);
+            }
+            merged.margin_bits = std::max(merged.margin_bits,
+                                          source.mod_switch.margin_bits);
+            merged.min_level =
+                std::max(merged.min_level, source.mod_switch.min_level);
+        }
         reg_base += std::max(source.num_regs, 1);
     }
     composite.program.num_regs = reg_base;

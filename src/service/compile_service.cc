@@ -187,6 +187,12 @@ checkStatsInvariants(const ServiceStats& stats, bool quiescent)
             stats.packed_lanes + stats.solo_runs + stats.run_failed,
             stats.run_cache.misses);
     }
+    // Drops are only counted inside the executed-owner stats blocks, so
+    // a non-zero counter implies at least one execution happened.
+    if (stats.mod_switch_drops > 0 && stats.executed == 0) {
+        return fail("mod_switch_drops > 0 implies executed > 0",
+                    stats.mod_switch_drops, stats.executed);
+    }
 
     if (!quiescent) return {};
 
@@ -674,6 +680,8 @@ CompileService::runSoloLane(const BatchLane& lane,
             ++stats_.executed;
             ++stats_.solo_runs;
             stats_.total_exec_seconds += seconds;
+            stats_.mod_switch_drops += static_cast<std::uint64_t>(
+                artifact.result.mod_switch_drops);
         }
         lane.entry->publishReady(std::move(artifact), seconds, worker);
     } catch (const std::exception& e) {
@@ -822,6 +830,8 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 stats_.composite_members += group.members.size();
             }
             stats_.total_exec_seconds += seconds;
+            stats_.mod_switch_drops +=
+                static_cast<std::uint64_t>(shared.mod_switch_drops);
         }
 
         for (std::size_t m = 0; m < group.members.size(); ++m) {

@@ -154,6 +154,10 @@ struct ServiceStats
     std::uint64_t run_failed = 0;     ///< Runs that failed (either stage).
     double total_exec_seconds = 0.0;  ///< Sum over owner executions.
     std::uint64_t runtimes_created = 0; ///< Pooled FheRuntimes built.
+    /// Mid-circuit modulus drops the runtime's mod-switch gate took,
+    /// summed over owner executions (solo and packed). Zero unless a
+    /// request's pipeline includes the "mod-switch" pass.
+    std::uint64_t mod_switch_drops = 0;
 
     /// \name Slot-batching coalescer
     /// @{

@@ -1,0 +1,271 @@
+/// \file
+/// Mid-circuit modulus switching, bottom to top: SealLite::modSwitchTo
+/// exactness (decoded plaintext unchanged per drop, ops still correct
+/// at lower levels), the deterministic noise-bits model's gating
+/// (drops allowed with headroom, refused when the margin or min-level
+/// would be violated), the mod-switch pass's drop-point placement and
+/// fingerprint coverage, and on-vs-off decode-level identity through
+/// the runtime.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/driver.h"
+#include "compiler/modswitch.h"
+#include "compiler/runtime.h"
+#include "ir/parser.h"
+#include "support/rng.h"
+#include "trs/ruleset.h"
+
+namespace chehab::compiler {
+namespace {
+
+fhe::SealLiteParams
+smallParams()
+{
+    fhe::SealLiteParams params;
+    params.n = 256;
+    params.prime_count = 4;
+    params.seed = 17;
+    return params;
+}
+
+// -- SealLite::modSwitchTo ---------------------------------------------
+
+TEST(ModSwitchSchemeTest, DropIsExactAtEveryLevel)
+{
+    fhe::SealLite scheme(smallParams());
+    Rng rng(21);
+    std::vector<std::int64_t> values(
+        static_cast<std::size_t>(scheme.slots()));
+    for (auto& v : values) {
+        v = static_cast<std::int64_t>(rng.uniformInt(65537));
+    }
+    fhe::Ciphertext ct = scheme.encrypt(scheme.encode(values));
+    ASSERT_EQ(scheme.level(ct), scheme.levels());
+    // Stop at two primes: each drop leaves a noise floor of roughly
+    // n·t²/2 (the centered t-correction times the plaintext scale),
+    // which a single ~30-bit prime cannot carry with t = 65537 — the
+    // reason the runtime gate floors the chain at min_level 2.
+    for (int level = scheme.levels() - 1; level >= 2; --level) {
+        scheme.modSwitchTo(ct, level);
+        EXPECT_EQ(scheme.level(ct), level);
+        EXPECT_EQ(scheme.decrypt(ct), values) << "level " << level;
+        EXPECT_GT(scheme.noiseBudgetBits(ct), 0) << "level " << level;
+    }
+}
+
+TEST(ModSwitchSchemeTest, OpsAfterDropMatchPlainSemantics)
+{
+    fhe::SealLite scheme(smallParams());
+    const std::int64_t t = 65537;
+    std::vector<std::int64_t> xs(static_cast<std::size_t>(scheme.slots()));
+    std::vector<std::int64_t> ys(xs.size());
+    Rng rng(22);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = static_cast<std::int64_t>(rng.uniformInt(1000));
+        ys[i] = static_cast<std::int64_t>(rng.uniformInt(1000));
+    }
+    fhe::Ciphertext a = scheme.encrypt(scheme.encode(xs));
+    fhe::Ciphertext b = scheme.encrypt(scheme.encode(ys));
+    // Drop both operands one level, then keep computing on them.
+    scheme.modSwitchTo(a, scheme.levels() - 1);
+    scheme.modSwitchTo(b, scheme.levels() - 1);
+    const std::vector<std::int64_t> sum = scheme.decrypt(scheme.add(a, b));
+    const std::vector<std::int64_t> product =
+        scheme.decrypt(scheme.multiply(a, b));
+    const std::vector<std::int64_t> rotated =
+        [&] {
+            scheme.makeGaloisKeys({1});
+            return scheme.decrypt(scheme.rotate(a, 1));
+        }();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(sum[i], (xs[i] + ys[i]) % t);
+        EXPECT_EQ(product[i], (xs[i] * ys[i]) % t);
+        EXPECT_EQ(rotated[i], xs[(i + 1) % xs.size()]);
+    }
+}
+
+// -- the noise model's gate --------------------------------------------
+
+struct ModelFixture
+{
+    fhe::SealLite scheme{smallParams()};
+    FheProgram program;
+    RotationKeyPlan plan;
+    modswitch::NoiseParams np;
+
+    explicit ModelFixture(const std::string& text)
+    {
+        program = schedule(ir::parse(text));
+        np = modswitch::noiseParamsFor(scheme, scheme.freshNoiseBudget());
+    }
+
+    /// Model state immediately before instruction \p next.
+    modswitch::NoiseState
+    stateAt(int next) const
+    {
+        modswitch::NoiseState state =
+            modswitch::initialState(program, np);
+        for (int i = 0; i < next; ++i) {
+            modswitch::applyInstr(
+                state, program.instrs[static_cast<std::size_t>(i)], np,
+                plan);
+        }
+        return state;
+    }
+
+    /// Index one past the first ct-ct multiply (the spot the pass
+    /// marks).
+    int
+    afterFirstMul() const
+    {
+        for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+            if (program.instrs[i].op == FheOpcode::Mul) {
+                return static_cast<int>(i) + 1;
+            }
+        }
+        return 0;
+    }
+};
+
+TEST(ModSwitchModelTest, AllowsDropWithHeadroomRefusesWithoutIt)
+{
+    ModelFixture fx("(+ (* a b) c)");
+    const int next = fx.afterFirstMul();
+    ASSERT_GT(next, 0);
+    const modswitch::NoiseState state = fx.stateAt(next);
+    EXPECT_EQ(state.level, fx.scheme.levels());
+    // A shallow circuit's one product at the full 4-prime chain leaves
+    // primes of slack: a drop with the default margin must pass.
+    EXPECT_TRUE(modswitch::canDropBefore(fx.program, next, state, fx.np,
+                                         fx.plan, /*margin_bits=*/12,
+                                         /*min_level=*/1));
+    // An absurd margin consumes the whole post-drop modulus: refuse.
+    EXPECT_FALSE(modswitch::canDropBefore(
+        fx.program, next, state, fx.np, fx.plan,
+        /*margin_bits=*/fx.np.level_bits.back(), /*min_level=*/1));
+}
+
+TEST(ModSwitchModelTest, MinLevelFloorsTheChain)
+{
+    // No remaining suffix: gate decisions at end-of-stream isolate the
+    // level floor from suffix noise demand.
+    ModelFixture fx("(+ a b)");
+    const int end = static_cast<int>(fx.program.instrs.size());
+    modswitch::NoiseState state = fx.stateAt(end);
+    ASSERT_TRUE(modswitch::canDropBefore(fx.program, end, state, fx.np,
+                                         fx.plan, /*margin_bits=*/12,
+                                         /*min_level=*/3));
+    modswitch::applyDrop(state, fx.np);
+    EXPECT_EQ(state.level, fx.scheme.levels() - 1);
+    // At the floor the gate refuses regardless of noise headroom ...
+    EXPECT_FALSE(modswitch::canDropBefore(fx.program, end, state, fx.np,
+                                          fx.plan, 12, /*min_level=*/3));
+    // ... and the same state with a lower floor is allowed again.
+    EXPECT_TRUE(modswitch::canDropBefore(fx.program, end, state, fx.np,
+                                         fx.plan, 12, /*min_level=*/2));
+}
+
+TEST(ModSwitchModelTest, RefusesWhenRemainingSuffixIsTooDeep)
+{
+    // Chain a tower of multiplies: after the first product there is far
+    // more noise demand left than one dropped prime leaves room for,
+    // so the gate must keep the chain tall early on.
+    ModelFixture fx("(* (* (* (* a b) c) d) e)");
+    modswitch::NoiseState state =
+        modswitch::initialState(fx.program, fx.np);
+    int allowed_at_start = 0;
+    while (modswitch::canDropBefore(fx.program, 0, state, fx.np, fx.plan,
+                                    12, 1)) {
+        modswitch::applyDrop(state, fx.np);
+        ++allowed_at_start;
+    }
+    // The simulation covers the entire suffix, so it can never promise
+    // more drops than the depth budget supports; with a 4-prime toy
+    // chain and a depth-4 tower there is no room to drop everything.
+    EXPECT_LT(allowed_at_start, fx.scheme.levels() - 1);
+}
+
+// -- the pass ----------------------------------------------------------
+
+TEST(ModSwitchPassTest, MarksPointsAfterMulsAndFingerprints)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const CompilerDriver driver(&ruleset);
+    const ir::ExprPtr source = ir::parse("(+ (* a b) (* c d))");
+
+    DriverConfig off = DriverConfig::greedy({}, 12);
+    DriverConfig on = off;
+    on.passes.push_back("mod-switch");
+
+    const Compiled without = driver.compile(source, off);
+    EXPECT_TRUE(without.program.mod_switch.empty());
+
+    const Compiled with = driver.compile(source, on);
+    ASSERT_FALSE(with.program.mod_switch.empty());
+    for (const int point : with.program.mod_switch.points) {
+        ASSERT_GT(point, 0);
+        ASSERT_LE(point,
+                  static_cast<int>(with.program.instrs.size()));
+        // Every marked point sits immediately after a ct-ct multiply.
+        EXPECT_EQ(with.program.instrs[static_cast<std::size_t>(point - 1)]
+                      .op,
+                  FheOpcode::Mul);
+    }
+    // The instruction streams agree; only the plan differs — and the
+    // plan is part of both the fingerprint and the disassembly.
+    EXPECT_NE(off.fingerprint(), on.fingerprint());
+    EXPECT_NE(without.program.disassemble(),
+              with.program.disassemble());
+
+    // The margin is a fingerprinted parameter of the pass when (and
+    // only when) the pass is present.
+    DriverConfig margin = on;
+    margin.mod_switch_margin = 20;
+    EXPECT_NE(on.fingerprint(), margin.fingerprint());
+    DriverConfig margin_off = off;
+    margin_off.mod_switch_margin = 20;
+    EXPECT_EQ(off.fingerprint(), margin_off.fingerprint());
+}
+
+// -- end-to-end: on vs off ---------------------------------------------
+
+TEST(ModSwitchRuntimeTest, DecodedOutputsIdenticalOnVsOff)
+{
+    const trs::Ruleset ruleset = trs::buildChehabRuleset();
+    const CompilerDriver driver(&ruleset);
+    // Rotate-reduce dot product: multiplies followed by adds and
+    // rotations — real post-drop work for the gate to protect.
+    const ir::ExprPtr source = ir::parse(
+        "(VecAdd (VecMul (Vec a b c d) (Vec e f g h))"
+        "        (<< (VecMul (Vec a b c d) (Vec e f g h)) 2))");
+    const ir::Env env = {{"a", 3}, {"b", 1}, {"c", 4}, {"d", 1},
+                         {"e", 5}, {"f", 9}, {"g", 2}, {"h", 6}};
+
+    DriverConfig off = DriverConfig::greedy({}, 12);
+    DriverConfig on = off;
+    on.passes.push_back("mod-switch");
+
+    FheRuntime runtime(smallParams());
+    const RunResult plain = runtime.run(
+        driver.compile(source, off).program, env);
+    const RunResult switched = runtime.run(
+        driver.compile(source, on).program, env);
+
+    EXPECT_EQ(plain.mod_switch_drops, 0);
+    EXPECT_GT(switched.mod_switch_drops, 0);
+    EXPECT_EQ(plain.output, switched.output);
+    // Drops spend modulus, not correctness: the budget (measured
+    // against the smaller chain) must stay positive.
+    EXPECT_GT(switched.final_noise_budget, 0);
+
+    // Determinism: a second run takes exactly the same drops.
+    const RunResult again = runtime.run(
+        driver.compile(source, on).program, env);
+    EXPECT_EQ(again.mod_switch_drops, switched.mod_switch_drops);
+    EXPECT_EQ(again.output, switched.output);
+}
+
+} // namespace
+} // namespace chehab::compiler

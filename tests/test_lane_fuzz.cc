@@ -373,7 +373,8 @@ fuzzCompositeVsSolo(std::uint32_t seed, int iterations)
 /// service; outputs must match bit for bit (the solo service is
 /// itself evaluator-checked in test_service_batching.cc).
 void
-fuzzServiceVsSolo(std::uint32_t seed, int num_kernels)
+fuzzServiceVsSolo(std::uint32_t seed, int num_kernels,
+                  bool mod_switch = false)
 {
     std::mt19937 rng(seed);
     auto pick = [&rng](int lo, int hi) {
@@ -415,6 +416,12 @@ fuzzServiceVsSolo(std::uint32_t seed, int num_kernels)
                 "k" + std::to_string(k) + "c" + std::to_string(copy);
             request.source = ir::parse(text);
             request.pipeline = compiler::DriverConfig::greedy({}, 12);
+            if (mod_switch) {
+                // Differential contract under mid-circuit modulus
+                // switching: drops may change moduli and noise but
+                // never the decoded outputs the solo side produces.
+                request.pipeline.passes.push_back("mod-switch");
+            }
             for (char v = 'a'; v <= 'f'; ++v) {
                 request.inputs[std::string(1, v)] =
                     (k * 13 + copy * 7 + (v - 'a') * 3) % 23 + 1;
@@ -469,6 +476,12 @@ TEST(LaneFuzzTest, ServicePackedVsSoloOverRandomDsl)
     fuzzServiceVsSolo(/*seed=*/0xFACADE, /*num_kernels=*/6);
 }
 
+TEST(LaneFuzzTest, ServicePackedVsSoloWithModSwitch)
+{
+    fuzzServiceVsSolo(/*seed=*/0xFACADE, /*num_kernels=*/6,
+                      /*mod_switch=*/true);
+}
+
 // ---- heavy variants (ctest label: slow) -------------------------------
 
 TEST(LaneFuzzHeavyTest, PackedVsSoloManySeeds)
@@ -489,6 +502,13 @@ TEST(LaneFuzzHeavyTest, ServicePackedVsSoloManySeeds)
 {
     for (std::uint32_t seed : {3u, 99u}) {
         fuzzServiceVsSolo(seed, /*num_kernels=*/10);
+    }
+}
+
+TEST(LaneFuzzHeavyTest, ServicePackedVsSoloManySeedsWithModSwitch)
+{
+    for (std::uint32_t seed : {3u, 99u, 7771u}) {
+        fuzzServiceVsSolo(seed, /*num_kernels=*/10, /*mod_switch=*/true);
     }
 }
 

@@ -174,6 +174,79 @@ TEST(ServiceExecuteTest, DeterministicAcrossWorkerCounts)
     EXPECT_EQ(serial.at("k3").output, serial.at("k3dup").output);
 }
 
+TEST(ServiceExecuteTest, DeterministicAcrossWorkerCountsWithModSwitch)
+{
+    // Same 1-vs-8 contract with the mod-switch pass in the pipeline:
+    // the noise gate decides drops from (program, plan, params) alone,
+    // so outputs, budgets AND the drop count must be bit-identical no
+    // matter which pooled runtime each request lands on.
+    const std::vector<std::string> sources = {
+        dotSource(4),
+        dotSource(3, "z"),
+        "(VecAdd (VecMul (Vec x y) (Vec u v)) (Vec p q))",
+        dotSource(5, "k"),
+    };
+
+    struct Snapshot
+    {
+        std::vector<std::int64_t> output;
+        int final_budget = 0;
+        int drops = 0;
+    };
+
+    auto runAll = [&sources](int workers) {
+        std::vector<RunRequest> batch;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            RunRequest request =
+                runRequest("k" + std::to_string(i), sources[i]);
+            request.pipeline.passes.push_back("mod-switch");
+            batch.push_back(std::move(request));
+        }
+        std::map<std::string, Snapshot> by_name;
+        for (RunResponse& response :
+             CompileService({workers}).runBatch(std::move(batch))) {
+            EXPECT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            by_name[response.name] = {response.result.output,
+                                      response.result.final_noise_budget,
+                                      response.result.mod_switch_drops};
+        }
+        return by_name;
+    };
+
+    const auto serial = runAll(1);
+    const auto wide = runAll(8);
+    ASSERT_EQ(serial.size(), wide.size());
+    int total_drops = 0;
+    for (const auto& [name, snap] : serial) {
+        ASSERT_TRUE(wide.count(name)) << name;
+        const Snapshot& other = wide.at(name);
+        EXPECT_EQ(snap.output, other.output) << name;
+        EXPECT_EQ(snap.final_budget, other.final_budget) << name;
+        EXPECT_EQ(snap.drops, other.drops) << name;
+        EXPECT_GT(snap.final_budget, 0) << name;
+        total_drops += snap.drops;
+    }
+    // The suite is chosen so the gate actually fires somewhere —
+    // otherwise this test degenerates into the plain variant.
+    EXPECT_GT(total_drops, 0);
+
+    // And against the reference semantics: drops never change decoded
+    // outputs relative to the no-mod-switch pipeline.
+    std::vector<RunRequest> plain;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        plain.push_back(runRequest("k" + std::to_string(i), sources[i]));
+    }
+    for (RunResponse& response :
+         CompileService({2}).runBatch(std::move(plain))) {
+        ASSERT_TRUE(response.ok) << response.error;
+        EXPECT_EQ(response.result.mod_switch_drops, 0);
+        EXPECT_EQ(response.result.output,
+                  serial.at(response.name).output)
+            << response.name;
+    }
+}
+
 TEST(ServiceExecuteTest, KeyBudgetDecomposedRotationsCorrectUnderPool)
 {
     // Rotations by 3 and 5 decompose under a tight key budget; the
