@@ -165,13 +165,14 @@ main(int argc, char** argv)
                                        {"mix16", &mix16}};
 
     std::filesystem::create_directories("results");
-    CsvWriter csv("results/cross_kernel.csv",
-                  {"shape", "lanes", "cross_kernel", "workers", "jobs",
-                   "wall_s", "jobs_per_s", "speedup_vs_solo",
-                   "packed_groups", "packed_lanes", "composite_groups",
-                   "composite_members", "solo_runs", "window_flushes",
-                   "fallbacks", "qwait_p50", "qwait_p99", "exec_p50",
-                   "exec_p99", "window_wait_p99"});
+    std::vector<std::string> header = {
+        "shape",         "lanes",        "cross_kernel",
+        "workers",       "jobs",         "wall_s",
+        "jobs_per_s",    "speedup_vs_solo", "packed_groups",
+        "packed_lanes",  "composite_groups", "composite_members",
+        "solo_runs",     "window_flushes",   "fallbacks"};
+    benchcommon::appendLatencyColumns(header);
+    CsvWriter csv("results/cross_kernel.csv", header);
 
     std::printf("%-6s %-6s %-6s %6s %9s %11s %9s %7s %7s %6s %8s %6s "
                 "%8s %8s\n",
@@ -228,8 +229,10 @@ main(int argc, char** argv)
                              outcome.stats.solo_runs,
                              outcome.stats.window_flushes,
                              outcome.stats.packed_fallbacks,
-                             lat.qwait_p50, lat.qwait_p99, lat.exec_p50,
-                             lat.exec_p99, lat.window_wait_p99);
+                             lat.qwait_p50, lat.qwait_p99,
+                             lat.compile_p50, lat.compile_p99,
+                             lat.exec_p50, lat.exec_p99,
+                             lat.window_wait_p99);
             }
         }
     }

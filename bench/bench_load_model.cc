@@ -317,15 +317,15 @@ main(int argc, char** argv)
     const std::string trace_path = trace_env ? trace_env : "";
 
     std::filesystem::create_directories("results");
-    CsvWriter csv("results/load_model.csv",
-                  {"lanes", "scheduler", "jobs_per_sec", "wall_s",
-                   "packed_groups", "packed_lanes", "composite_groups",
-                   "solo_runs", "packed_fallbacks", "window_flushes",
-                   "window_shrinks",
-                   "warm_predictions", "cold_predictions",
-                   "share_preferred", "solo_preferred", "wrong_outputs",
-                   "speedup_vs_static", "qwait_p50", "qwait_p99",
-                   "exec_p50", "exec_p99", "window_wait_p99"});
+    std::vector<std::string> header = {
+        "lanes",           "scheduler",        "jobs_per_sec",
+        "wall_s",          "packed_groups",    "packed_lanes",
+        "composite_groups", "solo_runs",       "packed_fallbacks",
+        "window_flushes",  "window_shrinks",   "warm_predictions",
+        "cold_predictions", "share_preferred", "solo_preferred",
+        "wrong_outputs",   "speedup_vs_static"};
+    benchcommon::appendLatencyColumns(header);
+    CsvWriter csv("results/load_model.csv", header);
 
     std::printf("bench_load_model: %zu kernels x %d requests x %d "
                 "rounds on %d workers (max_steps=%d)\n\n",
@@ -388,8 +388,8 @@ main(int argc, char** argv)
                 outcome.stats.load_model.share_preferred,
                 outcome.stats.load_model.solo_preferred,
                 outcome.wrong_outputs, vs_static, lat.qwait_p50,
-                lat.qwait_p99, lat.exec_p50, lat.exec_p99,
-                lat.window_wait_p99);
+                lat.qwait_p99, lat.compile_p50, lat.compile_p99,
+                lat.exec_p50, lat.exec_p99, lat.window_wait_p99);
         };
         writeRow("static", fixed, 1.0);
         writeRow("adaptive", adaptive, speedup);

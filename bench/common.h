@@ -134,12 +134,15 @@ class Harness
 ir::Env randomEnv(const ir::ExprPtr& program, std::uint64_t seed);
 
 /// Batch-wide latency percentiles (seconds) distilled from a service
-/// telemetry snapshot — the columns the service benches report next to
-/// their throughput numbers. All zero when telemetry was off.
+/// telemetry snapshot — the columns the service benches and chehabd
+/// report next to their throughput numbers. All zero when telemetry
+/// was off.
 struct LatencySummary
 {
     double qwait_p50 = 0.0;       ///< Pool queue wait.
     double qwait_p99 = 0.0;
+    double compile_p50 = 0.0;     ///< Owner compile wall time.
+    double compile_p99 = 0.0;
     double exec_p50 = 0.0;        ///< Whole-row execution.
     double exec_p99 = 0.0;
     double window_wait_p99 = 0.0; ///< Coalescer wait for row-mates.
@@ -147,5 +150,21 @@ struct LatencySummary
 
 LatencySummary latencySummary(
     const telemetry::TelemetrySnapshot& snapshot);
+
+/// The canonical CSV column names for LatencySummary, in field order —
+/// every consumer (chehabd --csv, bench_load_model, bench_cross_kernel,
+/// bench_sharded_service) appends exactly these so percentile columns
+/// are named identically across results/*.csv.
+const std::vector<std::string>& latencyCsvColumns();
+
+/// Append latencyCsvColumns() to a CSV header under construction.
+void appendLatencyColumns(std::vector<std::string>& header);
+
+/// Print the shared per-phase latency footer table to stdout: one row
+/// per phase with samples (count, p50/p90/p99/max in milliseconds),
+/// drawn from the snapshot's histograms. Works on merged multi-shard
+/// snapshots too — LatencyHistogram::merge keeps percentiles exact up
+/// to bucket resolution.
+void printPhaseTable(const telemetry::TelemetrySnapshot& snapshot);
 
 } // namespace chehab::benchcommon

@@ -15,7 +15,16 @@
 ///   $ echo "(+ (* a b) c)" | ./chehabd -
 ///
 /// Options:
-///   --workers N     worker threads (default 4)
+///   --workers N     worker threads in total (default 4); with
+///                   --shards S each shard gets max(1, N/S) workers
+///   --shards N      run N independent service shards behind the
+///                   ShardRouter (default 1): compile traffic routes by
+///                   cache affinity (consistent hashing on the cache
+///                   key), run traffic by predicted shard load with an
+///                   affinity preference. Outputs are bit-identical at
+///                   any shard count; --stats-json gains per-shard and
+///                   router counters, --trace-out shows one "shard N"
+///                   track group per shard
 ///   --mode M        noopt | greedy (default) | rl
 ///   --max-steps N   greedy rewrite budget (default 75)
 ///   --repeat R      submit the batch R times; repeats exercise the
@@ -85,6 +94,7 @@
 /// reports gain the per-request window_s/setup_s/decode_s phase
 /// columns plus the batch-wide percentile columns. Telemetry only
 /// reads clocks — it never changes scheduling decisions or outputs.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -98,11 +108,13 @@
 #include <vector>
 
 #include "benchsuite/kernels.h"
+#include "common.h"
 #include "dataset/dataset.h"
 #include "dataset/motif_gen.h"
 #include "ir/parser.h"
 #include "rl/agent.h"
 #include "service/compile_service.h"
+#include "service/shard_router.h"
 #include "support/csv.h"
 #include "support/parse_int.h"
 #include "support/stopwatch.h"
@@ -115,6 +127,7 @@ using namespace chehab;
 struct Options
 {
     int workers = 4;
+    int shards = 1;
     service::OptMode mode = service::OptMode::Greedy;
     int max_steps = 75;
     int repeat = 1;
@@ -145,8 +158,8 @@ void
 usage(const char* argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--workers N] [--mode noopt|greedy|rl] "
-                 "[--max-steps N]\n"
+                 "usage: %s [--workers N] [--shards N] "
+                 "[--mode noopt|greedy|rl] [--max-steps N]\n"
                  "       [--repeat R] [--suite N] [--train-steps N] "
                  "[--cache-cap N]\n"
                  "       [--run] [--key-budget N] [--mod-switch 0|1] "
@@ -188,6 +201,8 @@ parseArgs(int argc, char** argv, Options& options)
         const std::string arg = argv[i];
         if (arg == "--workers") {
             if (!intArg(i, options.workers)) return false;
+        } else if (arg == "--shards") {
+            if (!intArg(i, options.shards)) return false;
         } else if (arg == "--mode") {
             std::string mode;
             if (!strArg(i, mode)) return false;
@@ -281,12 +296,15 @@ struct NamedKernel
 };
 
 /// --stats-json: one service-wide snapshot — run configuration,
-/// throughput, every ServiceStats counter, and the per-phase latency
-/// histograms. The flat qwait_p50/exec_p99-style keys at the end
-/// duplicate the nested phase table for one-liner extraction (jq,
-/// spreadsheet joins); the CSV carries the same columns.
+/// throughput, every ServiceStats counter (merged across shards), the
+/// router's routing decisions, a per-shard counter breakdown, and the
+/// per-phase latency histograms. The flat qwait_p50/exec_p99-style
+/// keys at the end duplicate the nested phase table for one-liner
+/// extraction (jq, spreadsheet joins); the CSV carries the same
+/// columns.
 void
 writeStatsJson(std::ostream& out, const Options& options,
+               const service::ShardedService& sharded,
                const service::ServiceStats& stats, std::size_t requests,
                int failures, double wall_seconds,
                const std::string& invariant_error)
@@ -315,6 +333,7 @@ writeStatsJson(std::ostream& out, const Options& options,
     };
     out << "{\n";
     out << "  \"workers\": " << options.workers << ",\n";
+    out << "  \"shards\": " << sharded.shards() << ",\n";
     out << "  \"mode\": \"" << service::optModeName(options.mode)
         << "\",\n";
     out << "  \"run\": " << (options.run ? "true" : "false") << ",\n";
@@ -367,6 +386,28 @@ writeStatsJson(std::ostream& out, const Options& options,
         << "},\n";
     out << "  \"pool\": {\"tasks_run\": " << stats.pool.tasks_run
         << ", \"busy_s\": " << stats.pool.busy_seconds << "},\n";
+    const service::RouterStats router = sharded.routerStats();
+    out << "  \"router\": {\"compile_routed\": " << router.compile_routed
+        << ", \"run_affinity\": " << router.run_affinity
+        << ", \"run_rerouted\": " << router.run_rerouted << "},\n";
+    // Per-shard breakdown next to the merged "counters" above: the
+    // routing skew (who compiled what, who executed what, how busy
+    // each pool ran) is only visible unmerged.
+    out << "  \"per_shard\": [";
+    for (int s = 0; s < sharded.shards(); ++s) {
+        const service::ServiceStats shard = sharded.shardStats(s);
+        if (s > 0) out << ", ";
+        out << "{\"shard\": " << s << ", \"submitted\": "
+            << shard.submitted
+            << ", \"run_submitted\": " << shard.run_submitted
+            << ", \"compiled\": " << shard.compiled
+            << ", \"executed\": " << shard.executed
+            << ", \"cache_hits\": " << shard.cache.hits
+            << ", \"run_cache_hits\": " << shard.run_cache.hits
+            << ", \"tasks_run\": " << shard.pool.tasks_run
+            << ", \"busy_s\": " << shard.pool.busy_seconds << "}";
+    }
+    out << "],\n";
     out << "  \"telemetry\": {\"enabled\": "
         << (tel.enabled ? "true" : "false")
         << ", \"events\": " << tel.events
@@ -492,7 +533,14 @@ main(int argc, char** argv)
     // ---- optional RL agent --------------------------------------------
     std::unique_ptr<rl::RlAgent> agent;
     service::ServiceConfig config;
-    config.num_workers = options.workers;
+    // --workers is the fleet total; each shard runs its own pool of
+    // max(1, total/shards) workers so adding shards redistributes
+    // rather than multiplies threads.
+    config.shards = options.shards;
+    config.num_workers =
+        options.shards > 0
+            ? std::max(1, options.workers / options.shards)
+            : options.workers;
     config.kernel_cache_capacity =
         static_cast<std::size_t>(options.cache_cap);
     config.run_cache_capacity =
@@ -502,6 +550,13 @@ main(int argc, char** argv)
     config.adaptive_window = options.adaptive_window != 0;
     config.cross_kernel = options.cross_kernel;
     config.telemetry = telemetry_on;
+    // Reject nonsense configurations here, where the error reads as a
+    // usage problem, instead of letting the service constructor throw.
+    if (const std::string problem = config.validate(); !problem.empty()) {
+        std::fprintf(stderr, "chehabd: %s\n", problem.c_str());
+        usage(argv[0]);
+        return 2;
+    }
     trs::Ruleset ruleset = trs::buildChehabRuleset();
     if (options.mode == service::OptMode::Rl) {
         std::fprintf(stderr,
@@ -525,8 +580,10 @@ main(int argc, char** argv)
 
     // ---- run ----------------------------------------------------------
     // With --run every response is a RunResponse; otherwise compile-only
-    // responses are adapted into the same reporting shape.
-    service::CompileService compile_service(config);
+    // responses are adapted into the same reporting shape. Always the
+    // sharded front end: at --shards 1 it routes everything to its
+    // single shard and behaves exactly like a plain CompileService.
+    service::ShardedService compile_service(config);
     const Stopwatch wall;
     std::vector<service::RunResponse> responses;
     if (options.run) {
@@ -674,6 +731,16 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.cache.inflight_joins),
                 static_cast<unsigned long long>(stats.cache.evictions),
                 static_cast<unsigned long long>(stats.failed));
+    if (options.shards > 1) {
+        const service::RouterStats router = compile_service.routerStats();
+        std::printf("router: %d shards, %llu compiles routed by "
+                    "affinity, %llu runs kept on their affinity shard, "
+                    "%llu re-routed to a cooler one\n",
+                    compile_service.shards(),
+                    static_cast<unsigned long long>(router.compile_routed),
+                    static_cast<unsigned long long>(router.run_affinity),
+                    static_cast<unsigned long long>(router.run_rerouted));
+    }
     std::printf("load model: %llu warm / %llu cold predictions, "
                 "%llu compile + %llu run observations",
                 static_cast<unsigned long long>(
@@ -749,20 +816,7 @@ main(int argc, char** argv)
                         stats.telemetry.events),
                     static_cast<unsigned long long>(
                         stats.telemetry.dropped));
-        std::printf("%-12s %9s %10s %10s %10s %10s\n", "phase", "count",
-                    "p50_ms", "p90_ms", "p99_ms", "max_ms");
-        for (int p = 0; p < telemetry::kPhaseCount; ++p) {
-            const telemetry::LatencyHistogram& hist =
-                stats.telemetry.hist[static_cast<std::size_t>(p)];
-            if (hist.count() == 0) continue;
-            std::printf("%-12s %9llu %10.3f %10.3f %10.3f %10.3f\n",
-                        telemetry::phaseName(
-                            static_cast<telemetry::Phase>(p)),
-                        static_cast<unsigned long long>(hist.count()),
-                        hist.percentile(50.0) * 1e3,
-                        hist.percentile(90.0) * 1e3,
-                        hist.percentile(99.0) * 1e3, hist.max() * 1e3);
-        }
+        benchcommon::printPhaseTable(stats.telemetry);
     }
     // Every request has resolved by now, so the strict (quiescent)
     // accounting equalities must hold; a non-empty result is a service
@@ -814,27 +868,12 @@ main(int argc, char** argv)
         }
         // Batch-wide latency percentiles (seconds), repeated on every
         // row so a single CSV joins per-request and aggregate views;
-        // all 0 when telemetry is off.
-        for (const char* column :
-             {"qwait_p50", "qwait_p99", "compile_p50", "compile_p99",
-              "exec_p50", "exec_p99", "window_wait_p99"}) {
-            header.push_back(column);
-        }
-        const telemetry::LatencyHistogram& qwait_hist =
-            stats.telemetry.phase(telemetry::Phase::QueueWait);
-        const telemetry::LatencyHistogram& compile_hist =
-            stats.telemetry.phase(telemetry::Phase::Compile);
-        const telemetry::LatencyHistogram& exec_hist =
-            stats.telemetry.phase(telemetry::Phase::Execute);
-        const telemetry::LatencyHistogram& window_hist =
-            stats.telemetry.phase(telemetry::Phase::WindowWait);
-        const double qwait_p50 = qwait_hist.percentile(50.0);
-        const double qwait_p99 = qwait_hist.percentile(99.0);
-        const double compile_p50 = compile_hist.percentile(50.0);
-        const double compile_p99 = compile_hist.percentile(99.0);
-        const double exec_p50 = exec_hist.percentile(50.0);
-        const double exec_p99 = exec_hist.percentile(99.0);
-        const double window_p99 = window_hist.percentile(99.0);
+        // all 0 when telemetry is off. Shared columns + extraction:
+        // bench/common.h keeps every results CSV's percentile schema
+        // identical.
+        benchcommon::appendLatencyColumns(header);
+        const benchcommon::LatencySummary lat =
+            benchcommon::latencySummary(stats.telemetry);
         CsvWriter csv(options.csv_path, header);
         for (const service::RunResponse& response : responses) {
             // pred_s/meas_s mirror the table columns: the scheduler's
@@ -869,8 +908,9 @@ main(int argc, char** argv)
                     response.result.output.empty()
                         ? 0
                         : response.result.output.front(),
-                    qwait_p50, qwait_p99, compile_p50, compile_p99,
-                    exec_p50, exec_p99, window_p99);
+                    lat.qwait_p50, lat.qwait_p99, lat.compile_p50,
+                    lat.compile_p99, lat.exec_p50, lat.exec_p99,
+                    lat.window_wait_p99);
             } else {
                 csv.writeRow(
                     response.name, service::optModeName(options.mode),
@@ -883,8 +923,9 @@ main(int argc, char** argv)
                     response.compiled.program.instrs.size(),
                     response.compiled.stats.final_cost,
                     response.compiled.stats.mult_depth, response.error,
-                    qwait_p50, qwait_p99, compile_p50, compile_p99,
-                    exec_p50, exec_p99, window_p99);
+                    lat.qwait_p50, lat.qwait_p99, lat.compile_p50,
+                    lat.compile_p99, lat.exec_p50, lat.exec_p99,
+                    lat.window_wait_p99);
             }
         }
         std::printf("wrote %s\n", options.csv_path.c_str());
@@ -958,7 +999,9 @@ main(int argc, char** argv)
                          options.trace_path.c_str());
             return 1;
         }
-        compile_service.telemetry().writeChromeTrace(trace);
+        // Merged export: one Perfetto track group (pid) per shard, all
+        // aligned onto the earliest shard's clock epoch.
+        compile_service.writeChromeTrace(trace);
         std::printf("wrote %s (load in chrome://tracing or Perfetto)\n",
                     options.trace_path.c_str());
     }
@@ -970,8 +1013,9 @@ main(int argc, char** argv)
                          options.stats_json_path.c_str());
             return 1;
         }
-        writeStatsJson(stats_json, options, stats, responses.size(),
-                       failures, wall_seconds, invariant_error);
+        writeStatsJson(stats_json, options, compile_service, stats,
+                       responses.size(), failures, wall_seconds,
+                       invariant_error);
         std::printf("wrote %s\n", options.stats_json_path.c_str());
     }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -57,8 +59,90 @@ makePipeline(OptMode mode, const ir::CostWeights& weights, int max_steps)
     return compiler::DriverConfig::greedy(weights, max_steps);
 }
 
+std::string
+ServiceConfig::validate() const
+{
+    if (num_workers < 1) {
+        return "num_workers must be >= 1 (got " +
+               std::to_string(num_workers) + ")";
+    }
+    if (max_lanes < 0) {
+        return "max_lanes must be >= 0 (0 = row capacity, 1 = no "
+               "coalescing; got " +
+               std::to_string(max_lanes) + ")";
+    }
+    if (!std::isfinite(batch_window_seconds) ||
+        batch_window_seconds < 0.0) {
+        return "batch_window_seconds must be finite and >= 0 (got " +
+               std::to_string(batch_window_seconds) + ")";
+    }
+    if (shards < 1) {
+        return "shards must be >= 1 (got " + std::to_string(shards) + ")";
+    }
+    if (shard_id < 0 || shard_id >= shards) {
+        return "shard_id must be in [0, shards) (got " +
+               std::to_string(shard_id) + " with " +
+               std::to_string(shards) + " shards)";
+    }
+    const LoadModelConfig& lm = load_model;
+    if (!std::isfinite(lm.alpha) || lm.alpha <= 0.0 || lm.alpha > 1.0) {
+        return "load_model.alpha must be in (0, 1] (got " +
+               std::to_string(lm.alpha) + ")";
+    }
+    if (!std::isfinite(lm.arrival_alpha) || lm.arrival_alpha <= 0.0 ||
+        lm.arrival_alpha > 1.0) {
+        return "load_model.arrival_alpha must be in (0, 1] (got " +
+               std::to_string(lm.arrival_alpha) + ")";
+    }
+    if (lm.min_arrival_samples < 0) {
+        return "load_model.min_arrival_samples must be >= 0 (got " +
+               std::to_string(lm.min_arrival_samples) + ")";
+    }
+    if (!std::isfinite(lm.window_safety) || lm.window_safety <= 0.0) {
+        return "load_model.window_safety must be finite and > 0 (got " +
+               std::to_string(lm.window_safety) + ")";
+    }
+    if (!std::isfinite(lm.window_floor_fraction) ||
+        lm.window_floor_fraction < 0.0 || lm.window_floor_fraction > 1.0) {
+        return "load_model.window_floor_fraction must be in [0, 1] "
+               "(got " +
+               std::to_string(lm.window_floor_fraction) + ")";
+    }
+    if (!std::isfinite(lm.merge_cost_factor) ||
+        lm.merge_cost_factor <= 0.0) {
+        return "load_model.merge_cost_factor must be finite and > 0 "
+               "(got " +
+               std::to_string(lm.merge_cost_factor) + ")";
+    }
+    if (!std::isfinite(lm.seed_seconds_per_cost) ||
+        lm.seed_seconds_per_cost <= 0.0) {
+        return "load_model.seed_seconds_per_cost must be finite and > 0 "
+               "(got " +
+               std::to_string(lm.seed_seconds_per_cost) + ")";
+    }
+    return {};
+}
+
+namespace {
+
+/// Gate for the constructor's init list: members are built straight
+/// from the config, so a nonsense value must throw before any of them
+/// (a NaN batch window would otherwise hit undefined casts in
+/// toWindow, a zero worker count would wedge the pool).
+ServiceConfig
+validated(ServiceConfig config)
+{
+    const std::string problem = config.validate();
+    if (!problem.empty()) {
+        throw std::invalid_argument("ServiceConfig: " + problem);
+    }
+    return config;
+}
+
+} // namespace
+
 CompileService::CompileService(ServiceConfig config)
-    : config_(config), ruleset_(trs::buildChehabRuleset()),
+    : config_(validated(config)), ruleset_(trs::buildChehabRuleset()),
       cache_(config.kernel_cache_capacity),
       run_cache_(config.run_cache_capacity),
       load_model_(config.load_model),
@@ -66,6 +150,10 @@ CompileService::CompileService(ServiceConfig config)
       planner_(toWindow(config.batch_window_seconds)),
       pool_(std::make_unique<ThreadPool>(config.num_workers, &telemetry_))
 {
+    // Chrome traces group this shard's tracks under pid = shard_id + 1
+    // ("shard N"); the default (shard 0 -> pid 1) matches what the
+    // exporter always emitted, so unsharded traces are unchanged.
+    telemetry_.setTrackGroup(config_.shard_id + 1);
     if (config_.max_lanes != 1) {
         flusher_ = std::thread([this] { flusherLoop(); });
     }
@@ -145,89 +233,6 @@ CompileService::stats() const
     return snapshot;
 }
 
-std::string
-checkStatsInvariants(const ServiceStats& stats, bool quiescent)
-{
-    const auto fail = [](const char* what, std::uint64_t lhs,
-                         std::uint64_t rhs) {
-        return std::string("stats invariant violated: ") + what + " (" +
-               std::to_string(lhs) + " vs " + std::to_string(rhs) + ")";
-    };
-
-    // Always-true invariants. Counters on each side of an equality are
-    // incremented inside one stats_mutex_ critical section, and every
-    // inequality pairs a frozen counter with one that is only
-    // incremented strictly earlier (or read after the freeze), so these
-    // hold for any stats() snapshot — mid-flight included.
-    if (stats.executed != stats.solo_runs + stats.packed_groups) {
-        return fail("executed == solo_runs + packed_groups",
-                    stats.executed, stats.solo_runs + stats.packed_groups);
-    }
-    if (stats.composite_groups > stats.packed_groups) {
-        return fail("composite_groups <= packed_groups",
-                    stats.composite_groups, stats.packed_groups);
-    }
-    if (stats.composite_members < 2 * stats.composite_groups) {
-        return fail("composite_members >= 2 * composite_groups",
-                    stats.composite_members, 2 * stats.composite_groups);
-    }
-    if (stats.packed_groups > stats.full_flushes + stats.window_flushes) {
-        return fail("packed_groups <= full_flushes + window_flushes",
-                    stats.packed_groups,
-                    stats.full_flushes + stats.window_flushes);
-    }
-    if (stats.compiled + stats.failed > stats.cache.misses) {
-        return fail("compiled + failed <= cache.misses",
-                    stats.compiled + stats.failed, stats.cache.misses);
-    }
-    if (stats.packed_lanes + stats.solo_runs + stats.run_failed >
-        stats.run_cache.misses) {
-        return fail(
-            "packed_lanes + solo_runs + run_failed <= run_cache.misses",
-            stats.packed_lanes + stats.solo_runs + stats.run_failed,
-            stats.run_cache.misses);
-    }
-    // Drops are only counted inside the executed-owner stats blocks, so
-    // a non-zero counter implies at least one execution happened.
-    if (stats.mod_switch_drops > 0 && stats.executed == 0) {
-        return fail("mod_switch_drops > 0 implies executed > 0",
-                    stats.mod_switch_drops, stats.executed);
-    }
-
-    if (!quiescent) return {};
-
-    // Quiescent accounting equalities: every accepted request has
-    // resolved, so admissions balance against outcomes exactly.
-    const std::uint64_t cache_acquires =
-        stats.cache.hits + stats.cache.inflight_joins + stats.cache.misses;
-    const std::uint64_t run_acquires = stats.run_cache.hits +
-                                       stats.run_cache.inflight_joins +
-                                       stats.run_cache.misses;
-    if (run_acquires != stats.run_submitted) {
-        return fail("run-cache acquires == run_submitted", run_acquires,
-                    stats.run_submitted);
-    }
-    // Compile acquires: one per compile request plus one per run-cache
-    // owner (only run owners touch the kernel cache).
-    if (cache_acquires != stats.submitted + stats.run_cache.misses) {
-        return fail("cache acquires == submitted + run_cache.misses",
-                    cache_acquires,
-                    stats.submitted + stats.run_cache.misses);
-    }
-    if (stats.cache.misses != stats.compiled + stats.failed) {
-        return fail("cache.misses == compiled + failed", stats.cache.misses,
-                    stats.compiled + stats.failed);
-    }
-    if (stats.run_cache.misses !=
-        stats.packed_lanes + stats.solo_runs + stats.run_failed) {
-        return fail(
-            "run_cache.misses == packed_lanes + solo_runs + run_failed",
-            stats.run_cache.misses,
-            stats.packed_lanes + stats.solo_runs + stats.run_failed);
-    }
-    return {};
-}
-
 RuntimePool&
 CompileService::poolFor(const fhe::SealLiteParams& params)
 {
@@ -283,8 +288,12 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
     // compiled source. Measured wall time feeds the load model so the
     // next compile of this key dispatches on truth, not estimate.
     std::shared_ptr<CacheEntry> entry = admission.entry;
+    // This compile now counts toward the shard's predicted load until
+    // its entry publishes (the router's run-routing signal; see
+    // LoadModel::noteEnqueued).
+    load_model_.noteEnqueued(predicted);
     pool_->submit(
-        [this, entry, canonical, pipeline, key, estimate,
+        [this, entry, canonical, pipeline, key, estimate, predicted,
          request_id](int worker) {
             const std::int64_t span_start =
                 telemetry_.enabled() ? telemetry_.nowNs() : 0;
@@ -309,6 +318,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                     stats_.total_compile_seconds += seconds;
                 }
                 entry->publishReady(std::move(compiled), seconds, worker);
+                load_model_.noteFinished(predicted);
             } catch (const std::exception& e) {
                 telemetry_.instant("compile_failed", worker, request_id);
                 {
@@ -316,6 +326,7 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                     ++stats_.failed;
                 }
                 entry->publishFailure(e.what(), worker);
+                load_model_.noteFinished(predicted);
             }
         },
         predicted, ThreadPool::TaskTag{"dispatch", request_id, predicted});
@@ -684,6 +695,7 @@ CompileService::runSoloLane(const BatchLane& lane,
                 artifact.result.mod_switch_drops);
         }
         lane.entry->publishReady(std::move(artifact), seconds, worker);
+        load_model_.noteFinished(lane.predicted);
     } catch (const std::exception& e) {
         telemetry_.instant("run_failed", worker, lane.request_id);
         {
@@ -691,6 +703,7 @@ CompileService::runSoloLane(const BatchLane& lane,
             ++stats_.run_failed;
         }
         lane.entry->publishFailure(e.what(), worker);
+        load_model_.noteFinished(lane.predicted);
     }
 }
 
@@ -715,6 +728,7 @@ CompileService::submitSoloRun(BatchLane lane)
                     ++stats_.run_failed;
                 }
                 lane.entry->publishFailure(e.what(), worker);
+                load_model_.noteFinished(lane.predicted);
             }
         },
         priority, tag);
@@ -902,6 +916,7 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 }
                 member.lanes[l].entry->publishReady(std::move(artifact),
                                                     seconds, worker);
+                load_model_.noteFinished(member.lanes[l].predicted);
                 ++published;
             }
         }
@@ -915,6 +930,7 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
         }
         for (std::size_t l = published; l < flat.size(); ++l) {
             flat[l]->entry->publishFailure(e.what(), worker);
+            load_model_.noteFinished(flat[l]->predicted);
         }
     }
 }
@@ -1022,6 +1038,11 @@ CompileService::submitRun(RunRequest request)
                 lane.predicted = load_model_.predictRunSeconds(
                     lane.group_key, estimate);
                 lane.request_id = rid;
+                // The lane counts toward the shard's predicted load
+                // from admission to publication; every publication
+                // path (solo, packed, fallback, failure) pairs this
+                // with noteFinished(lane.predicted).
+                load_model_.noteEnqueued(lane.predicted);
                 if (!tryCoalesce(lane)) {
                     submitSoloRun(std::move(lane));
                 }
@@ -1076,34 +1097,6 @@ CompileService::submitRun(RunRequest request)
             promise->set_value(std::move(response));
         });
     return future;
-}
-
-std::vector<CompileResponse>
-CompileService::compileBatch(std::vector<CompileRequest> requests)
-{
-    std::vector<std::future<CompileResponse>> futures;
-    futures.reserve(requests.size());
-    for (CompileRequest& request : requests) {
-        futures.push_back(submit(std::move(request)));
-    }
-    std::vector<CompileResponse> responses;
-    responses.reserve(futures.size());
-    for (auto& future : futures) responses.push_back(future.get());
-    return responses;
-}
-
-std::vector<RunResponse>
-CompileService::runBatch(std::vector<RunRequest> requests)
-{
-    std::vector<std::future<RunResponse>> futures;
-    futures.reserve(requests.size());
-    for (RunRequest& request : requests) {
-        futures.push_back(submitRun(std::move(request)));
-    }
-    std::vector<RunResponse> responses;
-    responses.reserve(futures.size());
-    for (auto& future : futures) responses.push_back(future.get());
-    return responses;
 }
 
 } // namespace chehab::service

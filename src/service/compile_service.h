@@ -84,6 +84,8 @@
 #include "service/load_model.h"
 #include "service/request.h"
 #include "service/runtime_pool.h"
+#include "service/service_api.h"
+#include "service/service_stats.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 #include "trs/ruleset.h"
@@ -137,83 +139,49 @@ struct ServiceConfig
     /// recorder is a near-zero-cost no-op. Never affects scheduling or
     /// outputs — see the determinism contract above.
     bool telemetry = false;
+    /// Shard count for ShardedService (service/shard_router.h): the
+    /// fleet builds this many CompileService shards, each with this
+    /// config (num_workers is *per shard*). A plain CompileService
+    /// ignores it beyond validation. 1 = unsharded.
+    int shards = 1;
+    /// Which shard a CompileService instance is (set by ShardedService,
+    /// 0 for a standalone service). Only affects telemetry track
+    /// grouping — Chrome traces show one "shard N" track group per
+    /// shard — never scheduling or outputs.
+    int shard_id = 0;
+
+    /// Reject nonsense configurations before they turn into deadlocks
+    /// or silent misbehavior deep inside the service. Returns an empty
+    /// string when the config is usable, else a one-line description of
+    /// the first problem. CompileService and ShardedService construction
+    /// call this and throw std::invalid_argument on failure; chehabd
+    /// calls it right after flag parsing so the error surfaces as a
+    /// usage message instead of an exception.
+    ///
+    /// Deliberately *valid* edge cases: kernel/run cache capacity 0
+    /// (means unbounded, the default) and max_lanes 0 (means "as many
+    /// lanes as the row allows") — both are long-standing semantics
+    /// with in-tree users, so validate() only rejects values that no
+    /// semantics is assigned to (negative counts, non-finite windows,
+    /// out-of-range model fractions).
+    std::string validate() const;
 };
 
-/// Aggregate service counters (monotonic; snapshot via stats()).
-struct ServiceStats
-{
-    std::uint64_t submitted = 0;      ///< Compile requests accepted.
-    std::uint64_t compiled = 0;       ///< Owner compiles actually run.
-    std::uint64_t failed = 0;         ///< Compiles that threw.
-    double total_compile_seconds = 0.0; ///< Sum over owner compiles.
+// ServiceStats (the aggregate counter snapshot, mergeable across
+// shards) and checkStatsInvariants live in service/service_stats.h;
+// the abstract caller-facing interface in service/service_api.h.
 
-    std::uint64_t run_submitted = 0;  ///< Run requests accepted.
-    /// Owner executions actually run: one per solo run and one per
-    /// packed group (however many lanes it carried).
-    std::uint64_t executed = 0;
-    std::uint64_t run_failed = 0;     ///< Runs that failed (either stage).
-    double total_exec_seconds = 0.0;  ///< Sum over owner executions.
-    std::uint64_t runtimes_created = 0; ///< Pooled FheRuntimes built.
-    /// Mid-circuit modulus drops the runtime's mod-switch gate took,
-    /// summed over owner executions (solo and packed). Zero unless a
-    /// request's pipeline includes the "mod-switch" pass.
-    std::uint64_t mod_switch_drops = 0;
-
-    /// \name Slot-batching coalescer
-    /// @{
-    std::uint64_t packed_groups = 0;  ///< Packed (>= 2 lane) executions.
-    std::uint64_t packed_lanes = 0;   ///< Requests served via packed rows.
-    std::uint64_t solo_runs = 0;      ///< Owner runs executed unbatched.
-    std::uint64_t full_flushes = 0;   ///< Groups flushed at lane capacity.
-    std::uint64_t window_flushes = 0; ///< Groups flushed by the window.
-    /// Members (per-kernel instruction slices) whose noise budget hit
-    /// zero in a packed row and whose lanes were re-executed solo
-    /// (solo semantics win over amortization).
-    std::uint64_t packed_fallbacks = 0;
-    /// Packed executions whose row mixed >= 2 distinct kernels
-    /// (a subset of packed_groups).
-    std::uint64_t composite_groups = 0;
-    /// Distinct-kernel members across those composite rows.
-    std::uint64_t composite_members = 0;
-    /// Lane-safety verdicts served from the group-identity memo vs.
-    /// freshly analyzed (one miss per distinct (artifact, params,
-    /// budget) identity).
-    std::uint64_t fit_memo_hits = 0;
-    std::uint64_t fit_memo_misses = 0;
-    /// Composite programs served from the content-addressed composite
-    /// cache vs. freshly composed.
-    std::uint64_t composite_cache_hits = 0;
-    std::uint64_t composite_cache_misses = 0;
-    /// @}
-
-    CompileCache::Stats cache;        ///< Hits/misses/evictions etc.
-    RunCache::Stats run_cache;
-    /// Timer-augmented load model activity: profile counts, warm vs
-    /// cold predictions, window shrinks, consolidation share advice.
-    LoadModelSnapshot load_model;
-    /// Worker-pool execution counters (tasks completed, busy seconds).
-    ThreadPool::Stats pool;
-    /// Per-phase latency histograms + trace-event counters; only
-    /// populated (enabled = true) when ServiceConfig::telemetry is on.
-    telemetry::TelemetrySnapshot telemetry;
-};
-
-/// Cross-counter consistency check over one stats() snapshot. Returns
-/// an empty string when consistent, else a description of the first
-/// violated invariant. The always-true invariants hold for any
-/// snapshot (stats() freezes the service counters while gathering the
-/// cache/pool sub-stats, and every cross-group counter pair is
-/// incremented in an order that preserves them mid-flight); with
-/// \p quiescent set, the stricter accounting equalities that only hold
-/// once every submitted request has resolved are checked too.
-std::string checkStatsInvariants(const ServiceStats& stats,
-                                 bool quiescent = false);
-
-class CompileService
+/// One service shard: the complete compile-and-run engine described at
+/// the top of this file. ShardedService (service/shard_router.h) runs N
+/// of these behind a router; both implement ServiceApi so every caller
+/// is agnostic to the difference.
+class CompileService final : public ServiceApi
 {
   public:
+    /// Throws std::invalid_argument when config.validate() rejects the
+    /// configuration.
     explicit CompileService(ServiceConfig config = {});
-    ~CompileService();
+    ~CompileService() override;
 
     CompileService(const CompileService&) = delete;
     CompileService& operator=(const CompileService&) = delete;
@@ -221,24 +189,25 @@ class CompileService
     /// Enqueue one compile; the future resolves when the artifact is
     /// available (immediately on a cache hit). Never throws on compile
     /// failure — inspect CompileResponse::ok.
-    std::future<CompileResponse> submit(CompileRequest request);
-
-    /// Submit a whole batch and block for all responses, in input order.
-    std::vector<CompileResponse> compileBatch(
-        std::vector<CompileRequest> requests);
+    std::future<CompileResponse> submit(CompileRequest request) override;
 
     /// Enqueue one compile-then-execute job; the future resolves when
     /// the outputs are available. Never throws on compile or execution
     /// failure — inspect RunResponse::ok.
-    std::future<RunResponse> submitRun(RunRequest request);
+    std::future<RunResponse> submitRun(RunRequest request) override;
 
-    /// Submit a whole run batch and block for all responses, in input
-    /// order.
-    std::vector<RunResponse> runBatch(std::vector<RunRequest> requests);
-
-    ServiceStats stats() const;
-    int numWorkers() const;
+    ServiceStats stats() const override;
+    int numWorkers() const override;
     const trs::Ruleset& ruleset() const { return ruleset_; }
+
+    /// The shard load signal the router balances run traffic on: the
+    /// load model's sum of predicted seconds over queued + in-flight
+    /// work (see LoadModel::noteEnqueued). Instantaneous; exactly zero
+    /// at quiescence.
+    double predictedLoadSeconds() const
+    {
+        return load_model_.inflightPredictedSeconds();
+    }
 
     /// Block until every task submitted so far has fully finished.
     /// Futures resolve from *inside* worker tasks, so a caller that was
@@ -246,7 +215,7 @@ class CompileService
     /// before the final task's dispatch span reached the trace
     /// recorder. Call this before exporting traces or asserting on
     /// span counts; responses themselves never need it.
-    void drain();
+    void drain() override;
 
     /// The service's trace recorder (always present; a no-op unless
     /// ServiceConfig::telemetry enabled it). Exposes the recorded

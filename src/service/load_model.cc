@@ -156,6 +156,35 @@ LoadModel::adaptiveWaitSeconds(const BatchGroupKey& key,
     return wait;
 }
 
+void
+LoadModel::noteEnqueued(double predicted_seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++inflight_jobs_;
+    inflight_predicted_ += std::max(predicted_seconds, 0.0);
+}
+
+void
+LoadModel::noteFinished(double predicted_seconds)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (inflight_jobs_ > 0) --inflight_jobs_;
+    inflight_predicted_ -= std::max(predicted_seconds, 0.0);
+    // Enqueue/finish pairs carry identical values, so the sum is zero
+    // whenever the count is — pin it there so floating-point rounding
+    // can never accumulate into a phantom load (or a negative one).
+    if (inflight_jobs_ == 0 || inflight_predicted_ < 0.0) {
+        inflight_predicted_ = 0.0;
+    }
+}
+
+double
+LoadModel::inflightPredictedSeconds() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return inflight_predicted_;
+}
+
 bool
 LoadModel::preferRowShare(std::uint64_t params_hash,
                           double predicted_seconds) const
@@ -181,6 +210,8 @@ LoadModel::snapshot() const
     LoadModelSnapshot snap = counters_;
     snap.compile_profiles = static_cast<std::uint64_t>(compile_.size());
     snap.run_profiles = static_cast<std::uint64_t>(run_.size());
+    snap.inflight_jobs = inflight_jobs_;
+    snap.inflight_predicted_seconds = inflight_predicted_;
     return snap;
 }
 

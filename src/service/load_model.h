@@ -123,6 +123,15 @@ struct LoadModelSnapshot
     /// an own row" (execution-dominated groups).
     std::uint64_t share_preferred = 0;
     std::uint64_t solo_preferred = 0;
+    /// \name Per-shard load signal (instantaneous, not monotonic)
+    /// Jobs currently admitted but not yet published (queued in the
+    /// coalescer or pool, or mid-execution) and the sum of their
+    /// predicted seconds — the shard load the router balances run
+    /// traffic on. Both drain to exactly zero at quiescence.
+    /// @{
+    std::uint64_t inflight_jobs = 0;
+    double inflight_predicted_seconds = 0.0;
+    /// @}
 };
 
 class LoadModel
@@ -169,6 +178,24 @@ class LoadModel
     double adaptiveWaitSeconds(const BatchGroupKey& key,
                                int remaining_lanes,
                                double ceiling_seconds) const;
+
+    /// \name Per-shard load signal
+    /// The service calls noteEnqueued(predicted) when it admits a unit
+    /// of owner work (a compile task or a run lane) and
+    /// noteFinished(the same predicted value) when that unit publishes
+    /// — success or failure — so inflightPredictedSeconds() is at all
+    /// times the predicted seconds of queued + in-flight work on this
+    /// shard. The ShardRouter (service/shard_router.h) routes run
+    /// traffic to the least-loaded feasible shard on this signal.
+    /// Tracked even when the model is disabled (static predictions
+    /// still carry LPT-comparable units). Enqueue/finish pairs carry
+    /// the same value, so the sum returns to exactly zero when the
+    /// shard drains.
+    /// @{
+    void noteEnqueued(double predicted_seconds);
+    void noteFinished(double predicted_seconds);
+    double inflightPredictedSeconds() const;
+    /// @}
 
     /// Consolidation advice: true when a group predicted to cost
     /// \p predicted_seconds on the \p params_hash parameter family is
@@ -221,6 +248,10 @@ class LoadModel
     std::uint64_t compile_ratio_samples_ = 0;
     double run_ratio_;
     std::uint64_t run_ratio_samples_ = 0;
+    /// Queued + in-flight load signal (see noteEnqueued): the job
+    /// count and the sum of their predicted seconds.
+    std::uint64_t inflight_jobs_ = 0;
+    double inflight_predicted_ = 0.0;
     mutable LoadModelSnapshot counters_;
 };
 

@@ -1,0 +1,89 @@
+/// \file
+/// The shard-facing service interface.
+///
+/// CompileService grew as a singleton; the sharded refactor splits its
+/// public surface into this abstract interface so one CompileService
+/// (a single shard) and a ShardedService (N shards behind a
+/// ShardRouter, see service/shard_router.h) are interchangeable to
+/// every caller — tests, benches, chehabd and the future network front
+/// end all program against ServiceApi.
+///
+/// The batch conveniences are deliberately *non-virtual*: compileBatch
+/// and runBatch are defined once, here, in terms of the virtual
+/// submit/submitRun, so a shard and a sharded fleet cannot diverge in
+/// batch semantics (submit everything first, then block for responses
+/// in input order — the submission loop never waits, which is what
+/// lets a batch coalesce and dedupe against itself).
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "service/request.h"
+#include "service/service_stats.h"
+
+namespace chehab::service {
+
+class ServiceApi
+{
+  public:
+    virtual ~ServiceApi() = default;
+
+    /// Enqueue one compile; the future resolves when the artifact is
+    /// available (immediately on a cache hit). Never throws on compile
+    /// failure — inspect CompileResponse::ok.
+    virtual std::future<CompileResponse> submit(CompileRequest request) = 0;
+
+    /// Enqueue one compile-then-execute job; the future resolves when
+    /// the outputs are available. Never throws on compile or execution
+    /// failure — inspect RunResponse::ok.
+    virtual std::future<RunResponse> submitRun(RunRequest request) = 0;
+
+    /// One service-wide counter snapshot (merged across shards for a
+    /// sharded implementation).
+    virtual ServiceStats stats() const = 0;
+
+    /// Total worker threads behind this service (summed across shards).
+    virtual int numWorkers() const = 0;
+
+    /// Block until every task submitted so far has fully finished.
+    /// Futures resolve from *inside* worker tasks, so a caller that was
+    /// just unblocked can observe a pool mid-epilogue — in particular
+    /// before the final task's dispatch span reached the trace
+    /// recorder. Call this before exporting traces or asserting on
+    /// span counts; responses themselves never need it.
+    virtual void drain() = 0;
+
+    /// Submit a whole batch and block for all responses, in input
+    /// order.
+    std::vector<CompileResponse>
+    compileBatch(std::vector<CompileRequest> requests)
+    {
+        std::vector<std::future<CompileResponse>> futures;
+        futures.reserve(requests.size());
+        for (CompileRequest& request : requests) {
+            futures.push_back(submit(std::move(request)));
+        }
+        std::vector<CompileResponse> responses;
+        responses.reserve(futures.size());
+        for (auto& future : futures) responses.push_back(future.get());
+        return responses;
+    }
+
+    /// Submit a whole run batch and block for all responses, in input
+    /// order.
+    std::vector<RunResponse> runBatch(std::vector<RunRequest> requests)
+    {
+        std::vector<std::future<RunResponse>> futures;
+        futures.reserve(requests.size());
+        for (RunRequest& request : requests) {
+            futures.push_back(submitRun(std::move(request)));
+        }
+        std::vector<RunResponse> responses;
+        responses.reserve(futures.size());
+        for (auto& future : futures) responses.push_back(future.get());
+        return responses;
+    }
+};
+
+} // namespace chehab::service

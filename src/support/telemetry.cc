@@ -259,42 +259,74 @@ writeArgs(std::ostream& out, const TraceEvent& event)
 void
 TraceRecorder::writeChromeTrace(std::ostream& out) const
 {
-    const std::vector<TraceEvent> all = events();
-    // One thread_name metadata record per distinct track, so Perfetto
-    // labels worker/flusher/client rows instead of bare tids.
-    std::vector<int> tids;
-    for (const TraceEvent& event : all) tids.push_back(event.tid);
-    std::sort(tids.begin(), tids.end());
-    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    writeChromeTraceMerged(out, {this});
+}
+
+void
+writeChromeTraceMerged(std::ostream& out,
+                       const std::vector<const TraceRecorder*>& recorders)
+{
+    // Every recorder measures nanoseconds against its own construction
+    // instant; align all of them onto the earliest epoch so spans from
+    // different shards keep their true relative timing in the viewer.
+    std::chrono::steady_clock::time_point min_epoch{};
+    bool have_epoch = false;
+    for (const TraceRecorder* recorder : recorders) {
+        if (!recorder) continue;
+        if (!have_epoch || recorder->epoch() < min_epoch) {
+            min_epoch = recorder->epoch();
+            have_epoch = true;
+        }
+    }
 
     // Full precision: timestamp rounding must not reorder or un-nest
     // spans in the viewer.
     out << std::setprecision(15);
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
-    for (int tid : tids) {
-        if (!first) out << ",";
-        first = false;
-        out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-            << trackName(tid) << "\"}}";
-    }
     const auto micros = [](std::int64_t ns) {
         return static_cast<double>(ns) / 1e3;
     };
-    for (const TraceEvent& event : all) {
+    for (const TraceRecorder* recorder : recorders) {
+        if (!recorder) continue;
+        const int pid = recorder->trackGroup();
+        const std::int64_t offset_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                recorder->epoch() - min_epoch)
+                .count();
+        const std::vector<TraceEvent> all = recorder->events();
+        // Track-group label: one collapsible "shard N" group per
+        // recorder (pid = shard id + 1).
         if (!first) out << ",";
         first = false;
-        out << "{\"pid\":1,\"tid\":" << event.tid << ",\"name\":\""
-            << event.name << "\",\"ts\":" << micros(event.start_ns);
-        if (event.isInstant()) {
-            out << ",\"ph\":\"i\",\"s\":\"t\",";
-        } else {
-            out << ",\"ph\":\"X\",\"dur\":"
-                << micros(event.end_ns - event.start_ns) << ",";
+        out << "{\"ph\":\"M\",\"pid\":" << pid
+            << ",\"name\":\"process_name\",\"args\":{\"name\":\"shard "
+            << pid - 1 << "\"}}";
+        // One thread_name metadata record per distinct track, so
+        // Perfetto labels worker/flusher/client rows instead of bare
+        // tids.
+        std::vector<int> tids;
+        for (const TraceEvent& event : all) tids.push_back(event.tid);
+        std::sort(tids.begin(), tids.end());
+        tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+        for (int tid : tids) {
+            out << ",{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+                << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+                << trackName(tid) << "\"}}";
         }
-        writeArgs(out, event);
-        out << "}";
+        for (const TraceEvent& event : all) {
+            out << ",{\"pid\":" << pid << ",\"tid\":" << event.tid
+                << ",\"name\":\"" << event.name
+                << "\",\"ts\":" << micros(event.start_ns + offset_ns);
+            if (event.isInstant()) {
+                out << ",\"ph\":\"i\",\"s\":\"t\",";
+            } else {
+                out << ",\"ph\":\"X\",\"dur\":"
+                    << micros(event.end_ns - event.start_ns) << ",";
+            }
+            writeArgs(out, event);
+            out << "}";
+        }
     }
     out << "]}\n";
 }

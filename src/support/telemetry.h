@@ -186,6 +186,27 @@ class TraceRecorder
     {
         enabled_.store(enabled, std::memory_order_relaxed);
     }
+
+    /// Chrome-trace track group ("pid") this recorder's events export
+    /// under: each service shard sets its own group, so a merged
+    /// multi-shard trace shows one collapsible track group per shard
+    /// (shard N exports as pid N + 1; the default group 1 keeps
+    /// single-service traces byte-compatible with the pre-sharding
+    /// export).
+    void setTrackGroup(int group)
+    {
+        track_group_.store(group, std::memory_order_relaxed);
+    }
+    int trackGroup() const
+    {
+        return track_group_.load(std::memory_order_relaxed);
+    }
+
+    /// This recorder's epoch (nowNs() == 0 instant). Recorders are
+    /// constructed at different times, so a merged export must shift
+    /// each recorder's timestamps onto one shared epoch — see
+    /// writeChromeTraceMerged.
+    std::chrono::steady_clock::time_point epoch() const { return epoch_; }
     /// The one gate every call site checks first; a disabled recorder
     /// reduces every record call to this load.
     bool enabled() const
@@ -251,10 +272,24 @@ class TraceRecorder
     Shard& shardForThisThread();
 
     std::atomic<bool> enabled_;
+    /// Export-time track group (see setTrackGroup); atomic so a late
+    /// setter never races a concurrent exporter.
+    std::atomic<int> track_group_{1};
     const std::size_t max_events_per_shard_;
     std::chrono::steady_clock::time_point epoch_;
     std::array<Shard, kShards> shards_;
 };
+
+/// Emit the buffered events of several recorders as one Chrome
+/// trace-event JSON document: every recorder's events appear under its
+/// own track group (pid = trackGroup(), with a "shard N" process_name
+/// label), timestamps are aligned onto the earliest recorder's epoch,
+/// and each (group, tid) track keeps its thread_name metadata. The
+/// sharded service exports its per-shard recorders through this — one
+/// collapsible track group per shard in chrome://tracing / Perfetto.
+/// Null entries are skipped.
+void writeChromeTraceMerged(std::ostream& out,
+                            const std::vector<const TraceRecorder*>& recorders);
 
 /// RAII span: captures start at construction, records at destruction
 /// (when the recorder is enabled). Args may be attached mid-flight.

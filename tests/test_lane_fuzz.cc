@@ -37,6 +37,7 @@
 #include "ir/parser.h"
 #include "service/batch_planner.h"
 #include "service/compile_service.h"
+#include "service/shard_router.h"
 
 namespace chehab::service {
 namespace {
@@ -432,8 +433,7 @@ fuzzServiceVsSolo(std::uint32_t seed, int num_kernels,
         }
     }
 
-    auto outputsOf = [&batch](const ServiceConfig& config) {
-        CompileService service(config);
+    auto collect = [&batch](ServiceApi& service) {
         std::vector<std::vector<std::int64_t>> outputs;
         for (RunResponse& response : service.runBatch(batch)) {
             EXPECT_TRUE(response.ok)
@@ -441,6 +441,15 @@ fuzzServiceVsSolo(std::uint32_t seed, int num_kernels,
             outputs.push_back(response.result.output);
         }
         return outputs;
+    };
+    auto outputsOf = [&collect](const ServiceConfig& config) {
+        CompileService service(config);
+        return collect(service);
+    };
+    auto shardedOutputsOf = [&collect](ServiceConfig config, int shards) {
+        config.shards = shards;
+        ShardedService service(config);
+        return collect(service);
     };
     ServiceConfig solo;
     solo.num_workers = 2;
@@ -452,10 +461,21 @@ fuzzServiceVsSolo(std::uint32_t seed, int num_kernels,
     packed.cross_kernel = true;
     const auto solo_outputs = outputsOf(solo);
     const auto packed_outputs = outputsOf(packed);
+    // Differential contract extends across the router: a 1-shard
+    // ShardedService is the plain service, and a multi-shard fleet may
+    // regroup rows per shard but never change a lane's bits.
+    const auto sharded1_outputs = shardedOutputsOf(packed, 1);
+    const auto sharded3_outputs = shardedOutputsOf(packed, 3);
     ASSERT_EQ(solo_outputs.size(), packed_outputs.size());
+    ASSERT_EQ(solo_outputs.size(), sharded1_outputs.size());
+    ASSERT_EQ(solo_outputs.size(), sharded3_outputs.size());
     for (std::size_t i = 0; i < solo_outputs.size(); ++i) {
         EXPECT_EQ(solo_outputs[i], packed_outputs[i])
             << batch[i].name << " (seed " << seed << ")";
+        EXPECT_EQ(solo_outputs[i], sharded1_outputs[i])
+            << batch[i].name << " 1-shard (seed " << seed << ")";
+        EXPECT_EQ(solo_outputs[i], sharded3_outputs[i])
+            << batch[i].name << " 3-shard (seed " << seed << ")";
     }
 }
 

@@ -22,6 +22,7 @@
 #include "ir/parser.h"
 #include "service/batch_planner.h"
 #include "service/compile_service.h"
+#include "service/shard_router.h"
 #include "support/telemetry.h"
 #include "trs/ruleset.h"
 
@@ -196,6 +197,71 @@ TEST(ServiceBatchingTest, PackedDeterministicAcrossWorkerCounts)
         EXPECT_EQ(snap.packed_lanes, other.packed_lanes) << name;
         EXPECT_EQ(snap.lane, other.lane) << name;
         EXPECT_EQ(snap.packed_lanes, 8) << name;
+    }
+}
+
+TEST(ServiceBatchingTest, ShardedDeterministicAcrossWorkerAndShardCounts)
+{
+    const ir::ExprPtr source = ir::parse(dotSource(4));
+    auto makeBatch = [&source] {
+        std::vector<RunRequest> batch;
+        for (int i = 0; i < 8; ++i) {
+            batch.push_back(
+                laneRequest("k" + std::to_string(i), source, i));
+        }
+        return batch;
+    };
+    auto shardedSnapshot = [&](int shards, int workers) {
+        ServiceConfig config = batchedConfig(workers, 8, 1.0);
+        config.shards = shards;
+        std::map<std::string, Snapshot> by_name;
+        ShardedService service(config);
+        for (RunResponse& response : service.runBatch(makeBatch())) {
+            EXPECT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            Snapshot snap;
+            snap.output = response.result.output;
+            snap.fresh = response.result.fresh_noise_budget;
+            snap.final_budget = response.result.final_noise_budget;
+            snap.consumed = response.result.consumed_noise;
+            snap.keys = response.result.rotation_keys;
+            by_name[response.name] = snap;
+        }
+        return by_name;
+    };
+
+    // 1 shard x 1 worker is the plain-serial reference; the outputs
+    // and request-independent accounting must survive 8 workers and
+    // any sharding (row composition per shard may differ — final and
+    // consumed noise describe the shared row — but lane bits and fresh
+    // budgets never do).
+    const auto reference = shardedSnapshot(1, 1);
+    const auto one_shard_wide = shardedSnapshot(1, 8);
+    for (const auto& [name, snap] : reference) {
+        ASSERT_TRUE(one_shard_wide.count(name)) << name;
+        const Snapshot& other = one_shard_wide.at(name);
+        // Same shard, same group composition: full bit-identity
+        // including the shared row's noise accounting.
+        EXPECT_EQ(snap.output, other.output) << name;
+        EXPECT_EQ(snap.fresh, other.fresh) << name;
+        EXPECT_EQ(snap.final_budget, other.final_budget) << name;
+        EXPECT_EQ(snap.consumed, other.consumed) << name;
+        EXPECT_EQ(snap.keys, other.keys) << name;
+    }
+    for (const auto& [shards, workers] :
+         std::vector<std::pair<int, int>>{{2, 4}, {4, 1}}) {
+        const auto sharded = shardedSnapshot(shards, workers);
+        ASSERT_EQ(sharded.size(), reference.size());
+        for (const auto& [name, snap] : reference) {
+            ASSERT_TRUE(sharded.count(name)) << name;
+            const Snapshot& other = sharded.at(name);
+            EXPECT_EQ(snap.output, other.output)
+                << name << " @ " << shards << " shards";
+            EXPECT_EQ(snap.fresh, other.fresh)
+                << name << " @ " << shards << " shards";
+            EXPECT_EQ(snap.keys, other.keys)
+                << name << " @ " << shards << " shards";
+        }
     }
 }
 
