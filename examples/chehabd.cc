@@ -47,8 +47,9 @@
 ///   --batch-lanes N slot-batching lane cap for --run: pack up to N
 ///                   coalescible requests into one ciphertext row
 ///                   (default 1 = off, 0 = as many as the row allows)
-///   --batch-window-us N  how long a pending run waits for row-mates
-///                   before a partial batch flushes (default 500)
+///   --batch-window-us X  how long a pending run waits for row-mates
+///                   before a partial batch flushes (default 500;
+///                   fractional values allowed, e.g. 62.5)
 ///   --adaptive-window N  1 (default) derives each group's flush
 ///                   deadline from the load model's arrival-rate
 ///                   estimate (ceiling-bounded by --batch-window-us);
@@ -74,6 +75,26 @@
 ///                   throughput, every service counter, and per-phase
 ///                   latency percentiles (qwait_p50/p99, exec_p50/p99,
 ///                   window_wait_p99, ...)
+///   --cache-dir PATH  on-disk persistence root (service/persist.h):
+///                   compiled artifacts are stored content-addressed
+///                   and reloaded on cache misses — a second chehabd
+///                   run with the same --cache-dir warm-starts instead
+///                   of recompiling (persist_hits in the footer and
+///                   stats-json). Crash-safe and shareable between
+///                   concurrent processes; corrupt/truncated/
+///                   version-mismatched entries are skipped and
+///                   counted, never trusted
+///   --persist-load-model 0|1  with --cache-dir, also snapshot the
+///                   load model's measured EWMA profiles at exit and
+///                   reload them as scheduling priors at boot
+///                   (default 1)
+///   --hot-factor X  run traffic abandons its affinity shard when that
+///                   shard's predicted load exceeds X times the
+///                   least-loaded shard's (default 2.0; needs
+///                   --shards > 1)
+///   --hot-slack-ms X  absolute slack added to the hot-shard test so
+///                   millisecond-scale loads keep cache affinity
+///                   (default 10)
 ///
 /// With --run and --batch-lanes > 1 the report gains packed-vs-solo
 /// latency columns: `lanes` (how many requests shared the executed
@@ -139,7 +160,7 @@ struct Options
     int mod_switch = 0;
     int poly_n = 256;
     int batch_lanes = 1;
-    int batch_window_us = 500;
+    double batch_window_us = 500.0;
     int adaptive_window = 1;
     bool cross_kernel = false;
     bool distinct_inputs = false;
@@ -151,6 +172,12 @@ struct Options
     int telemetry = -1;
     std::string trace_path;
     std::string stats_json_path;
+    /// Empty = no persistence tier; set = artifacts (and, with
+    /// persist_load_model, load-model snapshots) survive restarts.
+    std::string cache_dir;
+    int persist_load_model = 1;
+    double hot_factor = 2.0;
+    double hot_slack_ms = 10.0;
     std::vector<std::string> files;
 };
 
@@ -169,7 +196,10 @@ usage(const char* argv0)
                  "       [--csv PATH] [--json PATH] [--dump] "
                  "[--telemetry 0|1]\n"
                  "       [--trace-out PATH] [--stats-json PATH] "
-                 "[kernel-file | -] ...\n",
+                 "[--cache-dir PATH]\n"
+                 "       [--persist-load-model 0|1] [--hot-factor X] "
+                 "[--hot-slack-ms X]\n"
+                 "       [kernel-file | -] ...\n",
                  argv0);
 }
 
@@ -186,6 +216,22 @@ parseArgs(int argc, char** argv, Options& options)
         if (!parseInt(argv[i + 1], out)) {
             std::fprintf(stderr,
                          "chehabd: %s expects an integer, got '%s'\n",
+                         argv[i], argv[i + 1]);
+            return false;
+        }
+        ++i;
+        return true;
+    };
+    // Same reject-garbage contract for floating-point flags: "62.5" is
+    // fine, "abc", "1.5x" and "1e999" all fail loudly.
+    auto doubleArg = [&](int& i, double& out) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "chehabd: %s needs a value\n", argv[i]);
+            return false;
+        }
+        if (!parseDouble(argv[i + 1], out)) {
+            std::fprintf(stderr,
+                         "chehabd: %s expects a number, got '%s'\n",
                          argv[i], argv[i + 1]);
             return false;
         }
@@ -237,7 +283,7 @@ parseArgs(int argc, char** argv, Options& options)
         } else if (arg == "--batch-lanes") {
             if (!intArg(i, options.batch_lanes)) return false;
         } else if (arg == "--batch-window-us") {
-            if (!intArg(i, options.batch_window_us)) return false;
+            if (!doubleArg(i, options.batch_window_us)) return false;
         } else if (arg == "--adaptive-window") {
             if (!intArg(i, options.adaptive_window)) return false;
         } else if (arg == "--cross-kernel") {
@@ -256,6 +302,14 @@ parseArgs(int argc, char** argv, Options& options)
             if (!strArg(i, options.trace_path)) return false;
         } else if (arg == "--stats-json") {
             if (!strArg(i, options.stats_json_path)) return false;
+        } else if (arg == "--cache-dir") {
+            if (!strArg(i, options.cache_dir)) return false;
+        } else if (arg == "--persist-load-model") {
+            if (!intArg(i, options.persist_load_model)) return false;
+        } else if (arg == "--hot-factor") {
+            if (!doubleArg(i, options.hot_factor)) return false;
+        } else if (arg == "--hot-slack-ms") {
+            if (!doubleArg(i, options.hot_slack_ms)) return false;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else {
@@ -338,6 +392,8 @@ writeStatsJson(std::ostream& out, const Options& options,
         << "\",\n";
     out << "  \"run\": " << (options.run ? "true" : "false") << ",\n";
     out << "  \"batch_lanes\": " << options.batch_lanes << ",\n";
+    out << "  \"cache_dir\": \"" << jsonEscape(options.cache_dir)
+        << "\",\n";
     out << "  \"requests\": " << requests << ",\n";
     out << "  \"failures\": " << failures << ",\n";
     out << "  \"wall_s\": " << wall_seconds << ",\n";
@@ -368,6 +424,10 @@ writeStatsJson(std::ostream& out, const Options& options,
         << ", \"composite_groups\": " << stats.composite_groups
         << ", \"composite_members\": " << stats.composite_members
         << ", \"mod_switch_drops\": " << stats.mod_switch_drops
+        << ", \"persist_hits\": " << stats.persist.hits
+        << ", \"persist_misses\": " << stats.persist.misses
+        << ", \"persist_corrupt\": " << stats.persist.corrupt
+        << ", \"persist_writes\": " << stats.persist.writes
         << "},\n";
     cacheJson("compile_cache", stats.cache);
     cacheJson("run_cache", stats.run_cache);
@@ -469,6 +529,21 @@ main(int argc, char** argv)
                      "be non-negative\n");
         return 2;
     }
+    if (options.persist_load_model < 0 ||
+        options.persist_load_model > 1) {
+        std::fprintf(stderr,
+                     "chehabd: --persist-load-model must be 0 or 1\n");
+        return 2;
+    }
+    if (options.hot_factor <= 0.0) {
+        std::fprintf(stderr, "chehabd: --hot-factor must be > 0\n");
+        return 2;
+    }
+    if (options.hot_slack_ms < 0.0) {
+        std::fprintf(stderr,
+                     "chehabd: --hot-slack-ms must be non-negative\n");
+        return 2;
+    }
     if (options.telemetry < -1 || options.telemetry > 1) {
         std::fprintf(stderr, "chehabd: --telemetry must be 0 or 1\n");
         return 2;
@@ -550,6 +625,8 @@ main(int argc, char** argv)
     config.adaptive_window = options.adaptive_window != 0;
     config.cross_kernel = options.cross_kernel;
     config.telemetry = telemetry_on;
+    config.cache_dir = options.cache_dir;
+    config.persist_load_model = options.persist_load_model != 0;
     // Reject nonsense configurations here, where the error reads as a
     // usage problem, instead of letting the service constructor throw.
     if (const std::string problem = config.validate(); !problem.empty()) {
@@ -583,7 +660,21 @@ main(int argc, char** argv)
     // responses are adapted into the same reporting shape. Always the
     // sharded front end: at --shards 1 it routes everything to its
     // single shard and behaves exactly like a plain CompileService.
-    service::ShardedService compile_service(config);
+    service::RouterConfig router_config;
+    router_config.hot_factor = options.hot_factor;
+    router_config.hot_slack_seconds = options.hot_slack_ms * 1e-3;
+    // An unusable --cache-dir (permission denied, path is a file)
+    // surfaces as std::invalid_argument from the shard constructors;
+    // report it as the usage error it is instead of terminating.
+    std::unique_ptr<service::ShardedService> service_holder;
+    try {
+        service_holder = std::make_unique<service::ShardedService>(
+            config, router_config);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "chehabd: %s\n", e.what());
+        return 2;
+    }
+    service::ShardedService& compile_service = *service_holder;
     const Stopwatch wall;
     std::vector<service::RunResponse> responses;
     if (options.run) {
@@ -731,6 +822,15 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(stats.cache.inflight_joins),
                 static_cast<unsigned long long>(stats.cache.evictions),
                 static_cast<unsigned long long>(stats.failed));
+    if (!options.cache_dir.empty()) {
+        std::printf("persist: %llu warm hits, %llu misses, %llu corrupt "
+                    "entries skipped, %llu writes (%s)\n",
+                    static_cast<unsigned long long>(stats.persist.hits),
+                    static_cast<unsigned long long>(stats.persist.misses),
+                    static_cast<unsigned long long>(stats.persist.corrupt),
+                    static_cast<unsigned long long>(stats.persist.writes),
+                    options.cache_dir.c_str());
+    }
     if (options.shards > 1) {
         const service::RouterStats router = compile_service.routerStats();
         std::printf("router: %d shards, %llu compiles routed by "

@@ -1,0 +1,53 @@
+/// \file
+/// Binary (de)serialization of compiled artifacts, for the service's
+/// on-disk persistence tier (service/persist.{h,cc}).
+///
+/// A Compiled splits into two sections:
+///
+///   - **Content** — the deterministic artifact: the optimized IR, the
+///     scheduled FheProgram (including the mod-switch plan) and the
+///     rotation-key plan. Content bytes are a pure function of the
+///     (source fingerprint, pipeline fingerprint) cache key, so the
+///     determinism contract extends across processes: deserializing a
+///     stored artifact yields a tree/program bit-identical to a fresh
+///     compile of the same key (serializeCompiledContent is the
+///     byte-exact comparison key the differential tests check).
+///   - **Stats** — the CompileStats measured when the artifact was
+///     first built (per-pass wall seconds, cost trajectory). Timings
+///     are machine- and run-dependent, so they live outside the
+///     content section and never participate in bit-identity checks.
+///
+/// The IR tree is serialized structurally (op, name, value, step,
+/// children) and rebuilt through ir::makeNode, so every derived field
+/// (hashes, node counts, plainness) is recomputed by the same code a
+/// fresh parse would use — ir::fingerprint(deserialized) ==
+/// ir::fingerprint(original) by construction. The unordered
+/// RotationKeyPlan::decomposition map is written sorted by key so equal
+/// plans always produce equal bytes.
+///
+/// deserializeCompiled throws std::runtime_error on malformed input
+/// (truncation, bad op tags, absurd counts); callers treat that as a
+/// corrupt entry, not a crash. Framing, versioning and checksums are
+/// the persistence layer's job — these functions handle only the
+/// payload encoding.
+#pragma once
+
+#include <string>
+
+#include "compiler/pipeline.h"
+
+namespace chehab::compiler {
+
+/// Serialize the full artifact (content section + stats section).
+std::string serializeCompiled(const Compiled& compiled);
+
+/// Serialize only the deterministic content section (optimized IR,
+/// program, key plan) — the byte string the bit-identity contract is
+/// stated over.
+std::string serializeCompiledContent(const Compiled& compiled);
+
+/// Rebuild a Compiled from serializeCompiled's output. Throws
+/// std::runtime_error on malformed bytes.
+Compiled deserializeCompiled(const std::string& bytes);
+
+} // namespace chehab::compiler

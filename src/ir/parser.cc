@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/error.h"
+#include "support/parse_int.h"
 
 namespace chehab::ir {
 
@@ -84,6 +85,19 @@ class Reader
         return true;
     }
 
+    /// Checked literal conversion: isInteger() already rejected
+    /// garbage, so the only way parseInt64 fails is ERANGE — a literal
+    /// strtoll would silently saturate to INT64_MIN/MAX.
+    static std::int64_t
+    toInt64(const std::string& tok)
+    {
+        std::int64_t value = 0;
+        if (!parseInt64(tok.c_str(), value)) {
+            throw CompileError("integer literal out of range: '" + tok + "'");
+        }
+        return value;
+    }
+
     std::int64_t
     parseIntToken()
     {
@@ -91,7 +105,7 @@ class Reader
         if (!isInteger(tok)) {
             throw CompileError("expected integer, got '" + tok + "'");
         }
-        return std::strtoll(tok.c_str(), nullptr, 10);
+        return toInt64(tok);
     }
 
     ExprPtr
@@ -101,7 +115,7 @@ class Reader
         if (c == '(') return parseList();
         if (c == ')') throw CompileError("unexpected ')'");
         const std::string tok = readToken();
-        if (isInteger(tok)) return constant(std::strtoll(tok.c_str(), nullptr, 10));
+        if (isInteger(tok)) return constant(toInt64(tok));
         return var(tok);
     }
 

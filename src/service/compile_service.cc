@@ -154,6 +154,25 @@ CompileService::CompileService(ServiceConfig config)
     // ("shard N"); the default (shard 0 -> pid 1) matches what the
     // exporter always emitted, so unsharded traces are unchanged.
     telemetry_.setTrackGroup(config_.shard_id + 1);
+    if (!config_.cache_dir.empty()) {
+        // An unusable directory fails construction loudly, in the same
+        // spirit as validate() — only runtime file corruption is
+        // handled silently (skip + count).
+        try {
+            persist_ =
+                std::make_unique<PersistStore>(config_.cache_dir,
+                                               config_.shard_id);
+        } catch (const std::runtime_error& error) {
+            throw std::invalid_argument(std::string("ServiceConfig: ") +
+                                        error.what());
+        }
+        if (config_.persist_load_model) {
+            // Warm scheduling priors: measured EWMA profiles from the
+            // previous incarnation of this shard, if a usable snapshot
+            // exists.
+            persist_->loadLoadModelInto(load_model_);
+        }
+    }
     if (config_.max_lanes != 1) {
         flusher_ = std::thread([this] { flusherLoop(); });
     }
@@ -183,6 +202,13 @@ CompileService::~CompileService()
         for (BatchPlanner::Group& group : rest) {
             dispatchGroup(std::move(group), /*window_flush=*/true);
         }
+    }
+    if (persist_ && config_.persist_load_model) {
+        // Snapshot the load model once every in-flight observation has
+        // landed (the pool still exists — pool_ is declared last, so
+        // it destructs after this body runs).
+        pool_->wait();
+        persist_->storeLoadModel(load_model_);
     }
 }
 
@@ -221,6 +247,7 @@ CompileService::stats() const
     snapshot.cache = cache_.stats();
     snapshot.run_cache = run_cache_.stats();
     snapshot.load_model = load_model_.snapshot();
+    if (persist_) snapshot.persist = persist_->stats();
     snapshot.pool = pool_->stats();
     snapshot.telemetry = telemetry_.snapshot();
     {
@@ -298,6 +325,34 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
             const std::int64_t span_start =
                 telemetry_.enabled() ? telemetry_.nowNs() : 0;
             const Stopwatch compile_watch;
+            if (persist_) {
+                // Warm path: a previous process (or an evicted entry of
+                // this one) already compiled this key — load the stored
+                // artifact instead of recompiling. Bit-identical to a
+                // fresh compile by the determinism contract
+                // (compiler/serialize.h), so joiners cannot tell the
+                // difference. The measured load time deliberately does
+                // NOT feed observeCompile: the EWMA profile predicts
+                // *compiles*, and a sub-millisecond load sample would
+                // poison the next cold-prediction for this key.
+                std::optional<compiler::Compiled> loaded =
+                    persist_->loadArtifact(key);
+                if (loaded) {
+                    const double seconds = compile_watch.elapsedSeconds();
+                    if (telemetry_.enabled()) {
+                        telemetry_.instant("persist_hit", worker,
+                                           request_id);
+                        telemetry_.span("compile", worker, span_start,
+                                        telemetry_.nowNs(), request_id,
+                                        {{"est_cost", estimate},
+                                         {"meas_s", seconds}});
+                    }
+                    entry->publishReady(std::move(*loaded), seconds,
+                                        worker);
+                    load_model_.noteFinished(predicted);
+                    return;
+                }
+            }
             try {
                 const compiler::CompilerDriver driver(&ruleset_,
                                                       config_.agent);
@@ -317,6 +372,10 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                     ++stats_.compiled;
                     stats_.total_compile_seconds += seconds;
                 }
+                // Store before publish (publish consumes the artifact):
+                // the write is crash-safe and content-addressed, so a
+                // failure here only costs the next process a recompile.
+                if (persist_) persist_->storeArtifact(key, compiled);
                 entry->publishReady(std::move(compiled), seconds, worker);
                 load_model_.noteFinished(predicted);
             } catch (const std::exception& e) {

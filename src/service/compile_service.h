@@ -139,6 +139,21 @@ struct ServiceConfig
     /// recorder is a near-zero-cost no-op. Never affects scheduling or
     /// outputs — see the determinism contract above.
     bool telemetry = false;
+    /// On-disk persistence root (service/persist.h). Empty (default) =
+    /// no persistence. When set, each shard opens a PersistStore on
+    /// this directory: cache-miss compiles first try a warm artifact
+    /// load from disk, fresh compiles are stored back
+    /// (content-addressed, crash-safe temp-file + rename, so the
+    /// directory is safely shared by every shard and by concurrent
+    /// service *processes*), and the load model snapshots/restores its
+    /// measured profiles across restarts. Construction throws
+    /// std::invalid_argument when the directory cannot be created.
+    std::string cache_dir;
+    /// When persistence is on, also snapshot the load model's EWMA
+    /// profiles at shutdown and re-import them as priors at boot (the
+    /// warm-scheduling half of a warm start). No effect with an empty
+    /// cache_dir.
+    bool persist_load_model = true;
     /// Shard count for ShardedService (service/shard_router.h): the
     /// fleet builds this many CompileService shards, each with this
     /// config (num_workers is *per shard*). A plain CompileService
@@ -299,6 +314,9 @@ class CompileService final : public ServiceApi
     trs::Ruleset ruleset_; ///< Owned, immutable after construction.
     CompileCache cache_;
     RunCache run_cache_;
+    /// On-disk persistence tier; null when config_.cache_dir is empty.
+    /// Declared before pool_ so workers may touch it until they drain.
+    std::unique_ptr<PersistStore> persist_;
     /// Timer-augmented cost model behind dispatch priorities, adaptive
     /// windows and cost-driven consolidation. Internally synchronized;
     /// may be queried under batch_mutex_ (it never calls back out).

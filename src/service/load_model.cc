@@ -1,6 +1,7 @@
 #include "service/load_model.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace chehab::service {
 
@@ -201,6 +202,87 @@ LoadModel::preferRowShare(std::uint64_t params_hash,
     }
     ++counters_.share_preferred;
     return true;
+}
+
+LoadModelState
+LoadModel::exportState() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    LoadModelState state;
+    state.compile.reserve(compile_.size());
+    for (const auto& [key, profile] : compile_) {
+        state.compile.emplace_back(
+            key, ProfileState{profile.seconds_ewma, profile.setup_ewma,
+                              profile.samples});
+    }
+    state.run.reserve(run_.size());
+    for (const auto& [key, profile] : run_) {
+        state.run.emplace_back(
+            key, ProfileState{profile.seconds_ewma, profile.setup_ewma,
+                              profile.samples});
+    }
+    state.cheapest_run.assign(cheapest_run_.begin(), cheapest_run_.end());
+    state.compile_ratio = compile_ratio_;
+    state.compile_ratio_samples = compile_ratio_samples_;
+    state.run_ratio = run_ratio_;
+    state.run_ratio_samples = run_ratio_samples_;
+    lock.unlock();
+
+    // Deterministic export order: the maps are unordered, and equal
+    // models must serialize to equal snapshot bytes.
+    std::sort(state.compile.begin(), state.compile.end(),
+              [](const auto& a, const auto& b) {
+                  const CacheKey& ka = a.first;
+                  const CacheKey& kb = b.first;
+                  return std::tie(ka.source.hi, ka.source.lo, ka.pipeline) <
+                         std::tie(kb.source.hi, kb.source.lo, kb.pipeline);
+              });
+    std::sort(state.run.begin(), state.run.end(),
+              [](const auto& a, const auto& b) {
+                  const BatchGroupKey& ka = a.first;
+                  const BatchGroupKey& kb = b.first;
+                  return std::tie(ka.compile.source.hi, ka.compile.source.lo,
+                                  ka.compile.pipeline, ka.params_hash,
+                                  ka.key_budget) <
+                         std::tie(kb.compile.source.hi, kb.compile.source.lo,
+                                  kb.compile.pipeline, kb.params_hash,
+                                  kb.key_budget);
+              });
+    std::sort(state.cheapest_run.begin(), state.cheapest_run.end());
+    return state;
+}
+
+void
+LoadModel::importState(const LoadModelState& state)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (const auto& [key, profile] : state.compile) {
+        if (compile_.size() >= config_.max_profiles) break;
+        Profile& slot = compile_[key];
+        slot.seconds_ewma = profile.seconds_ewma;
+        slot.setup_ewma = profile.setup_ewma;
+        slot.samples = profile.samples;
+    }
+    for (const auto& [key, profile] : state.run) {
+        if (run_.size() >= config_.max_profiles) break;
+        Profile& slot = run_[key];
+        slot.seconds_ewma = profile.seconds_ewma;
+        slot.setup_ewma = profile.setup_ewma;
+        slot.samples = profile.samples;
+    }
+    for (const auto& [params_hash, floor] : state.cheapest_run) {
+        if (cheapest_run_.size() >= config_.max_profiles) break;
+        auto [it, inserted] = cheapest_run_.emplace(params_hash, floor);
+        if (!inserted && floor < it->second) it->second = floor;
+    }
+    if (state.compile_ratio_samples > 0 && state.compile_ratio > 0.0) {
+        compile_ratio_ = state.compile_ratio;
+        compile_ratio_samples_ = state.compile_ratio_samples;
+    }
+    if (state.run_ratio_samples > 0 && state.run_ratio > 0.0) {
+        run_ratio_ = state.run_ratio;
+        run_ratio_samples_ = state.run_ratio_samples;
+    }
 }
 
 LoadModelSnapshot

@@ -58,6 +58,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "service/batch_planner.h"
 #include "service/cache_key.h"
@@ -132,6 +134,33 @@ struct LoadModelSnapshot
     std::uint64_t inflight_jobs = 0;
     double inflight_predicted_seconds = 0.0;
     /// @}
+};
+
+/// One EWMA profile in snapshot form (see LoadModelState).
+struct ProfileState
+{
+    double seconds_ewma = 0.0;
+    double setup_ewma = 0.0;
+    std::uint64_t samples = 0;
+};
+
+/// The persistable slice of a LoadModel: measured compile/run profiles,
+/// the per-parameter-family execution floors and the globally
+/// calibrated seconds-per-cost ratios. Exported at shutdown and
+/// re-imported as priors at boot (service/persist.{h,cc}), so a warm
+/// restart schedules with measured truth from the first request. The
+/// arrival-rate trackers are deliberately absent: they hold
+/// steady_clock time points that are meaningless in another process,
+/// and the estimator re-converges within one burst anyway.
+struct LoadModelState
+{
+    std::vector<std::pair<CacheKey, ProfileState>> compile;
+    std::vector<std::pair<BatchGroupKey, ProfileState>> run;
+    std::vector<std::pair<std::uint64_t, double>> cheapest_run;
+    double compile_ratio = 0.0;
+    std::uint64_t compile_ratio_samples = 0;
+    double run_ratio = 0.0;
+    std::uint64_t run_ratio_samples = 0;
 };
 
 class LoadModel
@@ -210,6 +239,20 @@ class LoadModel
     const LoadModelConfig& config() const { return config_; }
 
     LoadModelSnapshot snapshot() const;
+
+    /// \name Persistable state (warm restarts)
+    /// exportState returns the measured profiles and calibration ratios
+    /// in a deterministic order (sorted by key, so equal models export
+    /// equal snapshots); importState seeds them back as boot-time
+    /// priors. Import replaces any same-key profile and both global
+    /// ratios (it is meant for a freshly constructed model), leaves the
+    /// arrival trackers and in-flight signal untouched, and respects
+    /// max_profiles. Counters (compile_profiles, run_profiles) reflect
+    /// imported entries, so a warm boot is visible in snapshot().
+    /// @{
+    LoadModelState exportState() const;
+    void importState(const LoadModelState& state);
+    /// @}
 
   private:
     struct Profile

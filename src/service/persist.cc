@@ -1,0 +1,344 @@
+#include "service/persist.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "compiler/serialize.h"
+#include "support/binary_io.h"
+
+namespace chehab::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// "CHB\x01" little-endian — rejects arbitrary files dropped into the
+/// cache directory before any length field is trusted.
+constexpr std::uint32_t kMagic = 0x01424843u;
+
+/// File kinds: the header pins what a file claims to be, so a snapshot
+/// renamed over an artifact path still fails closed.
+constexpr std::uint8_t kKindArtifact = 1;
+constexpr std::uint8_t kKindLoadModel = 2;
+
+/// magic u32 + version u32 + kind u8 + payload length u64.
+constexpr std::size_t kHeaderSize = 4 + 4 + 1 + 8;
+constexpr std::size_t kChecksumSize = 8;
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+std::string
+serializeLoadModelState(const LoadModelState& state)
+{
+    ByteWriter out;
+    out.u32(static_cast<std::uint32_t>(state.compile.size()));
+    for (const auto& [key, profile] : state.compile) {
+        out.u64(key.source.hi);
+        out.u64(key.source.lo);
+        out.u64(key.pipeline);
+        out.f64(profile.seconds_ewma);
+        out.f64(profile.setup_ewma);
+        out.u64(profile.samples);
+    }
+    out.u32(static_cast<std::uint32_t>(state.run.size()));
+    for (const auto& [key, profile] : state.run) {
+        out.u64(key.compile.source.hi);
+        out.u64(key.compile.source.lo);
+        out.u64(key.compile.pipeline);
+        out.u64(key.params_hash);
+        out.i32(key.key_budget);
+        out.f64(profile.seconds_ewma);
+        out.f64(profile.setup_ewma);
+        out.u64(profile.samples);
+    }
+    out.u32(static_cast<std::uint32_t>(state.cheapest_run.size()));
+    for (const auto& [params_hash, floor] : state.cheapest_run) {
+        out.u64(params_hash);
+        out.f64(floor);
+    }
+    out.f64(state.compile_ratio);
+    out.u64(state.compile_ratio_samples);
+    out.f64(state.run_ratio);
+    out.u64(state.run_ratio_samples);
+    return out.take();
+}
+
+LoadModelState
+deserializeLoadModelState(const std::string& bytes)
+{
+    ByteReader in(bytes);
+    LoadModelState state;
+    const std::uint32_t num_compile = in.u32();
+    if (num_compile > in.remaining()) {
+        throw std::runtime_error("compile-profile count exceeds stream size");
+    }
+    state.compile.reserve(num_compile);
+    for (std::uint32_t i = 0; i < num_compile; ++i) {
+        CacheKey key;
+        key.source.hi = in.u64();
+        key.source.lo = in.u64();
+        key.pipeline = in.u64();
+        ProfileState profile;
+        profile.seconds_ewma = in.f64();
+        profile.setup_ewma = in.f64();
+        profile.samples = in.u64();
+        state.compile.emplace_back(key, profile);
+    }
+    const std::uint32_t num_run = in.u32();
+    if (num_run > in.remaining()) {
+        throw std::runtime_error("run-profile count exceeds stream size");
+    }
+    state.run.reserve(num_run);
+    for (std::uint32_t i = 0; i < num_run; ++i) {
+        BatchGroupKey key;
+        key.compile.source.hi = in.u64();
+        key.compile.source.lo = in.u64();
+        key.compile.pipeline = in.u64();
+        key.params_hash = in.u64();
+        key.key_budget = in.i32();
+        ProfileState profile;
+        profile.seconds_ewma = in.f64();
+        profile.setup_ewma = in.f64();
+        profile.samples = in.u64();
+        state.run.emplace_back(key, profile);
+    }
+    const std::uint32_t num_floors = in.u32();
+    if (num_floors > in.remaining()) {
+        throw std::runtime_error("floor count exceeds stream size");
+    }
+    state.cheapest_run.reserve(num_floors);
+    for (std::uint32_t i = 0; i < num_floors; ++i) {
+        const std::uint64_t params_hash = in.u64();
+        const double floor = in.f64();
+        state.cheapest_run.emplace_back(params_hash, floor);
+    }
+    state.compile_ratio = in.f64();
+    state.compile_ratio_samples = in.u64();
+    state.run_ratio = in.f64();
+    state.run_ratio_samples = in.u64();
+    if (!in.atEnd()) {
+        throw std::runtime_error("trailing bytes after load-model snapshot");
+    }
+    return state;
+}
+
+} // namespace
+
+PersistStore::PersistStore(std::string dir, int shard_id)
+    : dir_(std::move(dir)), shard_id_(shard_id)
+{
+    if (dir_.empty()) {
+        throw std::runtime_error("PersistStore: empty cache directory");
+    }
+    std::error_code ec;
+    artifacts_dir_ = (fs::path(dir_) / "artifacts").string();
+    fs::create_directories(artifacts_dir_, ec);
+    if (ec || !fs::is_directory(artifacts_dir_)) {
+        throw std::runtime_error("PersistStore: cannot create '" +
+                                 artifacts_dir_ + "': " + ec.message());
+    }
+}
+
+std::string
+PersistStore::artifactFileName(const CacheKey& key)
+{
+    return hex64(key.source.hi) + "-" + hex64(key.source.lo) + "-" +
+           hex64(key.pipeline) + ".art";
+}
+
+std::string
+PersistStore::artifactPath(const CacheKey& key) const
+{
+    return (fs::path(artifacts_dir_) / artifactFileName(key)).string();
+}
+
+std::string
+PersistStore::loadModelPath() const
+{
+    return (fs::path(dir_) /
+            ("load_model.shard" + std::to_string(shard_id_) + ".snap"))
+        .string();
+}
+
+void
+PersistStore::countCorrupt()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt;
+}
+
+bool
+PersistStore::writeFileAtomic(const std::string& path, std::uint8_t kind,
+                              const std::string& payload)
+{
+    ByteWriter framed;
+    framed.u32(kMagic);
+    framed.u32(kFormatVersion);
+    framed.u8(kind);
+    framed.u64(payload.size());
+    // (Header ends here; everything after is payload + its checksum.)
+    const std::string& bytes = framed.bytes();
+
+    // Unique temp name per writer (pid x in-process sequence) in the
+    // *same* directory, so the final std::rename is atomic on POSIX:
+    // readers only ever see absent or complete files, even with
+    // concurrent writers from other processes racing on the same key —
+    // they all rename identical content-addressed bytes into place.
+    static std::atomic<std::uint64_t> sequence{0};
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        const std::uint64_t checksum = fnv1a64(payload);
+        ByteWriter tail;
+        tail.u64(checksum);
+        out.write(tail.bytes().data(),
+                  static_cast<std::streamsize>(tail.bytes().size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            fs::remove(temp, ec);
+            return false;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::error_code ec;
+        fs::remove(temp, ec);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+    return true;
+}
+
+std::optional<std::string>
+PersistStore::readFileChecked(const std::string& path, std::uint8_t kind)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    try {
+        ByteReader reader(bytes);
+        if (reader.u32() != kMagic) {
+            throw std::runtime_error("bad magic");
+        }
+        if (reader.u32() != kFormatVersion) {
+            // Refuse-and-cold-start: never guess at another layout.
+            throw std::runtime_error("format version mismatch");
+        }
+        if (reader.u8() != kind) {
+            throw std::runtime_error("wrong file kind");
+        }
+        const std::uint64_t payload_size = reader.u64();
+        if (bytes.size() < kHeaderSize + kChecksumSize ||
+            payload_size != bytes.size() - kHeaderSize - kChecksumSize) {
+            throw std::runtime_error("payload length mismatch");
+        }
+        std::string payload = bytes.substr(kHeaderSize, payload_size);
+        ByteReader tail(std::string_view(bytes).substr(
+            kHeaderSize + payload_size));
+        if (tail.u64() != fnv1a64(payload)) {
+            throw std::runtime_error("checksum mismatch");
+        }
+        return payload;
+    } catch (const std::exception&) {
+        countCorrupt();
+        return std::nullopt;
+    }
+}
+
+std::optional<compiler::Compiled>
+PersistStore::loadArtifact(const CacheKey& key)
+{
+    std::optional<std::string> payload =
+        readFileChecked(artifactPath(key), kKindArtifact);
+    if (payload) {
+        try {
+            compiler::Compiled compiled =
+                compiler::deserializeCompiled(*payload);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+            return compiled;
+        } catch (const std::exception&) {
+            // The checksum passed but the payload would not decode: a
+            // writer bug or a store written by a different build. Skip
+            // it like any other corrupt entry.
+            countCorrupt();
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+bool
+PersistStore::storeArtifact(const CacheKey& key,
+                            const compiler::Compiled& compiled)
+{
+    try {
+        return writeFileAtomic(artifactPath(key), kKindArtifact,
+                               compiler::serializeCompiled(compiled));
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool
+PersistStore::loadLoadModelInto(LoadModel& model)
+{
+    std::optional<std::string> payload =
+        readFileChecked(loadModelPath(), kKindLoadModel);
+    if (!payload) return false;
+    try {
+        model.importState(deserializeLoadModelState(*payload));
+        return true;
+    } catch (const std::exception&) {
+        countCorrupt();
+        return false;
+    }
+}
+
+bool
+PersistStore::storeLoadModel(const LoadModel& model)
+{
+    try {
+        return writeFileAtomic(loadModelPath(), kKindLoadModel,
+                               serializeLoadModelState(model.exportState()));
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+PersistStats
+PersistStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace chehab::service

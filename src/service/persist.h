@@ -1,0 +1,149 @@
+/// \file
+/// On-disk persistence tier: crash-safe warm starts for the compiled-
+/// artifact cache and the load model.
+///
+/// Every process restart used to pay cold compiles and cold scheduling
+/// again — the single-flight LRU caches and the EWMA load-model
+/// profiles evaporate with the process. The PersistStore gives both a
+/// durable home under one `cache_dir`:
+///
+///   - **Artifacts** are content-addressed: the file name is the
+///     CacheKey (canonical-source fingerprint x pipeline fingerprint),
+///     so an entry's name fully determines its contents and N service
+///     processes can share one directory with no coordination — two
+///     writers of the same key write the same bytes, and a reader can
+///     trust any complete entry. This is also what makes cross-process
+///     shard-stealing cheap: the stealing shard loads the artifact
+///     instead of recompiling it.
+///   - **Load-model snapshots** (per-key EWMA compile/run profiles and
+///     the seconds-per-cost calibration ratios) are written per shard
+///     at clean shutdown and re-imported as priors at boot, so a warm
+///     fleet schedules with measured truth from the first request.
+///
+/// Durability contract (the crash-safety sweep in the tests flips
+/// bytes, truncates files and mismatches versions to enforce it):
+///
+///   - Every file is `magic + format version + kind + payload length +
+///     payload + FNV-1a-64 checksum`. A version mismatch is refused —
+///     the store cold-starts rather than guess at an old layout.
+///   - Writes go to a unique temp file in the same directory, then
+///     `std::rename` into place: readers see the old complete entry or
+///     the new complete entry, never a torn one, even across
+///     concurrently restarting processes.
+///   - A corrupt entry (truncated, checksum mismatch, malformed
+///     payload, wrong version) is *skipped and counted* — the caller
+///     compiles fresh. Corruption is never a crash and never a wrong
+///     artifact: the checksum gate runs before deserialization ever
+///     sees the bytes.
+///
+/// Determinism: compilation is a pure function of the cache key, and
+/// serialization rebuilds the artifact through the same factories a
+/// fresh compile uses, so a warm-loaded artifact is bit-identical to a
+/// fresh compile of the same fingerprint (compiler/serialize.h; the
+/// round-trip differential tests compare content bytes and
+/// disassembly).
+///
+/// Thread-safety: all methods may be called concurrently; counters sit
+/// behind one mutex and file operations rely on the atomic-rename
+/// protocol rather than locks, which is what makes the directory
+/// shareable *between* processes too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "compiler/pipeline.h"
+#include "service/cache_key.h"
+#include "service/load_model.h"
+
+namespace chehab::service {
+
+/// Monotonic persistence counters (merged additively into
+/// ServiceStats::persist; see checkStatsInvariants for the relations
+/// they satisfy).
+struct PersistStats
+{
+    std::uint64_t hits = 0;    ///< Artifact loads served from disk.
+    std::uint64_t misses = 0;  ///< Artifact lookups with no usable entry
+                               ///  (absent or corrupt — corrupt is the
+                               ///  subset below).
+    std::uint64_t corrupt = 0; ///< Entries skipped as unusable:
+                               ///  truncated, bad checksum, malformed
+                               ///  payload or wrong format version.
+    std::uint64_t writes = 0;  ///< Files durably written (artifacts +
+                               ///  load-model snapshots).
+};
+
+/// One on-disk store rooted at a cache directory. Cheap to construct;
+/// each CompileService shard owns one (they may all point at the same
+/// directory — including shards of different processes).
+class PersistStore
+{
+  public:
+    /// Bumped whenever the file layout changes; files carrying any
+    /// other version are refused (counted corrupt) so an old store
+    /// never feeds a new binary garbage.
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /// Creates \p dir (and its artifacts/ subdirectory) if missing.
+    /// \p shard_id names this shard's load-model snapshot file.
+    /// Throws std::runtime_error when the directory cannot be created
+    /// or is not writable — a misconfigured cache_dir should fail
+    /// loudly at construction, unlike runtime file corruption, which
+    /// never throws.
+    explicit PersistStore(std::string dir, int shard_id = 0);
+
+    const std::string& dir() const { return dir_; }
+
+    /// The stored artifact for \p key, or nullopt (counting a miss,
+    /// plus corrupt when an entry existed but was unusable).
+    std::optional<compiler::Compiled> loadArtifact(const CacheKey& key);
+
+    /// Durably store \p compiled under \p key (temp file + rename).
+    /// Returns false — without throwing — when the write fails; the
+    /// in-process caches still hold the artifact, so serving continues.
+    bool storeArtifact(const CacheKey& key,
+                       const compiler::Compiled& compiled);
+
+    /// Import this shard's load-model snapshot into \p model as boot
+    /// priors. Returns false when no usable snapshot exists (counting
+    /// corrupt if one existed but was unusable; absence counts
+    /// nothing — unlike artifacts, a missing snapshot is the normal
+    /// first-boot state and pollutes no per-request counter).
+    bool loadLoadModelInto(LoadModel& model);
+
+    /// Snapshot \p model's persistable state to this shard's file.
+    bool storeLoadModel(const LoadModel& model);
+
+    PersistStats stats() const;
+
+    /// \name File layout (exposed for tests and tooling)
+    /// @{
+    static std::string artifactFileName(const CacheKey& key);
+    std::string artifactPath(const CacheKey& key) const;
+    std::string loadModelPath() const;
+    /// @}
+
+  private:
+    /// Frame \p payload (header + checksum) and write it atomically.
+    bool writeFileAtomic(const std::string& path, std::uint8_t kind,
+                         const std::string& payload);
+
+    /// Read and unframe \p path. nullopt when the file is absent or
+    /// unusable (the latter bumps the corrupt counter).
+    std::optional<std::string> readFileChecked(const std::string& path,
+                                               std::uint8_t kind);
+
+    void countCorrupt();
+
+    std::string dir_;
+    std::string artifacts_dir_;
+    int shard_id_;
+
+    mutable std::mutex mutex_;
+    PersistStats stats_;
+};
+
+} // namespace chehab::service

@@ -53,6 +53,11 @@ ServiceStats::merge(const ServiceStats& other)
     mergeCache(cache, other.cache);
     mergeCache(run_cache, other.run_cache);
 
+    persist.hits += other.persist.hits;
+    persist.misses += other.persist.misses;
+    persist.corrupt += other.persist.corrupt;
+    persist.writes += other.persist.writes;
+
     load_model.compile_profiles += other.load_model.compile_profiles;
     load_model.run_profiles += other.load_model.run_profiles;
     load_model.compile_observations +=
@@ -112,9 +117,21 @@ checkStatsInvariants(const ServiceStats& stats, bool quiescent)
                     stats.packed_groups,
                     stats.full_flushes + stats.window_flushes);
     }
-    if (stats.compiled + stats.failed > stats.cache.misses) {
-        return fail("compiled + failed <= cache.misses",
-                    stats.compiled + stats.failed, stats.cache.misses);
+    // Every cache miss resolves as a fresh compile, a compile failure
+    // or a warm artifact load from the persistence tier.
+    if (stats.compiled + stats.failed + stats.persist.hits >
+        stats.cache.misses) {
+        return fail("compiled + failed + persist.hits <= cache.misses",
+                    stats.compiled + stats.failed + stats.persist.hits,
+                    stats.cache.misses);
+    }
+    // Persistence lookups only happen for cache-miss owners, and each
+    // lookup is a hit or a miss (corrupt being the skipped subset of
+    // the misses).
+    if (stats.persist.hits + stats.persist.misses > stats.cache.misses) {
+        return fail("persist.hits + persist.misses <= cache.misses",
+                    stats.persist.hits + stats.persist.misses,
+                    stats.cache.misses);
     }
     if (stats.packed_lanes + stats.solo_runs + stats.run_failed >
         stats.run_cache.misses) {
@@ -150,9 +167,11 @@ checkStatsInvariants(const ServiceStats& stats, bool quiescent)
                     cache_acquires,
                     stats.submitted + stats.run_cache.misses);
     }
-    if (stats.cache.misses != stats.compiled + stats.failed) {
-        return fail("cache.misses == compiled + failed", stats.cache.misses,
-                    stats.compiled + stats.failed);
+    if (stats.cache.misses !=
+        stats.compiled + stats.failed + stats.persist.hits) {
+        return fail("cache.misses == compiled + failed + persist.hits",
+                    stats.cache.misses,
+                    stats.compiled + stats.failed + stats.persist.hits);
     }
     if (stats.run_cache.misses !=
         stats.packed_lanes + stats.solo_runs + stats.run_failed) {

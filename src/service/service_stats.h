@@ -23,6 +23,7 @@
 
 #include "service/cache_key.h"
 #include "service/load_model.h"
+#include "service/persist.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 
@@ -78,6 +79,11 @@ struct ServiceStats
 
     CompileCache::Stats cache;        ///< Hits/misses/evictions etc.
     RunCache::Stats run_cache;
+    /// On-disk persistence tier (service/persist.h): artifact loads
+    /// served warm from the cache_dir vs. compiled fresh, corrupt
+    /// entries skipped, files written. All zero when persistence is
+    /// off (ServiceConfig::cache_dir empty).
+    PersistStats persist;
     /// Timer-augmented load model activity: profile counts, warm vs
     /// cold predictions, window shrinks, consolidation share advice,
     /// and the instantaneous queued-plus-in-flight load signal the

@@ -1,0 +1,194 @@
+/// \file
+/// Little byte-buffer reader/writer for the on-disk persistence
+/// formats (compiler/serialize.{h,cc}, service/persist.{h,cc}).
+///
+/// Fixed-width little-endian integers via memcpy (no aliasing UB, no
+/// host-endianness surprises on the platforms we target), doubles as
+/// their IEEE-754 bit pattern, strings as u32 length + raw bytes. The
+/// reader throws std::runtime_error on any overrun, so truncated files
+/// surface as one catchable error instead of garbage values — the
+/// persistence layer converts that into a "corrupt entry skipped"
+/// counter, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace chehab {
+
+/// Append-only byte-buffer writer.
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t value)
+    {
+        buffer_.push_back(static_cast<char>(value));
+    }
+
+    void
+    u32(std::uint32_t value)
+    {
+        appendLe(value);
+    }
+
+    void
+    u64(std::uint64_t value)
+    {
+        appendLe(value);
+    }
+
+    void
+    i32(std::int32_t value)
+    {
+        appendLe(static_cast<std::uint32_t>(value));
+    }
+
+    void
+    i64(std::int64_t value)
+    {
+        appendLe(static_cast<std::uint64_t>(value));
+    }
+
+    void
+    f64(double value)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &value, sizeof(bits));
+        appendLe(bits);
+    }
+
+    void
+    str(const std::string& value)
+    {
+        u32(static_cast<std::uint32_t>(value.size()));
+        buffer_.append(value);
+    }
+
+    const std::string& bytes() const { return buffer_; }
+    std::string take() { return std::move(buffer_); }
+
+  private:
+    template <typename T>
+    void
+    appendLe(T value)
+    {
+        char raw[sizeof(T)];
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            raw[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+        }
+        buffer_.append(raw, sizeof(T));
+    }
+
+    std::string buffer_;
+};
+
+/// Sequential reader over a byte buffer; throws std::runtime_error on
+/// any read past the end.
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(bytes_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return readLe<std::uint32_t>();
+    }
+
+    std::uint64_t
+    u64()
+    {
+        return readLe<std::uint64_t>();
+    }
+
+    std::int32_t
+    i32()
+    {
+        return static_cast<std::int32_t>(readLe<std::uint32_t>());
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(readLe<std::uint64_t>());
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = readLe<std::uint64_t>();
+        double value = 0.0;
+        std::memcpy(&value, &bits, sizeof(value));
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t size = u32();
+        need(size);
+        std::string value(bytes_.substr(pos_, size));
+        pos_ += size;
+        return value;
+    }
+
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(std::size_t count)
+    {
+        if (bytes_.size() - pos_ < count) {
+            throw std::runtime_error("truncated byte stream: need " +
+                                     std::to_string(count) + " bytes at " +
+                                     std::to_string(pos_) + " of " +
+                                     std::to_string(bytes_.size()));
+        }
+    }
+
+    template <typename T>
+    T
+    readLe()
+    {
+        need(sizeof(T));
+        T value = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            value |= static_cast<T>(
+                         static_cast<std::uint8_t>(bytes_[pos_ + i]))
+                     << (8 * i);
+        }
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash — the persistence layer's per-entry checksum.
+/// Not cryptographic; it detects the accidental corruption (truncation,
+/// bit rot, torn writes) the crash-safety contract is about.
+inline std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace chehab

@@ -1,13 +1,18 @@
 /// \file
-/// Checked string-to-integer parsing for CLI flags.
+/// Checked string-to-number parsing for CLI flags and IR literals.
 ///
 /// std::atoi silently returns 0 for garbage ("--workers=abc" becomes 0
-/// workers) and has undefined behavior on overflow; every numeric flag
-/// parser should reject both with a diagnosable failure instead.
+/// workers) and has undefined behavior on overflow; strtoll/strtod
+/// saturate out-of-range input unless errno is checked. Every numeric
+/// flag or literal parser should reject both with a diagnosable
+/// failure instead, via the helpers here: parse succeeds only when the
+/// *entire* string is one in-range number.
 #pragma once
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 namespace chehab {
@@ -27,6 +32,42 @@ parseInt(const char* text, int& out)
     if (errno == ERANGE) return false;                // Overflowed long.
     if (value < INT_MIN || value > INT_MAX) return false;
     out = static_cast<int>(value);
+    return true;
+}
+
+/// Parse \p text as a base-10 int64 into \p out. Same contract as
+/// parseInt: false — with \p out untouched — on null/empty input,
+/// trailing garbage, or a value outside [INT64_MIN, INT64_MAX]
+/// (strtoll saturates on ERANGE; callers like the IR parser must see
+/// an error, not a silently clamped literal).
+inline bool
+parseInt64(const char* text, std::int64_t& out)
+{
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0') return false;    // No digits / junk.
+    if (errno == ERANGE) return false;                // Out of range.
+    out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+/// Parse \p text as a double into \p out. Same reject-garbage contract
+/// as parseInt: false — with \p out untouched — on null/empty input,
+/// trailing garbage ("1.5x"), overflow/underflow (ERANGE), or a
+/// non-finite result ("inf"/"nan" make no sense as flag values).
+inline bool
+parseDouble(const char* text, double& out)
+{
+    if (text == nullptr || *text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') return false;    // No digits / junk.
+    if (errno == ERANGE) return false;                // Over/underflow.
+    if (!std::isfinite(value)) return false;
+    out = value;
     return true;
 }
 

@@ -4,6 +4,8 @@
 /// validation path of §6).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "ir/parser.h"
 #include "support/error.h"
 
@@ -98,6 +100,27 @@ TEST(ParserTest, IsValidMirrorsParse)
     EXPECT_TRUE(isValid("(+ a b)"));
     EXPECT_FALSE(isValid("(+ a"));
     EXPECT_FALSE(isValid("(% a b)"));
+}
+
+TEST(ParserTest, Int64BoundaryLiteralsParse)
+{
+    EXPECT_EQ(parse("9223372036854775807")->value(), INT64_MAX);
+    EXPECT_EQ(parse("-9223372036854775808")->value(), INT64_MIN);
+    // Inside larger expressions and rotation steps too.
+    EXPECT_EQ(parse("(+ a 9223372036854775807)")->child(1)->value(),
+              INT64_MAX);
+}
+
+TEST(ParserTest, OutOfRangeLiteralsThrowInsteadOfSaturating)
+{
+    // strtoll would silently clamp these to INT64_MAX/MIN; the parser
+    // must reject them so a dataset literal never changes value.
+    EXPECT_THROW(parse("9223372036854775808"), CompileError);
+    EXPECT_THROW(parse("-9223372036854775809"), CompileError);
+    EXPECT_THROW(parse("99999999999999999999"), CompileError);
+    EXPECT_THROW(parse("(+ a 99999999999999999999)"), CompileError);
+    EXPECT_THROW(parse("(Vec 1 99999999999999999999)"), CompileError);
+    EXPECT_FALSE(isValid("99999999999999999999"));
 }
 
 } // namespace

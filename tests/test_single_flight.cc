@@ -1,0 +1,205 @@
+/// \file
+/// Directed tests for the single-flight LRU cache in isolation
+/// (service/single_flight.h) — the machinery under both the kernel
+/// cache and the run cache. The service-level tests exercise it end to
+/// end; these pin the two properties a refactor is most likely to
+/// break silently:
+///
+///   1. pending entries are *never* evicted, whatever the capacity
+///      pressure — their joiners hold futures that are about to
+///      resolve from them;
+///   2. the counters stay exact across evict-then-readmit cycles:
+///      `entries` is monotonic (a readmitted key counts again),
+///      `resident == entries - evictions` at every step, and a
+///      readmission after eviction is a fresh miss that re-runs the
+///      work, not a stale hit.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/single_flight.h"
+
+namespace chehab::service {
+namespace {
+
+using Cache = SingleFlightCache<int, std::hash<int>, std::string>;
+
+void
+expectExact(const Cache& cache, std::uint64_t misses, std::uint64_t hits,
+            std::uint64_t joins, std::uint64_t entries,
+            std::uint64_t evictions)
+{
+    const Cache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, misses);
+    EXPECT_EQ(stats.hits, hits);
+    EXPECT_EQ(stats.inflight_joins, joins);
+    EXPECT_EQ(stats.entries, entries);
+    EXPECT_EQ(stats.evictions, evictions);
+    // The resident count is not a separate counter but must always
+    // reconcile with the monotonic pair.
+    EXPECT_EQ(stats.resident, entries - evictions);
+}
+
+TEST(SingleFlightTest, OwnerThenHitThenJoinAccounting)
+{
+    Cache cache(0); // Unbounded.
+    Cache::Admission first = cache.acquire(7);
+    EXPECT_TRUE(first.owner);
+    EXPECT_FALSE(first.was_pending);
+    expectExact(cache, 1, 0, 0, 1, 0);
+
+    // Second caller while pending: in-flight join, not a hit.
+    Cache::Admission join = cache.acquire(7);
+    EXPECT_FALSE(join.owner);
+    EXPECT_TRUE(join.was_pending);
+    EXPECT_EQ(join.entry, first.entry);
+    expectExact(cache, 1, 0, 1, 1, 0);
+
+    first.entry->publishReady("artifact-7", 0.01, 3);
+    Cache::Admission hit = cache.acquire(7);
+    EXPECT_FALSE(hit.owner);
+    EXPECT_FALSE(hit.was_pending);
+    expectExact(cache, 1, 1, 1, 1, 0);
+    const Cache::Entry::Settled settled = hit.entry->waitSettled();
+    ASSERT_NE(settled.artifact, nullptr);
+    EXPECT_EQ(*settled.artifact, "artifact-7");
+    EXPECT_EQ(settled.worker_id, 3);
+}
+
+TEST(SingleFlightTest, PendingEntriesAreNeverEvicted)
+{
+    Cache cache(1);
+    // Two pending owners: the map exceeds capacity but nothing can be
+    // evicted — both entries have (conceptual) joiners on the way.
+    Cache::Admission a = cache.acquire(1);
+    Cache::Admission b = cache.acquire(2);
+    ASSERT_TRUE(a.owner);
+    ASSERT_TRUE(b.owner);
+    expectExact(cache, 2, 0, 0, 2, 0);
+
+    // A third pending key still evicts nothing.
+    Cache::Admission c = cache.acquire(3);
+    ASSERT_TRUE(c.owner);
+    expectExact(cache, 3, 0, 0, 3, 0);
+
+    // Settle the LRU-oldest key only. The next admission may evict
+    // exactly that one; the two still-pending keys must survive.
+    a.entry->publishReady("one", 0.0, 0);
+    Cache::Admission d = cache.acquire(4);
+    ASSERT_TRUE(d.owner);
+    expectExact(cache, 4, 0, 0, 4, 1);
+
+    // The survivors are still the same live entries: joining them
+    // attaches to the original pending slots.
+    Cache::Admission joinB = cache.acquire(2);
+    EXPECT_TRUE(joinB.was_pending);
+    EXPECT_EQ(joinB.entry, b.entry);
+    Cache::Admission joinC = cache.acquire(3);
+    EXPECT_TRUE(joinC.was_pending);
+    EXPECT_EQ(joinC.entry, c.entry);
+    expectExact(cache, 4, 0, 2, 4, 1);
+
+    // Once everything settles, capacity pressure drains the map down
+    // to the bound on the next admission.
+    b.entry->publishReady("two", 0.0, 0);
+    c.entry->publishReady("three", 0.0, 0);
+    d.entry->publishReady("four", 0.0, 0);
+    Cache::Admission e = cache.acquire(5);
+    ASSERT_TRUE(e.owner);
+    e.entry->publishReady("five", 0.0, 0);
+    const Cache::Stats drained = cache.stats();
+    EXPECT_EQ(drained.resident, 1u);
+    EXPECT_EQ(drained.resident, drained.entries - drained.evictions);
+}
+
+TEST(SingleFlightTest, ReinsertAfterEvictionIsAFreshMissWithExactCounts)
+{
+    Cache cache(1);
+    Cache::Admission first = cache.acquire(1);
+    first.entry->publishReady("v1", 0.0, 0);
+    expectExact(cache, 1, 0, 0, 1, 0);
+
+    // Key 2 displaces key 1 (both settled, capacity 1).
+    Cache::Admission second = cache.acquire(2);
+    second.entry->publishReady("v2", 0.0, 0);
+    expectExact(cache, 2, 0, 0, 2, 1);
+
+    // Key 1 again: the artifact is gone, so this must be a fresh miss
+    // that makes the caller the owner again — never a hit on a stale
+    // or dangling slot — and `entries` counts the readmission.
+    Cache::Admission again = cache.acquire(1);
+    EXPECT_TRUE(again.owner);
+    EXPECT_FALSE(again.was_pending);
+    EXPECT_NE(again.entry, first.entry);
+    expectExact(cache, 3, 0, 0, 3, 2);
+    again.entry->publishReady("v1-again", 0.0, 0);
+
+    // And the readmitted entry serves hits like any first-time one.
+    Cache::Admission hit = cache.acquire(1);
+    EXPECT_FALSE(hit.owner);
+    const Cache::Entry::Settled settled = hit.entry->waitSettled();
+    ASSERT_NE(settled.artifact, nullptr);
+    EXPECT_EQ(*settled.artifact, "v1-again");
+    expectExact(cache, 3, 1, 0, 3, 2);
+}
+
+TEST(SingleFlightTest, EvictionFollowsLruOrderAndRecencyTouches)
+{
+    Cache cache(2);
+    for (int key : {1, 2}) {
+        Cache::Admission admission = cache.acquire(key);
+        admission.entry->publishReady("k" + std::to_string(key), 0.0, 0);
+    }
+    // Touch key 1 so key 2 becomes the eviction candidate.
+    cache.acquire(1);
+    Cache::Admission third = cache.acquire(3);
+    third.entry->publishReady("k3", 0.0, 0);
+    // Key 1 must have survived (hit), key 2 must be gone (fresh miss).
+    EXPECT_FALSE(cache.acquire(1).owner);
+    EXPECT_TRUE(cache.acquire(2).owner);
+}
+
+TEST(SingleFlightTest, FailedEntriesAreCachedAndEvictable)
+{
+    Cache cache(1);
+    Cache::Admission owner = cache.acquire(1);
+    owner.entry->publishFailure("boom", 2);
+    // Settled failures are served as hits (negative caching)...
+    Cache::Admission hit = cache.acquire(1);
+    EXPECT_FALSE(hit.owner);
+    const Cache::Entry::Settled settled = hit.entry->waitSettled();
+    ASSERT_NE(settled.error, nullptr);
+    EXPECT_EQ(*settled.error, "boom");
+    // ...and count as settled for eviction purposes.
+    Cache::Admission other = cache.acquire(2);
+    ASSERT_TRUE(other.owner);
+    other.entry->publishReady("fine", 0.0, 0);
+    EXPECT_TRUE(cache.acquire(1).owner); // Failure was evicted.
+}
+
+TEST(SingleFlightTest, ContinuationsFireOnceInAttachOrder)
+{
+    Cache cache(0);
+    Cache::Admission owner = cache.acquire(1);
+    std::vector<int> order;
+    cache.acquire(1).entry->onSettled(
+        [&](const Cache::Entry::Settled&) { order.push_back(1); });
+    cache.acquire(1).entry->onSettled(
+        [&](const Cache::Entry::Settled&) { order.push_back(2); });
+    EXPECT_TRUE(order.empty()); // Nothing fires before publish.
+    owner.entry->publishReady("ready", 0.0, 0);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    // Late attach runs inline exactly once.
+    cache.acquire(1).entry->onSettled(
+        [&](const Cache::Entry::Settled&) { order.push_back(3); });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[2], 3);
+}
+
+} // namespace
+} // namespace chehab::service

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <climits>
+#include <cstdint>
 #include <string>
 
 #include "support/parse_int.h"
@@ -57,6 +58,75 @@ TEST(ParseIntTest, RejectsOverflow)
     EXPECT_FALSE(parseInt("-2147483649", out));
     EXPECT_FALSE(parseInt("99999999999999999999999999", out));
     EXPECT_EQ(out, 7);
+}
+
+TEST(ParseInt64Test, ParsesPlainIntegers)
+{
+    std::int64_t out = -1;
+    EXPECT_TRUE(parseInt64("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parseInt64("-7", out));
+    EXPECT_EQ(out, -7);
+    EXPECT_TRUE(parseInt64("+13", out));
+    EXPECT_EQ(out, 13);
+    // Values past int but inside int64 — the reason the IR parser
+    // cannot route literals through parseInt.
+    EXPECT_TRUE(parseInt64("2147483648", out));
+    EXPECT_EQ(out, 2147483648LL);
+}
+
+TEST(ParseInt64Test, AcceptsInt64Boundaries)
+{
+    std::int64_t out = 0;
+    EXPECT_TRUE(parseInt64("9223372036854775807", out));
+    EXPECT_EQ(out, INT64_MAX);
+    EXPECT_TRUE(parseInt64("-9223372036854775808", out));
+    EXPECT_EQ(out, INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsGarbageAndOverflow)
+{
+    std::int64_t out = 99;
+    EXPECT_FALSE(parseInt64("abc", out));
+    EXPECT_FALSE(parseInt64("", out));
+    EXPECT_FALSE(parseInt64(nullptr, out));
+    EXPECT_FALSE(parseInt64("12x", out));
+    EXPECT_FALSE(parseInt64("4.5", out));
+    // One past INT64_MAX / INT64_MIN — strtoll saturates here; the
+    // checked wrapper must refuse instead (parser.cc:94's old bug).
+    EXPECT_FALSE(parseInt64("9223372036854775808", out));
+    EXPECT_FALSE(parseInt64("-9223372036854775809", out));
+    EXPECT_FALSE(parseInt64("99999999999999999999", out));
+    EXPECT_EQ(out, 99); // Failures leave the output untouched.
+}
+
+TEST(ParseDoubleTest, ParsesPlainNumbers)
+{
+    double out = -1.0;
+    EXPECT_TRUE(parseDouble("0", out));
+    EXPECT_EQ(out, 0.0);
+    EXPECT_TRUE(parseDouble("62.5", out));
+    EXPECT_EQ(out, 62.5);
+    EXPECT_TRUE(parseDouble("-0.25", out));
+    EXPECT_EQ(out, -0.25);
+    EXPECT_TRUE(parseDouble("1e3", out));
+    EXPECT_EQ(out, 1000.0);
+    EXPECT_TRUE(parseDouble("  2.5", out)); // strtod leading spaces.
+    EXPECT_EQ(out, 2.5);
+}
+
+TEST(ParseDoubleTest, RejectsGarbageOverflowAndNonFinite)
+{
+    double out = 99.0;
+    EXPECT_FALSE(parseDouble("abc", out));
+    EXPECT_FALSE(parseDouble("", out));
+    EXPECT_FALSE(parseDouble(nullptr, out));
+    EXPECT_FALSE(parseDouble("1.5x", out));  // Trailing junk.
+    EXPECT_FALSE(parseDouble("1 2", out));   // Embedded space.
+    EXPECT_FALSE(parseDouble("1e999", out)); // Overflow (ERANGE).
+    EXPECT_FALSE(parseDouble("inf", out));   // Non-finite flag values
+    EXPECT_FALSE(parseDouble("nan", out));   // make no sense.
+    EXPECT_EQ(out, 99.0); // Failures leave the output untouched.
 }
 
 } // namespace
