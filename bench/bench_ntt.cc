@@ -15,9 +15,23 @@
 /// Output: one table row per (n, op) with µs/op for each path and the
 /// speedup, plus results/ntt.csv with the same columns.
 ///
+/// Raw speed round 2 additions: fwd_simd / inv_simd rows compare the
+/// scalar Harvey path against the AVX2 dispatch (same tables, same lazy
+/// reduction, 4-wide lanes; bit-identity asserted first), and a SealLite
+/// multiply loop measures heap allocations per op on a warm arena.
+/// CI floors: AVX2 forward >= CHEHAB_BENCH_SIMD_FLOOR x scalar at
+/// n >= 4096 when the machine supports AVX2 (default 1.2x — the
+/// "dispatch pays for itself" sanity bar for shared/virtualized
+/// machines; the CI AVX2 leg pins 1.5x, the bare-metal target), and
+/// zero arena-external allocations per steady-state multiply. The
+/// scalar and SIMD sides are timed in alternating windows with the
+/// minimum kept, so transient machine noise biases both sides equally
+/// instead of landing on whichever ran second.
+///
 /// Environment knobs:
 ///  - CHEHAB_BENCH_FAST=1   n = 4096 only, shorter timing windows
 ///    (the CI per-push smoke).
+///  - CHEHAB_BENCH_SIMD_FLOOR=<x>  forward AVX2-over-scalar floor.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +42,7 @@
 
 #include "fhe/modarith.h"
 #include "fhe/ntt.h"
+#include "fhe/sealite.h"
 #include "support/csv.h"
 #include "support/stopwatch.h"
 
@@ -73,6 +88,41 @@ secondsPerOp(double window_s, const std::function<void()>& fn)
         }
     }
     return best;
+}
+
+/// Minimum seconds per call for two functions timed in alternating
+/// windows. A one-sided measurement is at the mercy of whatever the
+/// machine was doing while that side ran; alternating spreads any
+/// transient (VM neighbor, frequency excursion) across both sides, and
+/// the per-side minimum is the least-disturbed estimate of each.
+void
+interleavedSecondsPerOp(double window_s, int passes,
+                        const std::function<void()>& a_fn,
+                        const std::function<void()>& b_fn,
+                        double& a_best, double& b_best)
+{
+    a_fn();
+    b_fn(); // warm caches and branch predictors
+    a_best = 0.0;
+    b_best = 0.0;
+    for (int pass = 0; pass < passes; ++pass) {
+        for (int side = 0; side < 2; ++side) {
+            const std::function<void()>& fn = side == 0 ? a_fn : b_fn;
+            double& best = side == 0 ? a_best : b_best;
+            int reps = 1;
+            for (;;) {
+                const Stopwatch timer;
+                for (int r = 0; r < reps; ++r) fn();
+                const double elapsed = timer.elapsedSeconds();
+                if (elapsed >= window_s) {
+                    const double per_op = elapsed / reps;
+                    if (best == 0.0 || per_op < best) best = per_op;
+                    break;
+                }
+                reps *= 2;
+            }
+        }
+    }
 }
 
 struct BenchRow
@@ -189,18 +239,125 @@ main()
                         row.old_s * 1e6, row.new_s * 1e6, row.speedup());
             rows.push_back(row);
         }
+
+        // Scalar Harvey vs the AVX2 dispatch (Raw speed round 2): both
+        // sides share this tables instance; only the butterfly width
+        // differs.
+        if (fhe::simdSupported()) {
+            fhe::setSimdEnabled(true);
+            std::vector<std::uint64_t> lhs = a;
+            std::vector<std::uint64_t> rhs = a;
+            tables->forward(lhs.data());
+            tables->forwardScalar(rhs.data());
+            if (lhs != rhs) {
+                std::fprintf(stderr,
+                             "bench_ntt: AVX2 forward mismatch at n=%d\n",
+                             n);
+                return 1;
+            }
+            tables->inverse(lhs.data());
+            tables->inverseScalar(rhs.data());
+            if (lhs != rhs || lhs != a) {
+                std::fprintf(stderr,
+                             "bench_ntt: AVX2 inverse mismatch at n=%d\n",
+                             n);
+                return 1;
+            }
+            scratch = a;
+            const int simd_passes = fast ? 5 : 8;
+            BenchRow sfwd{n, "fwd_simd"};
+            interleavedSecondsPerOp(
+                window_s, simd_passes,
+                [&] { tables->forwardScalar(scratch.data()); },
+                [&] { tables->forward(scratch.data()); }, sfwd.old_s,
+                sfwd.new_s);
+            BenchRow sinv{n, "inv_simd"};
+            interleavedSecondsPerOp(
+                window_s, simd_passes,
+                [&] { tables->inverseScalar(scratch.data()); },
+                [&] { tables->inverse(scratch.data()); }, sinv.old_s,
+                sinv.new_s);
+            for (const BenchRow& row : {sfwd, sinv}) {
+                std::printf("%6d %8s %12.2f %12.2f %8.2fx\n", row.n,
+                            row.op, row.old_s * 1e6, row.new_s * 1e6,
+                            row.speedup());
+                rows.push_back(row);
+            }
+        }
     }
 
+    // Allocations per op: a steady-state SealLite multiply on a warm
+    // arena must mint zero fresh buffers — every poly and scratch
+    // acquisition is served from the freelist.
+    std::uint64_t allocs_per_op = 0;
+    {
+        fhe::SealLiteParams params;
+        params.n = 1024;
+        fhe::SealLite scheme(params);
+        const fhe::Plaintext plain = scheme.encode({1, 2, 3, 4});
+        const fhe::Ciphertext ct = scheme.encrypt(plain);
+        // Priming pass populates the freelist with every size class the
+        // op cycles through.
+        fhe::Ciphertext warm = scheme.multiply(ct, ct);
+        scheme.recycle(std::move(warm));
+        const fhe::PolyArena::Stats before = scheme.arenaStats();
+        const int ops = 16;
+        for (int i = 0; i < ops; ++i) {
+            fhe::Ciphertext out = scheme.multiply(ct, ct);
+            scheme.recycle(std::move(out));
+        }
+        const fhe::PolyArena::Stats after = scheme.arenaStats();
+        allocs_per_op = (after.allocs - before.allocs) /
+                        static_cast<std::uint64_t>(ops);
+        std::printf("\n[bench] arena: %llu allocs / %llu reuses across "
+                    "%d steady-state multiplies -> %llu allocs/op "
+                    "(floor: 0)\n",
+                    static_cast<unsigned long long>(after.allocs -
+                                                    before.allocs),
+                    static_cast<unsigned long long>(after.reuses -
+                                                    before.reuses),
+                    ops, static_cast<unsigned long long>(allocs_per_op));
+    }
+
+    // The forward transform is the gated row (the ISSUE's CI floor);
+    // the inverse ratio is reported alongside for visibility — its
+    // scalar baseline is faster (no separate normalize pass to beat),
+    // so its ratio is structurally lower.
+    const double simd_floor = [] {
+        const char* v = std::getenv("CHEHAB_BENCH_SIMD_FLOOR");
+        return v != nullptr ? std::atof(v) : 1.2;
+    }();
     double polymul_worst = 0.0;
+    double fwd_simd_worst = 0.0;
+    double inv_simd_worst = 0.0;
     for (const BenchRow& row : rows) {
         if (std::string(row.op) == "polymul" &&
             (polymul_worst == 0.0 || row.speedup() < polymul_worst)) {
             polymul_worst = row.speedup();
         }
+        if (row.n < 4096) continue;
+        if (std::string(row.op) == "fwd_simd" &&
+            (fwd_simd_worst == 0.0 || row.speedup() < fwd_simd_worst)) {
+            fwd_simd_worst = row.speedup();
+        }
+        if (std::string(row.op) == "inv_simd" &&
+            (inv_simd_worst == 0.0 || row.speedup() < inv_simd_worst)) {
+            inv_simd_worst = row.speedup();
+        }
     }
     std::printf("\n[bench] worst-case poly-multiply speedup: %.2fx "
                 "(acceptance floor: 2x)\n",
                 polymul_worst);
+    if (fhe::simdSupported()) {
+        std::printf("[bench] AVX2-over-scalar forward speedup at "
+                    "n >= 4096: %.2fx (floor: %.2fx; inverse: %.2fx, "
+                    "reported only)\n",
+                    fwd_simd_worst, simd_floor, inv_simd_worst);
+    } else {
+        std::printf("[bench] AVX2 rows skipped (%s)\n",
+                    fhe::simdCompiledIn() ? "cpu lacks AVX2"
+                                          : "not compiled in");
+    }
 
     std::filesystem::create_directories("results");
     CsvWriter csv("results/ntt.csv",
@@ -211,7 +368,12 @@ main()
     }
     std::printf("[bench] wrote results/ntt.csv\n");
 
-    // The CI smoke treats a regression below the acceptance floor as a
-    // failure so the hot path cannot silently rot back to divisions.
-    return polymul_worst >= 2.0 ? 0 : 1;
+    // The CI smoke treats a regression below the acceptance floors as a
+    // failure: the hot path cannot silently rot back to divisions, the
+    // AVX2 dispatch cannot quietly stop paying for itself, and the
+    // evaluator cannot start leaking allocations past the arena.
+    if (polymul_worst < 2.0) return 1;
+    if (fhe::simdSupported() && fwd_simd_worst < simd_floor) return 1;
+    if (allocs_per_op != 0) return 1;
+    return 0;
 }

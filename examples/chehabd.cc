@@ -131,6 +131,7 @@
 #include "benchsuite/kernels.h"
 #include "common.h"
 #include "dataset/dataset.h"
+#include "fhe/ntt.h"
 #include "dataset/motif_gen.h"
 #include "ir/parser.h"
 #include "rl/agent.h"
@@ -158,6 +159,10 @@ struct Options
     bool run = false;
     int key_budget = 0;
     int mod_switch = 0;
+    /// -1 = auto (use AVX2 NTT kernels when compiled in and the CPU
+    /// supports them); 0/1 force the dispatch off/on (forcing on is
+    /// clamped to supported — see fhe::setSimdEnabled).
+    int simd = -1;
     int poly_n = 256;
     int batch_lanes = 1;
     double batch_window_us = 500.0;
@@ -190,7 +195,7 @@ usage(const char* argv0)
                  "       [--repeat R] [--suite N] [--train-steps N] "
                  "[--cache-cap N]\n"
                  "       [--run] [--key-budget N] [--mod-switch 0|1] "
-                 "[--poly-n N] [--batch-lanes N]\n"
+                 "[--simd 0|1] [--poly-n N] [--batch-lanes N]\n"
                  "       [--batch-window-us N] [--adaptive-window 0|1] "
                  "[--cross-kernel] [--distinct-inputs]\n"
                  "       [--csv PATH] [--json PATH] [--dump] "
@@ -278,6 +283,8 @@ parseArgs(int argc, char** argv, Options& options)
             if (!intArg(i, options.key_budget)) return false;
         } else if (arg == "--mod-switch") {
             if (!intArg(i, options.mod_switch)) return false;
+        } else if (arg == "--simd") {
+            if (!intArg(i, options.simd)) return false;
         } else if (arg == "--poly-n") {
             if (!intArg(i, options.poly_n)) return false;
         } else if (arg == "--batch-lanes") {
@@ -391,6 +398,8 @@ writeStatsJson(std::ostream& out, const Options& options,
     out << "  \"mode\": \"" << service::optModeName(options.mode)
         << "\",\n";
     out << "  \"run\": " << (options.run ? "true" : "false") << ",\n";
+    out << "  \"simd\": " << (fhe::simdEnabled() ? "true" : "false")
+        << ",\n";
     out << "  \"batch_lanes\": " << options.batch_lanes << ",\n";
     out << "  \"cache_dir\": \"" << jsonEscape(options.cache_dir)
         << "\",\n";
@@ -415,6 +424,9 @@ writeStatsJson(std::ostream& out, const Options& options,
         << ", \"run_failed\": " << stats.run_failed
         << ", \"total_exec_s\": " << stats.total_exec_seconds
         << ", \"runtimes_created\": " << stats.runtimes_created
+        << ", \"arena_allocs\": " << stats.arena_allocs
+        << ", \"arena_reuse\": " << stats.arena_reuses
+        << ", \"arena_bytes\": " << stats.arena_bytes
         << ", \"packed_groups\": " << stats.packed_groups
         << ", \"packed_lanes\": " << stats.packed_lanes
         << ", \"solo_runs\": " << stats.solo_runs
@@ -551,6 +563,13 @@ main(int argc, char** argv)
     if (options.mod_switch < 0 || options.mod_switch > 1) {
         std::fprintf(stderr, "chehabd: --mod-switch must be 0 or 1\n");
         return 2;
+    }
+    if (options.simd < -1 || options.simd > 1) {
+        std::fprintf(stderr, "chehabd: --simd must be 0 or 1\n");
+        return 2;
+    }
+    if (options.simd != -1) {
+        fhe::setSimdEnabled(options.simd != 0);
     }
     // Telemetry defaults to on exactly when an exporter needs it; an
     // explicit --telemetry wins in either direction (0 with --trace-out
@@ -873,6 +892,16 @@ main(int argc, char** argv)
                         stats.run_cache.inflight_joins),
                     static_cast<unsigned long long>(stats.runtimes_created),
                     static_cast<unsigned long long>(stats.run_failed));
+        std::printf("fhe backend: AVX2 NTT %s (compiled-in %s, cpu %s); "
+                    "poly arena %llu reuses / %llu allocs, %.1f MiB "
+                    "minted\n",
+                    fhe::simdEnabled() ? "on" : "off",
+                    fhe::simdCompiledIn() ? "yes" : "no",
+                    fhe::simdSupported() ? "avx2" : "scalar",
+                    static_cast<unsigned long long>(stats.arena_reuses),
+                    static_cast<unsigned long long>(stats.arena_allocs),
+                    static_cast<double>(stats.arena_bytes) /
+                        (1024.0 * 1024.0));
         if (options.batch_lanes != 1) {
             std::printf(
                 "slot batching: %llu packed groups carrying %llu lanes "

@@ -1,6 +1,7 @@
 #include "compiler/runtime.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "compiler/modswitch.h"
 #include "support/error.h"
@@ -119,12 +120,24 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
     return run(program, env, effectiveKeyPlan(program, key_budget));
 }
 
+void
+FheRuntime::recycleCiphertexts(
+    std::unordered_map<int, fhe::Ciphertext>& cts)
+{
+    for (auto& entry : cts) {
+        scheme_.recycle(std::move(entry.second));
+        ++recycled_cts_;
+    }
+    cts.clear();
+}
+
 double
 FheRuntime::evaluateServer(
     const FheProgram& program, const RotationKeyPlan& plan,
     std::unordered_map<int, fhe::Ciphertext>& cts,
     const std::unordered_map<int, fhe::Plaintext>& plains,
-    int fresh_noise_budget, int* mod_switch_drops) const
+    const std::vector<int>& protected_regs, int fresh_noise_budget,
+    int* mod_switch_drops) const
 {
     const ModSwitchPlan& ms = program.mod_switch;
     const bool gated = !ms.empty();
@@ -135,6 +148,51 @@ FheRuntime::evaluateServer(
         np = modswitch::noiseParamsFor(scheme_, fresh_noise_budget);
         noise = modswitch::initialState(program, np);
     }
+
+    // Last-use liveness over the linear instruction stream: a ciphertext
+    // register whose final reader is instruction idx can be consumed
+    // destructively there (AddPlain/MulPlain's b names a plaintext
+    // register, so only a counts as a ciphertext read).
+    std::unordered_map<int, std::size_t> last_use;
+    if (in_place_enabled_) {
+        for (std::size_t idx = 0; idx < program.instrs.size(); ++idx) {
+            const FheInstr& instr = program.instrs[idx];
+            switch (instr.op) {
+              case FheOpcode::Add:
+              case FheOpcode::Sub:
+              case FheOpcode::Mul:
+                last_use[instr.a] = idx;
+                last_use[instr.b] = idx;
+                break;
+              case FheOpcode::AddPlain:
+              case FheOpcode::MulPlain:
+              case FheOpcode::Negate:
+              case FheOpcode::Rotate:
+                last_use[instr.a] = idx;
+                break;
+              case FheOpcode::PackCipher:
+              case FheOpcode::PackPlain:
+                break;
+            }
+        }
+    }
+    const std::unordered_set<int> protected_set(protected_regs.begin(),
+                                                protected_regs.end());
+    auto dies = [&](int reg, std::size_t idx) {
+        if (!in_place_enabled_ || protected_set.count(reg)) return false;
+        auto it = last_use.find(reg);
+        return it != last_use.end() && it->second == idx;
+    };
+    auto consume = [&](int reg) {
+        auto node = cts.extract(reg);
+        ++inplace_consumed_;
+        return std::move(node.mapped());
+    };
+    auto discard = [&](int reg) {
+        auto node = cts.extract(reg);
+        scheme_.recycle(std::move(node.mapped()));
+        ++recycled_cts_;
+    };
 
     Stopwatch watch;
     for (std::size_t idx = 0; idx < program.instrs.size(); ++idx) {
@@ -166,33 +224,101 @@ FheRuntime::evaluateServer(
           case FheOpcode::PackCipher:
           case FheOpcode::PackPlain:
             break;
-          case FheOpcode::Add:
-            cts.emplace(instr.dst,
-                        scheme_.add(cts.at(instr.a), cts.at(instr.b)));
+          case FheOpcode::Add: {
+            const bool a_dies = dies(instr.a, idx);
+            const bool b_dies = dies(instr.b, idx) && instr.b != instr.a;
+            if (a_dies) {
+                fhe::Ciphertext value = consume(instr.a);
+                scheme_.addInPlace(
+                    value, instr.b == instr.a ? value : cts.at(instr.b));
+                if (b_dies) discard(instr.b);
+                cts.emplace(instr.dst, std::move(value));
+            } else if (b_dies) {
+                // Add is commutative: consume b instead.
+                fhe::Ciphertext value = consume(instr.b);
+                scheme_.addInPlace(value, cts.at(instr.a));
+                cts.emplace(instr.dst, std::move(value));
+            } else {
+                ++inplace_copies_;
+                cts.emplace(instr.dst,
+                            scheme_.add(cts.at(instr.a), cts.at(instr.b)));
+            }
             break;
-          case FheOpcode::Sub:
-            cts.emplace(instr.dst,
-                        scheme_.sub(cts.at(instr.a), cts.at(instr.b)));
+          }
+          case FheOpcode::Sub: {
+            const bool a_dies = dies(instr.a, idx);
+            const bool b_dies = dies(instr.b, idx) && instr.b != instr.a;
+            if (a_dies) {
+                fhe::Ciphertext value = consume(instr.a);
+                scheme_.subInPlace(
+                    value, instr.b == instr.a ? value : cts.at(instr.b));
+                if (b_dies) discard(instr.b);
+                cts.emplace(instr.dst, std::move(value));
+            } else {
+                ++inplace_copies_;
+                cts.emplace(instr.dst,
+                            scheme_.sub(cts.at(instr.a), cts.at(instr.b)));
+                if (b_dies) discard(instr.b);
+            }
             break;
-          case FheOpcode::Mul:
-            cts.emplace(instr.dst,
-                        scheme_.multiply(cts.at(instr.a), cts.at(instr.b)));
+          }
+          case FheOpcode::Mul: {
+            // multiply() builds its result from the tensor product — no
+            // copy to elide — but dying operands still recycle.
+            fhe::Ciphertext value =
+                scheme_.multiply(cts.at(instr.a), cts.at(instr.b));
+            if (dies(instr.b, idx) && instr.b != instr.a) {
+                discard(instr.b);
+            }
+            if (dies(instr.a, idx)) discard(instr.a);
+            cts.emplace(instr.dst, std::move(value));
             break;
+          }
           case FheOpcode::AddPlain:
-            cts.emplace(instr.dst, scheme_.addPlain(cts.at(instr.a),
-                                                    plains.at(instr.b)));
+            if (dies(instr.a, idx)) {
+                fhe::Ciphertext value = consume(instr.a);
+                scheme_.addPlainInPlace(value, plains.at(instr.b));
+                cts.emplace(instr.dst, std::move(value));
+            } else {
+                ++inplace_copies_;
+                cts.emplace(instr.dst, scheme_.addPlain(cts.at(instr.a),
+                                                        plains.at(instr.b)));
+            }
             break;
           case FheOpcode::MulPlain:
-            cts.emplace(instr.dst, scheme_.mulPlain(cts.at(instr.a),
-                                                    plains.at(instr.b)));
+            if (dies(instr.a, idx)) {
+                fhe::Ciphertext value = consume(instr.a);
+                scheme_.mulPlainInPlace(value, plains.at(instr.b));
+                cts.emplace(instr.dst, std::move(value));
+            } else {
+                ++inplace_copies_;
+                cts.emplace(instr.dst, scheme_.mulPlain(cts.at(instr.a),
+                                                        plains.at(instr.b)));
+            }
             break;
           case FheOpcode::Negate:
-            cts.emplace(instr.dst, scheme_.negate(cts.at(instr.a)));
+            if (dies(instr.a, idx)) {
+                fhe::Ciphertext value = consume(instr.a);
+                scheme_.negateInPlace(value);
+                cts.emplace(instr.dst, std::move(value));
+            } else {
+                ++inplace_copies_;
+                cts.emplace(instr.dst, scheme_.negate(cts.at(instr.a)));
+            }
             break;
           case FheOpcode::Rotate: {
-            fhe::Ciphertext value = cts.at(instr.a);
+            fhe::Ciphertext value;
+            if (dies(instr.a, idx)) {
+                value = consume(instr.a);
+            } else {
+                ++inplace_copies_;
+                value = scheme_.clone(cts.at(instr.a));
+            }
             for (int component : plan.decomposition.at(instr.step)) {
-                value = scheme_.rotate(value, component);
+                fhe::Ciphertext next = scheme_.rotate(value, component);
+                scheme_.recycle(std::move(value));
+                ++recycled_cts_;
+                value = std::move(next);
             }
             cts.emplace(instr.dst, std::move(value));
             break;
@@ -231,7 +357,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
 
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds =
-        evaluateServer(program, plan, cts, plains,
+        evaluateServer(program, plan, cts, plains, {program.output_reg},
                        result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
@@ -248,6 +374,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
                                  static_cast<std::size_t>(
                                      program.output_width)));
         result.decode_seconds = decode_watch.elapsedSeconds();
+        recycleCiphertexts(cts);
         return result;
     }
 
@@ -264,6 +391,7 @@ FheRuntime::run(const FheProgram& program, const ir::Env& env,
                                 static_cast<std::size_t>(
                                     program.output_width)));
     result.decode_seconds = decode_watch.elapsedSeconds();
+    recycleCiphertexts(cts);
     return result;
 }
 
@@ -328,7 +456,7 @@ FheRuntime::runPacked(const FheProgram& program,
 
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds =
-        evaluateServer(program, plan, cts, plains,
+        evaluateServer(program, plan, cts, plains, {program.output_reg},
                        result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
@@ -339,6 +467,7 @@ FheRuntime::runPacked(const FheProgram& program,
             scheme_.decodeLanes(plains.at(program.output_reg), lane_stride,
                                 program.output_width, num_lanes);
         result.decode_seconds = decode_watch.elapsedSeconds();
+        recycleCiphertexts(cts);
         return packed;
     }
 
@@ -349,6 +478,7 @@ FheRuntime::runPacked(const FheProgram& program,
     packed.lane_outputs = scheme_.decryptLanes(
         out, lane_stride, program.output_width, num_lanes);
     result.decode_seconds = decode_watch.elapsedSeconds();
+    recycleCiphertexts(cts);
     return packed;
 }
 
@@ -428,9 +558,16 @@ FheRuntime::runComposite(
         }
     }
 
+    // Every member's output register must survive to the readout below.
+    std::vector<int> protected_regs;
+    protected_regs.reserve(composite.members.size());
+    for (const CompositeMember& member : composite.members) {
+        protected_regs.push_back(member.output_reg);
+    }
+
     result.setup_seconds = setup_watch.elapsedSeconds();
     result.exec_seconds =
-        evaluateServer(program, composite.plan, cts, plains,
+        evaluateServer(program, composite.plan, cts, plains, protected_regs,
                        result.fresh_noise_budget, &result.mod_switch_drops);
     const Stopwatch decode_watch;
 
@@ -461,6 +598,7 @@ FheRuntime::runComposite(
     result.consumed_noise =
         result.fresh_noise_budget - result.final_noise_budget;
     result.decode_seconds = decode_watch.elapsedSeconds();
+    recycleCiphertexts(cts);
     return composite_result;
 }
 

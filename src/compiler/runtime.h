@@ -99,6 +99,17 @@ struct CompositeRunResult
     std::vector<std::vector<std::vector<std::int64_t>>> member_outputs;
 };
 
+/// Counters for the destructive (in-place) evaluator.
+struct InPlaceStats
+{
+    /// Operands destructively consumed at their last use (no copy).
+    std::uint64_t consumed = 0;
+    /// Clone fallbacks taken because the operand stayed live.
+    std::uint64_t copies = 0;
+    /// Dead ciphertexts returned to the scheme's arena.
+    std::uint64_t recycled = 0;
+};
+
 /// Per-operation latencies measured on the backend (seconds).
 struct OpLatencies
 {
@@ -178,6 +189,24 @@ class FheRuntime
     fhe::SealLite& scheme() { return scheme_; }
     int slots() const { return scheme_.slots(); }
 
+    /// \name Destructive evaluation control and observability
+    /// The server-side evaluator consumes a register's last use
+    /// destructively (last-use liveness over the linear program),
+    /// cutting the per-op c0/c1 copies the copying forms pay. Output
+    /// registers are protected. Disabled = every op clones (the
+    /// in-place-vs-copying differential tests run both ways; results
+    /// are bit-identical either way).
+    /// @{
+    void setInPlaceEnabled(bool enabled) { in_place_enabled_ = enabled; }
+    bool inPlaceEnabled() const { return in_place_enabled_; }
+    InPlaceStats inPlaceStats() const
+    {
+        return {inplace_consumed_, inplace_copies_, recycled_cts_};
+    }
+    /// The backing scheme's arena counters (see fhe::PolyArena).
+    fhe::PolyArena::Stats arenaStats() const { return scheme_.arenaStats(); }
+    /// @}
+
   private:
     /// The instruction's base pack pattern (width = slots.size()),
     /// before any replication.
@@ -189,6 +218,11 @@ class FheRuntime
     std::vector<std::int64_t> packLaneRegion(const FheInstr& instr,
                                              const ir::Env& env,
                                              int lane_stride) const;
+    /// Hand every ciphertext still alive after readout back to the
+    /// scheme's arena. Without this the map's destructor frees the
+    /// arena-born buffers and the next run on this runtime mints
+    /// replacements, so steady state never reaches zero allocations.
+    void recycleCiphertexts(std::unordered_map<int, fhe::Ciphertext>& cts);
     /// The timed server-side phase shared by run(), runPacked() and
     /// runComposite(). When the program carries a mod-switch plan, each
     /// marked point runs the deterministic noise gate
@@ -197,15 +231,25 @@ class FheRuntime
     /// lockstep (so binary ops always see equal levels — in a composite
     /// this includes other members' ciphertexts, which is sound because
     /// switching is exact per ciphertext). Drops taken are added to
-    /// \p mod_switch_drops.
+    /// \p mod_switch_drops. Registers in \p protected_regs (the
+    /// caller's output registers) are never consumed destructively;
+    /// everything else is consumed at its last use and dead values are
+    /// recycled eagerly (which also shrinks the mod-switch lockstep
+    /// loop — sound, since switching is per-ciphertext independent and
+    /// dead values are never read again).
     double evaluateServer(
         const FheProgram& program, const RotationKeyPlan& plan,
         std::unordered_map<int, fhe::Ciphertext>& cts,
         const std::unordered_map<int, fhe::Plaintext>& plains,
-        int fresh_noise_budget, int* mod_switch_drops) const;
+        const std::vector<int>& protected_regs, int fresh_noise_budget,
+        int* mod_switch_drops) const;
 
     fhe::SealLite scheme_;
     ir::Evaluator plain_eval_;
+    bool in_place_enabled_ = true;
+    mutable std::uint64_t inplace_consumed_ = 0;
+    mutable std::uint64_t inplace_copies_ = 0;
+    mutable std::uint64_t recycled_cts_ = 0;
 };
 
 } // namespace chehab::compiler

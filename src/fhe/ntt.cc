@@ -1,9 +1,11 @@
 #include "fhe/ntt.h"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <utility>
 
+#include "fhe/ntt_simd.h"
 #include "support/error.h"
 
 namespace chehab::fhe {
@@ -21,7 +23,49 @@ reverseBits(std::uint32_t value, int bits)
     return result;
 }
 
+bool
+cpuHasAvx2()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+/// -1 = unset (resolve to simdSupported()), else 0/1.
+std::atomic<int> simd_enabled_override{-1};
+
 } // namespace
+
+bool
+simdCompiledIn()
+{
+    return simd::avx2CompiledIn();
+}
+
+bool
+simdSupported()
+{
+    static const bool supported = simdCompiledIn() && cpuHasAvx2();
+    return supported;
+}
+
+void
+setSimdEnabled(bool enabled)
+{
+    // Clamp to supported: forcing SIMD on a scalar build or non-AVX2
+    // CPU must stay a no-op rather than dispatch into stubs.
+    simd_enabled_override.store(enabled && simdSupported() ? 1 : 0,
+                                std::memory_order_relaxed);
+}
+
+bool
+simdEnabled()
+{
+    const int v = simd_enabled_override.load(std::memory_order_relaxed);
+    return v < 0 ? simdSupported() : v != 0;
+}
 
 NttTables::NttTables(int n, std::uint64_t p)
     : n_(n), p_(p), barrett_(p)
@@ -77,6 +121,29 @@ NttTables::NttTables(int n, std::uint64_t p)
 void
 NttTables::forward(std::uint64_t* values) const
 {
+    if (n_ >= 8 && simdEnabled()) {
+        simd::forwardAvx2(values, n_, p_, root_powers_.data(),
+                          root_powers_shoup_.data());
+        return;
+    }
+    forwardScalar(values);
+}
+
+void
+NttTables::inverse(std::uint64_t* values) const
+{
+    if (n_ >= 8 && simdEnabled()) {
+        simd::inverseAvx2(values, n_, p_, inv_root_powers_.data(),
+                          inv_root_powers_shoup_.data(), inv_n_,
+                          inv_n_shoup_, inv_n_w_, inv_n_w_shoup_);
+        return;
+    }
+    inverseScalar(values);
+}
+
+void
+NttTables::forwardScalar(std::uint64_t* values) const
+{
     if (n_ <= 1) return;
     const std::uint64_t p = p_;
     const std::uint64_t two_p = 2 * p;
@@ -112,7 +179,7 @@ NttTables::forward(std::uint64_t* values) const
 }
 
 void
-NttTables::inverse(std::uint64_t* values) const
+NttTables::inverseScalar(std::uint64_t* values) const
 {
     if (n_ <= 1) return;
     const std::uint64_t p = p_;

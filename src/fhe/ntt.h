@@ -41,12 +41,26 @@ class NttTables
 
     /// In-place forward negacyclic NTT (natural -> scrambled order).
     /// Harvey lazy reduction; output fully reduced to [0, p).
+    /// Dispatch point: routes to the AVX2 4-wide kernels when they are
+    /// compiled in, supported by this CPU, enabled (setSimdEnabled) and
+    /// n >= 8; otherwise runs forwardScalar. Both paths are
+    /// bit-identical by construction.
     void forward(std::uint64_t* values) const;
 
     /// In-place inverse negacyclic NTT (scrambled -> natural order).
     /// Harvey lazy reduction with the n^-1 scaling fused into the last
-    /// stage; output fully reduced to [0, p).
+    /// stage; output fully reduced to [0, p). Dispatch point like
+    /// forward().
     void inverse(std::uint64_t* values) const;
+
+    /// \name Scalar Harvey/Shoup path
+    /// The PR 7 scalar hot path, callable directly so benches and the
+    /// SIMD differential suite can pin scalar-vs-vector bit-identity
+    /// without toggling the process-wide dispatch flag.
+    /// @{
+    void forwardScalar(std::uint64_t* values) const;
+    void inverseScalar(std::uint64_t* values) const;
+    /// @}
 
     /// \name Seed reference path (mulMod per butterfly)
     /// Kept for bench_ntt's old-vs-new columns and the equivalence
@@ -69,12 +83,35 @@ class NttTables
     std::vector<std::uint64_t> root_powers_shoup_;
     std::vector<std::uint64_t> inv_root_powers_; ///< psi^-1 powers, bit-rev.
     std::vector<std::uint64_t> inv_root_powers_shoup_;
+    /// n^-1 mod p and its Shoup companion, memoized at construction
+    /// (one invMod + one shoupPrecompute per table-cache entry — no
+    /// transform branch recomputes them per call; pinned by
+    /// test_fhe_ntt_simd's InvNMemoizedInTableCache).
     std::uint64_t inv_n_ = 0;
     std::uint64_t inv_n_shoup_ = 0;
     std::uint64_t inv_n_w_ = 0; ///< inv_n * inv_root_powers_[1]: the
                                 ///  fused last-stage odd-leg twiddle.
     std::uint64_t inv_n_w_shoup_ = 0;
+
+  public:
+    /// Memoized n^-1 mod p (for tests asserting the memoization
+    /// contract; transforms read the private fields directly).
+    std::uint64_t invN() const { return inv_n_; }
 };
+
+/// \name SIMD dispatch control (process-wide)
+/// The AVX2 kernels live in their own -mavx2 translation unit; whether
+/// forward()/inverse() route to them is decided per call from three
+/// gates: compiled in (CHEHAB_AVX2 build option), supported (cpuid),
+/// and enabled (this switch; defaults to supported). chehabd's --simd
+/// flag and the differential tests drive setSimdEnabled; it clamps to
+/// simdSupported() so forcing SIMD on a scalar build stays a no-op.
+/// @{
+bool simdCompiledIn();
+bool simdSupported();
+void setSimdEnabled(bool enabled);
+bool simdEnabled();
+/// @}
 
 /// Process-wide content-addressed NttTables cache keyed by (n, p).
 /// RuntimePool replicas and every SealLite instance with the same

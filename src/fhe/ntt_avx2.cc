@@ -1,0 +1,477 @@
+/// \file
+/// AVX2 NTT butterfly kernels — the only translation unit compiled with
+/// -mavx2 (see CMakeLists.txt). When CHEHAB_AVX2=OFF this file compiles
+/// to the scalar-build stubs at the bottom, so the link interface is
+/// identical in both configurations and fhe/ntt.cc can dispatch on a
+/// plain runtime flag.
+///
+/// AVX2 has no 64x64 multiply, so the Shoup identity is assembled from
+/// 32-bit half products (_mm256_mul_epu32): mullo64 from three halves,
+/// mulhi64 from four plus a carry fold. Unsigned 64-bit compares flip
+/// the sign bit and use the signed compare. The arithmetic is the
+/// scalar Harvey lazy-reduction schedule verbatim — two's-complement
+/// wraparound and the conditional subtracts match lane for lane, which
+/// is what makes the outputs bit-identical to the scalar path
+/// (machine-checked by test_fhe_ntt_simd). Wide stages run two
+/// butterfly vectors per iteration for ILP; the t < 4 tail stages,
+/// where butterfly legs share a vector, deinterleave with cross-lane
+/// permutes (t == 2) and 64-bit unpacks (t == 1) instead of dropping to
+/// scalar; the forward path's [0, p) normalize is fused into its last
+/// stage rather than taking a separate sweep.
+#include "fhe/ntt_simd.h"
+
+#include "support/error.h"
+
+#if defined(CHEHAB_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace chehab::fhe::simd {
+
+namespace {
+
+/// Lanes of a where a < bound keep their value; lanes with a >= bound
+/// get bound subtracted. Requires bound < 2^63 (true for p and 2p with
+/// p < 2^62): then a - bound wraps negative exactly when a < bound, so
+/// the difference's own sign bit drives blendv_pd and the
+/// compare/mask/andnot sequence collapses to two instructions.
+inline __m256i
+csub4(__m256i a, __m256i bound)
+{
+    const __m256i d = _mm256_sub_epi64(a, bound);
+    return _mm256_castpd_si256(
+        _mm256_blendv_pd(_mm256_castsi256_pd(d), _mm256_castsi256_pd(a),
+                         _mm256_castsi256_pd(d)));
+}
+
+/// Odd 32-bit halves moved into the even slots, where _mm256_mul_epu32
+/// reads its operands. A shuffle (port 5) instead of a 64-bit shift
+/// keeps the shift/multiply ports free — shoupLazy4 below is
+/// throughput-bound on exactly those ports.
+inline __m256i
+hi32(__m256i a)
+{
+    return _mm256_shuffle_epi32(a, 0xF5);
+}
+
+/// A twiddle vector paired with its Shoup companion. Two registers on
+/// purpose: pre-splitting the high halves here (four registers per
+/// twiddle set) starves the unrolled butterfly loops of ymm registers.
+/// The splits happen inside shoupLazy4 on the shuffle port instead,
+/// which the multiply-heavy Shoup chain leaves mostly idle.
+struct ShoupVec
+{
+    __m256i w;
+    __m256i ws;
+};
+
+inline ShoupVec
+shoupVec(__m256i w, __m256i ws)
+{
+    return ShoupVec{w, ws};
+}
+
+/// Broadcast the twiddle at idx and its Shoup companion into all lanes.
+inline ShoupVec
+bcast(const std::uint64_t* w, const std::uint64_t* ws, std::size_t idx)
+{
+    return shoupVec(
+        _mm256_set1_epi64x(static_cast<long long>(w[idx])),
+        _mm256_set1_epi64x(static_cast<long long>(ws[idx])));
+}
+
+/// mulModShoupLazy per lane: x * w - mulhi(x, w') * p, result < 2p for
+/// any 64-bit x. The exact high half uses the three-shift mid1/mid2
+/// chain (mid1 = lh + (ll >> 32) cannot wrap, so the column carries
+/// fold in exactly); the low half of x*w - q*p differences the two
+/// cross sums before a single shift, which is exact because only the
+/// low 32 bits of the cross difference survive the shift mod 2^64.
+inline __m256i
+shoupLazy4(__m256i x, const ShoupVec& t, __m256i p, __m256i p_hi)
+{
+    const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+    const __m256i x_hi = hi32(x);
+    const __m256i ws_hi = hi32(t.ws);
+    const __m256i w_hi = hi32(t.w);
+    const __m256i ll = _mm256_mul_epu32(x, t.ws);
+    const __m256i lh = _mm256_mul_epu32(x, ws_hi);
+    const __m256i hl = _mm256_mul_epu32(x_hi, t.ws);
+    const __m256i hh = _mm256_mul_epu32(x_hi, ws_hi);
+    const __m256i mid1 = _mm256_add_epi64(lh, _mm256_srli_epi64(ll, 32));
+    const __m256i mid2 =
+        _mm256_add_epi64(hl, _mm256_and_si256(mid1, mask32));
+    const __m256i q = _mm256_add_epi64(
+        hh, _mm256_add_epi64(_mm256_srli_epi64(mid1, 32),
+                             _mm256_srli_epi64(mid2, 32)));
+    const __m256i q_hi = hi32(q);
+    const __m256i lo_diff = _mm256_sub_epi64(_mm256_mul_epu32(x, t.w),
+                                             _mm256_mul_epu32(q, p));
+    const __m256i cross_diff = _mm256_sub_epi64(
+        _mm256_add_epi64(_mm256_mul_epu32(x_hi, t.w),
+                         _mm256_mul_epu32(x, w_hi)),
+        _mm256_add_epi64(_mm256_mul_epu32(q_hi, p),
+                         _mm256_mul_epu32(q, p_hi)));
+    return _mm256_add_epi64(lo_diff, _mm256_slli_epi64(cross_diff, 32));
+}
+
+} // namespace
+
+bool
+avx2CompiledIn()
+{
+    return true;
+}
+
+void
+forwardAvx2(std::uint64_t* values, int n, std::uint64_t p,
+            const std::uint64_t* root_powers,
+            const std::uint64_t* root_powers_shoup)
+{
+    CHEHAB_ASSERT(n >= 8 && (n & (n - 1)) == 0,
+                  "AVX2 forward needs n >= 8");
+    // The [0, 4p) headroom argument (and the sign-flip compares against
+    // 2p) both need 4p < 2^64.
+    CHEHAB_ASSERT(p < (1ULL << 62), "AVX2 path needs p < 2^62");
+    const std::uint64_t two_p = 2 * p;
+    const __m256i vp = _mm256_set1_epi64x(static_cast<long long>(p));
+    const __m256i vtwo_p =
+        _mm256_set1_epi64x(static_cast<long long>(two_p));
+    const __m256i vp_hi = hi32(vp);
+
+    std::size_t t = static_cast<std::size_t>(n) >> 1;
+    std::size_t m = 1;
+    // One Cooley-Tukey stage per pass, two independent butterfly
+    // vectors per iteration: the Shoup chain is long and iterations
+    // carry no dependency, so pairing them keeps the multiply ports
+    // fed. (A radix-4 fused variant was measured slower here: three
+    // live twiddle sets exhaust the sixteen ymm registers.)
+    while (t >= 8) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const ShoupVec sv =
+                bcast(root_powers, root_powers_shoup, m + i);
+            for (std::size_t j = j1; j < j1 + t; j += 8) {
+                __m256i u0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                __m256i u1 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                const __m256i x0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + t));
+                const __m256i x1 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + t + 4));
+                u0 = csub4(u0, vtwo_p);
+                u1 = csub4(u1, vtwo_p);
+                const __m256i v0 = shoupLazy4(x0, sv, vp, vp_hi);
+                const __m256i v1 = shoupLazy4(x1, sv, vp, vp_hi);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    _mm256_add_epi64(u0, v0));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    _mm256_add_epi64(u1, v1));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + t),
+                    _mm256_add_epi64(u0, _mm256_sub_epi64(vtwo_p, v0)));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + t + 4),
+                    _mm256_add_epi64(u1, _mm256_sub_epi64(vtwo_p, v1)));
+            }
+        }
+        m <<= 1;
+        t >>= 1;
+    }
+    if (t == 4) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j = 8 * i;
+            const ShoupVec sv =
+                bcast(root_powers, root_powers_shoup, m + i);
+            __m256i u = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(values + j));
+            const __m256i x = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(values + j + 4));
+            u = csub4(u, vtwo_p);
+            const __m256i v = shoupLazy4(x, sv, vp, vp_hi);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i*>(values + j),
+                _mm256_add_epi64(u, v));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i*>(values + j + 4),
+                _mm256_add_epi64(u, _mm256_sub_epi64(vtwo_p, v)));
+        }
+        m <<= 1;
+        t >>= 1;
+    }
+    {
+            // Two groups of 4 per iteration (m = n/4 >= 2 is even).
+            // Butterfly legs sit in opposite 128-bit halves, so one
+            // cross-lane permute per operand lines them up and the same
+            // permute puts the results back.
+            for (std::size_t i = 0; i < m; i += 2) {
+                const std::size_t j = 4 * i;
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                const __m256i vb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                __m256i u = _mm256_permute2x128_si256(va, vb, 0x20);
+                const __m256i x = _mm256_permute2x128_si256(va, vb, 0x31);
+                // [w_i, w_i, w_{i+1}, w_{i+1}] from the two twiddles.
+                const __m256i vw = _mm256_permute4x64_epi64(
+                    _mm256_castsi128_si256(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(root_powers + m +
+                                                         i))),
+                    0x50);
+                const __m256i vws = _mm256_permute4x64_epi64(
+                    _mm256_castsi128_si256(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(
+                            root_powers_shoup + m + i))),
+                    0x50);
+                u = csub4(u, vtwo_p);
+                const __m256i v = shoupLazy4(x, shoupVec(vw, vws), vp, vp_hi);
+                const __m256i lo = _mm256_add_epi64(u, v);
+                const __m256i hi =
+                    _mm256_add_epi64(u, _mm256_sub_epi64(vtwo_p, v));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    _mm256_permute2x128_si256(lo, hi, 0x20));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    _mm256_permute2x128_si256(lo, hi, 0x31));
+            }
+        }
+        m <<= 1;
+        {
+            // t == 1 is the last stage (m = n/2 >= 4): adjacent
+            // u/x pairs deinterleave with 64-bit unpacks, and the
+            // normalize back to [0, p) fuses in here — same two
+            // conditional subtracts the scalar path applies in its
+            // standalone pass, so outputs stay bit-identical.
+            for (std::size_t i = 0; i < m; i += 4) {
+                const std::size_t j = 2 * i;
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                const __m256i vb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                // u = [u_i, u_{i+2}, u_{i+1}, u_{i+3}]; twiddles are
+                // permuted to match and the unpacks at the end restore
+                // element order.
+                __m256i u = _mm256_unpacklo_epi64(va, vb);
+                const __m256i x = _mm256_unpackhi_epi64(va, vb);
+                const __m256i vw = _mm256_permute4x64_epi64(
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        root_powers + m + i)),
+                    0xD8);
+                const __m256i vws = _mm256_permute4x64_epi64(
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        root_powers_shoup + m + i)),
+                    0xD8);
+                u = csub4(u, vtwo_p);
+                const __m256i v = shoupLazy4(x, shoupVec(vw, vws), vp, vp_hi);
+                __m256i lo = _mm256_add_epi64(u, v);
+                __m256i hi =
+                    _mm256_add_epi64(u, _mm256_sub_epi64(vtwo_p, v));
+                lo = csub4(csub4(lo, vtwo_p), vp);
+                hi = csub4(csub4(hi, vtwo_p), vp);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    _mm256_unpacklo_epi64(lo, hi));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    _mm256_unpackhi_epi64(lo, hi));
+            }
+        }
+}
+
+void
+inverseAvx2(std::uint64_t* values, int n, std::uint64_t p,
+            const std::uint64_t* inv_root_powers,
+            const std::uint64_t* inv_root_powers_shoup,
+            std::uint64_t inv_n, std::uint64_t inv_n_shoup,
+            std::uint64_t inv_n_w, std::uint64_t inv_n_w_shoup)
+{
+    CHEHAB_ASSERT(n >= 8 && (n & (n - 1)) == 0,
+                  "AVX2 inverse needs n >= 8");
+    CHEHAB_ASSERT(p < (1ULL << 62), "AVX2 path needs p < 2^62");
+    const std::uint64_t two_p = 2 * p;
+    const __m256i vp = _mm256_set1_epi64x(static_cast<long long>(p));
+    const __m256i vtwo_p =
+        _mm256_set1_epi64x(static_cast<long long>(two_p));
+    const __m256i vp_hi = hi32(vp);
+
+    std::size_t m = static_cast<std::size_t>(n) >> 1;
+    std::size_t t = 1;
+    {
+            // First stage (m = n/2 >= 4): u/x pairs are adjacent, same
+            // unpack/permute data movement as the forward path's last
+            // stage, Gentleman-Sande arithmetic.
+            for (std::size_t i = 0; i < m; i += 4) {
+                const std::size_t j = 2 * i;
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                const __m256i vb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                const __m256i u = _mm256_unpacklo_epi64(va, vb);
+                const __m256i v = _mm256_unpackhi_epi64(va, vb);
+                const __m256i vw = _mm256_permute4x64_epi64(
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        inv_root_powers + m + i)),
+                    0xD8);
+                const __m256i vws = _mm256_permute4x64_epi64(
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        inv_root_powers_shoup + m + i)),
+                    0xD8);
+                const __m256i s = csub4(_mm256_add_epi64(u, v), vtwo_p);
+                const __m256i diff = _mm256_add_epi64(
+                    _mm256_sub_epi64(u, v), vtwo_p);
+                const __m256i d = shoupLazy4(diff, shoupVec(vw, vws), vp, vp_hi);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    _mm256_unpacklo_epi64(s, d));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    _mm256_unpackhi_epi64(s, d));
+            }
+    }
+    m >>= 1;
+    {
+            for (std::size_t i = 0; i < m; i += 2) {
+                const std::size_t j = 4 * i;
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                const __m256i vb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                const __m256i u = _mm256_permute2x128_si256(va, vb, 0x20);
+                const __m256i v = _mm256_permute2x128_si256(va, vb, 0x31);
+                const __m256i vw = _mm256_permute4x64_epi64(
+                    _mm256_castsi128_si256(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(inv_root_powers +
+                                                         m + i))),
+                    0x50);
+                const __m256i vws = _mm256_permute4x64_epi64(
+                    _mm256_castsi128_si256(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(
+                            inv_root_powers_shoup + m + i))),
+                    0x50);
+                const __m256i s = csub4(_mm256_add_epi64(u, v), vtwo_p);
+                const __m256i diff = _mm256_add_epi64(
+                    _mm256_sub_epi64(u, v), vtwo_p);
+                const __m256i d = shoupLazy4(diff, shoupVec(vw, vws), vp, vp_hi);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    _mm256_permute2x128_si256(s, d, 0x20));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    _mm256_permute2x128_si256(s, d, 0x31));
+            }
+    }
+    m >>= 1;
+    t = 4;
+    // One Gentleman-Sande stage per pass, paired independent
+    // butterflies as in the forward path.
+    while (m >= 2) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const ShoupVec sv =
+                bcast(inv_root_powers, inv_root_powers_shoup, m + i);
+            if (t == 4) {
+                const __m256i u = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j1));
+                const __m256i v = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j1 + 4));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j1),
+                    csub4(_mm256_add_epi64(u, v), vtwo_p));
+                const __m256i diff = _mm256_add_epi64(
+                    _mm256_sub_epi64(u, v), vtwo_p);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j1 + 4),
+                    shoupLazy4(diff, sv, vp, vp_hi));
+                continue;
+            }
+            for (std::size_t j = j1; j < j1 + t; j += 8) {
+                const __m256i u0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j));
+                const __m256i u1 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + 4));
+                const __m256i v0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + t));
+                const __m256i v1 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(values + j + t + 4));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j),
+                    csub4(_mm256_add_epi64(u0, v0), vtwo_p));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + 4),
+                    csub4(_mm256_add_epi64(u1, v1), vtwo_p));
+                const __m256i d0 = _mm256_add_epi64(
+                    _mm256_sub_epi64(u0, v0), vtwo_p);
+                const __m256i d1 = _mm256_add_epi64(
+                    _mm256_sub_epi64(u1, v1), vtwo_p);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + t),
+                    shoupLazy4(d0, sv, vp, vp_hi));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(values + j + t + 4),
+                    shoupLazy4(d1, sv, vp, vp_hi));
+            }
+        }
+        m >>= 1;
+        t <<= 1;
+    }
+    t = static_cast<std::size_t>(n) >> 1;
+    // Final stage (m == 1, t == n/2 >= 4) fused with the n^-1 scaling,
+    // fully reduced outputs — same fusion as the scalar path.
+    const __m256i vin = _mm256_set1_epi64x(static_cast<long long>(inv_n));
+    const __m256i vins =
+        _mm256_set1_epi64x(static_cast<long long>(inv_n_shoup));
+    const __m256i vinw =
+        _mm256_set1_epi64x(static_cast<long long>(inv_n_w));
+    const __m256i vinws =
+        _mm256_set1_epi64x(static_cast<long long>(inv_n_w_shoup));
+    for (std::size_t j = 0; j < t; j += 4) {
+        const __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(values + j));
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(values + j + t));
+        const __m256i even =
+            csub4(shoupLazy4(_mm256_add_epi64(u, v), shoupVec(vin, vins), vp, vp_hi), vp);
+        const __m256i odd = csub4(
+            shoupLazy4(
+                _mm256_add_epi64(_mm256_sub_epi64(u, v), vtwo_p),
+                shoupVec(vinw, vinws), vp, vp_hi),
+            vp);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + j), even);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + j + t),
+                            odd);
+    }
+}
+
+} // namespace chehab::fhe::simd
+
+#else // !CHEHAB_HAVE_AVX2
+
+namespace chehab::fhe::simd {
+
+bool
+avx2CompiledIn()
+{
+    return false;
+}
+
+void
+forwardAvx2(std::uint64_t*, int, std::uint64_t, const std::uint64_t*,
+            const std::uint64_t*)
+{
+    CHEHAB_ASSERT(false, "AVX2 kernels not compiled in");
+}
+
+void
+inverseAvx2(std::uint64_t*, int, std::uint64_t, const std::uint64_t*,
+            const std::uint64_t*, std::uint64_t, std::uint64_t,
+            std::uint64_t, std::uint64_t)
+{
+    CHEHAB_ASSERT(false, "AVX2 kernels not compiled in");
+}
+
+} // namespace chehab::fhe::simd
+
+#endif // CHEHAB_HAVE_AVX2

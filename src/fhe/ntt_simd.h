@@ -1,0 +1,44 @@
+/// \file
+/// Internal interface between the NTT dispatch points (fhe/ntt.cc) and
+/// the AVX2 butterfly kernels (fhe/ntt_avx2.cc). Not installed; nothing
+/// outside fhe/ should include this — callers go through
+/// NttTables::forward/inverse, which dispatch at runtime.
+///
+/// The kernels are whole-transform entry points (not per-stage hooks):
+/// each runs the same Cooley-Tukey / Gentleman-Sande stage schedule as
+/// the scalar path, vectorizing the inner j-loop 4-wide (two vectors
+/// per iteration on wide stages); the t < 4 tail stages stay vectorized
+/// by shuffling butterfly legs into separate vectors. Every lane
+/// computes exactly the scalar lazy-reduction arithmetic (same
+/// conditional subtracts, same mod-2^64 wraparound), so outputs are
+/// bit-identical to the scalar path by construction — the
+/// test_fhe_ntt_simd differential suite machine-checks this.
+#pragma once
+
+#include <cstdint>
+
+namespace chehab::fhe::simd {
+
+/// True when the library was built with the AVX2 kernel TU
+/// (CHEHAB_AVX2=ON). Constant per binary.
+bool avx2CompiledIn();
+
+/// Full forward negacyclic NTT, AVX2 lanes, Harvey lazy reduction,
+/// output fully reduced to [0, p). Preconditions: n >= 8 (power of
+/// two), p < 2^62, AVX2 compiled in AND supported by this CPU.
+/// Table layout matches NttTables (bit-reversed psi powers + Shoup
+/// companions, indexed m + i per stage).
+void forwardAvx2(std::uint64_t* values, int n, std::uint64_t p,
+                 const std::uint64_t* root_powers,
+                 const std::uint64_t* root_powers_shoup);
+
+/// Full inverse negacyclic NTT, AVX2 lanes, the n^-1 scaling fused into
+/// the final stage exactly as the scalar path fuses it. Same
+/// preconditions as forwardAvx2.
+void inverseAvx2(std::uint64_t* values, int n, std::uint64_t p,
+                 const std::uint64_t* inv_root_powers,
+                 const std::uint64_t* inv_root_powers_shoup,
+                 std::uint64_t inv_n, std::uint64_t inv_n_shoup,
+                 std::uint64_t inv_n_w, std::uint64_t inv_n_w_shoup);
+
+} // namespace chehab::fhe::simd

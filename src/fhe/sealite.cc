@@ -116,11 +116,26 @@ SealLite::coeffModulusBitsAt(int level) const
 RnsPoly
 SealLite::zeroPoly(int k) const
 {
+    // Arena-backed: steady-state evaluation recycles every dead poly,
+    // so after a priming pass this is a freelist pop + memset, never a
+    // heap allocation (the zero-allocs-per-op contract).
     RnsPoly poly;
     poly.k = k == 0 ? static_cast<int>(primes_.size()) : k;
     poly.n = params_.n;
-    poly.data.assign(static_cast<std::size_t>(poly.k) * poly.n, 0);
+    poly.data =
+        arena_.acquireZeroed(static_cast<std::size_t>(poly.k) * poly.n);
     return poly;
+}
+
+RnsPoly
+SealLite::clonePoly(const RnsPoly& a) const
+{
+    RnsPoly out;
+    out.k = a.k;
+    out.n = a.n;
+    out.data = arena_.acquire(a.data.size());
+    std::copy(a.data.begin(), a.data.end(), out.data.begin());
+    return out;
 }
 
 RnsPoly
@@ -215,8 +230,10 @@ SealLite::mulPoly(const RnsPoly& a, const RnsPoly& b) const
 {
     CHEHAB_ASSERT(a.k == b.k, "RNS multiply across mismatched levels");
     RnsPoly result = zeroPoly(a.k);
-    std::vector<std::uint64_t> fa(static_cast<std::size_t>(params_.n));
-    std::vector<std::uint64_t> fb(static_cast<std::size_t>(params_.n));
+    std::vector<std::uint64_t> fa =
+        arena_.acquire(static_cast<std::size_t>(params_.n));
+    std::vector<std::uint64_t> fb =
+        arena_.acquire(static_cast<std::size_t>(params_.n));
     for (int i = 0; i < result.k; ++i) {
         const NttTables& tables = *ntt_[static_cast<std::size_t>(i)];
         const Barrett& reducer = tables.reducer();
@@ -234,6 +251,8 @@ SealLite::mulPoly(const RnsPoly& a, const RnsPoly& b) const
         tables.inverse(fa.data());
         std::copy(fa.begin(), fa.end(), result.component(i));
     }
+    arena_.release(std::move(fa));
+    arena_.release(std::move(fb));
     return result;
 }
 
@@ -243,7 +262,8 @@ SealLite::mulPolyNtt(const RnsPoly& a, const NttForm& b) const
     CHEHAB_ASSERT(b.n == a.n && b.k >= a.k,
                   "NTT form shorter than the operand level");
     RnsPoly result = zeroPoly(a.k);
-    std::vector<std::uint64_t> fa(static_cast<std::size_t>(params_.n));
+    std::vector<std::uint64_t> fa =
+        arena_.acquire(static_cast<std::size_t>(params_.n));
     for (int i = 0; i < a.k; ++i) {
         const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
         const NttTables& tables = *ntt_[static_cast<std::size_t>(i)];
@@ -261,7 +281,29 @@ SealLite::mulPolyNtt(const RnsPoly& a, const NttForm& b) const
         tables.inverse(fa.data());
         std::copy(fa.begin(), fa.end(), result.component(i));
     }
+    arena_.release(std::move(fa));
     return result;
+}
+
+void
+SealLite::mulPolyNttInPlace(RnsPoly& a, const NttForm& b) const
+{
+    CHEHAB_ASSERT(b.n == a.n && b.k >= a.k,
+                  "NTT form shorter than the operand level");
+    // Transforms run directly on a's components — no scratch at all.
+    for (int i = 0; i < a.k; ++i) {
+        const std::uint64_t p = primes_[static_cast<std::size_t>(i)];
+        const NttTables& tables = *ntt_[static_cast<std::size_t>(i)];
+        std::uint64_t* x = a.component(i);
+        tables.forward(x);
+        const std::uint64_t* w = b.component(i);
+        const std::uint64_t* ws = b.shoupComponent(i);
+        for (int j = 0; j < params_.n; ++j) {
+            x[j] = mulModShoup(x[j], w[static_cast<std::size_t>(j)],
+                               ws[static_cast<std::size_t>(j)], p);
+        }
+        tables.inverse(x);
+    }
 }
 
 NttForm
@@ -367,8 +409,13 @@ SealLite::modSwitchPolyDown(RnsPoly& poly) const
     // δ per coefficient: δ ≡ c (mod q_l) and δ ≡ 0 (mod t), built as the
     // centered residue δ0 of c mod q_l plus q_l times the centered lift
     // of -δ0·q_l^{-1} mod t, so |δ| <= q_l(t+1)/2 (fits int64 for the
-    // <= 46-bit products the parameter asserts allow).
-    std::vector<std::int64_t> delta(static_cast<std::size_t>(poly.n));
+    // <= 46-bit products the parameter asserts allow). The signed values
+    // ride in an arena buffer as two's-complement bit patterns so drops
+    // stay allocation-free too.
+    std::vector<std::uint64_t> delta_buf =
+        arena_.acquire(static_cast<std::size_t>(poly.n));
+    std::int64_t* delta =
+        reinterpret_cast<std::int64_t*>(delta_buf.data());
     for (int x = 0; x < poly.n; ++x) {
         const auto r = static_cast<std::int64_t>(last[x]);
         const std::int64_t delta0 =
@@ -399,6 +446,7 @@ SealLite::modSwitchPolyDown(RnsPoly& poly) const
             c[x] = mulMod(subMod(c[x], d_mod, qi), factor, qi);
         }
     }
+    arena_.release(std::move(delta_buf));
     poly.k = l;
     poly.data.resize(static_cast<std::size_t>(l) * poly.n);
 }
@@ -546,8 +594,12 @@ SealLite::encrypt(const Plaintext& plain)
     std::vector<int> error = sampleError();
     const auto t = static_cast<int>(params_.plain_modulus);
     for (auto& e : error) e *= t;
-    addInPlace(ct.c0, liftSmall(error));
-    addInPlace(ct.c0, liftPlain(plain));
+    RnsPoly error_rns = liftSmall(error);
+    addInPlace(ct.c0, error_rns);
+    recycle(std::move(error_rns));
+    RnsPoly plain_rns = liftPlain(plain);
+    addInPlace(ct.c0, plain_rns);
+    recycle(std::move(plain_rns));
     return ct;
 }
 
@@ -593,6 +645,7 @@ SealLite::decryptPlain(const Ciphertext& ct) const
         }
         plain.coeffs[static_cast<std::size_t>(j)] = value_mod_t;
     }
+    recycle(std::move(v));
     return plain;
 }
 
@@ -607,37 +660,94 @@ SealLite::decrypt(const Ciphertext& ct) const
 // ---------------------------------------------------------------------
 
 Ciphertext
+SealLite::clone(const Ciphertext& a) const
+{
+    Ciphertext out;
+    out.c0 = clonePoly(a.c0);
+    out.c1 = clonePoly(a.c1);
+    return out;
+}
+
+void
+SealLite::recycle(RnsPoly&& poly) const
+{
+    arena_.release(std::move(poly.data));
+    poly.k = 0;
+}
+
+void
+SealLite::recycle(Ciphertext&& ct) const
+{
+    recycle(std::move(ct.c0));
+    recycle(std::move(ct.c1));
+}
+
+void
+SealLite::addInPlace(Ciphertext& a, const Ciphertext& b) const
+{
+    addInPlace(a.c0, b.c0);
+    addInPlace(a.c1, b.c1);
+}
+
+void
+SealLite::subInPlace(Ciphertext& a, const Ciphertext& b) const
+{
+    subInPlace(a.c0, b.c0);
+    subInPlace(a.c1, b.c1);
+}
+
+void
+SealLite::negateInPlace(Ciphertext& a) const
+{
+    negateInPlace(a.c0);
+    negateInPlace(a.c1);
+}
+
+void
+SealLite::addPlainInPlace(Ciphertext& a, const Plaintext& plain) const
+{
+    RnsPoly lifted = liftPlain(plain, a.c0.k);
+    addInPlace(a.c0, lifted);
+    recycle(std::move(lifted));
+}
+
+void
+SealLite::mulPlainInPlace(Ciphertext& a, const Plaintext& plain) const
+{
+    const std::shared_ptr<const NttForm> form = plainNttForm(plain);
+    mulPolyNttInPlace(a.c0, *form);
+    mulPolyNttInPlace(a.c1, *form);
+}
+
+Ciphertext
 SealLite::add(const Ciphertext& a, const Ciphertext& b) const
 {
-    Ciphertext out = a;
-    addInPlace(out.c0, b.c0);
-    addInPlace(out.c1, b.c1);
+    Ciphertext out = clone(a);
+    addInPlace(out, b);
     return out;
 }
 
 Ciphertext
 SealLite::sub(const Ciphertext& a, const Ciphertext& b) const
 {
-    Ciphertext out = a;
-    subInPlace(out.c0, b.c0);
-    subInPlace(out.c1, b.c1);
+    Ciphertext out = clone(a);
+    subInPlace(out, b);
     return out;
 }
 
 Ciphertext
 SealLite::negate(const Ciphertext& a) const
 {
-    Ciphertext out = a;
-    negateInPlace(out.c0);
-    negateInPlace(out.c1);
+    Ciphertext out = clone(a);
+    negateInPlace(out);
     return out;
 }
 
 Ciphertext
 SealLite::addPlain(const Ciphertext& a, const Plaintext& plain) const
 {
-    Ciphertext out = a;
-    addInPlace(out.c0, liftPlain(plain, a.c0.k));
+    Ciphertext out = clone(a);
+    addPlainInPlace(out, plain);
     return out;
 }
 
@@ -707,23 +817,37 @@ SealLite::keySwitch(const RnsPoly& poly, const KeySwitchKey& key,
     const int digits = digitsPerPrime();
     const std::uint64_t mask = (1ULL << params_.decomp_bits) - 1;
     const int n = params_.n;
-    std::vector<std::uint64_t> digit(static_cast<std::size_t>(n));
-    std::vector<std::uint64_t> transformed(static_cast<std::size_t>(n));
-    std::vector<std::uint64_t> prod(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> digit =
+        arena_.acquire(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> transformed =
+        arena_.acquire(static_cast<std::size_t>(n));
+    // NTT-domain accumulators: pointwise products are summed (fully
+    // reduced) across every (prime, digit) pair, and each prime pays for
+    // ONE inverse transform per output component at the end — the
+    // inverse NTT is exactly linear mod p, so this is bit-identical to
+    // the seed's inverse-per-digit path while doing k inverses instead
+    // of k * digits * k.
+    std::vector<std::uint64_t> acc0 =
+        arena_.acquireZeroed(static_cast<std::size_t>(k) * n);
+    std::vector<std::uint64_t> acc1 =
+        arena_.acquireZeroed(static_cast<std::size_t>(k) * n);
+    bool any_digit = false;
     for (int i = 0; i < k; ++i) {
         const std::uint64_t* residues = poly.component(i);
         for (int d = 0; d < digits; ++d) {
             // Base-2^w digit of the i-th residue polynomial; digit values
             // are < 2^w < every prime, so the RNS lift is a plain copy
             // shared across components.
+            const int shift = d * params_.decomp_bits;
+            std::uint64_t* dg = digit.data();
             bool nonzero = false;
             for (int x = 0; x < n; ++x) {
-                const std::uint64_t v =
-                    (residues[x] >> (d * params_.decomp_bits)) & mask;
-                digit[static_cast<std::size_t>(x)] = v;
+                const std::uint64_t v = (residues[x] >> shift) & mask;
+                dg[x] = v;
                 nonzero = nonzero || v != 0;
             }
             if (!nonzero) continue;
+            any_digit = true;
             const std::size_t idx =
                 static_cast<std::size_t>(i) * digits + d;
             const NttForm& key_b = key.b[idx];
@@ -735,35 +859,46 @@ SealLite::keySwitch(const RnsPoly& poly, const KeySwitchKey& key,
                 const NttTables& tables = *ntt_[static_cast<std::size_t>(j)];
                 std::copy(digit.begin(), digit.end(), transformed.begin());
                 tables.forward(transformed.data());
+                const std::uint64_t* tx = transformed.data();
                 const std::uint64_t* bw = key_b.component(j);
                 const std::uint64_t* bs = key_b.shoupComponent(j);
-                for (int x = 0; x < n; ++x) {
-                    prod[static_cast<std::size_t>(x)] = mulModShoup(
-                        transformed[static_cast<std::size_t>(x)],
-                        bw[x], bs[x], p);
-                }
-                tables.inverse(prod.data());
-                std::uint64_t* dst0 = delta_c0.component(j);
-                for (int x = 0; x < n; ++x) {
-                    dst0[x] = addMod(dst0[x],
-                                     prod[static_cast<std::size_t>(x)], p);
-                }
                 const std::uint64_t* aw = key_a.component(j);
                 const std::uint64_t* as = key_a.shoupComponent(j);
+                std::uint64_t* a0 =
+                    acc0.data() + static_cast<std::size_t>(j) * n;
+                std::uint64_t* a1 =
+                    acc1.data() + static_cast<std::size_t>(j) * n;
                 for (int x = 0; x < n; ++x) {
-                    prod[static_cast<std::size_t>(x)] = mulModShoup(
-                        transformed[static_cast<std::size_t>(x)],
-                        aw[x], as[x], p);
-                }
-                tables.inverse(prod.data());
-                std::uint64_t* dst1 = delta_c1.component(j);
-                for (int x = 0; x < n; ++x) {
-                    dst1[x] = addMod(dst1[x],
-                                     prod[static_cast<std::size_t>(x)], p);
+                    a0[x] = addMod(
+                        a0[x], mulModShoup(tx[x], bw[x], bs[x], p), p);
+                    a1[x] = addMod(
+                        a1[x], mulModShoup(tx[x], aw[x], as[x], p), p);
                 }
             }
         }
     }
+    if (any_digit) {
+        for (int j = 0; j < k; ++j) {
+            const std::uint64_t p = primes_[static_cast<std::size_t>(j)];
+            const NttTables& tables = *ntt_[static_cast<std::size_t>(j)];
+            std::uint64_t* a0 =
+                acc0.data() + static_cast<std::size_t>(j) * n;
+            std::uint64_t* a1 =
+                acc1.data() + static_cast<std::size_t>(j) * n;
+            tables.inverse(a0);
+            tables.inverse(a1);
+            std::uint64_t* dst0 = delta_c0.component(j);
+            std::uint64_t* dst1 = delta_c1.component(j);
+            for (int x = 0; x < n; ++x) {
+                dst0[x] = addMod(dst0[x], a0[x], p);
+                dst1[x] = addMod(dst1[x], a1[x], p);
+            }
+        }
+    }
+    arena_.release(std::move(digit));
+    arena_.release(std::move(transformed));
+    arena_.release(std::move(acc0));
+    arena_.release(std::move(acc1));
 }
 
 Ciphertext
@@ -772,13 +907,16 @@ SealLite::multiply(const Ciphertext& a, const Ciphertext& b) const
     // Tensor product (degree 2), then relinearize with the RNS key.
     RnsPoly e0 = mulPoly(a.c0, b.c0);
     RnsPoly e1 = mulPoly(a.c0, b.c1);
-    addInPlace(e1, mulPoly(a.c1, b.c0));
-    const RnsPoly e2 = mulPoly(a.c1, b.c1);
+    RnsPoly cross = mulPoly(a.c1, b.c0);
+    addInPlace(e1, cross);
+    recycle(std::move(cross));
+    RnsPoly e2 = mulPoly(a.c1, b.c1);
 
     Ciphertext out;
     out.c0 = std::move(e0);
     out.c1 = std::move(e1);
     keySwitch(e2, relin_key_, out.c0, out.c1);
+    recycle(std::move(e2));
     return out;
 }
 
@@ -828,7 +966,7 @@ SealLite::rotate(const Ciphertext& a, int step) const
 {
     const int half = params_.n / 2;
     const int normalized = ((step % half) + half) % half;
-    if (normalized == 0) return a;
+    if (normalized == 0) return clone(a);
     auto key_it = galois_keys_.find(normalized);
     CHEHAB_ASSERT(key_it != galois_keys_.end(),
                   "missing Galois key for rotation step");
@@ -837,8 +975,9 @@ SealLite::rotate(const Ciphertext& a, int step) const
     Ciphertext out;
     out.c0 = applyAutomorphism(a.c0, g);
     out.c1 = zeroPoly(a.c0.k);
-    const RnsPoly rotated_c1 = applyAutomorphism(a.c1, g);
+    RnsPoly rotated_c1 = applyAutomorphism(a.c1, g);
     keySwitch(rotated_c1, key_it->second, out.c0, out.c1);
+    recycle(std::move(rotated_c1));
     return out;
 }
 
@@ -862,6 +1001,7 @@ SealLite::noiseBudgetBits(const Ciphertext& ct) const
             value.compare(complement) <= 0 ? value : complement;
         if (magnitude.compare(max_magnitude) > 0) max_magnitude = magnitude;
     }
+    recycle(std::move(v));
     const int budget = (tab.q.bitLength() - 1) - max_magnitude.bitLength();
     return budget;
 }

@@ -46,6 +46,7 @@
 
 #include "fhe/bigint.h"
 #include "fhe/ntt.h"
+#include "fhe/poly_arena.h"
 #include "support/rng.h"
 
 namespace chehab::fhe {
@@ -208,6 +209,36 @@ class SealLite
     Ciphertext rotate(const Ciphertext& a, int step) const;
     /// @}
 
+    /// \name Destructive (in-place) evaluation forms
+    /// Bit-identical results to the copying forms above, mutating \p a
+    /// instead of copying both component polys. The runtime's in-place
+    /// evaluator consumes a register's last use through these; the
+    /// copying forms themselves are implemented as clone() + in-place,
+    /// so every evaluator allocation flows through the arena either
+    /// way.
+    /// @{
+    void addInPlace(Ciphertext& a, const Ciphertext& b) const;
+    void subInPlace(Ciphertext& a, const Ciphertext& b) const;
+    void negateInPlace(Ciphertext& a) const;
+    void addPlainInPlace(Ciphertext& a, const Plaintext& plain) const;
+    void mulPlainInPlace(Ciphertext& a, const Plaintext& plain) const;
+    /// Arena-backed deep copy of a ciphertext.
+    Ciphertext clone(const Ciphertext& a) const;
+    /// Return a dead ciphertext's / poly's buffers to the arena for
+    /// reuse by later ops (steady-state evaluation reaches zero fresh
+    /// allocations once every op's dead values are recycled).
+    void recycle(Ciphertext&& ct) const;
+    void recycle(RnsPoly&& poly) const;
+    /// @}
+
+    /// \name Arena observability and control
+    /// @{
+    PolyArena::Stats arenaStats() const { return arena_.stats(); }
+    /// Disabled = every acquire is a fresh heap allocation (the
+    /// arena-on-vs-off differential tests run both ways).
+    void setArenaEnabled(bool enabled) { arena_.setEnabled(enabled); }
+    /// @}
+
     /// Re-seed the encryption/error randomness stream. Key material
     /// (secret, relinearization and Galois keys) is unaffected: the
     /// secret and relin keys are fixed at construction, and Galois keys
@@ -271,12 +302,16 @@ class SealLite
     void addInPlace(RnsPoly& a, const RnsPoly& b) const;
     void subInPlace(RnsPoly& a, const RnsPoly& b) const;
     void negateInPlace(RnsPoly& a) const;
+    /// Arena-backed deep copy of one poly.
+    RnsPoly clonePoly(const RnsPoly& a) const;
     /// Negacyclic product via per-prime NTT (operands at equal levels).
     RnsPoly mulPoly(const RnsPoly& a, const RnsPoly& b) const;
     /// Negacyclic product against a cached NTT form: one forward, n
     /// Shoup pointwise multiplies, one inverse per prime. Result at
     /// a's level (the form is full-level).
     RnsPoly mulPolyNtt(const RnsPoly& a, const NttForm& b) const;
+    /// mulPolyNtt writing the product back into \p a's own buffer.
+    void mulPolyNttInPlace(RnsPoly& a, const NttForm& b) const;
     /// Transform \p a (full level) into cached NTT form.
     NttForm toNttForm(const RnsPoly& a) const;
     /// Apply x -> x^galois_element to every RNS component.
@@ -351,6 +386,11 @@ class SealLite
     mutable std::unordered_map<std::uint64_t,
                                std::shared_ptr<const PlainCacheEntry>>
         plain_ntt_cache_;
+
+    /// Buffer pool behind every RnsPoly / NTT-scratch allocation this
+    /// instance makes (zeroPoly and friends all draw from it). Mutable:
+    /// const evaluator methods acquire and release scratch.
+    mutable PolyArena arena_;
 };
 
 } // namespace chehab::fhe

@@ -255,6 +255,10 @@ CompileService::stats() const
         for (const auto& [key, pool] : pools_) {
             snapshot.runtimes_created +=
                 static_cast<std::uint64_t>(pool->created());
+            const fhe::PolyArena::Stats arena = pool->arenaStats();
+            snapshot.arena_allocs += arena.allocs;
+            snapshot.arena_reuses += arena.reuses;
+            snapshot.arena_bytes += arena.bytes;
         }
     }
     return snapshot;
@@ -347,9 +351,13 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                                         {{"est_cost", estimate},
                                          {"meas_s", seconds}});
                     }
+                    // noteFinished strictly before publish, here and at
+                    // every publish site: a client that has collected
+                    // every response must observe a drained load signal
+                    // (the quiescent inflight_jobs == 0 invariant).
+                    load_model_.noteFinished(predicted);
                     entry->publishReady(std::move(*loaded), seconds,
                                         worker);
-                    load_model_.noteFinished(predicted);
                     return;
                 }
             }
@@ -376,16 +384,16 @@ CompileService::admitCompile(const ir::ExprPtr& canonical,
                 // the write is crash-safe and content-addressed, so a
                 // failure here only costs the next process a recompile.
                 if (persist_) persist_->storeArtifact(key, compiled);
-                entry->publishReady(std::move(compiled), seconds, worker);
                 load_model_.noteFinished(predicted);
+                entry->publishReady(std::move(compiled), seconds, worker);
             } catch (const std::exception& e) {
                 telemetry_.instant("compile_failed", worker, request_id);
                 {
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.failed;
                 }
-                entry->publishFailure(e.what(), worker);
                 load_model_.noteFinished(predicted);
+                entry->publishFailure(e.what(), worker);
             }
         },
         predicted, ThreadPool::TaskTag{"dispatch", request_id, predicted});
@@ -753,16 +761,16 @@ CompileService::runSoloLane(const BatchLane& lane,
             stats_.mod_switch_drops += static_cast<std::uint64_t>(
                 artifact.result.mod_switch_drops);
         }
-        lane.entry->publishReady(std::move(artifact), seconds, worker);
         load_model_.noteFinished(lane.predicted);
+        lane.entry->publishReady(std::move(artifact), seconds, worker);
     } catch (const std::exception& e) {
         telemetry_.instant("run_failed", worker, lane.request_id);
         {
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.run_failed;
         }
-        lane.entry->publishFailure(e.what(), worker);
         load_model_.noteFinished(lane.predicted);
+        lane.entry->publishFailure(e.what(), worker);
     }
 }
 
@@ -786,8 +794,8 @@ CompileService::submitSoloRun(BatchLane lane)
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.run_failed;
                 }
-                lane.entry->publishFailure(e.what(), worker);
                 load_model_.noteFinished(lane.predicted);
+                lane.entry->publishFailure(e.what(), worker);
             }
         },
         priority, tag);
@@ -973,9 +981,9 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                     std::unique_lock<std::mutex> lock(stats_mutex_);
                     ++stats_.packed_lanes;
                 }
+                load_model_.noteFinished(member.lanes[l].predicted);
                 member.lanes[l].entry->publishReady(std::move(artifact),
                                                     seconds, worker);
-                load_model_.noteFinished(member.lanes[l].predicted);
                 ++published;
             }
         }
@@ -988,8 +996,8 @@ CompileService::executePacked(BatchPlanner::Group& group, int worker)
                 static_cast<std::uint64_t>(flat.size() - published);
         }
         for (std::size_t l = published; l < flat.size(); ++l) {
-            flat[l]->entry->publishFailure(e.what(), worker);
             load_model_.noteFinished(flat[l]->predicted);
+            flat[l]->entry->publishFailure(e.what(), worker);
         }
     }
 }

@@ -34,7 +34,26 @@ RuntimePool::acquire()
     }
     // Construct outside the lock: keygen is the expensive part and
     // concurrent first-use requests should not serialize on it.
-    return Lease(this, createRuntime());
+    std::unique_ptr<compiler::FheRuntime> runtime = createRuntime();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        all_.push_back(runtime.get());
+    }
+    return Lease(this, std::move(runtime));
+}
+
+fhe::PolyArena::Stats
+RuntimePool::arenaStats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    fhe::PolyArena::Stats total;
+    for (const compiler::FheRuntime* runtime : all_) {
+        const fhe::PolyArena::Stats s = runtime->arenaStats();
+        total.allocs += s.allocs;
+        total.reuses += s.reuses;
+        total.bytes += s.bytes;
+    }
+    return total;
 }
 
 void

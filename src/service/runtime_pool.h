@@ -76,6 +76,12 @@ class RuntimePool
     /// Total runtimes ever constructed by this pool.
     int created() const;
 
+    /// Arena counters summed over every runtime this pool ever built —
+    /// leased instances included (PolyArena is internally locked, so
+    /// reading a leased runtime's counters mid-execution is safe; the
+    /// snapshot is monotone, not exact).
+    fhe::PolyArena::Stats arenaStats() const;
+
     const fhe::SealLiteParams& params() const { return params_; }
 
   private:
@@ -88,6 +94,11 @@ class RuntimePool
     const fhe::SealLiteParams params_;
     mutable std::mutex mutex_;
     std::vector<std::unique_ptr<compiler::FheRuntime>> idle_;
+    /// Every runtime ever constructed, for stats aggregation. Entries
+    /// outlive the pool's idle list (runtimes cycle between idle_ and
+    /// leases but are never destroyed), so the raw pointers stay valid
+    /// for the pool's lifetime.
+    std::vector<compiler::FheRuntime*> all_;
     int created_ = 0;
 };
 

@@ -35,6 +35,9 @@ ServiceStats::merge(const ServiceStats& other)
     run_failed += other.run_failed;
     total_exec_seconds += other.total_exec_seconds;
     runtimes_created += other.runtimes_created;
+    arena_allocs += other.arena_allocs;
+    arena_reuses += other.arena_reuses;
+    arena_bytes += other.arena_bytes;
     mod_switch_drops += other.mod_switch_drops;
 
     packed_groups += other.packed_groups;
@@ -145,6 +148,14 @@ checkStatsInvariants(const ServiceStats& stats, bool quiescent)
     if (stats.mod_switch_drops > 0 && stats.executed == 0) {
         return fail("mod_switch_drops > 0 implies executed > 0",
                     stats.mod_switch_drops, stats.executed);
+    }
+    // Arena traffic only exists inside pooled runtimes, so any counter
+    // activity implies at least one runtime was constructed.
+    if ((stats.arena_allocs > 0 || stats.arena_reuses > 0) &&
+        stats.runtimes_created == 0) {
+        return fail("arena activity implies runtimes_created > 0",
+                    stats.arena_allocs + stats.arena_reuses,
+                    stats.runtimes_created);
     }
 
     if (!quiescent) return {};

@@ -45,6 +45,16 @@ struct ServiceStats
     std::uint64_t run_failed = 0;     ///< Runs that failed (either stage).
     double total_exec_seconds = 0.0;  ///< Sum over owner executions.
     std::uint64_t runtimes_created = 0; ///< Pooled FheRuntimes built.
+    /// \name Poly-arena counters (summed over every pooled runtime)
+    /// Fresh buffers minted vs. acquires served from the freelist, and
+    /// total bytes backing minted buffers. Steady-state evaluation on a
+    /// warm pool should grow arena_reuses only — a rising arena_allocs
+    /// under stable traffic means scratch is leaking past the arena.
+    /// @{
+    std::uint64_t arena_allocs = 0;
+    std::uint64_t arena_reuses = 0;
+    std::uint64_t arena_bytes = 0;
+    /// @}
     /// Mid-circuit modulus drops the runtime's mod-switch gate took,
     /// summed over owner executions (solo and packed). Zero unless a
     /// request's pipeline includes the "mod-switch" pass.

@@ -1,0 +1,223 @@
+/// \file
+/// SIMD differential suite for the AVX2 NTT hot path: the vector
+/// kernels must be bit-identical to the scalar Harvey path and the seed
+/// baseline for every dispatch mode, including boundary operands deep
+/// in the lazy domain (p-1, 2p-1, 4p-1), the tiny degrees the
+/// dispatcher keeps scalar (n = 1, 2, 4), and random lane fuzz with the
+/// process-wide switch toggled both ways. Also pins the PR 10 bugfix
+/// pair: n^-1 mod p is memoized in the shared table cache (no repeated
+/// inversions or root searches per transform), and the vector path's
+/// p < 2^62 precondition aborts instead of silently overflowing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "fhe/modarith.h"
+#include "fhe/ntt.h"
+#include "support/rng.h"
+
+namespace chehab::fhe {
+namespace {
+
+/// Restores the process-wide SIMD switch around each test so a failing
+/// assertion cannot leak a forced mode into unrelated tests.
+class NttSimdTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { initial_ = simdEnabled(); }
+    void TearDown() override { setSimdEnabled(initial_); }
+
+  private:
+    bool initial_ = false;
+};
+
+std::vector<std::uint64_t>
+randomPoly(Rng& rng, int n, std::uint64_t p)
+{
+    std::vector<std::uint64_t> poly(static_cast<std::size_t>(n));
+    for (auto& c : poly) c = rng.uniformInt(p);
+    return poly;
+}
+
+/// Primes spanning the supported range; SealLite's chains stay ~30-bit
+/// but NttTables accepts anything below 2^62.
+std::vector<std::uint64_t>
+testPrimes()
+{
+    return {
+        findNttPrimes(30, 1, 512)[0],
+        findNttPrimes(45, 1, 512)[0],
+        findNttPrimes(61, 1, 512)[0],
+    };
+}
+
+TEST_F(NttSimdTest, DispatchIsBitIdenticalToScalarAndBaseline)
+{
+    Rng rng(21);
+    for (const std::uint64_t p : testPrimes()) {
+        for (const int n : {8, 32, 128, 256}) {
+            const NttTables tables(n, p);
+            for (int trial = 0; trial < 4; ++trial) {
+                const auto input = randomPoly(rng, n, p);
+
+                auto scalar = input;
+                tables.forwardScalar(scalar.data());
+
+                auto baseline = input;
+                tables.forwardBaseline(baseline.data());
+                ASSERT_EQ(scalar, baseline) << "p=" << p << " n=" << n;
+
+                for (const bool simd : {false, true}) {
+                    setSimdEnabled(simd);
+                    auto dispatched = input;
+                    tables.forward(dispatched.data());
+                    ASSERT_EQ(dispatched, scalar)
+                        << "forward p=" << p << " n=" << n
+                        << " simd=" << simd;
+
+                    tables.inverse(dispatched.data());
+                    auto inv_scalar = scalar;
+                    tables.inverseScalar(inv_scalar.data());
+                    ASSERT_EQ(dispatched, inv_scalar)
+                        << "inverse p=" << p << " n=" << n
+                        << " simd=" << simd;
+                    ASSERT_EQ(dispatched, input)
+                        << "round-trip p=" << p << " n=" << n
+                        << " simd=" << simd;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(NttSimdTest, BoundaryOperandsDeepInTheLazyDomain)
+{
+    // The Harvey butterflies accept inputs beyond [0, p): u is lazily
+    // reduced from [0, 4p) and the Shoup multiply takes any 64-bit
+    // operand. The vector lanes must take the exact same reduction
+    // sequence, so out-of-range inputs are part of the bit-identity
+    // contract, not undefined behavior.
+    for (const std::uint64_t p : testPrimes()) {
+        const int n = 64;
+        const NttTables tables(n, p);
+        const std::uint64_t edges[] = {0,         1,         p - 1,
+                                       p,         2 * p - 1, 2 * p,
+                                       4 * p - 1};
+        std::vector<std::uint64_t> input(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            input[static_cast<std::size_t>(i)] =
+                edges[static_cast<std::size_t>(i) % std::size(edges)];
+        }
+
+        auto scalar = input;
+        tables.forwardScalar(scalar.data());
+        setSimdEnabled(true);
+        auto vec = input;
+        tables.forward(vec.data());
+        ASSERT_EQ(vec, scalar) << "forward p=" << p;
+
+        auto inv_scalar = scalar;
+        tables.inverseScalar(inv_scalar.data());
+        tables.inverse(vec.data());
+        ASSERT_EQ(vec, inv_scalar) << "inverse p=" << p;
+    }
+}
+
+TEST_F(NttSimdTest, TinyDegreesStayScalarAndCorrect)
+{
+    // n < 8 never vectorizes (a 4-wide butterfly needs t >= 4), but the
+    // dispatcher must still produce the exact scalar answer with SIMD
+    // forced on.
+    const std::uint64_t p = findNttPrimes(30, 1, 512)[0];
+    setSimdEnabled(true);
+    for (const int n : {1, 2, 4}) {
+        const NttTables tables(n, p);
+        Rng rng(static_cast<std::uint64_t>(n) + 33);
+        const auto input = randomPoly(rng, n, p);
+        auto dispatched = input;
+        auto scalar = input;
+        tables.forward(dispatched.data());
+        tables.forwardScalar(scalar.data());
+        ASSERT_EQ(dispatched, scalar) << "n=" << n;
+        tables.inverse(dispatched.data());
+        tables.inverseScalar(scalar.data());
+        ASSERT_EQ(dispatched, scalar) << "n=" << n;
+        ASSERT_EQ(dispatched, input) << "n=" << n;
+    }
+}
+
+TEST_F(NttSimdTest, LaneFuzzAcrossDispatchModes)
+{
+    // Odd sizes around the 4-lane width: every tail/alignment case the
+    // stage loops can hit, fuzzed with the switch toggled per trial.
+    Rng rng(22);
+    const std::uint64_t p = findNttPrimes(31, 1, 2048)[0];
+    for (const int n : {8, 16, 512, 1024}) {
+        const NttTables tables(n, p);
+        for (int trial = 0; trial < 8; ++trial) {
+            const auto input = randomPoly(rng, n, p);
+            setSimdEnabled(trial % 2 == 0);
+            auto a = input;
+            tables.forward(a.data());
+            setSimdEnabled(trial % 2 != 0);
+            auto b = input;
+            tables.forward(b.data());
+            ASSERT_EQ(a, b) << "n=" << n << " trial=" << trial;
+            setSimdEnabled(true);
+            tables.inverse(a.data());
+            setSimdEnabled(false);
+            tables.inverse(b.data());
+            ASSERT_EQ(a, b) << "n=" << n << " trial=" << trial;
+            ASSERT_EQ(a, input) << "n=" << n << " trial=" << trial;
+        }
+    }
+}
+
+TEST_F(NttSimdTest, ForcingSimdOnScalarBuildsClampsToSupported)
+{
+    setSimdEnabled(true);
+    EXPECT_EQ(simdEnabled(), simdSupported());
+    setSimdEnabled(false);
+    EXPECT_FALSE(simdEnabled());
+}
+
+// -- PR 10 bugfix pins --------------------------------------------------
+
+TEST_F(NttSimdTest, InvNMemoizedInTableCache)
+{
+    const std::uint64_t p = findNttPrimes(30, 1, 1024)[0];
+    const auto tables = acquireNttTables(512, p);
+    // n * n^-1 ≡ 1 (mod p), computed once at construction.
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  static_cast<__uint128_t>(tables->invN()) * 512 % p),
+              1u);
+    // Re-acquiring the same (n, p) is a cache hit and performs no new
+    // inversion or root/prime search work.
+    const std::uint64_t roots_before = primitiveRootSearches();
+    const std::uint64_t primes_before = nttPrimeSearches();
+    const NttTableCacheStats cache_before = nttTableCacheStats();
+    const auto again = acquireNttTables(512, p);
+    EXPECT_EQ(again.get(), tables.get());
+    EXPECT_EQ(again->invN(), tables->invN());
+    EXPECT_EQ(primitiveRootSearches(), roots_before);
+    EXPECT_EQ(nttPrimeSearches(), primes_before);
+    EXPECT_EQ(nttTableCacheStats().hits, cache_before.hits + 1);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(NttSimdDeathTest, RejectsPrimesAtOrAbove62Bits)
+{
+    // The lazy representation needs 4p < 2^64; the vector path relies
+    // on it too (lane values in [0, 4p) must not wrap). Find a 63-bit
+    // prime ≡ 1 (mod 8) so only the width precondition trips.
+    std::uint64_t p = (1ULL << 62) + 1;
+    while (!isPrime(p) || p % 8 != 1) p += 8;
+    ASSERT_GE(p, 1ULL << 62);
+    EXPECT_DEATH({ NttTables tables(4, p); }, "2\\^64");
+}
+#endif
+
+} // namespace
+} // namespace chehab::fhe

@@ -33,6 +33,7 @@
 #include "compiler/keyselect.h"
 #include "compiler/runtime.h"
 #include "compiler/schedule.h"
+#include "fhe/ntt.h"
 #include "ir/evaluator.h"
 #include "ir/parser.h"
 #include "service/batch_planner.h"
@@ -500,6 +501,74 @@ TEST(LaneFuzzTest, ServicePackedVsSoloWithModSwitch)
 {
     fuzzServiceVsSolo(/*seed=*/0xFACADE, /*num_kernels=*/6,
                       /*mod_switch=*/true);
+}
+
+/// Restores the process-wide NTT SIMD switch when it goes out of scope.
+struct ScopedSimd
+{
+    explicit ScopedSimd(bool enabled) : saved(fhe::simdEnabled())
+    {
+        fhe::setSimdEnabled(enabled);
+    }
+    ~ScopedSimd() { fhe::setSimdEnabled(saved); }
+    bool saved;
+};
+
+/// The whole packed/composite/sharded differential harness must hold on
+/// the scalar NTT path too (on an AVX2 build this is the only coverage
+/// of the scalar kernels under real service traffic).
+TEST(LaneFuzzTest, ServicePackedVsSoloSimdForcedOff)
+{
+    ScopedSimd guard(false);
+    fuzzServiceVsSolo(/*seed=*/0x5CA1A, /*num_kernels=*/4);
+}
+
+TEST(LaneFuzzTest, ServicePackedVsSoloSimdForcedOn)
+{
+    // Clamped to a no-op on scalar builds (setSimdEnabled clamps to
+    // simdSupported), so this leg is safe in the no-AVX2 CI matrix leg.
+    ScopedSimd guard(true);
+    fuzzServiceVsSolo(/*seed=*/0x5CA1A, /*num_kernels=*/4);
+}
+
+/// Cross-mode determinism at the service boundary: one batch, the same
+/// service configuration, SIMD forced on then off — decoded outputs
+/// must be bit-identical (the PR 10 determinism-contract extension).
+TEST(LaneFuzzTest, ServiceOutputsInvariantUnderSimdDispatch)
+{
+    std::vector<RunRequest> batch;
+    const char* kernels[] = {
+        "(* (+ a b) (- c 2))",
+        "(<< (Vec a b c d) 1)",
+        "(+ (* a a) (* b (- c d)))",
+    };
+    int k = 0;
+    for (const char* text : kernels) {
+        RunRequest request;
+        request.name = "simd-k" + std::to_string(k++);
+        request.source = ir::parse(text);
+        request.pipeline = compiler::DriverConfig::greedy({}, 12);
+        for (char v = 'a'; v <= 'f'; ++v) {
+            request.inputs[std::string(1, v)] = (v - 'a') * 5 + 2;
+        }
+        request.key_budget = 0;
+        request.params = fuzzParams();
+        batch.push_back(std::move(request));
+    }
+    auto outputsWithSimd = [&batch](bool simd) {
+        ScopedSimd guard(simd);
+        ServiceConfig config;
+        config.num_workers = 2;
+        CompileService service(config);
+        std::vector<std::vector<std::int64_t>> outputs;
+        for (RunResponse& response : service.runBatch(batch)) {
+            EXPECT_TRUE(response.ok)
+                << response.name << ": " << response.error;
+            outputs.push_back(std::move(response.result.output));
+        }
+        return outputs;
+    };
+    EXPECT_EQ(outputsWithSimd(true), outputsWithSimd(false));
 }
 
 // ---- heavy variants (ctest label: slow) -------------------------------
